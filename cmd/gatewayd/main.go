@@ -1,0 +1,53 @@
+// Command gatewayd runs a standalone JAMM event gateway: sensor
+// managers publish events into it (op=publish on the wire protocol),
+// consumers subscribe, query, and read summaries out of it. Run it "on
+// a separate host from the grid resources, to ensure that the load from
+// the gateway did not affect what was being monitored" (§2.3).
+//
+//	gatewayd -addr 127.0.0.1:9100 -name gw.lbl.gov \
+//	    -summary 'cpu/VMSTAT_SYS_TIME/VAL'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"jamm/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
+	name := flag.String("name", "gw", "gateway name")
+	var summaries multiFlag
+	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
+	flag.Parse()
+
+	gw := gateway.New(*name, nil)
+	for _, s := range summaries {
+		parts := strings.Split(s, "/")
+		if len(parts) != 3 {
+			log.Fatalf("gatewayd: bad -summary %q (want sensor/EVENT/FIELD)", s)
+		}
+		gw.EnableSummary(parts[0], parts[1], parts[2])
+	}
+	srv, err := gateway.ServeTCP(gw, *addr, nil)
+	if err != nil {
+		log.Fatalf("gatewayd: %v", err)
+	}
+	fmt.Printf("gatewayd: %s listening on %s\n", *name, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

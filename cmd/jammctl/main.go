@@ -1,0 +1,191 @@
+// Command jammctl is the JAMM operator CLI — the command-line
+// equivalent of the paper's Sensor Data and Sensor Control GUIs.
+//
+//	jammctl lookup -dir 127.0.0.1:3890 -filter '(type=cpu)'
+//	jammctl list -gw 127.0.0.1:9200
+//	jammctl query -gw 127.0.0.1:9200 -sensor cpu -event VMSTAT_SYS_TIME
+//	jammctl subscribe -gw 127.0.0.1:9200 -sensor cpu -mode change
+//	jammctl summary -gw 127.0.0.1:9200 -sensor cpu -event VMSTAT_SYS_TIME
+//	jammctl sensor-start -control 127.0.0.1:9201 -name netstat
+//	jammctl sensor-stop  -control 127.0.0.1:9201 -name netstat
+//	jammctl status -control 127.0.0.1:9201
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jamm/internal/activation"
+	"jamm/internal/consumer"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|sensor-start|sensor-stop|status> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "lookup":
+		cmdLookup(args)
+	case "list":
+		cmdList(args)
+	case "query":
+		cmdQuery(args)
+	case "subscribe":
+		cmdSubscribe(args)
+	case "summary":
+		cmdSummary(args)
+	case "sensor-start", "sensor-stop":
+		cmdControl(strings.TrimPrefix(cmd, "sensor-"), args)
+	case "status":
+		cmdStatus(args)
+	default:
+		usage()
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "jammctl:", err)
+	os.Exit(1)
+}
+
+func cmdLookup(args []string) {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	dir := fs.String("dir", "127.0.0.1:3890", "directory server address")
+	base := fs.String("base", "ou=sensors,o=jamm", "search base DN")
+	filter := fs.String("filter", "", "LDAP filter (default all sensors)")
+	fs.Parse(args) //nolint:errcheck
+	cli := directory.NewClient("jammctl", *dir)
+	locs, err := consumer.Discover(cli, directory.DN(*base), *filter)
+	if err != nil {
+		die(err)
+	}
+	for _, l := range locs {
+		fmt.Printf("%-16s %-10s host=%-20s gateway=%s\n", l.Sensor, l.Type, l.Host, l.Gateway)
+	}
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	gw := fs.String("gw", "127.0.0.1:9200", "gateway address")
+	fs.Parse(args) //nolint:errcheck
+	infos, err := gateway.NewClient("jammctl", *gw).List()
+	if err != nil {
+		die(err)
+	}
+	for _, s := range infos {
+		fmt.Printf("%-16s %-10s host=%-20s interval=%-8s consumers=%d published=%d\n",
+			s.Name, s.Type, s.Host, s.Interval, s.Consumers, s.Published)
+	}
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	gw := fs.String("gw", "127.0.0.1:9200", "gateway address")
+	sensor := fs.String("sensor", "", "sensor name")
+	event := fs.String("event", "", "event type")
+	fs.Parse(args) //nolint:errcheck
+	rec, found, err := gateway.NewClient("jammctl", *gw).Query(*sensor, *event)
+	if err != nil {
+		die(err)
+	}
+	if !found {
+		fmt.Println("(no event)")
+		return
+	}
+	fmt.Println(rec)
+}
+
+func cmdSubscribe(args []string) {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	gw := fs.String("gw", "127.0.0.1:9200", "gateway address")
+	sensor := fs.String("sensor", "", "sensor name (empty = all)")
+	events := fs.String("events", "", "comma-separated event filter")
+	mode := fs.String("mode", "all", "delivery mode: all, change, threshold")
+	field := fs.String("field", "", "watched field (default VAL)")
+	above := fs.Float64("above", 0, "threshold: deliver on upward crossings of this value")
+	delta := fs.Float64("delta", 0, "threshold: deliver on relative change exceeding this fraction")
+	format := fs.String("format", "ulm", "payload format: ulm, xml, binary")
+	fs.Parse(args) //nolint:errcheck
+
+	m, err := gateway.ParseMode(*mode)
+	if err != nil {
+		die(err)
+	}
+	req := gateway.Request{Sensor: *sensor, Mode: m, Field: *field, DeltaFrac: *delta}
+	if *events != "" {
+		req.Events = strings.Split(*events, ",")
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "above" {
+			req.Above = gateway.Float64(*above)
+		}
+	})
+	stop, err := gateway.NewClient("jammctl", *gw).Subscribe(req, *format, func(rec ulm.Record) {
+		fmt.Println(rec)
+	})
+	if err != nil {
+		die(err)
+	}
+	defer stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	gw := fs.String("gw", "127.0.0.1:9200", "gateway address")
+	sensor := fs.String("sensor", "", "sensor name")
+	event := fs.String("event", "", "event type")
+	field := fs.String("field", "VAL", "summarized field")
+	fs.Parse(args) //nolint:errcheck
+	pts, err := gateway.NewClient("jammctl", *gw).Summary(*sensor, *event, *field)
+	if err != nil {
+		die(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%-8s avg=%-10.3f min=%-10.3f max=%-10.3f n=%d\n",
+			p.Window, p.Avg, p.Min, p.Max, p.Count)
+	}
+}
+
+func cmdControl(method string, args []string) {
+	fs := flag.NewFlagSet(method, flag.ExitOnError)
+	control := fs.String("control", "127.0.0.1:9201", "jammd control address")
+	name := fs.String("name", "", "sensor name")
+	fs.Parse(args) //nolint:errcheck
+	cli := activation.Dial(*control, nil)
+	defer cli.Close()
+	cli.SetTimeout(10 * time.Second)
+	if _, err := cli.Invoke("manager", method, activation.Args{"name": *name}); err != nil {
+		die(err)
+	}
+	fmt.Printf("%s %s: ok\n", method, *name)
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	control := fs.String("control", "127.0.0.1:9201", "jammd control address")
+	fs.Parse(args) //nolint:errcheck
+	cli := activation.Dial(*control, nil)
+	defer cli.Close()
+	out, err := cli.Invoke("manager", "status", nil)
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,194 @@
+// Command jammd is the per-host JAMM agent daemon: a sensor manager, a
+// port monitor, and an embedded event gateway for one (simulated)
+// monitored host, pinned to the wall clock and serving real TCP
+// clients. It publishes its sensors to a directory server (dird),
+// serves consumers directly from the embedded gateway, optionally
+// forwards all events to an upstream gatewayd, and exposes start/stop
+// control over the activation (RMI-substitute) protocol.
+//
+//	jammd -host dpss1.lbl.gov -config sensors.json \
+//	      -gateway 127.0.0.1:9200 -control 127.0.0.1:9201 \
+//	      -dir 127.0.0.1:3890 -demo-workload
+//
+// The config file (or -config http://...) uses the sensor manager
+// format:
+//
+//	{"sensors": [
+//	  {"type": "cpu", "interval": "1s"},
+//	  {"type": "netstat", "interval": "1s", "mode": "port", "ports": [21]}
+//	], "port_idle": "30s"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jamm/internal/activation"
+	"jamm/internal/core"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+	"jamm/internal/webui"
+)
+
+func main() {
+	hostName := flag.String("host", "demo.lbl.gov", "monitored host name")
+	configSrc := flag.String("config", "", "sensor config: file path or http:// URL (required)")
+	refresh := flag.Duration("refresh", 2*time.Minute, "config re-check period (§5.0: 'every few minutes')")
+	gwAddr := flag.String("gateway", "127.0.0.1:9200", "embedded gateway listen address")
+	ctlAddr := flag.String("control", "127.0.0.1:9201", "control (activation) listen address")
+	dirAddr := flag.String("dir", "", "remote directory server address (optional)")
+	forward := flag.String("forward", "", "upstream gatewayd address to forward all events to (optional)")
+	demo := flag.Bool("demo-workload", false, "run a synthetic CPU workload and periodic port-21 transfers")
+	httpAddr := flag.String("http", "", "serve the browser UI (tables/charts of §5.0) on this address, e.g. 127.0.0.1:8800")
+	flag.Parse()
+	if *configSrc == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.Options{Seed: time.Now().UnixNano(), Epoch: time.Now().UTC()}
+	if *dirAddr != "" {
+		opts.Directory = directory.NewClient("jammd/"+*hostName, *dirAddr)
+	}
+	g := core.New(opts)
+	site := g.AddSite(*gwAddr) // the advertised gateway address
+	rig, err := g.AddHost(site, *hostName, core.HostSpec{
+		Net: simnet.HostConfig{RecvCapacityBps: 1e9},
+	})
+	if err != nil {
+		log.Fatalf("jammd: %v", err)
+	}
+	rig.SyncClock(0, 16*time.Second)
+
+	if *demo {
+		peer := g.Net.AddHost("peer."+*hostName, simnet.HostConfig{RecvCapacityBps: 1e9})
+		g.Connect(rig.Node, peer, simnet.RateGigE, time.Millisecond)
+		proc := rig.Host.Spawn("app", 0.1, 64*1024)
+		simhost.SineWorkload(rig.Host, proc, 0.05, 0.7, 2*time.Minute, time.Second)
+		// An FTP-like transfer every minute exercises port triggers.
+		g.Sched.Every(time.Minute, func() {
+			f, err := g.Net.OpenFlow(peer, 30000, rig.Node, 21, simnet.FlowConfig{})
+			if err != nil {
+				return
+			}
+			f.Send(50e6, func() { f.Close() })
+		})
+	}
+
+	// Config source: local file or HTTP server (§5.0).
+	fetch := func() ([]byte, error) { return os.ReadFile(*configSrc) }
+	if strings.HasPrefix(*configSrc, "http://") || strings.HasPrefix(*configSrc, "https://") {
+		fetch = func() ([]byte, error) {
+			resp, err := http.Get(*configSrc)
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("jammd: config fetch: %s", resp.Status)
+			}
+			return io.ReadAll(resp.Body)
+		}
+	}
+
+	driver := core.NewRealtimeDriver(g.Sched, 50*time.Millisecond)
+	defer driver.Stop()
+	if err := driver.Call(func() error { return rig.Manager.WatchConfig(fetch, *refresh) }); err != nil {
+		log.Fatalf("jammd: initial config: %v", err)
+	}
+	// Keep directory consumer counts and last-message attributes fresh.
+	driver.Do(func() {
+		g.Sched.Every(30*time.Second, rig.Manager.UpdateDirectory)
+	})
+
+	// The embedded gateway serves consumers directly.
+	gwSrv, err := gateway.ServeTCP(site.Gateway, *gwAddr, nil)
+	if err != nil {
+		log.Fatalf("jammd: gateway: %v", err)
+	}
+	defer gwSrv.Close()
+
+	// Optional upstream forwarding: the whole local stream re-publishes
+	// to a site gatewayd.
+	if *forward != "" {
+		pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewPublisher(gateway.FormatULM)
+		if err != nil {
+			log.Fatalf("jammd: forward: %v", err)
+		}
+		defer pub.Close()
+		driver.Do(func() {
+			site.Gateway.Subscribe(gateway.Request{}, func(rec ulm.Record) { //nolint:errcheck
+				pub.Publish(*hostName+"/"+rec.Prog, rec) //nolint:errcheck
+			})
+		})
+	}
+
+	// Control surface: the sensor manager as an activatable service.
+	reg := activation.NewRegistry()
+	reg.Register("manager", func() (activation.Service, error) {
+		return activation.Func(func(method string, args activation.Args) (string, error) {
+			var out string
+			err := driver.Call(func() error {
+				switch method {
+				case "start":
+					return rig.Manager.StartSensor(args["name"])
+				case "stop":
+					return rig.Manager.StopSensor(args["name"])
+				case "status":
+					var sb strings.Builder
+					for _, st := range rig.Manager.Status() {
+						fmt.Fprintf(&sb, "%-12s %-8s running=%-5v interval=%-6s events=%-6d last=%s\n",
+							st.Name, st.Type, st.Running, st.Interval, st.Events, st.LastMsg)
+					}
+					out = sb.String()
+					return nil
+				case "running":
+					out = strings.Join(rig.Manager.Running(), " ")
+					return nil
+				}
+				return fmt.Errorf("jammd: unknown control method %q", method)
+			})
+			return out, err
+		}), nil
+	}, 0)
+	ctlSrv, err := activation.Serve(reg, *ctlAddr, nil)
+	if err != nil {
+		log.Fatalf("jammd: control: %v", err)
+	}
+	defer ctlSrv.Close()
+
+	if *httpAddr != "" {
+		ui, err := webui.New(site.Gateway, rig.Manager, 5000)
+		if err != nil {
+			log.Fatalf("jammd: webui: %v", err)
+		}
+		defer ui.Close()
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, ui.Handler()); err != nil {
+				log.Printf("jammd: webui: %v", err)
+			}
+		}()
+		fmt.Printf("jammd: browser UI on http://%s/\n", *httpAddr)
+	}
+
+	fmt.Printf("jammd: host %s gateway %s control %s\n", *hostName, gwSrv.Addr(), ctlSrv.Addr())
+	if *dirAddr != "" {
+		fmt.Printf("jammd: publishing sensors to directory %s\n", *dirAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	driver.Call(func() error { rig.Manager.Shutdown(); return nil }) //nolint:errcheck
+}

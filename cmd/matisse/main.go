@@ -1,0 +1,87 @@
+// Command matisse runs the paper's §6 evaluation scenario: the MEMS
+// video player reading striped frames from a DPSS storage cluster at
+// LBNL across the DARPA Supernet to a receiving host in Arlington, with
+// the full JAMM monitoring plane watching. It reports the frame-rate
+// series, the receiver's system CPU load, and TCP retransmissions, and
+// can emit the merged NetLogger event file plus a Figure 7-style chart.
+//
+//	matisse -servers 4 -frames 120                  # the bursty demo
+//	matisse -servers 1 -frames 120                  # the fix
+//	matisse -servers 4 -monitor -out events.log -chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"jamm/internal/core"
+	"jamm/internal/nlv"
+	"jamm/internal/ulm"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "DPSS servers striping the video (4 = bursty demo, 1 = fix)")
+	frames := flag.Int("frames", 120, "video frames to play")
+	frameKB := flag.Int("frame-kb", 1000, "frame size in KB")
+	duration := flag.Duration("duration", 2*time.Minute, "virtual time budget")
+	monitor := flag.Bool("monitor", false, "deploy the JAMM monitoring plane")
+	seed := flag.Int64("seed", 7, "random seed")
+	out := flag.String("out", "", "write the merged NetLogger event file here")
+	chart := flag.Bool("chart", false, "render a Figure 7-style nlv chart to stdout (implies -monitor)")
+	flag.Parse()
+
+	if *chart {
+		*monitor = true
+	}
+	res, err := core.RunMatisse(core.MatisseOptions{
+		Servers:    *servers,
+		Frames:     *frames,
+		FrameBytes: float64(*frameKB) * 1024,
+		Duration:   *duration,
+		Monitor:    *monitor,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatalf("matisse: %v", err)
+	}
+
+	min, max := res.MinMaxFPS()
+	fmt.Printf("matisse: %d servers, %d/%d frames played in %v (completed=%v)\n",
+		*servers, len(res.Stats), *frames, *duration, res.Completed)
+	fmt.Printf("frame rate: mean %.1f fps, min %.1f, max %.1f\n", res.MeanFPS(), min, max)
+	fmt.Printf("receiver peak system CPU: %.0f%%\n", res.ReceiverSysPct)
+	fmt.Printf("TCP retransmissions at receiver: %d\n", res.Retransmits)
+	fmt.Print("fps series: ")
+	for _, v := range res.FPS {
+		fmt.Printf("%.0f ", v)
+	}
+	fmt.Println()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("matisse: %v", err)
+		}
+		if err := ulm.WriteAll(f, res.Events); err != nil {
+			log.Fatalf("matisse: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d events to %s\n", len(res.Events), *out)
+	}
+
+	if *chart {
+		g := nlv.New(110)
+		g.AddLoadline("VMSTAT_FREE_MEMORY", "VAL", 3)
+		g.AddLoadline("VMSTAT_SYS_TIME", "VAL", 4)
+		g.AddLoadline("VMSTAT_USER_TIME", "VAL", 4)
+		g.AddLifeline("MPLAY_START_READ_FRAME", "MPLAY_END_READ_FRAME",
+			"MPLAY_START_PUT_IMAGE", "MPLAY_END_PUT_IMAGE")
+		g.AddPoints("TCPD_RETRANSMITS")
+		if err := g.Render(os.Stdout, res.Events); err != nil {
+			log.Fatalf("matisse: chart: %v", err)
+		}
+	}
+}

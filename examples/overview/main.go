@@ -1,0 +1,91 @@
+// Overview monitor: the paper's §2.2 example — "one may want to trigger
+// a page to a system administrator at 2 A.M. only if both the primary
+// and backup servers are down." Process sensors on two hosts feed an
+// overview monitor that combines their state; a process monitor
+// meanwhile restarts the primary automatically each time it dies.
+//
+//	go run ./examples/overview
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jamm"
+	"jamm/internal/simhost"
+)
+
+func main() {
+	g := jamm.NewGrid(jamm.GridOptions{Seed: 3})
+	site := g.AddSite("gw.lbl.gov")
+	primary, err := g.AddHost(site, "primary.lbl.gov", jamm.HostSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	backup, err := g.AddHost(site, "backup.lbl.gov", jamm.HostSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The watched service on both hosts.
+	procs := map[string]*simhost.Process{
+		"primary.lbl.gov": primary.Host.Spawn("httpd", 0.2, 64*1024),
+		"backup.lbl.gov":  backup.Host.Spawn("httpd", 0.2, 64*1024),
+	}
+
+	// Process sensors report every status change (§2.2).
+	cfg := jamm.ManagerConfig{Sensors: []jamm.SensorSpec{
+		{Type: "process", Params: map[string]string{"match": "httpd"}},
+	}}
+	for _, rig := range []*jamm.HostRig{primary, backup} {
+		if err := rig.Manager.Apply(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Consumer 1: a process monitor that restarts the primary's httpd
+	// whenever it dies abnormally.
+	restarts := 0
+	pm := jamm.NewProcessMonitor("httpd", jamm.Action{
+		Kind: "restart",
+		Run: func(rec jamm.Record) error {
+			restarts++
+			// Restart after a 5 s (virtual) supervisor delay.
+			g.Sched.After(5*time.Second, func() {
+				procs["primary.lbl.gov"] = primary.Host.Spawn("httpd", 0.2, 64*1024)
+			})
+			return nil
+		},
+	})
+	pm.Host = "primary.lbl.gov" // the restart supervisor owns only the primary
+	if err := pm.Subscribe(site.Gateway); err != nil {
+		log.Fatal(err)
+	}
+
+	// Consumer 2: the overview monitor pages only when BOTH are down.
+	overview := jamm.NewOverview(jamm.BothDown("httpd", "primary.lbl.gov", "backup.lbl.gov"))
+	if err := overview.SubscribeAll(site.Gateway, jamm.Request{Events: []string{"PROC_DIED", "PROC_START"}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scenario: primary crashes alone at 01:00 — no page (backup holds
+	// the fort, and the restart action recovers the primary in 5 s).
+	g.Sched.After(time.Hour, func() { procs["primary.lbl.gov"].Crash() })
+	// At 02:00 the backup dies (nobody restarts it), and 30 s later the
+	// primary dies too: both are now down at once — page the admin.
+	g.Sched.After(2*time.Hour, func() { procs["backup.lbl.gov"].Crash() })
+	g.Sched.After(2*time.Hour+30*time.Second, func() { procs["primary.lbl.gov"].Crash() })
+
+	g.RunFor(3 * time.Hour)
+
+	fmt.Printf("restarts performed by the process monitor: %d\n", restarts)
+	fmt.Printf("pages sent by the overview monitor:        %d\n", len(overview.Alerts()))
+	for _, a := range overview.Alerts() {
+		fmt.Printf("  page at %s: %s\n", a.At.Format("15:04:05"), a.Message)
+	}
+	fmt.Println("\naction audit log:")
+	for _, ar := range pm.Actions() {
+		fmt.Printf("  %s %s on %s (%s)\n", ar.At.Format("15:04:05"), ar.Kind, ar.Host, ar.Proc)
+	}
+}

@@ -1,0 +1,96 @@
+// Quickstart: assemble an in-process JAMM deployment — one site, one
+// monitored host, a sensor manager running CPU and memory sensors —
+// then consume the monitoring data three ways: a streaming subscription
+// with a threshold filter, a one-shot query of the latest event, and
+// the gateway's computed 1-minute summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jamm"
+	"jamm/internal/simhost"
+)
+
+func main() {
+	// A deployment on simulated infrastructure: deterministic, fast,
+	// and driven entirely by virtual time.
+	g := jamm.NewGrid(jamm.GridOptions{Seed: 1})
+	site := g.AddSite("gw.lbl.gov")
+	rig, err := g.AddHost(site, "dpss1.lbl.gov", jamm.HostSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Something to observe: a process whose CPU demand swings.
+	proc := rig.Host.Spawn("analysis", 0.1, 128*1024)
+	simhost.SineWorkload(rig.Host, proc, 0.05, 0.95, 40*time.Second, time.Second)
+
+	// The sensor manager starts sensors and publishes them in the
+	// sensor directory (§2.2: one manager per host).
+	err = rig.Manager.Apply(jamm.ManagerConfig{Sensors: []jamm.SensorSpec{
+		{Type: "cpu", Interval: jamm.Interval(time.Second)},
+		{Type: "memory", Interval: jamm.Interval(2 * time.Second)},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Summaries: the paper's 1/10/60-minute CPU averages.
+	cpuKey := rig.Manager.GatewayKey("cpu")
+	site.Gateway.EnableSummary(cpuKey, "VMSTAT_USER_TIME", "VAL")
+
+	// Consumer 1: stream, but only when CPU crosses 50% ("an event be
+	// sent only if its value crosses a certain threshold").
+	crossings := 0
+	_, err = site.Gateway.Subscribe(jamm.Request{
+		Sensor: cpuKey,
+		Events: []string{"VMSTAT_USER_TIME"},
+		Mode:   jamm.DeliverThreshold,
+		Above:  jamm.Float64(50),
+	}, func(rec jamm.Record) {
+		crossings++
+		if crossings <= 3 {
+			fmt.Println("threshold crossing:", rec)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run two minutes of virtual time (instantly).
+	g.RunFor(2 * time.Minute)
+
+	// Consumer 2: a one-shot query for the most recent event.
+	rec, found, err := site.Gateway.Query("", cpuKey, "VMSTAT_USER_TIME")
+	if err != nil || !found {
+		log.Fatalf("query: %v found=%v", err, found)
+	}
+	fmt.Println("\nlatest CPU sample:", rec)
+
+	// Consumer 3: the computed summary.
+	pts, err := site.Gateway.Summary("", cpuKey, "VMSTAT_USER_TIME", "VAL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCPU user-time summaries:")
+	for _, p := range pts {
+		fmt.Printf("  last %-5s avg=%6.1f%%  min=%5.1f  max=%5.1f  (%d samples)\n",
+			p.Window, p.Avg, p.Min, p.Max, p.Count)
+	}
+
+	// What the directory knows (what jammctl lookup would print).
+	locs, err := jamm.Discover(g.Directory("quickstart"), jamm.SensorBase, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsensors in the directory:")
+	for _, l := range locs {
+		fmt.Printf("  %-8s %-8s host=%-16s gateway=%s\n", l.Sensor, l.Type, l.Host, l.Gateway)
+	}
+	fmt.Printf("\ngateway stats: %+v\n", site.Gateway.Stats())
+	fmt.Printf("threshold crossings observed: %d\n", crossings)
+}

@@ -1,0 +1,208 @@
+// Package activation is the Go substitute for the Java Activatable RMI
+// machinery JAMM is built on (paper §3.0): services register under a
+// name and are instantiated on first invocation ("loaded and run simply
+// by invoking one of their methods"), unload themselves automatically
+// after a period of inactivity, and can have their implementation
+// swapped at runtime ("RMI objects can be dynamically downloaded from
+// an HTTP server ... making software updates trivial"). A TCP transport
+// with gob encoding stands in for the RMI wire protocol.
+package activation
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Args carries the named string arguments of an invocation. String
+// values keep the gob wire encoding closed under a fixed type set.
+type Args map[string]string
+
+// Service is an activatable remote object: it dispatches named method
+// calls. Implementations that also implement io.Closer are closed on
+// deactivation.
+type Service interface {
+	Invoke(method string, args Args) (string, error)
+}
+
+// Func adapts a function to the Service interface.
+type Func func(method string, args Args) (string, error)
+
+// Invoke implements Service.
+func (f Func) Invoke(method string, args Args) (string, error) { return f(method, args) }
+
+// Factory constructs a service at activation time. Factories run once
+// per activation; a service deactivated for idleness is rebuilt by the
+// factory on its next invocation.
+type Factory func() (Service, error)
+
+// ErrNotRegistered reports an invocation of an unknown service name.
+var ErrNotRegistered = errors.New("activation: service not registered")
+
+type entry struct {
+	factory     Factory
+	idleTimeout time.Duration
+
+	active      Service
+	lastUsed    time.Time
+	activations int
+}
+
+// Registry is the activation daemon (rmid): it owns the name table,
+// activates services on demand, and deactivates them after idleness.
+// It is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	now     func() time.Time
+}
+
+// NewRegistry returns an empty registry using the wall clock.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry), now: time.Now}
+}
+
+// SetNow overrides the registry's clock; deterministic tests and
+// simulation-driven deployments inject virtual time here.
+func (r *Registry) SetNow(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Register installs a factory under name. idleTimeout is how long the
+// activated service may sit unused before SweepIdle deactivates it;
+// zero means never deactivate. Registering an existing name replaces
+// its factory (the software-update path) without touching a currently
+// active instance.
+func (r *Registry) Register(name string, f Factory, idleTimeout time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		e.factory = f
+		e.idleTimeout = idleTimeout
+		return
+	}
+	r.entries[name] = &entry{factory: f, idleTimeout: idleTimeout}
+}
+
+// Unregister removes the name, deactivating any live instance.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	e := r.entries[name]
+	delete(r.entries, name)
+	r.mu.Unlock()
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	return closeService(e.active)
+}
+
+// Invoke calls method on the named service, activating it first if
+// necessary, and refreshes its idle timer.
+func (r *Registry) Invoke(name, method string, args Args) (string, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	if e.active == nil {
+		svc, err := e.factory()
+		if err != nil {
+			r.mu.Unlock()
+			return "", fmt.Errorf("activation: activating %q: %w", name, err)
+		}
+		e.active = svc
+		e.activations++
+	}
+	e.lastUsed = r.now()
+	svc := e.active
+	r.mu.Unlock()
+
+	// The call itself runs outside the registry lock: services may be
+	// slow or may re-enter the registry.
+	return svc.Invoke(method, args)
+}
+
+// Active reports whether the named service currently has a live
+// instance.
+func (r *Registry) Active(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return ok && e.active != nil
+}
+
+// Activations returns how many times the named service has been
+// activated (0 for unknown names).
+func (r *Registry) Activations(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e.activations
+	}
+	return 0
+}
+
+// Deactivate unloads the named service's live instance, if any. The
+// registration and factory remain; the next Invoke reactivates.
+func (r *Registry) Deactivate(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	var svc Service
+	if ok {
+		svc = e.active
+		e.active = nil
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	return closeService(svc)
+}
+
+// SweepIdle deactivates every service idle longer than its timeout and
+// returns how many were unloaded. Callers run it from a ticker (wall
+// clock) or a simulation timer.
+func (r *Registry) SweepIdle() int {
+	r.mu.Lock()
+	now := r.now()
+	var victims []Service
+	for _, e := range r.entries {
+		if e.active == nil || e.idleTimeout <= 0 {
+			continue
+		}
+		if now.Sub(e.lastUsed) >= e.idleTimeout {
+			victims = append(victims, e.active)
+			e.active = nil
+		}
+	}
+	r.mu.Unlock()
+	for _, svc := range victims {
+		closeService(svc) //nolint:errcheck
+	}
+	return len(victims)
+}
+
+// Names returns the registered service names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func closeService(svc Service) error {
+	if c, ok := svc.(io.Closer); ok && c != nil {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package activation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoService counts invocations and close calls.
+type echoService struct {
+	calls  int32
+	closed int32
+}
+
+func (e *echoService) Invoke(method string, args Args) (string, error) {
+	atomic.AddInt32(&e.calls, 1)
+	if method == "fail" {
+		return "", errors.New("boom")
+	}
+	return method + ":" + args["x"], nil
+}
+
+func (e *echoService) Close() error {
+	atomic.AddInt32(&e.closed, 1)
+	return nil
+}
+
+func TestActivationOnFirstInvoke(t *testing.T) {
+	r := NewRegistry()
+	var made int
+	r.Register("echo", func() (Service, error) {
+		made++
+		return &echoService{}, nil
+	}, 0)
+
+	if r.Active("echo") {
+		t.Fatal("service active before first invocation")
+	}
+	if made != 0 {
+		t.Fatal("factory ran before first invocation")
+	}
+	got, err := r.Invoke("echo", "hello", Args{"x": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello:1" {
+		t.Fatalf("Invoke = %q", got)
+	}
+	if !r.Active("echo") || made != 1 {
+		t.Fatalf("after invoke: active=%v made=%d", r.Active("echo"), made)
+	}
+	// Second call reuses the live instance.
+	if _, err := r.Invoke("echo", "hi", nil); err != nil {
+		t.Fatal(err)
+	}
+	if made != 1 {
+		t.Fatalf("factory re-ran for a live service: made=%d", made)
+	}
+	if r.Activations("echo") != 1 {
+		t.Fatalf("Activations = %d", r.Activations("echo"))
+	}
+}
+
+func TestIdleUnloadAndReactivation(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(0, 0)
+	r.SetNow(func() time.Time { return now })
+	svc := &echoService{}
+	r.Register("echo", func() (Service, error) { return svc, nil }, time.Minute)
+
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("swept %d before timeout", n)
+	}
+	now = now.Add(31 * time.Second)
+	if n := r.SweepIdle(); n != 1 {
+		t.Fatalf("swept %d at timeout, want 1", n)
+	}
+	if r.Active("echo") {
+		t.Fatal("service still active after sweep")
+	}
+	if atomic.LoadInt32(&svc.closed) != 1 {
+		t.Fatal("Close not called on deactivation")
+	}
+	// Next invocation reactivates.
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Activations("echo") != 2 {
+		t.Fatalf("Activations after reactivation = %d", r.Activations("echo"))
+	}
+}
+
+func TestInvokeRefreshesIdleTimer(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(0, 0)
+	r.SetNow(func() time.Time { return now })
+	r.Register("echo", func() (Service, error) { return &echoService{}, nil }, time.Minute)
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second)
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second) // 90s since first use, 45s since last
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("swept a recently used service (%d)", n)
+	}
+}
+
+func TestZeroIdleTimeoutNeverUnloads(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(0, 0)
+	r.SetNow(func() time.Time { return now })
+	r.Register("echo", func() (Service, error) { return &echoService{}, nil }, 0)
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(1000 * time.Hour)
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("zero-timeout service swept (%d)", n)
+	}
+}
+
+func TestSoftwareUpdateViaReRegister(t *testing.T) {
+	r := NewRegistry()
+	r.Register("svc", func() (Service, error) {
+		return Func(func(m string, a Args) (string, error) { return "v1", nil }), nil
+	}, 0)
+	if got, _ := r.Invoke("svc", "ver", nil); got != "v1" {
+		t.Fatalf("v1 call = %q", got)
+	}
+	// "Software updates trivial": replace the factory, then bounce the
+	// instance; the next call runs the new code.
+	r.Register("svc", func() (Service, error) {
+		return Func(func(m string, a Args) (string, error) { return "v2", nil }), nil
+	}, 0)
+	if got, _ := r.Invoke("svc", "ver", nil); got != "v1" {
+		t.Fatalf("live instance changed by re-register: %q", got)
+	}
+	if err := r.Deactivate("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Invoke("svc", "ver", nil); got != "v2" {
+		t.Fatalf("post-update call = %q, want v2", got)
+	}
+}
+
+func TestUnknownServiceAndErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Invoke("nope", "m", nil); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("Invoke unknown = %v", err)
+	}
+	if err := r.Deactivate("nope"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("Deactivate unknown = %v", err)
+	}
+	if err := r.Unregister("nope"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("Unregister unknown = %v", err)
+	}
+	r.Register("bad", func() (Service, error) { return nil, errors.New("no bits") }, 0)
+	if _, err := r.Invoke("bad", "m", nil); err == nil {
+		t.Fatal("factory error not propagated")
+	}
+	r.Register("echo", func() (Service, error) { return &echoService{}, nil }, 0)
+	if _, err := r.Invoke("echo", "fail", nil); err == nil {
+		t.Fatal("service error not propagated")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, func() (Service, error) { return &echoService{}, nil }, 0)
+	}
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v", names)
+		}
+	}
+}
+
+func TestUnregisterClosesActive(t *testing.T) {
+	r := NewRegistry()
+	svc := &echoService{}
+	r.Register("echo", func() (Service, error) { return svc, nil }, 0)
+	if _, err := r.Invoke("echo", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unregister("echo"); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&svc.closed) != 1 {
+		t.Fatal("Unregister did not close the live instance")
+	}
+}
+
+func TestConcurrentInvoke(t *testing.T) {
+	r := NewRegistry()
+	svc := &echoService{}
+	r.Register("echo", func() (Service, error) { return svc, nil }, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := r.Invoke("echo", "m", Args{"x": fmt.Sprint(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&svc.calls); got != 16*50 {
+		t.Fatalf("calls = %d, want %d", got, 16*50)
+	}
+	if r.Activations("echo") != 1 {
+		t.Fatalf("Activations = %d under concurrency", r.Activations("echo"))
+	}
+}

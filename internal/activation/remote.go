@@ -1,0 +1,214 @@
+package activation
+
+import (
+	"crypto/tls"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The remote transport: invocation requests and responses are gob
+// streams over a TCP (optionally TLS) connection, standing in for the
+// JRMP wire protocol of Java RMI. One connection carries any number of
+// sequential invocations.
+
+type rpcRequest struct {
+	Service string
+	Method  string
+	Args    Args
+}
+
+type rpcResponse struct {
+	Result string
+	Err    string
+}
+
+// Server exposes a Registry over the network.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving reg on addr ("127.0.0.1:0" for ephemeral). A
+// non-nil tlsCfg enables TLS.
+func Serve(reg *Registry, addr string, tlsCfg *tls.Config) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	if tlsCfg != nil {
+		ln, err = tls.Listen("tcp", addr, tlsCfg)
+	} else {
+		ln, err = net.Listen("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		result, err := s.reg.Invoke(req.Service, req.Method, req.Args)
+		resp := rpcResponse{Result: result}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a remote stub for services in one remote registry. It is
+// safe for concurrent use; invocations are serialized on one
+// connection, reconnecting on failure.
+type Client struct {
+	addr    string
+	tlsCfg  *tls.Config
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial returns a client for the registry at addr. No connection is made
+// until the first invocation.
+func Dial(addr string, tlsCfg *tls.Config) *Client {
+	return &Client{addr: addr, tlsCfg: tlsCfg, timeout: 10 * time.Second}
+}
+
+// SetTimeout bounds each invocation round trip.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+func (c *Client) connectLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	d := net.Dialer{Timeout: c.timeout}
+	var conn net.Conn
+	var err error
+	if c.tlsCfg != nil {
+		conn, err = tls.DialWithDialer(&d, "tcp", c.addr, c.tlsCfg)
+	} else {
+		conn, err = d.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.enc, c.dec = nil, nil, nil
+	}
+}
+
+// Invoke calls method on the named remote service. A transport error
+// invalidates the cached connection; the next call redials.
+func (c *Client) Invoke(service, method string, args Args) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return "", fmt.Errorf("activation: dial %s: %w", c.addr, err)
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	}
+	if err := c.enc.Encode(rpcRequest{Service: service, Method: method, Args: args}); err != nil {
+		c.dropLocked()
+		return "", fmt.Errorf("activation: send: %w", err)
+	}
+	var resp rpcResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
+		return "", fmt.Errorf("activation: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return "", fmt.Errorf("activation: remote: %s", resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropLocked()
+	return nil
+}

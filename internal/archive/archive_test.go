@@ -1,0 +1,161 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(at time.Duration, host, event, lvl string) ulm.Record {
+	return ulm.Record{Date: epoch.Add(at), Host: host, Prog: "p", Lvl: lvl, Event: event}
+}
+
+func TestAppendKeepAll(t *testing.T) {
+	s := NewStore(Policy{})
+	for i := 0; i < 10; i++ {
+		if !s.Append(rec(time.Duration(i)*time.Second, "h1", "E", ulm.LvlUsage)) {
+			t.Fatal("keep-all policy dropped a record")
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSamplingKeepsAbnormal(t *testing.T) {
+	s := NewStore(Policy{SampleEvery: 10})
+	var keptNormal, keptError int
+	for i := 0; i < 100; i++ {
+		if s.Append(rec(time.Duration(i)*time.Second, "h1", "N", ulm.LvlUsage)) {
+			keptNormal++
+		}
+		if s.Append(rec(time.Duration(i)*time.Second, "h1", "X", ulm.LvlError)) {
+			keptError++
+		}
+	}
+	if keptNormal != 10 {
+		t.Fatalf("kept %d normal records of 100 at 1-in-10", keptNormal)
+	}
+	if keptError != 100 {
+		t.Fatalf("kept %d error records, abnormal operation must always archive", keptError)
+	}
+	st := s.Stats()
+	if st.Kept != 110 || st.Dropped != 90 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCustomKeepLevels(t *testing.T) {
+	s := NewStore(Policy{SampleEvery: 1000, KeepLevels: []string{ulm.LvlDebug}})
+	s.Append(rec(0, "h", "A", ulm.LvlDebug))
+	s.Append(rec(0, "h", "B", ulm.LvlError)) // sampled now (first normal passes)
+	s.Append(rec(0, "h", "C", ulm.LvlError)) // dropped by sampling
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := NewStore(Policy{})
+	s.Append(rec(1*time.Second, "h1", "A", ulm.LvlUsage))
+	s.Append(rec(2*time.Second, "h2", "B", ulm.LvlError))
+	s.Append(rec(3*time.Second, "h1", "B", ulm.LvlUsage))
+	s.Append(rec(4*time.Second, "h3", "C", ulm.LvlWarning))
+
+	if got := s.Query(Query{Hosts: []string{"h1"}}); len(got) != 2 {
+		t.Fatalf("host query = %d", len(got))
+	}
+	if got := s.Query(Query{Events: []string{"B"}}); len(got) != 2 {
+		t.Fatalf("event query = %d", len(got))
+	}
+	if got := s.Query(Query{Lvls: []string{ulm.LvlError, ulm.LvlWarning}}); len(got) != 2 {
+		t.Fatalf("lvl query = %d", len(got))
+	}
+	got := s.Query(Query{From: epoch.Add(2 * time.Second), To: epoch.Add(4 * time.Second)})
+	if len(got) != 2 {
+		t.Fatalf("time query = %d", len(got))
+	}
+	// Combined filters intersect.
+	got = s.Query(Query{Hosts: []string{"h1"}, Events: []string{"B"}})
+	if len(got) != 1 || got[0].Host != "h1" || got[0].Event != "B" {
+		t.Fatalf("combined query = %v", got)
+	}
+	// Results sorted by time.
+	all := s.Query(Query{})
+	for i := 1; i < len(all); i++ {
+		if all[i].Date.Before(all[i-1].Date) {
+			t.Fatal("query results unsorted")
+		}
+	}
+}
+
+func TestStatsContents(t *testing.T) {
+	s := NewStore(Policy{})
+	s.Append(rec(5*time.Second, "h2", "B", ulm.LvlUsage))
+	s.Append(rec(1*time.Second, "h1", "A", ulm.LvlUsage))
+	st := s.Stats()
+	if len(st.Hosts) != 2 || st.Hosts[0] != "h1" {
+		t.Fatalf("hosts = %v", st.Hosts)
+	}
+	if len(st.Events) != 2 || st.Events[0] != "A" {
+		t.Fatalf("events = %v", st.Events)
+	}
+	if !st.First.Equal(epoch.Add(time.Second)) || !st.Last.Equal(epoch.Add(5*time.Second)) {
+		t.Fatalf("time range = %v..%v", st.First, st.Last)
+	}
+}
+
+func TestWriteToLoadRoundTrip(t *testing.T) {
+	s := NewStore(Policy{})
+	s.Append(rec(2*time.Second, "h1", "B", ulm.LvlUsage))
+	s.Append(rec(1*time.Second, "h2", "A", ulm.LvlError))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(Policy{})
+	n, err := s2.Load(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+	got := s2.Query(Query{})
+	if len(got) != 2 || got[0].Event != "A" || got[1].Event != "B" {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := NewStore(Policy{})
+	if _, err := s.Load(bytes.NewBufferString("not a ulm line\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Property: sampling at 1-in-N keeps ceil(M/N) of M normal records, and
+// the kept count never depends on interleaved abnormal records.
+func TestSamplingProperty(t *testing.T) {
+	f := func(n uint8, m uint8) bool {
+		every := int(n%20) + 1
+		total := int(m)
+		s := NewStore(Policy{SampleEvery: every})
+		kept := 0
+		for i := 0; i < total; i++ {
+			if i%3 == 0 {
+				s.Append(rec(time.Duration(i), "h", "X", ulm.LvlError)) // noise
+			}
+			if s.Append(rec(time.Duration(i), "h", "N", ulm.LvlUsage)) {
+				kept++
+			}
+		}
+		want := (total + every - 1) / every
+		return kept == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package auth implements the JAMM security design of paper §7.1:
+// public-key X.509 identity certificates presented through TLS, a
+// Globus-GSI-style gridmap file mapping certificate subjects to local
+// users, an Akenti-style use-condition policy engine through which
+// resource stakeholders grant actions based on components of the user's
+// distinguished name or attribute certificates, and one authorization
+// interface shared by every JAMM access point (directory lookup,
+// gateway subscription, sensor manager control).
+//
+// The paper describes this as near-future work ("We plan to add
+// credential based security to the JAMM system in the near future");
+// this package implements the design as stated.
+package auth
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is a certificate authority for a JAMM deployment. Each site (or a
+// testbed as a whole) runs one; identities it issues are recognized
+// across domains, which is the cross-realm property §7.1 wants from
+// X.509 over the per-domain password lists that LDAP servers use.
+type CA struct {
+	cert    *x509.Certificate
+	key     *ecdsa.PrivateKey
+	certPEM []byte
+	serial  int64
+}
+
+// NewCA creates a self-signed certificate authority named cn.
+func NewCA(cn string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("auth: generate CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: cn, Organization: []string{"JAMM"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("auth: self-sign CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{
+		cert:    cert,
+		key:     key,
+		certPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		serial:  1,
+	}, nil
+}
+
+// Name returns the CA's common name.
+func (ca *CA) Name() string { return ca.cert.Subject.CommonName }
+
+// CertPEM returns the CA certificate in PEM form, for distribution to
+// relying parties.
+func (ca *CA) CertPEM() []byte { return append([]byte(nil), ca.certPEM...) }
+
+// Pool returns a certificate pool trusting this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.cert)
+	return pool
+}
+
+func (ca *CA) issue(tmpl *x509.Certificate) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("auth: generate key: %w", err)
+	}
+	ca.serial++
+	tmpl.SerialNumber = big.NewInt(ca.serial)
+	tmpl.NotBefore = time.Now().Add(-time.Hour)
+	tmpl.NotAfter = time.Now().Add(365 * 24 * time.Hour)
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("auth: sign certificate: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.cert.Raw},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}, nil
+}
+
+// IssueServer issues a server identity for the named hosts (DNS names
+// or IP literals). The first host becomes the certificate CommonName.
+func (ca *CA) IssueServer(hosts ...string) (tls.Certificate, error) {
+	if len(hosts) == 0 {
+		return tls.Certificate{}, fmt.Errorf("auth: server certificate needs at least one host")
+	}
+	tmpl := &x509.Certificate{
+		Subject:     pkix.Name{CommonName: hosts[0]},
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	return ca.issue(tmpl)
+}
+
+// IssueClient issues a user identity certificate. The resulting subject
+// DN is what gridmaps and policy use-conditions match against, e.g.
+// "CN=Brian Tierney,OU=DSD,O=LBNL".
+func (ca *CA) IssueClient(cn string, orgUnits []string, orgs []string) (tls.Certificate, error) {
+	tmpl := &x509.Certificate{
+		Subject: pkix.Name{
+			CommonName:         cn,
+			OrganizationalUnit: orgUnits,
+			Organization:       orgs,
+		},
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	return ca.issue(tmpl)
+}
+
+// SubjectDN renders a certificate subject in the RFC 2253 form used
+// throughout the policy engine ("CN=name,OU=unit,O=org").
+func SubjectDN(cert *x509.Certificate) string {
+	if cert == nil {
+		return ""
+	}
+	return cert.Subject.String()
+}
+
+// PeerDN extracts the authenticated subject DN from a TLS connection
+// state, or "" when the peer presented no certificate.
+func PeerDN(state tls.ConnectionState) string {
+	if len(state.PeerCertificates) == 0 {
+		return ""
+	}
+	return SubjectDN(state.PeerCertificates[0])
+}
+
+// ServerTLS builds a server-side TLS configuration presenting cert. If
+// requireClient is set, connections must present a certificate signed
+// by this CA (the mutual-authentication mode JAMM access points use).
+func (ca *CA) ServerTLS(cert tls.Certificate, requireClient bool) *tls.Config {
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if requireClient {
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = ca.Pool()
+	}
+	return cfg
+}
+
+// ClientTLS builds a client-side TLS configuration presenting cert and
+// trusting servers issued by this CA.
+func (ca *CA) ClientTLS(cert tls.Certificate, serverName string) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      ca.Pool(),
+		ServerName:   serverName,
+		MinVersion:   tls.VersionTLS12,
+	}
+}

@@ -1,0 +1,128 @@
+package auth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Gridmap maps certificate subject DNs to local user names, following
+// the Globus GSI "map file" approach §7.1 describes: "a server side map
+// file is used to map the Globus X.509 user identities to local
+// user-ids which can be used by existing access control mechanisms."
+// It is safe for concurrent use.
+type Gridmap struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewGridmap returns an empty gridmap.
+func NewGridmap() *Gridmap {
+	return &Gridmap{m: make(map[string]string)}
+}
+
+// Add maps dn to the local user name.
+func (g *Gridmap) Add(dn, local string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.m[canonicalDN(dn)] = local
+}
+
+// Remove deletes a mapping.
+func (g *Gridmap) Remove(dn string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.m, canonicalDN(dn))
+}
+
+// Lookup resolves a DN to its local user.
+func (g *Gridmap) Lookup(dn string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	local, ok := g.m[canonicalDN(dn)]
+	return local, ok
+}
+
+// Len returns the number of mappings.
+func (g *Gridmap) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.m)
+}
+
+// ParseGridmap reads the classic gridmap file format: one mapping per
+// line, the DN in double quotes followed by the local user name.
+// Blank lines and lines starting with '#' are ignored.
+//
+//	"CN=Brian Tierney,OU=DSD,O=LBNL" tierney
+func ParseGridmap(r io.Reader) (*Gridmap, error) {
+	g := NewGridmap()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `"`) {
+			return nil, fmt.Errorf("auth: gridmap line %d: DN must be quoted", lineNo)
+		}
+		end := strings.Index(line[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("auth: gridmap line %d: unterminated DN", lineNo)
+		}
+		dn := line[1 : 1+end]
+		local := strings.TrimSpace(line[end+2:])
+		if dn == "" || local == "" {
+			return nil, fmt.Errorf("auth: gridmap line %d: empty DN or user", lineNo)
+		}
+		g.Add(dn, local)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteTo renders the gridmap in file format, sorted by DN for
+// stability.
+func (g *Gridmap) WriteTo(w io.Writer) (int64, error) {
+	g.mu.RLock()
+	dns := make([]string, 0, len(g.m))
+	for dn := range g.m {
+		dns = append(dns, dn)
+	}
+	locals := make(map[string]string, len(g.m))
+	for dn, local := range g.m {
+		locals[dn] = local
+	}
+	g.mu.RUnlock()
+	sort.Strings(dns)
+	var total int64
+	for _, dn := range dns {
+		n, err := fmt.Fprintf(w, "%q %s\n", dn, locals[dn])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// canonicalDN normalizes a DN for matching: relative DNs are trimmed
+// and attribute types upper-cased, so "cn=a, o=b" equals "CN=a,O=b".
+func canonicalDN(dn string) string {
+	parts := strings.Split(dn, ",")
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if eq := strings.IndexByte(p, '='); eq > 0 {
+			p = strings.ToUpper(p[:eq]) + p[eq:]
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,80 @@
+package auth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGridmapAddLookup(t *testing.T) {
+	g := NewGridmap()
+	g.Add("CN=Brian Tierney,OU=DSD,O=LBNL", "tierney")
+	if local, ok := g.Lookup("CN=Brian Tierney,OU=DSD,O=LBNL"); !ok || local != "tierney" {
+		t.Fatalf("Lookup = %q, %v", local, ok)
+	}
+	// Lookup is tolerant of spacing and attribute-type case.
+	if local, ok := g.Lookup("cn=Brian Tierney, ou=DSD, o=LBNL"); !ok || local != "tierney" {
+		t.Fatalf("canonicalized Lookup = %q, %v", local, ok)
+	}
+	if _, ok := g.Lookup("CN=Nobody,O=LBNL"); ok {
+		t.Fatal("unknown DN resolved")
+	}
+	g.Remove("CN=Brian Tierney,OU=DSD,O=LBNL")
+	if _, ok := g.Lookup("CN=Brian Tierney,OU=DSD,O=LBNL"); ok {
+		t.Fatal("removed DN still resolves")
+	}
+}
+
+func TestParseGridmap(t *testing.T) {
+	in := `# JAMM gridmap
+"CN=Brian Tierney,OU=DSD,O=LBNL" tierney
+
+"CN=Mary Thompson,O=LBNL"   mrt
+`
+	g, err := ParseGridmap(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d mappings, want 2", g.Len())
+	}
+	if local, _ := g.Lookup("CN=Mary Thompson,O=LBNL"); local != "mrt" {
+		t.Fatalf("Lookup = %q", local)
+	}
+}
+
+func TestParseGridmapErrors(t *testing.T) {
+	bad := []string{
+		`CN=unquoted,O=X user`,
+		`"CN=unterminated user`,
+		`"" user`,
+		`"CN=x"`,
+	}
+	for _, in := range bad {
+		if _, err := ParseGridmap(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseGridmap(%q) accepted", in)
+		}
+	}
+}
+
+func TestGridmapWriteToRoundTrip(t *testing.T) {
+	g := NewGridmap()
+	g.Add("CN=B,O=X", "b")
+	g.Add("CN=A,O=X", "a")
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted by DN for determinism.
+	if !strings.Contains(out, "\"CN=A,O=X\" a\n") || strings.Index(out, "CN=A") > strings.Index(out, "CN=B") {
+		t.Fatalf("WriteTo output unsorted or malformed:\n%s", out)
+	}
+	g2, err := ParseGridmap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 2 {
+		t.Fatalf("round trip lost mappings: %d", g2.Len())
+	}
+}

@@ -1,0 +1,267 @@
+package auth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Actions recognized by JAMM access points. §7.1 names three user
+// operations — discovering sensors (an LDAP lookup), causing sensors to
+// be started, and subscribing to event data via a gateway — plus the
+// publishing that managers do and the summary-only access some sites
+// grant off-site users.
+const (
+	ActionLookup  = "lookup"  // search the sensor directory
+	ActionPublish = "publish" // add/update directory entries
+	ActionStream  = "stream"  // subscribe to a real-time event stream
+	ActionQuery   = "query"   // one-shot query of the latest event
+	ActionSummary = "summary" // read gateway summary data
+	ActionControl = "control" // start/stop sensors via a manager
+)
+
+// ErrDenied is returned when authorization fails. It carries the
+// subject, resource and action so access points can log refusals.
+type ErrDenied struct {
+	Subject  string
+	Resource string
+	Action   string
+}
+
+func (e ErrDenied) Error() string {
+	subj := e.Subject
+	if subj == "" {
+		subj = "(anonymous)"
+	}
+	return fmt.Sprintf("auth: %s denied %q on %q", subj, e.Action, e.Resource)
+}
+
+// Authorizer is the single authorization interface of §7.1: "A wrapper
+// to the LDAP server and the gateway could both call the same
+// authorization interface with the user's identity and the name of the
+// resource the user wants to access. This authorization interface could
+// return a list of allowed actions, or simply deny access."
+type Authorizer interface {
+	// Authorize returns nil if subject may perform action on resource.
+	Authorize(subject, resource, action string) error
+	// AllowedActions returns the actions subject may perform on
+	// resource, sorted.
+	AllowedActions(subject, resource string) []string
+}
+
+// AllowAll is an Authorizer granting everything; deployments without
+// credential-based security configured use it.
+var AllowAll Authorizer = allowAll{}
+
+type allowAll struct{}
+
+func (allowAll) Authorize(subject, resource, action string) error { return nil }
+func (allowAll) AllowedActions(subject, resource string) []string {
+	return []string{ActionControl, ActionLookup, ActionPublish, ActionQuery, ActionStream, ActionSummary}
+}
+
+// Attribute is one attribute assertion about a subject, as carried by
+// an Akenti attribute certificate — e.g. {Name: "group", Value:
+// "dpss-admins", Issuer: "CN=LBNL Stakeholder"}.
+type Attribute struct {
+	Name   string
+	Value  string
+	Issuer string
+}
+
+// UseCondition is one Akenti-style use condition: a stakeholder's grant
+// of actions on a resource subtree to subjects identified by DN
+// patterns and/or required attributes. A subject satisfies the
+// condition if its DN matches any pattern, or it holds any of the
+// required attributes. (Akenti combines certificate-based identity
+// with "components of the users distinguished name or attribute
+// certificates", §7.1.)
+type UseCondition struct {
+	// Resource is the resource subtree this condition covers; it
+	// matches the resource itself and everything beneath it
+	// ("grid/lbl" covers "grid/lbl/dpss1/cpu").
+	Resource string
+	// Actions granted when the condition is satisfied.
+	Actions []string
+	// DNPatterns match subject DNs with '*' wildcards, e.g.
+	// "*,O=LBNL" or "CN=Brian*,OU=DSD,O=LBNL". Empty means no DN grant.
+	DNPatterns []string
+	// Attributes are alternative grants: holding any one suffices.
+	Attributes []Attribute
+}
+
+// Policy is a set of use conditions plus the attribute certificates
+// presented to (or cached by) the policy engine. It is safe for
+// concurrent use.
+type Policy struct {
+	mu    sync.RWMutex
+	conds []UseCondition
+	attrs map[string][]Attribute // subject DN -> attributes
+}
+
+// NewPolicy returns an empty policy (which denies everything).
+func NewPolicy() *Policy {
+	return &Policy{attrs: make(map[string][]Attribute)}
+}
+
+// AddCondition installs a use condition.
+func (p *Policy) AddCondition(c UseCondition) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conds = append(p.conds, c)
+}
+
+// GrantAttribute records an attribute certificate binding attr to the
+// subject DN.
+func (p *Policy) GrantAttribute(subjectDN string, attr Attribute) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dn := canonicalDN(subjectDN)
+	p.attrs[dn] = append(p.attrs[dn], attr)
+}
+
+// RevokeAttributes removes all attributes held by the subject.
+func (p *Policy) RevokeAttributes(subjectDN string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.attrs, canonicalDN(subjectDN))
+}
+
+// Authorize implements Authorizer.
+func (p *Policy) Authorize(subject, resource, action string) error {
+	for _, a := range p.AllowedActions(subject, resource) {
+		if a == action {
+			return nil
+		}
+	}
+	return ErrDenied{Subject: subject, Resource: resource, Action: action}
+}
+
+// AllowedActions implements Authorizer: the union of actions granted by
+// every satisfied use condition covering the resource.
+func (p *Policy) AllowedActions(subject, resource string) []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	subject = canonicalDN(subject)
+	attrs := p.attrs[subject]
+	set := make(map[string]bool)
+	for _, c := range p.conds {
+		if !resourceCovers(c.Resource, resource) {
+			continue
+		}
+		if !conditionSatisfied(c, subject, attrs) {
+			continue
+		}
+		for _, a := range c.Actions {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func conditionSatisfied(c UseCondition, subject string, attrs []Attribute) bool {
+	if subject != "" {
+		for _, pat := range c.DNPatterns {
+			if MatchDN(pat, subject) {
+				return true
+			}
+		}
+	}
+	for _, want := range c.Attributes {
+		for _, have := range attrs {
+			if have.Name == want.Name && have.Value == want.Value &&
+				(want.Issuer == "" || want.Issuer == have.Issuer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resourceCovers reports whether the condition subtree covers the
+// resource: equal, or a path prefix at a '/' boundary. An empty
+// condition resource covers everything (a root stakeholder).
+func resourceCovers(subtree, resource string) bool {
+	if subtree == "" || subtree == resource {
+		return true
+	}
+	return strings.HasPrefix(resource, subtree+"/")
+}
+
+// MatchDN matches a DN against a pattern with '*' wildcards. Matching
+// is case-sensitive in values but attribute types are normalized, so
+// "*,o=LBNL" matches "CN=x,O=LBNL".
+func MatchDN(pattern, dn string) bool {
+	return matchWild(canonicalDN(pattern), canonicalDN(dn))
+}
+
+// matchWild is a linear-time glob matcher supporting only '*'.
+func matchWild(pat, s string) bool {
+	// Fast paths.
+	if pat == "*" {
+		return true
+	}
+	if !strings.Contains(pat, "*") {
+		return pat == s
+	}
+	segs := strings.Split(pat, "*")
+	// First segment must anchor at the start.
+	if !strings.HasPrefix(s, segs[0]) {
+		return false
+	}
+	s = s[len(segs[0]):]
+	// Last segment must anchor at the end.
+	last := segs[len(segs)-1]
+	middle := segs[1 : len(segs)-1]
+	for _, seg := range middle {
+		if seg == "" {
+			continue
+		}
+		i := strings.Index(s, seg)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(seg):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// ClassPolicy is the simpler tiered policy §2.2 sketches: "Some sites
+// may only allow internal access to real-time sensor streams, with only
+// summary data being available off-site." Subjects matching Internal
+// patterns get full access; everyone else gets the External actions.
+type ClassPolicy struct {
+	// Internal DN patterns (e.g. "*,O=LBNL").
+	Internal []string
+	// ExternalActions granted to non-internal subjects; typically
+	// {ActionLookup, ActionSummary}.
+	ExternalActions []string
+}
+
+// Authorize implements Authorizer.
+func (c ClassPolicy) Authorize(subject, resource, action string) error {
+	for _, a := range c.AllowedActions(subject, resource) {
+		if a == action {
+			return nil
+		}
+	}
+	return ErrDenied{Subject: subject, Resource: resource, Action: action}
+}
+
+// AllowedActions implements Authorizer.
+func (c ClassPolicy) AllowedActions(subject, resource string) []string {
+	for _, pat := range c.Internal {
+		if MatchDN(pat, subject) {
+			return AllowAll.AllowedActions(subject, resource)
+		}
+	}
+	out := append([]string(nil), c.ExternalActions...)
+	sort.Strings(out)
+	return out
+}

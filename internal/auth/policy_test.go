@@ -1,0 +1,214 @@
+package auth
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchDN(t *testing.T) {
+	cases := []struct {
+		pattern, dn string
+		want        bool
+	}{
+		{"*", "CN=anyone", true},
+		{"CN=Brian Tierney,O=LBNL", "CN=Brian Tierney,O=LBNL", true},
+		{"cn=Brian Tierney,o=LBNL", "CN=Brian Tierney,O=LBNL", true},  // type case-insensitive
+		{"CN=brian tierney,O=LBNL", "CN=Brian Tierney,O=LBNL", false}, // value case-sensitive
+		{"*,O=LBNL", "CN=Brian Tierney,OU=DSD,O=LBNL", true},
+		{"*,O=LBNL", "CN=Someone,O=ANL", false},
+		{"CN=Brian*,O=LBNL", "CN=Brian Tierney,O=LBNL", true},
+		{"CN=Brian*,O=LBNL", "CN=Dan Gunter,O=LBNL", false},
+		{"CN=*,OU=*,O=LBNL", "CN=x,OU=y,O=LBNL", true},
+		{"", "", true},
+		{"", "CN=x", false},
+		{"*LBNL*", "CN=x,O=LBNL", true},
+	}
+	for _, c := range cases {
+		if got := MatchDN(c.pattern, c.dn); got != c.want {
+			t.Errorf("MatchDN(%q, %q) = %v, want %v", c.pattern, c.dn, got, c.want)
+		}
+	}
+}
+
+func TestMatchWildProperties(t *testing.T) {
+	// Property: a pattern equal to the string always matches, unless it
+	// contains the wildcard itself.
+	exact := func(s string) bool {
+		if strings.Contains(s, "*") || strings.Contains(s, ",") {
+			return true // skip: '*' changes semantics, ',' triggers DN canonicalization
+		}
+		return MatchDN(s, s)
+	}
+	if err := quick.Check(exact, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: prefix + "*" matches any extension of the prefix.
+	prefix := func(p, suffix string) bool {
+		if strings.ContainsAny(p, "*,") || strings.ContainsAny(suffix, "*,") {
+			return true
+		}
+		return MatchDN(p+"*", p+suffix)
+	}
+	if err := quick.Check(prefix, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceCovers(t *testing.T) {
+	cases := []struct {
+		subtree, resource string
+		want              bool
+	}{
+		{"", "anything/at/all", true},
+		{"grid/lbl", "grid/lbl", true},
+		{"grid/lbl", "grid/lbl/dpss1/cpu", true},
+		{"grid/lbl", "grid/lblx", false},
+		{"grid/lbl/dpss1", "grid/lbl", false},
+	}
+	for _, c := range cases {
+		if got := resourceCovers(c.subtree, c.resource); got != c.want {
+			t.Errorf("resourceCovers(%q, %q) = %v, want %v", c.subtree, c.resource, got, c.want)
+		}
+	}
+}
+
+func TestPolicyDNGrant(t *testing.T) {
+	p := NewPolicy()
+	p.AddCondition(UseCondition{
+		Resource:   "grid/lbl",
+		Actions:    []string{ActionLookup, ActionStream, ActionQuery},
+		DNPatterns: []string{"*,O=LBNL"},
+	})
+	insider := "CN=Jason Lee,O=LBNL"
+	outsider := "CN=Rich Wolski,O=UTK"
+
+	if err := p.Authorize(insider, "grid/lbl/dpss1/cpu", ActionStream); err != nil {
+		t.Fatalf("insider stream denied: %v", err)
+	}
+	if err := p.Authorize(outsider, "grid/lbl/dpss1/cpu", ActionStream); err == nil {
+		t.Fatal("outsider stream allowed")
+	}
+	var denied ErrDenied
+	err := p.Authorize(outsider, "grid/lbl/dpss1/cpu", ActionStream)
+	if !errorsAs(err, &denied) {
+		t.Fatalf("error %v is not ErrDenied", err)
+	}
+	if denied.Action != ActionStream || denied.Subject != outsider {
+		t.Fatalf("ErrDenied carries %+v", denied)
+	}
+}
+
+func errorsAs(err error, target *ErrDenied) bool {
+	e, ok := err.(ErrDenied)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestPolicyAttributeGrant(t *testing.T) {
+	p := NewPolicy()
+	p.AddCondition(UseCondition{
+		Resource:   "grid/lbl/dpss1",
+		Actions:    []string{ActionControl},
+		Attributes: []Attribute{{Name: "group", Value: "dpss-admins"}},
+	})
+	dn := "CN=Dan Gunter,O=LBNL"
+	if err := p.Authorize(dn, "grid/lbl/dpss1/cpu", ActionControl); err == nil {
+		t.Fatal("control allowed without attribute certificate")
+	}
+	p.GrantAttribute(dn, Attribute{Name: "group", Value: "dpss-admins", Issuer: "CN=Stakeholder"})
+	if err := p.Authorize(dn, "grid/lbl/dpss1/cpu", ActionControl); err != nil {
+		t.Fatalf("control denied with attribute certificate: %v", err)
+	}
+	p.RevokeAttributes(dn)
+	if err := p.Authorize(dn, "grid/lbl/dpss1/cpu", ActionControl); err == nil {
+		t.Fatal("control still allowed after revocation")
+	}
+}
+
+func TestPolicyAttributeIssuerPinning(t *testing.T) {
+	p := NewPolicy()
+	p.AddCondition(UseCondition{
+		Resource:   "grid",
+		Actions:    []string{ActionControl},
+		Attributes: []Attribute{{Name: "group", Value: "admins", Issuer: "CN=Stakeholder"}},
+	})
+	dn := "CN=User"
+	p.GrantAttribute(dn, Attribute{Name: "group", Value: "admins", Issuer: "CN=Impostor"})
+	if err := p.Authorize(dn, "grid/x", ActionControl); err == nil {
+		t.Fatal("attribute from wrong issuer accepted")
+	}
+	p.GrantAttribute(dn, Attribute{Name: "group", Value: "admins", Issuer: "CN=Stakeholder"})
+	if err := p.Authorize(dn, "grid/x", ActionControl); err != nil {
+		t.Fatalf("attribute from pinned issuer rejected: %v", err)
+	}
+}
+
+func TestPolicyUnionOfConditions(t *testing.T) {
+	p := NewPolicy()
+	p.AddCondition(UseCondition{
+		Resource: "grid", Actions: []string{ActionLookup}, DNPatterns: []string{"*"},
+	})
+	p.AddCondition(UseCondition{
+		Resource: "grid/lbl", Actions: []string{ActionStream, ActionQuery}, DNPatterns: []string{"*,O=LBNL"},
+	})
+	got := p.AllowedActions("CN=x,O=LBNL", "grid/lbl/h1")
+	want := []string{ActionLookup, ActionQuery, ActionStream}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("AllowedActions = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AllowedActions = %v, want %v", got, want)
+		}
+	}
+	// Outsider only gets the root lookup grant.
+	got = p.AllowedActions("CN=y,O=ANL", "grid/lbl/h1")
+	if len(got) != 1 || got[0] != ActionLookup {
+		t.Fatalf("outsider AllowedActions = %v, want [lookup]", got)
+	}
+}
+
+func TestEmptyPolicyDeniesAll(t *testing.T) {
+	p := NewPolicy()
+	if got := p.AllowedActions("CN=anyone", "grid/x"); len(got) != 0 {
+		t.Fatalf("empty policy allows %v", got)
+	}
+}
+
+func TestAnonymousNeverMatchesDNPatterns(t *testing.T) {
+	p := NewPolicy()
+	p.AddCondition(UseCondition{Resource: "", Actions: []string{ActionLookup}, DNPatterns: []string{"*"}})
+	if got := p.AllowedActions("", "grid/x"); len(got) != 0 {
+		t.Fatalf("anonymous subject matched a DN pattern: %v", got)
+	}
+}
+
+func TestClassPolicy(t *testing.T) {
+	cp := ClassPolicy{
+		Internal:        []string{"*,O=LBNL"},
+		ExternalActions: []string{ActionLookup, ActionSummary},
+	}
+	if err := cp.Authorize("CN=in,O=LBNL", "grid/lbl/h1/cpu", ActionStream); err != nil {
+		t.Fatalf("internal stream denied: %v", err)
+	}
+	if err := cp.Authorize("CN=out,O=ANL", "grid/lbl/h1/cpu", ActionStream); err == nil {
+		t.Fatal("external stream allowed")
+	}
+	if err := cp.Authorize("CN=out,O=ANL", "grid/lbl/h1/cpu", ActionSummary); err != nil {
+		t.Fatalf("external summary denied: %v", err)
+	}
+}
+
+func TestAllowAll(t *testing.T) {
+	if err := AllowAll.Authorize("", "anything", ActionControl); err != nil {
+		t.Fatalf("AllowAll denied: %v", err)
+	}
+	if got := AllowAll.AllowedActions("", "x"); len(got) != 6 {
+		t.Fatalf("AllowAll actions = %v", got)
+	}
+}

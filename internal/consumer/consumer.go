@@ -1,0 +1,240 @@
+// Package consumer implements the JAMM event consumers of §2.2:
+//
+//   - the event collector, which discovers sensors in the directory,
+//     subscribes via their gateways, and merges everything into one
+//     time-ordered NetLogger file for analysis tools like nlv;
+//   - the archiver agent, which feeds an archive store and publishes an
+//     archive directory entry describing its contents;
+//   - the process monitor, which reacts to server-process events by
+//     restarting the process, sending email, or calling a pager;
+//   - the overview monitor, which combines events from several hosts to
+//     make decisions no single host's data can support ("trigger a page
+//     ... only if both the primary and backup servers are down").
+package consumer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"jamm/internal/archive"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+// Directory is the read side of the sensor directory; both
+// manager.ServerDirectory and *directory.Client satisfy it.
+type Directory interface {
+	Search(base directory.DN, scope directory.Scope, filter string) ([]directory.Entry, error)
+}
+
+// SensorLoc is a discovered sensor: where it runs and which gateway
+// serves it.
+type SensorLoc struct {
+	Sensor  string
+	Type    string
+	Host    string
+	Gateway string
+	// GwSensor is the producer key to subscribe with at the gateway
+	// ("cpu@dpss1.lbl.gov"); gateways namespace sensors by host.
+	GwSensor string
+}
+
+// Discover finds active sensors in the directory. filter is an LDAP
+// filter over the sensor entries; "" matches all jammSensor entries.
+// This is the §2.2 consumer flow: "It checks the directory service to
+// see what data is available, and then subscribes, via the event
+// gateway, to all the sensors it is interested in."
+func Discover(dir Directory, base directory.DN, filter string) ([]SensorLoc, error) {
+	if filter == "" {
+		filter = "(objectclass=jammSensor)"
+	}
+	entries, err := dir.Search(base, directory.ScopeSubtree, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SensorLoc, 0, len(entries))
+	for _, e := range entries {
+		name, _ := e.Get("sensor")
+		if name == "" {
+			continue
+		}
+		typ, _ := e.Get("type")
+		host, _ := e.Get("host")
+		gw, _ := e.Get("gateway")
+		key, _ := e.Get("gwsensor")
+		if key == "" {
+			key = name
+		}
+		out = append(out, SensorLoc{Sensor: name, Type: typ, Host: host, Gateway: gw, GwSensor: key})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Sensor < out[j].Sensor
+	})
+	return out, nil
+}
+
+// Subscriber is the subscription surface of a gateway. *gateway.Gateway
+// satisfies it directly; remote gateways are adapted by RemoteGateway.
+type Subscriber interface {
+	Subscribe(req gateway.Request, fn func(ulm.Record)) (*gateway.Subscription, error)
+}
+
+// Collector gathers events from subscribed sensors in real time and
+// merges them into a single time-ordered log ("data from many sensors
+// ... is then merged into a file for use by programs such as nlv").
+// It is safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	recs  []ulm.Record
+	subs  []*gateway.Subscription
+	stops []func()
+	// Follow, if set, additionally receives every record as it
+	// arrives — the hook real-time viewers (nlv follow mode) use.
+	Follow func(ulm.Record)
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Take ingests one record; it is the collector's subscription callback.
+func (c *Collector) Take(rec ulm.Record) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	follow := c.Follow
+	c.mu.Unlock()
+	if follow != nil {
+		follow(rec)
+	}
+}
+
+// SubscribeAll opens one subscription per request against a gateway and
+// routes the events into the collector.
+func (c *Collector) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
+	for _, req := range reqs {
+		sub, err := gw.Subscribe(req, c.Take)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.subs = append(c.subs, sub)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// AddStop registers an extra teardown hook (remote subscription stops).
+func (c *Collector) AddStop(stop func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stops = append(c.stops, stop)
+}
+
+// Close cancels every subscription.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	subs := c.subs
+	stops := c.stops
+	c.subs, c.stops = nil, nil
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Records returns the collected records sorted by timestamp.
+func (c *Collector) Records() []ulm.Record {
+	c.mu.Lock()
+	out := make([]ulm.Record, len(c.recs))
+	copy(out, c.recs)
+	c.mu.Unlock()
+	ulm.SortByDate(out)
+	return out
+}
+
+// WriteNetLogger writes the merged, time-ordered event file consumed by
+// nlv and the other NetLogger tools.
+func (c *Collector) WriteNetLogger(w io.Writer) error {
+	return ulm.WriteAll(w, c.Records())
+}
+
+// Archiver is the archiver agent: a consumer that files events into an
+// archive store and describes the archive in the directory.
+type Archiver struct {
+	Store *archive.Store
+
+	mu   sync.Mutex
+	subs []*gateway.Subscription
+}
+
+// NewArchiver returns an archiver over the given store.
+func NewArchiver(store *archive.Store) *Archiver {
+	return &Archiver{Store: store}
+}
+
+// Take ingests one record.
+func (a *Archiver) Take(rec ulm.Record) { a.Store.Append(rec) }
+
+// SubscribeAll subscribes the archiver to a gateway.
+func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
+	for _, req := range reqs {
+		sub, err := gw.Subscribe(req, a.Take)
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		a.subs = append(a.subs, sub)
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// Close cancels the archiver's subscriptions.
+func (a *Archiver) Close() {
+	a.mu.Lock()
+	subs := a.subs
+	a.subs = nil
+	a.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+}
+
+// PublishEntry writes (or refreshes) the archive's directory entry
+// "indicating the contents of the archive".
+func (a *Archiver) PublishEntry(dir interface {
+	Add(directory.Entry) error
+	Modify(directory.DN, map[string][]string) error
+}, dn directory.DN) error {
+	st := a.Store.Stats()
+	e := directory.NewEntry(dn, map[string]string{
+		"objectclass": "jammArchive",
+		"records":     fmt.Sprint(st.Kept),
+		"hosts":       strings.Join(st.Hosts, " "),
+		"events":      strings.Join(st.Events, " "),
+	})
+	if !st.First.IsZero() {
+		e.Set("first", ulm.FormatDate(st.First))
+		e.Set("last", ulm.FormatDate(st.Last))
+	}
+	if err := dir.Add(e); err != nil {
+		return dir.Modify(e.DN, e.Attrs)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package consumer
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"jamm/internal/archive"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(at time.Duration, host, event, lvl string, fields ...ulm.Field) ulm.Record {
+	return ulm.Record{Date: epoch.Add(at), Host: host, Prog: "p", Lvl: lvl, Event: event, Fields: fields}
+}
+
+func TestDiscover(t *testing.T) {
+	srv := directory.NewServer("d", directory.NewMutableBackend())
+	add := func(sensor, host, typ, gw string) {
+		e := directory.NewEntry(directory.DN("sensor="+sensor+",host="+host+",ou=sensors,o=jamm"), map[string]string{
+			"objectclass": "jammSensor", "sensor": sensor, "host": host, "type": typ, "gateway": gw,
+		})
+		if err := srv.Add("m", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("cpu", "h1", "cpu", "gw1:9000")
+	add("netstat", "h1", "netstat", "gw1:9000")
+	add("cpu", "h0", "cpu", "gw2:9000")
+	// A non-sensor entry is ignored.
+	if err := srv.Add("m", directory.NewEntry("archive=a1,o=jamm", map[string]string{"objectclass": "jammArchive"})); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := serverDir{srv}
+	locs, err := Discover(dir, "o=jamm", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("discovered %d sensors, want 3", len(locs))
+	}
+	// Sorted by host then sensor.
+	if locs[0].Host != "h0" || locs[1].Sensor != "cpu" || locs[2].Sensor != "netstat" {
+		t.Fatalf("order = %+v", locs)
+	}
+	if locs[0].Gateway != "gw2:9000" {
+		t.Fatalf("gateway = %q", locs[0].Gateway)
+	}
+	// Filtered discovery.
+	locs, err = Discover(dir, "o=jamm", "(type=netstat)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 1 || locs[0].Sensor != "netstat" {
+		t.Fatalf("filtered = %+v", locs)
+	}
+}
+
+// serverDir adapts a directory server for tests.
+type serverDir struct{ srv *directory.Server }
+
+func (d serverDir) Search(base directory.DN, scope directory.Scope, filter string) ([]directory.Entry, error) {
+	f := directory.Filter(directory.All)
+	if filter != "" {
+		var err error
+		f, err = directory.ParseFilter(filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d.srv.Search("c", base, scope, f)
+}
+
+func TestCollectorMergesSorted(t *testing.T) {
+	gw := gateway.New("gw1", nil)
+	c := NewCollector()
+	if err := c.SubscribeAll(gw,
+		gateway.Request{Sensor: "cpu"},
+		gateway.Request{Sensor: "netstat"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Publish out of order across sensors.
+	gw.Publish("cpu", rec(3*time.Second, "h1", "C", ulm.LvlUsage))
+	gw.Publish("netstat", rec(1*time.Second, "h1", "A", ulm.LvlUsage))
+	gw.Publish("cpu", rec(2*time.Second, "h1", "B", ulm.LvlUsage))
+	if c.Len() != 3 {
+		t.Fatalf("collected %d", c.Len())
+	}
+	recs := c.Records()
+	if recs[0].Event != "A" || recs[1].Event != "B" || recs[2].Event != "C" {
+		t.Fatalf("not time-ordered: %v", recs)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteNetLogger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("file lines = %d", len(lines))
+	}
+	if _, err := ulm.Parse(lines[0]); err != nil {
+		t.Fatalf("output not valid ULM: %v", err)
+	}
+	c.Close()
+	gw.Publish("cpu", rec(9*time.Second, "h1", "Z", ulm.LvlUsage))
+	if c.Len() != 3 {
+		t.Fatal("collector received after Close")
+	}
+}
+
+func TestCollectorFollowHook(t *testing.T) {
+	gw := gateway.New("gw1", nil)
+	c := NewCollector()
+	var live []string
+	c.Follow = func(r ulm.Record) { live = append(live, r.Event) }
+	if err := c.SubscribeAll(gw, gateway.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	gw.Publish("x", rec(0, "h", "E1", ulm.LvlUsage))
+	gw.Publish("x", rec(time.Second, "h", "E2", ulm.LvlUsage))
+	if len(live) != 2 || live[0] != "E1" {
+		t.Fatalf("follow = %v", live)
+	}
+}
+
+func TestArchiverFeedsStoreAndPublishes(t *testing.T) {
+	gw := gateway.New("gw1", nil)
+	store := archive.NewStore(archive.Policy{SampleEvery: 2})
+	a := NewArchiver(store)
+	if err := a.SubscribeAll(gw, gateway.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		gw.Publish("cpu", rec(time.Duration(i)*time.Second, "h1", "E", ulm.LvlUsage))
+	}
+	gw.Publish("proc", rec(11*time.Second, "h2", "PROC_DIED", ulm.LvlError))
+	if store.Len() != 6 { // 5 of 10 sampled + 1 error
+		t.Fatalf("archived %d, want 6", store.Len())
+	}
+	srv := directory.NewServer("d", directory.NewMutableBackend())
+	dirRW := rwDir{srv}
+	if err := a.PublishEntry(dirRW, "archive=main,o=jamm"); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := srv.Search("c", "o=jamm", directory.ScopeSubtree, directory.MustFilter("(objectclass=jammArchive)"))
+	if len(entries) != 1 {
+		t.Fatalf("archive entries = %d", len(entries))
+	}
+	if hosts, _ := entries[0].Get("hosts"); !strings.Contains(hosts, "h1") || !strings.Contains(hosts, "h2") {
+		t.Fatalf("archive hosts attr = %q", hosts)
+	}
+	// Re-publishing refreshes rather than failing.
+	gw.Publish("cpu", rec(12*time.Second, "h3", "E", ulm.LvlUsage))
+	if err := a.PublishEntry(dirRW, "archive=main,o=jamm"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+}
+
+type rwDir struct{ srv *directory.Server }
+
+func (d rwDir) Add(e directory.Entry) error { return d.srv.Add("a", e) }
+func (d rwDir) Modify(dn directory.DN, attrs map[string][]string) error {
+	return d.srv.Modify("a", dn, attrs)
+}
+
+func TestProcessMonitorActions(t *testing.T) {
+	gw := gateway.New("gw1", nil)
+	var restarts int
+	pm := NewProcessMonitor("dpss_server",
+		Action{Kind: "restart", Run: func(r ulm.Record) error { restarts++; return nil }},
+		Action{Kind: "page", Run: func(r ulm.Record) error { return errors.New("pager offline") }},
+	)
+	if err := pm.Subscribe(gw); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated events are ignored.
+	gw.Publish("proc", rec(1*time.Second, "h1", "PROC_START", ulm.LvlSystem, ulm.Field{Key: "PROC", Value: "dpss_server"}))
+	gw.Publish("proc", rec(2*time.Second, "h1", "PROC_DIED", ulm.LvlError, ulm.Field{Key: "PROC", Value: "other"}))
+	if len(pm.Actions()) != 0 {
+		t.Fatalf("premature actions: %+v", pm.Actions())
+	}
+	gw.Publish("proc", rec(3*time.Second, "h1", "PROC_DIED", ulm.LvlError, ulm.Field{Key: "PROC", Value: "dpss_server"}))
+	acts := pm.Actions()
+	if len(acts) != 2 || restarts != 1 {
+		t.Fatalf("actions = %+v, restarts = %d", acts, restarts)
+	}
+	if acts[0].Kind != "restart" || acts[0].Err != nil {
+		t.Fatalf("restart record = %+v", acts[0])
+	}
+	if acts[1].Kind != "page" || acts[1].Err == nil {
+		t.Fatalf("page record = %+v", acts[1])
+	}
+	pm.Close()
+}
+
+func TestOverviewBothDown(t *testing.T) {
+	gw := gateway.New("gw1", nil)
+	ov := NewOverview(BothDown("httpd", "primary", "backup"))
+	var alerts []string
+	ov.OnAlert = func(a Alert) { alerts = append(alerts, a.Message) }
+	if err := ov.SubscribeAll(gw, gateway.Request{Events: []string{"PROC_DIED", "PROC_START"}}); err != nil {
+		t.Fatal(err)
+	}
+	died := func(at time.Duration, host string) ulm.Record {
+		return rec(at, host, "PROC_DIED", ulm.LvlError, ulm.Field{Key: "PROC", Value: "httpd"})
+	}
+	started := func(at time.Duration, host string) ulm.Record {
+		return rec(at, host, "PROC_START", ulm.LvlSystem, ulm.Field{Key: "PROC", Value: "httpd"})
+	}
+	// Primary dies: no alert (backup still up).
+	gw.Publish("proc", died(1*time.Second, "primary"))
+	if len(ov.Alerts()) != 0 {
+		t.Fatal("alerted with backup up")
+	}
+	// Backup dies too: page the admin at 2 A.M.
+	gw.Publish("proc", died(2*time.Second, "backup"))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	// Still down: no duplicate alert (edge-triggered).
+	gw.Publish("proc", died(3*time.Second, "backup"))
+	if len(ov.Alerts()) != 1 {
+		t.Fatal("duplicate alert while still firing")
+	}
+	// Primary restarts, then both die again: a second alert.
+	gw.Publish("proc", started(4*time.Second, "primary"))
+	gw.Publish("proc", died(5*time.Second, "primary"))
+	if len(ov.Alerts()) != 2 {
+		t.Fatalf("alerts after recovery cycle = %d, want 2", len(ov.Alerts()))
+	}
+	ov.Close()
+}

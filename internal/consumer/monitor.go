@@ -1,0 +1,227 @@
+package consumer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+// Action is one reaction a process monitor can take — §2.2: "it might
+// run a script to restart the processes, send email to a system
+// administrator, or call a pager."
+type Action struct {
+	// Kind labels the action ("restart", "email", "page").
+	Kind string
+	// Run performs it; nil actions are recorded but do nothing (a
+	// notification sink records delivery).
+	Run func(rec ulm.Record) error
+}
+
+// ActionRecord is one action taken, for audit.
+type ActionRecord struct {
+	Kind  string
+	Event string
+	Host  string
+	Proc  string
+	At    time.Time
+	Err   error
+}
+
+// ProcessMonitor is the consumer that triggers actions on server
+// process events. It subscribes to process-sensor events and fires its
+// actions on abnormal deaths (PROC_DIED).
+type ProcessMonitor struct {
+	// Proc restricts reactions to this process name; empty reacts to
+	// every PROC_DIED.
+	Proc string
+	// Host restricts reactions to events from this host; empty reacts
+	// to every host.
+	Host    string
+	actions []Action
+
+	mu    sync.Mutex
+	log   []ActionRecord
+	sub   *gateway.Subscription
+	stops []func()
+}
+
+// NewProcessMonitor returns a monitor reacting to deaths of the named
+// process (empty = all).
+func NewProcessMonitor(proc string, actions ...Action) *ProcessMonitor {
+	return &ProcessMonitor{Proc: proc, actions: actions}
+}
+
+// Take ingests one record, reacting to PROC_DIED events.
+func (p *ProcessMonitor) Take(rec ulm.Record) {
+	if rec.Event != "PROC_DIED" {
+		return
+	}
+	name, _ := rec.Get("PROC")
+	if p.Proc != "" && name != p.Proc {
+		return
+	}
+	if p.Host != "" && rec.Host != p.Host {
+		return
+	}
+	for _, a := range p.actions {
+		ar := ActionRecord{Kind: a.Kind, Event: rec.Event, Host: rec.Host, Proc: name, At: rec.Date}
+		if a.Run != nil {
+			ar.Err = a.Run(rec)
+		}
+		p.mu.Lock()
+		p.log = append(p.log, ar)
+		p.mu.Unlock()
+	}
+}
+
+// Subscribe attaches the monitor to a gateway's process events.
+func (p *ProcessMonitor) Subscribe(gw Subscriber) error {
+	sub, err := gw.Subscribe(gateway.Request{Events: []string{"PROC_DIED"}}, p.Take)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.sub = sub
+	p.mu.Unlock()
+	return nil
+}
+
+// Close cancels the monitor's subscription.
+func (p *ProcessMonitor) Close() {
+	p.mu.Lock()
+	sub := p.sub
+	p.sub = nil
+	stops := p.stops
+	p.stops = nil
+	p.mu.Unlock()
+	if sub != nil {
+		sub.Cancel()
+	}
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// Actions returns the audit log of actions taken.
+func (p *ProcessMonitor) Actions() []ActionRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ActionRecord(nil), p.log...)
+}
+
+// Alert is one overview-monitor alert.
+type Alert struct {
+	At      time.Time
+	Message string
+}
+
+// Rule evaluates the combined per-host state; it returns whether to
+// alert and the alert message. state maps host name to the most recent
+// record seen from it.
+type Rule func(state map[string]ulm.Record) (bool, string)
+
+// BothDown builds the paper's example rule: alert only when every one
+// of the named hosts' watched processes are down ("one may want to
+// trigger a page to a system administrator at 2 A.M. only if both the
+// primary and backup servers are down").
+//
+// A host counts as down once a PROC_DIED for proc arrives, and up again
+// on PROC_START.
+func BothDown(proc string, hosts ...string) Rule {
+	return func(state map[string]ulm.Record) (bool, string) {
+		for _, h := range hosts {
+			rec, ok := state[h]
+			if !ok || rec.Event != "PROC_DIED" {
+				return false, ""
+			}
+			if p, _ := rec.Get("PROC"); proc != "" && p != proc {
+				return false, ""
+			}
+		}
+		return true, fmt.Sprintf("%s down on all of %v", proc, hosts)
+	}
+}
+
+// Overview is the overview monitor: it collects information from
+// sensors on several hosts and combines it into decisions no single
+// host's data could support.
+type Overview struct {
+	rule Rule
+	// OnAlert fires on each rising edge of the rule.
+	OnAlert func(Alert)
+
+	mu     sync.Mutex
+	state  map[string]ulm.Record
+	firing bool
+	alerts []Alert
+	subs   []*gateway.Subscription
+	stops  []func()
+}
+
+// NewOverview returns an overview monitor with the given rule.
+func NewOverview(rule Rule) *Overview {
+	return &Overview{rule: rule, state: make(map[string]ulm.Record)}
+}
+
+// Take ingests one record, updating per-host state and evaluating the
+// rule with edge-triggered alerting.
+func (o *Overview) Take(rec ulm.Record) {
+	o.mu.Lock()
+	o.state[rec.Host] = rec
+	fire, msg := o.rule(o.state)
+	var alert *Alert
+	if fire && !o.firing {
+		o.firing = true
+		a := Alert{At: rec.Date, Message: msg}
+		o.alerts = append(o.alerts, a)
+		alert = &a
+	} else if !fire {
+		o.firing = false
+	}
+	onAlert := o.OnAlert
+	o.mu.Unlock()
+	if alert != nil && onAlert != nil {
+		onAlert(*alert)
+	}
+}
+
+// SubscribeAll attaches the overview to gateways; one subscription per
+// request.
+func (o *Overview) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
+	for _, req := range reqs {
+		sub, err := gw.Subscribe(req, o.Take)
+		if err != nil {
+			return err
+		}
+		o.mu.Lock()
+		o.subs = append(o.subs, sub)
+		o.mu.Unlock()
+	}
+	return nil
+}
+
+// Close cancels all subscriptions.
+func (o *Overview) Close() {
+	o.mu.Lock()
+	subs := o.subs
+	o.subs = nil
+	stops := o.stops
+	o.stops = nil
+	o.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// Alerts returns the alert history.
+func (o *Overview) Alerts() []Alert {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Alert(nil), o.alerts...)
+}

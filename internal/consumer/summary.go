@@ -1,0 +1,111 @@
+package consumer
+
+import (
+	"fmt"
+	"strconv"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+)
+
+// SummarySeries names one summarized series to publish.
+type SummarySeries struct {
+	Sensor string // gateway producer key
+	Event  string
+	Field  string // default VAL
+}
+
+// SummaryPublisher is the §7.0 summary data service: it reads computed
+// summaries (1/10/60-minute averages) out of an event gateway and
+// publishes them in the directory, where network-aware applications
+// look them up — "network sensors publish summary throughput and
+// latency data in the directory service, which is used by a
+// 'network-aware' client to optimally set its TCP buffer size". The
+// paper leaves the service's placement open (directory, separate
+// server, or built into the gateways); here the computation lives in
+// the gateway and this publisher bridges it into the directory.
+type SummaryPublisher struct {
+	GW  *gateway.Gateway
+	Dir interface {
+		Add(directory.Entry) error
+		Modify(directory.DN, map[string][]string) error
+	}
+	// Base is the directory subtree for summary entries, e.g.
+	// "ou=summary,o=jamm".
+	Base directory.DN
+	// Principal used for summary reads at the gateway.
+	Principal string
+	// Series to publish.
+	Series []SummarySeries
+}
+
+// entryDN names one series' directory entry.
+func (p *SummaryPublisher) entryDN(s SummarySeries) directory.DN {
+	dn := directory.DN(fmt.Sprintf("series=%s.%s,sensor=%s", s.Event, p.field(s), s.Sensor))
+	if p.Base != "" {
+		dn += "," + p.Base
+	}
+	return dn.Normalize()
+}
+
+func (p *SummaryPublisher) field(s SummarySeries) string {
+	if s.Field == "" {
+		return "VAL"
+	}
+	return s.Field
+}
+
+// PublishOnce refreshes every series' directory entry with the current
+// window statistics. Deployments run it from a ticker.
+func (p *SummaryPublisher) PublishOnce() error {
+	var firstErr error
+	for _, s := range p.Series {
+		pts, err := p.GW.Summary(p.Principal, s.Sensor, s.Event, p.field(s))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e := directory.NewEntry(p.entryDN(s), map[string]string{
+			"objectclass": "jammSummary",
+			"sensor":      s.Sensor,
+			"event":       s.Event,
+			"field":       p.field(s),
+		})
+		for _, pt := range pts {
+			w := pt.Window.String()
+			e.Set("avg."+w, strconv.FormatFloat(pt.Avg, 'f', -1, 64))
+			e.Set("min."+w, strconv.FormatFloat(pt.Min, 'f', -1, 64))
+			e.Set("max."+w, strconv.FormatFloat(pt.Max, 'f', -1, 64))
+			e.Set("n."+w, strconv.Itoa(pt.Count))
+		}
+		if err := p.Dir.Add(e); err != nil {
+			if err := p.Dir.Modify(e.DN, e.Attrs); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// LookupSummary reads one published window statistic back out of the
+// directory: the network-aware client's half of the §7.0 loop. It
+// returns the average for the given window (e.g. "1m0s").
+func LookupSummary(dir Directory, base directory.DN, event, window string) (avg float64, ok bool, err error) {
+	entries, err := dir.Search(base, directory.ScopeSubtree,
+		fmt.Sprintf("(&(objectclass=jammSummary)(event=%s))", event))
+	if err != nil {
+		return 0, false, err
+	}
+	for _, e := range entries {
+		if v, found := e.Get("avg." + window); found {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, false, fmt.Errorf("consumer: bad summary value %q: %w", v, err)
+			}
+			return f, true, nil
+		}
+	}
+	return 0, false, nil
+}

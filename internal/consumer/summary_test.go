@@ -1,0 +1,92 @@
+package consumer
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+func summaryEnv() (*gateway.Gateway, *directory.Server, func(time.Time)) {
+	now := epoch
+	gw := gateway.New("gw", func() time.Time { return now })
+	srv := directory.NewServer("d", directory.NewMutableBackend())
+	return gw, srv, func(t time.Time) { now = t }
+}
+
+func TestSummaryPublisherRoundTrip(t *testing.T) {
+	gw, srv, setNow := summaryEnv()
+	gw.EnableSummary("netprobe@h1", "NETPROBE_BPS", "VAL", time.Minute)
+	for i := 0; i < 6; i++ {
+		at := epoch.Add(time.Duration(i) * 10 * time.Second)
+		setNow(at)
+		gw.Publish("netprobe@h1", ulm.Record{
+			Date: at, Host: "h1", Prog: "p", Lvl: ulm.LvlUsage, Event: "NETPROBE_BPS",
+			Fields: []ulm.Field{{Key: "VAL", Value: "100000000"}},
+		})
+	}
+	pub := &SummaryPublisher{
+		GW:   gw,
+		Dir:  rwDir{srv},
+		Base: "ou=summary,o=jamm",
+		Series: []SummarySeries{
+			{Sensor: "netprobe@h1", Event: "NETPROBE_BPS"},
+		},
+	}
+	if err := pub.PublishOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// The client half: read the average back out.
+	avg, ok, err := LookupSummary(serverDir{srv}, "ou=summary,o=jamm", "NETPROBE_BPS", "1m0s")
+	if err != nil || !ok {
+		t.Fatalf("LookupSummary: %v ok=%v", err, ok)
+	}
+	if avg != 100000000 {
+		t.Fatalf("avg = %v", avg)
+	}
+	// Re-publishing refreshes the same entry (Modify path) with the
+	// new value.
+	setNow(epoch.Add(10 * time.Minute))
+	gw.Publish("netprobe@h1", ulm.Record{
+		Date: epoch.Add(10 * time.Minute), Host: "h1", Prog: "p", Lvl: ulm.LvlUsage, Event: "NETPROBE_BPS",
+		Fields: []ulm.Field{{Key: "VAL", Value: "200000000"}},
+	})
+	if err := pub.PublishOnce(); err != nil {
+		t.Fatal(err)
+	}
+	avg, ok, err = LookupSummary(serverDir{srv}, "ou=summary,o=jamm", "NETPROBE_BPS", "1m0s")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Only the 10-minute sample is inside the 1-minute window now.
+	if avg != 200000000 {
+		t.Fatalf("refreshed avg = %v", avg)
+	}
+	entries, _ := srv.Search("c", "ou=summary,o=jamm", directory.ScopeSubtree, directory.All)
+	if len(entries) != 1 {
+		t.Fatalf("summary entries = %d, want 1 (refresh, not duplicate)", len(entries))
+	}
+}
+
+func TestSummaryPublisherUnknownSeries(t *testing.T) {
+	gw, srv, _ := summaryEnv()
+	pub := &SummaryPublisher{
+		GW:     gw,
+		Dir:    rwDir{srv},
+		Base:   "ou=summary,o=jamm",
+		Series: []SummarySeries{{Sensor: "ghost", Event: "E"}},
+	}
+	if err := pub.PublishOnce(); err == nil {
+		t.Fatal("publishing an unsummarized series succeeded")
+	}
+}
+
+func TestLookupSummaryAbsent(t *testing.T) {
+	_, srv, _ := summaryEnv()
+	_, ok, err := LookupSummary(serverDir{srv}, "ou=summary,o=jamm", "NOPE", "1m0s")
+	if err != nil || ok {
+		t.Fatalf("absent lookup: %v ok=%v", err, ok)
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/sensor"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+func TestGridAssembly(t *testing.T) {
+	g := New(Options{Seed: 1})
+	site := g.AddSite("gw.lbl.gov")
+	if g.AddSite("gw.lbl.gov") != site {
+		t.Fatal("AddSite not idempotent")
+	}
+	rig, err := g.AddHost(site, "h1.lbl.gov", HostSpec{
+		Net:      simnet.HostConfig{RecvCapacityBps: 1e9},
+		DriftPPM: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddHost(site, "h1.lbl.gov", HostSpec{}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if g.Rig("h1.lbl.gov") != rig {
+		t.Fatal("Rig lookup broken")
+	}
+	if got := g.Hosts(); len(got) != 1 || got[0] != "h1.lbl.gov" {
+		t.Fatalf("Hosts = %v", got)
+	}
+	if got := g.Sites(); len(got) != 1 || got[0] != "gw.lbl.gov" {
+		t.Fatalf("Sites = %v", got)
+	}
+}
+
+func TestFactoryBuildsEverySensorType(t *testing.T) {
+	g := New(Options{Seed: 1})
+	site := g.AddSite("gw")
+	rig, err := g.AddHost(site, "h1", HostSpec{Net: simnet.HostConfig{RecvCapacityBps: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtr := g.AddRouter("rtr1")
+	g.Connect(rig.Node, rtr, simnet.Rate100BT, time.Millisecond)
+	rig.SyncClock(0, 16*time.Second)
+
+	specs := []manager.SensorSpec{
+		{Type: "cpu"},
+		{Type: "memory"},
+		{Type: "netstat"},
+		{Type: "tcpdump"},
+		{Type: "iostat"},
+		{Type: "process", Params: map[string]string{"match": "dpss_server"}},
+		{Type: "users", Params: map[string]string{"limit": "5", "window": "30s"}},
+		{Type: "clock"},
+		{Type: "snmp", Params: map[string]string{"device": "rtr1"}},
+		{Type: "app", Params: map[string]string{"prog": "mplay"}},
+	}
+	for _, spec := range specs {
+		s, err := rig.BuildSensor(spec)
+		if err != nil {
+			t.Fatalf("BuildSensor(%s): %v", spec.Type, err)
+		}
+		if s.Type() != spec.Type {
+			t.Fatalf("sensor type = %q, want %q", s.Type(), spec.Type)
+		}
+	}
+	// Error paths.
+	for _, spec := range []manager.SensorSpec{
+		{Type: "warp-drive"},
+		{Type: "snmp", Params: map[string]string{"device": "ghost"}},
+		{Type: "app"},
+		{Type: "users", Params: map[string]string{"limit": "many"}},
+		{Type: "users", Params: map[string]string{"window": "soon"}},
+	} {
+		if _, err := rig.BuildSensor(spec); err == nil {
+			t.Fatalf("BuildSensor(%+v) accepted", spec)
+		}
+	}
+	// Clock sensor requires SyncClock.
+	g2 := New(Options{Seed: 2})
+	rig2, _ := g2.AddHost(g2.AddSite("s"), "h", HostSpec{})
+	if _, err := rig2.BuildSensor(manager.SensorSpec{Type: "clock"}); err == nil {
+		t.Fatal("clock sensor without NTP accepted")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Full JAMM loop on one grid: manager starts sensors, sensors
+	// publish through the gateway, directory announces them, a
+	// consumer discovers and subscribes.
+	g := New(Options{Seed: 3})
+	site := g.AddSite("gw.lbl.gov")
+	rig, err := g.AddHost(site, "h1.lbl.gov", HostSpec{Net: simnet.HostConfig{RecvCapacityBps: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rig.Manager.Apply(manager.Config{Sensors: []manager.SensorSpec{
+		{Type: "cpu", Interval: manager.Duration(time.Second)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := g.Dir.Search("c", SensorBase, directory.ScopeSubtree, directory.MustFilter("(type=cpu)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory sensors = %d", len(entries))
+	}
+	gwName, _ := entries[0].Get("gateway")
+	if g.Site(gwName) == nil {
+		t.Fatalf("published gateway %q is not a site", gwName)
+	}
+	key, _ := entries[0].Get("gwsensor")
+	if key != "cpu@h1.lbl.gov" {
+		t.Fatalf("gwsensor attr = %q", key)
+	}
+	var recs []ulm.Record
+	if _, err := g.Site(gwName).Gateway.Subscribe(gateway.Request{Sensor: key}, func(r ulm.Record) {
+		recs = append(recs, r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(5 * time.Second)
+	if len(recs) != 10 {
+		t.Fatalf("collected %d events, want 10", len(recs))
+	}
+	if recs[0].Host != "h1.lbl.gov" {
+		t.Fatalf("event host = %q", recs[0].Host)
+	}
+}
+
+func TestMatisseFourServersIsBursty(t *testing.T) {
+	res, err := RunMatisse(MatisseOptions{Servers: 4, Frames: 150, Duration: 60 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) == 0 {
+		t.Fatal("no frames played")
+	}
+	min, max := res.MinMaxFPS()
+	// §6: "sometimes images arrived at 6 frames/sec, and other times
+	// only 1-2 frames/sec" — the run must show real burstiness.
+	if max < 4 {
+		t.Fatalf("peak fps = %.1f, expected bursts above 4", max)
+	}
+	if min > 2 {
+		t.Fatalf("min fps = %.1f, expected stalls at or below 2", min)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("no TCP retransmissions in the bursty configuration")
+	}
+	// The receiving host shows high system CPU time (Figure 7's
+	// VMSTAT_SYS_TIME line).
+	if res.ReceiverSysPct < 30 {
+		t.Fatalf("receiver peak sys%% = %.0f, expected heavy interrupt load", res.ReceiverSysPct)
+	}
+}
+
+func TestMatisseSingleServerIsSmooth(t *testing.T) {
+	res, err := RunMatisse(MatisseOptions{Servers: 1, Frames: 150, Duration: 60 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("single-server run did not finish %d frames", 150)
+	}
+	min, _ := res.MinMaxFPS()
+	if min < 3 {
+		t.Fatalf("single-server min fps = %.1f, expected steady playback", min)
+	}
+}
+
+func TestMatisseMonitoringCollectsFigure7Events(t *testing.T) {
+	res, err := RunMatisse(MatisseOptions{Servers: 4, Frames: 60, Duration: 40 * time.Second, Seed: 7, Monitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEvent := make(map[string]int)
+	hosts := make(map[string]bool)
+	for _, rec := range res.Events {
+		byEvent[rec.Event]++
+		hosts[rec.Host] = true
+	}
+	// The Figure 7 rows: application lifelines, VMSTAT loadlines, TCP
+	// retransmit points.
+	for _, ev := range []string{
+		"MPLAY_START_READ_FRAME", "MPLAY_END_READ_FRAME",
+		"MPLAY_START_PUT_IMAGE", "MPLAY_END_PUT_IMAGE",
+		"VMSTAT_SYS_TIME", "VMSTAT_USER_TIME", "VMSTAT_FREE_MEMORY",
+		"TCPD_RETRANSMITS", "CLOCK_OFFSET",
+	} {
+		if byEvent[ev] == 0 {
+			t.Errorf("no %s events collected", ev)
+		}
+	}
+	// Events from both ends of the WAN.
+	if !hosts["mems.cairn.net"] || !hosts["dpss2.lbl.gov"] {
+		t.Fatalf("hosts in trace: %v", hosts)
+	}
+	// The archive kept everything (keep-all policy).
+	if res.Archive.Len() == 0 {
+		t.Fatal("archive empty")
+	}
+	// Merged events are time-ordered.
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Date.Before(res.Events[i-1].Date) {
+			t.Fatal("collected events not time-ordered")
+		}
+	}
+}
+
+func TestMatisseWithoutMonitoringStillInstrumented(t *testing.T) {
+	res, err := RunMatisse(MatisseOptions{Servers: 1, Frames: 20, Duration: 30 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without JAMM the player's own NetLogger file still exists (the
+	// "copy the results to one place by hand" workflow).
+	var mplay int
+	for _, rec := range res.Events {
+		if rec.Prog == "mplay" {
+			mplay++
+		}
+	}
+	if mplay == 0 {
+		t.Fatal("no mplay events in local log")
+	}
+	if res.Archive != nil {
+		t.Fatal("archive exists without monitoring")
+	}
+}
+
+// TestRemoteHostMonitoring runs the §2.2 "host sensors layered on top
+// of SNMP, run remotely from the host being monitored" deployment: the
+// monitored host exports its host MIB; a different host's manager runs
+// the rhost sensor against it.
+func TestRemoteHostMonitoring(t *testing.T) {
+	g := New(Options{Seed: 31})
+	site := g.AddSite("gw")
+	monitor, err := g.AddHost(site, "monitor.lbl.gov", HostSpec{Net: simnet.HostConfig{RecvCapacityBps: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := g.AddHost(site, "target.lbl.gov", HostSpec{Net: simnet.HostConfig{RecvCapacityBps: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(monitor.Node, target.Node, simnet.Rate100BT, time.Millisecond)
+	target.Host.Spawn("busy", 0.5, 10*1024)
+	if err := sensor.ServeHostMIB(target.Host, "public"); err != nil {
+		t.Fatal(err)
+	}
+	// The MONITOR host's manager runs the sensor; the target runs no
+	// JAMM agent at all.
+	err = monitor.Manager.Apply(manager.Config{Sensors: []manager.SensorSpec{
+		{Name: "rhost.target", Type: "rhost", Interval: manager.Duration(time.Second),
+			Params: map[string]string{"target": "target.lbl.gov"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []ulm.Record
+	if _, err := site.Gateway.Subscribe(gateway.Request{Events: []string{"VMSTAT_USER_TIME"}}, func(r ulm.Record) {
+		recs = append(recs, r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(5 * time.Second)
+	if len(recs) < 3 {
+		t.Fatalf("remote host samples = %d", len(recs))
+	}
+	if recs[0].Host != "target.lbl.gov" {
+		t.Fatalf("event host = %q, want the monitored host", recs[0].Host)
+	}
+	if v, _ := recs[0].Int("VAL"); v != 50 {
+		t.Fatalf("remote user CPU = %d, want 50", v)
+	}
+	// Unknown target errors at build time.
+	if err := monitor.Manager.Apply(manager.Config{Sensors: []manager.SensorSpec{
+		{Type: "rhost", Params: map[string]string{"target": "ghost"}},
+	}}); err == nil {
+		t.Fatal("rhost with unknown target accepted")
+	}
+}

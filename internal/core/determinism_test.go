@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/ulm"
+)
+
+// TestMatisseDeterminism checks the simulator invariant everything else
+// rests on: identical seeds produce identical runs, event for event.
+func TestMatisseDeterminism(t *testing.T) {
+	run := func() *MatisseResult {
+		res, err := RunMatisse(MatisseOptions{
+			Servers: 4, Frames: 60, Duration: 30 * time.Second, Seed: 11, Monitor: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	b := run()
+	if len(a.Stats) != len(b.Stats) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Stats), len(b.Stats))
+	}
+	for i := range a.Stats {
+		if a.Stats[i] != b.Stats[i] {
+			t.Fatalf("frame %d differs: %+v vs %+v", i, a.Stats[i], b.Stats[i])
+		}
+	}
+	if a.Retransmits != b.Retransmits {
+		t.Fatalf("retransmits differ: %d vs %d", a.Retransmits, b.Retransmits)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i].String() != b.Events[i].String() {
+			t.Fatalf("event %d differs:\n%s\n%s", i, a.Events[i], b.Events[i])
+		}
+	}
+	// Different seeds produce different traces (the randomness is real).
+	c, err := RunMatisse(MatisseOptions{
+		Servers: 4, Frames: 60, Duration: 30 * time.Second, Seed: 12, Monitor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i].String() != c.Events[i].String() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestFaultDetectionScenario is the §1.2 headline use case end to end:
+// a DPSS server process dies mid-run; the process sensor emits
+// PROC_DIED; a process-monitor consumer restarts it; playback resumes.
+func TestFaultDetectionScenario(t *testing.T) {
+	g := New(Options{Seed: 21})
+	site := g.AddSite("gw")
+	server, err := g.AddHost(site, "dpss1", HostSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = server.Manager.Apply(manager.Config{Sensors: []manager.SensorSpec{
+		{Type: "process", Params: map[string]string{"match": "dpss_server"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "server" process that will crash.
+	proc := server.Host.Spawn("dpss_server", 0.2, 32*1024)
+
+	var died, started int
+	restart := func() {
+		proc = server.Host.Spawn("dpss_server", 0.2, 32*1024)
+	}
+	if _, err := site.Gateway.Subscribe(gateway.Request{Events: []string{"PROC_DIED"}}, func(r ulm.Record) {
+		died++
+		// The §2.2 process monitor: "run a script to restart the
+		// processes".
+		g.Sched.After(2*time.Second, restart)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Gateway.Subscribe(gateway.Request{Events: []string{"PROC_START"}}, func(r ulm.Record) {
+		started++
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	g.RunFor(time.Second)
+	proc.Crash()
+	g.RunFor(10 * time.Second)
+
+	if died != 1 {
+		t.Fatalf("PROC_DIED events = %d", died)
+	}
+	if started != 1 { // the restart (the original spawn predates the subscription)
+		t.Fatalf("PROC_START events = %d", started)
+	}
+	if p := server.Host.ProcessByName("dpss_server"); p == nil {
+		t.Fatal("server not restarted")
+	}
+}

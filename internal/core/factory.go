@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"jamm/internal/manager"
+	"jamm/internal/sensor"
+)
+
+// BuildSensor is the rig's sensor factory: it interprets the manager's
+// sensor specs against this host's substrate handles. Supported types:
+//
+//	cpu       VMSTAT user/system CPU loadlines
+//	memory    VMSTAT free-memory loadline
+//	netstat   cumulative TCP counters every poll
+//	tcpdump   retransmit/window-change events (on change)
+//	iostat    cumulative disk-read counter
+//	process   process lifecycle events; params: match=<proc name>
+//	users     dynamic threshold on average logged-in users;
+//	          params: limit=<n>, window=<duration>
+//	clock     NTP offset/delay monitor (requires SyncClock first)
+//	snmp      network device sensor; params: device=<node name>,
+//	          community=<string, default public>
+//	rhost     remote host sensor over the target's SNMP host MIB
+//	          (sensor.ServeHostMIB); params: target=<node name>,
+//	          community=<string, default public>
+//	app       application sensor; params: prog=<program name>
+func (r *HostRig) BuildSensor(spec manager.SensorSpec) (sensor.Sensor, error) {
+	interval := time.Duration(spec.Interval)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	switch spec.Type {
+	case "cpu":
+		return sensor.NewCPU(r.Host, interval), nil
+	case "memory":
+		return sensor.NewMemory(r.Host, interval), nil
+	case "netstat":
+		return sensor.NewNetstat(r.Host, r.grid.Net, interval), nil
+	case "tcpdump":
+		return sensor.NewTCPDump(r.Host, r.grid.Net, interval), nil
+	case "iostat":
+		return sensor.NewIOStat(r.Host, interval), nil
+	case "process":
+		s := sensor.NewProcess(r.Host)
+		s.Match = spec.Params["match"]
+		return s, nil
+	case "users":
+		limit := 10.0
+		if v, ok := spec.Params["limit"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: users sensor limit %q: %w", v, err)
+			}
+			limit = f
+		}
+		window := 5 * time.Minute
+		if v, ok := spec.Params["window"]; ok {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: users sensor window %q: %w", v, err)
+			}
+			window = d
+		}
+		return sensor.NewUsers(r.Host, interval, window, limit), nil
+	case "clock":
+		if r.NTP == nil {
+			return nil, fmt.Errorf("core: clock sensor on %s requires SyncClock", r.Host.Name)
+		}
+		return sensor.NewClockSync(r.Host, r.NTP, interval), nil
+	case "snmp":
+		devName := spec.Params["device"]
+		dev := r.grid.Net.Node(devName)
+		if dev == nil {
+			return nil, fmt.Errorf("core: snmp sensor: unknown device %q", devName)
+		}
+		community := spec.Params["community"]
+		if community == "" {
+			community = "public"
+		}
+		r.snmpPort++
+		return sensor.DeviceSensor(r.grid.Net, r.Clock, r.Node, 20000+r.snmpPort, dev, community, interval)
+	case "rhost":
+		tgtName := spec.Params["target"]
+		tgt := r.grid.Net.Node(tgtName)
+		if tgt == nil {
+			return nil, fmt.Errorf("core: rhost sensor: unknown target %q", tgtName)
+		}
+		community := spec.Params["community"]
+		if community == "" {
+			community = "public"
+		}
+		r.snmpPort++
+		return sensor.NewRemoteHost(r.grid.Net, r.Clock, r.Node, 21000+r.snmpPort, tgt, community, interval), nil
+	case "app":
+		prog := spec.Params["prog"]
+		if prog == "" {
+			return nil, fmt.Errorf("core: app sensor requires params.prog")
+		}
+		return sensor.NewApp(r.grid.Sched, r.Clock, r.Host.Name, prog), nil
+	}
+	return nil, fmt.Errorf("core: unknown sensor type %q", spec.Type)
+}

@@ -1,0 +1,281 @@
+// Package core assembles complete JAMM deployments: simulated Grid
+// sites with hosts, network topology, per-host sensor managers, site
+// event gateways, the sensor directory, NTP time service, and the
+// consumers that subscribe to it all. It is the programmatic equivalent
+// of the paper's Figure 1 (JAMM components) and Figure 4 (sample
+// usage), and provides the ready-made Matisse scenario of Figures 5-7.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/sim"
+	"jamm/internal/simclock"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+)
+
+// DefaultEpoch is virtual time zero for JAMM scenarios: the Matisse
+// demonstration month (May 2000).
+var DefaultEpoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// DirBase is the root of the JAMM directory information tree.
+const DirBase = directory.DN("o=jamm")
+
+// SensorBase is the subtree where sensor managers publish sensors.
+const SensorBase = directory.DN("ou=sensors,o=jamm")
+
+// ArchiveBase is the subtree where archiver agents publish archives.
+const ArchiveBase = directory.DN("ou=archives,o=jamm")
+
+// Options configures a Grid.
+type Options struct {
+	// Seed drives all randomness (drift, workloads, read-size jitter).
+	Seed int64
+	// Tick is the network engine step (default 10 ms).
+	Tick time.Duration
+	// Epoch is virtual time zero (default DefaultEpoch).
+	Epoch time.Time
+	// SnapshotDirectory selects the read-optimized directory backend
+	// (stock-LDAP-style) instead of the default write-optimized one
+	// (Globus-style); experiment E7 compares them.
+	SnapshotDirectory bool
+	// Directory, if non-nil, is where sensor managers publish instead
+	// of the grid's in-process server — daemon deployments point it at
+	// a remote dird via a directory client.
+	Directory manager.Directory
+}
+
+// Grid is one assembled deployment.
+type Grid struct {
+	Sched *sim.Scheduler
+	Net   *simnet.Network
+	Rand  *rand.Rand
+	// Dir is the sensor directory server (in-process; ServeTCP exposes
+	// it to remote consumers).
+	Dir *directory.Server
+
+	sites  map[string]*Site
+	rigs   map[string]*HostRig
+	dirPub manager.Directory
+
+	ntpRef    *simclock.Clock
+	ntpServer *simclock.Server
+}
+
+// Site is a gateway domain: hosts publish through their site's gateway,
+// so per-site access policy and fan-out absorption happen there.
+type Site struct {
+	Name    string
+	Gateway *gateway.Gateway
+}
+
+// HostRig bundles everything JAMM stands up on one host.
+type HostRig struct {
+	grid *Grid
+
+	Site    *Site
+	Node    *simnet.Node
+	Clock   *simclock.Clock
+	Host    *simhost.Host
+	Manager *manager.Manager
+	// NTP is the host's clock-sync daemon, present after SyncClock.
+	NTP *simclock.Daemon
+
+	snmpPort int // allocator for SNMP client source ports
+}
+
+// New builds an empty Grid.
+func New(opts Options) *Grid {
+	if opts.Tick <= 0 {
+		opts.Tick = 10 * time.Millisecond
+	}
+	if opts.Epoch.IsZero() {
+		opts.Epoch = DefaultEpoch
+	}
+	rnd := rand.New(rand.NewSource(opts.Seed))
+	sched := sim.NewScheduler(opts.Epoch)
+	var backend directory.Backend
+	if opts.SnapshotDirectory {
+		backend = directory.NewSnapshotBackend()
+	} else {
+		backend = directory.NewMutableBackend()
+	}
+	return &Grid{
+		Sched:  sched,
+		Net:    simnet.New(sched, rnd, opts.Tick),
+		Rand:   rnd,
+		Dir:    directory.NewServer("jamm-dir", backend),
+		dirPub: opts.Directory,
+		sites:  make(map[string]*Site),
+		rigs:   make(map[string]*HostRig),
+	}
+}
+
+// AddSite creates a gateway domain.
+func (g *Grid) AddSite(name string) *Site {
+	if s, ok := g.sites[name]; ok {
+		return s
+	}
+	s := &Site{
+		Name:    name,
+		Gateway: gateway.New(name, g.Sched.WallNow),
+	}
+	g.sites[name] = s
+	return s
+}
+
+// Site returns a named site, or nil.
+func (g *Grid) Site(name string) *Site { return g.sites[name] }
+
+// Sites lists site names, sorted.
+func (g *Grid) Sites() []string {
+	out := make([]string, 0, len(g.sites))
+	for name := range g.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostSpec sizes a monitored host.
+type HostSpec struct {
+	// Net is the receiver-path model (capacity, per-socket overhead).
+	Net simnet.HostConfig
+	// Host is the CPU/memory model.
+	Host simhost.Config
+	// ClockOffset and DriftPPM initialize the host's (unsynchronized)
+	// clock; SyncClock disciplines it later.
+	ClockOffset time.Duration
+	DriftPPM    float64
+}
+
+// AddHost stands up a monitored host at a site: network node, drifting
+// clock, host model, and a sensor manager publishing to the grid
+// directory through the site gateway.
+func (g *Grid) AddHost(site *Site, name string, spec HostSpec) (*HostRig, error) {
+	if _, dup := g.rigs[name]; dup {
+		return nil, fmt.Errorf("core: duplicate host %q", name)
+	}
+	node := g.Net.AddHost(name, spec.Net)
+	clock := simclock.New(g.Sched, spec.ClockOffset, spec.DriftPPM)
+	host := simhost.New(g.Sched, name, node, clock, spec.Host)
+	rig := &HostRig{grid: g, Site: site, Node: node, Clock: clock, Host: host}
+	var dir manager.Directory = manager.ServerDirectory{Srv: g.Dir, Principal: "manager/" + name}
+	if g.dirPub != nil {
+		dir = g.dirPub
+	}
+	mgr, err := manager.New(manager.Options{
+		Host:        host,
+		Gateway:     site.Gateway,
+		GatewayAddr: site.Name,
+		Directory:   dir,
+		DirBase:     SensorBase,
+		Factory:     rig.BuildSensor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rig.Manager = mgr
+	g.rigs[name] = rig
+	return rig, nil
+}
+
+// Rig returns a host rig by name, or nil.
+func (g *Grid) Rig(name string) *HostRig { return g.rigs[name] }
+
+// Hosts lists rig names, sorted.
+func (g *Grid) Hosts() []string {
+	out := make([]string, 0, len(g.rigs))
+	for name := range g.rigs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRouter adds a router node (SNMP-monitorable).
+func (g *Grid) AddRouter(name string) *simnet.Node { return g.Net.AddRouter(name) }
+
+// AddSwitch adds a switch node.
+func (g *Grid) AddSwitch(name string) *simnet.Node { return g.Net.AddSwitch(name) }
+
+// Connect joins two nodes.
+func (g *Grid) Connect(a, b *simnet.Node, bandwidth float64, delay time.Duration) *simnet.Link {
+	return g.Net.Connect(a, b, bandwidth, delay)
+}
+
+// NTPServer returns the grid's stratum-1 (GPS-disciplined) NTP server,
+// creating it on first use.
+func (g *Grid) NTPServer() *simclock.Server {
+	if g.ntpServer == nil {
+		g.ntpRef = simclock.New(g.Sched, 0, 0)
+		g.ntpServer = simclock.NewServer(g.ntpRef, 1)
+	}
+	return g.ntpServer
+}
+
+// SyncClock starts an NTP daemon on the host against the grid's
+// stratum-1 server. hops is the number of IP routers between host and
+// time source: 0 means a GPS-based server on the host's own subnet
+// (§4.3: sync "to within about 0.25ms"), larger values degrade accuracy
+// toward 1 ms.
+func (r *HostRig) SyncClock(hops int, interval time.Duration) {
+	server := r.grid.NTPServer()
+	var path simclock.Path
+	if hops <= 0 {
+		path = simclock.SubnetPath(r.grid.Rand)
+	} else {
+		path = simclock.RoutedPath(r.grid.Rand, hops)
+	}
+	r.NTP = simclock.NewDaemon(r.grid.Sched, r.Clock, server, path, 4)
+	r.NTP.Start(interval)
+}
+
+// RunFor advances the whole deployment by d of virtual time.
+func (g *Grid) RunFor(d time.Duration) { g.Sched.RunFor(d) }
+
+// Directory returns a handle on the grid's in-process directory server
+// bound to the given principal, for consumers and tools (Discover,
+// archive publication).
+func (g *Grid) Directory(principal string) manager.ServerDirectory {
+	return manager.ServerDirectory{Srv: g.Dir, Principal: principal}
+}
+
+// ConnectRigs joins two monitored hosts with a direct link.
+func (g *Grid) ConnectRigs(a, b *HostRig, bandwidth float64, delay time.Duration) *simnet.Link {
+	return g.Net.Connect(a.Node, b.Node, bandwidth, delay)
+}
+
+// Transfer moves bytes from one host to another over a fresh TCP
+// connection to the destination port, closing it when the last byte is
+// acknowledged. onDone (may be nil) fires at completion. It is the
+// programmatic equivalent of the FTP transfers that trigger the §2.0
+// port monitor example.
+func (g *Grid) Transfer(from, to *HostRig, fromPort, toPort int, bytes float64, onDone func()) error {
+	f, err := g.Net.OpenFlow(from.Node, fromPort, to.Node, toPort, simnet.FlowConfig{})
+	if err != nil {
+		return err
+	}
+	f.Send(bytes, func() {
+		f.Close()
+		if onDone != nil {
+			onDone()
+		}
+	})
+	return nil
+}
+
+// Link bandwidths re-exported for topology construction.
+const (
+	RateOC48  = simnet.RateOC48
+	RateOC12  = simnet.RateOC12
+	RateGigE  = simnet.RateGigE
+	Rate100BT = simnet.Rate100BT
+)

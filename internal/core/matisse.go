@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jamm/internal/archive"
+	"jamm/internal/consumer"
+	"jamm/internal/dpss"
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/netlog"
+	"jamm/internal/sensor"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+// MatisseOptions configures the §6 Matisse scenario.
+type MatisseOptions struct {
+	// Servers is the number of DPSS servers the player reads from:
+	// 4 reproduces the bursty demo, 1 the fix (default 4).
+	Servers int
+	// Frames is how many video frames to play (default 120).
+	Frames int
+	// FrameBytes is the size of one frame (default 1 MB).
+	FrameBytes float64
+	// Duration caps the run in virtual time (default 120 s). The
+	// 4-server configuration may not finish all frames inside it —
+	// that is the result.
+	Duration time.Duration
+	// Monitor deploys the full JAMM plane (sensors, managers,
+	// gateways, directory, collector, archiver). Without it only the
+	// application runs — the "analysis without JAMM" strawman.
+	Monitor bool
+	// Seed drives all randomness.
+	Seed int64
+	// WANDelay is the one-way Supernet delay (default 33 ms,
+	// a Berkeley-Arlington path).
+	WANDelay time.Duration
+	// ReceiverCapacityBps is the receiving host's NIC/driver service
+	// capacity (default 200 Mbit/s, the paper's measured ceiling).
+	ReceiverCapacityBps float64
+	// PerSocketOverhead is the per-extra-socket service penalty
+	// (default 2.0, calibrated so the four-socket §6 collapse matches
+	// the paper's aggregate).
+	PerSocketOverhead float64
+}
+
+// MatisseResult is the scenario outcome.
+type MatisseResult struct {
+	Grid   *Grid
+	Stats  []dpss.FrameStat
+	FPS    []float64 // frames/second per one-second bucket
+	Events []ulm.Record
+	// Archive holds the archived events (Monitor only).
+	Archive *archive.Store
+	// ReceiverSysPct is the peak VMSTAT system time observed on the
+	// receiving host during the run.
+	ReceiverSysPct float64
+	// Retransmits is the total TCP retransmissions on the player's
+	// connections.
+	Retransmits uint64
+	// Completed reports whether every frame played within Duration.
+	Completed bool
+}
+
+// MeanFPS returns the average frame rate over non-empty buckets.
+func (r *MatisseResult) MeanFPS() float64 {
+	var sum float64
+	var n int
+	for _, v := range r.FPS {
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MinMaxFPS returns the burstiness range of the frame rate.
+func (r *MatisseResult) MinMaxFPS() (min, max float64) {
+	if len(r.FPS) == 0 {
+		return 0, 0
+	}
+	min, max = r.FPS[0], r.FPS[0]
+	for _, v := range r.FPS {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// RunMatisse builds the Figure 5 topology — a DPSS storage cluster at
+// LBNL, the DARPA Supernet OC-48 WAN, and a receiving compute host at
+// ISI East — plays the MEMS video through it, and (optionally) monitors
+// everything with JAMM exactly as Figure 6 wires it. The returned
+// events are the merged NetLogger file behind Figure 7.
+func RunMatisse(opts MatisseOptions) (*MatisseResult, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 4
+	}
+	if opts.Frames <= 0 {
+		opts.Frames = 120
+	}
+	if opts.FrameBytes <= 0 {
+		opts.FrameBytes = 1e6
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 120 * time.Second
+	}
+	if opts.WANDelay <= 0 {
+		opts.WANDelay = 33 * time.Millisecond
+	}
+	if opts.ReceiverCapacityBps <= 0 {
+		opts.ReceiverCapacityBps = 200e6
+	}
+	if opts.PerSocketOverhead <= 0 {
+		opts.PerSocketOverhead = 2.0
+	}
+
+	g := New(Options{Seed: opts.Seed})
+	lbl := g.AddSite("gw.lbl.gov")
+	east := g.AddSite("gw.cairn.net")
+
+	// Figure 5: storage cluster on gigabit ethernet behind an OC-12
+	// into the OC-48 Supernet; the receiving host on gigabit at the
+	// far end, two routers between the sites.
+	sw := g.AddSwitch("sw.lbl.gov")
+	rtrWest := g.AddRouter("rtr.lbl.gov")
+	rtrEast := g.AddRouter("rtr.cairn.net")
+	g.Connect(sw, rtrWest, simnet.RateOC12, time.Millisecond)
+	g.Connect(rtrWest, rtrEast, simnet.RateOC48, opts.WANDelay)
+
+	receiver, err := g.AddHost(east, "mems.cairn.net", HostSpec{
+		Net: simnet.HostConfig{
+			RecvCapacityBps:   opts.ReceiverCapacityBps,
+			PerSocketOverhead: opts.PerSocketOverhead,
+		},
+		Host:        simhost.Config{},
+		ClockOffset: 3 * time.Millisecond,
+		DriftPPM:    40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.Connect(rtrEast, receiver.Node, simnet.RateGigE, time.Millisecond)
+
+	var serverRigs []*HostRig
+	for i := 0; i < opts.Servers; i++ {
+		name := fmt.Sprintf("dpss%d.lbl.gov", i+2) // dpss2..dpss5 as in Figure 7
+		rig, err := g.AddHost(lbl, name, HostSpec{
+			Net:         simnet.HostConfig{RecvCapacityBps: 1e9},
+			ClockOffset: time.Duration(i+1) * time.Millisecond,
+			DriftPPM:    float64(20 + 10*i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.Connect(rig.Node, sw, simnet.RateGigE, 100*time.Microsecond)
+		serverRigs = append(serverRigs, rig)
+	}
+
+	// GPS-NTP on every subnet (§4.3): all hosts sync to stratum 1.
+	for _, rig := range append([]*HostRig{receiver}, serverRigs...) {
+		rig.SyncClock(0, 16*time.Second)
+	}
+	// Let clocks discipline before the demo starts.
+	g.RunFor(2 * time.Second)
+
+	res := &MatisseResult{Grid: g}
+	var collector *consumer.Collector
+	if opts.Monitor {
+		collector = consumer.NewCollector()
+		res.Archive = archive.NewStore(archive.Policy{})
+		archiver := consumer.NewArchiver(res.Archive)
+		// Figure 6: CPU and memory sensors on every host, TCP monitors
+		// and process monitors where they matter, SNMP sensors on the
+		// routers, clock monitors everywhere.
+		second := manager.Duration(time.Second)
+		receiverCfg := manager.Config{Sensors: []manager.SensorSpec{
+			{Type: "cpu", Interval: second},
+			{Type: "memory", Interval: second},
+			{Type: "tcpdump", Interval: manager.Duration(200 * time.Millisecond)},
+			{Type: "netstat", Interval: second},
+			{Type: "clock", Interval: manager.Duration(5 * time.Second)},
+			{Name: "snmp.east", Type: "snmp", Interval: manager.Duration(5 * time.Second),
+				Params: map[string]string{"device": "rtr.cairn.net"}},
+		}}
+		if err := receiver.Manager.Apply(receiverCfg); err != nil {
+			return nil, err
+		}
+		serverCfg := manager.Config{Sensors: []manager.SensorSpec{
+			{Type: "cpu", Interval: second},
+			{Type: "memory", Interval: second},
+			{Type: "iostat", Interval: second},
+			{Type: "process", Params: map[string]string{"match": "dpss_server"}},
+			{Type: "clock", Interval: manager.Duration(5 * time.Second)},
+		}}
+		for _, rig := range serverRigs {
+			if err := rig.Manager.Apply(serverCfg); err != nil {
+				return nil, err
+			}
+		}
+		snmpWest := manager.Config{Sensors: append(serverCfg.Sensors, manager.SensorSpec{
+			Name: "snmp.west", Type: "snmp", Interval: manager.Duration(5 * time.Second),
+			Params: map[string]string{"device": "rtr.lbl.gov"},
+		})}
+		if err := serverRigs[0].Manager.Apply(snmpWest); err != nil {
+			return nil, err
+		}
+		// The event collector subscribes to everything at both
+		// gateways; the archiver archives everything.
+		for _, site := range []*Site{lbl, east} {
+			if err := collector.SubscribeAll(site.Gateway, gateway.Request{}); err != nil {
+				return nil, err
+			}
+			if err := archiver.SubscribeAll(site.Gateway, gateway.Request{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The application: DPSS servers at LBNL, the player on the
+	// receiving host. Application sensors route the NetLogger
+	// instrumentation through the JAMM gateways (or into a local
+	// memory log without monitoring).
+	appLog := func(rig *HostRig, prog string) *netlog.Logger {
+		log := netlog.New(prog, netlog.WithHost(rig.Host.Name), netlog.WithClock(rig.Clock.Now))
+		if opts.Monitor {
+			app := sensor.NewApp(g.Sched, rig.Clock, rig.Host.Name, prog)
+			app.Start(func(rec ulm.Record) { rig.Site.Gateway.Publish("app."+prog+"@"+rig.Host.Name, rec) }) //nolint:errcheck
+			log.SetDestination(app.Destination())
+		} else {
+			log.SetDestination(&netlog.MemoryDest{})
+		}
+		return log
+	}
+
+	var servers []*dpss.Server
+	for _, rig := range serverRigs {
+		servers = append(servers, dpss.NewServer(rig.Host, appLog(rig, "dpss"), dpss.ServerConfig{}))
+	}
+	mem := &netlog.MemoryDest{}
+	playerLog := netlog.New("mplay", netlog.WithHost(receiver.Host.Name), netlog.WithClock(receiver.Clock.Now))
+	if opts.Monitor {
+		app := sensor.NewApp(g.Sched, receiver.Clock, receiver.Host.Name, "mplay")
+		app.Start(func(rec ulm.Record) { east.Gateway.Publish("app.mplay", rec) }) //nolint:errcheck
+		playerLog.SetDestination(app.Destination())
+	} else {
+		playerLog.SetDestination(mem)
+	}
+
+	client, err := dpss.NewClient(g.Net, receiver.Host, playerLog, g.Rand, servers, dpss.ClientConfig{
+		FrameBytes: opts.FrameBytes,
+		Rwnd:       2e6,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Track peak receiver system time while the demo runs.
+	peakTicker := g.Sched.Every(200*time.Millisecond, func() {
+		if sys := receiver.Host.VMStat().SysPct; sys > res.ReceiverSysPct {
+			res.ReceiverSysPct = sys
+		}
+	})
+
+	client.Play(opts.Frames, func(stats []dpss.FrameStat) {
+		res.Completed = true
+	})
+	start := g.Sched.Now()
+	g.RunFor(opts.Duration)
+	peakTicker.Stop()
+
+	res.Stats = client.Stats()
+	span := g.Sched.Now() - start
+	// Rebase frame times to playback start so the fps series starts at
+	// the first second of the demo, not at virtual time zero.
+	rebased := make([]dpss.FrameStat, len(res.Stats))
+	for i, st := range res.Stats {
+		rebased[i] = st
+		if st.End > 0 {
+			rebased[i].End = st.End - start
+		}
+	}
+	fps := dpss.FPSSeries(rebased, time.Second, span)
+	// Trim to whole seconds of active playback: drop the partial final
+	// bucket (it catches a fraction of a second and reads as a bogus
+	// low rate) and any trailing silence.
+	var lastEnd time.Duration
+	for _, st := range rebased {
+		if st.End > lastEnd {
+			lastEnd = st.End
+		}
+	}
+	if whole := int(lastEnd / time.Second); whole < len(fps) {
+		fps = fps[:whole]
+	}
+	last := 0
+	for i, v := range fps {
+		if v > 0 {
+			last = i
+		}
+	}
+	res.FPS = fps[:last+1]
+	for _, f := range g.Net.NodeFlows(receiver.Node) {
+		res.Retransmits += f.Stats().Retransmits
+	}
+	if opts.Monitor {
+		res.Events = collector.Records()
+	} else {
+		res.Events = mem.Records()
+	}
+	client.Close()
+	return res, nil
+}

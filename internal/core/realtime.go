@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+// RealtimeDriver runs a simulation scheduler pinned to the wall clock,
+// so the cmd/ daemons — which monitor a simulated host but serve real
+// TCP clients — advance virtual time at real-time rate. All simulation
+// work runs on the driver's single goroutine; external goroutines
+// (connection handlers) enter the loop through Do/Call, which preserves
+// the scheduler's single-threaded discipline.
+type RealtimeDriver struct {
+	sched    *sim.Scheduler
+	interval time.Duration
+
+	mu      sync.Mutex
+	pending []func()
+	stopped bool
+	done    chan struct{}
+}
+
+// NewRealtimeDriver starts driving sched at the given granularity
+// (default 50 ms).
+func NewRealtimeDriver(sched *sim.Scheduler, interval time.Duration) *RealtimeDriver {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	d := &RealtimeDriver{sched: sched, interval: interval, done: make(chan struct{})}
+	go d.loop()
+	return d
+}
+
+func (d *RealtimeDriver) loop() {
+	defer close(d.done)
+	start := time.Now()
+	base := d.sched.Now()
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			return
+		}
+		work := d.pending
+		d.pending = nil
+		d.mu.Unlock()
+		for _, fn := range work {
+			fn()
+		}
+		d.sched.RunUntil(base + time.Since(start))
+	}
+}
+
+// Do schedules fn onto the simulation goroutine (asynchronous).
+func (d *RealtimeDriver) Do(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	d.pending = append(d.pending, fn)
+}
+
+// ErrDriverStopped reports a Call abandoned because the driver shut
+// down before the function ran.
+var ErrDriverStopped = errors.New("core: realtime driver stopped")
+
+// Call runs fn on the simulation goroutine and waits for its result.
+// If the driver stops before fn runs, Call returns ErrDriverStopped.
+func (d *RealtimeDriver) Call(fn func() error) error {
+	ch := make(chan error, 1)
+	d.Do(func() { ch <- fn() })
+	select {
+	case err := <-ch:
+		return err
+	case <-d.done:
+		// The loop may have executed fn on its final drain; prefer the
+		// real result when one exists.
+		select {
+		case err := <-ch:
+			return err
+		default:
+			return ErrDriverStopped
+		}
+	}
+}
+
+// Stop halts the driver and waits for the loop to exit.
+func (d *RealtimeDriver) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	<-d.done
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+func TestRealtimeDriverAdvancesVirtualTime(t *testing.T) {
+	sched := sim.NewScheduler(DefaultEpoch)
+	var fired int32
+	sched.Every(20*time.Millisecond, func() { atomic.AddInt32(&fired, 1) })
+	d := NewRealtimeDriver(sched, 10*time.Millisecond)
+	defer d.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt32(&fired) < 5 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := atomic.LoadInt32(&fired); got < 5 {
+		t.Fatalf("virtual ticker fired %d times in 5 s of wall time", got)
+	}
+}
+
+func TestRealtimeDriverCallRunsOnLoop(t *testing.T) {
+	sched := sim.NewScheduler(DefaultEpoch)
+	d := NewRealtimeDriver(sched, 5*time.Millisecond)
+	defer d.Stop()
+	// Call returns the function's error and runs before returning.
+	ran := false
+	if err := d.Call(func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Call returned before fn ran")
+	}
+	want := errors.New("boom")
+	if err := d.Call(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Call error = %v", err)
+	}
+	// Scheduling sim work from Call is safe (single-loop discipline).
+	var fired bool
+	if err := d.Call(func() error {
+		sched.After(time.Millisecond, func() { fired = true })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := false
+		d.Call(func() error { ok = fired; return nil }) //nolint:errcheck
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timer scheduled via Call never fired")
+}
+
+func TestRealtimeDriverStopIsIdempotent(t *testing.T) {
+	sched := sim.NewScheduler(DefaultEpoch)
+	d := NewRealtimeDriver(sched, 5*time.Millisecond)
+	d.Stop()
+	d.Stop()
+	// Do after stop is a no-op, not a panic.
+	d.Do(func() { t.Error("work ran after Stop") })
+	time.Sleep(30 * time.Millisecond)
+}

@@ -1,0 +1,218 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend stores directory entries. Implementations must be safe for
+// concurrent use.
+type Backend interface {
+	// Add inserts a new entry; it fails if the DN exists.
+	Add(Entry) error
+	// Modify replaces the attributes of an existing entry.
+	Modify(dn DN, attrs map[string][]string) error
+	// Delete removes an entry.
+	Delete(dn DN) error
+	// Search returns entries within (base, scope) matching filter,
+	// sorted by DN for deterministic output.
+	Search(base DN, scope Scope, filter Filter) ([]Entry, error)
+	// Len returns the number of entries stored.
+	Len() int
+}
+
+// ErrNoSuchEntry reports operations on absent DNs.
+type ErrNoSuchEntry struct{ DN DN }
+
+func (e ErrNoSuchEntry) Error() string { return fmt.Sprintf("directory: no such entry %q", e.DN) }
+
+// ErrEntryExists reports Add on an existing DN.
+type ErrEntryExists struct{ DN DN }
+
+func (e ErrEntryExists) Error() string { return fmt.Sprintf("directory: entry exists %q", e.DN) }
+
+func searchMap(m map[DN]Entry, base DN, scope Scope, filter Filter) []Entry {
+	if filter == nil {
+		filter = All
+	}
+	var out []Entry
+	for dn, e := range m {
+		if inScope(dn, base, scope) && filter.Match(e) {
+			out = append(out, e.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DN < out[j].DN })
+	return out
+}
+
+// SnapshotBackend is the read-optimized store resembling stock LDAP
+// servers circa 2000: reads are lock-free against an immutable
+// snapshot, but every write rebuilds the snapshot — O(n) per update.
+// This is the backend whose update cost experiment E7 measures.
+type SnapshotBackend struct {
+	mu   sync.Mutex   // serializes writers
+	snap atomic.Value // map[DN]Entry
+}
+
+// NewSnapshotBackend returns an empty read-optimized backend.
+func NewSnapshotBackend() *SnapshotBackend {
+	b := &SnapshotBackend{}
+	b.snap.Store(map[DN]Entry{})
+	return b
+}
+
+func (b *SnapshotBackend) load() map[DN]Entry { return b.snap.Load().(map[DN]Entry) }
+
+// rebuild copies the snapshot, applies fn, and publishes the copy.
+func (b *SnapshotBackend) rebuild(fn func(map[DN]Entry) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.load()
+	next := make(map[DN]Entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v.Clone() // deep copy: the index is rebuilt wholesale
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	b.snap.Store(next)
+	return nil
+}
+
+// Add implements Backend.
+func (b *SnapshotBackend) Add(e Entry) error {
+	dn := e.DN.Normalize()
+	if err := dn.Validate(); err != nil {
+		return err
+	}
+	return b.rebuild(func(m map[DN]Entry) error {
+		if _, exists := m[dn]; exists {
+			return ErrEntryExists{dn}
+		}
+		e := e.Clone()
+		e.DN = dn
+		m[dn] = e
+		return nil
+	})
+}
+
+// Modify implements Backend.
+func (b *SnapshotBackend) Modify(dn DN, attrs map[string][]string) error {
+	dn = dn.Normalize()
+	return b.rebuild(func(m map[DN]Entry) error {
+		e, ok := m[dn]
+		if !ok {
+			return ErrNoSuchEntry{dn}
+		}
+		applyMods(&e, attrs)
+		m[dn] = e
+		return nil
+	})
+}
+
+// Delete implements Backend.
+func (b *SnapshotBackend) Delete(dn DN) error {
+	dn = dn.Normalize()
+	return b.rebuild(func(m map[DN]Entry) error {
+		if _, ok := m[dn]; !ok {
+			return ErrNoSuchEntry{dn}
+		}
+		delete(m, dn)
+		return nil
+	})
+}
+
+// Search implements Backend; it runs lock-free on the current snapshot.
+func (b *SnapshotBackend) Search(base DN, scope Scope, filter Filter) ([]Entry, error) {
+	return searchMap(b.load(), base, scope, filter), nil
+}
+
+// Len implements Backend.
+func (b *SnapshotBackend) Len() int { return len(b.load()) }
+
+// MutableBackend is the write-optimized store resembling the Globus
+// approach: a locked mutable map with O(1) updates. Reads take a shared
+// lock instead of being lock-free.
+type MutableBackend struct {
+	mu sync.RWMutex
+	m  map[DN]Entry
+}
+
+// NewMutableBackend returns an empty write-optimized backend.
+func NewMutableBackend() *MutableBackend {
+	return &MutableBackend{m: make(map[DN]Entry)}
+}
+
+// Add implements Backend.
+func (b *MutableBackend) Add(e Entry) error {
+	dn := e.DN.Normalize()
+	if err := dn.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.m[dn]; exists {
+		return ErrEntryExists{dn}
+	}
+	e = e.Clone()
+	e.DN = dn
+	b.m[dn] = e
+	return nil
+}
+
+// Modify implements Backend.
+func (b *MutableBackend) Modify(dn DN, attrs map[string][]string) error {
+	dn = dn.Normalize()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.m[dn]
+	if !ok {
+		return ErrNoSuchEntry{dn}
+	}
+	e = e.Clone()
+	applyMods(&e, attrs)
+	b.m[dn] = e
+	return nil
+}
+
+// Delete implements Backend.
+func (b *MutableBackend) Delete(dn DN) error {
+	dn = dn.Normalize()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.m[dn]; !ok {
+		return ErrNoSuchEntry{dn}
+	}
+	delete(b.m, dn)
+	return nil
+}
+
+// Search implements Backend.
+func (b *MutableBackend) Search(base DN, scope Scope, filter Filter) ([]Entry, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return searchMap(b.m, base, scope, filter), nil
+}
+
+// Len implements Backend.
+func (b *MutableBackend) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.m)
+}
+
+// applyMods replaces attributes; a nil value slice removes the
+// attribute.
+func applyMods(e *Entry, attrs map[string][]string) {
+	for k, vs := range attrs {
+		k = strings.ToLower(k)
+		if len(vs) == 0 {
+			delete(e.Attrs, k)
+			continue
+		}
+		e.Attrs[k] = append([]string(nil), vs...)
+	}
+}

@@ -1,0 +1,356 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDNNormalize(t *testing.T) {
+	d := DN("Sensor=CPU, Host=dpss1.lbl.gov , OU=sensors,O=jamm")
+	want := DN("sensor=CPU,host=dpss1.lbl.gov,ou=sensors,o=jamm")
+	if got := d.Normalize(); got != want {
+		t.Errorf("Normalize = %q, want %q", got, want)
+	}
+}
+
+func TestDNComponents(t *testing.T) {
+	d := DN("sensor=cpu,host=h1,o=jamm")
+	if d.RDN() != "sensor=cpu" {
+		t.Errorf("RDN = %q", d.RDN())
+	}
+	if d.Parent() != "host=h1,o=jamm" {
+		t.Errorf("Parent = %q", d.Parent())
+	}
+	if d.Depth() != 3 {
+		t.Errorf("Depth = %d", d.Depth())
+	}
+	if DN("").Depth() != 0 {
+		t.Error("empty DN depth != 0")
+	}
+}
+
+func TestDNIsUnder(t *testing.T) {
+	cases := []struct {
+		dn, base string
+		want     bool
+	}{
+		{"sensor=cpu,host=h1,o=jamm", "host=h1,o=jamm", true},
+		{"sensor=cpu,host=h1,o=jamm", "o=jamm", true},
+		{"sensor=cpu,host=h1,o=jamm", "sensor=cpu,host=h1,o=jamm", true},
+		{"host=h1,o=jamm", "host=h2,o=jamm", false},
+		{"host=h1,o=jamm", "", true},
+		{"host=h11,o=jamm", "host=h1,o=jamm", false}, // no substring confusion
+	}
+	for _, c := range cases {
+		if got := DN(c.dn).IsUnder(DN(c.base)); got != c.want {
+			t.Errorf("IsUnder(%q, %q) = %v", c.dn, c.base, got)
+		}
+	}
+}
+
+func TestDNValidate(t *testing.T) {
+	if err := DN("sensor=cpu,o=jamm").Validate(); err != nil {
+		t.Errorf("valid DN rejected: %v", err)
+	}
+	for _, bad := range []string{"", "nokey", "=value", "key=", "a=b,,c=d"} {
+		if err := DN(bad).Validate(); err == nil {
+			t.Errorf("Validate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFilterParseAndMatch(t *testing.T) {
+	e := NewEntry("sensor=cpu,host=h1,o=jamm", map[string]string{
+		"objectclass": "jammSensor",
+		"host":        "dpss1.lbl.gov",
+		"type":        "cpu",
+		"frequency":   "5",
+	})
+	cases := []struct {
+		filter string
+		want   bool
+	}{
+		{"(objectClass=jammSensor)", true},
+		{"(objectClass=JAMMSENSOR)", true}, // case-insensitive values
+		{"(objectClass=other)", false},
+		{"(host=*)", true},
+		{"(missing=*)", false},
+		{"(host=dpss*)", true},
+		{"(host=*lbl.gov)", true},
+		{"(host=*lbl*)", true},
+		{"(host=*nowhere*)", false},
+		{"(host=dpss*gov)", true},
+		{"(frequency>=5)", true},
+		{"(frequency>=6)", false},
+		{"(frequency<=5)", true},
+		{"(frequency<=4)", false},
+		{"(&(objectClass=jammSensor)(type=cpu))", true},
+		{"(&(objectClass=jammSensor)(type=mem))", false},
+		{"(|(type=mem)(type=cpu))", true},
+		{"(|(type=mem)(type=net))", false},
+		{"(!(type=mem))", true},
+		{"(!(type=cpu))", false},
+		{"(&(|(type=cpu)(type=mem))(!(host=other*)))", true},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Errorf("ParseFilter(%q): %v", c.filter, err)
+			continue
+		}
+		if got := f.Match(e); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.filter, got, c.want)
+		}
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "(", ")", "(a=b", "a=b", "(&)", "(!)", "((a=b))",
+		"(a=b)(c=d)", "(=x)", "(!((a=b))",
+	} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	attrs := []string{"a", "b", "c"}
+	var gen func(depth int) Filter
+	gen = func(depth int) Filter {
+		if depth <= 0 || rnd.Intn(2) == 0 {
+			attr := attrs[rnd.Intn(len(attrs))]
+			switch rnd.Intn(4) {
+			case 0:
+				return cmpFilter{attr: attr, kind: cmpEq, value: fmt.Sprint(rnd.Intn(10))}
+			case 1:
+				return cmpFilter{attr: attr, kind: cmpPresent}
+			case 2:
+				return cmpFilter{attr: attr, kind: cmpGE, value: fmt.Sprint(rnd.Intn(10))}
+			default:
+				return cmpFilter{attr: attr, kind: cmpSubstr, parts: []string{"x"}, anchorStart: rnd.Intn(2) == 0, anchorEnd: rnd.Intn(2) == 0}
+			}
+		}
+		switch rnd.Intn(3) {
+		case 0:
+			return andFilter{gen(depth - 1), gen(depth - 1)}
+		case 1:
+			return orFilter{gen(depth - 1), gen(depth - 1)}
+		default:
+			return notFilter{gen(depth - 1)}
+		}
+	}
+	f := func() bool {
+		orig := gen(3)
+		parsed, err := ParseFilter(orig.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == orig.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	return map[string]Backend{
+		"snapshot": NewSnapshotBackend(),
+		"mutable":  NewMutableBackend(),
+	}
+}
+
+func TestBackendCRUD(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			e := NewEntry("sensor=cpu,host=h1,o=jamm", map[string]string{"type": "cpu", "status": "running"})
+			if err := b.Add(e); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if err := b.Add(e); !errors.As(err, &ErrEntryExists{}) {
+				t.Errorf("duplicate Add err = %v", err)
+			}
+			got, err := b.Search("o=jamm", ScopeSubtree, All)
+			if err != nil || len(got) != 1 {
+				t.Fatalf("Search = %v, %v", got, err)
+			}
+			if v, _ := got[0].Get("type"); v != "cpu" {
+				t.Errorf("attr = %q", v)
+			}
+			if err := b.Modify(e.DN, map[string][]string{"status": {"stopped"}, "type": nil}); err != nil {
+				t.Fatalf("Modify: %v", err)
+			}
+			got, _ = b.Search(e.DN, ScopeBase, All)
+			if v, _ := got[0].Get("status"); v != "stopped" {
+				t.Errorf("status = %q", v)
+			}
+			if _, ok := got[0].Get("type"); ok {
+				t.Error("deleted attribute still present")
+			}
+			if err := b.Modify("sensor=none,o=jamm", nil); !errors.As(err, &ErrNoSuchEntry{}) {
+				t.Errorf("Modify missing err = %v", err)
+			}
+			if err := b.Delete(e.DN); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := b.Delete(e.DN); !errors.As(err, &ErrNoSuchEntry{}) {
+				t.Errorf("second Delete err = %v", err)
+			}
+			if b.Len() != 0 {
+				t.Errorf("Len = %d", b.Len())
+			}
+		})
+	}
+}
+
+func TestBackendScopes(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			add := func(dn string) {
+				if err := b.Add(NewEntry(DN(dn), map[string]string{"oc": "x"})); err != nil {
+					t.Fatal(err)
+				}
+			}
+			add("o=jamm")
+			add("host=h1,o=jamm")
+			add("sensor=cpu,host=h1,o=jamm")
+			add("sensor=mem,host=h1,o=jamm")
+			add("host=h2,o=jamm")
+
+			base, _ := b.Search("host=h1,o=jamm", ScopeBase, All)
+			if len(base) != 1 {
+				t.Errorf("base scope = %d entries", len(base))
+			}
+			one, _ := b.Search("host=h1,o=jamm", ScopeOneLevel, All)
+			if len(one) != 2 {
+				t.Errorf("one-level scope = %d entries", len(one))
+			}
+			sub, _ := b.Search("host=h1,o=jamm", ScopeSubtree, All)
+			if len(sub) != 3 {
+				t.Errorf("subtree scope = %d entries", len(sub))
+			}
+			all, _ := b.Search("", ScopeSubtree, All)
+			if len(all) != 5 {
+				t.Errorf("root subtree = %d entries", len(all))
+			}
+		})
+	}
+}
+
+func TestBackendSearchIsolation(t *testing.T) {
+	// Mutating a search result must not corrupt the store.
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b.Add(NewEntry("host=h1,o=jamm", map[string]string{"status": "up"})) //nolint:errcheck
+			got, _ := b.Search("", ScopeSubtree, All)
+			got[0].Set("status", "HACKED")
+			again, _ := b.Search("", ScopeSubtree, All)
+			if v, _ := again[0].Get("status"); v != "up" {
+				t.Errorf("store mutated through search result: %q", v)
+			}
+		})
+	}
+}
+
+func TestBackendEquivalenceQuick(t *testing.T) {
+	// Both backends must behave identically under a random op sequence.
+	rnd := rand.New(rand.NewSource(12))
+	sb := NewSnapshotBackend()
+	mb := NewMutableBackend()
+	dns := []DN{"a=1,o=x", "a=2,o=x", "b=1,a=1,o=x", "c=9,o=y"}
+	for i := 0; i < 2000; i++ {
+		dn := dns[rnd.Intn(len(dns))]
+		switch rnd.Intn(3) {
+		case 0:
+			e := NewEntry(dn, map[string]string{"v": fmt.Sprint(rnd.Intn(100))})
+			e1, e2 := sb.Add(e), mb.Add(e)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("Add divergence at %d: %v vs %v", i, e1, e2)
+			}
+		case 1:
+			attrs := map[string][]string{"v": {fmt.Sprint(rnd.Intn(100))}}
+			e1, e2 := sb.Modify(dn, attrs), mb.Modify(dn, attrs)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("Modify divergence at %d: %v vs %v", i, e1, e2)
+			}
+		case 2:
+			e1, e2 := sb.Delete(dn), mb.Delete(dn)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("Delete divergence at %d: %v vs %v", i, e1, e2)
+			}
+		}
+	}
+	s1, _ := sb.Search("", ScopeSubtree, All)
+	s2, _ := mb.Search("", ScopeSubtree, All)
+	if len(s1) != len(s2) {
+		t.Fatalf("final sizes differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].DN != s2[i].DN {
+			t.Errorf("entry %d: %q vs %q", i, s1[i].DN, s2[i].DN)
+		}
+		v1, _ := s1[i].Get("v")
+		v2, _ := s2[i].Get("v")
+		if v1 != v2 {
+			t.Errorf("entry %d value: %q vs %q", i, v1, v2)
+		}
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := NewEntry("sensor=cpu,host=h1,o=jamm", map[string]string{"type": "cpu"})
+	e.Add("member", "a")
+	e.Add("member", "b")
+	if got := e.GetAll("member"); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("GetAll = %v", got)
+	}
+	names := e.AttrNames()
+	if len(names) != 2 || names[0] != "member" || names[1] != "type" {
+		t.Fatalf("AttrNames = %v", names)
+	}
+	s := e.String()
+	for _, want := range []string{"dn: sensor=cpu,host=h1,o=jamm", "type: cpu", "member: a", "member: b"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+	if (ErrEntryExists{DN: "x=y"}).Error() == "" || (ErrNoSuchEntry{DN: "x=y"}).Error() == "" {
+		t.Fatal("error strings empty")
+	}
+	if DN("a=b,c=d").RDN() != "a=b" || DN("a=b").RDN() != "a=b" {
+		t.Fatal("RDN")
+	}
+}
+
+func TestScopeAndChangeStrings(t *testing.T) {
+	if ScopeBase.String() != "base" || ScopeOneLevel.String() != "one" || ScopeSubtree.String() != "sub" {
+		t.Fatal("scope strings")
+	}
+	if Scope(99).String() != "unknown" {
+		t.Fatal("unknown scope string")
+	}
+	for _, k := range []ChangeKind{ChangeAdd, ChangeModify, ChangeDelete} {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("change kind %d has string %q", k, k.String())
+		}
+	}
+}
+
+func TestParseScopeWire(t *testing.T) {
+	for in, want := range map[string]Scope{"base": ScopeBase, "one": ScopeOneLevel, "sub": ScopeSubtree, "": ScopeSubtree} {
+		got, err := parseScope(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScope(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScope("galaxy"); err == nil {
+		t.Fatal("bad scope accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package directory implements the JAMM sensor directory service: an
+// LDAP-like hierarchical directory (paper §2.2) where sensors publish
+// their existence and consumers discover which sensors are active and
+// which event gateway serves them.
+//
+// It provides the pieces the paper relies on: a directory information
+// tree addressed by distinguished names, RFC-2254-style search filters,
+// referrals between site servers (hierarchical LDAP), primary→replica
+// replication for fault tolerance ("Replication is critical to JAMM"),
+// LDAPv3-style persistent search notification ("event notification"
+// §2.2), and two storage backends — a read-optimized one matching stock
+// LDAP servers of the era ("optimized for read access, and do not work
+// well in an environment with many updates") and a write-optimized one
+// matching the Globus approach of putting an update-friendly database
+// under the LDAP protocol.
+//
+// The wire protocol is newline-delimited JSON over TCP rather than
+// BER/ASN.1 — a documented substitution preserving query semantics.
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DN is a distinguished name, most-specific RDN first, e.g.
+// "sensor=cpu,host=dpss1.lbl.gov,ou=sensors,o=jamm". Attribute names
+// are case-insensitive; Normalize canonicalizes them.
+type DN string
+
+// Normalize lower-cases attribute names and trims whitespace around
+// RDN components.
+func (d DN) Normalize() DN {
+	parts := strings.Split(string(d), ",")
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if eq := strings.IndexByte(p, '='); eq > 0 {
+			p = strings.ToLower(strings.TrimSpace(p[:eq])) + "=" + strings.TrimSpace(p[eq+1:])
+		}
+		parts[i] = p
+	}
+	return DN(strings.Join(parts, ","))
+}
+
+// Parent returns the DN with the leading RDN removed, or "" at the root.
+func (d DN) Parent() DN {
+	if i := strings.IndexByte(string(d), ','); i >= 0 {
+		return d[i+1:]
+	}
+	return ""
+}
+
+// RDN returns the leading relative DN component.
+func (d DN) RDN() string {
+	if i := strings.IndexByte(string(d), ','); i >= 0 {
+		return string(d[:i])
+	}
+	return string(d)
+}
+
+// IsUnder reports whether d is equal to or a descendant of base.
+func (d DN) IsUnder(base DN) bool {
+	dn := string(d.Normalize())
+	b := string(base.Normalize())
+	if b == "" {
+		return true
+	}
+	return dn == b || strings.HasSuffix(dn, ","+b)
+}
+
+// Depth returns the number of RDN components.
+func (d DN) Depth() int {
+	if d == "" {
+		return 0
+	}
+	return strings.Count(string(d), ",") + 1
+}
+
+// Validate checks the DN has the attr=value shape in every component.
+func (d DN) Validate() error {
+	if d == "" {
+		return fmt.Errorf("directory: empty DN")
+	}
+	for _, p := range strings.Split(string(d), ",") {
+		p = strings.TrimSpace(p)
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 || eq == len(p)-1 {
+			return fmt.Errorf("directory: malformed RDN %q in %q", p, d)
+		}
+	}
+	return nil
+}
+
+// Entry is one directory object: a DN plus multi-valued attributes.
+type Entry struct {
+	DN    DN                  `json:"dn"`
+	Attrs map[string][]string `json:"attrs"`
+}
+
+// NewEntry builds an entry with single-valued attributes.
+func NewEntry(dn DN, attrs map[string]string) Entry {
+	e := Entry{DN: dn.Normalize(), Attrs: make(map[string][]string, len(attrs))}
+	for k, v := range attrs {
+		e.Attrs[strings.ToLower(k)] = []string{v}
+	}
+	return e
+}
+
+// Get returns the first value of the named attribute.
+func (e Entry) Get(attr string) (string, bool) {
+	vs := e.Attrs[strings.ToLower(attr)]
+	if len(vs) == 0 {
+		return "", false
+	}
+	return vs[0], true
+}
+
+// GetAll returns every value of the named attribute.
+func (e Entry) GetAll(attr string) []string {
+	return e.Attrs[strings.ToLower(attr)]
+}
+
+// Set replaces the attribute with a single value.
+func (e Entry) Set(attr, value string) {
+	e.Attrs[strings.ToLower(attr)] = []string{value}
+}
+
+// Add appends a value to the attribute.
+func (e Entry) Add(attr, value string) {
+	k := strings.ToLower(attr)
+	e.Attrs[k] = append(e.Attrs[k], value)
+}
+
+// Clone returns a deep copy.
+func (e Entry) Clone() Entry {
+	c := Entry{DN: e.DN, Attrs: make(map[string][]string, len(e.Attrs))}
+	for k, vs := range e.Attrs {
+		c.Attrs[k] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// AttrNames returns the sorted attribute names.
+func (e Entry) AttrNames() []string {
+	names := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the entry LDIF-style for debugging and CLI output.
+func (e Entry) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dn: %s\n", e.DN)
+	for _, k := range e.AttrNames() {
+		for _, v := range e.Attrs[k] {
+			fmt.Fprintf(&sb, "%s: %s\n", k, v)
+		}
+	}
+	return sb.String()
+}
+
+// Scope selects how much of the tree a search covers.
+type Scope int
+
+// Search scopes, matching LDAP semantics.
+const (
+	ScopeBase Scope = iota
+	ScopeOneLevel
+	ScopeSubtree
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeBase:
+		return "base"
+	case ScopeOneLevel:
+		return "one"
+	case ScopeSubtree:
+		return "sub"
+	}
+	return "unknown"
+}
+
+// inScope reports whether dn falls within (base, scope).
+func inScope(dn, base DN, scope Scope) bool {
+	switch scope {
+	case ScopeBase:
+		return dn.Normalize() == base.Normalize()
+	case ScopeOneLevel:
+		return dn.Parent().Normalize() == base.Normalize()
+	default:
+		return dn.IsUnder(base)
+	}
+}

@@ -1,0 +1,311 @@
+package directory
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Filter is a parsed LDAP search filter. The grammar is the useful core
+// of RFC 2254:
+//
+//	(attr=value)   equality (case-insensitive value match)
+//	(attr=*)       presence
+//	(attr=ab*cd*)  substring with * wildcards
+//	(attr>=n)      numeric greater-or-equal
+//	(attr<=n)      numeric less-or-equal
+//	(&(f)(g)...)   and
+//	(|(f)(g)...)   or
+//	(!(f))         not
+type Filter interface {
+	Match(Entry) bool
+	String() string
+}
+
+// ParseFilter parses a filter expression.
+func ParseFilter(s string) (Filter, error) {
+	p := &filterParser{in: strings.TrimSpace(s)}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("directory: trailing input in filter at %d: %q", p.pos, p.in[p.pos:])
+	}
+	return f, nil
+}
+
+// MustFilter parses a filter known to be valid at compile time.
+func MustFilter(s string) Filter {
+	f, err := ParseFilter(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// All matches every entry.
+var All Filter = allFilter{}
+
+type allFilter struct{}
+
+func (allFilter) Match(Entry) bool { return true }
+func (allFilter) String() string   { return "(objectclass=*)" }
+
+type andFilter []Filter
+
+func (f andFilter) Match(e Entry) bool {
+	for _, sub := range f {
+		if !sub.Match(e) {
+			return false
+		}
+	}
+	return true
+}
+func (f andFilter) String() string { return compose("&", f) }
+
+type orFilter []Filter
+
+func (f orFilter) Match(e Entry) bool {
+	for _, sub := range f {
+		if sub.Match(e) {
+			return true
+		}
+	}
+	return false
+}
+func (f orFilter) String() string { return compose("|", f) }
+
+type notFilter struct{ inner Filter }
+
+func (f notFilter) Match(e Entry) bool { return !f.inner.Match(e) }
+func (f notFilter) String() string     { return "(!" + f.inner.String() + ")" }
+
+func compose(op string, subs []Filter) string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	sb.WriteString(op)
+	for _, s := range subs {
+		sb.WriteString(s.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+type cmpKind int
+
+const (
+	cmpEq cmpKind = iota
+	cmpPresent
+	cmpSubstr
+	cmpGE
+	cmpLE
+)
+
+type cmpFilter struct {
+	attr  string
+	kind  cmpKind
+	value string   // for eq/ge/le
+	parts []string // for substring: segments between '*'
+	// anchored flags for substring
+	anchorStart bool
+	anchorEnd   bool
+}
+
+func (f cmpFilter) Match(e Entry) bool {
+	values := e.GetAll(f.attr)
+	if f.kind == cmpPresent {
+		return len(values) > 0
+	}
+	for _, v := range values {
+		if f.matchValue(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f cmpFilter) matchValue(v string) bool {
+	switch f.kind {
+	case cmpEq:
+		return strings.EqualFold(v, f.value)
+	case cmpGE, cmpLE:
+		nv, err1 := strconv.ParseFloat(v, 64)
+		nf, err2 := strconv.ParseFloat(f.value, 64)
+		if err1 != nil || err2 != nil {
+			// Fall back to string comparison for non-numeric values.
+			if f.kind == cmpGE {
+				return v >= f.value
+			}
+			return v <= f.value
+		}
+		if f.kind == cmpGE {
+			return nv >= nf
+		}
+		return nv <= nf
+	case cmpSubstr:
+		s := strings.ToLower(v)
+		parts := f.parts
+		if f.anchorStart {
+			if !strings.HasPrefix(s, parts[0]) {
+				return false
+			}
+			s = s[len(parts[0]):]
+			parts = parts[1:]
+		}
+		var last string
+		if f.anchorEnd && len(parts) > 0 {
+			last = parts[len(parts)-1]
+			parts = parts[:len(parts)-1]
+		}
+		for _, p := range parts {
+			i := strings.Index(s, p)
+			if i < 0 {
+				return false
+			}
+			s = s[i+len(p):]
+		}
+		if f.anchorEnd {
+			return strings.HasSuffix(s, last)
+		}
+		return true
+	}
+	return false
+}
+
+func (f cmpFilter) String() string {
+	switch f.kind {
+	case cmpPresent:
+		return "(" + f.attr + "=*)"
+	case cmpGE:
+		return "(" + f.attr + ">=" + f.value + ")"
+	case cmpLE:
+		return "(" + f.attr + "<=" + f.value + ")"
+	case cmpSubstr:
+		var pat strings.Builder
+		if !f.anchorStart {
+			pat.WriteByte('*')
+		}
+		pat.WriteString(strings.Join(f.parts, "*"))
+		if !f.anchorEnd {
+			pat.WriteByte('*')
+		}
+		return "(" + f.attr + "=" + pat.String() + ")"
+	default:
+		return "(" + f.attr + "=" + f.value + ")"
+	}
+}
+
+type filterParser struct {
+	in  string
+	pos int
+}
+
+func (p *filterParser) parse() (Filter, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("directory: unterminated filter")
+	}
+	var f Filter
+	var err error
+	switch p.in[p.pos] {
+	case '&', '|':
+		op := p.in[p.pos]
+		p.pos++
+		var subs []Filter
+		for p.pos < len(p.in) && p.in[p.pos] == '(' {
+			sub, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("directory: empty composite filter")
+		}
+		if op == '&' {
+			f = andFilter(subs)
+		} else {
+			f = orFilter(subs)
+		}
+	case '!':
+		p.pos++
+		inner, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		f = notFilter{inner}
+	default:
+		f, err = p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *filterParser) parseCmp() (Filter, error) {
+	end := strings.IndexByte(p.in[p.pos:], ')')
+	if end < 0 {
+		return nil, fmt.Errorf("directory: unterminated comparison")
+	}
+	body := p.in[p.pos : p.pos+end]
+	p.pos += end
+
+	var attr, op, value string
+	if i := strings.Index(body, ">="); i > 0 {
+		attr, op, value = body[:i], ">=", body[i+2:]
+	} else if i := strings.Index(body, "<="); i > 0 {
+		attr, op, value = body[:i], "<=", body[i+2:]
+	} else if i := strings.IndexByte(body, '='); i > 0 {
+		attr, op, value = body[:i], "=", body[i+1:]
+	} else {
+		return nil, fmt.Errorf("directory: bad comparison %q", body)
+	}
+	attr = strings.ToLower(strings.TrimSpace(attr))
+	if attr == "" {
+		return nil, fmt.Errorf("directory: empty attribute in %q", body)
+	}
+	if strings.ContainsAny(attr, "()&|!*") {
+		return nil, fmt.Errorf("directory: bad attribute %q in %q", attr, body)
+	}
+	switch op {
+	case ">=":
+		return cmpFilter{attr: attr, kind: cmpGE, value: value}, nil
+	case "<=":
+		return cmpFilter{attr: attr, kind: cmpLE, value: value}, nil
+	}
+	if value == "*" {
+		return cmpFilter{attr: attr, kind: cmpPresent}, nil
+	}
+	if strings.ContainsRune(value, '*') {
+		segs := strings.Split(strings.ToLower(value), "*")
+		f := cmpFilter{attr: attr, kind: cmpSubstr,
+			anchorStart: segs[0] != "",
+			anchorEnd:   segs[len(segs)-1] != "",
+		}
+		for _, s := range segs {
+			if s != "" {
+				f.parts = append(f.parts, s)
+			}
+		}
+		if len(f.parts) == 0 {
+			return cmpFilter{attr: attr, kind: cmpPresent}, nil
+		}
+		return f, nil
+	}
+	return cmpFilter{attr: attr, kind: cmpEq, value: value}, nil
+}
+
+func (p *filterParser) expect(c byte) error {
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("directory: expected %q at position %d in %q", string(c), p.pos, p.in)
+	}
+	p.pos++
+	return nil
+}

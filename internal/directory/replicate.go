@@ -1,0 +1,50 @@
+package directory
+
+import (
+	"sync"
+)
+
+// ReplicateFrom turns replica into a live read-only copy of the
+// directory served at the client's address, over the wire protocol:
+// LDAP-style replication, which the paper calls critical — "failure of
+// the sensor directory server could take down the entire system."
+//
+// The replica first opens a persistent search (so no change is missed),
+// then seeds itself with a full search, then applies the buffered and
+// subsequent live changes. All three steps are idempotent under
+// ApplyReplicated, so overlap between the seed and the stream is
+// harmless. The returned stop function ends replication; the replica
+// keeps serving its last state afterwards (stale reads beat no reads
+// when the primary is down).
+func ReplicateFrom(replica *Server, cli *Client, base DN) (stop func(), err error) {
+	replica.SetReadOnly(true)
+
+	changes, cancel, err := cli.Watch(base, "")
+	if err != nil {
+		return nil, err
+	}
+	entries, err := cli.Search(base, ScopeSubtree, "")
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, e := range entries {
+		replica.ApplyReplicated(Change{Kind: ChangeAdd, Entry: e})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ch := range changes {
+			replica.ApplyReplicated(ch)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			wg.Wait()
+		})
+	}, nil
+}

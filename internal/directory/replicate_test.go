@@ -1,0 +1,103 @@
+package directory
+
+import (
+	"testing"
+	"time"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestReplicateOverWire(t *testing.T) {
+	primary := NewServer("primary", NewMutableBackend())
+	// Pre-existing entries are seeded.
+	if err := primary.Add("m", NewEntry("sensor=cpu,host=h1,o=jamm", map[string]string{"status": "running"})); err != nil {
+		t.Fatal(err)
+	}
+	pTCP, err := ServeTCP(primary, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pTCP.Close()
+
+	replica := NewServer("replica", NewMutableBackend())
+	stop, err := ReplicateFrom(replica, NewClient("replica", pTCP.Addr()), "o=jamm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Seeded entry is visible.
+	waitUntil(t, "seed", func() bool { return replica.Backend().Len() == 1 })
+	// Live changes replicate: add, modify, delete.
+	if err := primary.Add("m", NewEntry("sensor=mem,host=h1,o=jamm", map[string]string{"status": "running"})); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "replicated add", func() bool { return replica.Backend().Len() == 2 })
+	if err := primary.Modify("m", "sensor=cpu,host=h1,o=jamm", map[string][]string{"status": {"stopped"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "replicated modify", func() bool {
+		got, err := replica.Search("c", "sensor=cpu,host=h1,o=jamm", ScopeBase, All)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		s, _ := got[0].Get("status")
+		return s == "stopped"
+	})
+	if err := primary.Delete("m", "sensor=mem,host=h1,o=jamm"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "replicated delete", func() bool { return replica.Backend().Len() == 1 })
+
+	// The replica refuses direct writes.
+	if err := replica.Add("m", NewEntry("sensor=x,o=jamm", nil)); err == nil {
+		t.Fatal("read-only replica accepted a write")
+	}
+}
+
+func TestReplicaServesAfterPrimaryDeath(t *testing.T) {
+	primary := NewServer("primary", NewMutableBackend())
+	if err := primary.Add("m", NewEntry("sensor=cpu,host=h1,o=jamm", map[string]string{"status": "running"})); err != nil {
+		t.Fatal(err)
+	}
+	pTCP, err := ServeTCP(primary, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replica := NewServer("replica", NewMutableBackend())
+	stop, err := ReplicateFrom(replica, NewClient("replica", pTCP.Addr()), "o=jamm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	rTCP, err := ServeTCP(replica, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rTCP.Close()
+
+	// A consumer configured with both addresses fails over when the
+	// primary dies ("replication is critical to JAMM").
+	cli := NewClient("consumer", pTCP.Addr(), rTCP.Addr())
+	cli.Timeout = time.Second
+	entries, err := cli.Search("o=jamm", ScopeSubtree, "")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("search via primary: %v, %d entries", err, len(entries))
+	}
+	pTCP.Close() // primary dies
+	entries, err = cli.Search("o=jamm", ScopeSubtree, "")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("failover search via replica: %v, %d entries", err, len(entries))
+	}
+}

@@ -1,0 +1,375 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChangeKind classifies a directory change for persistent-search
+// notification and replication.
+type ChangeKind int
+
+// Change kinds.
+const (
+	ChangeAdd ChangeKind = iota
+	ChangeModify
+	ChangeDelete
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAdd:
+		return "add"
+	case ChangeModify:
+		return "modify"
+	case ChangeDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Change is one mutation, as delivered to watchers and replicas.
+type Change struct {
+	Kind  ChangeKind          `json:"kind"`
+	Entry Entry               `json:"entry"` // post-image (pre-image for delete)
+	Mods  map[string][]string `json:"mods,omitempty"`
+	Seq   uint64              `json:"seq"`
+}
+
+// Op names a directory operation for access control.
+type Op int
+
+// Operations subject to access control.
+const (
+	OpSearch Op = iota
+	OpAdd
+	OpModify
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpAdd:
+		return "add"
+	case OpModify:
+		return "modify"
+	case OpDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// AccessFunc authorizes principal to perform op on dn. The §7.1 design
+// calls for the LDAP wrapper and the event gateway to "call the same
+// authorization interface"; internal/auth provides implementations.
+type AccessFunc func(principal string, op Op, dn DN) error
+
+// Watch is a persistent-search registration: the LDAPv3 "event
+// notification" service the paper wants — "register interest in an
+// entry (i.e., sensor running) ... LDAP will notify the client when
+// that entry becomes available or is updated".
+type Watch struct {
+	srv    *Server
+	id     int
+	base   DN
+	scope  Scope
+	filter Filter
+	ch     chan Change
+}
+
+// Events returns the change stream. The channel is buffered; if a
+// consumer falls far behind, sends drop (watchers are advisory, like
+// real persistent search).
+func (w *Watch) Events() <-chan Change { return w.ch }
+
+// Cancel unregisters the watch and closes its channel.
+func (w *Watch) Cancel() {
+	w.srv.mu.Lock()
+	defer w.srv.mu.Unlock()
+	if _, ok := w.srv.watches[w.id]; ok {
+		delete(w.srv.watches, w.id)
+		close(w.ch)
+	}
+}
+
+// Server is one directory server instance: a backend plus notification,
+// replication, and referral machinery. Several servers form a site
+// hierarchy via referrals; a primary feeds replicas for fault
+// tolerance.
+type Server struct {
+	Name string
+
+	mu        sync.Mutex
+	backend   Backend
+	watches   map[int]*Watch
+	watchSeq  int
+	changeSeq uint64
+	replicas  []func(Change) // replica appliers (in-proc or wire)
+	referrals map[DN]string  // subtree -> address of authoritative server
+	access    AccessFunc
+	readOnly  bool // replicas reject direct writes
+}
+
+// NewServer returns a server over the given backend.
+func NewServer(name string, backend Backend) *Server {
+	return &Server{
+		Name:      name,
+		backend:   backend,
+		watches:   make(map[int]*Watch),
+		referrals: make(map[DN]string),
+	}
+}
+
+// SetAccess installs the authorization hook; nil allows everything.
+func (s *Server) SetAccess(fn AccessFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.access = fn
+}
+
+// SetReadOnly marks the server as a replica that refuses direct writes.
+func (s *Server) SetReadOnly(ro bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readOnly = ro
+}
+
+// Backend exposes the underlying store (benchmarks swap backends).
+func (s *Server) Backend() Backend { return s.backend }
+
+func (s *Server) authorize(principal string, op Op, dn DN) error {
+	s.mu.Lock()
+	fn := s.access
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(principal, op, dn)
+}
+
+// ErrReferral tells the client to retry the operation at another
+// server, as hierarchical LDAP deployments do between sites.
+type ErrReferral struct {
+	DN      DN
+	Address string
+}
+
+func (e ErrReferral) Error() string {
+	return fmt.Sprintf("directory: referral for %q to %s", e.DN, e.Address)
+}
+
+// ErrReadOnly reports a write against a replica.
+var ErrReadOnly = fmt.Errorf("directory: server is a read-only replica")
+
+// AddReferral delegates a subtree to the server at address.
+func (s *Server) AddReferral(base DN, address string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.referrals[base.Normalize()] = address
+}
+
+// referralFor returns the delegation covering dn, if any.
+func (s *Server) referralFor(dn DN) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for base, addr := range s.referrals {
+		if dn.IsUnder(base) {
+			return addr, true
+		}
+	}
+	return "", false
+}
+
+// Add inserts an entry on behalf of principal.
+func (s *Server) Add(principal string, e Entry) error {
+	dn := e.DN.Normalize()
+	if addr, ok := s.referralFor(dn); ok {
+		return ErrReferral{dn, addr}
+	}
+	if err := s.authorize(principal, OpAdd, dn); err != nil {
+		return err
+	}
+	if s.isReadOnly() {
+		return ErrReadOnly
+	}
+	if err := s.backend.Add(e); err != nil {
+		return err
+	}
+	e = e.Clone()
+	e.DN = dn
+	s.broadcast(Change{Kind: ChangeAdd, Entry: e})
+	return nil
+}
+
+// Modify replaces attributes of an entry on behalf of principal.
+func (s *Server) Modify(principal string, dn DN, attrs map[string][]string) error {
+	dn = dn.Normalize()
+	if addr, ok := s.referralFor(dn); ok {
+		return ErrReferral{dn, addr}
+	}
+	if err := s.authorize(principal, OpModify, dn); err != nil {
+		return err
+	}
+	if s.isReadOnly() {
+		return ErrReadOnly
+	}
+	if err := s.backend.Modify(dn, attrs); err != nil {
+		return err
+	}
+	post, _ := s.backend.Search(dn, ScopeBase, All)
+	var img Entry
+	if len(post) == 1 {
+		img = post[0]
+	}
+	s.broadcast(Change{Kind: ChangeModify, Entry: img, Mods: attrs})
+	return nil
+}
+
+// Delete removes an entry on behalf of principal.
+func (s *Server) Delete(principal string, dn DN) error {
+	dn = dn.Normalize()
+	if addr, ok := s.referralFor(dn); ok {
+		return ErrReferral{dn, addr}
+	}
+	if err := s.authorize(principal, OpDelete, dn); err != nil {
+		return err
+	}
+	if s.isReadOnly() {
+		return ErrReadOnly
+	}
+	pre, _ := s.backend.Search(dn, ScopeBase, All)
+	if err := s.backend.Delete(dn); err != nil {
+		return err
+	}
+	var img Entry
+	if len(pre) == 1 {
+		img = pre[0]
+	}
+	img.DN = dn
+	s.broadcast(Change{Kind: ChangeDelete, Entry: img})
+	return nil
+}
+
+// Search queries the tree on behalf of principal. A search whose base
+// lies in a delegated subtree returns ErrReferral.
+func (s *Server) Search(principal string, base DN, scope Scope, filter Filter) ([]Entry, error) {
+	base = base.Normalize()
+	if addr, ok := s.referralFor(base); ok {
+		return nil, ErrReferral{base, addr}
+	}
+	if err := s.authorize(principal, OpSearch, base); err != nil {
+		return nil, err
+	}
+	return s.backend.Search(base, scope, filter)
+}
+
+func (s *Server) isReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
+// WatchSubtree registers a persistent search under base.
+func (s *Server) WatchSubtree(base DN, filter Filter) *Watch {
+	if filter == nil {
+		filter = All
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchSeq++
+	w := &Watch{
+		srv: s, id: s.watchSeq,
+		base: base.Normalize(), scope: ScopeSubtree,
+		filter: filter,
+		ch:     make(chan Change, 128),
+	}
+	s.watches[w.id] = w
+	return w
+}
+
+// broadcast fans a change out to watchers and replicas.
+func (s *Server) broadcast(ch Change) {
+	s.mu.Lock()
+	s.changeSeq++
+	ch.Seq = s.changeSeq
+	watchers := make([]*Watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		watchers = append(watchers, w)
+	}
+	replicas := append([]func(Change){}, s.replicas...)
+	s.mu.Unlock()
+
+	for _, w := range watchers {
+		match := ch.Entry.DN.IsUnder(w.base) && (ch.Kind == ChangeDelete || w.filter.Match(ch.Entry))
+		if !match {
+			continue
+		}
+		select {
+		case w.ch <- ch:
+		default: // watcher is far behind; drop rather than block the server
+		}
+	}
+	for _, r := range replicas {
+		r(ch)
+	}
+}
+
+// AttachReplica registers a change applier, seeding it with the current
+// contents. In-process replication uses AttachServerReplica; the wire
+// layer attaches remote repliers the same way.
+func (s *Server) AttachReplica(apply func(Change)) error {
+	entries, err := s.backend.Search("", ScopeSubtree, All)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replicas = append(s.replicas, apply)
+	s.mu.Unlock()
+	for _, e := range entries {
+		apply(Change{Kind: ChangeAdd, Entry: e})
+	}
+	return nil
+}
+
+// AttachServerReplica wires replica to receive every change from s.
+// The replica is marked read-only.
+func (s *Server) AttachServerReplica(replica *Server) error {
+	replica.SetReadOnly(true)
+	return s.AttachReplica(replica.ApplyReplicated)
+}
+
+// ApplyReplicated applies a change from the primary, bypassing the
+// read-only gate and re-broadcasting to local watchers.
+func (s *Server) ApplyReplicated(ch Change) {
+	switch ch.Kind {
+	case ChangeAdd:
+		if err := s.backend.Add(ch.Entry); err != nil {
+			// Duplicate seed after reconnect: degrade to modify.
+			_ = s.backend.Modify(ch.Entry.DN, ch.Entry.Attrs)
+		}
+	case ChangeModify:
+		if err := s.backend.Modify(ch.Entry.DN, ch.Mods); err != nil {
+			_ = s.backend.Add(ch.Entry)
+		}
+	case ChangeDelete:
+		_ = s.backend.Delete(ch.Entry.DN)
+	}
+	// Propagate to this server's watchers (not to its own replicas, to
+	// avoid cycles in mesh configurations).
+	s.mu.Lock()
+	watchers := make([]*Watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		watchers = append(watchers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range watchers {
+		if ch.Entry.DN.IsUnder(w.base) && (ch.Kind == ChangeDelete || w.filter.Match(ch.Entry)) {
+			select {
+			case w.ch <- ch:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func sensorEntry(host, sensor string) Entry {
+	return NewEntry(
+		DN(fmt.Sprintf("sensor=%s,host=%s,ou=sensors,o=jamm", sensor, host)),
+		map[string]string{
+			"objectclass": "jammSensor",
+			"host":        host,
+			"type":        sensor,
+			"gateway":     "gw-" + host + ":7711",
+			"status":      "running",
+		})
+}
+
+func TestServerCRUDAndSearch(t *testing.T) {
+	s := NewServer("primary", NewMutableBackend())
+	if err := s.Add("admin", sensorEntry("h1", "cpu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("admin", sensorEntry("h1", "mem")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Search("anyone", "ou=sensors,o=jamm", ScopeSubtree, MustFilter("(type=cpu)"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Search = %v, %v", got, err)
+	}
+	if err := s.Modify("admin", got[0].DN, map[string][]string{"status": {"stopped"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("admin", got[0].DN); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAccessControl(t *testing.T) {
+	s := NewServer("primary", NewMutableBackend())
+	s.SetAccess(func(principal string, op Op, dn DN) error {
+		if op == OpSearch || principal == "admin" {
+			return nil
+		}
+		return fmt.Errorf("denied %s for %s", op, principal)
+	})
+	if err := s.Add("mallory", sensorEntry("h1", "cpu")); err == nil {
+		t.Error("unauthorized Add succeeded")
+	}
+	if err := s.Add("admin", sensorEntry("h1", "cpu")); err != nil {
+		t.Errorf("authorized Add failed: %v", err)
+	}
+	if _, err := s.Search("mallory", "o=jamm", ScopeSubtree, All); err != nil {
+		t.Errorf("read-open Search failed: %v", err)
+	}
+}
+
+func TestWatchNotifiesMatchingChanges(t *testing.T) {
+	s := NewServer("primary", NewMutableBackend())
+	w := s.WatchSubtree("host=h1,ou=sensors,o=jamm", MustFilter("(type=cpu)"))
+	defer w.Cancel()
+
+	s.Add("a", sensorEntry("h1", "cpu")) //nolint:errcheck
+	s.Add("a", sensorEntry("h1", "mem")) //nolint:errcheck — filtered out
+	s.Add("a", sensorEntry("h2", "cpu")) //nolint:errcheck — outside base
+
+	select {
+	case ch := <-w.Events():
+		if ch.Kind != ChangeAdd {
+			t.Errorf("kind = %v", ch.Kind)
+		}
+		if v, _ := ch.Entry.Get("type"); v != "cpu" {
+			t.Errorf("entry = %+v", ch.Entry)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notification")
+	}
+	select {
+	case ch := <-w.Events():
+		t.Fatalf("unexpected second notification: %+v", ch)
+	default:
+	}
+
+	// Delete notifications bypass the filter (the entry is gone).
+	s.Delete("a", sensorEntry("h1", "cpu").DN) //nolint:errcheck
+	select {
+	case ch := <-w.Events():
+		if ch.Kind != ChangeDelete {
+			t.Errorf("kind = %v", ch.Kind)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delete notification")
+	}
+}
+
+func TestWatchCancelStopsDelivery(t *testing.T) {
+	s := NewServer("primary", NewMutableBackend())
+	w := s.WatchSubtree("", nil)
+	w.Cancel()
+	if _, open := <-w.Events(); open {
+		t.Error("channel open after Cancel")
+	}
+	s.Add("a", sensorEntry("h1", "cpu")) //nolint:errcheck — must not panic
+	w.Cancel()                           // idempotent
+}
+
+func TestReplication(t *testing.T) {
+	primary := NewServer("primary", NewMutableBackend())
+	primary.Add("a", sensorEntry("h1", "cpu")) //nolint:errcheck
+
+	replica := NewServer("replica", NewMutableBackend())
+	if err := primary.AttachServerReplica(replica); err != nil {
+		t.Fatal(err)
+	}
+	// Seeding copies pre-existing entries.
+	got, err := replica.Search("any", "o=jamm", ScopeSubtree, All)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("replica after seed: %v, %v", got, err)
+	}
+	// Subsequent changes propagate.
+	primary.Add("a", sensorEntry("h2", "cpu"))                                                   //nolint:errcheck
+	primary.Modify("a", sensorEntry("h1", "cpu").DN, map[string][]string{"status": {"stopped"}}) //nolint:errcheck
+	got, _ = replica.Search("any", "o=jamm", ScopeSubtree, All)
+	if len(got) != 2 {
+		t.Fatalf("replica has %d entries", len(got))
+	}
+	for _, e := range got {
+		if h, _ := e.Get("host"); h == "h1" {
+			if v, _ := e.Get("status"); v != "stopped" {
+				t.Errorf("modify not replicated: %+v", e)
+			}
+		}
+	}
+	primary.Delete("a", sensorEntry("h2", "cpu").DN) //nolint:errcheck
+	got, _ = replica.Search("any", "o=jamm", ScopeSubtree, All)
+	if len(got) != 1 {
+		t.Errorf("delete not replicated: %d entries", len(got))
+	}
+	// Replica refuses direct writes.
+	if err := replica.Add("a", sensorEntry("h9", "cpu")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("replica direct write err = %v", err)
+	}
+}
+
+func TestReplicaWatchersNotified(t *testing.T) {
+	primary := NewServer("primary", NewMutableBackend())
+	replica := NewServer("replica", NewMutableBackend())
+	primary.AttachServerReplica(replica) //nolint:errcheck
+	w := replica.WatchSubtree("o=jamm", nil)
+	defer w.Cancel()
+	primary.Add("a", sensorEntry("h1", "cpu")) //nolint:errcheck
+	select {
+	case ch := <-w.Events():
+		if ch.Kind != ChangeAdd {
+			t.Errorf("kind = %v", ch.Kind)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("replica watcher not notified")
+	}
+}
+
+func TestReferrals(t *testing.T) {
+	lbl := NewServer("lbl", NewMutableBackend())
+	lbl.AddReferral("ou=sensors,o=anl", "anl.example:389")
+	lbl.Add("a", sensorEntry("h1", "cpu")) //nolint:errcheck
+
+	_, err := lbl.Search("any", "host=x,ou=sensors,o=anl", ScopeSubtree, All)
+	var ref ErrReferral
+	if !errors.As(err, &ref) {
+		t.Fatalf("err = %v, want referral", err)
+	}
+	if ref.Address != "anl.example:389" {
+		t.Errorf("referral address = %q", ref.Address)
+	}
+	// Writes are referred too.
+	if err := lbl.Add("a", NewEntry("host=x,ou=sensors,o=anl", map[string]string{"a": "b"})); !errors.As(err, &ref) {
+		t.Errorf("Add err = %v, want referral", err)
+	}
+	// Local subtree unaffected.
+	if _, err := lbl.Search("any", "o=jamm", ScopeSubtree, All); err != nil {
+		t.Errorf("local search failed: %v", err)
+	}
+}

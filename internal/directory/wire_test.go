@@ -1,0 +1,175 @@
+package directory
+
+import (
+	"testing"
+	"time"
+)
+
+func startWire(t *testing.T) (*Server, *TCPServer) {
+	t.Helper()
+	srv := NewServer("primary", NewMutableBackend())
+	ts, err := ServeTCP(srv, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return srv, ts
+}
+
+func TestWireCRUDRoundTrip(t *testing.T) {
+	_, ts := startWire(t)
+	c := NewClient("tester", ts.Addr())
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Add(sensorEntry("h1", "cpu")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := c.Add(sensorEntry("h1", "cpu")); err == nil {
+		t.Error("duplicate Add succeeded over wire")
+	}
+	got, err := c.Search("o=jamm", ScopeSubtree, "(type=cpu)")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Search = %v, %v", got, err)
+	}
+	if err := c.Modify(got[0].DN, map[string][]string{"status": {"stopped"}}); err != nil {
+		t.Fatalf("Modify: %v", err)
+	}
+	got, _ = c.Search("o=jamm", ScopeSubtree, "(status=stopped)")
+	if len(got) != 1 {
+		t.Fatalf("modified entry not found")
+	}
+	if err := c.Delete(got[0].DN); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	got, _ = c.Search("o=jamm", ScopeSubtree, "")
+	if len(got) != 0 {
+		t.Errorf("%d entries after delete", len(got))
+	}
+}
+
+func TestWireBadFilterReported(t *testing.T) {
+	_, ts := startWire(t)
+	c := NewClient("tester", ts.Addr())
+	if _, err := c.Search("o=jamm", ScopeSubtree, "(((broken"); err == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func TestWireFailover(t *testing.T) {
+	// First address is dead; client must fail over to the live server.
+	_, ts := startWire(t)
+	c := NewClient("tester", "127.0.0.1:1", ts.Addr())
+	c.Timeout = 2 * time.Second
+	if err := c.Add(sensorEntry("h1", "cpu")); err != nil {
+		t.Fatalf("Add with failover: %v", err)
+	}
+	got, err := c.Search("o=jamm", ScopeSubtree, "")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Search with failover = %v, %v", got, err)
+	}
+}
+
+func TestWireAllServersDown(t *testing.T) {
+	c := NewClient("tester", "127.0.0.1:1")
+	c.Timeout = time.Second
+	if err := c.Ping(); err == nil {
+		t.Error("Ping with no live servers succeeded")
+	}
+}
+
+func TestWireWatchStreams(t *testing.T) {
+	srv, ts := startWire(t)
+	c := NewClient("tester", ts.Addr())
+	events, stop, err := c.Watch("o=jamm", "(type=cpu)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	srv.Add("x", sensorEntry("h1", "cpu")) //nolint:errcheck
+	srv.Add("x", sensorEntry("h1", "mem")) //nolint:errcheck — filtered
+	select {
+	case ch := <-events:
+		if ch.Kind != ChangeAdd {
+			t.Errorf("kind = %v", ch.Kind)
+		}
+		if v, _ := ch.Entry.Get("type"); v != "cpu" {
+			t.Errorf("entry = %+v", ch.Entry)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no change event over wire")
+	}
+	stop()
+	// Channel eventually closes after stop.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, open := <-events:
+			if !open {
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel did not close after stop")
+		}
+	}
+}
+
+func TestWireReferralFollowed(t *testing.T) {
+	// Site B holds the ANL subtree; site A refers to it.
+	srvB := NewServer("anl", NewMutableBackend())
+	tsB, err := ServeTCP(srvB, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsB.Close()
+	srvB.Add("x", NewEntry("sensor=cpu,host=ha,ou=sensors,o=anl", map[string]string{"type": "cpu"})) //nolint:errcheck
+
+	srvA := NewServer("lbl", NewMutableBackend())
+	srvA.AddReferral("ou=sensors,o=anl", tsB.Addr())
+	tsA, err := ServeTCP(srvA, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsA.Close()
+
+	c := NewClient("tester", tsA.Addr())
+	got, err := c.Search("ou=sensors,o=anl", ScopeSubtree, "(type=cpu)")
+	if err != nil {
+		t.Fatalf("referred search: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("referred search returned %d entries", len(got))
+	}
+
+	// With following disabled the referral surfaces as an error.
+	c.FollowReferrals = false
+	if _, err := c.Search("ou=sensors,o=anl", ScopeSubtree, ""); err == nil {
+		t.Error("referral not surfaced when following disabled")
+	}
+}
+
+func TestWireReplicaFailoverReads(t *testing.T) {
+	primary := NewServer("primary", NewMutableBackend())
+	replica := NewServer("replica", NewMutableBackend())
+	primary.AttachServerReplica(replica)       //nolint:errcheck
+	primary.Add("x", sensorEntry("h1", "cpu")) //nolint:errcheck
+
+	tsP, err := ServeTCP(primary, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsR, err := ServeTCP(replica, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsR.Close()
+
+	c := NewClient("tester", tsP.Addr(), tsR.Addr())
+	c.Timeout = 2 * time.Second
+	// Kill the primary: reads must keep working via the replica.
+	tsP.Close()
+	got, err := c.Search("o=jamm", ScopeSubtree, "")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("read after primary death = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package dpss implements the Distributed Parallel Storage System and
+// the Matisse MEMS-video player built on it, the Grid application of
+// the paper's §6 evaluation. A DPSS dataset is striped across block
+// servers; the player (mplay) requests each frame's stripes from all
+// servers in parallel over TCP, reassembles them, and displays the
+// image. Every component is instrumented with NetLogger application
+// sensors emitting the exact events of Figure 7: MPLAY_START_READ_FRAME,
+// MPLAY_END_READ_FRAME, MPLAY_START_PUT_IMAGE, MPLAY_END_PUT_IMAGE on
+// the player, and DPSS_START_READ/DPSS_END_READ on the servers.
+//
+// The player also logs each low-level read() call's byte count
+// (MPLAY_READ, field SZ), which is the data behind the paper's Figure 3
+// scatter plot: read sizes cluster at two distinct values — the full
+// request size when the socket buffer is ahead of the reader, and a
+// small TCP-burst remainder when it drains.
+package dpss
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jamm/internal/netlog"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+// Event names emitted by the DPSS/Matisse instrumentation.
+const (
+	EvServStartRead  = "DPSS_START_READ"
+	EvServEndRead    = "DPSS_END_READ"
+	EvStartReadFrame = "MPLAY_START_READ_FRAME"
+	EvEndReadFrame   = "MPLAY_END_READ_FRAME"
+	EvStartPutImage  = "MPLAY_START_PUT_IMAGE"
+	EvEndPutImage    = "MPLAY_END_PUT_IMAGE"
+	EvRead           = "MPLAY_READ"
+)
+
+// ServerConfig tunes one DPSS block server.
+type ServerConfig struct {
+	// DiskRateMBps is the server's disk read bandwidth (default 50).
+	DiskRateMBps float64
+	// ProcName is the server process name visible to process sensors
+	// (default "dpss_server").
+	ProcName string
+}
+
+// Server is one DPSS block server.
+type Server struct {
+	host *simhost.Host
+	log  *netlog.Logger
+	cfg  ServerConfig
+	proc *simhost.Process
+}
+
+// NewServer starts a block server on h, logging through log (which may
+// be nil for an uninstrumented server). The server process appears in
+// the host's process table so JAMM process sensors can watch it.
+func NewServer(h *simhost.Host, log *netlog.Logger, cfg ServerConfig) *Server {
+	if cfg.DiskRateMBps <= 0 {
+		cfg.DiskRateMBps = 50
+	}
+	if cfg.ProcName == "" {
+		cfg.ProcName = "dpss_server"
+	}
+	s := &Server{host: h, log: log, cfg: cfg}
+	s.proc = h.Spawn(cfg.ProcName, 0.05, 32*1024)
+	return s
+}
+
+// Host returns the server's host.
+func (s *Server) Host() *simhost.Host { return s.host }
+
+// Proc returns the server's process, for fault injection (crash the
+// server and watch JAMM's process sensors catch it).
+func (s *Server) Proc() *simhost.Process { return s.proc }
+
+// Running reports whether the server process is alive.
+func (s *Server) Running() bool { return s.proc.State == simhost.ProcRunning }
+
+// ServeStripe reads bytes from disk and sends them on the flow,
+// invoking done when the last byte is delivered to the client. A dead
+// server ignores requests (the client's frame stalls — exactly the
+// fault JAMM monitoring is meant to expose).
+func (s *Server) ServeStripe(flow *simnet.Flow, bytes float64, frame int, done func()) {
+	if !s.Running() {
+		return
+	}
+	sched := s.host.Scheduler()
+	diskDelay := time.Duration(bytes / (s.cfg.DiskRateMBps * 1e6) * float64(time.Second))
+	s.event(EvServStartRead, frame, bytes)
+	s.host.ChargeDiskRead(bytes / 1024)
+	sched.After(diskDelay, func() {
+		if !s.Running() {
+			return
+		}
+		s.event(EvServEndRead, frame, bytes)
+		flow.Send(bytes, done)
+	})
+}
+
+func (s *Server) event(name string, frame int, bytes float64) {
+	if s.log == nil {
+		return
+	}
+	s.log.Write(name, netlog.F("FRAME", frame), netlog.F("SZ", int(bytes)))
+}
+
+// ClientConfig tunes the Matisse player.
+type ClientConfig struct {
+	// FrameBytes is the size of one video frame (default 1 MB — high
+	// resolution MEMS video).
+	FrameBytes float64
+	// ReadChunk is the player's low-level read() request size
+	// (default 64 KB).
+	ReadChunk float64
+	// DecodeTime is the per-frame analysis/decode CPU time between
+	// END_READ_FRAME and START_PUT_IMAGE (default 20 ms).
+	DecodeTime time.Duration
+	// PutTime is the display time between START_PUT_IMAGE and
+	// END_PUT_IMAGE (default 10 ms).
+	PutTime time.Duration
+	// Rwnd is the per-connection receiver window (0 = simnet default).
+	Rwnd float64
+	// BasePort is the client-side port of the first server connection
+	// (default 7000).
+	BasePort int
+}
+
+// FrameStat records one frame's lifecycle in simulation time.
+type FrameStat struct {
+	Seq   int
+	Start time.Duration // MPLAY_START_READ_FRAME
+	Read  time.Duration // MPLAY_END_READ_FRAME
+	End   time.Duration // MPLAY_END_PUT_IMAGE
+}
+
+// Client is the Matisse player: it reads striped frames from the DPSS
+// servers and displays them.
+type Client struct {
+	net     *simnet.Network
+	host    *simhost.Host
+	log     *netlog.Logger
+	rnd     *rand.Rand
+	servers []*Server
+	flows   []*simnet.Flow
+	cfg     ClientConfig
+	proc    *simhost.Process
+
+	stats []FrameStat
+}
+
+// NewClient connects a player on h to the given servers, one TCP
+// connection per server (the four data sockets of §6).
+func NewClient(net *simnet.Network, h *simhost.Host, log *netlog.Logger, rnd *rand.Rand, servers []*Server, cfg ClientConfig) (*Client, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("dpss: client needs at least one server")
+	}
+	if cfg.FrameBytes <= 0 {
+		cfg.FrameBytes = 1e6
+	}
+	if cfg.ReadChunk <= 0 {
+		cfg.ReadChunk = 64 * 1024
+	}
+	if cfg.DecodeTime <= 0 {
+		cfg.DecodeTime = 20 * time.Millisecond
+	}
+	if cfg.PutTime <= 0 {
+		cfg.PutTime = 10 * time.Millisecond
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 7000
+	}
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(1))
+	}
+	c := &Client{net: net, host: h, log: log, rnd: rnd, servers: servers, cfg: cfg}
+	for i, srv := range servers {
+		f, err := net.OpenFlow(srv.host.Node, 2000+i, h.Node, cfg.BasePort+i, simnet.FlowConfig{Rwnd: cfg.Rwnd})
+		if err != nil {
+			return nil, fmt.Errorf("dpss: connect to %s: %w", srv.host.Name, err)
+		}
+		c.flows = append(c.flows, f)
+	}
+	c.proc = h.Spawn("mplay", 0.1, 64*1024)
+	return c, nil
+}
+
+// Close shuts the player down.
+func (c *Client) Close() {
+	for _, f := range c.flows {
+		f.Close()
+	}
+	if c.proc.State == simhost.ProcRunning {
+		c.proc.Exit()
+	}
+}
+
+// Stats returns the per-frame statistics collected so far.
+func (c *Client) Stats() []FrameStat { return append([]FrameStat(nil), c.stats...) }
+
+// Play requests frames sequentially (a video player displays in
+// order); onDone receives the per-frame stats when the run completes.
+// The work is event-driven: the caller advances the scheduler.
+func (c *Client) Play(frames int, onDone func([]FrameStat)) {
+	c.stats = c.stats[:0]
+	c.playFrame(0, frames, onDone)
+}
+
+func (c *Client) playFrame(seq, total int, onDone func([]FrameStat)) {
+	if seq >= total {
+		if onDone != nil {
+			onDone(c.Stats())
+		}
+		return
+	}
+	sched := c.host.Scheduler()
+	stat := FrameStat{Seq: seq, Start: sched.Now()}
+	c.event(EvStartReadFrame, seq, 0)
+
+	// The player requests a stripe from every server; a dead server
+	// never answers and the read blocks, so the frame (and the whole
+	// sequential player) stalls. Detecting that stall is the JAMM
+	// process-sensor / process-monitor scenario.
+	stripe := c.cfg.FrameBytes / float64(len(c.servers))
+	remaining := len(c.servers)
+	for i := range c.servers {
+		c.servers[i].ServeStripe(c.flows[i], stripe, seq, func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			stat.Read = sched.Now()
+			c.event(EvEndReadFrame, seq, c.cfg.FrameBytes)
+			c.logReads(stat.Start, stat.Read)
+			sched.After(c.cfg.DecodeTime, func() {
+				c.event(EvStartPutImage, seq, 0)
+				sched.After(c.cfg.PutTime, func() {
+					c.event(EvEndPutImage, seq, 0)
+					stat.End = sched.Now()
+					c.stats = append(c.stats, stat)
+					c.playFrame(seq+1, total, onDone)
+				})
+			})
+		})
+	}
+}
+
+func (c *Client) event(name string, frame int, bytes float64) {
+	if c.log == nil {
+		return
+	}
+	fields := []ulm.Field{netlog.F("FRAME", frame)}
+	if bytes > 0 {
+		fields = append(fields, netlog.F("SZ", int(bytes)))
+	}
+	c.log.Write(name, fields...)
+}
+
+// logReads synthesizes the low-level read() trace behind Figure 3: the
+// reader loops read(fd, buf, ReadChunk); when the kernel buffer has a
+// full chunk queued the call returns ReadChunk, otherwise it returns
+// the partial TCP burst that has arrived (clustered near 8 segments).
+// Timestamps are spread across the frame's read interval.
+func (c *Client) logReads(start, end time.Duration) {
+	if c.log == nil {
+		return
+	}
+	total := c.cfg.FrameBytes
+	burst := 8 * simnet.DefaultMSS // the small cluster: one interrupt-coalesced burst
+	var sizes []float64
+	for total > 0 {
+		var n float64
+		if c.rnd.Float64() < 0.55 {
+			n = c.cfg.ReadChunk // buffer was ahead of the reader
+		} else {
+			n = float64(burst) * (0.8 + 0.4*c.rnd.Float64())
+		}
+		if n > total {
+			n = total
+		}
+		sizes = append(sizes, n)
+		total -= n
+	}
+	span := end - start
+	for i, n := range sizes {
+		at := start
+		if len(sizes) > 1 {
+			at += time.Duration(float64(span) * float64(i) / float64(len(sizes)-1))
+		}
+		c.log.WriteRecord(ulm.Record{
+			Date:   c.host.Clock.ReadAt(at),
+			Host:   c.host.Name,
+			Prog:   "mplay",
+			Lvl:    ulm.LvlUsage,
+			Event:  EvRead,
+			Fields: []ulm.Field{netlog.F("SZ", int(n))},
+		})
+	}
+}
+
+// FPSSeries buckets completed frames into per-interval rates — the
+// frames/second the Matisse demo audience saw (bursty 1-6 fps in §6).
+func FPSSeries(stats []FrameStat, bucket time.Duration, span time.Duration) []float64 {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	n := int(span/bucket) + 1
+	out := make([]float64, n)
+	for _, st := range stats {
+		if st.End == 0 {
+			continue
+		}
+		idx := int(st.End / bucket)
+		if idx >= 0 && idx < n {
+			out[idx] += 1 / bucket.Seconds()
+		}
+	}
+	return out
+}

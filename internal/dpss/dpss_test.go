@@ -1,0 +1,202 @@
+package dpss
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/netlog"
+	"jamm/internal/sim"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+type rig struct {
+	sched   *sim.Scheduler
+	net     *simnet.Network
+	rnd     *rand.Rand
+	servers []*Server
+	client  *simhost.Host
+	mem     *netlog.MemoryDest
+	log     *netlog.Logger
+}
+
+// newRig builds a LAN DPSS deployment: n servers and one client on a
+// gigabit switch.
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	sched := sim.NewScheduler(epoch)
+	rnd := rand.New(rand.NewSource(42))
+	net := simnet.New(sched, rnd, 10*time.Millisecond)
+	sw := net.AddSwitch("sw1")
+	clientNode := net.AddHost("viewer", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(clientNode, sw, simnet.RateGigE, 100*time.Microsecond)
+	clientHost := simhost.New(sched, "viewer", clientNode, nil, simhost.Config{})
+
+	mem := &netlog.MemoryDest{}
+	log := netlog.New("mplay", netlog.WithHost("viewer"), netlog.WithClock(clientHost.Clock.Now))
+	log.SetDestination(mem)
+
+	r := &rig{sched: sched, net: net, rnd: rnd, client: clientHost, mem: mem, log: log}
+	for i := 0; i < n; i++ {
+		name := "dpss" + string(rune('1'+i)) + ".lbl.gov"
+		node := net.AddHost(name, simnet.HostConfig{RecvCapacityBps: 1e9})
+		net.Connect(node, sw, simnet.RateGigE, 100*time.Microsecond)
+		host := simhost.New(sched, name, node, nil, simhost.Config{})
+		srvLog := netlog.New("dpss", netlog.WithHost(name), netlog.WithClock(host.Clock.Now))
+		srvLog.SetDestination(mem)
+		r.servers = append(r.servers, NewServer(host, srvLog, ServerConfig{}))
+	}
+	return r
+}
+
+func (r *rig) events(name string) []ulm.Record {
+	var out []ulm.Record
+	for _, rec := range r.mem.Records() {
+		if rec.Event == name {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func TestPlayEmitsFigure7Events(t *testing.T) {
+	r := newRig(t, 4)
+	client, err := NewClient(r.net, r.client, r.log, r.rnd, r.servers, ClientConfig{FrameBytes: 512 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []FrameStat
+	client.Play(5, func(s []FrameStat) { stats = s })
+	r.sched.RunFor(2 * time.Minute)
+	if len(stats) != 5 {
+		t.Fatalf("completed %d frames, want 5", len(stats))
+	}
+	for _, ev := range []string{EvStartReadFrame, EvEndReadFrame, EvStartPutImage, EvEndPutImage} {
+		if got := len(r.events(ev)); got != 5 {
+			t.Fatalf("%s count = %d, want 5", ev, got)
+		}
+	}
+	// Server events: one start/end read per stripe per frame.
+	if got := len(r.events(EvServStartRead)); got != 20 {
+		t.Fatalf("DPSS_START_READ count = %d, want 20", got)
+	}
+	// Lifecycle ordering per frame.
+	for _, st := range stats {
+		if !(st.Start < st.Read && st.Read < st.End) {
+			t.Fatalf("frame %d lifecycle out of order: %+v", st.Seq, st)
+		}
+	}
+	// Frames are sequential: frame i+1 starts after frame i ends.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Start < stats[i-1].End {
+			t.Fatalf("frame %d started before frame %d finished", i, i-1)
+		}
+	}
+	client.Close()
+}
+
+func TestReadSizesClusterBimodally(t *testing.T) {
+	r := newRig(t, 4)
+	client, err := NewClient(r.net, r.client, r.log, r.rnd, r.servers, ClientConfig{FrameBytes: 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Play(10, nil)
+	r.sched.RunFor(2 * time.Minute)
+	reads := r.events(EvRead)
+	if len(reads) < 100 {
+		t.Fatalf("only %d read events", len(reads))
+	}
+	// Figure 3: sizes cluster at the full request (64 KB) and at a
+	// small burst (~12 KB); count members of each cluster.
+	var full, small, other int
+	for _, rec := range reads {
+		sz, err := rec.Float("SZ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case sz == 64*1024:
+			full++
+		case sz > 6e3 && sz < 18e3:
+			small++
+		default:
+			other++
+		}
+	}
+	if full < len(reads)/4 || small < len(reads)/4 {
+		t.Fatalf("clusters: full=%d small=%d other=%d of %d", full, small, other, len(reads))
+	}
+	if other > len(reads)/5 {
+		t.Fatalf("too many off-cluster reads: full=%d small=%d other=%d", full, small, other)
+	}
+}
+
+func TestDeadServerStallsFrame(t *testing.T) {
+	r := newRig(t, 4)
+	client, err := NewClient(r.net, r.client, r.log, r.rnd, r.servers, ClientConfig{FrameBytes: 512 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []FrameStat
+	done := false
+	client.Play(100, func(s []FrameStat) { stats = s; done = true })
+	// Crash one server mid-run; its stripe for the in-flight frame
+	// never arrives and the player hangs — the fault-detection
+	// scenario JAMM process monitors exist for.
+	r.sched.After(2*time.Second, func() { r.servers[2].Proc().Crash() })
+	r.sched.RunFor(5 * time.Minute)
+	if done {
+		t.Fatalf("player finished %d frames despite dead server", len(stats))
+	}
+	if r.servers[2].Running() {
+		t.Fatal("server still running after crash")
+	}
+	if got := len(client.Stats()); got == 0 || got >= 100 {
+		t.Fatalf("frames completed before stall = %d", got)
+	}
+}
+
+func TestServerDeadBeforePlayStallsImmediately(t *testing.T) {
+	r := newRig(t, 4)
+	client, err := NewClient(r.net, r.client, r.log, r.rnd, r.servers, ClientConfig{FrameBytes: 512 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].Proc().Crash()
+	done := false
+	client.Play(3, func([]FrameStat) { done = true })
+	r.sched.RunFor(time.Minute)
+	if done || len(client.Stats()) != 0 {
+		t.Fatalf("player made progress against a dead server: done=%v frames=%d", done, len(client.Stats()))
+	}
+}
+
+func TestFPSSeries(t *testing.T) {
+	stats := []FrameStat{
+		{Seq: 0, End: 200 * time.Millisecond},
+		{Seq: 1, End: 700 * time.Millisecond},
+		{Seq: 2, End: 1200 * time.Millisecond},
+		{Seq: 3, End: 1800 * time.Millisecond},
+		{Seq: 4, End: 1900 * time.Millisecond},
+		{Seq: 5}, // incomplete frame ignored
+	}
+	fps := FPSSeries(stats, time.Second, 3*time.Second)
+	if len(fps) != 4 {
+		t.Fatalf("series length = %d", len(fps))
+	}
+	if fps[0] != 2 || fps[1] != 3 || fps[2] != 0 {
+		t.Fatalf("fps = %v", fps)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	r := newRig(t, 1)
+	if _, err := NewClient(r.net, r.client, r.log, r.rnd, nil, ClientConfig{}); err == nil {
+		t.Fatal("client with no servers accepted")
+	}
+}

@@ -1,0 +1,411 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jamm/internal/auth"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// mkRec builds a test record with a VAL field.
+func mkRec(event string, at time.Duration, val float64) ulm.Record {
+	return ulm.Record{
+		Date:  epoch.Add(at),
+		Host:  "h1.lbl.gov",
+		Prog:  "jamm.cpu",
+		Lvl:   ulm.LvlUsage,
+		Event: event,
+		Fields: []ulm.Field{
+			{Key: "VAL", Value: fmt.Sprintf("%g", val)},
+		},
+	}
+}
+
+type sink struct{ recs []ulm.Record }
+
+func (s *sink) take(r ulm.Record) { s.recs = append(s.recs, r) }
+
+func TestSubscribeDeliverAll(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1.lbl.gov", Type: "cpu", Interval: time.Second})
+	var s sink
+	sub, err := g.Subscribe(Request{Sensor: "cpu"}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Duration(i)*time.Second, float64(i)))
+	}
+	if len(s.recs) != 5 {
+		t.Fatalf("delivered %d, want 5", len(s.recs))
+	}
+	if d, sup := sub.Counts(); d != 5 || sup != 0 {
+		t.Fatalf("counts = %d/%d", d, sup)
+	}
+	sub.Cancel()
+	g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", 6*time.Second, 6))
+	if len(s.recs) != 5 {
+		t.Fatal("delivery after cancel")
+	}
+	sub.Cancel() // idempotent
+}
+
+func TestSubscribeEventFilter(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	if _, err := g.Subscribe(Request{Events: []string{"A", "B"}}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	g.Publish("x", mkRec("A", 0, 1))
+	g.Publish("x", mkRec("C", 0, 1))
+	g.Publish("y", mkRec("B", 0, 1))
+	if len(s.recs) != 2 {
+		t.Fatalf("event filter delivered %d, want 2", len(s.recs))
+	}
+}
+
+func TestSubscribeSensorScope(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	if _, err := g.Subscribe(Request{Sensor: "cpu"}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	g.Publish("cpu", mkRec("E", 0, 1))
+	g.Publish("memory", mkRec("E", 0, 1))
+	if len(s.recs) != 1 {
+		t.Fatalf("sensor scope delivered %d, want 1", len(s.recs))
+	}
+}
+
+func TestDeliverOnChange(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	sub, err := g.Subscribe(Request{Sensor: "netstat", Mode: DeliverOnChange}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The netstat sensor reports the retransmit counter every second;
+	// on-change delivery forwards only changes.
+	vals := []float64{0, 0, 0, 3, 3, 3, 3, 7, 7, 7}
+	for i, v := range vals {
+		g.Publish("netstat", mkRec("NETSTAT_RETRANS", time.Duration(i)*time.Second, v))
+	}
+	if len(s.recs) != 3 { // 0, 3, 7
+		t.Fatalf("on-change delivered %d, want 3", len(s.recs))
+	}
+	if d, sup := sub.Counts(); d != 3 || sup != 7 {
+		t.Fatalf("counts = %d delivered / %d suppressed", d, sup)
+	}
+}
+
+func TestDeliverThresholdAboveCrossing(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	// "CPU load becomes greater than 50%".
+	_, err := g.Subscribe(Request{Sensor: "cpu", Mode: DeliverThreshold, Above: Float64(50)}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{10, 30, 60, 70, 40, 55, 52}
+	for i, v := range vals {
+		g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Duration(i)*time.Second, v))
+	}
+	// Crossings: 30->60 and 40->55. 60->70 stays above (no event).
+	if len(s.recs) != 2 {
+		t.Fatalf("threshold delivered %d, want 2: %v", len(s.recs), s.recs)
+	}
+	if v, _ := s.recs[0].Float("VAL"); v != 60 {
+		t.Fatalf("first crossing value = %v", v)
+	}
+}
+
+func TestDeliverThresholdFirstObservationPastEdge(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	if _, err := g.Subscribe(Request{Mode: DeliverThreshold, Above: Float64(50)}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	g.Publish("cpu", mkRec("E", 0, 80)) // already above on first sight
+	if len(s.recs) != 1 {
+		t.Fatalf("first-above delivered %d, want 1", len(s.recs))
+	}
+}
+
+func TestDeliverThresholdBelowCrossing(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	if _, err := g.Subscribe(Request{Mode: DeliverThreshold, Below: Float64(100e3)}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	// Free memory dropping below 100 MB.
+	vals := []float64{500e3, 200e3, 90e3, 80e3, 150e3, 60e3}
+	for i, v := range vals {
+		g.Publish("mem", mkRec("VMSTAT_FREE_MEMORY", time.Duration(i)*time.Second, v))
+	}
+	if len(s.recs) != 2 { // 200k->90k and 150k->60k
+		t.Fatalf("below crossings = %d, want 2", len(s.recs))
+	}
+}
+
+func TestDeliverThresholdDeltaFrac(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	// "load changes by more than 20%".
+	if _, err := g.Subscribe(Request{Mode: DeliverThreshold, DeltaFrac: 0.2}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{50, 55, 58, 65, 64, 80, 10}
+	for i, v := range vals {
+		g.Publish("cpu", mkRec("E", time.Duration(i)*time.Second, v))
+	}
+	// 50 (baseline), 65 (+30% vs 50), 80 (+23% vs 65), 10 (-87% vs 80).
+	want := []float64{50, 65, 80, 10}
+	if len(s.recs) != len(want) {
+		t.Fatalf("delta delivered %d, want %d", len(s.recs), len(want))
+	}
+	for i, w := range want {
+		if v, _ := s.recs[i].Float("VAL"); v != w {
+			t.Fatalf("delta delivery %d = %v, want %v", i, v, w)
+		}
+	}
+}
+
+func TestQueryMostRecent(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	if _, found, err := g.Query("", "cpu", "VMSTAT_SYS_TIME"); err != nil || found {
+		t.Fatalf("empty query: found=%v err=%v", found, err)
+	}
+	g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", 1*time.Second, 10))
+	g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", 2*time.Second, 20))
+	rec, found, err := g.Query("", "cpu", "VMSTAT_SYS_TIME")
+	if err != nil || !found {
+		t.Fatalf("query: found=%v err=%v", found, err)
+	}
+	if v, _ := rec.Float("VAL"); v != 20 {
+		t.Fatalf("query returned VAL=%v, want most recent 20", v)
+	}
+	if _, _, err := g.Query("", "ghost", "E"); err == nil {
+		t.Fatal("query of unknown sensor succeeded")
+	}
+}
+
+func TestSummaryWindows(t *testing.T) {
+	now := epoch
+	g := New("gw1", func() time.Time { return now })
+	g.EnableSummary("cpu", "VMSTAT_SYS_TIME", "VAL")
+	// One sample per second for 70 minutes, value = minute index.
+	for i := 0; i < 70*60; i++ {
+		now = epoch.Add(time.Duration(i) * time.Second)
+		g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Duration(i)*time.Second, float64(i/60)))
+	}
+	pts, err := g.Summary("", "cpu", "VMSTAT_SYS_TIME", "VAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("summary windows = %d, want 3", len(pts))
+	}
+	// 1-minute window holds the last ~60 samples (value 68-69).
+	if pts[0].Window != time.Minute || pts[0].Avg < 68 || pts[0].Avg > 69 {
+		t.Fatalf("1-min avg = %+v", pts[0])
+	}
+	// 60-minute window average is ~39 (minutes 9..69 averaged).
+	if pts[2].Window != time.Hour || pts[2].Avg < 38 || pts[2].Avg > 40 {
+		t.Fatalf("60-min avg = %+v", pts[2])
+	}
+	if pts[0].Count == 0 || pts[2].Count < pts[1].Count {
+		t.Fatalf("window counts wrong: %+v", pts)
+	}
+	if pts[2].Min > pts[2].Avg || pts[2].Max < pts[2].Avg {
+		t.Fatalf("min/max inconsistent: %+v", pts[2])
+	}
+	if _, err := g.Summary("", "cpu", "NOPE", "VAL"); err == nil {
+		t.Fatal("summary of unsummarized series succeeded")
+	}
+}
+
+func TestFanOutStats(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	const consumers = 8
+	var sinks [consumers]sink
+	for i := range sinks {
+		if _, err := g.Subscribe(Request{Sensor: "cpu"}, sinks[i].take); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Consumers("cpu") != consumers {
+		t.Fatalf("Consumers = %d", g.Consumers("cpu"))
+	}
+	for i := 0; i < 10; i++ {
+		g.Publish("cpu", mkRec("E", time.Duration(i)*time.Second, float64(i)))
+	}
+	st := g.Stats()
+	// The monitored host paid for 10 records; the gateway fanned out 80.
+	if st.Published != 10 {
+		t.Fatalf("Published = %d, want 10", st.Published)
+	}
+	if st.Delivered != 10*consumers {
+		t.Fatalf("Delivered = %d, want %d", st.Delivered, 10*consumers)
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	g.EnableSummary("cpu", "E", "VAL")
+	// LBNL users stream; everyone else summary-only (§2.2).
+	g.SetAuthorizer(auth.ClassPolicy{
+		Internal:        []string{"*,O=LBNL"},
+		ExternalActions: []string{auth.ActionLookup, auth.ActionSummary},
+	})
+	var s sink
+	if _, err := g.Subscribe(Request{Principal: "CN=in,O=LBNL", Sensor: "cpu"}, s.take); err != nil {
+		t.Fatalf("internal subscribe denied: %v", err)
+	}
+	if _, err := g.Subscribe(Request{Principal: "CN=out,O=UTK", Sensor: "cpu"}, s.take); err == nil {
+		t.Fatal("external subscribe allowed")
+	}
+	if _, _, err := g.Query("CN=out,O=UTK", "cpu", "E"); err == nil {
+		t.Fatal("external query allowed")
+	}
+	if _, err := g.Summary("CN=out,O=UTK", "cpu", "E", "VAL"); err != nil {
+		t.Fatalf("external summary denied: %v", err)
+	}
+	g.SetAuthorizer(nil) // restore allow-all
+	if _, _, err := g.Query("CN=out,O=UTK", "cpu", "E"); err != nil {
+		t.Fatalf("query after authorizer reset: %v", err)
+	}
+}
+
+func TestImplicitRegistrationOnPublish(t *testing.T) {
+	g := New("gw1", nil)
+	g.Publish("app.mplay", mkRec("MPLAY_START_READ_FRAME", 0, 1))
+	infos := g.Sensors()
+	if len(infos) != 1 || infos[0].Name != "app.mplay" || infos[0].Host != "h1.lbl.gov" {
+		t.Fatalf("implicit registration: %+v", infos)
+	}
+}
+
+func TestSubscribeNilCallback(t *testing.T) {
+	g := New("gw1", nil)
+	if _, err := g.Subscribe(Request{}, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+func TestReentrantConsumerCallback(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	var got []ulm.Record
+	_, err := g.Subscribe(Request{Sensor: "cpu"}, func(r ulm.Record) {
+		// A consumer that queries the gateway from its callback must
+		// not deadlock (delivery happens outside the lock).
+		if _, _, err := g.Query("", "cpu", r.Event); err != nil {
+			t.Errorf("re-entrant query: %v", err)
+		}
+		got = append(got, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Publish("cpu", mkRec("E", 0, 1))
+	if len(got) != 1 {
+		t.Fatalf("re-entrant delivery = %d", len(got))
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want DeliverMode
+		ok   bool
+	}{
+		{"all", DeliverAll, true},
+		{"", DeliverAll, true},
+		{"change", DeliverOnChange, true},
+		{"threshold", DeliverThreshold, true},
+		{"bogus", 0, false},
+	} {
+		got, err := ParseMode(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseMode(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if DeliverAll.String() != "all" || DeliverOnChange.String() != "change" || DeliverThreshold.String() != "threshold" {
+		t.Error("DeliverMode.String broken")
+	}
+}
+
+func TestRegisterUpdateAndUnregister(t *testing.T) {
+	g := New("gw1", nil)
+	if g.Name() != "gw1" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	g.Register("cpu", Meta{Host: "h1", Type: "cpu", Interval: time.Second})
+	// Re-register updates metadata in place.
+	g.Register("cpu", Meta{Host: "h1", Type: "cpu", Interval: 2 * time.Second})
+	infos := g.Sensors()
+	if len(infos) != 1 || infos[0].Interval != 2*time.Second {
+		t.Fatalf("re-register: %+v", infos)
+	}
+	g.Unregister("cpu")
+	if len(g.Sensors()) != 0 {
+		t.Fatal("unregister left sensor listed")
+	}
+	// Consumers of an unknown sensor report zero.
+	if g.Consumers("ghost") != 0 {
+		t.Fatal("ghost sensor has consumers")
+	}
+	// Existing subscriptions survive unregistration silently.
+	var s sink
+	sub, err := g.Subscribe(Request{Sensor: "cpu"}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Publish("other", mkRec("E", 0, 1))
+	if len(s.recs) != 0 {
+		t.Fatal("out-of-scope delivery")
+	}
+	sub.Cancel()
+}
+
+func TestWatchedFieldCustom(t *testing.T) {
+	g := New("gw1", nil)
+	var s sink
+	// Watch a non-default field for changes.
+	if _, err := g.Subscribe(Request{Mode: DeliverOnChange, Field: "CWND"}, s.take); err != nil {
+		t.Fatal(err)
+	}
+	pub := func(cwnd string) {
+		g.Publish("tcp", ulm.Record{Date: epoch, Host: "h", Prog: "p", Lvl: ulm.LvlUsage,
+			Event: "W", Fields: []ulm.Field{{Key: "CWND", Value: cwnd}}})
+	}
+	pub("100")
+	pub("100")
+	pub("200")
+	if len(s.recs) != 2 {
+		t.Fatalf("custom-field on-change delivered %d, want 2", len(s.recs))
+	}
+	if sub2 := (Request{Sensor: "x"}); sub2.Sensor != "x" {
+		t.Fatal("request accessor")
+	}
+}
+
+func TestSubscriptionRequestAccessor(t *testing.T) {
+	g := New("gw1", nil)
+	req := Request{Sensor: "cpu", Mode: DeliverOnChange, Field: "F"}
+	sub, err := g.Subscribe(req, func(ulm.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.Request()
+	if got.Sensor != "cpu" || got.Mode != DeliverOnChange || got.Field != "F" {
+		t.Fatalf("Request() = %+v", got)
+	}
+}

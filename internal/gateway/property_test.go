@@ -1,0 +1,185 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+func publishSeries(req Request, vals []float64) (delivered []float64) {
+	g := New("gw", nil)
+	var out []float64
+	sub, err := g.Subscribe(req, func(r ulm.Record) {
+		v, _ := r.Float("VAL")
+		out = append(out, v)
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sub.Cancel()
+	for i, v := range vals {
+		g.Publish("s", ulm.Record{
+			Date: epoch.Add(time.Duration(i) * time.Second),
+			Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E",
+			Fields: []ulm.Field{{Key: "VAL", Value: fmt.Sprintf("%g", v)}},
+		})
+	}
+	return out
+}
+
+func toVals(raw []uint8) []float64 {
+	out := make([]float64, len(raw))
+	for i, b := range raw {
+		out[i] = float64(b % 16) // small range forces repeats
+	}
+	return out
+}
+
+// Property: on-change delivery never emits the same value twice in a
+// row, and always emits the first occurrence of every new value run.
+func TestPropertyOnChangeNoConsecutiveDuplicates(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := toVals(raw)
+		got := publishSeries(Request{Mode: DeliverOnChange}, vals)
+		// No consecutive duplicates.
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				return false
+			}
+		}
+		// Equivalent to run-length compression of the input.
+		var runs []float64
+		for i, v := range vals {
+			if i == 0 || v != vals[i-1] {
+				runs = append(runs, v)
+			}
+		}
+		if len(got) != len(runs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != runs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: threshold-above delivery count equals the number of upward
+// crossings of the threshold in the series (counting a first
+// observation already above as a crossing).
+func TestPropertyThresholdCrossingCount(t *testing.T) {
+	const limit = 8.0
+	f := func(raw []uint8) bool {
+		vals := toVals(raw)
+		got := publishSeries(Request{Mode: DeliverThreshold, Above: Float64(limit)}, vals)
+		want := 0
+		prevAbove := false
+		for i, v := range vals {
+			above := v > limit
+			if above && (i == 0 || !prevAbove) {
+				want++
+			}
+			prevAbove = above
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every delivered record was published (no invention), and
+// DeliverAll delivers exactly the published series.
+func TestPropertyDeliverAllIsIdentity(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := toVals(raw)
+		got := publishSeries(Request{}, vals)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delivered + suppressed equals records in scope, for every
+// delivery mode.
+func TestPropertyCountsConserved(t *testing.T) {
+	f := func(raw []uint8, mode uint8) bool {
+		vals := toVals(raw)
+		req := Request{Mode: DeliverMode(mode % 3)}
+		if req.Mode == DeliverThreshold {
+			req.Above = Float64(8)
+		}
+		g := New("gw", nil)
+		sub, err := g.Subscribe(req, func(ulm.Record) {})
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			g.Publish("s", ulm.Record{
+				Date: epoch.Add(time.Duration(i) * time.Second),
+				Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E",
+				Fields: []ulm.Field{{Key: "VAL", Value: fmt.Sprintf("%g", v)}},
+			})
+		}
+		d, s := sub.Counts()
+		return d+s == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: summary averages stay within [min, max] of the inputs, and
+// the full-window count matches the sample count.
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := toVals(raw)
+		now := epoch
+		g := New("gw", func() time.Time { return now })
+		g.EnableSummary("s", "E", "VAL", time.Hour)
+		lo, hi := vals[0], vals[0]
+		for i, v := range vals {
+			now = epoch.Add(time.Duration(i) * time.Second)
+			g.Publish("s", ulm.Record{
+				Date: now, Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E",
+				Fields: []ulm.Field{{Key: "VAL", Value: fmt.Sprintf("%g", v)}},
+			})
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		pts, err := g.Summary("", "s", "E", "VAL")
+		if err != nil || len(pts) != 1 {
+			return false
+		}
+		p := pts[0]
+		return p.Count == len(vals) && p.Min == lo && p.Max == hi &&
+			p.Avg >= lo-1e-9 && p.Avg <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

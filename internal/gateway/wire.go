@@ -1,0 +1,450 @@
+package gateway
+
+import (
+	"bufio"
+	"crypto/tls"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"jamm/internal/auth"
+	"jamm/internal/ulm"
+)
+
+// Wire protocol: newline-delimited JSON over TCP (optionally TLS). A
+// subscribe request turns the connection into a one-way event stream;
+// each event travels as {"rec": "<payload>"} where the payload is the
+// requested format — "ulm" (ASCII, default), "xml" (the ULM-to-XML
+// gateway filter of §7.0), or "binary" (base64 of the compact encoding
+// for consumers that cannot afford ASCII parsing, §3.0).
+
+// Format names for event payloads.
+const (
+	FormatULM    = "ulm"
+	FormatXML    = "xml"
+	FormatBinary = "binary"
+)
+
+type wireRequest struct {
+	Op     string `json:"op"` // subscribe, publish, query, summary, list, ping
+	Format string `json:"format,omitempty"`
+	Event  string `json:"event,omitempty"`
+	Rec    string `json:"rec,omitempty"` // publish: the event payload
+	Request
+}
+
+type wireResponse struct {
+	OK      bool           `json:"ok"`
+	Error   string         `json:"error,omitempty"`
+	Rec     string         `json:"rec,omitempty"`
+	Found   bool           `json:"found,omitempty"`
+	Summary []SummaryPoint `json:"summary,omitempty"`
+	Sensors []SensorInfo   `json:"sensors,omitempty"`
+}
+
+func encodeRecord(format string, rec ulm.Record) (string, error) {
+	switch format {
+	case FormatULM, "":
+		return rec.String(), nil
+	case FormatXML:
+		b, err := ulm.ToXML(&rec)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	case FormatBinary:
+		return base64.StdEncoding.EncodeToString(ulm.AppendBinary(nil, &rec)), nil
+	}
+	return "", fmt.Errorf("gateway: unknown format %q", format)
+}
+
+func decodeRecord(format, payload string) (ulm.Record, error) {
+	switch format {
+	case FormatULM, "":
+		return ulm.Parse(payload)
+	case FormatXML:
+		return ulm.FromXML([]byte(payload))
+	case FormatBinary:
+		raw, err := base64.StdEncoding.DecodeString(payload)
+		if err != nil {
+			return ulm.Record{}, err
+		}
+		var rec ulm.Record
+		if _, err := ulm.DecodeBinary(raw, &rec); err != nil {
+			return ulm.Record{}, err
+		}
+		return rec, nil
+	}
+	return ulm.Record{}, fmt.Errorf("gateway: unknown format %q", format)
+}
+
+// TCPServer exposes a Gateway over the wire protocol.
+type TCPServer struct {
+	gw *Gateway
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP serves gw on addr ("127.0.0.1:0" for ephemeral). A non-nil
+// tlsCfg enables TLS; an authenticated peer certificate subject
+// overrides the request principal, so remote identity is the
+// certificate, not a client claim.
+func ServeTCP(gw *Gateway, addr string, tlsCfg *tls.Config) (*TCPServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	if tlsCfg != nil {
+		ln, err = tls.Listen("tcp", addr, tlsCfg)
+	} else {
+		ln, err = net.Listen("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPServer{gw: gw, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func peerPrincipal(conn net.Conn, claimed string) string {
+	if tc, ok := conn.(*tls.Conn); ok {
+		if err := tc.Handshake(); err == nil {
+			if dn := auth.PeerDN(tc.ConnectionState()); dn != "" {
+				return dn
+			}
+		}
+	}
+	return claimed
+}
+
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req wireRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			enc.Encode(wireResponse{Error: "bad request: " + err.Error()}) //nolint:errcheck
+			return
+		}
+		req.Principal = peerPrincipal(conn, req.Principal)
+		if req.Op == "subscribe" {
+			t.serveSubscribe(conn, enc, req)
+			return // the subscription owns the connection
+		}
+		if req.Op == "publish" {
+			// Fire-and-forget: a remote sensor manager streams events
+			// on a persistent connection, one per line, no acks — the
+			// event path must not pay a round trip per record.
+			if rec, err := decodeRecord(req.Format, req.Rec); err == nil {
+				t.gw.Publish(req.Sensor, rec)
+			}
+			continue
+		}
+		if err := enc.Encode(t.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (t *TCPServer) handle(req wireRequest) wireResponse {
+	switch req.Op {
+	case "ping":
+		return wireResponse{OK: true}
+	case "query":
+		rec, found, err := t.gw.Query(req.Principal, req.Sensor, req.Event)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		resp := wireResponse{OK: true, Found: found}
+		if found {
+			payload, err := encodeRecord(req.Format, rec)
+			if err != nil {
+				return wireResponse{Error: err.Error()}
+			}
+			resp.Rec = payload
+		}
+		return resp
+	case "summary":
+		pts, err := t.gw.Summary(req.Principal, req.Sensor, req.Event, req.Field)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Summary: pts}
+	case "list":
+		return wireResponse{OK: true, Sensors: t.gw.Sensors()}
+	}
+	return wireResponse{Error: fmt.Sprintf("gateway: unknown op %q", req.Op)}
+}
+
+func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireRequest) {
+	if _, err := encodeRecord(req.Format, ulm.Record{Date: time.Unix(0, 0), Host: "x", Prog: "x", Lvl: "x"}); err != nil {
+		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
+		return
+	}
+	// Records flow through a channel so the gateway's Publish path is
+	// never blocked by a slow consumer connection.
+	ch := make(chan ulm.Record, 256)
+	sub, err := t.gw.Subscribe(req.Request, func(rec ulm.Record) {
+		select {
+		case ch <- rec:
+		default: // slow consumer: drop rather than stall producers
+		}
+	})
+	if err != nil {
+		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
+		return
+	}
+	defer sub.Cancel()
+	if err := enc.Encode(wireResponse{OK: true}); err != nil {
+		return
+	}
+	// Unblock the writer loop when the client goes away.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, conn) //nolint:errcheck
+		close(done)
+	}()
+	for {
+		select {
+		case rec := <-ch:
+			payload, err := encodeRecord(req.Format, rec)
+			if err != nil {
+				return
+			}
+			if err := enc.Encode(wireResponse{OK: true, Rec: payload}); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// Close stops the listener and closes open connections.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+// Client talks to one gateway server.
+type Client struct {
+	Addr      string
+	Principal string
+	Timeout   time.Duration
+	TLS       *tls.Config
+}
+
+// NewClient returns a client for the gateway at addr.
+func NewClient(principal, addr string) *Client {
+	return &Client{Addr: addr, Principal: principal, Timeout: 5 * time.Second}
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	d := net.Dialer{Timeout: c.Timeout}
+	if c.TLS != nil {
+		return tls.DialWithDialer(&d, "tcp", c.Addr, c.TLS)
+	}
+	return d.Dial("tcp", c.Addr)
+}
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return wireResponse{}, err
+	}
+	defer conn.Close()
+	if c.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	}
+	req.Principal = c.Principal
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return wireResponse{}, err
+	}
+	var resp wireResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return wireResponse{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("%s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(wireRequest{Op: "ping"})
+	return err
+}
+
+// Query fetches the most recent event of the named type.
+func (c *Client) Query(sensor, event string) (ulm.Record, bool, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "query", Event: event, Request: Request{Sensor: sensor}})
+	if err != nil {
+		return ulm.Record{}, false, err
+	}
+	if !resp.Found {
+		return ulm.Record{}, false, nil
+	}
+	rec, err := decodeRecord(FormatULM, resp.Rec)
+	return rec, err == nil, err
+}
+
+// Summary fetches windowed statistics for a summarized series.
+func (c *Client) Summary(sensor, event, field string) ([]SummaryPoint, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "summary", Event: event, Request: Request{Sensor: sensor, Field: field}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Summary, nil
+}
+
+// List fetches the gateway's sensor listing.
+func (c *Client) List() ([]SensorInfo, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "list"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sensors, nil
+}
+
+// Publisher streams events to a remote gateway over one persistent
+// connection. It is safe for concurrent use.
+type Publisher struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	format string
+}
+
+// NewPublisher opens an event-publishing connection to the gateway.
+// Events travel in the given payload format (FormatULM by default).
+func (c *Client) NewPublisher(format string) (*Publisher, error) {
+	if format == "" {
+		format = FormatULM
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{conn: conn, enc: json.NewEncoder(conn), format: format}, nil
+}
+
+// Publish sends one sensor record; errors indicate a dead connection.
+func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
+	payload, err := encodeRecord(p.format, rec)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+}
+
+// Close releases the connection.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Close()
+}
+
+// Subscribe opens a streaming subscription in the given payload format;
+// fn runs on a dedicated goroutine per received record. The returned
+// stop function closes the stream.
+func (c *Client) Subscribe(req Request, format string, fn func(ulm.Record)) (stop func(), err error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	req.Principal = c.Principal
+	wr := wireRequest{Op: "subscribe", Format: format, Request: req}
+	if err := json.NewEncoder(conn).Encode(wr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	dec := json.NewDecoder(conn)
+	var first wireResponse
+	if c.Timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	}
+	if err := dec.Decode(&first); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !first.OK {
+		conn.Close()
+		return nil, fmt.Errorf("%s", first.Error)
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	go func() {
+		defer conn.Close()
+		for {
+			var resp wireResponse
+			if err := dec.Decode(&resp); err != nil {
+				return
+			}
+			if resp.Rec == "" {
+				continue
+			}
+			rec, err := decodeRecord(format, resp.Rec)
+			if err != nil {
+				continue
+			}
+			fn(rec)
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { conn.Close() }) }, nil
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/auth"
+	"jamm/internal/ulm"
+)
+
+func startServer(t *testing.T) (*Gateway, *TCPServer) {
+	t.Helper()
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1.lbl.gov", Type: "cpu", Interval: time.Second})
+	srv, err := ServeTCP(g, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return g, srv
+}
+
+func TestWireQueryAndList(t *testing.T) {
+	g, srv := startServer(t)
+	g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Second, 42))
+
+	c := NewClient("", srv.Addr())
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	rec, found, err := c.Query("cpu", "VMSTAT_SYS_TIME")
+	if err != nil || !found {
+		t.Fatalf("query: %v found=%v", err, found)
+	}
+	if v, _ := rec.Float("VAL"); v != 42 {
+		t.Fatalf("VAL = %v", v)
+	}
+	if _, found, err := c.Query("cpu", "NOPE"); err != nil || found {
+		t.Fatalf("query absent event: %v found=%v", err, found)
+	}
+	if _, _, err := c.Query("ghost", "E"); err == nil {
+		t.Fatal("query unknown sensor succeeded over wire")
+	}
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "cpu" || infos[0].Host != "h1.lbl.gov" {
+		t.Fatalf("list = %+v", infos)
+	}
+}
+
+func TestWireSummary(t *testing.T) {
+	g, srv := startServer(t)
+	g.EnableSummary("cpu", "E", "VAL", time.Minute)
+	g.Publish("cpu", mkRec("E", 0, 10))
+	g.Publish("cpu", mkRec("E", time.Second, 30))
+
+	c := NewClient("", srv.Addr())
+	pts, err := c.Summary("cpu", "E", "VAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Avg != 20 || pts[0].Count != 2 {
+		t.Fatalf("summary = %+v", pts)
+	}
+}
+
+func subscribeAndCollect(t *testing.T, c *Client, req Request, format string) (*[]ulm.Record, *sync.Mutex, func()) {
+	t.Helper()
+	var mu sync.Mutex
+	recs := &[]ulm.Record{}
+	stop, err := c.Subscribe(req, format, func(r ulm.Record) {
+		mu.Lock()
+		*recs = append(*recs, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, &mu, stop
+}
+
+func waitFor(t *testing.T, mu *sync.Mutex, recs *[]ulm.Record, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		got := len(*recs)
+		mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("timed out waiting for %d records, have %d", n, len(*recs))
+}
+
+func TestWireSubscribeStreamsAllFormats(t *testing.T) {
+	for _, format := range []string{FormatULM, FormatXML, FormatBinary} {
+		t.Run(format, func(t *testing.T) {
+			g, srv := startServer(t)
+			c := NewClient("", srv.Addr())
+			recs, mu, stop := subscribeAndCollect(t, c, Request{Sensor: "cpu"}, format)
+			defer stop()
+			// Give the subscription a moment to register server-side.
+			deadline := time.Now().Add(2 * time.Second)
+			for g.Consumers("cpu") == 0 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Second, 10))
+			g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", 2*time.Second, 20))
+			waitFor(t, mu, recs, 2)
+			mu.Lock()
+			defer mu.Unlock()
+			if v, _ := (*recs)[1].Float("VAL"); v != 20 {
+				t.Fatalf("streamed VAL = %v", v)
+			}
+			if (*recs)[0].Host != "h1.lbl.gov" || (*recs)[0].Event != "VMSTAT_SYS_TIME" {
+				t.Fatalf("streamed record mangled: %+v", (*recs)[0])
+			}
+		})
+	}
+}
+
+func TestWireSubscribeBadFormat(t *testing.T) {
+	_, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	if _, err := c.Subscribe(Request{}, "cuneiform", func(ulm.Record) {}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestWireStopEndsStream(t *testing.T) {
+	g, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	recs, mu, stop := subscribeAndCollect(t, c, Request{Sensor: "cpu"}, FormatULM)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Consumers("cpu") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	g.Publish("cpu", mkRec("E", 0, 1))
+	waitFor(t, mu, recs, 1)
+	stop()
+	// The server notices the closed connection and cancels the
+	// subscription.
+	deadline = time.Now().Add(5 * time.Second)
+	for g.Consumers("cpu") > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := g.Consumers("cpu"); got != 0 {
+		t.Fatalf("consumers after stop = %d", got)
+	}
+}
+
+func TestWireAccessControlByCertificate(t *testing.T) {
+	ca, err := auth.NewCA("Gateway CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.IssueServer("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insider, err := ca.IssueClient("Jason Lee", nil, []string{"LBNL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsider, err := ca.IssueClient("Rich Wolski", nil, []string{"UTK"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	g.EnableSummary("cpu", "E", "VAL", time.Minute)
+	g.Publish("cpu", mkRec("E", 0, 5))
+	g.SetAuthorizer(auth.ClassPolicy{
+		Internal:        []string{"*O=LBNL*"},
+		ExternalActions: []string{auth.ActionSummary},
+	})
+	srv, err := ServeTCP(g, "127.0.0.1:0", ca.ServerTLS(serverCert, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	in := NewClient("", srv.Addr())
+	in.TLS = ca.ClientTLS(insider, "127.0.0.1")
+	if _, found, err := in.Query("cpu", "E"); err != nil || !found {
+		t.Fatalf("insider query: %v found=%v", err, found)
+	}
+
+	out := NewClient("", srv.Addr())
+	out.TLS = ca.ClientTLS(outsider, "127.0.0.1")
+	if _, _, err := out.Query("cpu", "E"); err == nil {
+		t.Fatal("outsider query allowed")
+	}
+	if _, err := out.Summary("cpu", "E", "VAL"); err != nil {
+		t.Fatalf("outsider summary denied: %v", err)
+	}
+	// A forged principal claim cannot bypass the certificate identity.
+	forged := NewClient("CN=fake,O=LBNL", srv.Addr())
+	forged.TLS = ca.ClientTLS(outsider, "127.0.0.1")
+	if _, _, err := forged.Query("cpu", "E"); err == nil {
+		t.Fatal("forged principal claim accepted over TLS")
+	}
+}
+
+func TestWirePublisher(t *testing.T) {
+	g, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	pub, err := c.NewPublisher(FormatULM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 3; i++ {
+		if err := pub.Publish("remote.cpu", mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Publication is asynchronous; poll the gateway for arrival.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.Stats().Published >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != 3 {
+		t.Fatalf("published = %d, want 3", got)
+	}
+	rec, found, err := c.Query("remote.cpu", "E")
+	if err != nil || !found {
+		t.Fatalf("query after remote publish: %v found=%v", err, found)
+	}
+	if v, _ := rec.Float("VAL"); v != 2 {
+		t.Fatalf("latest VAL = %v", v)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, err := decodeRecord(FormatULM, "not a record"); err == nil {
+		t.Fatal("bad ULM accepted")
+	}
+	if _, err := decodeRecord(FormatXML, "<broken"); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+	if _, err := decodeRecord(FormatBinary, "!!!not-base64!!!"); err == nil {
+		t.Fatal("bad base64 accepted")
+	}
+	if _, err := decodeRecord(FormatBinary, "AAAA"); err == nil {
+		t.Fatal("bad binary payload accepted")
+	}
+	if _, err := decodeRecord("cuneiform", "x"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := encodeRecord("cuneiform", ulm.Record{}); err == nil {
+		t.Fatal("unknown encode format accepted")
+	}
+}
+
+func TestPublisherBadFormat(t *testing.T) {
+	_, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	if _, err := c.NewPublisher("cuneiform"); err == nil {
+		// Format validation happens on first Publish; either is fine
+		// as long as records do not silently disappear.
+		pub, _ := c.NewPublisher("cuneiform")
+		if pub != nil {
+			if err := pub.Publish("s", mkRec("E", 0, 1)); err == nil {
+				t.Fatal("publishing with unknown format silently succeeded")
+			}
+			pub.Close()
+		}
+	}
+}
+
+func TestWireUnknownOp(t *testing.T) {
+	_, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	if _, err := c.roundTrip(wireRequest{Op: "frobnicate"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package iperf reimplements the Iperf network performance test tool
+// the paper uses in §6 "to compare TCP performance of a single TCP
+// input stream versus four parallel streams": N parallel memory-to-
+// memory TCP streams between two hosts for a fixed duration, reporting
+// per-stream and aggregate throughput plus the retransmission counters
+// the JAMM TCP sensors watch.
+package iperf
+
+import (
+	"fmt"
+	"time"
+
+	"jamm/internal/simnet"
+)
+
+// DefaultPort is the conventional iperf server port.
+const DefaultPort = 5001
+
+// Config tunes one test run.
+type Config struct {
+	// Streams is the number of parallel TCP connections (default 1).
+	Streams int
+	// Duration is how long the test transmits (default 10 s).
+	Duration time.Duration
+	// Rwnd is the per-stream receiver window in bytes (0 = simnet
+	// default). The paper's wide-area tests used large windows.
+	Rwnd float64
+	// MSS is the TCP segment size (0 = default 1460).
+	MSS float64
+	// BasePort is the first server port; stream i uses BasePort+i.
+	BasePort int
+}
+
+// StreamResult is one stream's outcome.
+type StreamResult struct {
+	Port        int
+	Bps         float64 // goodput, bits per second
+	Bytes       uint64
+	Retransmits uint64
+	Timeouts    uint64
+}
+
+// Result is one test run's outcome.
+type Result struct {
+	Streams   []StreamResult
+	Aggregate float64 // bits per second
+	Duration  time.Duration
+}
+
+// Mbps returns the aggregate in megabits per second.
+func (r Result) Mbps() float64 { return r.Aggregate / 1e6 }
+
+// Run executes an iperf test from src to dst on the network's virtual
+// clock. It advances the simulation by cfg.Duration; concurrent
+// activity on the same scheduler (sensors, other applications) runs
+// alongside, exactly as a real iperf run shares the testbed.
+func Run(net *simnet.Network, src, dst *simnet.Node, cfg Config) (Result, error) {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = DefaultPort
+	}
+	sched := net.Scheduler()
+	flows := make([]*simnet.Flow, cfg.Streams)
+	for i := range flows {
+		f, err := net.OpenFlow(src, 40000+i, dst, cfg.BasePort+i, simnet.FlowConfig{
+			Rwnd: cfg.Rwnd,
+			MSS:  cfg.MSS,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("iperf: open stream %d: %w", i, err)
+		}
+		f.SetUnlimited(true)
+		flows[i] = f
+	}
+	start := make([]simnet.FlowStats, cfg.Streams)
+	for i, f := range flows {
+		start[i] = f.Stats()
+	}
+	sched.RunFor(cfg.Duration)
+	res := Result{Duration: cfg.Duration}
+	for i, f := range flows {
+		st := f.Stats()
+		f.SetUnlimited(false)
+		f.Close()
+		bytes := st.Delivered - start[i].Delivered
+		sr := StreamResult{
+			Port:        cfg.BasePort + i,
+			Bytes:       bytes,
+			Bps:         float64(bytes) * 8 / cfg.Duration.Seconds(),
+			Retransmits: st.Retransmits - start[i].Retransmits,
+			Timeouts:    st.Timeouts - start[i].Timeouts,
+		}
+		res.Streams = append(res.Streams, sr)
+		res.Aggregate += sr.Bps
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package iperf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simnet"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// wanPair builds the §6 shape: a gigabit-attached sender and receiver
+// separated by a fast WAN, with the receiver's NIC/driver capacity at
+// about 200 Mbit/s and heavy per-socket overhead.
+func wanPair(t *testing.T) (*simnet.Network, *simnet.Node, *simnet.Node, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	src := net.AddHost("lbl", simnet.HostConfig{RecvCapacityBps: 1e9})
+	rtrA := net.AddRouter("rtr-west")
+	rtrB := net.AddRouter("rtr-east")
+	dst := net.AddHost("arl", simnet.HostConfig{
+		RecvCapacityBps:   200e6,
+		PerSocketOverhead: 2.0,
+	})
+	net.Connect(src, rtrA, simnet.RateOC12, time.Millisecond)
+	net.Connect(rtrA, rtrB, simnet.RateOC48, 33*time.Millisecond)
+	net.Connect(rtrB, dst, simnet.RateGigE, time.Millisecond)
+	return net, src, dst, sched
+}
+
+func TestSingleStreamReachesReceiverLimit(t *testing.T) {
+	net, src, dst, _ := wanPair(t)
+	res, err := Run(net, src, dst, Config{Streams: 1, Duration: 30 * time.Second, Rwnd: 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 1 {
+		t.Fatalf("streams = %d", len(res.Streams))
+	}
+	// One socket is serviced at (nearly) the full receive capacity.
+	if res.Mbps() < 100 || res.Mbps() > 210 {
+		t.Fatalf("single-stream WAN = %.0f Mbit/s, want 100-210", res.Mbps())
+	}
+}
+
+func TestFourStreamsCollapseOnWAN(t *testing.T) {
+	net, src, dst, _ := wanPair(t)
+	res4, err := Run(net, src, dst, Config{Streams: 4, Duration: 30 * time.Second, Rwnd: 2e6, BasePort: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §6 surprise: aggregate for four streams is far below one
+	// stream, because concurrent large-window sockets overload the
+	// receiver's interrupt path and RTO stalls crush cwnd on a 70 ms
+	// path.
+	if res4.Mbps() > 100 {
+		t.Fatalf("4-stream WAN = %.0f Mbit/s, want collapse below 100", res4.Mbps())
+	}
+	var retrans uint64
+	for _, s := range res4.Streams {
+		retrans += s.Retransmits
+	}
+	if retrans == 0 {
+		t.Fatal("no retransmissions during the collapse")
+	}
+}
+
+func TestLANUnaffectedByStreamCount(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	src := net.AddHost("a", simnet.HostConfig{RecvCapacityBps: 1e9})
+	dst := net.AddHost("b", simnet.HostConfig{
+		RecvCapacityBps:   200e6,
+		PerSocketOverhead: 2.0,
+	})
+	net.Connect(src, dst, simnet.RateGigE, 200*time.Microsecond)
+
+	res1, err := Run(net, src, dst, Config{Streams: 1, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := Run(net, src, dst, Config{Streams: 4, Duration: 20 * time.Second, BasePort: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "LAN throughput for both one and four data streams are 200
+	// Mbits/second": sub-ms RTT keeps windows small (ACK-paced), so
+	// the receive ring never overflows.
+	if res1.Mbps() < 150 || res4.Mbps() < 150 {
+		t.Fatalf("LAN 1-stream = %.0f, 4-stream = %.0f Mbit/s; want both near 200", res1.Mbps(), res4.Mbps())
+	}
+	ratio := res4.Mbps() / res1.Mbps()
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("LAN stream-count sensitivity: ratio = %.2f", ratio)
+	}
+}
+
+func TestDefaultsAndErrors(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	a := net.AddHost("a", simnet.HostConfig{RecvCapacityBps: 1e9})
+	b := net.AddHost("b", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(a, b, simnet.Rate100BT, time.Millisecond)
+	// Zero config gets defaults.
+	res, err := Run(net, a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 10*time.Second || len(res.Streams) != 1 {
+		t.Fatalf("defaults: %+v", res)
+	}
+	if res.Streams[0].Port != DefaultPort {
+		t.Fatalf("default port = %d", res.Streams[0].Port)
+	}
+	// Unrouted destination errors.
+	c := net.AddHost("island", simnet.HostConfig{})
+	if _, err := Run(net, a, c, Config{}); err == nil {
+		t.Fatal("unrouted run succeeded")
+	}
+}

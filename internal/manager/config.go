@@ -1,0 +1,154 @@
+package manager
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RunMode selects when a configured sensor runs (§2.2: "Sensors can be
+// configured to run always, when requested by a sensor manager GUI, or
+// when requested by the port monitor agent").
+type RunMode string
+
+// Run modes.
+const (
+	ModeAlways  RunMode = "always"
+	ModeRequest RunMode = "request"
+	ModePort    RunMode = "port"
+)
+
+func (m RunMode) valid() bool {
+	switch m {
+	case ModeAlways, ModeRequest, ModePort, "":
+		return true
+	}
+	return false
+}
+
+// Duration wraps time.Duration with "1s"/"500ms" JSON encoding, so
+// configuration files stay human-editable.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both duration
+// strings and bare nanosecond integers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("manager: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err == nil {
+		*d = Duration(n)
+		return nil
+	}
+	return fmt.Errorf("manager: bad duration %s", data)
+}
+
+// SensorSpec configures one sensor instance on a host.
+type SensorSpec struct {
+	// Name is the sensor instance name, unique per host; defaults to
+	// Type.
+	Name string `json:"name,omitempty"`
+	// Type selects the sensor implementation ("cpu", "memory",
+	// "netstat", "tcpdump", "iostat", "process", "users", "snmp",
+	// "clock", "app", ...); the deployment's Factory interprets it.
+	Type string `json:"type"`
+	// Interval is the polling period for polled sensors.
+	Interval Duration `json:"interval,omitempty"`
+	// Mode is when the sensor runs; default always.
+	Mode RunMode `json:"mode,omitempty"`
+	// Ports lists the trigger ports for ModePort sensors.
+	Ports []int `json:"ports,omitempty"`
+	// Params carries type-specific settings (SNMP device, community,
+	// thresholds, process name matches, ...).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// InstanceName returns the spec's effective sensor name.
+func (s SensorSpec) InstanceName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Type
+}
+
+// Validate checks the spec for structural problems.
+func (s SensorSpec) Validate() error {
+	if s.Type == "" {
+		return fmt.Errorf("manager: sensor spec without type")
+	}
+	if !s.Mode.valid() {
+		return fmt.Errorf("manager: sensor %s: unknown mode %q", s.InstanceName(), s.Mode)
+	}
+	if s.Mode == ModePort && len(s.Ports) == 0 {
+		return fmt.Errorf("manager: sensor %s: port mode without ports", s.InstanceName())
+	}
+	if time.Duration(s.Interval) < 0 {
+		return fmt.Errorf("manager: sensor %s: negative interval", s.InstanceName())
+	}
+	return nil
+}
+
+// Config is a sensor manager configuration — the paper's central
+// configuration file, fetched from a local path or an HTTP server and
+// re-checked every few minutes (§5.0).
+type Config struct {
+	// Sensors to run on this host.
+	Sensors []SensorSpec `json:"sensors"`
+	// PortPoll is the port monitor's polling interval (default 1s).
+	PortPoll Duration `json:"port_poll,omitempty"`
+	// PortIdle is how long a triggered port stays active without
+	// traffic before its sensors stop (default 30s).
+	PortIdle Duration `json:"port_idle,omitempty"`
+}
+
+// Validate checks every spec and rejects duplicate instance names.
+func (c Config) Validate() error {
+	seen := make(map[string]bool, len(c.Sensors))
+	for _, s := range c.Sensors {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		name := s.InstanceName()
+		if seen[name] {
+			return fmt.Errorf("manager: duplicate sensor name %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// ParseConfig parses a JSON configuration document.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("manager: parse config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// EncodeConfig renders a configuration as indented JSON, with sensors
+// sorted by name for stable output.
+func EncodeConfig(c Config) ([]byte, error) {
+	sorted := c
+	sorted.Sensors = append([]SensorSpec(nil), c.Sensors...)
+	sort.Slice(sorted.Sensors, func(i, j int) bool {
+		return sorted.Sensors[i].InstanceName() < sorted.Sensors[j].InstanceName()
+	})
+	return json.MarshalIndent(sorted, "", "  ")
+}

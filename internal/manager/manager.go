@@ -1,0 +1,489 @@
+// Package manager implements the JAMM sensor manager agent (§2.2): one
+// per host, it starts and stops sensors, keeps the sensor directory up
+// to date, and hosts the port monitor agent that triggers sensors on
+// application activity. Sensors to run come from a configuration file,
+// local or on a remote HTTP server; "every few minutes the sensor
+// managers check for updates to the configuration file, and activate
+// new sensors if necessary, publishing them in the sensor directory"
+// (§5.0).
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/portmon"
+	"jamm/internal/sensor"
+	"jamm/internal/sim"
+	"jamm/internal/simhost"
+	"jamm/internal/ulm"
+)
+
+// Directory abstracts the sensor directory for publication: both an
+// in-process *directory.Server (via ServerDirectory) and a remote
+// *directory.Client satisfy it.
+type Directory interface {
+	Add(e directory.Entry) error
+	Modify(dn directory.DN, attrs map[string][]string) error
+	Delete(dn directory.DN) error
+	Search(base directory.DN, scope directory.Scope, filter string) ([]directory.Entry, error)
+}
+
+// ServerDirectory adapts an in-process directory server to the
+// Directory interface, binding a fixed principal.
+type ServerDirectory struct {
+	Srv       *directory.Server
+	Principal string
+}
+
+// Add implements Directory.
+func (d ServerDirectory) Add(e directory.Entry) error { return d.Srv.Add(d.Principal, e) }
+
+// Modify implements Directory.
+func (d ServerDirectory) Modify(dn directory.DN, attrs map[string][]string) error {
+	return d.Srv.Modify(d.Principal, dn, attrs)
+}
+
+// Delete implements Directory.
+func (d ServerDirectory) Delete(dn directory.DN) error { return d.Srv.Delete(d.Principal, dn) }
+
+// Search implements Directory.
+func (d ServerDirectory) Search(base directory.DN, scope directory.Scope, filter string) ([]directory.Entry, error) {
+	f := directory.Filter(directory.All)
+	if filter != "" {
+		var err error
+		f, err = directory.ParseFilter(filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d.Srv.Search(d.Principal, base, scope, f)
+}
+
+var _ Directory = ServerDirectory{}
+var _ Directory = (*directory.Client)(nil)
+
+// Factory builds a sensor from its spec. The deployment provides it,
+// since sensors need handles into the host/network substrate.
+type Factory func(spec SensorSpec) (sensor.Sensor, error)
+
+// Options configures a Manager.
+type Options struct {
+	// Host is the managed host's name (used in directory entries).
+	Host *simhost.Host
+	// Gateway receives every sensor's events; its address is published
+	// so consumers know where to subscribe.
+	Gateway *gateway.Gateway
+	// GatewayAddr is the advertised gateway address (a TCP address for
+	// daemon deployments, the gateway name for in-process ones).
+	GatewayAddr string
+	// Directory is where sensors are published; nil disables
+	// publication.
+	Directory Directory
+	// DirBase is the base DN for sensor entries, e.g.
+	// "ou=sensors,o=jamm".
+	DirBase directory.DN
+	// Factory builds sensors from specs.
+	Factory Factory
+	// SensorOverheadCPU is the CPU fraction each running sensor costs
+	// the monitored host ("it is critical that the act of monitoring
+	// does not affect the systems being monitored" — the overhead is
+	// modelled so experiments can measure it). Zero means 0.002.
+	SensorOverheadCPU float64
+	// SensorOverheadMemKB is the resident set of one running sensor
+	// process. Zero means 2 MB.
+	SensorOverheadMemKB uint64
+}
+
+type managed struct {
+	spec    SensorSpec
+	sensor  sensor.Sensor
+	proc    *simhost.Process
+	started time.Duration // sim time of last start
+	lastMsg string
+	events  uint64
+}
+
+// Manager is one host's sensor manager agent.
+type Manager struct {
+	host  *simhost.Host
+	sched *sim.Scheduler
+	opts  Options
+
+	specs   map[string]SensorSpec
+	order   []string
+	running map[string]*managed
+
+	portmon            *portmon.Monitor
+	portPoll, portIdle time.Duration
+	cfgTicker          *sim.Ticker
+	cfgFetch           func() ([]byte, error)
+	lastConfig         string
+}
+
+// New returns a manager for the host described in opts.
+func New(opts Options) (*Manager, error) {
+	if opts.Host == nil {
+		return nil, fmt.Errorf("manager: nil host")
+	}
+	if opts.Gateway == nil {
+		return nil, fmt.Errorf("manager: nil gateway")
+	}
+	if opts.Factory == nil {
+		return nil, fmt.Errorf("manager: nil sensor factory")
+	}
+	if opts.SensorOverheadCPU == 0 {
+		opts.SensorOverheadCPU = 0.002
+	}
+	if opts.SensorOverheadMemKB == 0 {
+		opts.SensorOverheadMemKB = 2 * 1024
+	}
+	m := &Manager{
+		host:    opts.Host,
+		sched:   opts.Host.Scheduler(),
+		opts:    opts,
+		specs:   make(map[string]SensorSpec),
+		running: make(map[string]*managed),
+	}
+	return m, nil
+}
+
+// Host returns the managed host's name.
+func (m *Manager) Host() string { return m.host.Name }
+
+// PortMonitor returns the manager's port monitor agent, or nil if no
+// port-mode sensors are configured.
+func (m *Manager) PortMonitor() *portmon.Monitor { return m.portmon }
+
+// Apply reconciles the manager against a new configuration: sensors no
+// longer configured stop and are unpublished; new always-mode sensors
+// start; port-mode sensors are handed to the port monitor. This is the
+// hot-activation path of §5.0 — managers apply config changes without
+// restarting.
+func (m *Manager) Apply(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	want := make(map[string]SensorSpec, len(cfg.Sensors))
+	var order []string
+	for _, spec := range cfg.Sensors {
+		want[spec.InstanceName()] = spec
+		order = append(order, spec.InstanceName())
+	}
+	// Stop and forget sensors that disappeared from the config.
+	for name := range m.specs {
+		if _, keep := want[name]; !keep {
+			m.StopSensor(name) //nolint:errcheck
+			delete(m.specs, name)
+		}
+	}
+	// Rebuild the port monitor wiring from scratch: simplest correct
+	// reconciliation for watch lists.
+	if m.portmon != nil {
+		for _, st := range m.portmon.Status() {
+			m.portmon.Unwatch(st.Port) //nolint:errcheck
+		}
+	}
+	portSensors := make(map[int][]string)
+	for _, name := range order {
+		spec := want[name]
+		old, existed := m.specs[name]
+		m.specs[name] = spec
+		switch spec.Mode {
+		case ModeAlways, "":
+			if existed && specEqual(old, spec) && m.running[name] != nil {
+				continue // unchanged and running
+			}
+			if m.running[name] != nil {
+				m.StopSensor(name) //nolint:errcheck
+			}
+			if err := m.StartSensor(name); err != nil {
+				return err
+			}
+		case ModeRequest:
+			if m.running[name] != nil && (!existed || !specEqual(old, spec)) {
+				// Changed spec: bounce on next request.
+				m.StopSensor(name) //nolint:errcheck
+			}
+		case ModePort:
+			if m.running[name] != nil && !specEqual(old, spec) {
+				m.StopSensor(name) //nolint:errcheck
+			}
+			for _, p := range spec.Ports {
+				portSensors[p] = append(portSensors[p], name)
+			}
+		}
+	}
+	m.order = order
+	if len(portSensors) > 0 {
+		poll := time.Duration(cfg.PortPoll)
+		idle := time.Duration(cfg.PortIdle)
+		if m.portmon != nil && (poll != m.portPoll || idle != m.portIdle) {
+			// Timing changed: rebuild the monitor with the new settings.
+			m.portmon.Stop()
+			m.portmon = nil
+		}
+		if m.portmon == nil {
+			m.portPoll, m.portIdle = poll, idle
+			m.portmon = portmon.New(m.sched, m.host.Node, portmon.StarterFuncs{
+				Start: m.StartSensor,
+				Stop:  m.StopSensor,
+			}, poll, idle)
+		}
+		ports := make([]int, 0, len(portSensors))
+		for p := range portSensors {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		for _, p := range ports {
+			m.portmon.Watch(p, portSensors[p]...)
+		}
+		m.portmon.Start()
+	} else if m.portmon != nil {
+		m.portmon.Stop()
+	}
+	return nil
+}
+
+func specEqual(a, b SensorSpec) bool {
+	if a.Type != b.Type || a.Interval != b.Interval || a.Mode != b.Mode || len(a.Ports) != len(b.Ports) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Ports {
+		if a.Ports[i] != b.Ports[i] {
+			return false
+		}
+	}
+	for k, v := range a.Params {
+		if b.Params[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// GatewayKey returns the gateway-unique producer key for one of this
+// host's sensors. Site gateways serve many hosts, and every host has a
+// "cpu" sensor, so producers register as "<sensor>@<host>".
+func (m *Manager) GatewayKey(name string) string { return name + "@" + m.host.Name }
+
+// StartSensor starts a configured sensor by name (the on-request path:
+// sensor manager GUI, jammctl, or the port monitor).
+func (m *Manager) StartSensor(name string) error {
+	spec, ok := m.specs[name]
+	if !ok {
+		return fmt.Errorf("manager: %s: sensor %q not configured", m.host.Name, name)
+	}
+	if m.running[name] != nil {
+		return nil // already running
+	}
+	s, err := m.opts.Factory(spec)
+	if err != nil {
+		return fmt.Errorf("manager: %s: build sensor %q: %w", m.host.Name, name, err)
+	}
+	md := &managed{spec: spec, sensor: s, started: m.sched.Now()}
+	key := m.GatewayKey(name)
+	m.opts.Gateway.Register(key, gateway.Meta{
+		Host:     m.host.Name,
+		Type:     spec.Type,
+		Interval: time.Duration(spec.Interval),
+	})
+	emit := func(rec ulm.Record) {
+		md.events++
+		md.lastMsg = rec.Event
+		m.opts.Gateway.Publish(key, rec)
+	}
+	if err := s.Start(emit); err != nil {
+		m.opts.Gateway.Unregister(key)
+		return err
+	}
+	// The monitoring itself costs the host something; model it.
+	md.proc = m.host.Spawn("jamm."+name, m.opts.SensorOverheadCPU, m.opts.SensorOverheadMemKB)
+	m.running[name] = md
+	m.publish(name, md)
+	return nil
+}
+
+// StopSensor stops a running sensor and removes its directory entry.
+func (m *Manager) StopSensor(name string) error {
+	md, ok := m.running[name]
+	if !ok {
+		return fmt.Errorf("manager: %s: sensor %q not running", m.host.Name, name)
+	}
+	md.sensor.Stop()
+	if md.proc != nil {
+		md.proc.Exit()
+	}
+	delete(m.running, name)
+	m.opts.Gateway.Unregister(m.GatewayKey(name))
+	if m.opts.Directory != nil {
+		m.opts.Directory.Delete(m.sensorDN(name)) //nolint:errcheck
+	}
+	return nil
+}
+
+// Running lists the names of running sensors, sorted.
+func (m *Manager) Running() []string {
+	out := make([]string, 0, len(m.running))
+	for name := range m.running {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Configured lists the configured sensor names in config order.
+func (m *Manager) Configured() []string {
+	return append([]string(nil), m.order...)
+}
+
+// SensorStatus is one row of the manager's status report — the fields
+// the paper's Sensor Data GUI shows: "frequency, duration, startup
+// time, current number of consumers, and last message".
+type SensorStatus struct {
+	Name      string
+	Type      string
+	Mode      RunMode
+	Running   bool
+	Interval  time.Duration
+	Started   time.Duration // sim time of last start
+	Events    uint64
+	LastMsg   string
+	Consumers int
+}
+
+// Status reports every configured sensor's state.
+func (m *Manager) Status() []SensorStatus {
+	out := make([]SensorStatus, 0, len(m.specs))
+	for _, name := range m.order {
+		spec := m.specs[name]
+		st := SensorStatus{
+			Name:     name,
+			Type:     spec.Type,
+			Mode:     spec.Mode,
+			Interval: time.Duration(spec.Interval),
+		}
+		if md, ok := m.running[name]; ok {
+			st.Running = true
+			st.Started = md.started
+			st.Events = md.events
+			st.LastMsg = md.lastMsg
+			st.Consumers = m.opts.Gateway.Consumers(m.GatewayKey(name))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// sensorDN builds the directory DN for one sensor instance.
+func (m *Manager) sensorDN(name string) directory.DN {
+	base := m.opts.DirBase
+	dn := directory.DN(fmt.Sprintf("sensor=%s,host=%s", name, m.host.Name))
+	if base != "" {
+		dn += "," + base
+	}
+	return dn.Normalize()
+}
+
+// publish writes the sensor's directory entry: consumers "look up the
+// sensors in the directory service, and then subscribe to sensor data
+// via an event gateway".
+func (m *Manager) publish(name string, md *managed) {
+	if m.opts.Directory == nil {
+		return
+	}
+	e := directory.NewEntry(m.sensorDN(name), map[string]string{
+		"objectclass": "jammSensor",
+		"sensor":      name,
+		"gwsensor":    m.GatewayKey(name),
+		"type":        md.spec.Type,
+		"host":        m.host.Name,
+		"gateway":     m.opts.GatewayAddr,
+		"frequency":   strconv.FormatInt(int64(time.Duration(md.spec.Interval)/time.Millisecond), 10),
+		"mode":        string(md.spec.Mode),
+		"status":      "running",
+		"startup":     ulm.FormatDate(m.host.Clock.Now()),
+	})
+	if err := m.opts.Directory.Add(e); err != nil {
+		// The entry may survive from a previous run: refresh it.
+		m.opts.Directory.Modify(e.DN, e.Attrs) //nolint:errcheck
+	}
+}
+
+// UpdateDirectory refreshes mutable attributes (consumer counts, last
+// message) of every running sensor's entry; deployments run it
+// periodically.
+func (m *Manager) UpdateDirectory() {
+	if m.opts.Directory == nil {
+		return
+	}
+	for name, md := range m.running {
+		attrs := map[string][]string{
+			"consumers": {strconv.Itoa(m.opts.Gateway.Consumers(m.GatewayKey(name)))},
+			"lastmsg":   {md.lastMsg},
+			"events":    {strconv.FormatUint(md.events, 10)},
+		}
+		m.opts.Directory.Modify(m.sensorDN(name), attrs) //nolint:errcheck
+	}
+}
+
+// WatchConfig polls fetch for configuration updates every interval and
+// applies changes — the §5.0 loop that makes adding a sensor "copy the
+// class to an HTTP accessible directory and edit the central
+// configuration file". fetch typically reads a local file or does an
+// HTTP GET. The first fetch is performed immediately.
+func (m *Manager) WatchConfig(fetch func() ([]byte, error), interval time.Duration) error {
+	if m.cfgTicker != nil {
+		m.cfgTicker.Stop()
+	}
+	m.cfgFetch = fetch
+	if err := m.refreshConfig(); err != nil {
+		return err
+	}
+	m.cfgTicker = m.sched.Every(interval, func() {
+		m.refreshConfig() //nolint:errcheck
+	})
+	return nil
+}
+
+// StopConfigWatch halts configuration polling.
+func (m *Manager) StopConfigWatch() {
+	if m.cfgTicker != nil {
+		m.cfgTicker.Stop()
+		m.cfgTicker = nil
+	}
+}
+
+func (m *Manager) refreshConfig() error {
+	data, err := m.cfgFetch()
+	if err != nil {
+		return err // transient fetch errors leave the current config running
+	}
+	if string(data) == m.lastConfig {
+		return nil
+	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		return err
+	}
+	if err := m.Apply(cfg); err != nil {
+		return err
+	}
+	m.lastConfig = string(data)
+	return nil
+}
+
+// Shutdown stops everything: sensors, port monitor, config watcher.
+func (m *Manager) Shutdown() {
+	m.StopConfigWatch()
+	if m.portmon != nil {
+		m.portmon.Stop()
+	}
+	for _, name := range m.Running() {
+		m.StopSensor(name) //nolint:errcheck
+	}
+}

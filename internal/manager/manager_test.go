@@ -1,0 +1,426 @@
+package manager
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/sensor"
+	"jamm/internal/sim"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+type env struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+	host  *simhost.Host
+	node  *simnet.Node
+	peer  *simnet.Node
+	gw    *gateway.Gateway
+	dir   *directory.Server
+	mgr   *Manager
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	node := net.AddHost("h1.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	peer := net.AddHost("h2.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(node, peer, simnet.Rate100BT, time.Millisecond)
+	host := simhost.New(sched, "h1.lbl.gov", node, nil, simhost.Config{})
+	gw := gateway.New("gw1", func() time.Time { return sched.WallNow() })
+	dir := directory.NewServer("dir1", directory.NewMutableBackend())
+
+	e := &env{sched: sched, net: net, host: host, node: node, peer: peer, gw: gw, dir: dir}
+	mgr, err := New(Options{
+		Host:        host,
+		Gateway:     gw,
+		GatewayAddr: "gw1",
+		Directory:   ServerDirectory{Srv: dir, Principal: "manager"},
+		DirBase:     "ou=sensors,o=jamm",
+		Factory:     e.factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mgr = mgr
+	return e
+}
+
+// factory builds real sensors against the test substrate.
+func (e *env) factory(spec SensorSpec) (sensor.Sensor, error) {
+	iv := time.Duration(spec.Interval)
+	if iv <= 0 {
+		iv = time.Second
+	}
+	switch spec.Type {
+	case "cpu":
+		return sensor.NewCPU(e.host, iv), nil
+	case "memory":
+		return sensor.NewMemory(e.host, iv), nil
+	case "netstat":
+		return sensor.NewNetstat(e.host, e.net, iv), nil
+	case "process":
+		return sensor.NewProcess(e.host), nil
+	case "boom":
+		return nil, fmt.Errorf("no such sensor binary")
+	}
+	return nil, fmt.Errorf("unknown sensor type %q", spec.Type)
+}
+
+func cfg(specs ...SensorSpec) Config { return Config{Sensors: specs} }
+
+func TestApplyStartsAlwaysSensors(t *testing.T) {
+	e := newEnv(t)
+	err := e.mgr.Apply(cfg(
+		SensorSpec{Type: "cpu", Interval: Duration(time.Second)},
+		SensorSpec{Type: "memory", Interval: Duration(time.Second)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := e.mgr.Running()
+	if len(running) != 2 || running[0] != "cpu" || running[1] != "memory" {
+		t.Fatalf("running = %v", running)
+	}
+	// Events flow into the gateway.
+	var got int
+	if _, err := e.gw.Subscribe(gateway.Request{Sensor: "cpu@h1.lbl.gov"}, func(r ulm.Record) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	e.sched.RunFor(5 * time.Second)
+	if got != 10 { // 5 polls x 2 events (user+sys)
+		t.Fatalf("cpu events = %d, want 10", got)
+	}
+	// Directory entries exist with the published attributes.
+	entries, err := e.dir.Search("x", "ou=sensors,o=jamm", directory.ScopeSubtree, directory.MustFilter("(objectclass=jammSensor)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("directory has %d sensors, want 2", len(entries))
+	}
+	for _, entry := range entries {
+		if gw, _ := entry.Get("gateway"); gw != "gw1" {
+			t.Fatalf("entry gateway = %q", gw)
+		}
+		if host, _ := entry.Get("host"); host != "h1.lbl.gov" {
+			t.Fatalf("entry host = %q", host)
+		}
+	}
+	// The monitoring overhead is modelled as host processes.
+	if p := e.host.ProcessByName("jamm.cpu"); p == nil {
+		t.Fatal("no jamm.cpu overhead process")
+	}
+}
+
+func TestApplyReconcilesRemovals(t *testing.T) {
+	e := newEnv(t)
+	if err := e.mgr.Apply(cfg(
+		SensorSpec{Type: "cpu", Interval: Duration(time.Second)},
+		SensorSpec{Type: "memory", Interval: Duration(time.Second)},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	// New config drops memory.
+	if err := e.mgr.Apply(cfg(SensorSpec{Type: "cpu", Interval: Duration(time.Second)})); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mgr.Running(); len(got) != 1 || got[0] != "cpu" {
+		t.Fatalf("running after removal = %v", got)
+	}
+	entries, _ := e.dir.Search("x", "ou=sensors,o=jamm", directory.ScopeSubtree, directory.All)
+	if len(entries) != 1 {
+		t.Fatalf("directory entries after removal = %d", len(entries))
+	}
+	if p := e.host.ProcessByName("jamm.memory"); p != nil {
+		t.Fatal("memory overhead process survived removal")
+	}
+}
+
+func TestOnRequestSensors(t *testing.T) {
+	e := newEnv(t)
+	if err := e.mgr.Apply(cfg(SensorSpec{Type: "netstat", Mode: ModeRequest, Interval: Duration(time.Second)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.mgr.Running()) != 0 {
+		t.Fatal("request-mode sensor started at apply")
+	}
+	if err := e.mgr.StartSensor("netstat"); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.mgr.Running()) != 1 {
+		t.Fatal("StartSensor did not start")
+	}
+	if err := e.mgr.StartSensor("netstat"); err != nil {
+		t.Fatal("second StartSensor should be a no-op, got error")
+	}
+	if err := e.mgr.StopSensor("netstat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.StopSensor("netstat"); err == nil {
+		t.Fatal("stopping a stopped sensor should error")
+	}
+	if err := e.mgr.StartSensor("ghost"); err == nil {
+		t.Fatal("starting an unconfigured sensor should error")
+	}
+}
+
+func TestPortTriggeredSensors(t *testing.T) {
+	e := newEnv(t)
+	err := e.mgr.Apply(Config{
+		Sensors: []SensorSpec{
+			{Type: "netstat", Mode: ModePort, Ports: []int{21}, Interval: Duration(time.Second)},
+		},
+		PortPoll: Duration(time.Second),
+		PortIdle: Duration(5 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.mgr.PortMonitor() == nil || !e.mgr.PortMonitor().Running() {
+		t.Fatal("port monitor not running")
+	}
+	e.sched.RunFor(3 * time.Second)
+	if len(e.mgr.Running()) != 0 {
+		t.Fatal("port sensor running before traffic")
+	}
+	// FTP-like transfer to port 21 triggers netstat monitoring for the
+	// duration of the connection (the §2.0 FTP example).
+	f, err := e.net.OpenFlow(e.peer, 30000, e.node, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(20e6, nil)
+	e.sched.RunFor(4 * time.Second)
+	if got := e.mgr.Running(); len(got) != 1 || got[0] != "netstat" {
+		t.Fatalf("running during transfer = %v", got)
+	}
+	// Idle timeout stops it again.
+	e.sched.RunFor(60 * time.Second)
+	if got := e.mgr.Running(); len(got) != 0 {
+		t.Fatalf("running after idle = %v", got)
+	}
+}
+
+func TestFactoryErrorSurfaces(t *testing.T) {
+	e := newEnv(t)
+	err := e.mgr.Apply(cfg(SensorSpec{Type: "boom"}))
+	if err == nil {
+		t.Fatal("factory error not surfaced")
+	}
+}
+
+func TestStatusReport(t *testing.T) {
+	e := newEnv(t)
+	if err := e.mgr.Apply(cfg(
+		SensorSpec{Type: "cpu", Interval: Duration(time.Second)},
+		SensorSpec{Type: "netstat", Mode: ModeRequest, Interval: Duration(2 * time.Second)},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	e.sched.RunFor(3 * time.Second)
+	st := e.mgr.Status()
+	if len(st) != 2 {
+		t.Fatalf("status rows = %d", len(st))
+	}
+	if !st[0].Running || st[0].Name != "cpu" || st[0].Events == 0 || st[0].LastMsg == "" {
+		t.Fatalf("cpu status = %+v", st[0])
+	}
+	if st[1].Running {
+		t.Fatalf("request-mode sensor shows running: %+v", st[1])
+	}
+	if st[0].Interval != time.Second {
+		t.Fatalf("status interval = %v", st[0].Interval)
+	}
+}
+
+func TestUpdateDirectoryRefreshesConsumers(t *testing.T) {
+	e := newEnv(t)
+	if err := e.mgr.Apply(cfg(SensorSpec{Type: "cpu", Interval: Duration(time.Second)})); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := e.gw.Subscribe(gateway.Request{Sensor: "cpu@h1.lbl.gov"}, func(r ulm.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	e.sched.RunFor(2 * time.Second)
+	e.mgr.UpdateDirectory()
+	entries, _ := e.dir.Search("x", "ou=sensors,o=jamm", directory.ScopeSubtree, directory.All)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if c, _ := entries[0].Get("consumers"); c != "1" {
+		t.Fatalf("consumers attr = %q", c)
+	}
+	if lm, _ := entries[0].Get("lastmsg"); lm == "" {
+		t.Fatal("lastmsg attr empty")
+	}
+}
+
+func TestWatchConfigHotActivation(t *testing.T) {
+	e := newEnv(t)
+	// The "remote HTTP server" is a fetch function; swap its payload
+	// mid-run like editing the central configuration file.
+	configs := make(chan string, 2)
+	current := mustJSON(cfg(SensorSpec{Type: "cpu", Interval: Duration(time.Second)}))
+	fetch := func() ([]byte, error) {
+		select {
+		case c := <-configs:
+			current = c
+		default:
+		}
+		return []byte(current), nil
+	}
+	if err := e.mgr.WatchConfig(fetch, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mgr.Running(); len(got) != 1 || got[0] != "cpu" {
+		t.Fatalf("initial config running = %v", got)
+	}
+	// Add a memory sensor to the central file; within a few minutes the
+	// manager activates it (§5.0).
+	configs <- mustJSON(cfg(
+		SensorSpec{Type: "cpu", Interval: Duration(time.Second)},
+		SensorSpec{Type: "memory", Interval: Duration(time.Second)},
+	))
+	e.sched.RunFor(5 * time.Minute)
+	if got := e.mgr.Running(); len(got) != 2 {
+		t.Fatalf("after config update running = %v", got)
+	}
+	e.mgr.Shutdown()
+	if got := e.mgr.Running(); len(got) != 0 {
+		t.Fatalf("after shutdown running = %v", got)
+	}
+}
+
+func TestWatchConfigBadUpdateKeepsRunning(t *testing.T) {
+	e := newEnv(t)
+	payload := mustJSON(cfg(SensorSpec{Type: "cpu", Interval: Duration(time.Second)}))
+	bad := false
+	fetch := func() ([]byte, error) {
+		if bad {
+			return []byte("{not json"), nil
+		}
+		return []byte(payload), nil
+	}
+	if err := e.mgr.WatchConfig(fetch, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	bad = true
+	e.sched.RunFor(5 * time.Minute)
+	if got := e.mgr.Running(); len(got) != 1 {
+		t.Fatalf("bad config update disturbed sensors: %v", got)
+	}
+}
+
+func mustJSON(c Config) string {
+	b, err := EncodeConfig(c)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestConfigParseValidate(t *testing.T) {
+	good := `{"sensors":[{"type":"cpu","interval":"1s"},{"name":"n2","type":"netstat","mode":"port","ports":[21,80]}],"port_idle":"30s"}`
+	c, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sensors) != 2 || time.Duration(c.Sensors[0].Interval) != time.Second {
+		t.Fatalf("parsed config = %+v", c)
+	}
+	if time.Duration(c.PortIdle) != 30*time.Second {
+		t.Fatalf("port_idle = %v", c.PortIdle)
+	}
+	bad := []string{
+		`{"sensors":[{"interval":"1s"}]}`,                         // no type
+		`{"sensors":[{"type":"cpu","mode":"sometimes"}]}`,         // bad mode
+		`{"sensors":[{"type":"cpu","mode":"port"}]}`,              // port mode, no ports
+		`{"sensors":[{"type":"cpu"},{"type":"cpu"}]}`,             // duplicate names
+		`{"sensors":[{"type":"cpu","interval":"-3s"}]}`,           // negative interval
+		`{"sensors":[{"type":"cpu","interval":"three seconds"}]}`, // bad duration
+		`{not json`, // malformed
+		`{"sensors":[{"type":"cpu","interval":{"nested":"object"}}]}`, // wrong type
+	}
+	for _, in := range bad {
+		if _, err := ParseConfig([]byte(in)); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", in)
+		}
+	}
+	// Durations round-trip through JSON as strings.
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1m30s"`), &d); err != nil || time.Duration(d) != 90*time.Second {
+		t.Fatalf("duration unmarshal: %v %v", d, err)
+	}
+	out, err := json.Marshal(Duration(time.Second))
+	if err != nil || string(out) != `"1s"` {
+		t.Fatalf("duration marshal: %s %v", out, err)
+	}
+	if err := json.Unmarshal([]byte(`1500000000`), &d); err != nil || time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("numeric duration: %v %v", d, err)
+	}
+}
+
+// TestWatchConfigFromHTTPServer exercises the paper's actual deployment
+// path: "Sensors to be run are specified by a configuration file, which
+// may be local or on a remote HTTP server" (§2.2).
+func TestWatchConfigFromHTTPServer(t *testing.T) {
+	e := newEnv(t)
+	var mu sync.Mutex
+	payload := mustJSON(cfg(SensorSpec{Type: "cpu", Interval: Duration(time.Second)}))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		io.WriteString(w, payload) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	fetch := func() ([]byte, error) {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	if err := e.mgr.WatchConfig(fetch, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mgr.Running(); len(got) != 1 || got[0] != "cpu" {
+		t.Fatalf("running from HTTP config = %v", got)
+	}
+	// Edit the central file; the manager picks it up on the next poll.
+	mu.Lock()
+	payload = mustJSON(cfg(
+		SensorSpec{Type: "cpu", Interval: Duration(time.Second)},
+		SensorSpec{Type: "memory", Interval: Duration(time.Second)},
+	))
+	mu.Unlock()
+	e.sched.RunFor(2 * time.Minute)
+	if got := e.mgr.Running(); len(got) != 2 {
+		t.Fatalf("running after HTTP config edit = %v", got)
+	}
+	// HTTP server death leaves the current config running (§5.0
+	// resilience: transient fetch errors must not kill monitoring).
+	srv.Close()
+	e.sched.RunFor(5 * time.Minute)
+	if got := e.mgr.Running(); len(got) != 2 {
+		t.Fatalf("running after HTTP server death = %v", got)
+	}
+}

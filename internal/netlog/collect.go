@@ -1,0 +1,135 @@
+package netlog
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"jamm/internal/ulm"
+)
+
+// This file is the log-collection half of the toolkit (§4.1: "a set of
+// tools for collecting and sorting log files"): merge per-sensor ULM
+// files into one time-ordered stream, and a TCP collector that receives
+// remote Logger streams.
+
+// MergeFiles reads every named ULM log file, merges the records in
+// timestamp order, and writes them to w.
+func MergeFiles(w io.Writer, paths ...string) error {
+	var all [][]ulm.Record
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		recs, err := ulm.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("netlog: %s: %w", p, err)
+		}
+		ulm.SortByDate(recs)
+		all = append(all, recs)
+	}
+	return ulm.WriteAll(w, ulm.Merge(all...))
+}
+
+// MergeReaders merges already-open ULM streams in timestamp order.
+func MergeReaders(w io.Writer, readers ...io.Reader) error {
+	var all [][]ulm.Record
+	for i, r := range readers {
+		recs, err := ulm.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("netlog: reader %d: %w", i, err)
+		}
+		ulm.SortByDate(recs)
+		all = append(all, recs)
+	}
+	return ulm.WriteAll(w, ulm.Merge(all...))
+}
+
+// Collector is a TCP server that receives ULM text streams from remote
+// Loggers (the "log to a remote host" destination) and hands each
+// record to a sink.
+type Collector struct {
+	ln   net.Listener
+	sink func(ulm.Record)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCollector starts a collector on addr ("" or ":0" for an ephemeral
+// port). The sink is called from connection goroutines and must be
+// concurrency-safe.
+func NewCollector(addr string, sink func(ulm.Record)) (*Collector, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	sc := ulm.NewScanner(conn)
+	for sc.Scan() {
+		c.sink(sc.Record())
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for
+// handlers to finish.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,308 @@
+package netlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+func fixedClock() func() time.Time {
+	t := time.Date(2000, 3, 30, 11, 23, 20, 957943000, time.UTC)
+	return func() time.Time { return t }
+}
+
+func TestWritePaperExample(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("testProg", WithHost("dpss1.lbl.gov"), WithClock(fixedClock()))
+	l.OpenWriter(&buf)
+	l.Write("WriteData", F("SEND.SZ", 49332))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage NL.EVNT=WriteData SEND.SZ=49332\n"
+	if buf.String() != want {
+		t.Errorf("got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestFieldFormatting(t *testing.T) {
+	if f := F("A", 42); f.Value != "42" {
+		t.Errorf("int: %q", f.Value)
+	}
+	if f := F("A", "str"); f.Value != "str" {
+		t.Errorf("string: %q", f.Value)
+	}
+	if f := F("A", 1.5); f.Value != "1.5" {
+		t.Errorf("float: %q", f.Value)
+	}
+	if f := F("A", true); f.Value != "true" {
+		t.Errorf("bool: %q", f.Value)
+	}
+}
+
+func TestMemoryDest(t *testing.T) {
+	l := New("p", WithClock(fixedClock()))
+	mem := &MemoryDest{}
+	l.SetDestination(mem)
+	for i := 0; i < 5; i++ {
+		l.Write("E", F("I", i))
+	}
+	if mem.Len() != 5 {
+		t.Fatalf("Len = %d", mem.Len())
+	}
+	recs := mem.Records()
+	if v, _ := recs[3].Get("I"); v != "3" {
+		t.Errorf("record 3 I = %q", v)
+	}
+}
+
+func TestBufferingFlushesWhenFull(t *testing.T) {
+	l := New("p", WithClock(fixedClock()), WithBuffer(3))
+	mem := &MemoryDest{}
+	l.SetDestination(mem)
+	l.Write("A")
+	l.Write("B")
+	if mem.Len() != 0 {
+		t.Fatalf("buffer leaked early: %d", mem.Len())
+	}
+	l.Write("C") // hits capacity
+	if mem.Len() != 3 {
+		t.Fatalf("auto-flush did not fire: %d", mem.Len())
+	}
+	l.Write("D")
+	if mem.Len() != 3 {
+		t.Fatal("partial buffer flushed without request")
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 4 {
+		t.Fatalf("explicit flush missing records: %d", mem.Len())
+	}
+}
+
+func TestCloseFlushesBuffer(t *testing.T) {
+	l := New("p", WithClock(fixedClock()), WithBuffer(100))
+	mem := &MemoryDest{}
+	l.SetDestination(mem)
+	l.Write("A")
+	l.Close()
+	if mem.Len() != 1 {
+		t.Fatalf("Close did not flush: %d", mem.Len())
+	}
+}
+
+func TestDestinationErrorSurfacesOnFlush(t *testing.T) {
+	l := New("p", WithClock(fixedClock()))
+	boom := errors.New("boom")
+	l.SetDestination(FuncDest(func(ulm.Record) error { return boom }))
+	l.Write("A")
+	if err := l.Flush(); !errors.Is(err, boom) {
+		t.Errorf("Flush err = %v", err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Errorf("error not cleared after report: %v", err)
+	}
+}
+
+func TestFileDestination(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l := New("p", WithHost("h"), WithClock(fixedClock()))
+	if err := l.OpenFile(path); err != nil {
+		t.Fatal(err)
+	}
+	l.Write("X", F("N", 1))
+	l.Write("Y", F("N", 2))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ulm.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Event != "X" || recs[1].Event != "Y" {
+		t.Errorf("recs = %+v", recs)
+	}
+}
+
+func TestTCPCollectorRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []ulm.Record
+	coll, err := NewCollector("", func(r ulm.Record) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	l := New("remoteProg", WithHost("client"), WithClock(fixedClock()))
+	if err := l.DialTCP(coll.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Write("EV", F("I", i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector received %d/10 records", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[9].Prog != "remoteProg" {
+		t.Errorf("record = %+v", got[9])
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	coll, err := NewCollector("", func(ulm.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeLog(t *testing.T, path string, host string, offsets ...int) {
+	t.Helper()
+	base := time.Date(2000, 5, 1, 12, 0, 0, 0, time.UTC)
+	var recs []ulm.Record
+	for _, o := range offsets {
+		recs = append(recs, ulm.Record{
+			Date: base.Add(time.Duration(o) * time.Second),
+			Host: host, Prog: "p", Lvl: "Usage", Event: fmt.Sprintf("E%d", o),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ulm.WriteAll(f, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.log")
+	p2 := filepath.Join(dir, "b.log")
+	writeLog(t, p1, "a", 0, 2, 4)
+	writeLog(t, p2, "b", 1, 3, 5)
+	var out bytes.Buffer
+	if err := MergeFiles(&out, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ulm.ReadAll(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("merged %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Date.Before(recs[i-1].Date) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestMergeFilesMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := MergeFiles(&out, "/nonexistent/zzz.log"); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestMergeReadersUnsortedInput(t *testing.T) {
+	// MergeReaders sorts each input before merging, so even unsorted
+	// producers come out time-ordered.
+	mk := func(offsets ...int) string {
+		var sb strings.Builder
+		base := time.Date(2000, 5, 1, 12, 0, 0, 0, time.UTC)
+		for _, o := range offsets {
+			r := ulm.Record{Date: base.Add(time.Duration(o) * time.Second), Host: "h", Prog: "p", Lvl: "Usage"}
+			sb.WriteString(r.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	var out bytes.Buffer
+	err := MergeReaders(&out, strings.NewReader(mk(5, 1, 3)), strings.NewReader(mk(4, 0, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := ulm.ReadAll(&out)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Date.Before(recs[i-1].Date) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	l := New("p", WithClock(time.Now))
+	mem := &MemoryDest{}
+	l.SetDestination(mem)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Write("EV", F("G", g), F("I", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if mem.Len() != 800 {
+		t.Errorf("Len = %d, want 800", mem.Len())
+	}
+}
+
+func TestBinaryDest(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("p", WithHost("h"), WithClock(fixedClock()))
+	l.SetDestination(NewBinaryDest(&buf))
+	l.Write("A", F("N", 1))
+	l.Write("B", F("N", 2))
+	l.Close()
+	br := ulm.NewBinaryReader(&buf)
+	var r ulm.Record
+	if err := br.Read(&r); err != nil || r.Event != "A" {
+		t.Fatalf("first: %+v, %v", r, err)
+	}
+	if err := br.Read(&r); err != nil || r.Event != "B" {
+		t.Fatalf("second: %+v, %v", r, err)
+	}
+}

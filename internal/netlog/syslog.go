@@ -1,0 +1,52 @@
+//go:build !windows && !plan9
+
+package netlog
+
+import (
+	"log/syslog"
+
+	"jamm/internal/ulm"
+)
+
+// SyslogDest forwards records to the local syslog daemon — the fourth
+// destination the paper's API offers ("logging to either memory, a
+// local file, syslog, a remote host", §4.4). ULM severity levels map
+// onto syslog priorities.
+type SyslogDest struct {
+	w *syslog.Writer
+}
+
+// NewSyslogDest connects to the local syslog daemon under the given
+// tag (conventionally the program name). It fails where no syslog
+// daemon runs.
+func NewSyslogDest(tag string) (*SyslogDest, error) {
+	w, err := syslog.New(syslog.LOG_INFO|syslog.LOG_DAEMON, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &SyslogDest{w: w}, nil
+}
+
+// WriteRecord implements Destination.
+func (d *SyslogDest) WriteRecord(r *ulm.Record) error {
+	line := r.String()
+	switch r.Lvl {
+	case ulm.LvlEmergency:
+		return d.w.Emerg(line)
+	case ulm.LvlAlert:
+		return d.w.Alert(line)
+	case ulm.LvlError:
+		return d.w.Err(line)
+	case ulm.LvlWarning:
+		return d.w.Warning(line)
+	case ulm.LvlDebug:
+		return d.w.Debug(line)
+	default:
+		return d.w.Info(line)
+	}
+}
+
+// Close implements Destination.
+func (d *SyslogDest) Close() error { return d.w.Close() }
+
+var _ Destination = (*SyslogDest)(nil)

@@ -1,0 +1,28 @@
+//go:build !windows && !plan9
+
+package netlog
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+func TestSyslogDest(t *testing.T) {
+	d, err := NewSyslogDest("jamm-test")
+	if err != nil {
+		t.Skipf("no syslog daemon available: %v", err)
+	}
+	defer d.Close()
+	rec := ulm.Record{
+		Date: time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC),
+		Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E",
+	}
+	for _, lvl := range []string{ulm.LvlEmergency, ulm.LvlAlert, ulm.LvlError, ulm.LvlWarning, ulm.LvlDebug, ulm.LvlUsage} {
+		rec.Lvl = lvl
+		if err := d.WriteRecord(&rec); err != nil {
+			t.Fatalf("WriteRecord(%s): %v", lvl, err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package nlv
+
+import (
+	"sort"
+	"strings"
+
+	"jamm/internal/ulm"
+)
+
+// AutoLayout builds a Graph with rows derived from the events present
+// in a record set, approximating the Figure 7 layout without manual
+// configuration: application-lifecycle events (MPLAY_*, DPSS_*) become
+// lifelines in first-seen order, continuous values (VMSTAT_*, SNMP
+// octet counters, TCP window sizes, probe series) become loadlines,
+// error-ish singletons (retransmits, CRC errors, process events)
+// become points, and read-size traces become a scatter plot.
+func AutoLayout(width int, recs []ulm.Record) *Graph {
+	g := New(width)
+	seen := make(map[string]bool)
+	var order []string
+	for _, r := range recs {
+		if r.Event != "" && !seen[r.Event] {
+			seen[r.Event] = true
+			order = append(order, r.Event)
+		}
+	}
+	var life []string
+	var loads, pts []string
+	for _, ev := range order {
+		switch {
+		case ev == "MPLAY_READ":
+			g.AddScatter(ev, "SZ", 8)
+		case strings.HasPrefix(ev, "MPLAY_") || strings.HasPrefix(ev, "DPSS_"):
+			life = append(life, ev)
+		case strings.HasPrefix(ev, "VMSTAT_") || strings.HasPrefix(ev, "SNMP_IF_") && !strings.HasSuffix(ev, "_ERRORS"),
+			ev == "TCPD_WINDOW_SIZE", strings.HasPrefix(ev, "NETPROBE_"), strings.HasPrefix(ev, "IOSTAT_"):
+			loads = append(loads, ev)
+		case strings.Contains(ev, "RETRANS") || strings.HasSuffix(ev, "_ERRORS") || strings.HasPrefix(ev, "PROC_"):
+			pts = append(pts, ev)
+		}
+	}
+	sort.Strings(loads)
+	if len(life) > 0 {
+		g.AddLifeline(life...)
+	}
+	for _, ev := range loads {
+		g.AddLoadline(ev, "VAL", 4)
+	}
+	for _, ev := range pts {
+		g.AddPoints(ev)
+	}
+	return g
+}

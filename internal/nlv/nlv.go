@@ -1,0 +1,387 @@
+// Package nlv is the NetLogger visualization tool (paper §4.5) rendered
+// for terminals: it draws event logs with the three nlv graph
+// primitives — the lifeline (the "life" of an object as it travels
+// through a distributed system, drawn across ordered event rows), the
+// loadline (a continuous segmented curve of scaled values, for CPU load
+// or free memory), and the point (single occurrences such as TCP
+// retransmits, optionally scaled into a scatter plot, Figure 3).
+//
+// Time runs along the x-axis; event types occupy rows on the y-axis,
+// exactly like the paper's Figure 7. Both historical rendering (with
+// SetRange zooming) and a real-time follow mode (Tail) are provided.
+package nlv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+type rowKind int
+
+const (
+	eventRow rowKind = iota
+	pointRow
+	loadBand
+	scatterBand
+)
+
+type rowSpec struct {
+	kind   rowKind
+	event  string // NL.EVNT to match
+	label  string
+	field  string // value field for bands
+	height int    // band height in lines
+	min    float64
+	max    float64 // NaN = auto-scale
+}
+
+// Graph is a configured nlv chart. Configure rows top to bottom, then
+// Render one or more record sets.
+type Graph struct {
+	width   int
+	rows    []rowSpec
+	idField string
+	start   time.Time
+	end     time.Time
+}
+
+// New returns a Graph with the given plot width in characters.
+func New(width int) *Graph {
+	if width < 20 {
+		width = 20
+	}
+	return &Graph{width: width}
+}
+
+// SetIDField names the ULM field that carries the lifeline object ID
+// (§4.5: "a unique combination of values in one or more of its ULM
+// fields"). Without it, no lifelines are drawn between event rows.
+func (g *Graph) SetIDField(field string) { g.idField = field }
+
+// SetRange restricts rendering to [start, end] — nlv's historical
+// zoom. Zero times mean auto-range from the data.
+func (g *Graph) SetRange(start, end time.Time) {
+	g.start, g.end = start, end
+}
+
+// AddLifeline adds one event row per name, in the given order (first
+// name at the top). Consecutive events of one object are connected
+// across these rows.
+func (g *Graph) AddLifeline(events ...string) {
+	for _, e := range events {
+		g.rows = append(g.rows, rowSpec{kind: eventRow, event: e, label: e})
+	}
+}
+
+// AddPoints adds a row marking each occurrence of the event with an X.
+func (g *Graph) AddPoints(event string) {
+	g.rows = append(g.rows, rowSpec{kind: pointRow, event: event, label: event})
+}
+
+// AddLoadline adds a band of the given height charting the named field
+// of the event as a continuous curve, auto-scaled.
+func (g *Graph) AddLoadline(event, field string, height int) {
+	g.rows = append(g.rows, rowSpec{
+		kind: loadBand, event: event, label: event,
+		field: field, height: maxInt(height, 2), min: math.NaN(), max: math.NaN(),
+	})
+}
+
+// AddLoadlineScaled is AddLoadline with a fixed [min,max] scale.
+func (g *Graph) AddLoadlineScaled(event, field string, height int, min, max float64) {
+	g.rows = append(g.rows, rowSpec{
+		kind: loadBand, event: event, label: event,
+		field: field, height: maxInt(height, 2), min: min, max: max,
+	})
+}
+
+// AddScatter adds a band plotting each event's field value as an
+// unconnected dot — the Figure 3 scatter plot.
+func (g *Graph) AddScatter(event, field string, height int) {
+	g.rows = append(g.rows, rowSpec{
+		kind: scatterBand, event: event, label: event,
+		field: field, height: maxInt(height, 2), min: math.NaN(), max: math.NaN(),
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render draws the chart for recs to w.
+func (g *Graph) Render(w io.Writer, recs []ulm.Record) error {
+	if len(g.rows) == 0 {
+		return fmt.Errorf("nlv: no rows configured")
+	}
+	start, end := g.start, g.end
+	if start.IsZero() || end.IsZero() {
+		as, ae, ok := autoRange(recs)
+		if !ok {
+			return fmt.Errorf("nlv: no records to render")
+		}
+		if start.IsZero() {
+			start = as
+		}
+		if end.IsZero() {
+			end = ae
+		}
+	}
+	if !end.After(start) {
+		end = start.Add(time.Second)
+	}
+	span := end.Sub(start)
+	col := func(t time.Time) int {
+		c := int(float64(t.Sub(start)) / float64(span) * float64(g.width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.width {
+			c = g.width - 1
+		}
+		return c
+	}
+	inRange := func(t time.Time) bool { return !t.Before(start) && !t.After(end) }
+
+	// Lay out grid lines.
+	totalLines := 0
+	rowLine := make([]int, len(g.rows)) // first grid line of each row
+	for i, r := range g.rows {
+		rowLine[i] = totalLines
+		if r.kind == eventRow || r.kind == pointRow {
+			totalLines++
+		} else {
+			totalLines += r.height
+		}
+	}
+	grid := make([][]byte, totalLines)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", g.width))
+	}
+
+	// Event and point markers.
+	eventLine := make(map[string]int) // event name -> grid line (rows only)
+	for i, r := range g.rows {
+		switch r.kind {
+		case eventRow, pointRow:
+			eventLine[r.event] = rowLine[i]
+			mark := byte('o')
+			if r.kind == pointRow {
+				mark = 'X'
+			}
+			for _, rec := range recs {
+				if rec.Event == r.event && inRange(rec.Date) {
+					grid[rowLine[i]][col(rec.Date)] = mark
+				}
+			}
+		case loadBand, scatterBand:
+			g.renderBand(grid, rowLine[i], r, recs, col, inRange)
+		}
+	}
+
+	// Lifelines: connect consecutive events of each object.
+	if g.idField != "" {
+		g.renderLifelines(grid, eventLine, recs, col, inRange)
+	}
+
+	// Emit with labels.
+	labelW := 0
+	for _, r := range g.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if labelW > 28 {
+		labelW = 28
+	}
+	line := 0
+	for _, r := range g.rows {
+		h := 1
+		if r.kind == loadBand || r.kind == scatterBand {
+			h = r.height
+		}
+		for j := 0; j < h; j++ {
+			label := ""
+			if j == (h-1)/2 {
+				label = r.label
+				if len(label) > labelW {
+					label = label[:labelW]
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%*s |%s\n", labelW, label, string(grid[line])); err != nil {
+				return err
+			}
+			line++
+		}
+	}
+	// X axis.
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", labelW, "", strings.Repeat("-", g.width)); err != nil {
+		return err
+	}
+	mid := start.Add(span / 2)
+	axis := fmt.Sprintf("%-*s%s%*s",
+		g.width/3, start.UTC().Format("15:04:05.000"),
+		mid.UTC().Format("15:04:05.000"),
+		g.width-g.width/3-12-12, end.UTC().Format("15:04:05.000"))
+	_, err := fmt.Fprintf(w, "%*s  %s\n", labelW, "", axis)
+	return err
+}
+
+func autoRange(recs []ulm.Record) (start, end time.Time, ok bool) {
+	for _, r := range recs {
+		if !ok {
+			start, end, ok = r.Date, r.Date, true
+			continue
+		}
+		if r.Date.Before(start) {
+			start = r.Date
+		}
+		if r.Date.After(end) {
+			end = r.Date
+		}
+	}
+	return start, end, ok
+}
+
+// renderBand draws a loadline or scatter band.
+func (g *Graph) renderBand(grid [][]byte, top int, r rowSpec, recs []ulm.Record, col func(time.Time) int, inRange func(time.Time) bool) {
+	type sample struct {
+		c int
+		v float64
+	}
+	var samples []sample
+	lo, hi := r.min, r.max
+	auto := math.IsNaN(lo) || math.IsNaN(hi)
+	if auto {
+		lo, hi = math.Inf(1), math.Inf(-1)
+	}
+	for _, rec := range recs {
+		if rec.Event != r.event || !inRange(rec.Date) {
+			continue
+		}
+		v, err := rec.Float(r.field)
+		if err != nil {
+			continue
+		}
+		samples = append(samples, sample{col(rec.Date), v})
+		if auto {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	level := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return top + r.height - 1 - int(frac*float64(r.height-1))
+	}
+	switch r.kind {
+	case scatterBand:
+		for _, s := range samples {
+			grid[level(s.v)][s.c] = '.'
+		}
+	case loadBand:
+		prev := -1
+		prevLine := 0
+		for _, s := range samples {
+			ln := level(s.v)
+			grid[ln][s.c] = '*'
+			if prev >= 0 {
+				drawSegment(grid, prevLine, prev, ln, s.c, '*')
+			}
+			prev, prevLine = s.c, ln
+		}
+	}
+}
+
+// renderLifelines connects consecutive events of each object across the
+// configured event rows.
+func (g *Graph) renderLifelines(grid [][]byte, eventLine map[string]int, recs []ulm.Record, col func(time.Time) int, inRange func(time.Time) bool) {
+	type pt struct {
+		when time.Time
+		line int
+		c    int
+	}
+	objs := make(map[string][]pt)
+	var order []string
+	for _, rec := range recs {
+		ln, isRow := eventLine[rec.Event]
+		if !isRow || !inRange(rec.Date) {
+			continue
+		}
+		id, ok := rec.Get(g.idField)
+		if !ok {
+			continue
+		}
+		if _, seen := objs[id]; !seen {
+			order = append(order, id)
+		}
+		objs[id] = append(objs[id], pt{rec.Date, ln, col(rec.Date)})
+	}
+	for _, id := range order {
+		pts := objs[id]
+		for i := 1; i < len(pts); i++ {
+			drawSegment(grid, pts[i-1].line, pts[i-1].c, pts[i].line, pts[i].c, '.')
+		}
+		for _, p := range pts {
+			grid[p.line][p.c] = 'o'
+		}
+	}
+}
+
+// drawSegment draws a Bresenham line between two grid cells without
+// overwriting event markers.
+func drawSegment(grid [][]byte, l0, c0, l1, c1 int, ch byte) {
+	dl := absInt(l1 - l0)
+	dc := absInt(c1 - c0)
+	sl, sc := 1, 1
+	if l0 > l1 {
+		sl = -1
+	}
+	if c0 > c1 {
+		sc = -1
+	}
+	err := dc - dl
+	l, c := l0, c0
+	for {
+		if grid[l][c] == ' ' {
+			grid[l][c] = ch
+		}
+		if l == l1 && c == c1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 > -dl {
+			err -= dl
+			c += sc
+		}
+		if e2 < dc {
+			err += dc
+			l += sl
+		}
+	}
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

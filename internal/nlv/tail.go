@@ -1,0 +1,85 @@
+package nlv
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// Tail is the real-time half of nlv (§4.5: "in the real-time mode, the
+// graph scrolls along the time axis in real time, showing data as it
+// arrives in the event log"). It keeps a sliding window of recent
+// records; each Render call draws the current window. The caller (e.g.
+// cmd/nlv) decides the refresh cadence and screen handling.
+type Tail struct {
+	mu     sync.Mutex
+	window time.Duration
+	recs   []ulm.Record
+	latest time.Time
+}
+
+// NewTail returns a Tail retaining the last window of records.
+func NewTail(window time.Duration) *Tail {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &Tail{window: window}
+}
+
+// Add appends a record and trims the window. Records may arrive
+// slightly out of order (different sensors); the window tracks the
+// newest timestamp seen.
+func (t *Tail) Add(rec ulm.Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recs = append(t.recs, rec)
+	if rec.Date.After(t.latest) {
+		t.latest = rec.Date
+	}
+	t.trimLocked()
+}
+
+func (t *Tail) trimLocked() {
+	cutoff := t.latest.Add(-t.window)
+	keep := t.recs[:0]
+	for _, r := range t.recs {
+		if !r.Date.Before(cutoff) {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(t.recs); i++ {
+		t.recs[i] = ulm.Record{}
+	}
+	t.recs = keep
+}
+
+// Len returns the number of records currently in the window.
+func (t *Tail) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Snapshot returns a copy of the windowed records.
+func (t *Tail) Snapshot() []ulm.Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ulm.Record(nil), t.recs...)
+}
+
+// Render draws the current window with g, pinning the graph range to
+// the window so the chart scrolls as data arrives.
+func (t *Tail) Render(w io.Writer, g *Graph) error {
+	t.mu.Lock()
+	recs := append([]ulm.Record(nil), t.recs...)
+	latest := t.latest
+	t.mu.Unlock()
+	if len(recs) == 0 {
+		_, err := io.WriteString(w, "(no events in window)\n")
+		return err
+	}
+	g.SetRange(latest.Add(-t.window), latest)
+	return g.Render(w, recs)
+}

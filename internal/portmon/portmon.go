@@ -1,0 +1,269 @@
+// Package portmon implements the JAMM port monitor agent (§2.2): it
+// watches traffic on a configurable set of well-known ports and starts
+// sensors only when application activity is detected, stopping them
+// again after the port goes idle. "Using the port monitor agent, one is
+// able to customize which sensors are run based on which applications
+// are currently active" — network monitoring for network-intensive
+// applications, CPU monitoring for CPU-intensive ones — which "greatly
+// reduces the total amount of monitoring data that must be collected
+// and managed."
+//
+// The agent is reconfigurable at runtime (the paper gives the port
+// monitor its own GUI client for exactly this); Watch, Unwatch and
+// SetSensors may be called while the monitor runs.
+package portmon
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simnet"
+)
+
+// Starter starts and stops sensors by name; the sensor manager
+// implements it.
+type Starter interface {
+	StartSensor(name string) error
+	StopSensor(name string) error
+}
+
+// StarterFuncs adapts two functions to the Starter interface.
+type StarterFuncs struct {
+	Start func(name string) error
+	Stop  func(name string) error
+}
+
+// StartSensor implements Starter.
+func (s StarterFuncs) StartSensor(name string) error { return s.Start(name) }
+
+// StopSensor implements Starter.
+func (s StarterFuncs) StopSensor(name string) error { return s.Stop(name) }
+
+// watch is the per-port state.
+type watch struct {
+	port    int
+	sensors []string
+
+	lastBytes   float64
+	haveBase    bool
+	active      bool
+	lastTraffic time.Duration
+	activations int
+}
+
+// PortStatus is one row of the monitor's status report (the data the
+// paper's port monitor GUI displays).
+type PortStatus struct {
+	Port        int
+	Sensors     []string
+	Active      bool
+	Activations int
+	LastTraffic time.Duration // sim time of last observed traffic
+}
+
+// Monitor polls a host's per-port traffic counters and drives sensor
+// start/stop through a Starter. One monitor runs per monitored host,
+// inside that host's sensor manager.
+type Monitor struct {
+	node    *simnet.Node
+	sched   *sim.Scheduler
+	starter Starter
+
+	interval time.Duration
+	idle     time.Duration
+
+	ports  map[int]*watch
+	ticker *sim.Ticker
+
+	// OnTransition, if set, observes activation/deactivation edges
+	// (used by tests and status UIs).
+	OnTransition func(port int, active bool)
+}
+
+// New returns a monitor for node polling every interval; sensors stop
+// after idle with no traffic on their port. Typical values: interval
+// 1s, idle 10-30s.
+func New(sched *sim.Scheduler, node *simnet.Node, starter Starter, interval, idle time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if idle <= 0 {
+		idle = 30 * time.Second
+	}
+	return &Monitor{
+		node:     node,
+		sched:    sched,
+		starter:  starter,
+		interval: interval,
+		idle:     idle,
+		ports:    make(map[int]*watch),
+	}
+}
+
+// Watch adds a port with the sensors to run while it is active. Watching
+// an already watched port replaces its sensor list.
+func (m *Monitor) Watch(port int, sensors ...string) {
+	if w, ok := m.ports[port]; ok {
+		w.sensors = append([]string(nil), sensors...)
+		return
+	}
+	w := &watch{port: port, sensors: append([]string(nil), sensors...)}
+	if m.Running() {
+		// Snapshot the baseline now, so traffic between this call and
+		// the next poll counts as activity while pre-existing counter
+		// values do not.
+		if ps := m.node.PortTraffic(port); ps != nil {
+			w.lastBytes = ps.BytesIn + ps.BytesOut
+		}
+		w.haveBase = true
+	}
+	m.ports[port] = w
+}
+
+// Unwatch removes a port, stopping its sensors if they were running.
+func (m *Monitor) Unwatch(port int) error {
+	w, ok := m.ports[port]
+	if !ok {
+		return fmt.Errorf("portmon: port %d not watched", port)
+	}
+	delete(m.ports, port)
+	if w.active {
+		return m.stopSensors(w)
+	}
+	return nil
+}
+
+// SetSensors reconfigures the sensors tied to a port at runtime. If the
+// port is currently active, the old set is stopped and the new set
+// started.
+func (m *Monitor) SetSensors(port int, sensors ...string) error {
+	w, ok := m.ports[port]
+	if !ok {
+		return fmt.Errorf("portmon: port %d not watched", port)
+	}
+	if w.active {
+		if err := m.stopSensors(w); err != nil {
+			return err
+		}
+		w.sensors = append([]string(nil), sensors...)
+		return m.startSensors(w)
+	}
+	w.sensors = append([]string(nil), sensors...)
+	return nil
+}
+
+// Start begins polling. Counter values accumulated before Start are
+// recorded as the baseline, not treated as fresh activity.
+func (m *Monitor) Start() {
+	if m.ticker != nil {
+		return
+	}
+	for _, w := range m.ports {
+		if w.haveBase {
+			continue
+		}
+		if ps := m.node.PortTraffic(w.port); ps != nil {
+			w.lastBytes = ps.BytesIn + ps.BytesOut
+		}
+		w.haveBase = true
+	}
+	m.ticker = m.sched.Every(m.interval, m.pollAll)
+}
+
+// Stop halts polling and deactivates every active port.
+func (m *Monitor) Stop() {
+	if m.ticker == nil {
+		return
+	}
+	m.ticker.Stop()
+	m.ticker = nil
+	for _, w := range m.ports {
+		if w.active {
+			m.stopSensors(w) //nolint:errcheck
+			w.active = false
+			w.haveBase = false
+		}
+	}
+}
+
+// Running reports whether the monitor is polling.
+func (m *Monitor) Running() bool { return m.ticker != nil }
+
+func (m *Monitor) pollAll() {
+	now := m.sched.Now()
+	for _, w := range m.ports {
+		m.poll(w, now)
+	}
+}
+
+func (m *Monitor) poll(w *watch, now time.Duration) {
+	var total float64
+	if ps := m.node.PortTraffic(w.port); ps != nil {
+		total = ps.BytesIn + ps.BytesOut
+	}
+	if !w.haveBase {
+		// First observation: pre-existing counters are not activity.
+		w.haveBase = true
+		w.lastBytes = total
+		return
+	}
+	moved := total > w.lastBytes
+	w.lastBytes = total
+	if moved {
+		w.lastTraffic = now
+		if !w.active {
+			w.active = true
+			w.activations++
+			m.startSensors(w) //nolint:errcheck
+			if m.OnTransition != nil {
+				m.OnTransition(w.port, true)
+			}
+		}
+		return
+	}
+	if w.active && now-w.lastTraffic >= m.idle {
+		w.active = false
+		m.stopSensors(w) //nolint:errcheck
+		if m.OnTransition != nil {
+			m.OnTransition(w.port, false)
+		}
+	}
+}
+
+func (m *Monitor) startSensors(w *watch) error {
+	var firstErr error
+	for _, s := range w.sensors {
+		if err := m.starter.StartSensor(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (m *Monitor) stopSensors(w *watch) error {
+	var firstErr error
+	for _, s := range w.sensors {
+		if err := m.starter.StopSensor(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Status returns the monitor's per-port state, sorted by port.
+func (m *Monitor) Status() []PortStatus {
+	out := make([]PortStatus, 0, len(m.ports))
+	for _, w := range m.ports {
+		out = append(out, PortStatus{
+			Port:        w.port,
+			Sensors:     append([]string(nil), w.sensors...),
+			Active:      w.active,
+			Activations: w.activations,
+			LastTraffic: w.lastTraffic,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}

@@ -1,0 +1,351 @@
+package portmon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simnet"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeStarter records start/stop calls and tracks which sensors run.
+type fakeStarter struct {
+	running map[string]bool
+	starts  []string
+	stops   []string
+}
+
+func newFakeStarter() *fakeStarter { return &fakeStarter{running: make(map[string]bool)} }
+
+func (f *fakeStarter) StartSensor(name string) error {
+	f.running[name] = true
+	f.starts = append(f.starts, name)
+	return nil
+}
+
+func (f *fakeStarter) StopSensor(name string) error {
+	delete(f.running, name)
+	f.stops = append(f.stops, name)
+	return nil
+}
+
+type env struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+	a, b  *simnet.Node
+}
+
+func newEnv() *env {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	a := net.AddHost("client", simnet.HostConfig{RecvCapacityBps: 1e9})
+	b := net.AddHost("server", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(a, b, simnet.Rate100BT, time.Millisecond)
+	return &env{sched: sched, net: net, a: a, b: b}
+}
+
+func TestPortMonitorTriggersOnTraffic(t *testing.T) {
+	e := newEnv()
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 5*time.Second)
+	m.Watch(21, "netstat", "cpu") // FTP wellknown port
+	m.Start()
+
+	// Idle: nothing starts.
+	e.sched.RunFor(10 * time.Second)
+	if len(fs.starts) != 0 {
+		t.Fatalf("sensors started with no traffic: %v", fs.starts)
+	}
+
+	// Traffic on port 21 starts the sensors.
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(10e6, nil)
+	e.sched.RunFor(3 * time.Second)
+	if !fs.running["netstat"] || !fs.running["cpu"] {
+		t.Fatalf("sensors not started on traffic: running=%v", fs.running)
+	}
+
+	// After the transfer, the idle timeout stops them.
+	e.sched.RunFor(30 * time.Second)
+	if len(fs.running) != 0 {
+		t.Fatalf("sensors still running after idle: %v", fs.running)
+	}
+	st := m.Status()
+	if len(st) != 1 || st[0].Port != 21 || st[0].Activations != 1 || st[0].Active {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestPortMonitorReactivation(t *testing.T) {
+	e := newEnv()
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 3*time.Second)
+	var transitions []bool
+	m.OnTransition = func(port int, active bool) { transitions = append(transitions, active) }
+	m.Watch(21, "netstat")
+	m.Start()
+
+	for i := 0; i < 2; i++ {
+		f, err := e.net.OpenFlow(e.a, 31000+i, e.b, 21, simnet.FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Send(5e6, nil)
+		e.sched.RunFor(3 * time.Second)
+		f.Close()
+		e.sched.RunFor(10 * time.Second)
+	}
+	if got := m.Status()[0].Activations; got != 2 {
+		t.Fatalf("activations = %d, want 2", got)
+	}
+	want := []bool{true, false, true, false}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestPortMonitorIgnoresOtherPorts(t *testing.T) {
+	e := newEnv()
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 5*time.Second)
+	m.Watch(21, "netstat")
+	m.Start()
+	// Traffic on a different port does not trigger.
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 8080, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(10e6, nil)
+	e.sched.RunFor(10 * time.Second)
+	if len(fs.starts) != 0 {
+		t.Fatalf("unwatched port triggered sensors: %v", fs.starts)
+	}
+}
+
+func TestPortMonitorPreexistingCountersNotActivity(t *testing.T) {
+	e := newEnv()
+	// Traffic happens before the monitor starts.
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(1e6, nil)
+	e.sched.RunFor(5 * time.Second)
+
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 5*time.Second)
+	m.Watch(21, "netstat")
+	m.Start()
+	e.sched.RunFor(5 * time.Second)
+	if len(fs.starts) != 0 {
+		t.Fatalf("stale counters treated as activity: %v", fs.starts)
+	}
+}
+
+func TestPortMonitorRuntimeReconfiguration(t *testing.T) {
+	e := newEnv()
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 30*time.Second)
+	m.Watch(21, "netstat")
+	m.Start()
+
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetUnlimited(true)
+	e.sched.RunFor(3 * time.Second)
+	if !fs.running["netstat"] {
+		t.Fatal("netstat not running")
+	}
+	// Reconfigure the active port: netstat out, cpu+memory in (the
+	// paper's port monitor GUI can "reconfigure the type of monitoring
+	// to be done when a port is active").
+	if err := m.SetSensors(21, "cpu", "memory"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.running["netstat"] || !fs.running["cpu"] || !fs.running["memory"] {
+		t.Fatalf("reconfigure did not swap sensors: %v", fs.running)
+	}
+	// Add a new port of interest at runtime.
+	m.Watch(5002, "tcpdump")
+	f2, err := e.net.OpenFlow(e.a, 30001, e.b, 5002, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Send(5e6, nil)
+	e.sched.RunFor(3 * time.Second)
+	if !fs.running["tcpdump"] {
+		t.Fatal("sensor on newly added port not started")
+	}
+	// Unwatch stops an active port's sensors.
+	if err := m.Unwatch(21); err != nil {
+		t.Fatal(err)
+	}
+	if fs.running["cpu"] || fs.running["memory"] {
+		t.Fatalf("unwatch left sensors running: %v", fs.running)
+	}
+	f.Close()
+}
+
+func TestPortMonitorStopDeactivates(t *testing.T) {
+	e := newEnv()
+	fs := newFakeStarter()
+	m := New(e.sched, e.b, fs, time.Second, 30*time.Second)
+	m.Watch(21, "netstat")
+	m.Start()
+	if !m.Running() {
+		t.Fatal("not running after Start")
+	}
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetUnlimited(true)
+	e.sched.RunFor(3 * time.Second)
+	m.Stop()
+	if m.Running() {
+		t.Fatal("running after Stop")
+	}
+	if len(fs.running) != 0 {
+		t.Fatalf("Stop left sensors running: %v", fs.running)
+	}
+	f.Close()
+	// Errors for unknown ports.
+	if err := m.Unwatch(99); err == nil {
+		t.Fatal("Unwatch(99) succeeded")
+	}
+	if err := m.SetSensors(99, "x"); err == nil {
+		t.Fatal("SetSensors(99) succeeded")
+	}
+}
+
+// errStarter fails some operations, covering error propagation.
+type errStarter struct {
+	failStart map[string]bool
+	failStop  map[string]bool
+	started   []string
+}
+
+func (f *errStarter) StartSensor(name string) error {
+	if f.failStart[name] {
+		return fmt.Errorf("no such sensor %q", name)
+	}
+	f.started = append(f.started, name)
+	return nil
+}
+
+func (f *errStarter) StopSensor(name string) error {
+	if f.failStop[name] {
+		return fmt.Errorf("stop failed for %q", name)
+	}
+	return nil
+}
+
+func TestStarterFuncsAdapter(t *testing.T) {
+	var started, stopped string
+	s := StarterFuncs{
+		Start: func(n string) error { started = n; return nil },
+		Stop:  func(n string) error { stopped = n; return nil },
+	}
+	if err := s.StartSensor("a"); err != nil || started != "a" {
+		t.Fatalf("StartSensor: %v %q", err, started)
+	}
+	if err := s.StopSensor("b"); err != nil || stopped != "b" {
+		t.Fatalf("StopSensor: %v %q", err, stopped)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := newEnv()
+	m := New(e.sched, e.b, newFakeStarter(), 0, 0)
+	if m.interval != time.Second || m.idle != 30*time.Second {
+		t.Fatalf("defaults: interval=%v idle=%v", m.interval, m.idle)
+	}
+}
+
+func TestWatchReplacesSensorList(t *testing.T) {
+	e := newEnv()
+	m := New(e.sched, e.b, newFakeStarter(), time.Second, 5*time.Second)
+	m.Watch(21, "a")
+	m.Watch(21, "b", "c") // re-watch replaces
+	st := m.Status()
+	if len(st) != 1 || len(st[0].Sensors) != 2 || st[0].Sensors[0] != "b" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	e := newEnv()
+	m := New(e.sched, e.b, newFakeStarter(), time.Second, 5*time.Second)
+	m.Start()
+	m.Start() // second start is a no-op
+	m.Stop()
+	m.Stop() // second stop is a no-op
+}
+
+func TestSetSensorsWhileActiveWithErrors(t *testing.T) {
+	e := newEnv()
+	fs := &errStarter{failStart: map[string]bool{}, failStop: map[string]bool{"old": true}}
+	m := New(e.sched, e.b, fs, time.Second, 30*time.Second)
+	m.Watch(21, "old")
+	m.Start()
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetUnlimited(true)
+	e.sched.RunFor(3 * time.Second)
+	// Stopping "old" fails; SetSensors surfaces the error.
+	if err := m.SetSensors(21, "new"); err == nil {
+		t.Fatal("stop error not surfaced")
+	}
+	f.Close()
+}
+
+func TestUnwatchInactivePort(t *testing.T) {
+	e := newEnv()
+	m := New(e.sched, e.b, newFakeStarter(), time.Second, 5*time.Second)
+	m.Watch(80, "x")
+	if err := m.Unwatch(80); err != nil {
+		t.Fatalf("unwatch inactive: %v", err)
+	}
+}
+
+func TestStartErrorDoesNotWedgeMonitor(t *testing.T) {
+	e := newEnv()
+	fs := &errStarter{failStart: map[string]bool{"broken": true}, failStop: map[string]bool{}}
+	m := New(e.sched, e.b, fs, time.Second, 5*time.Second)
+	m.Watch(21, "broken", "good")
+	m.Start()
+	f, err := e.net.OpenFlow(e.a, 30000, e.b, 21, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(10e6, nil)
+	e.sched.RunFor(3 * time.Second)
+	// The failing sensor does not prevent the good one from starting.
+	if len(fs.started) != 1 || fs.started[0] != "good" {
+		t.Fatalf("started = %v", fs.started)
+	}
+	// The port still reports active and later deactivates normally.
+	if !m.Status()[0].Active {
+		t.Fatal("port not active")
+	}
+	e.sched.RunFor(30 * time.Second)
+	if m.Status()[0].Active {
+		t.Fatal("port still active after idle")
+	}
+}

@@ -1,0 +1,93 @@
+package sensor
+
+import (
+	"jamm/internal/sim"
+	"jamm/internal/ulm"
+)
+
+// AppSensor is an application sensor (§2.2): events generated inside an
+// application — thresholds reached, user connects, signals, detailed
+// performance instrumentation — flow through it into JAMM. Application
+// sensors "would not be directly under JAMM control, but could still
+// feed their results to the JAMM system": the application writes into
+// Feed (typically via a NetLogger logger destination) and the sensor
+// forwards whatever arrives while it is running.
+type AppSensor struct {
+	base
+	dropped int
+}
+
+// NewApp returns an application sensor for the named program on host.
+// clock stamps records that arrive without a timestamp; records carrying
+// their own DATE pass through unmodified, since application
+// instrumentation stamps events itself at the critical points.
+func NewApp(sched *sim.Scheduler, clock Clock, host, prog string) *AppSensor {
+	b := newBase(sched, clock, "app."+prog, "app", host, 0)
+	b.prog = prog
+	return &AppSensor{base: b}
+}
+
+// Feed accepts one application record. Records fed while the sensor is
+// stopped are counted and discarded.
+func (a *AppSensor) Feed(rec ulm.Record) {
+	if a.emit == nil {
+		a.dropped++
+		return
+	}
+	if rec.Date.IsZero() {
+		rec.Date = a.clock.Now()
+	}
+	if rec.Host == "" {
+		rec.Host = a.host
+	}
+	if rec.Prog == "" {
+		rec.Prog = a.prog
+	}
+	if rec.Lvl == "" {
+		rec.Lvl = a.lvl
+	}
+	a.emit(rec)
+}
+
+// Dropped returns how many records arrived while the sensor was
+// stopped.
+func (a *AppSensor) Dropped() int { return a.dropped }
+
+// Destination adapts the sensor to the netlog.Destination interface, so
+// an instrumented application opens its NetLogger stream directly into
+// JAMM:
+//
+//	log := netlog.New("mplay", ...)
+//	log.SetDestination(appSensor.Destination())
+func (a *AppSensor) Destination() *AppDestination {
+	return &AppDestination{sensor: a}
+}
+
+// AppDestination is a netlog.Destination feeding an AppSensor.
+type AppDestination struct {
+	sensor *AppSensor
+}
+
+// WriteRecord implements netlog.Destination.
+func (d *AppDestination) WriteRecord(r *ulm.Record) error {
+	d.sensor.Feed(*r)
+	return nil
+}
+
+// Close implements netlog.Destination; the sensor outlives any one
+// application stream, so Close is a no-op.
+func (d *AppDestination) Close() error { return nil }
+
+// Compile-time interface checks for every sensor type.
+var (
+	_ Sensor = (*CPUSensor)(nil)
+	_ Sensor = (*MemorySensor)(nil)
+	_ Sensor = (*NetstatSensor)(nil)
+	_ Sensor = (*TCPDumpSensor)(nil)
+	_ Sensor = (*IOStatSensor)(nil)
+	_ Sensor = (*ProcessSensor)(nil)
+	_ Sensor = (*UsersSensor)(nil)
+	_ Sensor = (*SNMPSensor)(nil)
+	_ Sensor = (*ClockSensor)(nil)
+	_ Sensor = (*AppSensor)(nil)
+)

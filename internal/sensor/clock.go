@@ -1,0 +1,47 @@
+package sensor
+
+import (
+	"time"
+
+	"jamm/internal/simclock"
+	"jamm/internal/simhost"
+	"jamm/internal/ulm"
+)
+
+// Event names emitted by the clock synchronization monitor.
+const (
+	EvClockOffset = "CLOCK_OFFSET"
+	EvClockNoSync = "CLOCK_NOSYNC"
+)
+
+// ClockSensor is the clock synchronization monitor used in the Matisse
+// deployment (§6 lists "clock synchronization monitors" among the
+// deployed sensors). NetLogger analysis assumes synchronized clocks
+// (§4.3), so JAMM watches each host's NTP daemon and publishes the
+// estimated offset and path delay; an unsynchronized host makes
+// lifeline analysis of its events untrustworthy.
+type ClockSensor struct {
+	base
+	daemon *simclock.Daemon
+}
+
+// NewClockSync returns a clock monitor reading the host's NTP daemon.
+func NewClockSync(h *simhost.Host, daemon *simclock.Daemon, interval time.Duration) *ClockSensor {
+	s := &ClockSensor{
+		base:   newBase(h.Scheduler(), h.Clock, "clock", "clock", h.Name, interval),
+		daemon: daemon,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *ClockSensor) sample() {
+	m, ok := s.daemon.Last()
+	if !ok {
+		s.sendLvl(ulm.LvlWarning, EvClockNoSync)
+		return
+	}
+	s.send(EvClockOffset,
+		fNum("OFFSET.US", float64(m.Offset)/float64(time.Microsecond)),
+		fNum("DELAY.US", float64(m.Delay)/float64(time.Microsecond)))
+}

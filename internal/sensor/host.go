@@ -1,0 +1,200 @@
+package sensor
+
+import (
+	"time"
+
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+)
+
+// Event names emitted by the host sensors, matching the paper's Figure 7
+// rows and §2.2 examples.
+const (
+	EvVMStatUserTime = "VMSTAT_USER_TIME"
+	EvVMStatSysTime  = "VMSTAT_SYS_TIME"
+	EvVMStatFreeMem  = "VMSTAT_FREE_MEMORY"
+	EvNetstatRetrans = "NETSTAT_RETRANS"
+	EvNetstatConns   = "NETSTAT_CONNS"
+	EvTCPRetransmit  = "TCPD_RETRANSMITS"
+	EvTCPWindowSize  = "TCPD_WINDOW_SIZE"
+	EvIOStatReadKB   = "IOSTAT_READ_KB"
+)
+
+// CPUSensor samples vmstat-style CPU usage: user and system time as
+// percentages. The paper's Figure 7 plots both as loadlines; the system
+// time line is what exposed the receiving host's NIC/driver overload.
+type CPUSensor struct {
+	base
+	h *simhost.Host
+}
+
+// NewCPU returns a CPU sensor polling h every interval.
+func NewCPU(h *simhost.Host, interval time.Duration) *CPUSensor {
+	s := &CPUSensor{
+		base: newBase(h.Scheduler(), h.Clock, "cpu", "cpu", h.Name, interval),
+		h:    h,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *CPUSensor) sample() {
+	vm := s.h.VMStat()
+	s.send(EvVMStatUserTime, fNum("VAL", vm.UserPct))
+	s.send(EvVMStatSysTime, fNum("VAL", vm.SysPct))
+}
+
+// MemorySensor samples free memory in kilobytes (the Figure 7
+// VMSTAT_FREE_MEMORY loadline).
+type MemorySensor struct {
+	base
+	h *simhost.Host
+}
+
+// NewMemory returns a memory sensor polling h every interval.
+func NewMemory(h *simhost.Host, interval time.Duration) *MemorySensor {
+	s := &MemorySensor{
+		base: newBase(h.Scheduler(), h.Clock, "memory", "memory", h.Name, interval),
+		h:    h,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *MemorySensor) sample() {
+	vm := s.h.VMStat()
+	s.send(EvVMStatFreeMem, fUint("VAL", vm.FreeMemKB))
+}
+
+// NetstatSensor reports the host's cumulative TCP counters every poll,
+// like the paper's netstat sensor that "may output the value of the TCP
+// retransmission counter every second" — whether or not it changed.
+// Suppressing the unchanged values is deliberately left to the event
+// gateway's on-change filtering (§2.2).
+type NetstatSensor struct {
+	base
+	h   *simhost.Host
+	net *simnet.Network
+}
+
+// NewNetstat returns a netstat sensor for h over net.
+func NewNetstat(h *simhost.Host, net *simnet.Network, interval time.Duration) *NetstatSensor {
+	s := &NetstatSensor{
+		base: newBase(h.Scheduler(), h.Clock, "netstat", "netstat", h.Name, interval),
+		h:    h,
+		net:  net,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *NetstatSensor) sample() {
+	ns := s.h.NetStat(s.net)
+	s.send(EvNetstatRetrans, fUint("VAL", ns.Retransmits))
+	s.send(EvNetstatConns, fInt("VAL", int64(ns.Flows)))
+}
+
+// TCPDumpSensor is the tcpdump-derived TCP sensor of §6: "a version of
+// tcpdump modified to generate NetLogger events when it detects a TCP
+// retransmission or a change in window size". It polls the per-flow
+// counters of every connection touching the host and emits an event
+// only on change — retransmissions as point events, window sizes as a
+// loadline. The real tool needed superuser packet capture on every
+// host, which is exactly the per-host toil JAMM removes.
+type TCPDumpSensor struct {
+	base
+	h    *simhost.Host
+	net  *simnet.Network
+	prev map[*simnet.Flow]flowPrev
+}
+
+type flowPrev struct {
+	retrans uint64
+	cwnd    float64
+}
+
+// windowChangeEpsilon is the absolute cwnd change (bytes) below which
+// window updates are always noise, roughly one segment; on top of it a
+// 5% relative threshold keeps steady congestion-avoidance growth from
+// emitting every poll.
+const (
+	windowChangeEpsilon = simnet.DefaultMSS
+	windowChangeFrac    = 0.05
+)
+
+// NewTCPDump returns a tcpdump-style sensor for h over net.
+func NewTCPDump(h *simhost.Host, net *simnet.Network, interval time.Duration) *TCPDumpSensor {
+	s := &TCPDumpSensor{
+		base: newBase(h.Scheduler(), h.Clock, "tcpdump", "tcpdump", h.Name, interval),
+		h:    h,
+		net:  net,
+		prev: make(map[*simnet.Flow]flowPrev),
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *TCPDumpSensor) sample() {
+	if s.h.Node == nil {
+		return
+	}
+	seen := make(map[*simnet.Flow]bool)
+	for _, f := range s.net.NodeFlows(s.h.Node) {
+		st := f.Stats()
+		seen[f] = true
+		prev, known := s.prev[f]
+		if known && st.Retransmits > prev.retrans {
+			s.send(EvTCPRetransmit,
+				fUint("VAL", st.Retransmits-prev.retrans),
+				fStr("SRC", st.Src), fStr("DST", st.Dst),
+				fInt("SPORT", int64(st.SrcPort)), fInt("DPORT", int64(st.DstPort)))
+		}
+		limit := float64(windowChangeEpsilon)
+		if rel := windowChangeFrac * prev.cwnd; rel > limit {
+			limit = rel
+		}
+		if !known || abs(st.Cwnd-prev.cwnd) >= limit {
+			s.send(EvTCPWindowSize,
+				fNum("VAL", st.Cwnd),
+				fStr("SRC", st.Src), fStr("DST", st.Dst),
+				fInt("SPORT", int64(st.SrcPort)), fInt("DPORT", int64(st.DstPort)))
+			prev.cwnd = st.Cwnd
+		}
+		prev.retrans = st.Retransmits
+		s.prev[f] = prev
+	}
+	for f := range s.prev {
+		if !seen[f] {
+			delete(s.prev, f)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// IOStatSensor samples cumulative disk-read kilobytes (iostat). DPSS
+// storage servers charge reads to the host, so this sensor exposes
+// storage-side activity.
+type IOStatSensor struct {
+	base
+	h *simhost.Host
+}
+
+// NewIOStat returns an iostat sensor polling h every interval.
+func NewIOStat(h *simhost.Host, interval time.Duration) *IOStatSensor {
+	s := &IOStatSensor{
+		base: newBase(h.Scheduler(), h.Clock, "iostat", "iostat", h.Name, interval),
+		h:    h,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *IOStatSensor) sample() {
+	s.send(EvIOStatReadKB, fNum("VAL", s.h.IOStat().ReadKB))
+}

@@ -1,0 +1,133 @@
+package sensor
+
+import (
+	"time"
+
+	"jamm/internal/simnet"
+	"jamm/internal/snmp"
+	"jamm/internal/ulm"
+)
+
+// Event names emitted by the SNMP network sensor.
+const (
+	EvSNMPInOctets  = "SNMP_IF_IN_OCTETS"
+	EvSNMPOutOctets = "SNMP_IF_OUT_OCTETS"
+	EvSNMPInErrors  = "SNMP_IF_IN_ERRORS"
+	EvSNMPOutErrors = "SNMP_IF_OUT_ERRORS"
+)
+
+// Watch describes one SNMP variable the network sensor polls.
+type Watch struct {
+	OID   snmp.OID
+	Event string // event name to emit
+	// OnChange suppresses emission while the value is unchanged; used
+	// for error counters, where only increments are interesting ("CRC
+	// errors on a router", §2.2).
+	OnChange bool
+	// Lvl overrides the severity for this variable (e.g. Error for
+	// CRC counters). Empty means the sensor default (Usage).
+	Lvl string
+	// Extra fields attached to every emission (e.g. IF=2).
+	Extra []ulm.Field
+}
+
+// SNMPSensor is a network sensor: it performs SNMP queries against a
+// network device, typically a router or switch (§2.2). Host sensors
+// "may be layered on top of SNMP-based tools, and therefore run
+// remotely from the host being monitored" — the sensor runs on the
+// polling host, not the device.
+type SNMPSensor struct {
+	base
+	client  *snmp.Client
+	target  *simnet.Node
+	port    int
+	watches []Watch
+
+	prev map[snmp.OID]uint64
+}
+
+// NewSNMP returns a network sensor that runs on host `from`, polling
+// the SNMP agent at target:port with the given community string.
+// The sensor's Host() is the *device* being monitored, so directory
+// entries and event records attribute the data to the device.
+func NewSNMP(net *simnet.Network, clock Clock, from *simnet.Node, fromPort int,
+	target *simnet.Node, port int, community string, interval time.Duration, watches []Watch) *SNMPSensor {
+	s := &SNMPSensor{
+		base:    newBase(net.Scheduler(), clock, "snmp."+target.Name, "snmp", target.Name, interval),
+		client:  snmp.NewClient(net, from, fromPort, community),
+		target:  target,
+		port:    port,
+		watches: watches,
+		prev:    make(map[snmp.OID]uint64),
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *SNMPSensor) sample() {
+	oids := make([]snmp.OID, len(s.watches))
+	for i, w := range s.watches {
+		oids[i] = w.OID
+	}
+	s.client.Get(s.target, s.port, oids, func(bindings []snmp.Binding, err error) {
+		if !s.Running() {
+			return
+		}
+		if err != nil {
+			// An unreachable or misbehaving device is itself an
+			// event: fault detection is a primary JAMM use case.
+			s.sendLvl(ulm.LvlError, "SNMP_UNREACHABLE", fStr("DEVICE", s.target.Name), fStr("ERR", err.Error()))
+			return
+		}
+		for i, b := range bindings {
+			if i >= len(s.watches) {
+				break
+			}
+			w := s.watches[i]
+			v := uint64(b.Value.Counter)
+			if w.OnChange {
+				if prev, seen := s.prev[w.OID]; seen && prev == v {
+					continue
+				}
+				s.prev[w.OID] = v
+			}
+			lvl := w.Lvl
+			if lvl == "" {
+				lvl = s.lvl
+			}
+			fields := append([]ulm.Field{fUint("VAL", v), fStr("OID", string(w.OID))}, w.Extra...)
+			s.sendLvl(lvl, w.Event, fields...)
+		}
+	})
+}
+
+// InterfaceWatches builds the standard watch list for a device's
+// interfaces: octet counters every poll, error counters on change at
+// Error level.
+func InterfaceWatches(dev *simnet.Node) []Watch {
+	var out []Watch
+	for i := range dev.Interfaces() {
+		ifIndex := i + 1
+		ifField := fInt("IF", int64(ifIndex))
+		out = append(out,
+			Watch{OID: snmp.IfInOctets(ifIndex), Event: EvSNMPInOctets, Extra: []ulm.Field{ifField}},
+			Watch{OID: snmp.IfOutOctets(ifIndex), Event: EvSNMPOutOctets, Extra: []ulm.Field{ifField}},
+			Watch{OID: snmp.IfInErrors(ifIndex), Event: EvSNMPInErrors, OnChange: true, Lvl: ulm.LvlError, Extra: []ulm.Field{ifField}},
+			Watch{OID: snmp.IfOutErrors(ifIndex), Event: EvSNMPOutErrors, OnChange: true, Lvl: ulm.LvlError, Extra: []ulm.Field{ifField}},
+		)
+	}
+	return out
+}
+
+// DeviceSensor is a convenience constructor: it stands up an SNMP agent
+// on the device and returns a sensor polling all its interface counters
+// from the polling host. If the device already runs an agent (a prior
+// DeviceSensor bound it), the existing agent is polled instead; a
+// community mismatch then surfaces as SNMP_UNREACHABLE fault events,
+// just as it would against a real device.
+func DeviceSensor(net *simnet.Network, clock Clock, from *simnet.Node, fromPort int,
+	dev *simnet.Node, community string, interval time.Duration) (*SNMPSensor, error) {
+	agent := snmp.NewDeviceAgent(dev, community)
+	_ = snmp.ServeOn(dev, snmp.DefaultPort, agent) // port taken: poll the existing agent
+	return NewSNMP(net, clock, from, fromPort, dev, snmp.DefaultPort, community, interval, InterfaceWatches(dev)), nil
+}

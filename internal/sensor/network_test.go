@@ -1,0 +1,169 @@
+package sensor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simclock"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/snmp"
+	"jamm/internal/ulm"
+)
+
+func TestSNMPSensorPollsDeviceCounters(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(7)), 10*time.Millisecond)
+	monitor := net.AddHost("mon.lbl.gov", simnet.HostConfig{})
+	router := net.AddRouter("rtr1.lbl.gov")
+	peer := net.AddHost("peer.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(monitor, router, simnet.Rate100BT, time.Millisecond)
+	net.Connect(router, peer, simnet.Rate100BT, time.Millisecond)
+
+	clock := simclock.New(sched, 0, 0)
+	s, err := DeviceSensor(net, clock, monitor, 20000, router, "public", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Host() != "rtr1.lbl.gov" {
+		t.Fatalf("sensor attributes data to %q, want the device", s.Host())
+	}
+
+	// Traffic through the router bumps its interface counters.
+	f, err := net.OpenFlow(monitor, 5000, peer, 5001, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(5e6, nil)
+
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(10 * time.Second)
+	s.Stop()
+
+	in := c.byEvent(EvSNMPInOctets)
+	if len(in) == 0 {
+		t.Fatal("no SNMP_IF_IN_OCTETS events")
+	}
+	var sawBytes bool
+	for _, rec := range in {
+		if v, err := rec.Int("VAL"); err == nil && v > 0 {
+			sawBytes = true
+		}
+		if _, err := rec.Int("IF"); err != nil {
+			t.Fatalf("SNMP event missing IF index: %v", rec)
+		}
+	}
+	if !sawBytes {
+		t.Fatal("router octet counters never advanced")
+	}
+	// No CRC errors were injected, so no error events (on-change).
+	if n := len(c.byEvent(EvSNMPInErrors)); n != 1 {
+		// One initial emission (first observation) is expected.
+		for i, r := range c.byEvent(EvSNMPInErrors) {
+			t.Logf("err event %d: %s", i, r)
+		}
+	}
+}
+
+func TestSNMPSensorErrorCountersOnChange(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(7)), 10*time.Millisecond)
+	monitor := net.AddHost("mon", simnet.HostConfig{})
+	router := net.AddRouter("rtr")
+	net.Connect(monitor, router, simnet.Rate100BT, time.Millisecond)
+
+	clock := simclock.New(sched, 0, 0)
+	s, err := DeviceSensor(net, clock, monitor, 20000, router, "public", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(3 * time.Second)
+	before := len(c.byEvent(EvSNMPInErrors))
+
+	// Inject CRC errors on the router's interface; the next poll emits
+	// exactly one change event at Error level.
+	router.Interfaces()[0].InjectCRCErrors(17)
+	sched.RunFor(3 * time.Second)
+	after := c.byEvent(EvSNMPInErrors)
+	if len(after) != before+1 {
+		t.Fatalf("error events went %d -> %d, want exactly one new", before, len(after))
+	}
+	last := after[len(after)-1]
+	if last.Lvl != ulm.LvlError {
+		t.Fatalf("CRC event level = %s, want Error", last.Lvl)
+	}
+	if v, _ := last.Int("VAL"); v != 17 {
+		t.Fatalf("CRC counter = %d, want 17", v)
+	}
+	s.Stop()
+}
+
+func TestSNMPSensorWrongCommunityEmitsFault(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(7)), 10*time.Millisecond)
+	monitor := net.AddHost("mon", simnet.HostConfig{})
+	router := net.AddRouter("rtr")
+	net.Connect(monitor, router, simnet.Rate100BT, time.Millisecond)
+	agent := snmp.NewDeviceAgent(router, "secret")
+	if err := snmp.ServeOn(router, snmp.DefaultPort, agent); err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.New(sched, 0, 0)
+	s := NewSNMP(net, clock, monitor, 20000, router, snmp.DefaultPort, "public",
+		time.Second, InterfaceWatches(router))
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(5 * time.Second)
+	s.Stop()
+	if len(c.byEvent("SNMP_UNREACHABLE")) == 0 {
+		t.Fatal("community mismatch produced no fault events")
+	}
+}
+
+func TestClockSensor(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(3)), 10*time.Millisecond)
+	node := net.AddHost("h1", simnet.HostConfig{})
+	// Host clock starts 5 ms off with drift.
+	clk := simclock.New(sched, 5*time.Millisecond, 50)
+	host := simhost.New(sched, "h1", node, clk, simhost.Config{})
+
+	ref := simclock.New(sched, 0, 0)
+	server := simclock.NewServer(ref, 1)
+	daemon := simclock.NewDaemon(sched, clk, server, simclock.SubnetPath(rand.New(rand.NewSource(4))), 4)
+
+	s := NewClockSync(host, daemon, 2*time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	// Before any sync: warning events.
+	sched.RunFor(3 * time.Second)
+	if len(c.byEvent(EvClockNoSync)) == 0 {
+		t.Fatal("no CLOCK_NOSYNC before first sync")
+	}
+	daemon.Start(4 * time.Second)
+	sched.RunFor(20 * time.Second)
+	s.Stop()
+	offs := c.byEvent(EvClockOffset)
+	if len(offs) == 0 {
+		t.Fatal("no CLOCK_OFFSET after sync")
+	}
+	if _, err := offs[0].Float("OFFSET.US"); err != nil {
+		t.Fatalf("CLOCK_OFFSET missing OFFSET.US: %v", err)
+	}
+	if _, err := offs[0].Float("DELAY.US"); err != nil {
+		t.Fatalf("CLOCK_OFFSET missing DELAY.US: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package sensor
+
+import (
+	"time"
+
+	"jamm/internal/simnet"
+)
+
+// Event names emitted by the path probe sensor.
+const (
+	EvProbeBps   = "NETPROBE_BPS"
+	EvProbeRTTms = "NETPROBE_RTT_MS"
+)
+
+// PathProbeSensor actively measures a network path, in the spirit of
+// the Network Weather Service probes the paper's summary-data service
+// feeds (§7.0): every interval it sends a fixed-size TCP transfer to
+// the target host and reports achieved throughput and path round-trip
+// time. Gateways summarize the series; the summary data service
+// publishes it for network-aware applications to size their TCP
+// buffers.
+type PathProbeSensor struct {
+	base
+	net    *simnet.Network
+	from   *simnet.Node
+	to     *simnet.Node
+	port   int
+	bytes  float64
+	inPoll bool
+}
+
+// NewPathProbe returns a probe from one host to another, transferring
+// probeBytes per measurement (default 1 MB).
+func NewPathProbe(net *simnet.Network, clock Clock, from, to *simnet.Node, port int, probeBytes float64, interval time.Duration) *PathProbeSensor {
+	if probeBytes <= 0 {
+		probeBytes = 1e6
+	}
+	s := &PathProbeSensor{
+		base:  newBase(net.Scheduler(), clock, "netprobe."+to.Name, "netprobe", from.Name, interval),
+		net:   net,
+		from:  from,
+		to:    to,
+		port:  port,
+		bytes: probeBytes,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *PathProbeSensor) sample() {
+	if s.inPoll {
+		return // previous probe still in flight (congested path)
+	}
+	delay, err := s.net.PathDelay(s.from, s.to)
+	if err != nil {
+		s.sendLvl("Error", "NETPROBE_UNREACHABLE", fStr("DST", s.to.Name), fStr("ERR", err.Error()))
+		return
+	}
+	rtt := 2 * delay
+	flow, err := s.net.OpenFlow(s.from, 45000+s.port, s.to, s.port, simnet.FlowConfig{})
+	if err != nil {
+		s.sendLvl("Error", "NETPROBE_UNREACHABLE", fStr("DST", s.to.Name), fStr("ERR", err.Error()))
+		return
+	}
+	s.inPoll = true
+	start := s.sched.Now()
+	flow.Send(s.bytes, func() {
+		s.inPoll = false
+		elapsed := s.sched.Now() - start
+		flow.Close()
+		if !s.Running() || elapsed <= 0 {
+			return
+		}
+		bps := s.bytes * 8 / elapsed.Seconds()
+		s.send(EvProbeBps, fNum("VAL", bps), fStr("DST", s.to.Name))
+		s.send(EvProbeRTTms, fNum("VAL", float64(rtt)/float64(time.Millisecond)), fStr("DST", s.to.Name))
+	})
+}
+
+var _ Sensor = (*PathProbeSensor)(nil)

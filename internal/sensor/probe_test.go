@@ -1,0 +1,102 @@
+package sensor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simclock"
+	"jamm/internal/simnet"
+)
+
+func TestPathProbeMeasuresThroughputAndRTT(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(5)), 10*time.Millisecond)
+	a := net.AddHost("a", simnet.HostConfig{RecvCapacityBps: 1e9})
+	b := net.AddHost("b", simnet.HostConfig{RecvCapacityBps: 1e9})
+	rtr := net.AddRouter("r")
+	net.Connect(a, rtr, simnet.Rate100BT, 5*time.Millisecond)
+	net.Connect(rtr, b, simnet.Rate100BT, 5*time.Millisecond)
+
+	clock := simclock.New(sched, 0, 0)
+	s := NewPathProbe(net, clock, a, b, 9000, 4e6, 15*time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(2 * time.Minute)
+	s.Stop()
+
+	bps := c.byEvent(EvProbeBps)
+	rtts := c.byEvent(EvProbeRTTms)
+	if len(bps) < 3 || len(rtts) < 3 {
+		t.Fatalf("probe samples: %d bps, %d rtt", len(bps), len(rtts))
+	}
+	// Throughput is bounded by the 100 Mbit/s bottleneck and should be
+	// within reach of it for a 4 MB transfer.
+	v, err := bps[len(bps)-1].Float("VAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 100e6 || v < 20e6 {
+		t.Fatalf("probe bandwidth = %.0f Mbit/s, want 20-100", v/1e6)
+	}
+	// RTT is the 20 ms path round trip.
+	r, err := rtts[0].Float("VAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 19 || r > 21 {
+		t.Fatalf("probe RTT = %.2f ms, want ~20", r)
+	}
+	if dst, _ := bps[0].Get("DST"); dst != "b" {
+		t.Fatalf("probe DST = %q", dst)
+	}
+}
+
+func TestPathProbeUnreachable(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(5)), 10*time.Millisecond)
+	a := net.AddHost("a", simnet.HostConfig{RecvCapacityBps: 1e9})
+	island := net.AddHost("island", simnet.HostConfig{})
+	clock := simclock.New(sched, 0, 0)
+	s := NewPathProbe(net, clock, a, island, 9000, 1e6, 10*time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(30 * time.Second)
+	s.Stop()
+	if len(c.byEvent("NETPROBE_UNREACHABLE")) == 0 {
+		t.Fatal("no fault events for unrouted destination")
+	}
+	if len(c.byEvent(EvProbeBps)) != 0 {
+		t.Fatal("bandwidth events for unrouted destination")
+	}
+}
+
+func TestPathProbeSkipsOverlappingProbes(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(5)), 10*time.Millisecond)
+	a := net.AddHost("a", simnet.HostConfig{RecvCapacityBps: 1e9})
+	b := net.AddHost("b", simnet.HostConfig{RecvCapacityBps: 1e9})
+	// Slow link: a 10 MB probe takes ~10 s; with a 2 s interval most
+	// polls must skip rather than pile up flows.
+	net.Connect(a, b, simnet.RateEthOld, time.Millisecond)
+	clock := simclock.New(sched, 0, 0)
+	s := NewPathProbe(net, clock, a, b, 9000, 10e6, 2*time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(30 * time.Second)
+	s.Stop()
+	got := len(c.byEvent(EvProbeBps))
+	if got == 0 {
+		t.Fatal("no probe completed")
+	}
+	if got > 5 {
+		t.Fatalf("%d probes completed in 30 s on a ~10 s path: overlapping probes", got)
+	}
+}

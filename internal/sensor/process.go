@@ -1,0 +1,125 @@
+package sensor
+
+import (
+	"time"
+
+	"jamm/internal/simhost"
+	"jamm/internal/ulm"
+)
+
+// Event names emitted by process sensors.
+const (
+	EvProcStart      = "PROC_START"
+	EvProcExit       = "PROC_EXIT"
+	EvProcDied       = "PROC_DIED"
+	EvUsersThreshold = "USERS_THRESHOLD"
+)
+
+// ProcessSensor generates events "when there is a change in process
+// status (for example, when it starts, dies normally, or dies
+// abnormally)" (§2.2). Abnormal deaths are emitted at Error level so
+// archives keep them and process-monitor consumers can trigger restart
+// or paging actions.
+type ProcessSensor struct {
+	base
+	h *simhost.Host
+	// Match restricts events to processes with this name; empty
+	// matches all.
+	Match string
+
+	hooked bool
+}
+
+// NewProcess returns a process sensor for h. Process sensors are
+// event-driven: Interval is zero.
+func NewProcess(h *simhost.Host) *ProcessSensor {
+	return &ProcessSensor{
+		base: newBase(h.Scheduler(), h.Clock, "process", "process", h.Name, 0),
+		h:    h,
+	}
+}
+
+// Start implements Sensor.
+func (s *ProcessSensor) Start(emit Emit) error {
+	if err := s.base.Start(emit); err != nil {
+		return err
+	}
+	if !s.hooked {
+		// The host keeps the hook forever; the running check makes
+		// stop/restart cycles behave.
+		s.hooked = true
+		s.h.OnProcessEvent(func(ev simhost.ProcEvent) {
+			if !s.Running() {
+				return
+			}
+			if s.Match != "" && ev.Name != s.Match {
+				return
+			}
+			fields := []ulm.Field{fStr("PROC", ev.Name), fInt("PID", int64(ev.PID))}
+			switch ev.Kind {
+			case simhost.ProcStarted:
+				s.sendLvl(ulm.LvlSystem, EvProcStart, fields...)
+			case simhost.ProcExitedNormally:
+				s.sendLvl(ulm.LvlSystem, EvProcExit, fields...)
+			case simhost.ProcDied:
+				s.sendLvl(ulm.LvlError, EvProcDied, fields...)
+			}
+		})
+	}
+	return nil
+}
+
+// UsersSensor is the paper's dynamic-threshold example: it emits an
+// event "if the average number of users over a certain time period
+// exceeds a given threshold". It samples the logged-in user count every
+// interval, averages over Window, and emits on upward crossings only
+// (with hysteresis, so a hovering average does not spam events).
+type UsersSensor struct {
+	base
+	h *simhost.Host
+
+	// Limit is the average-user threshold.
+	Limit float64
+	// Window is the averaging period; it should be several intervals.
+	Window time.Duration
+
+	samples []float64
+	perWin  int
+	above   bool
+}
+
+// NewUsers returns a users threshold sensor sampling every interval and
+// averaging over window.
+func NewUsers(h *simhost.Host, interval, window time.Duration, limit float64) *UsersSensor {
+	perWin := int(window / interval)
+	if perWin < 1 {
+		perWin = 1
+	}
+	s := &UsersSensor{
+		base:   newBase(h.Scheduler(), h.Clock, "users", "users", h.Name, interval),
+		h:      h,
+		Limit:  limit,
+		Window: window,
+		perWin: perWin,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *UsersSensor) sample() {
+	s.samples = append(s.samples, float64(s.h.Users()))
+	if len(s.samples) > s.perWin {
+		s.samples = s.samples[len(s.samples)-s.perWin:]
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	avg := sum / float64(len(s.samples))
+	if avg > s.Limit && !s.above {
+		s.above = true
+		s.sendLvl(ulm.LvlWarning, EvUsersThreshold, fNum("VAL", avg), fNum("LIMIT", s.Limit))
+	} else if avg <= s.Limit {
+		s.above = false
+	}
+}

@@ -1,0 +1,96 @@
+package sensor
+
+import (
+	"fmt"
+	"time"
+
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/snmp"
+	"jamm/internal/ulm"
+)
+
+// Host-resources MIB OIDs exported by ServeHostMIB, shaped after the
+// RFC 2790 Host Resources MIB (hrProcessorLoad, hrStorage) and UCD
+// ssCpu* objects the paper's era used.
+const (
+	OIDHostCPUUser = snmp.OID("1.3.6.1.4.1.2021.11.9.0")  // ssCpuUser (percent)
+	OIDHostCPUSys  = snmp.OID("1.3.6.1.4.1.2021.11.10.0") // ssCpuSystem (percent)
+	OIDHostMemFree = snmp.OID("1.3.6.1.4.1.2021.4.6.0")   // memAvailReal (KB)
+	OIDHostUsers   = snmp.OID("1.3.6.1.2.1.25.1.5.0")     // hrSystemNumUsers
+	OIDHostProcs   = snmp.OID("1.3.6.1.2.1.25.1.6.0")     // hrSystemProcesses
+)
+
+// ServeHostMIB exports a host's vmstat-equivalent state over SNMP, so
+// host monitoring can run "remotely from the host being monitored"
+// (§2.2: "Host sensors may be layered on top of SNMP-based tools").
+// It binds an agent on the host's standard SNMP port; calling it twice
+// for the same host returns an error from the port bind.
+func ServeHostMIB(h *simhost.Host, community string) error {
+	if h.Node == nil {
+		return fmt.Errorf("sensor: host %s has no network attachment", h.Name)
+	}
+	agent := snmp.NewAgent(community)
+	agent.Register(snmp.OIDSysName, func() snmp.Value { return snmp.StringValue(h.Name) })
+	agent.Register(OIDHostCPUUser, func() snmp.Value {
+		return snmp.IntValue(int64(h.VMStat().UserPct + 0.5))
+	})
+	agent.Register(OIDHostCPUSys, func() snmp.Value {
+		return snmp.IntValue(int64(h.VMStat().SysPct + 0.5))
+	})
+	agent.Register(OIDHostMemFree, func() snmp.Value {
+		return snmp.CounterValue(h.VMStat().FreeMemKB)
+	})
+	agent.Register(OIDHostUsers, func() snmp.Value {
+		return snmp.IntValue(int64(h.Users()))
+	})
+	agent.Register(OIDHostProcs, func() snmp.Value {
+		return snmp.IntValue(int64(len(h.Processes())))
+	})
+	return snmp.ServeOn(h.Node, snmp.DefaultPort, agent)
+}
+
+// RemoteHostSensor polls another host's SNMP host MIB and emits the
+// same VMSTAT_* events the local CPU and memory sensors produce, so
+// consumers cannot tell (and need not care) whether host monitoring
+// runs locally or remotely. The polling host needs no account on the
+// monitored machine — one of JAMM's §6 selling points.
+type RemoteHostSensor struct {
+	base
+	client *snmp.Client
+	target *simnet.Node
+}
+
+// NewRemoteHost returns a sensor on `from` monitoring `target` via its
+// host MIB (ServeHostMIB must be running there).
+func NewRemoteHost(net *simnet.Network, clock Clock, from *simnet.Node, fromPort int,
+	target *simnet.Node, community string, interval time.Duration) *RemoteHostSensor {
+	s := &RemoteHostSensor{
+		base:   newBase(net.Scheduler(), clock, "rhost."+target.Name, "rhost", target.Name, interval),
+		client: snmp.NewClient(net, from, fromPort, community),
+		target: target,
+	}
+	s.poll = s.sample
+	return s
+}
+
+func (s *RemoteHostSensor) sample() {
+	oids := []snmp.OID{OIDHostCPUUser, OIDHostCPUSys, OIDHostMemFree}
+	s.client.Get(s.target, snmp.DefaultPort, oids, func(bindings []snmp.Binding, err error) {
+		if !s.Running() {
+			return
+		}
+		if err != nil {
+			s.sendLvl(ulm.LvlError, "SNMP_UNREACHABLE", fStr("DEVICE", s.target.Name), fStr("ERR", err.Error()))
+			return
+		}
+		if len(bindings) != len(oids) {
+			return
+		}
+		s.send(EvVMStatUserTime, fInt("VAL", bindings[0].Value.Int))
+		s.send(EvVMStatSysTime, fInt("VAL", bindings[1].Value.Int))
+		s.send(EvVMStatFreeMem, fUint("VAL", bindings[2].Value.Counter))
+	})
+}
+
+var _ Sensor = (*RemoteHostSensor)(nil)

@@ -1,0 +1,68 @@
+package sensor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simclock"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+)
+
+func TestRemoteHostSensor(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(9)), 10*time.Millisecond)
+	monNode := net.AddHost("monitor.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	tgtNode := net.AddHost("target.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(monNode, tgtNode, simnet.Rate100BT, time.Millisecond)
+	target := simhost.New(sched, "target.lbl.gov", tgtNode, nil, simhost.Config{})
+	target.Spawn("busy", 0.37, 50*1024)
+
+	if err := ServeHostMIB(target, "public"); err != nil {
+		t.Fatal(err)
+	}
+	// A second bind on the same host fails cleanly.
+	if err := ServeHostMIB(target, "public"); err == nil {
+		t.Fatal("double host MIB bind accepted")
+	}
+
+	clock := simclock.New(sched, 0, 0)
+	s := NewRemoteHost(net, clock, monNode, 21000, tgtNode, "public", time.Second)
+	if s.Host() != "target.lbl.gov" {
+		t.Fatalf("sensor attributes data to %q", s.Host())
+	}
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(5 * time.Second)
+	s.Stop()
+
+	user := c.byEvent(EvVMStatUserTime)
+	if len(user) < 3 {
+		t.Fatalf("remote VMSTAT_USER_TIME samples = %d", len(user))
+	}
+	// The remote reading matches the target's actual state (37% user,
+	// rounded).
+	if v, _ := user[0].Int("VAL"); v != 37 {
+		t.Fatalf("remote user CPU = %d, want 37", v)
+	}
+	if v, _ := c.byEvent(EvVMStatFreeMem)[0].Int("VAL"); v <= 0 {
+		t.Fatalf("remote free memory = %d", v)
+	}
+	// Records carry the *monitored* host's name, so downstream
+	// consumers see the same stream shape as from a local sensor.
+	if user[0].Host != "target.lbl.gov" {
+		t.Fatalf("record host = %q", user[0].Host)
+	}
+}
+
+func TestServeHostMIBRequiresNetwork(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	host := simhost.New(sched, "island", nil, nil, simhost.Config{})
+	if err := ServeHostMIB(host, "public"); err == nil {
+		t.Fatal("host MIB served without a network attachment")
+	}
+}

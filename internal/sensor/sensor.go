@@ -1,0 +1,175 @@
+// Package sensor implements the JAMM sensors of paper §2.2. A sensor is
+// "any program that generates a time-stamped performance monitoring
+// event". Four kinds are provided, mirroring the paper:
+//
+//   - host sensors (CPU, memory, netstat TCP counters, tcpdump-style
+//     retransmission/window events) reading the simulated host and
+//     network substrate exactly where the originals parsed vmstat,
+//     netstat and tcpdump output;
+//   - network sensors performing SNMP queries against routers and
+//     switches;
+//   - process sensors emitting events on process status changes and on
+//     dynamic thresholds (e.g. average logged-in users over a period);
+//   - application sensors embedded in applications via the NetLogger
+//     client API, which feed events through JAMM without being under
+//     JAMM control.
+//
+// Every event is stamped with the host's own clock — which drifts
+// unless an NTP daemon disciplines it — so clock-synchronization
+// effects (§4.3) are visible end to end.
+package sensor
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/ulm"
+)
+
+// Emit consumes one event record; the sensor manager wires it to the
+// event gateway.
+type Emit func(ulm.Record)
+
+// Clock provides event timestamps; *simclock.Clock satisfies it.
+type Clock interface {
+	Now() time.Time
+}
+
+// Sensor is a runnable event producer under sensor-manager control.
+type Sensor interface {
+	// Name is the sensor instance name, unique per host (e.g. "cpu").
+	Name() string
+	// Type is the sensor class ("cpu", "memory", "netstat", "tcpdump",
+	// "snmp", "process", "users", "clock", "app").
+	Type() string
+	// Host is the name of the host being monitored.
+	Host() string
+	// Interval is the polling period, or zero for purely event-driven
+	// sensors. Published in the directory as the sensor frequency.
+	Interval() time.Duration
+	// Start begins monitoring, delivering events to emit.
+	Start(emit Emit) error
+	// Stop halts monitoring. Stopping a stopped sensor is a no-op.
+	Stop()
+	// Running reports whether the sensor is started.
+	Running() bool
+}
+
+// base carries the machinery shared by all sensors: identity, the
+// polling ticker, and timestamped emission.
+type base struct {
+	name     string
+	typ      string
+	host     string
+	prog     string
+	lvl      string
+	interval time.Duration
+
+	sched *sim.Scheduler
+	clock Clock
+
+	ticker *sim.Ticker
+	emit   Emit
+	poll   func()
+}
+
+func newBase(sched *sim.Scheduler, clock Clock, name, typ, host string, interval time.Duration) base {
+	if name == "" {
+		name = typ
+	}
+	return base{
+		name:     name,
+		typ:      typ,
+		host:     host,
+		prog:     "jamm." + typ,
+		lvl:      ulm.LvlUsage,
+		sched:    sched,
+		clock:    clock,
+		interval: interval,
+	}
+}
+
+// Name implements Sensor.
+func (b *base) Name() string { return b.name }
+
+// Type implements Sensor.
+func (b *base) Type() string { return b.typ }
+
+// Host implements Sensor.
+func (b *base) Host() string { return b.host }
+
+// Interval implements Sensor.
+func (b *base) Interval() time.Duration { return b.interval }
+
+// Running implements Sensor.
+func (b *base) Running() bool { return b.emit != nil }
+
+// Start implements Sensor.
+func (b *base) Start(emit Emit) error {
+	if emit == nil {
+		return fmt.Errorf("sensor: %s: nil emit", b.name)
+	}
+	if b.emit != nil {
+		return fmt.Errorf("sensor: %s already running", b.name)
+	}
+	b.emit = emit
+	if b.poll != nil && b.interval > 0 {
+		b.ticker = b.sched.Every(b.interval, func() {
+			if b.emit != nil {
+				b.poll()
+			}
+		})
+	}
+	return nil
+}
+
+// Stop implements Sensor.
+func (b *base) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+		b.ticker = nil
+	}
+	b.emit = nil
+}
+
+// send emits one timestamped record.
+func (b *base) send(event string, fields ...ulm.Field) {
+	b.sendLvl(b.lvl, event, fields...)
+}
+
+// sendLvl emits one record at an explicit severity level.
+func (b *base) sendLvl(lvl, event string, fields ...ulm.Field) {
+	if b.emit == nil {
+		return
+	}
+	b.emit(ulm.Record{
+		Date:   b.clock.Now(),
+		Host:   b.host,
+		Prog:   b.prog,
+		Lvl:    lvl,
+		Event:  event,
+		Fields: fields,
+	})
+}
+
+// fNum renders a float field with full precision.
+func fNum(key string, v float64) ulm.Field {
+	return ulm.Field{Key: key, Value: strconv.FormatFloat(v, 'f', -1, 64)}
+}
+
+// fInt renders an integer field.
+func fInt(key string, v int64) ulm.Field {
+	return ulm.Field{Key: key, Value: strconv.FormatInt(v, 10)}
+}
+
+// fUint renders an unsigned integer field.
+func fUint(key string, v uint64) ulm.Field {
+	return ulm.Field{Key: key, Value: strconv.FormatUint(v, 10)}
+}
+
+// fStr renders a string field.
+func fStr(key, v string) ulm.Field {
+	return ulm.Field{Key: key, Value: v}
+}

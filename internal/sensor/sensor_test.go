@@ -1,0 +1,322 @@
+package sensor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+type rig struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+	host  *simhost.Host
+	node  *simnet.Node
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	node := net.AddHost("h1.lbl.gov", simnet.HostConfig{RecvCapacityBps: 200e6, PerSocketOverhead: 0.9})
+	host := simhost.New(sched, "h1.lbl.gov", node, nil, simhost.Config{})
+	return &rig{sched: sched, net: net, host: host, node: node}
+}
+
+// collect gathers every record a sensor emits.
+type collect struct{ recs []ulm.Record }
+
+func (c *collect) emit(r ulm.Record) { c.recs = append(c.recs, r) }
+
+func (c *collect) byEvent(event string) []ulm.Record {
+	var out []ulm.Record
+	for _, r := range c.recs {
+		if r.Event == event {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestCPUSensorEmitsLoadlines(t *testing.T) {
+	r := newRig(t)
+	p := r.host.Spawn("app", 0.42, 1000)
+	_ = p
+	s := NewCPU(r.host, time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(5 * time.Second)
+	s.Stop()
+
+	user := c.byEvent(EvVMStatUserTime)
+	sys := c.byEvent(EvVMStatSysTime)
+	if len(user) != 5 || len(sys) != 5 {
+		t.Fatalf("got %d user, %d sys samples, want 5 each", len(user), len(sys))
+	}
+	v, err := user[0].Float("VAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("VMSTAT_USER_TIME = %v, want 42", v)
+	}
+	if user[0].Host != "h1.lbl.gov" || user[0].Prog != "jamm.cpu" || user[0].Lvl != ulm.LvlUsage {
+		t.Fatalf("record identity wrong: %+v", user[0])
+	}
+	// Timestamps advance with virtual time.
+	if !user[4].Date.After(user[0].Date) {
+		t.Fatal("timestamps not advancing")
+	}
+}
+
+func TestSensorStartStopLifecycle(t *testing.T) {
+	r := newRig(t)
+	s := NewCPU(r.host, time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(c.emit); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := s.Start(nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+	if !s.Running() {
+		t.Fatal("not running after start")
+	}
+	r.sched.RunFor(2 * time.Second)
+	s.Stop()
+	if s.Running() {
+		t.Fatal("running after stop")
+	}
+	n := len(c.recs)
+	r.sched.RunFor(5 * time.Second)
+	if len(c.recs) != n {
+		t.Fatal("events emitted after stop")
+	}
+	// Restartable.
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(time.Second)
+	if len(c.recs) <= n {
+		t.Fatal("no events after restart")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func TestMemorySensor(t *testing.T) {
+	r := newRig(t)
+	s := NewMemory(r.host, time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(time.Second)
+	free0, _ := c.recs[0].Float("VAL")
+	r.host.Spawn("hog", 0, 100*1024)
+	r.sched.RunFor(time.Second)
+	free1, _ := c.recs[1].Float("VAL")
+	if free1 >= free0 {
+		t.Fatalf("free memory did not drop: %v -> %v", free0, free1)
+	}
+	if free0-free1 != 100*1024 {
+		t.Fatalf("free memory dropped by %v, want 102400", free0-free1)
+	}
+}
+
+func TestNetstatSensorReportsEveryPoll(t *testing.T) {
+	r := newRig(t)
+	s := NewNetstat(r.host, r.net, time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(4 * time.Second)
+	s.Stop()
+	retrans := c.byEvent(EvNetstatRetrans)
+	// The netstat sensor reports every poll whether or not the value
+	// changed — suppression is the gateway's job.
+	if len(retrans) != 4 {
+		t.Fatalf("NETSTAT_RETRANS polls = %d, want 4", len(retrans))
+	}
+	for _, rec := range retrans {
+		if v, err := rec.Int("VAL"); err != nil || v != 0 {
+			t.Fatalf("idle host retransmits = %v (%v)", v, err)
+		}
+	}
+}
+
+func TestTCPDumpSensorEmitsOnChangeOnly(t *testing.T) {
+	r := newRig(t)
+	// A second host and a tight receiver to force retransmissions:
+	// many concurrent large-window streams overload the receiver path.
+	peer := r.net.AddHost("h2.lbl.gov", simnet.HostConfig{RecvCapacityBps: 50e6, PerSocketOverhead: 1.0, RingBytes: 50e3})
+	r.net.Connect(r.node, peer, simnet.RateGigE, 35*time.Millisecond)
+	for p := 0; p < 4; p++ {
+		f, err := r.net.OpenFlow(r.node, 6000+p, peer, 7000+p, simnet.FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetUnlimited(true)
+	}
+
+	s := NewTCPDump(r.host, r.net, 100*time.Millisecond)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(30 * time.Second)
+	s.Stop()
+
+	retr := c.byEvent(EvTCPRetransmit)
+	wins := c.byEvent(EvTCPWindowSize)
+	if len(retr) == 0 {
+		t.Fatal("no TCPD_RETRANSMITS events despite overloaded receiver")
+	}
+	if len(wins) == 0 {
+		t.Fatal("no TCPD_WINDOW_SIZE events")
+	}
+	// On-change: far fewer events than polls (4 flows * 300 polls).
+	if len(wins) >= 4*300 {
+		t.Fatalf("window events = %d, not change-filtered", len(wins))
+	}
+	// Events carry the connection 4-tuple.
+	if _, ok := retr[0].Get("SRC"); !ok {
+		t.Fatal("TCPD event missing SRC")
+	}
+	if _, err := retr[0].Int("DPORT"); err != nil {
+		t.Fatal("TCPD event missing DPORT")
+	}
+}
+
+func TestProcessSensorLifecycleEvents(t *testing.T) {
+	r := newRig(t)
+	s := NewProcess(r.host)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	p1 := r.host.Spawn("dpss_server", 0.1, 1000)
+	p2 := r.host.Spawn("other", 0.1, 1000)
+	p1.Crash()
+	p2.Exit()
+	s.Stop()
+	r.host.Spawn("ignored", 0, 0) // after stop: no event
+
+	if got := len(c.byEvent(EvProcStart)); got != 2 {
+		t.Fatalf("PROC_START count = %d, want 2", got)
+	}
+	died := c.byEvent(EvProcDied)
+	if len(died) != 1 {
+		t.Fatalf("PROC_DIED count = %d, want 1", len(died))
+	}
+	if died[0].Lvl != ulm.LvlError {
+		t.Fatalf("PROC_DIED level = %s, want Error", died[0].Lvl)
+	}
+	if name, _ := died[0].Get("PROC"); name != "dpss_server" {
+		t.Fatalf("PROC_DIED names %q", name)
+	}
+	if got := len(c.byEvent(EvProcExit)); got != 1 {
+		t.Fatalf("PROC_EXIT count = %d, want 1", got)
+	}
+}
+
+func TestProcessSensorMatchFilter(t *testing.T) {
+	r := newRig(t)
+	s := NewProcess(r.host)
+	s.Match = "dpss_server"
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.host.Spawn("noise", 0, 0)
+	r.host.Spawn("dpss_server", 0, 0)
+	if len(c.recs) != 1 {
+		t.Fatalf("match filter passed %d events, want 1", len(c.recs))
+	}
+}
+
+func TestUsersSensorThresholdCrossing(t *testing.T) {
+	r := newRig(t)
+	s := NewUsers(r.host, time.Second, 4*time.Second, 10)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.host.SetUsers(5)
+	r.sched.RunFor(5 * time.Second)
+	if len(c.recs) != 0 {
+		t.Fatalf("threshold fired below limit: %d events", len(c.recs))
+	}
+	r.host.SetUsers(20)
+	r.sched.RunFor(10 * time.Second)
+	if got := len(c.byEvent(EvUsersThreshold)); got != 1 {
+		t.Fatalf("threshold events = %d, want exactly 1 (crossing, not level)", got)
+	}
+	// Dropping below re-arms the sensor.
+	r.host.SetUsers(0)
+	r.sched.RunFor(10 * time.Second)
+	r.host.SetUsers(30)
+	r.sched.RunFor(10 * time.Second)
+	if got := len(c.byEvent(EvUsersThreshold)); got != 2 {
+		t.Fatalf("threshold events after re-cross = %d, want 2", got)
+	}
+	s.Stop()
+}
+
+func TestAppSensorFeedAndDrop(t *testing.T) {
+	r := newRig(t)
+	s := NewApp(r.sched, r.host.Clock, "h1.lbl.gov", "mplay")
+	// Fed while stopped: dropped.
+	s.Feed(ulm.Record{Event: "X"})
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", s.Dropped())
+	}
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	// Bare record gets identity and timestamp filled in.
+	s.Feed(ulm.Record{Event: "MPLAY_START_READ_FRAME"})
+	// Fully stamped record passes through unmodified.
+	ts := epoch.Add(42 * time.Second)
+	s.Feed(ulm.Record{Date: ts, Host: "other", Prog: "x", Lvl: ulm.LvlDebug, Event: "Y"})
+	if len(c.recs) != 2 {
+		t.Fatalf("fed %d records", len(c.recs))
+	}
+	if c.recs[0].Host != "h1.lbl.gov" || c.recs[0].Prog != "mplay" || c.recs[0].Date.IsZero() {
+		t.Fatalf("bare record not completed: %+v", c.recs[0])
+	}
+	if !c.recs[1].Date.Equal(ts) || c.recs[1].Host != "other" {
+		t.Fatalf("stamped record modified: %+v", c.recs[1])
+	}
+	if s.Type() != "app" || s.Interval() != 0 {
+		t.Fatalf("app sensor metadata: type=%s interval=%v", s.Type(), s.Interval())
+	}
+}
+
+func TestIOStatSensor(t *testing.T) {
+	r := newRig(t)
+	s := NewIOStat(r.host, time.Second)
+	var c collect
+	if err := s.Start(c.emit); err != nil {
+		t.Fatal(err)
+	}
+	r.host.ChargeDiskRead(512)
+	r.sched.RunFor(time.Second)
+	v, err := c.recs[0].Float("VAL")
+	if err != nil || v != 512 {
+		t.Fatalf("IOSTAT_READ_KB = %v (%v)", v, err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides the discrete-event simulation core that the Grid
+// substrate (hosts, network, clocks, applications) runs on. A Scheduler
+// owns a virtual clock and an event queue; events fire in timestamp
+// order with FIFO tie-breaking, so every run of a seeded scenario is
+// deterministic. Nothing in this package reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a single-threaded discrete-event executor. It is not safe
+// for concurrent use; simulated components interact by scheduling events
+// on the same Scheduler, never by sharing goroutines.
+type Scheduler struct {
+	now   time.Duration
+	epoch time.Time
+	queue eventHeap
+	seq   uint64
+	run   bool
+}
+
+// NewScheduler returns a Scheduler with virtual time zero mapped to
+// epoch. JAMM scenarios conventionally use the paper's demo date
+// (2000-05-01) as the epoch.
+func NewScheduler(epoch time.Time) *Scheduler {
+	return &Scheduler{epoch: epoch.UTC()}
+}
+
+// Now returns the current virtual time as an offset from the epoch.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// WallNow returns the current virtual time as an absolute timestamp.
+// This is the "true" time; simulated host clocks (internal/simclock) add
+// their own offset and drift on top of it.
+func (s *Scheduler) WallNow() time.Time { return s.epoch.Add(s.now) }
+
+// Epoch returns the wall-clock instant corresponding to virtual time 0.
+func (s *Scheduler) Epoch() time.Time { return s.epoch }
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	s       *Scheduler
+	when    time.Duration
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once fired or stopped
+	stopped bool
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// call prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.index)
+	t.stopped = true
+	t.index = -1
+	return true
+}
+
+// At schedules fn to run at absolute virtual time when. Scheduling in
+// the past (before Now) panics: that is always a simulation bug.
+func (s *Scheduler) At(when time.Duration, fn func()) *Timer {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", when, s.now))
+	}
+	s.seq++
+	t := &Timer{s: s, when: when, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Ticker fires fn every interval until stopped.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every returns a Ticker firing fn each interval, with the first firing
+// one interval from now. Interval must be positive.
+func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	tk := &Ticker{s: s, interval: interval, fn: fn}
+	tk.arm()
+	return tk
+}
+
+func (tk *Ticker) arm() {
+	tk.timer = tk.s.After(tk.interval, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if !tk.stopped {
+			tk.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.timer.Stop()
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// reports whether an event was fired.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	t := heap.Pop(&s.queue).(*Timer)
+	s.now = t.when
+	t.index = -1
+	t.fn()
+	return true
+}
+
+// Run fires events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ deadline, then advances the
+// clock to exactly deadline. Events scheduled beyond the deadline stay
+// queued.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	for s.queue.Len() > 0 && s.queue[0].when <= deadline {
+		s.Step()
+	}
+	if deadline > s.now {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// eventHeap orders timers by (when, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

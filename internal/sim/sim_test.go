@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewScheduler(epoch)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := NewScheduler(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v: same-time events must fire FIFO", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := NewScheduler(epoch)
+	var at time.Duration
+	s.At(time.Second, func() {
+		s.After(500*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 1500*time.Millisecond {
+		t.Errorf("fired at %v, want 1.5s", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler(epoch)
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(epoch)
+	fired := false
+	tm := s.At(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop reported false on pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported true")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler(epoch)
+	tm := s.At(time.Second, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Error("Stop after fire reported true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler(epoch)
+	var fires []time.Duration
+	tk := s.Every(time.Second, func() {
+		fires = append(fires, s.Now())
+	})
+	s.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	s.RunUntil(10 * time.Second)
+	if len(fires) != 3 {
+		t.Fatalf("fires = %v, want 3 firings", fires)
+	}
+	for i, f := range fires {
+		if want := time.Duration(i+1) * time.Second; f != want {
+			t.Errorf("fire %d at %v, want %v", i, f, want)
+		}
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := NewScheduler(epoch)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after ticker stop", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(epoch)
+	s.RunUntil(42 * time.Second)
+	if s.Now() != 42*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	want := epoch.Add(42 * time.Second)
+	if !s.WallNow().Equal(want) {
+		t.Errorf("WallNow = %v, want %v", s.WallNow(), want)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	s := NewScheduler(epoch)
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.RunUntil(time.Second)
+	if fired {
+		t.Error("future event fired early")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunFor(time.Second)
+	if !fired {
+		t.Error("event did not fire at deadline")
+	}
+}
+
+func TestQuickRandomScheduleFiresInOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	f := func() bool {
+		s := NewScheduler(epoch)
+		n := 1 + rnd.Intn(100)
+		times := make([]time.Duration, n)
+		var fired []time.Duration
+		for i := range times {
+			times[i] = time.Duration(rnd.Intn(1000)) * time.Millisecond
+			w := times[i]
+			s.At(w, func() { fired = append(fired, w) })
+		}
+		s.Run()
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != n {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopViaQuickRandomMix(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	f := func() bool {
+		s := NewScheduler(epoch)
+		n := 1 + rnd.Intn(50)
+		timers := make([]*Timer, n)
+		firedCount := 0
+		for i := range timers {
+			timers[i] = s.At(time.Duration(rnd.Intn(100))*time.Millisecond, func() { firedCount++ })
+		}
+		stopped := 0
+		for _, tm := range timers {
+			if rnd.Intn(2) == 0 {
+				if tm.Stop() {
+					stopped++
+				}
+			}
+		}
+		s.Run()
+		return firedCount == n-stopped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

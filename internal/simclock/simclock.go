@@ -1,0 +1,201 @@
+// Package simclock models per-host clocks with offset and drift, plus an
+// NTP-style synchronization daemon (the paper's §4.3: xntpd against a
+// GPS-based NTP server on each subnet keeps clocks within about 0.25 ms;
+// a time source several router hops away degrades accuracy toward 1 ms).
+//
+// NetLogger analysis depends on synchronized clocks, so JAMM deploys a
+// clock-sync monitor sensor that reports each host's measured offset and
+// delay; those readings come from the Daemon in this package.
+package simclock
+
+import (
+	"math/rand"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+// Clock is a simulated host clock. It reads the scheduler's true time
+// and applies an offset that grows linearly with a drift rate, as quartz
+// oscillators do. The zero drift, zero offset clock is a perfect clock.
+type Clock struct {
+	sched    *sim.Scheduler
+	offset   time.Duration // offset from true time at refSim
+	driftPPM float64       // parts per million; 10 ppm ≈ 0.86 s/day
+	refSim   time.Duration // sim instant at which offset was recorded
+}
+
+// New returns a clock with the given initial offset from true time and
+// drift rate in parts per million.
+func New(sched *sim.Scheduler, offset time.Duration, driftPPM float64) *Clock {
+	return &Clock{sched: sched, offset: offset, driftPPM: driftPPM, refSim: sched.Now()}
+}
+
+// offsetAt returns the clock's offset from true time at sim instant t.
+func (c *Clock) offsetAt(t time.Duration) time.Duration {
+	elapsed := t - c.refSim
+	return c.offset + time.Duration(float64(elapsed)*c.driftPPM/1e6)
+}
+
+// Now returns the host's view of the current time.
+func (c *Clock) Now() time.Time {
+	return c.ReadAt(c.sched.Now())
+}
+
+// ReadAt returns the host's view of the time at sim instant t. NTP
+// exchanges use this to timestamp packet arrivals analytically.
+func (c *Clock) ReadAt(t time.Duration) time.Time {
+	return c.sched.Epoch().Add(t + c.offsetAt(t))
+}
+
+// TrueOffset returns the clock's current offset from true time: the
+// quantity experiment E3 measures. Positive means the clock runs ahead.
+func (c *Clock) TrueOffset() time.Duration {
+	return c.offsetAt(c.sched.Now())
+}
+
+// Step slews the clock by delta immediately (NTP step adjustment).
+func (c *Clock) Step(delta time.Duration) {
+	now := c.sched.Now()
+	c.offset = c.offsetAt(now) + delta
+	c.refSim = now
+}
+
+// Server is an NTP time source. A stratum-1 server is backed by a GPS
+// receiver: its clock should be created with ~zero offset and drift.
+type Server struct {
+	Clock   *Clock
+	Stratum int
+}
+
+// NewServer returns an NTP server serving time from clock.
+func NewServer(clock *Clock, stratum int) *Server {
+	return &Server{Clock: clock, Stratum: stratum}
+}
+
+// Path models the network path between an NTP client and its server.
+// Sample returns the forward and return one-way delays for a single
+// poll; asymmetry between them is what limits achievable accuracy.
+type Path interface {
+	Sample() (fwd, back time.Duration)
+}
+
+// PathFunc adapts a function to the Path interface.
+type PathFunc func() (fwd, back time.Duration)
+
+// Sample implements Path.
+func (f PathFunc) Sample() (fwd, back time.Duration) { return f() }
+
+// SubnetPath returns a Path resembling a same-subnet GPS-NTP server:
+// ~150 µs one-way with small symmetric jitter.
+func SubnetPath(rnd *rand.Rand) Path {
+	return PathFunc(func() (time.Duration, time.Duration) {
+		base := 150 * time.Microsecond
+		return base + jitter(rnd, 100*time.Microsecond), base + jitter(rnd, 100*time.Microsecond)
+	})
+}
+
+// RoutedPath returns a Path crossing hops IP routers — the paper's
+// "closest time source several IP router hops away" case. Each hop adds
+// bursty queueing jitter plus a fixed per-direction base delay chosen
+// at path creation: routes are asymmetric, and a constant delay
+// asymmetry is an offset error NTP's minimum-delay filter cannot
+// remove, which is why accuracy "may decrease somewhat" with distance
+// from the time source.
+func RoutedPath(rnd *rand.Rand, hops int) Path {
+	baseFwd := 200 * time.Microsecond
+	baseBack := 200 * time.Microsecond
+	for i := 0; i < hops; i++ {
+		baseFwd += 100*time.Microsecond + time.Duration(rnd.Float64()*float64(1500*time.Microsecond))
+		baseBack += 100*time.Microsecond + time.Duration(rnd.Float64()*float64(1500*time.Microsecond))
+	}
+	return PathFunc(func() (time.Duration, time.Duration) {
+		fwd := baseFwd
+		back := baseBack
+		for i := 0; i < hops; i++ {
+			fwd += jitter(rnd, 600*time.Microsecond)
+			back += jitter(rnd, 600*time.Microsecond)
+		}
+		return fwd, back
+	})
+}
+
+func jitter(rnd *rand.Rand, max time.Duration) time.Duration {
+	// Exponential-ish queueing jitter, clamped.
+	j := time.Duration(rnd.ExpFloat64() * float64(max) / 3)
+	if j > 4*max {
+		j = 4 * max
+	}
+	return j
+}
+
+// Measurement is one NTP offset/delay estimate.
+type Measurement struct {
+	When   time.Time     // host clock time of the measurement
+	Offset time.Duration // estimated offset of server relative to client
+	Delay  time.Duration // round-trip delay
+}
+
+// Daemon periodically synchronizes a client clock to a Server across a
+// Path, mimicking xntpd: each poll takes several samples, keeps the
+// minimum-delay one (best-of-n clock filter), and steps the clock by the
+// estimated offset.
+type Daemon struct {
+	sched   *sim.Scheduler
+	clock   *Clock
+	server  *Server
+	path    Path
+	samples int
+	last    Measurement
+	synced  bool
+	ticker  *sim.Ticker
+}
+
+// NewDaemon returns a sync daemon for clock against server over path.
+// samples is the number of exchanges per poll round (xntpd uses 8).
+func NewDaemon(sched *sim.Scheduler, clock *Clock, server *Server, path Path, samples int) *Daemon {
+	if samples <= 0 {
+		samples = 8
+	}
+	return &Daemon{sched: sched, clock: clock, server: server, path: path, samples: samples}
+}
+
+// SyncOnce performs one poll round and applies the correction,
+// returning the chosen measurement.
+func (d *Daemon) SyncOnce() Measurement {
+	now := d.sched.Now()
+	best := Measurement{Delay: 1 << 62}
+	for i := 0; i < d.samples; i++ {
+		fwd, back := d.path.Sample()
+		t1 := d.clock.ReadAt(now)
+		t2 := d.server.Clock.ReadAt(now + fwd)
+		t3 := t2 // zero server processing time
+		t4 := d.clock.ReadAt(now + fwd + back)
+		offset := (t2.Sub(t1) + t3.Sub(t4)) / 2
+		delay := t4.Sub(t1) - t3.Sub(t2)
+		if delay < best.Delay {
+			best = Measurement{When: t4, Offset: offset, Delay: delay}
+		}
+	}
+	d.clock.Step(best.Offset)
+	d.last = best
+	d.synced = true
+	return best
+}
+
+// Start schedules periodic polls every interval. The first poll fires
+// after one interval.
+func (d *Daemon) Start(interval time.Duration) {
+	d.ticker = d.sched.Every(interval, func() { d.SyncOnce() })
+}
+
+// Stop cancels periodic polling.
+func (d *Daemon) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+	}
+}
+
+// Last returns the most recent measurement and whether any sync has
+// completed; the JAMM clock-sync sensor publishes these values.
+func (d *Daemon) Last() (Measurement, bool) { return d.last, d.synced }

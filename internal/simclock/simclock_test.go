@@ -1,0 +1,198 @@
+package simclock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPerfectClockTracksTrueTime(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	c := New(s, 0, 0)
+	s.RunUntil(time.Hour)
+	if got := c.Now(); !got.Equal(epoch.Add(time.Hour)) {
+		t.Errorf("Now = %v", got)
+	}
+	if c.TrueOffset() != 0 {
+		t.Errorf("TrueOffset = %v", c.TrueOffset())
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	c := New(s, 0, 10) // 10 ppm fast
+	s.RunUntil(time.Hour)
+	want := time.Duration(float64(time.Hour) * 10 / 1e6) // 36 ms
+	got := c.TrueOffset()
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("TrueOffset after 1h at 10ppm = %v, want ≈%v", got, want)
+	}
+}
+
+func TestNegativeDrift(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	c := New(s, time.Millisecond, -20)
+	s.RunUntil(time.Hour)
+	want := time.Millisecond - time.Duration(float64(time.Hour)*20/1e6)
+	got := c.TrueOffset()
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("TrueOffset = %v, want ≈%v", got, want)
+	}
+}
+
+func TestStepAdjustsAndPreservesDrift(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	c := New(s, 5*time.Millisecond, 10)
+	s.RunUntil(30 * time.Minute)
+	c.Step(-c.TrueOffset()) // perfect correction
+	if off := c.TrueOffset(); off != 0 {
+		t.Fatalf("offset after perfect step = %v", off)
+	}
+	s.RunFor(time.Hour)
+	want := time.Duration(float64(time.Hour) * 10 / 1e6)
+	got := c.TrueOffset()
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("drift after step = %v, want ≈%v", got, want)
+	}
+}
+
+func TestReadAtConsistentWithNow(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	c := New(s, time.Millisecond, 100)
+	s.RunUntil(10 * time.Second)
+	if !c.ReadAt(s.Now()).Equal(c.Now()) {
+		t.Error("ReadAt(Now) != Now()")
+	}
+	// Reading ahead should include drift over the interval.
+	ahead := c.ReadAt(s.Now() + time.Hour)
+	wantMin := c.Now().Add(time.Hour)
+	if !ahead.After(wantMin) {
+		t.Errorf("ReadAt 1h ahead = %v, want after %v (fast clock)", ahead, wantMin)
+	}
+}
+
+func TestSyncOnceCorrectsKnownOffset(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	ref := New(s, 0, 0)
+	srv := NewServer(ref, 1)
+	client := New(s, 40*time.Millisecond, 0)
+	// Perfectly symmetric path: sync should be near-exact.
+	path := PathFunc(func() (time.Duration, time.Duration) {
+		return 200 * time.Microsecond, 200 * time.Microsecond
+	})
+	d := NewDaemon(s, client, srv, path, 4)
+	m := d.SyncOnce()
+	if got := client.TrueOffset(); got != 0 {
+		t.Errorf("offset after symmetric sync = %v, want 0", got)
+	}
+	if m.Offset != -40*time.Millisecond {
+		t.Errorf("measured offset = %v, want -40ms", m.Offset)
+	}
+	if m.Delay != 400*time.Microsecond {
+		t.Errorf("measured delay = %v, want 400µs", m.Delay)
+	}
+}
+
+func TestAsymmetryBoundsError(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	srv := NewServer(New(s, 0, 0), 1)
+	client := New(s, 10*time.Millisecond, 0)
+	// Constant 1 ms asymmetry: residual error must be asym/2 = 500 µs.
+	path := PathFunc(func() (time.Duration, time.Duration) {
+		return 1500 * time.Microsecond, 500 * time.Microsecond
+	})
+	NewDaemon(s, client, srv, path, 1).SyncOnce()
+	got := client.TrueOffset()
+	want := 500 * time.Microsecond
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("residual offset = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSubnetGPSAccuracy(t *testing.T) {
+	// Paper §4.3: GPS-based NTP server on the subnet keeps hosts within
+	// about 0.25 ms.
+	rnd := rand.New(rand.NewSource(42))
+	s := sim.NewScheduler(epoch)
+	srv := NewServer(New(s, 0, 0), 1)
+	client := New(s, 25*time.Millisecond, 30)
+	d := NewDaemon(s, client, srv, SubnetPath(rnd), 8)
+	d.Start(64 * time.Second)
+	var worst time.Duration
+	for i := 0; i < 60; i++ {
+		s.RunFor(64 * time.Second)
+		off := client.TrueOffset()
+		if off < 0 {
+			off = -off
+		}
+		if i > 2 && off > worst { // skip initial convergence
+			worst = off
+		}
+	}
+	if worst > 250*time.Microsecond {
+		t.Errorf("worst steady-state offset = %v, want ≤ 250µs", worst)
+	}
+	if worst == 0 {
+		t.Error("offset identically zero: jitter model not engaged")
+	}
+}
+
+func TestRoutedPathWorseThanSubnet(t *testing.T) {
+	rnd := rand.New(rand.NewSource(43))
+	meanAbs := func(path Path) time.Duration {
+		s := sim.NewScheduler(epoch)
+		srv := NewServer(New(s, 0, 0), 1)
+		client := New(s, 25*time.Millisecond, 30)
+		d := NewDaemon(s, client, srv, path, 8)
+		d.Start(64 * time.Second)
+		var sum time.Duration
+		n := 0
+		for i := 0; i < 50; i++ {
+			s.RunFor(64 * time.Second)
+			if i <= 2 {
+				continue
+			}
+			off := client.TrueOffset()
+			if off < 0 {
+				off = -off
+			}
+			sum += off
+			n++
+		}
+		return sum / time.Duration(n)
+	}
+	subnet := meanAbs(SubnetPath(rnd))
+	routed := meanAbs(RoutedPath(rnd, 4))
+	if routed <= subnet {
+		t.Errorf("routed mean |offset| %v not worse than subnet %v", routed, subnet)
+	}
+	if routed > 2*time.Millisecond {
+		t.Errorf("routed mean |offset| %v implausibly large", routed)
+	}
+}
+
+func TestDaemonStartStop(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	srv := NewServer(New(s, 0, 0), 1)
+	client := New(s, time.Second, 0)
+	path := PathFunc(func() (time.Duration, time.Duration) { return time.Millisecond, time.Millisecond })
+	d := NewDaemon(s, client, srv, path, 2)
+	if _, ok := d.Last(); ok {
+		t.Error("Last reported a measurement before any sync")
+	}
+	d.Start(10 * time.Second)
+	s.RunFor(25 * time.Second)
+	if m, ok := d.Last(); !ok || m.Delay <= 0 {
+		t.Errorf("Last = %+v, %v", m, ok)
+	}
+	d.Stop()
+	before := client.TrueOffset()
+	s.RunFor(time.Minute)
+	if client.TrueOffset() != before {
+		t.Error("clock adjusted after Stop")
+	}
+}

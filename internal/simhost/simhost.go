@@ -1,0 +1,323 @@
+// Package simhost models the end hosts JAMM monitors: CPU (user/system/
+// idle), memory, processes, and host-level TCP counters. Host sensors
+// (internal/sensor) read exactly the quantities the paper's sensors
+// parsed out of vmstat and netstat, and the process sensor subscribes to
+// the host's process-event feed.
+//
+// System CPU time is coupled to the network receive path: the fraction
+// of the NIC/driver service capacity in use (simnet's RecvLoad) shows up
+// as VMSTAT system time — which is how the paper's Figure 7 exposes the
+// receiving host as the §6 bottleneck.
+package simhost
+
+import (
+	"fmt"
+	"sort"
+
+	"jamm/internal/sim"
+	"jamm/internal/simclock"
+	"jamm/internal/simnet"
+)
+
+// Config sizes a simulated host.
+type Config struct {
+	CPUs       int     // processors; default 1
+	MemTotalKB uint64  // physical memory; default 512 MB
+	BaseMemKB  uint64  // kernel + daemons resident set; default 64 MB
+	NetSysCost float64 // system-CPU fraction at full receive load; default 0.85
+}
+
+// ProcState is a process's lifecycle state.
+type ProcState int
+
+// Process states.
+const (
+	ProcRunning ProcState = iota
+	ProcExited
+	ProcCrashed
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcRunning:
+		return "running"
+	case ProcExited:
+		return "exited"
+	case ProcCrashed:
+		return "crashed"
+	}
+	return "unknown"
+}
+
+// Process is one process on a simulated host.
+type Process struct {
+	PID   int
+	Name  string
+	State ProcState
+	host  *Host
+
+	cpuFrac float64 // demand on one CPU, 0..1
+	memKB   uint64
+}
+
+// ProcEventKind classifies process lifecycle events.
+type ProcEventKind int
+
+// Process event kinds — the paper's process sensors emit events "when
+// there is a change in process status (for example, when it starts,
+// dies normally, or dies abnormally)".
+const (
+	ProcStarted ProcEventKind = iota
+	ProcExitedNormally
+	ProcDied
+)
+
+func (k ProcEventKind) String() string {
+	switch k {
+	case ProcStarted:
+		return "started"
+	case ProcExitedNormally:
+		return "exited"
+	case ProcDied:
+		return "died"
+	}
+	return "unknown"
+}
+
+// ProcEvent is a process status change.
+type ProcEvent struct {
+	Kind ProcEventKind
+	PID  int
+	Name string
+}
+
+// Host is a simulated machine.
+type Host struct {
+	Name  string
+	Node  *simnet.Node    // network attachment (may be nil for isolated hosts)
+	Clock *simclock.Clock // the host's own (drifting) clock
+
+	sched *sim.Scheduler
+	cfg   Config
+
+	procs    map[int]*Process
+	nextPID  int
+	procSubs []func(ProcEvent)
+
+	users      int     // logged-in users, for dynamic-threshold sensors
+	diskReadKB float64 // cumulative, charged by storage servers (iostat)
+}
+
+// New creates a host. node and clock may be shared with other layers;
+// clock may be nil, in which case a perfect clock is used.
+func New(sched *sim.Scheduler, name string, node *simnet.Node, clock *simclock.Clock, cfg Config) *Host {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.MemTotalKB == 0 {
+		cfg.MemTotalKB = 512 * 1024
+	}
+	if cfg.BaseMemKB == 0 {
+		cfg.BaseMemKB = 64 * 1024
+	}
+	if cfg.NetSysCost == 0 {
+		cfg.NetSysCost = 0.85
+	}
+	if clock == nil {
+		clock = simclock.New(sched, 0, 0)
+	}
+	return &Host{
+		Name:    name,
+		Node:    node,
+		Clock:   clock,
+		sched:   sched,
+		cfg:     cfg,
+		procs:   make(map[int]*Process),
+		nextPID: 100,
+	}
+}
+
+// Scheduler returns the simulation scheduler.
+func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
+
+// Spawn starts a process consuming cpuFrac of one CPU and memKB of
+// memory.
+func (h *Host) Spawn(name string, cpuFrac float64, memKB uint64) *Process {
+	h.nextPID++
+	p := &Process{PID: h.nextPID, Name: name, State: ProcRunning, host: h, cpuFrac: cpuFrac, memKB: memKB}
+	h.procs[p.PID] = p
+	h.emit(ProcEvent{Kind: ProcStarted, PID: p.PID, Name: name})
+	return p
+}
+
+// Exit terminates the process normally.
+func (p *Process) Exit() { p.finish(ProcExited, ProcExitedNormally) }
+
+// Crash terminates the process abnormally.
+func (p *Process) Crash() { p.finish(ProcCrashed, ProcDied) }
+
+func (p *Process) finish(st ProcState, kind ProcEventKind) {
+	if p.State != ProcRunning {
+		return
+	}
+	p.State = st
+	delete(p.host.procs, p.PID)
+	p.host.emit(ProcEvent{Kind: kind, PID: p.PID, Name: p.Name})
+}
+
+// SetCPUFrac adjusts the process's CPU demand; workload generators use
+// this to shape load over time.
+func (p *Process) SetCPUFrac(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	p.cpuFrac = f
+}
+
+// CPUFrac returns the process's current CPU demand.
+func (p *Process) CPUFrac() float64 { return p.cpuFrac }
+
+// SetMemKB adjusts the process's resident set size.
+func (p *Process) SetMemKB(kb uint64) { p.memKB = kb }
+
+// Process returns the process with the given pid, or nil.
+func (h *Host) Process(pid int) *Process { return h.procs[pid] }
+
+// ProcessByName returns the first running process with the given name
+// (lowest PID), or nil.
+func (h *Host) ProcessByName(name string) *Process {
+	pids := make([]int, 0, len(h.procs))
+	for pid := range h.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if h.procs[pid].Name == name {
+			return h.procs[pid]
+		}
+	}
+	return nil
+}
+
+// Processes returns running processes sorted by PID.
+func (h *Host) Processes() []*Process {
+	out := make([]*Process, 0, len(h.procs))
+	for _, p := range h.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// OnProcessEvent registers a callback for process lifecycle events.
+func (h *Host) OnProcessEvent(fn func(ProcEvent)) {
+	h.procSubs = append(h.procSubs, fn)
+}
+
+func (h *Host) emit(ev ProcEvent) {
+	for _, fn := range h.procSubs {
+		fn(ev)
+	}
+}
+
+// SetUsers records the number of logged-in users (a quantity the paper
+// uses as a dynamic-threshold sensor example).
+func (h *Host) SetUsers(n int) { h.users = n }
+
+// Users returns the number of logged-in users.
+func (h *Host) Users() int { return h.users }
+
+// ChargeDiskRead books kb kilobytes of disk reads (DPSS servers use
+// this; iostat-style sensors read the cumulative counter).
+func (h *Host) ChargeDiskRead(kb float64) { h.diskReadKB += kb }
+
+// VMStat is one vmstat-style sample.
+type VMStat struct {
+	UserPct   float64
+	SysPct    float64
+	IdlePct   float64
+	FreeMemKB uint64
+}
+
+// VMStat samples CPU and memory state. System time reflects network
+// receive load; user time reflects process demand.
+func (h *Host) VMStat() VMStat {
+	var user float64
+	var usedKB = h.cfg.BaseMemKB
+	// Iterate in PID order: float addition is not associative, and map
+	// order would make same-seed runs differ in the last ulp.
+	for _, p := range h.Processes() {
+		user += p.cpuFrac
+		usedKB += p.memKB
+	}
+	var sys float64
+	if h.Node != nil {
+		load := h.Node.RecvLoad()
+		if load > 1 {
+			load = 1
+		}
+		sys = load * h.cfg.NetSysCost
+	}
+	cpus := float64(h.cfg.CPUs)
+	user = user / cpus * 100
+	sys = sys / cpus * 100
+	if user+sys > 100 {
+		// System time (interrupts) preempts user work.
+		user = 100 - sys
+		if user < 0 {
+			user = 0
+		}
+	}
+	idle := 100 - user - sys
+	if usedKB > h.cfg.MemTotalKB {
+		usedKB = h.cfg.MemTotalKB
+	}
+	return VMStat{
+		UserPct:   user,
+		SysPct:    sys,
+		IdlePct:   idle,
+		FreeMemKB: h.cfg.MemTotalKB - usedKB,
+	}
+}
+
+// NetStat is one netstat-style sample of host TCP counters.
+type NetStat struct {
+	Retransmits uint64 // total TCP segments retransmitted
+	Timeouts    uint64 // total retransmission timeouts
+	Flows       int    // established connections
+	InBytes     uint64
+	OutBytes    uint64
+}
+
+// NetStat aggregates the TCP counters of every flow touching this host.
+func (h *Host) NetStat(net *simnet.Network) NetStat {
+	var ns NetStat
+	if h.Node == nil {
+		return ns
+	}
+	for _, f := range net.NodeFlows(h.Node) {
+		st := f.Stats()
+		ns.Flows++
+		if st.Dst == h.Node.Name {
+			ns.Retransmits += st.Retransmits
+			ns.Timeouts += st.Timeouts
+			ns.InBytes += st.Delivered
+		} else {
+			ns.Retransmits += st.Retransmits
+			ns.Timeouts += st.Timeouts
+			ns.OutBytes += st.Delivered
+		}
+	}
+	return ns
+}
+
+// IOStat is one iostat-style sample.
+type IOStat struct {
+	ReadKB float64 // cumulative kilobytes read from disk
+}
+
+// IOStat samples disk counters.
+func (h *Host) IOStat() IOStat { return IOStat{ReadKB: h.diskReadKB} }
+
+// String identifies the host.
+func (h *Host) String() string { return fmt.Sprintf("host(%s)", h.Name) }

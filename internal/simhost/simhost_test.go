@@ -1,0 +1,264 @@
+package simhost
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simnet"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func newHost(t *testing.T) (*sim.Scheduler, *Host) {
+	t.Helper()
+	s := sim.NewScheduler(epoch)
+	return s, New(s, "dpss1.lbl.gov", nil, nil, Config{})
+}
+
+func TestIdleHostVMStat(t *testing.T) {
+	_, h := newHost(t)
+	vs := h.VMStat()
+	if vs.UserPct != 0 || vs.SysPct != 0 || vs.IdlePct != 100 {
+		t.Errorf("idle VMStat = %+v", vs)
+	}
+	if vs.FreeMemKB != 512*1024-64*1024 {
+		t.Errorf("FreeMemKB = %d", vs.FreeMemKB)
+	}
+}
+
+func TestProcessCPUAndMemoryAccounting(t *testing.T) {
+	_, h := newHost(t)
+	p := h.Spawn("dpssServer", 0.30, 100*1024)
+	vs := h.VMStat()
+	if vs.UserPct != 30 {
+		t.Errorf("UserPct = %v", vs.UserPct)
+	}
+	if vs.FreeMemKB != 512*1024-64*1024-100*1024 {
+		t.Errorf("FreeMemKB = %d", vs.FreeMemKB)
+	}
+	p.SetCPUFrac(0.5)
+	if got := h.VMStat().UserPct; got != 50 {
+		t.Errorf("UserPct after SetCPUFrac = %v", got)
+	}
+	p.Exit()
+	if got := h.VMStat().UserPct; got != 0 {
+		t.Errorf("UserPct after exit = %v", got)
+	}
+}
+
+func TestMultiCPUScaling(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	h := New(s, "cluster1", nil, nil, Config{CPUs: 4})
+	h.Spawn("compute", 1.0, 1024)
+	if got := h.VMStat().UserPct; got != 25 {
+		t.Errorf("UserPct on 4 CPUs = %v, want 25", got)
+	}
+}
+
+func TestCPUClampsAt100(t *testing.T) {
+	_, h := newHost(t)
+	h.Spawn("a", 0.9, 0)
+	h.Spawn("b", 0.9, 0)
+	vs := h.VMStat()
+	if vs.UserPct+vs.SysPct > 100.0001 || vs.IdlePct < 0 {
+		t.Errorf("overcommitted VMStat = %+v", vs)
+	}
+}
+
+func TestMemoryClamp(t *testing.T) {
+	_, h := newHost(t)
+	h.Spawn("hog", 0.1, 10*1024*1024)
+	if got := h.VMStat().FreeMemKB; got != 0 {
+		t.Errorf("FreeMemKB = %d, want 0", got)
+	}
+}
+
+func TestProcessEvents(t *testing.T) {
+	_, h := newHost(t)
+	var events []ProcEvent
+	h.OnProcessEvent(func(ev ProcEvent) { events = append(events, ev) })
+	p1 := h.Spawn("serverA", 0.1, 0)
+	p2 := h.Spawn("serverB", 0.1, 0)
+	p1.Exit()
+	p2.Crash()
+	p2.Crash() // no-op on already-dead process
+	want := []struct {
+		kind ProcEventKind
+		name string
+	}{
+		{ProcStarted, "serverA"},
+		{ProcStarted, "serverB"},
+		{ProcExitedNormally, "serverA"},
+		{ProcDied, "serverB"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, w := range want {
+		if events[i].Kind != w.kind || events[i].Name != w.name {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], w)
+		}
+	}
+}
+
+func TestProcessLookup(t *testing.T) {
+	_, h := newHost(t)
+	p1 := h.Spawn("x", 0, 0)
+	p2 := h.Spawn("x", 0, 0)
+	if got := h.ProcessByName("x"); got != p1 {
+		t.Errorf("ProcessByName returned pid %d, want lowest pid %d", got.PID, p1.PID)
+	}
+	if h.Process(p2.PID) != p2 {
+		t.Error("Process(pid) lookup failed")
+	}
+	p1.Exit()
+	if got := h.ProcessByName("x"); got != p2 {
+		t.Error("ProcessByName after exit did not find survivor")
+	}
+	if h.ProcessByName("nope") != nil {
+		t.Error("ProcessByName(nope) non-nil")
+	}
+	if got := len(h.Processes()); got != 1 {
+		t.Errorf("Processes() len = %d", got)
+	}
+}
+
+func TestSysTimeFollowsNetworkLoad(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	n := simnet.New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	recvNode := n.AddHost("recv", simnet.HostConfig{RecvCapacityBps: 100e6})
+	srcNode := n.AddHost("src", simnet.HostConfig{})
+	n.Connect(recvNode, srcNode, simnet.RateGigE, 100*time.Microsecond)
+	h := New(s, "recv", recvNode, nil, Config{})
+
+	if got := h.VMStat().SysPct; got != 0 {
+		t.Errorf("SysPct with no traffic = %v", got)
+	}
+	f, err := n.OpenFlow(srcNode, 7000, recvNode, 14000, simnet.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetUnlimited(true)
+	var peak float64
+	for i := 0; i < 50; i++ {
+		s.RunFor(100 * time.Millisecond)
+		if got := h.VMStat().SysPct; got > peak {
+			peak = got
+		}
+	}
+	if peak < 40 {
+		t.Errorf("peak SysPct under saturating receive load = %v, want high", peak)
+	}
+	f.Close()
+	s.RunFor(time.Second)
+	if got := h.VMStat().SysPct; got != 0 {
+		t.Errorf("SysPct after close = %v", got)
+	}
+}
+
+func TestNetStatAggregatesFlows(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	n := simnet.New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	a := n.AddHost("a", simnet.HostConfig{})
+	b := n.AddHost("b", simnet.HostConfig{})
+	n.Connect(a, b, simnet.RateGigE, 100*time.Microsecond)
+	ha := New(s, "a", a, nil, Config{})
+	hb := New(s, "b", b, nil, Config{})
+	f, _ := n.OpenFlow(a, 7000, b, 14000, simnet.FlowConfig{})
+	f.Send(5e6, nil)
+	s.RunFor(5 * time.Second)
+	nsa := ha.NetStat(n)
+	nsb := hb.NetStat(n)
+	if nsa.Flows != 1 || nsb.Flows != 1 {
+		t.Errorf("flow counts: a=%d b=%d", nsa.Flows, nsb.Flows)
+	}
+	if nsa.OutBytes < 5e6-1 {
+		t.Errorf("a OutBytes = %d", nsa.OutBytes)
+	}
+	if nsb.InBytes < 5e6-1 {
+		t.Errorf("b InBytes = %d", nsb.InBytes)
+	}
+}
+
+func TestIOStatAndUsers(t *testing.T) {
+	_, h := newHost(t)
+	h.ChargeDiskRead(1500)
+	h.ChargeDiskRead(500)
+	if got := h.IOStat().ReadKB; got != 2000 {
+		t.Errorf("ReadKB = %v", got)
+	}
+	h.SetUsers(12)
+	if h.Users() != 12 {
+		t.Error("Users not recorded")
+	}
+}
+
+func TestSineWorkload(t *testing.T) {
+	s, h := newHost(t)
+	p := h.Spawn("oscillator", 0, 0)
+	w := SineWorkload(h, p, 0.2, 0.8, time.Minute, time.Second)
+	var lo, hi float64 = 2, -1
+	for i := 0; i < 120; i++ {
+		s.RunFor(time.Second)
+		f := p.CPUFrac()
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > 0.25 || hi < 0.75 {
+		t.Errorf("sine range [%v, %v], want ≈[0.2, 0.8]", lo, hi)
+	}
+	w.Stop()
+	before := p.CPUFrac()
+	s.RunFor(30 * time.Second)
+	if p.CPUFrac() != before {
+		t.Error("workload still driving after Stop")
+	}
+}
+
+func TestBurstyWorkloadAlternates(t *testing.T) {
+	s, h := newHost(t)
+	p := h.Spawn("bursty", 0, 0)
+	rnd := rand.New(rand.NewSource(9))
+	w := BurstyWorkload(h, p, rnd, 0.9, 5*time.Second, 2*time.Second)
+	busy, idle := 0, 0
+	for i := 0; i < 300; i++ {
+		s.RunFor(200 * time.Millisecond)
+		if p.CPUFrac() > 0.5 {
+			busy++
+		} else {
+			idle++
+		}
+	}
+	if busy == 0 || idle == 0 {
+		t.Errorf("bursty workload never alternated: busy=%d idle=%d", busy, idle)
+	}
+	w.Stop()
+}
+
+func TestRandomWalkWorkloadBounded(t *testing.T) {
+	s, h := newHost(t)
+	p := h.Spawn("walker", 0.5, 0)
+	rnd := rand.New(rand.NewSource(10))
+	w := RandomWalkWorkload(h, p, rnd, 0.1, 0.9, 0.2, time.Second)
+	defer w.Stop()
+	for i := 0; i < 200; i++ {
+		s.RunFor(time.Second)
+		if f := p.CPUFrac(); f < 0.1 || f > 0.9 {
+			t.Fatalf("walk escaped bounds: %v", f)
+		}
+	}
+}
+
+func TestHostClockDefaultsPerfect(t *testing.T) {
+	s, h := newHost(t)
+	s.RunFor(time.Hour)
+	if !h.Clock.Now().Equal(epoch.Add(time.Hour)) {
+		t.Error("default clock is not perfect")
+	}
+}

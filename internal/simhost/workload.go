@@ -1,0 +1,84 @@
+package simhost
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Workload drives a process's CPU demand over time, giving the host
+// sensors realistic loadlines to report. Stop cancels it.
+type Workload struct {
+	stop func()
+}
+
+// Stop halts the workload; the process keeps its last demand.
+func (w *Workload) Stop() {
+	if w.stop != nil {
+		w.stop()
+		w.stop = nil
+	}
+}
+
+// SineWorkload modulates p's CPU demand sinusoidally between lo and hi
+// with the given period, sampled every step.
+func SineWorkload(h *Host, p *Process, lo, hi float64, period, step time.Duration) *Workload {
+	start := h.sched.Now()
+	tk := h.sched.Every(step, func() {
+		phase := float64(h.sched.Now()-start) / float64(period) * 2 * math.Pi
+		p.SetCPUFrac(lo + (hi-lo)*(0.5+0.5*math.Sin(phase)))
+	})
+	return &Workload{stop: tk.Stop}
+}
+
+// BurstyWorkload alternates p between idle and busy CPU demand with
+// exponentially distributed dwell times (mean meanIdle / meanBusy) —
+// the bursty Grid application profile the port monitor exists for.
+func BurstyWorkload(h *Host, p *Process, rnd *rand.Rand, busyFrac float64, meanIdle, meanBusy time.Duration) *Workload {
+	w := &Workload{}
+	stopped := false
+	w.stop = func() { stopped = true }
+	var idlePhase, busyPhase func()
+	idlePhase = func() {
+		if stopped {
+			return
+		}
+		p.SetCPUFrac(0.02)
+		h.sched.After(expDur(rnd, meanIdle), busyPhase)
+	}
+	busyPhase = func() {
+		if stopped {
+			return
+		}
+		p.SetCPUFrac(busyFrac)
+		h.sched.After(expDur(rnd, meanBusy), idlePhase)
+	}
+	idlePhase()
+	return w
+}
+
+// RandomWalkWorkload random-walks p's CPU demand within [lo, hi].
+func RandomWalkWorkload(h *Host, p *Process, rnd *rand.Rand, lo, hi, maxStep float64, step time.Duration) *Workload {
+	tk := h.sched.Every(step, func() {
+		v := p.CPUFrac() + (rnd.Float64()*2-1)*maxStep
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		p.SetCPUFrac(v)
+	})
+	return &Workload{stop: tk.Stop}
+}
+
+func expDur(rnd *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rnd.ExpFloat64() * float64(mean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 10*mean {
+		d = 10 * mean
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Datagram is one UDP-style message between nodes; SNMP queries and NTP
+// polls travel as datagrams.
+type Datagram struct {
+	From     *Node
+	FromPort int
+	To       *Node
+	ToPort   int
+	Payload  []byte
+}
+
+// DatagramHandler consumes a datagram delivered to a bound port. The
+// reply function sends a datagram back to the sender from the bound
+// port; it may be called at most once and may be ignored.
+type DatagramHandler func(dg Datagram, reply func(payload []byte))
+
+// BindUDP registers a handler for datagrams addressed to port on the
+// node. It returns an error if the port is taken.
+func (nd *Node) BindUDP(port int, h DatagramHandler) error {
+	if _, taken := nd.udp[port]; taken {
+		return fmt.Errorf("simnet: %s UDP port %d already bound", nd.Name, port)
+	}
+	nd.udp[port] = h
+	return nil
+}
+
+// UnbindUDP releases a bound port.
+func (nd *Node) UnbindUDP(port int) { delete(nd.udp, port) }
+
+// SendDatagram delivers a datagram after the path's propagation plus
+// serialization delay. onDropped (may be nil) fires if there is no
+// route or no listener. Payload sizes are small (SNMP PDUs), so link
+// contention is ignored; counters are still charged.
+func (n *Network) SendDatagram(dg Datagram, onDropped func(reason string)) {
+	hops, err := n.path(dg.From, dg.To)
+	if err != nil {
+		if onDropped != nil {
+			onDropped(err.Error())
+		}
+		return
+	}
+	var delay time.Duration
+	size := float64(len(dg.Payload) + 28) // IP+UDP header overhead
+	for _, h := range hops {
+		delay += h.Link.Delay
+		delay += time.Duration(size * 8 / h.Link.Bandwidth * float64(time.Second))
+	}
+	for _, h := range hops {
+		h.OutOctets += uint64(size)
+		h.OutPackets++
+		h.peer.InOctets += uint64(size)
+		h.peer.InPackets++
+	}
+	// Port activity is visible to the port monitor for UDP too.
+	sp := dg.From.port(dg.FromPort)
+	sp.BytesOut += size
+	sp.LastActive = n.sched.Now()
+
+	n.sched.After(delay, func() {
+		dp := dg.To.port(dg.ToPort)
+		dp.BytesIn += size
+		dp.LastActive = n.sched.Now()
+		h, ok := dg.To.udp[dg.ToPort]
+		if !ok {
+			if onDropped != nil {
+				onDropped("port unreachable")
+			}
+			return
+		}
+		replied := false
+		h(dg, func(payload []byte) {
+			if replied {
+				return
+			}
+			replied = true
+			n.SendDatagram(Datagram{
+				From: dg.To, FromPort: dg.ToPort,
+				To: dg.From, ToPort: dg.FromPort,
+				Payload: payload,
+			}, onDropped)
+		})
+	})
+}

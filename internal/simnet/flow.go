@@ -1,0 +1,585 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FlowState is the congestion-control state of a flow.
+type FlowState int
+
+// Flow states.
+const (
+	SlowStart FlowState = iota
+	CongestionAvoidance
+	RTOWait // stalled waiting for a retransmission timeout
+	Closed
+)
+
+func (s FlowState) String() string {
+	switch s {
+	case SlowStart:
+		return "slow-start"
+	case CongestionAvoidance:
+		return "congestion-avoidance"
+	case RTOWait:
+		return "rto-wait"
+	case Closed:
+		return "closed"
+	}
+	return "unknown"
+}
+
+// FlowConfig tunes one TCP connection.
+type FlowConfig struct {
+	MSS    float64 // bytes; default 1460
+	Rwnd   float64 // receiver window, bytes; default 1.25 MB
+	MinRTO time.Duration
+	// AppRateBps caps the sending application's data rate (0 = as fast
+	// as TCP allows).
+	AppRateBps float64
+}
+
+// Flow is one TCP connection modelled at flow level: the engine steps
+// cwnd per tick using slow start, congestion avoidance, fast retransmit
+// and retransmission timeouts. Losses come from link saturation and
+// from the receiving host's packet-processing capacity.
+//
+// Two regimes matter for fidelity. When the path RTT is much shorter
+// than the engine tick (LAN), many AIMD rounds fit inside one tick, so
+// on loss the window is set directly to the bandwidth-delay product that
+// fits — the within-tick equilibrium. When the RTT spans several ticks
+// (WAN), congestion events are reacted to once per RTT, and repeated
+// heavy loss events escalate to a retransmission timeout, which with the
+// RFC 2988 1-second minimum RTO is what collapses multi-stream wide-area
+// transfers in §6 of the paper.
+type Flow struct {
+	net      *Network
+	src, dst *Node
+	srcPort  int
+	dstPort  int
+	hops     []*Interface
+
+	cfg      FlowConfig
+	state    FlowState
+	cwnd     float64 // bytes
+	ssthresh float64
+	baseRTT  time.Duration
+	lineRate float64 // bytes/s: slowest link on the path
+	rtoUntil time.Duration
+
+	lastCutAt  time.Duration // last congestion reaction
+	lastLossAt time.Duration
+	lossStreak int // consecutive heavy-loss congestion events
+
+	// Application send queue: remaining bytes of queued transfers.
+	sendQueue []transfer
+	unlimited bool
+
+	// Counters (monotonic, exposed to TCP sensors).
+	retransmits  uint64
+	timeouts     uint64
+	delivered    float64 // bytes acked end to end
+	lastTickRate float64
+}
+
+type transfer struct {
+	remaining  float64
+	onComplete func()
+}
+
+// FlowStats is a snapshot of the counters a TCP sensor reads.
+type FlowStats struct {
+	State       FlowState
+	Cwnd        float64 // bytes
+	Rwnd        float64
+	RTT         time.Duration
+	Retransmits uint64
+	Timeouts    uint64
+	Delivered   uint64  // bytes
+	RateBps     float64 // goodput over the last tick
+	SrcPort     int
+	DstPort     int
+	Src         string
+	Dst         string
+}
+
+// OpenFlow opens a TCP connection from src:srcPort to dst:dstPort. The
+// route is fixed at open time, like a real connection's path.
+func (n *Network) OpenFlow(src *Node, srcPort int, dst *Node, dstPort int, cfg FlowConfig) (*Flow, error) {
+	if src.Kind != Host || dst.Kind != Host {
+		return nil, fmt.Errorf("simnet: flows connect hosts, not %s/%s", src.Kind, dst.Kind)
+	}
+	hops, err := n.path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = DefaultMSS
+	}
+	if cfg.Rwnd <= 0 {
+		cfg.Rwnd = DefaultRwnd
+	}
+	if cfg.MinRTO <= 0 {
+		// RFC 2988 (2000) recommended a 1 s minimum RTO; period-correct
+		// and central to the §6 multi-stream collapse.
+		cfg.MinRTO = time.Second
+	}
+	var rtt time.Duration
+	line := math.Inf(1)
+	for _, h := range hops {
+		rtt += h.Link.Delay
+		if bw := h.Link.Bandwidth / 8; bw < line {
+			line = bw
+		}
+	}
+	rtt *= 2
+	if rtt < time.Millisecond {
+		rtt = time.Millisecond // floor: host stacks cannot turn around faster
+	}
+	f := &Flow{
+		net:       n,
+		src:       src,
+		dst:       dst,
+		srcPort:   srcPort,
+		dstPort:   dstPort,
+		hops:      hops,
+		cfg:       cfg,
+		state:     SlowStart,
+		cwnd:      2 * cfg.MSS,
+		ssthresh:  math.Inf(1),
+		baseRTT:   rtt,
+		lineRate:  line,
+		lastCutAt: -time.Hour,
+	}
+	n.flows = append(n.flows, f)
+	dst.flowCount++
+	n.start()
+	return f, nil
+}
+
+// Send queues size bytes on the flow; onComplete (may be nil) fires when
+// the last byte is acknowledged.
+func (f *Flow) Send(size float64, onComplete func()) {
+	if f.state == Closed {
+		return
+	}
+	f.sendQueue = append(f.sendQueue, transfer{remaining: size, onComplete: onComplete})
+	f.net.start() // the engine may have idled while no flow had data
+}
+
+// SetUnlimited makes the flow send continuously (iperf mode).
+func (f *Flow) SetUnlimited(on bool) {
+	f.unlimited = on
+	if on {
+		f.net.start()
+	}
+}
+
+// Close terminates the flow.
+func (f *Flow) Close() {
+	if f.state == Closed {
+		return
+	}
+	f.state = Closed
+	f.dst.flowCount--
+}
+
+// Stats returns a snapshot of the flow counters.
+func (f *Flow) Stats() FlowStats {
+	return FlowStats{
+		State:       f.state,
+		Cwnd:        f.cwnd,
+		Rwnd:        f.cfg.Rwnd,
+		RTT:         f.baseRTT,
+		Retransmits: f.retransmits,
+		Timeouts:    f.timeouts,
+		Delivered:   uint64(f.delivered + 0.5),
+		RateBps:     f.lastTickRate,
+		SrcPort:     f.srcPort,
+		DstPort:     f.dstPort,
+		Src:         f.src.Name,
+		Dst:         f.dst.Name,
+	}
+}
+
+// NodeFlows returns the open flows originating or terminating at node;
+// netstat-style host sensors aggregate their counters.
+func (n *Network) NodeFlows(node *Node) []*Flow {
+	var out []*Flow
+	for _, f := range n.flows {
+		if f.state != Closed && (f.src == node || f.dst == node) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Pending returns the bytes still queued for sending.
+func (f *Flow) Pending() float64 {
+	var total float64
+	for _, tr := range f.sendQueue {
+		total += tr.remaining
+	}
+	return total
+}
+
+// rto returns the flow's retransmission timeout.
+func (f *Flow) rto() time.Duration {
+	rto := 2 * f.baseRTT
+	if rto < f.cfg.MinRTO {
+		rto = f.cfg.MinRTO
+	}
+	return rto
+}
+
+// wantsToSend reports whether the flow has data to move this tick.
+func (f *Flow) wantsToSend(now time.Duration) bool {
+	if f.state == Closed {
+		return false
+	}
+	if f.state == RTOWait && now < f.rtoUntil {
+		return false
+	}
+	return f.unlimited || len(f.sendQueue) > 0
+}
+
+// window returns the effective send window in bytes.
+func (f *Flow) window() float64 { return math.Min(f.cwnd, f.cfg.Rwnd) }
+
+// offeredRate returns the rate (bytes/s) the flow would send this tick,
+// before link and receiver contention: window-limited, serialized at the
+// slowest link on the path, and optionally application-limited.
+func (f *Flow) offeredRate() float64 {
+	rate := math.Min(f.window()/f.baseRTT.Seconds(), f.lineRate)
+	if f.cfg.AppRateBps > 0 {
+		rate = math.Min(rate, f.cfg.AppRateBps/8)
+	}
+	return rate
+}
+
+// heavyLossFrac is the per-tick loss fraction above which a congestion
+// event is counted toward timeout escalation on long-RTT paths. Two
+// heavy events in a row mean dup-ACK recovery failed and the flow must
+// wait out an RTO.
+const heavyLossFrac = 0.15
+
+// step advances the whole TCP engine by one tick.
+func (n *Network) step() {
+	now := n.sched.Now()
+	dt := n.tick.Seconds()
+
+	type flowWork struct {
+		f       *Flow
+		offered float64 // bytes/s
+		scale   float64
+	}
+	var work []flowWork
+	recvDemand := make(map[*Node]float64) // bytes/s arriving per host
+	recvSockets := make(map[*Node]int)    // active receiving sockets
+	recvMaxWin := make(map[*Node]float64) // largest arriving window
+	for _, l := range n.links {
+		l.offeredAB, l.offeredBA = 0, 0
+	}
+
+	for _, f := range n.flows {
+		if f.state == RTOWait && now >= f.rtoUntil {
+			// Timeout expired: retransmit from a window of one segment.
+			f.state = SlowStart
+			f.cwnd = f.cfg.MSS
+		}
+		if !f.wantsToSend(now) {
+			f.lastTickRate = 0
+			continue
+		}
+		offered := f.offeredRate()
+		if !f.unlimited {
+			// Cap by remaining data this tick.
+			if maxRate := f.Pending() / dt; offered > maxRate {
+				offered = maxRate
+			}
+		}
+		if offered <= 0 {
+			f.lastTickRate = 0
+			continue
+		}
+		work = append(work, flowWork{f: f, offered: offered, scale: 1})
+		for _, h := range f.hops {
+			if h.Link.A == h {
+				h.Link.offeredAB += offered
+			} else {
+				h.Link.offeredBA += offered
+			}
+		}
+		recvDemand[f.dst] += offered
+		recvSockets[f.dst]++
+		if w := f.window(); w > recvMaxWin[f.dst] {
+			recvMaxWin[f.dst] = w
+		}
+	}
+	if len(work) == 0 {
+		n.idleRecoverAll(nil)
+		n.maybeStop()
+		return
+	}
+
+	// Link contention: scale each flow by the most-congested link on its
+	// path (proportional max-min approximation).
+	for i := range work {
+		f := work[i].f
+		for _, h := range f.hops {
+			var offered float64
+			if h.Link.A == h {
+				offered = h.Link.offeredAB
+			} else {
+				offered = h.Link.offeredBA
+			}
+			capBytes := h.Link.Bandwidth / 8
+			if offered > capBytes {
+				if s := capBytes / offered; s < work[i].scale {
+					work[i].scale = s
+				}
+			}
+		}
+	}
+
+	// Receiver packet-processing contention: the host's NIC/driver/IP
+	// stack services a bounded byte rate, and that capacity collapses
+	// when several sockets receive ring-overflowing line-rate window
+	// bursts concurrently (the paper's gigabit NIC + driver effect,
+	// §6). Overload sheds a fraction of every arriving flow's packets.
+	lossFrac := make(map[*Node]float64)
+	for host, demand := range recvDemand {
+		capacity := host.serviceTick(recvSockets[host], recvMaxWin[host], demand)
+		if capacity <= 0 {
+			host.recvLoad = 0
+			continue
+		}
+		host.recvLoad = demand / capacity
+		if demand > capacity {
+			lossFrac[host] = (demand - capacity) / demand
+		}
+	}
+	n.idleRecoverAll(recvDemand)
+
+	for i := range work {
+		w := work[i]
+		f := w.f
+		rate := w.offered * w.scale
+		loss := lossFrac[f.dst]
+		deliveredBytes := rate * dt * (1 - loss)
+		lostBytes := rate * dt * loss
+
+		f.accountDelivery(deliveredBytes)
+		n.chargePath(f, deliveredBytes+lostBytes)
+
+		lostPkts := int(math.Ceil(lostBytes / f.cfg.MSS))
+		if lostPkts == 0 {
+			f.grow(deliveredBytes)
+			if now-f.lastLossAt > 2*f.baseRTT {
+				f.lossStreak = 0
+			}
+			continue
+		}
+		f.retransmits += uint64(lostPkts)
+		f.lastLossAt = now
+		f.react(now, loss, deliveredBytes, dt)
+	}
+	n.maybeStop()
+}
+
+// react applies the congestion response for a tick that lost packets.
+func (f *Flow) react(now time.Duration, lossFrac, deliveredBytes float64, dt float64) {
+	if 2*f.baseRTT <= f.net.tick {
+		// Short-RTT path: many AIMD rounds fit in one tick, so jump to
+		// the within-tick equilibrium — the window that matches the
+		// service rate actually achieved.
+		fit := deliveredBytes / dt * f.baseRTT.Seconds()
+		f.cwnd = math.Max(fit, 2*f.cfg.MSS)
+		f.ssthresh = f.cwnd
+		f.state = CongestionAvoidance
+		f.lastCutAt = now
+		return
+	}
+	if now-f.lastCutAt < f.baseRTT {
+		// Same congestion event as the last reaction; NewReno reacts at
+		// most once per RTT.
+		return
+	}
+	f.lastCutAt = now
+	if lossFrac > heavyLossFrac {
+		f.lossStreak++
+	} else {
+		f.lossStreak = 0
+	}
+	if f.lossStreak >= 2 {
+		// Back-to-back heavy loss: dup-ACK recovery has failed, stall
+		// for a retransmission timeout.
+		f.timeouts++
+		f.lossStreak = 0
+		f.ssthresh = math.Max(f.cwnd/2, 2*f.cfg.MSS)
+		f.cwnd = f.cfg.MSS
+		f.state = RTOWait
+		f.rtoUntil = now + f.rto()
+		return
+	}
+	// Fast retransmit: multiplicative decrease.
+	f.ssthresh = math.Max(f.cwnd/2, 2*f.cfg.MSS)
+	f.cwnd = f.ssthresh
+	f.state = CongestionAvoidance
+}
+
+// serviceTick returns the host's inbound service capacity in bytes/s
+// for this tick and updates the interrupt-livelock hysteresis. With n
+// concurrently receiving sockets, a window burst longer than the
+// receive ring trips the host into the degraded state; it recovers only
+// after several consecutive underloaded ticks. Short-window ACK-paced
+// traffic (LAN) never trips it, and a single socket — however large its
+// window — is serviced at full rate, matching the paper's single-stream
+// measurements.
+func (nd *Node) serviceTick(n int, maxWin, demand float64) float64 {
+	base := nd.cfg.RecvCapacityBps / 8
+	if base <= 0 {
+		return 0
+	}
+	ring := nd.cfg.RingBytes
+	if ring <= 0 {
+		ring = DefaultRingBytes
+	}
+	if n > 1 && nd.cfg.PerSocketOverhead > 0 && maxWin > ring {
+		nd.degraded = true
+		nd.cleanTicks = 0
+	}
+	if !nd.degraded {
+		return base
+	}
+	capacity := base / (1 + nd.cfg.PerSocketOverhead*float64(n-1))
+	if demand <= capacity {
+		nd.cleanTicks++
+		if nd.cleanTicks >= recoverCleanTicks {
+			nd.degraded = false
+			nd.cleanTicks = 0
+			return base
+		}
+	} else {
+		nd.cleanTicks = 0
+	}
+	return capacity
+}
+
+// idleRecoverAll advances livelock recovery for degraded hosts that saw
+// no arrivals this tick (busy is the set of hosts that did).
+func (n *Network) idleRecoverAll(busy map[*Node]float64) {
+	for _, nd := range n.nodes {
+		if !nd.degraded {
+			continue
+		}
+		if _, seen := busy[nd]; seen {
+			continue
+		}
+		nd.recvLoad = 0
+		nd.cleanTicks++
+		if nd.cleanTicks >= recoverCleanTicks {
+			nd.degraded = false
+			nd.cleanTicks = 0
+		}
+	}
+}
+
+// accountDelivery books goodput into the flow, the send queue, and the
+// endpoint port counters.
+func (f *Flow) accountDelivery(bytes float64) {
+	if bytes <= 0 {
+		f.lastTickRate = 0
+		return
+	}
+	f.lastTickRate = bytes / f.net.tick.Seconds() * 8
+	f.delivered += bytes
+
+	now := f.net.sched.Now()
+	sp := f.src.port(f.srcPort)
+	sp.BytesOut += bytes
+	sp.LastActive = now
+	dp := f.dst.port(f.dstPort)
+	dp.BytesIn += bytes
+	dp.LastActive = now
+
+	remaining := bytes
+	for remaining > 0 && len(f.sendQueue) > 0 {
+		tr := &f.sendQueue[0]
+		if tr.remaining > remaining {
+			tr.remaining -= remaining
+			break
+		}
+		remaining -= tr.remaining
+		done := f.sendQueue[0].onComplete
+		f.sendQueue = f.sendQueue[1:]
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// chargePath books bytes onto every interface along the flow's path.
+func (n *Network) chargePath(f *Flow, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	pkts := uint64(math.Ceil(bytes / f.cfg.MSS))
+	b := uint64(bytes)
+	for _, h := range f.hops {
+		h.OutOctets += b
+		h.OutPackets += pkts
+		h.peer.InOctets += b
+		h.peer.InPackets += pkts
+	}
+}
+
+// grow applies slow-start or congestion-avoidance window growth after a
+// loss-free tick in which deliveredBytes were acked.
+func (f *Flow) grow(deliveredBytes float64) {
+	if deliveredBytes <= 0 {
+		return
+	}
+	switch f.state {
+	case SlowStart:
+		f.cwnd += deliveredBytes // exponential: +1 MSS per acked MSS
+		if f.cwnd >= f.ssthresh {
+			f.cwnd = f.ssthresh
+			f.state = CongestionAvoidance
+		}
+	case CongestionAvoidance:
+		f.cwnd += f.cfg.MSS * (deliveredBytes / f.cwnd)
+	}
+	if f.cwnd > f.cfg.Rwnd {
+		f.cwnd = f.cfg.Rwnd
+	}
+}
+
+// maybeStop halts the engine ticker when no flow can make progress, so
+// idle networks cost nothing and simulations terminate.
+func (n *Network) maybeStop() {
+	active := n.flows[:0]
+	for _, f := range n.flows {
+		if f.state != Closed {
+			active = append(active, f)
+		}
+	}
+	for i := len(active); i < len(n.flows); i++ {
+		n.flows[i] = nil
+	}
+	n.flows = active
+	for _, f := range n.flows {
+		if f.unlimited || len(f.sendQueue) > 0 {
+			return
+		}
+	}
+	if n.ticker != nil {
+		n.ticker.Stop()
+		n.ticker = nil
+	}
+	for host := range n.nodes {
+		n.nodes[host].recvLoad = 0
+	}
+}

@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+// The TCP model is the most load-bearing substrate piece: these tests
+// pin down its macroscopic invariants rather than point behaviours.
+
+func propNet(seed int64) (*sim.Scheduler, *Network) {
+	sched := sim.NewScheduler(time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC))
+	return sched, New(sched, rand.New(rand.NewSource(seed)), 10*time.Millisecond)
+}
+
+// TestPropertySingleFlowBoundedByLineRate: goodput never exceeds the
+// slowest link on the path, for a range of bandwidths.
+func TestPropertySingleFlowBoundedByLineRate(t *testing.T) {
+	for _, bw := range []float64{RateEthOld, Rate100BT, RateGigE} {
+		sched, net := propNet(1)
+		a := net.AddHost("a", HostConfig{RecvCapacityBps: 10e9})
+		b := net.AddHost("b", HostConfig{RecvCapacityBps: 10e9})
+		net.Connect(a, b, bw, time.Millisecond)
+		f, err := net.OpenFlow(a, 1, b, 2, FlowConfig{Rwnd: 8e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetUnlimited(true)
+		sched.RunFor(20 * time.Second)
+		goodput := float64(f.Stats().Delivered) * 8 / 20
+		if goodput > bw*1.01 {
+			t.Fatalf("bw=%.0g: goodput %.0f exceeds line rate", bw, goodput)
+		}
+		if goodput < bw*0.5 {
+			t.Fatalf("bw=%.0g: goodput %.0f below half line rate on a clean path", bw, goodput)
+		}
+		f.Close()
+	}
+}
+
+// TestPropertyFairShare: N identical flows through one bottleneck get
+// roughly equal goodput.
+func TestPropertyFairShare(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		sched, net := propNet(2)
+		a := net.AddHost("a", HostConfig{RecvCapacityBps: 10e9})
+		b := net.AddHost("b", HostConfig{RecvCapacityBps: 10e9})
+		net.Connect(a, b, Rate100BT, 2*time.Millisecond)
+		flows := make([]*Flow, n)
+		for i := range flows {
+			f, err := net.OpenFlow(a, 100+i, b, 200+i, FlowConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.SetUnlimited(true)
+			flows[i] = f
+		}
+		sched.RunFor(30 * time.Second)
+		var min, max float64
+		for i, f := range flows {
+			g := float64(f.Stats().Delivered)
+			if i == 0 || g < min {
+				min = g
+			}
+			if g > max {
+				max = g
+			}
+			f.Close()
+		}
+		if min <= 0 {
+			t.Fatalf("n=%d: a flow starved entirely", n)
+		}
+		if max/min > 2.5 {
+			t.Fatalf("n=%d: unfair shares, max/min = %.2f", n, max/min)
+		}
+	}
+}
+
+// TestPropertyDeliveredMatchesCompletion: a bounded Send completes with
+// exactly the requested bytes delivered.
+func TestPropertyDeliveredMatchesCompletion(t *testing.T) {
+	for _, size := range []float64{1e3, 1e5, 1e7} {
+		sched, net := propNet(3)
+		a := net.AddHost("a", HostConfig{RecvCapacityBps: 1e9})
+		b := net.AddHost("b", HostConfig{RecvCapacityBps: 1e9})
+		net.Connect(a, b, RateGigE, time.Millisecond)
+		f, err := net.OpenFlow(a, 1, b, 2, FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		f.Send(size, func() { done = true })
+		sched.RunFor(time.Minute)
+		if !done {
+			t.Fatalf("size=%g: transfer never completed", size)
+		}
+		got := float64(f.Stats().Delivered)
+		if got < size || got > size*1.02+2000 {
+			t.Fatalf("size=%g: delivered %g", size, got)
+		}
+		if f.Pending() != 0 {
+			t.Fatalf("size=%g: pending %g after completion", size, f.Pending())
+		}
+	}
+}
+
+// TestPropertyInterfaceCountersConsistent: interface octet counters on
+// a two-hop path see the same traffic on both sides of the router.
+func TestPropertyInterfaceCountersConsistent(t *testing.T) {
+	sched, net := propNet(4)
+	a := net.AddHost("a", HostConfig{RecvCapacityBps: 1e9})
+	r := net.AddRouter("r")
+	b := net.AddHost("b", HostConfig{RecvCapacityBps: 1e9})
+	net.Connect(a, r, Rate100BT, time.Millisecond)
+	net.Connect(r, b, Rate100BT, time.Millisecond)
+	f, err := net.OpenFlow(a, 1, b, 2, FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(5e6, nil)
+	sched.RunFor(30 * time.Second)
+
+	aOut := a.Interfaces()[0].OutOctets
+	rIn := r.Interfaces()[0].InOctets
+	rOut := r.Interfaces()[1].OutOctets
+	bIn := b.Interfaces()[0].InOctets
+	if aOut == 0 {
+		t.Fatal("no traffic charged")
+	}
+	if aOut != rIn || rOut != bIn {
+		t.Fatalf("counters inconsistent: aOut=%d rIn=%d rOut=%d bIn=%d", aOut, rIn, rOut, bIn)
+	}
+	// The router forwards what it receives (single flow, no drops at
+	// links in this model).
+	if rIn != rOut {
+		t.Fatalf("router in=%d out=%d", rIn, rOut)
+	}
+}
+
+// TestPropertyDeterministicEngine: the same seed yields byte-identical
+// flow statistics.
+func TestPropertyDeterministicEngine(t *testing.T) {
+	run := func() FlowStats {
+		sched, net := propNet(7)
+		a := net.AddHost("a", HostConfig{RecvCapacityBps: 200e6, PerSocketOverhead: 2})
+		b := net.AddHost("b", HostConfig{RecvCapacityBps: 200e6, PerSocketOverhead: 2})
+		net.Connect(a, b, RateGigE, 30*time.Millisecond)
+		var last *Flow
+		for i := 0; i < 4; i++ {
+			f, err := net.OpenFlow(a, 10+i, b, 20+i, FlowConfig{Rwnd: 2e6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.SetUnlimited(true)
+			last = f
+		}
+		sched.RunFor(20 * time.Second)
+		return last.Stats()
+	}
+	s1 := run()
+	s2 := run()
+	if s1 != s2 {
+		t.Fatalf("same-seed runs differ:\n%+v\n%+v", s1, s2)
+	}
+}

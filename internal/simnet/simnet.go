@@ -1,0 +1,346 @@
+// Package simnet is a flow-level network simulator: hosts, routers and
+// switches joined by links with bandwidth and propagation delay, a TCP
+// model with congestion control and retransmission counters, and SNMP-
+// readable interface counters.
+//
+// It substitutes for the paper's DARPA Supernet testbed (Figure 5): an
+// OC-48 WAN between Berkeley and Arlington, OC-12 and gigabit-ethernet
+// edges, SNMP-instrumented routers and switches, and end hosts whose
+// NIC/driver packet-processing cost — not the network — turned out to be
+// the §6 bottleneck. TCP sensors read per-flow retransmit and window
+// counters from this model exactly where the paper's modified tcpdump
+// read them from the wire.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+// Common link rates (bits per second).
+const (
+	RateOC48    = 2.4e9
+	RateOC12    = 622e6
+	RateGigE    = 1e9
+	Rate100BT   = 100e6
+	RateEthOld  = 10e6
+	DefaultMSS  = 1460 // bytes
+	DefaultRwnd = 1.25e6
+)
+
+// NodeKind distinguishes end hosts from forwarding devices.
+type NodeKind int
+
+// Node kinds.
+const (
+	Host NodeKind = iota
+	Router
+	Switch
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Router:
+		return "router"
+	case Switch:
+		return "switch"
+	}
+	return "unknown"
+}
+
+// DefaultRingBytes is the default NIC/driver receive-ring capacity: a
+// TCP window arriving as a line-rate burst longer than this thrashes
+// the interrupt path when other sockets are active.
+const DefaultRingBytes = 150e3
+
+// recoverCleanTicks is how many consecutive underloaded engine ticks a
+// degraded receiver needs before its interrupt path recovers.
+const recoverCleanTicks = 5
+
+// HostConfig sets the receiver-side packet processing model for a host.
+// The §6 result is driven by this: the gigabit NIC and device driver
+// place a per-packet cost on the receiving host, and concurrent sockets
+// receiving long line-rate bursts add overhead (broken interrupt
+// coalescing, per-socket wakeups). A single socket, or several sockets
+// with windows small enough for the receive ring (LAN traffic), are
+// serviced at full capacity; once any concurrent socket's window
+// exceeds the ring, the host degrades to
+// RecvCapacityBps/(1+PerSocketOverhead·(n-1)) and stays degraded until
+// it has been underloaded for a few ticks (interrupt-livelock
+// hysteresis).
+type HostConfig struct {
+	// RecvCapacityBps is the maximum aggregate inbound TCP goodput the
+	// host's NIC/driver/IP stack can service, in bits/s. Zero means
+	// effectively unlimited.
+	RecvCapacityBps float64
+	// PerSocketOverhead scales the capacity penalty per additional
+	// concurrent bursty socket.
+	PerSocketOverhead float64
+	// RingBytes is the receive-ring burst threshold; zero means
+	// DefaultRingBytes.
+	RingBytes float64
+}
+
+// Node is a host, router, or switch in the topology.
+type Node struct {
+	Name string
+	Kind NodeKind
+	cfg  HostConfig
+
+	net    *Network
+	ifaces []*Interface
+
+	// Host-side accounting.
+	ports     map[int]*PortStats // per-port traffic, for the port monitor
+	recvLoad  float64            // fraction of receive capacity in use, last tick
+	udp       map[int]DatagramHandler
+	flowCount int // active flows terminating here
+
+	// Interrupt-livelock hysteresis state.
+	degraded   bool
+	cleanTicks int
+}
+
+// PortStats records traffic observed on one TCP/UDP port of a host; the
+// JAMM port monitor agent polls these to detect application activity.
+type PortStats struct {
+	BytesIn    float64
+	BytesOut   float64
+	LastActive time.Duration // sim time of last traffic
+}
+
+// Interface is one attachment of a node to a link, with the usual SNMP
+// MIB-II style counters.
+type Interface struct {
+	Node *Node
+	Link *Link
+	peer *Interface
+
+	InOctets   uint64
+	OutOctets  uint64
+	InPackets  uint64
+	OutPackets uint64
+	InErrors   uint64 // CRC errors etc.
+	OutErrors  uint64
+	InDrops    uint64
+	Index      int // interface index on the node
+}
+
+// Link is a full-duplex link between two interfaces.
+type Link struct {
+	A, B      *Interface
+	Bandwidth float64 // bits/s each direction
+	Delay     time.Duration
+
+	// offered load accounting, reset each tick (bytes this tick, per direction)
+	offeredAB float64
+	offeredBA float64
+}
+
+// Network owns the topology and the flow engine.
+type Network struct {
+	sched *sim.Scheduler
+	rnd   *rand.Rand
+	nodes map[string]*Node
+	links []*Link
+	flows []*Flow
+	tick  time.Duration
+
+	ticker *sim.Ticker
+
+	// routing table: routes[src][dst] = next-hop interface on src
+	routes map[*Node]map[*Node]*Interface
+	dirty  bool
+}
+
+// New returns an empty network driven by sched. The TCP engine steps
+// every tick; 10 ms is a good default (shorter than any WAN RTT of
+// interest, far coarser than per-packet simulation).
+func New(sched *sim.Scheduler, rnd *rand.Rand, tick time.Duration) *Network {
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	return &Network{
+		sched:  sched,
+		rnd:    rnd,
+		nodes:  make(map[string]*Node),
+		tick:   tick,
+		routes: make(map[*Node]map[*Node]*Interface),
+	}
+}
+
+// Scheduler returns the simulation scheduler the network runs on.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Tick returns the TCP engine step interval.
+func (n *Network) Tick() time.Duration { return n.tick }
+
+// AddHost adds an end host with the given receiver model.
+func (n *Network) AddHost(name string, cfg HostConfig) *Node {
+	return n.addNode(name, Host, cfg)
+}
+
+// AddRouter adds a router.
+func (n *Network) AddRouter(name string) *Node {
+	return n.addNode(name, Router, HostConfig{})
+}
+
+// AddSwitch adds a switch.
+func (n *Network) AddSwitch(name string) *Node {
+	return n.addNode(name, Switch, HostConfig{})
+}
+
+func (n *Network) addNode(name string, kind NodeKind, cfg HostConfig) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	node := &Node{
+		Name:  name,
+		Kind:  kind,
+		cfg:   cfg,
+		net:   n,
+		ports: make(map[int]*PortStats),
+		udp:   make(map[int]DatagramHandler),
+	}
+	n.nodes[name] = node
+	n.dirty = true
+	return node
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns all nodes (iteration order unspecified).
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		out = append(out, nd)
+	}
+	return out
+}
+
+// Connect joins two nodes with a full-duplex link.
+func (n *Network) Connect(a, b *Node, bandwidth float64, delay time.Duration) *Link {
+	l := &Link{Bandwidth: bandwidth, Delay: delay}
+	ia := &Interface{Node: a, Link: l, Index: len(a.ifaces) + 1}
+	ib := &Interface{Node: b, Link: l, Index: len(b.ifaces) + 1}
+	ia.peer = ib
+	ib.peer = ia
+	l.A, l.B = ia, ib
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	n.links = append(n.links, l)
+	n.dirty = true
+	return l
+}
+
+// Interfaces returns the node's interfaces in index order.
+func (nd *Node) Interfaces() []*Interface { return nd.ifaces }
+
+// PortTraffic returns the traffic stats for a host port, or nil if the
+// port has never seen traffic.
+func (nd *Node) PortTraffic(port int) *PortStats { return nd.ports[port] }
+
+// RecvLoad returns the fraction (possibly >1) of the host's receive
+// capacity demanded during the last engine tick. The host CPU model in
+// internal/simhost turns this into VMSTAT system time.
+func (nd *Node) RecvLoad() float64 { return nd.recvLoad }
+
+func (nd *Node) port(p int) *PortStats {
+	ps := nd.ports[p]
+	if ps == nil {
+		ps = &PortStats{}
+		nd.ports[p] = ps
+	}
+	return ps
+}
+
+// recomputeRoutes rebuilds the all-pairs next-hop table by BFS. Links
+// are unweighted; topologies of interest are small.
+func (n *Network) recomputeRoutes() {
+	n.routes = make(map[*Node]map[*Node]*Interface, len(n.nodes))
+	for _, src := range n.nodes {
+		next := make(map[*Node]*Interface)
+		// BFS from src; record for each destination the first hop.
+		type qe struct {
+			node  *Node
+			first *Interface
+		}
+		visited := map[*Node]bool{src: true}
+		queue := []qe{}
+		for _, ifc := range src.ifaces {
+			peer := ifc.peer.Node
+			if !visited[peer] {
+				visited[peer] = true
+				next[peer] = ifc
+				queue = append(queue, qe{peer, ifc})
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, ifc := range cur.node.ifaces {
+				peer := ifc.peer.Node
+				if !visited[peer] {
+					visited[peer] = true
+					next[peer] = cur.first
+					queue = append(queue, qe{peer, cur.first})
+				}
+			}
+		}
+		n.routes[src] = next
+	}
+	n.dirty = false
+}
+
+// path returns the ordered interfaces (outbound side) from src to dst.
+func (n *Network) path(src, dst *Node) ([]*Interface, error) {
+	if n.dirty {
+		n.recomputeRoutes()
+	}
+	var hops []*Interface
+	cur := src
+	for cur != dst {
+		ifc := n.routes[cur][dst]
+		if ifc == nil {
+			return nil, fmt.Errorf("simnet: no route from %s to %s", src.Name, dst.Name)
+		}
+		hops = append(hops, ifc)
+		cur = ifc.peer.Node
+		if len(hops) > len(n.nodes) {
+			return nil, fmt.Errorf("simnet: routing loop from %s to %s", src.Name, dst.Name)
+		}
+	}
+	return hops, nil
+}
+
+// PathDelay returns the one-way propagation delay from src to dst.
+func (n *Network) PathDelay(src, dst *Node) (time.Duration, error) {
+	hops, err := n.path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	var d time.Duration
+	for _, h := range hops {
+		d += h.Link.Delay
+	}
+	return d, nil
+}
+
+// start lazily launches the engine ticker once there is work to do.
+func (n *Network) start() {
+	if n.ticker == nil {
+		n.ticker = n.sched.Every(n.tick, n.step)
+	}
+}
+
+// InjectCRCErrors bumps the inbound error counter on an interface, for
+// fault-injection tests of the network (SNMP) sensors.
+func (ifc *Interface) InjectCRCErrors(count uint64) {
+	ifc.InErrors += count
+}

@@ -1,0 +1,443 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func newNet(t *testing.T) (*sim.Scheduler, *Network) {
+	t.Helper()
+	s := sim.NewScheduler(epoch)
+	return s, New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+}
+
+// lanPair builds two hosts on a gigabit LAN with a realistic-for-2000
+// receiver: ~200 Mbit/s service capacity.
+func lanPair(n *Network) (*Node, *Node) {
+	a := n.AddHost("a", HostConfig{RecvCapacityBps: 200e6, PerSocketOverhead: 2.0})
+	b := n.AddHost("b", HostConfig{RecvCapacityBps: 200e6, PerSocketOverhead: 2.0})
+	sw := n.AddSwitch("sw")
+	n.Connect(a, sw, RateGigE, 50*time.Microsecond)
+	n.Connect(b, sw, RateGigE, 50*time.Microsecond)
+	return a, b
+}
+
+func TestRoutingSimplePath(t *testing.T) {
+	_, n := newNet(t)
+	a, b := lanPair(n)
+	d, err := n.PathDelay(a, b)
+	if err != nil {
+		t.Fatalf("PathDelay: %v", err)
+	}
+	if d != 100*time.Microsecond {
+		t.Errorf("PathDelay = %v", d)
+	}
+}
+
+func TestRoutingNoRoute(t *testing.T) {
+	_, n := newNet(t)
+	a := n.AddHost("a", HostConfig{})
+	b := n.AddHost("b", HostConfig{})
+	if _, err := n.PathDelay(a, b); err == nil {
+		t.Error("PathDelay across disconnected nodes succeeded")
+	}
+	if _, err := n.OpenFlow(a, 1, b, 2, FlowConfig{}); err == nil {
+		t.Error("OpenFlow across disconnected nodes succeeded")
+	}
+}
+
+func TestFlowRejectsRouterEndpoint(t *testing.T) {
+	_, n := newNet(t)
+	a := n.AddHost("a", HostConfig{})
+	r := n.AddRouter("r")
+	n.Connect(a, r, RateGigE, time.Millisecond)
+	if _, err := n.OpenFlow(a, 1, r, 2, FlowConfig{}); err == nil {
+		t.Error("OpenFlow to a router succeeded")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, n := newNet(t)
+	n.AddHost("a", HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddHost did not panic")
+		}
+	}()
+	n.AddHost("a", HostConfig{})
+}
+
+func TestTransferCompletes(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, err := n.OpenFlow(a, 5000, b, 2811, FlowConfig{})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	var doneAt time.Duration
+	done := false
+	f.Send(10e6, func() { done, doneAt = true, s.Now() }) // 10 MB
+	s.RunFor(30 * time.Second)
+	if !done {
+		t.Fatalf("transfer incomplete: stats %+v pending %v", f.Stats(), f.Pending())
+	}
+	st := f.Stats()
+	if st.Delivered < 10e6-1 {
+		t.Errorf("Delivered = %d", st.Delivered)
+	}
+	// LAN transfer at ~200 Mbit/s ⇒ 10 MB in well under 5 seconds.
+	if doneAt > 5*time.Second {
+		t.Errorf("transfer took %v, expected ≤ a few seconds", doneAt)
+	}
+}
+
+func TestEngineIdlesWhenNoData(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, _ := n.OpenFlow(a, 5000, b, 2811, FlowConfig{})
+	f.Send(1e6, nil)
+	s.RunFor(10 * time.Second)
+	if n.ticker != nil {
+		t.Error("engine still ticking after all transfers done")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("scheduler has %d pending events while idle", got)
+	}
+	// A later Send restarts the engine.
+	done := false
+	f.Send(1e6, func() { done = true })
+	s.RunFor(10 * time.Second)
+	if !done {
+		t.Error("second transfer did not complete after idle restart")
+	}
+}
+
+func TestPortCountersTrackTraffic(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, _ := n.OpenFlow(a, 5000, b, 2811, FlowConfig{})
+	f.Send(1e6, nil)
+	s.RunFor(5 * time.Second)
+	if ps := a.PortTraffic(5000); ps == nil || ps.BytesOut < 1e6 {
+		t.Errorf("src port stats = %+v", ps)
+	}
+	if ps := b.PortTraffic(2811); ps == nil || ps.BytesIn < 1e6 {
+		t.Errorf("dst port stats = %+v", ps)
+	}
+	if ps := b.PortTraffic(9999); ps != nil {
+		t.Errorf("unused port has stats %+v", ps)
+	}
+}
+
+func TestInterfaceCounters(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, _ := n.OpenFlow(a, 5000, b, 2811, FlowConfig{})
+	f.Send(1e6, nil)
+	s.RunFor(5 * time.Second)
+	aIf := a.Interfaces()[0]
+	if aIf.OutOctets < 1e6 || aIf.OutPackets == 0 {
+		t.Errorf("a out counters: %+v", aIf)
+	}
+	bIf := b.Interfaces()[0]
+	if bIf.InOctets < 1e6 {
+		t.Errorf("b in counters: %+v", bIf)
+	}
+	swIf := n.Node("sw").Interfaces()
+	if swIf[0].InOctets+swIf[1].InOctets < 1e6 {
+		t.Error("switch saw no transit traffic")
+	}
+	if aIf.InErrors != 0 {
+		t.Error("spurious input errors")
+	}
+	aIf.InjectCRCErrors(3)
+	if aIf.InErrors != 3 {
+		t.Error("InjectCRCErrors did not register")
+	}
+}
+
+// wanSetup builds the §6 Matisse-like topology: a sender cluster behind
+// an OC-12 edge, an OC-48 WAN with ~35 ms one-way delay, and a receiving
+// host whose NIC/driver services about 200 Mbit/s with significant
+// per-socket overhead.
+func wanSetup(n *Network, senders int) (srcs []*Node, dst *Node) {
+	edge := n.AddRouter("lbl-edge")
+	wan := n.AddRouter("supernet")
+	far := n.AddRouter("isi-east")
+	n.Connect(edge, wan, RateOC12, 2*time.Millisecond)
+	n.Connect(wan, far, RateOC48, 30*time.Millisecond)
+	dst = n.AddHost("recv", HostConfig{RecvCapacityBps: 210e6, PerSocketOverhead: 2.0})
+	n.Connect(far, dst, RateGigE, 500*time.Microsecond)
+	for i := 0; i < senders; i++ {
+		h := n.AddHost("dpss"+string(rune('1'+i)), HostConfig{RecvCapacityBps: 400e6})
+		n.Connect(h, edge, RateGigE, 100*time.Microsecond)
+		srcs = append(srcs, h)
+	}
+	return srcs, dst
+}
+
+func measureAggregate(t *testing.T, streams int, dur time.Duration) float64 {
+	t.Helper()
+	s := sim.NewScheduler(epoch)
+	n := New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	srcs, dst := wanSetup(n, streams)
+	var flows []*Flow
+	for i, src := range srcs {
+		f, err := n.OpenFlow(src, 7000+i, dst, 14000+i, FlowConfig{})
+		if err != nil {
+			t.Fatalf("OpenFlow: %v", err)
+		}
+		f.SetUnlimited(true)
+		flows = append(flows, f)
+	}
+	s.RunFor(dur)
+	var bytes uint64
+	for _, f := range flows {
+		bytes += f.Stats().Delivered
+		f.Close()
+	}
+	return float64(bytes) * 8 / dur.Seconds()
+}
+
+func TestWANSingleStreamNearWindowLimit(t *testing.T) {
+	// One stream: receiver-window limited, ≈ rwnd/RTT ≈ 1.25MB/65.2ms
+	// ≈ 153 Mbit/s ceiling; slow-start ramp pulls the 30 s average a
+	// little below that. The paper measured 140 Mbit/s.
+	got := measureAggregate(t, 1, 30*time.Second) / 1e6
+	if got < 110 || got > 160 {
+		t.Errorf("single WAN stream = %.1f Mbit/s, want ≈140", got)
+	}
+}
+
+func TestWANFourStreamsCollapse(t *testing.T) {
+	// Four parallel streams overload the receiver's packet path; on a
+	// 65 ms RTT with 1 s min RTO the flows spend most of their time in
+	// timeout recovery. The paper measured 30 Mbit/s aggregate.
+	got := measureAggregate(t, 4, 30*time.Second) / 1e6
+	if got > 80 {
+		t.Errorf("four WAN streams = %.1f Mbit/s, want heavy collapse (≈30)", got)
+	}
+	single := measureAggregate(t, 1, 30*time.Second) / 1e6
+	if got > single/1.8 {
+		t.Errorf("four streams (%.1f) not well below one stream (%.1f)", got, single)
+	}
+}
+
+func TestLANStreamsDoNotCollapse(t *testing.T) {
+	// Same receiver on a LAN: sub-ms RTT recovers instantly, both one
+	// and four streams sit at the ≈200 Mbit/s host service rate.
+	measure := func(streams int) float64 {
+		s := sim.NewScheduler(epoch)
+		n := New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+		dst := n.AddHost("recv", HostConfig{RecvCapacityBps: 210e6, PerSocketOverhead: 2.0})
+		sw := n.AddSwitch("sw")
+		n.Connect(dst, sw, RateGigE, 50*time.Microsecond)
+		var flows []*Flow
+		for i := 0; i < streams; i++ {
+			h := n.AddHost("src"+string(rune('1'+i)), HostConfig{})
+			n.Connect(h, sw, RateGigE, 50*time.Microsecond)
+			f, err := n.OpenFlow(h, 7000+i, dst, 14000+i, FlowConfig{})
+			if err != nil {
+				t.Fatalf("OpenFlow: %v", err)
+			}
+			f.SetUnlimited(true)
+			flows = append(flows, f)
+		}
+		s.RunFor(30 * time.Second)
+		var bytes uint64
+		for _, f := range flows {
+			bytes += f.Stats().Delivered
+		}
+		return float64(bytes) * 8 / 30 / 1e6
+	}
+	one := measure(1)
+	four := measure(4)
+	if one < 150 || one > 230 {
+		t.Errorf("LAN 1 stream = %.1f Mbit/s, want ≈200", one)
+	}
+	if four < 120 || four > 230 {
+		t.Errorf("LAN 4 streams = %.1f Mbit/s, want ≈200 (no collapse)", four)
+	}
+	if four < one*0.6 {
+		t.Errorf("LAN collapsed: 4 streams %.1f vs 1 stream %.1f", four, one)
+	}
+}
+
+func TestRetransmitCountersAdvanceUnderOverload(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	n := New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	srcs, dst := wanSetup(n, 4)
+	var flows []*Flow
+	for i, src := range srcs {
+		f, _ := n.OpenFlow(src, 7000+i, dst, 14000+i, FlowConfig{})
+		f.SetUnlimited(true)
+		flows = append(flows, f)
+	}
+	var peakLoad float64
+	for i := 0; i < 200; i++ {
+		s.RunFor(100 * time.Millisecond)
+		if l := dst.RecvLoad(); l > peakLoad {
+			peakLoad = l
+		}
+	}
+	var retrans, timeouts uint64
+	for _, f := range flows {
+		st := f.Stats()
+		retrans += st.Retransmits
+		timeouts += st.Timeouts
+	}
+	if retrans == 0 {
+		t.Error("no retransmissions under 4-stream overload")
+	}
+	if timeouts == 0 {
+		t.Error("no timeouts under 4-stream overload")
+	}
+	if peakLoad <= 1 {
+		t.Errorf("peak receiver load %.2f, want overload (>1)", peakLoad)
+	}
+	// The network itself is clean: router interfaces show no errors,
+	// matching the paper ("no errors were reported" by SNMP).
+	for _, ifc := range n.Node("supernet").Interfaces() {
+		if ifc.InErrors != 0 || ifc.OutErrors != 0 {
+			t.Error("router reported errors; loss should be at the host")
+		}
+	}
+}
+
+func TestSingleStreamNoRetransmits(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	n := New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	srcs, dst := wanSetup(n, 1)
+	f, _ := n.OpenFlow(srcs[0], 7000, dst, 14000, FlowConfig{})
+	f.SetUnlimited(true)
+	s.RunFor(20 * time.Second)
+	if st := f.Stats(); st.Retransmits != 0 {
+		t.Errorf("single window-limited stream retransmitted %d times", st.Retransmits)
+	}
+}
+
+func TestAppRateLimitedFlow(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, _ := n.OpenFlow(a, 5000, b, 2811, FlowConfig{AppRateBps: 8e6}) // 8 Mbit/s app
+	f.SetUnlimited(true)
+	s.RunFor(10 * time.Second)
+	gotMbps := float64(f.Stats().Delivered) * 8 / 10 / 1e6
+	if gotMbps < 6 || gotMbps > 9 {
+		t.Errorf("app-limited rate = %.2f Mbit/s, want ≈8", gotMbps)
+	}
+}
+
+func TestLinkContentionShares(t *testing.T) {
+	// Two flows across a shared 100BT link split ~50/50.
+	s := sim.NewScheduler(epoch)
+	n := New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	a := n.AddHost("a", HostConfig{})
+	b := n.AddHost("b", HostConfig{})
+	c := n.AddHost("c", HostConfig{})
+	d := n.AddHost("d", HostConfig{})
+	r1 := n.AddRouter("r1")
+	r2 := n.AddRouter("r2")
+	n.Connect(a, r1, RateGigE, time.Millisecond)
+	n.Connect(b, r1, RateGigE, time.Millisecond)
+	n.Connect(r1, r2, Rate100BT, 5*time.Millisecond)
+	n.Connect(c, r2, RateGigE, time.Millisecond)
+	n.Connect(d, r2, RateGigE, time.Millisecond)
+	f1, _ := n.OpenFlow(a, 1, c, 2, FlowConfig{})
+	f2, _ := n.OpenFlow(b, 3, d, 4, FlowConfig{})
+	f1.SetUnlimited(true)
+	f2.SetUnlimited(true)
+	s.RunFor(20 * time.Second)
+	r1t := float64(f1.Stats().Delivered) * 8 / 20 / 1e6
+	r2t := float64(f2.Stats().Delivered) * 8 / 20 / 1e6
+	total := r1t + r2t
+	if total > 105 {
+		t.Errorf("aggregate %.1f Mbit/s exceeds 100BT link", total)
+	}
+	if total < 60 {
+		t.Errorf("aggregate %.1f Mbit/s badly underutilizes link", total)
+	}
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	var got string
+	if err := b.BindUDP(161, func(dg Datagram, reply func([]byte)) {
+		got = string(dg.Payload)
+		reply([]byte("pong"))
+	}); err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	var resp string
+	a.BindUDP(4000, func(dg Datagram, _ func([]byte)) { resp = string(dg.Payload) })
+	n.SendDatagram(Datagram{From: a, FromPort: 4000, To: b, ToPort: 161, Payload: []byte("ping")}, nil)
+	s.RunFor(time.Second)
+	if got != "ping" || resp != "pong" {
+		t.Errorf("got %q, resp %q", got, resp)
+	}
+}
+
+func TestDatagramPortUnreachable(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	var reason string
+	n.SendDatagram(Datagram{From: a, FromPort: 1, To: b, ToPort: 99, Payload: []byte("x")}, func(r string) { reason = r })
+	s.RunFor(time.Second)
+	if reason != "port unreachable" {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestDatagramDoubleReplyIgnored(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	b.BindUDP(161, func(dg Datagram, reply func([]byte)) {
+		reply([]byte("one"))
+		reply([]byte("two"))
+	})
+	count := 0
+	a.BindUDP(4000, func(dg Datagram, _ func([]byte)) { count++ })
+	n.SendDatagram(Datagram{From: a, FromPort: 4000, To: b, ToPort: 161}, nil)
+	s.RunFor(time.Second)
+	if count != 1 {
+		t.Errorf("replies delivered = %d, want 1", count)
+	}
+}
+
+func TestBindUDPConflict(t *testing.T) {
+	_, n := newNet(t)
+	a := n.AddHost("x", HostConfig{})
+	if err := a.BindUDP(161, func(Datagram, func([]byte)) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BindUDP(161, func(Datagram, func([]byte)) {}); err == nil {
+		t.Error("duplicate bind succeeded")
+	}
+	a.UnbindUDP(161)
+	if err := a.BindUDP(161, func(Datagram, func([]byte)) {}); err != nil {
+		t.Errorf("rebind after unbind failed: %v", err)
+	}
+}
+
+func TestFlowCloseStopsTraffic(t *testing.T) {
+	s, n := newNet(t)
+	a, b := lanPair(n)
+	f, _ := n.OpenFlow(a, 1, b, 2, FlowConfig{})
+	f.SetUnlimited(true)
+	s.RunFor(time.Second)
+	before := f.Stats().Delivered
+	f.Close()
+	s.RunFor(time.Second)
+	if got := f.Stats().Delivered; got != before {
+		t.Errorf("delivered advanced after Close: %d -> %d", before, got)
+	}
+	if f.Stats().State != Closed {
+		t.Error("state not Closed")
+	}
+}

@@ -1,0 +1,55 @@
+package snmp
+
+import (
+	"fmt"
+
+	"jamm/internal/simnet"
+)
+
+// Standard MIB-II object identifiers used by the network sensors.
+const (
+	OIDSysName      OID = "1.3.6.1.2.1.1.5.0"
+	OIDIfTable      OID = "1.3.6.1.2.1.2.2.1"
+	oidIfInOctets       = "1.3.6.1.2.1.2.2.1.10"
+	oidIfOutOctets      = "1.3.6.1.2.1.2.2.1.16"
+	oidIfInPackets      = "1.3.6.1.2.1.2.2.1.11"
+	oidIfOutPackets     = "1.3.6.1.2.1.2.2.1.17"
+	oidIfInErrors       = "1.3.6.1.2.1.2.2.1.14"
+	oidIfOutErrors      = "1.3.6.1.2.1.2.2.1.20"
+	oidIfInDiscards     = "1.3.6.1.2.1.2.2.1.13"
+)
+
+// IfInOctets returns the ifInOctets OID for an interface index.
+func IfInOctets(ifIndex int) OID { return indexed(oidIfInOctets, ifIndex) }
+
+// IfOutOctets returns the ifOutOctets OID for an interface index.
+func IfOutOctets(ifIndex int) OID { return indexed(oidIfOutOctets, ifIndex) }
+
+// IfInErrors returns the ifInErrors OID for an interface index.
+func IfInErrors(ifIndex int) OID { return indexed(oidIfInErrors, ifIndex) }
+
+// IfOutErrors returns the ifOutErrors OID for an interface index.
+func IfOutErrors(ifIndex int) OID { return indexed(oidIfOutErrors, ifIndex) }
+
+func indexed(base string, i int) OID { return OID(fmt.Sprintf("%s.%d", base, i)) }
+
+// NewDeviceAgent builds an agent exporting the node's interface table in
+// MIB-II layout, plus sysName — what a 2000-era router or switch would
+// answer. Counter getters read the live simnet interface counters.
+func NewDeviceAgent(node *simnet.Node, community string) *Agent {
+	a := NewAgent(community)
+	name := node.Name
+	a.Register(OIDSysName, func() Value { return StringValue(name) })
+	for _, ifc := range node.Interfaces() {
+		ifc := ifc
+		i := ifc.Index
+		a.Register(indexed(oidIfInOctets, i), func() Value { return CounterValue(ifc.InOctets) })
+		a.Register(indexed(oidIfOutOctets, i), func() Value { return CounterValue(ifc.OutOctets) })
+		a.Register(indexed(oidIfInPackets, i), func() Value { return CounterValue(ifc.InPackets) })
+		a.Register(indexed(oidIfOutPackets, i), func() Value { return CounterValue(ifc.OutPackets) })
+		a.Register(indexed(oidIfInErrors, i), func() Value { return CounterValue(ifc.InErrors) })
+		a.Register(indexed(oidIfOutErrors, i), func() Value { return CounterValue(ifc.OutErrors) })
+		a.Register(indexed(oidIfInDiscards, i), func() Value { return CounterValue(ifc.InDrops) })
+	}
+	return a
+}

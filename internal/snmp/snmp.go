@@ -1,0 +1,326 @@
+// Package snmp implements a miniature SNMP-style protocol: community
+// strings, OID-addressed variables, GET and GETNEXT, and client-side
+// WALK, carried over simnet UDP datagrams. JAMM network sensors use it
+// to query router and switch counters, exactly as the paper's network
+// sensors "perform SNMP queries to a network device" (§2.2); host
+// sensors may also be layered on top of it and run remotely from the
+// host being monitored.
+//
+// The PDU encoding is JSON rather than BER/ASN.1 — a documented
+// substitution that preserves the protocol's query semantics.
+package snmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jamm/internal/simnet"
+)
+
+// OID is a dotted-decimal object identifier.
+type OID string
+
+// Less orders OIDs component-wise, as GETNEXT requires.
+func (o OID) Less(other OID) bool {
+	a := strings.Split(string(o), ".")
+	b := strings.Split(string(other), ".")
+	for i := 0; i < len(a) && i < len(b); i++ {
+		ai, _ := strconv.Atoi(a[i])
+		bi, _ := strconv.Atoi(b[i])
+		if ai != bi {
+			return ai < bi
+		}
+	}
+	return len(a) < len(b)
+}
+
+// HasPrefix reports whether o lies under the given OID subtree.
+func (o OID) HasPrefix(prefix OID) bool {
+	return o == prefix || strings.HasPrefix(string(o), string(prefix)+".")
+}
+
+// Value is a typed SNMP variable value.
+type Value struct {
+	Counter uint64 `json:"c,omitempty"`
+	Int     int64  `json:"i,omitempty"`
+	Str     string `json:"s,omitempty"`
+	Kind    string `json:"k"` // "counter", "int", "string"
+}
+
+// CounterValue builds a counter Value.
+func CounterValue(v uint64) Value { return Value{Kind: "counter", Counter: v} }
+
+// IntValue builds an integer Value.
+func IntValue(v int64) Value { return Value{Kind: "int", Int: v} }
+
+// StringValue builds a string Value.
+func StringValue(v string) Value { return Value{Kind: "string", Str: v} }
+
+// Binding pairs an OID with its value.
+type Binding struct {
+	OID   OID   `json:"oid"`
+	Value Value `json:"value"`
+}
+
+// PDU types.
+const (
+	pduGet     = "get"
+	pduGetNext = "getnext"
+	pduResp    = "response"
+)
+
+type pdu struct {
+	Type      string    `json:"type"`
+	Community string    `json:"community,omitempty"`
+	RequestID uint64    `json:"id"`
+	OIDs      []OID     `json:"oids,omitempty"`
+	Bindings  []Binding `json:"bindings,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// Getter produces the current value of a variable at query time.
+type Getter func() Value
+
+// Agent serves a MIB of registered variables.
+type Agent struct {
+	community string
+	vars      map[OID]Getter
+	order     []OID
+	sorted    bool
+}
+
+// NewAgent returns an agent protected by the given community string.
+func NewAgent(community string) *Agent {
+	return &Agent{community: community, vars: make(map[OID]Getter)}
+}
+
+// Register installs a variable; the getter is invoked per query.
+func (a *Agent) Register(oid OID, g Getter) {
+	if _, dup := a.vars[oid]; !dup {
+		a.order = append(a.order, oid)
+		a.sorted = false
+	}
+	a.vars[oid] = g
+}
+
+func (a *Agent) sortOrder() {
+	if !a.sorted {
+		sort.Slice(a.order, func(i, j int) bool { return a.order[i].Less(a.order[j]) })
+		a.sorted = true
+	}
+}
+
+// get answers a single-OID lookup.
+func (a *Agent) get(oid OID) (Binding, error) {
+	g, ok := a.vars[oid]
+	if !ok {
+		return Binding{}, fmt.Errorf("snmp: no such OID %s", oid)
+	}
+	return Binding{OID: oid, Value: g()}, nil
+}
+
+// next answers a GETNEXT: the first registered OID strictly after oid.
+func (a *Agent) next(oid OID) (Binding, error) {
+	a.sortOrder()
+	for _, o := range a.order {
+		if oid.Less(o) {
+			return Binding{OID: o, Value: a.vars[o]()}, nil
+		}
+	}
+	return Binding{}, fmt.Errorf("snmp: end of MIB after %s", oid)
+}
+
+// handle processes one request PDU.
+func (a *Agent) handle(req pdu) pdu {
+	resp := pdu{Type: pduResp, RequestID: req.RequestID}
+	if req.Community != a.community {
+		resp.Error = "snmp: bad community string"
+		return resp
+	}
+	for _, oid := range req.OIDs {
+		var b Binding
+		var err error
+		switch req.Type {
+		case pduGet:
+			b, err = a.get(oid)
+		case pduGetNext:
+			b, err = a.next(oid)
+		default:
+			err = fmt.Errorf("snmp: bad PDU type %q", req.Type)
+		}
+		if err != nil {
+			resp.Error = err.Error()
+			return resp
+		}
+		resp.Bindings = append(resp.Bindings, b)
+	}
+	return resp
+}
+
+// DefaultPort is the conventional SNMP agent port.
+const DefaultPort = 161
+
+// ServeOn binds the agent to a UDP port on a simnet node.
+func ServeOn(node *simnet.Node, port int, a *Agent) error {
+	return node.BindUDP(port, func(dg simnet.Datagram, reply func([]byte)) {
+		var req pdu
+		if err := json.Unmarshal(dg.Payload, &req); err != nil {
+			return // malformed datagrams are dropped, like real UDP agents
+		}
+		out, err := json.Marshal(a.handle(req))
+		if err != nil {
+			return
+		}
+		reply(out)
+	})
+}
+
+// Client issues queries from a simnet node.
+type Client struct {
+	Net       *simnet.Network
+	From      *simnet.Node
+	FromPort  int
+	Community string
+	Timeout   time.Duration // default 2 s
+
+	nextID  uint64
+	pending map[uint64]func(pdu, error)
+	bound   bool
+}
+
+// NewClient returns a client sending from the given node and port.
+func NewClient(net *simnet.Network, from *simnet.Node, fromPort int, community string) *Client {
+	return &Client{
+		Net: net, From: from, FromPort: fromPort,
+		Community: community, Timeout: 2 * time.Second,
+		pending: make(map[uint64]func(pdu, error)),
+	}
+}
+
+func (c *Client) ensureBound() error {
+	if c.bound {
+		return nil
+	}
+	err := c.From.BindUDP(c.FromPort, func(dg simnet.Datagram, _ func([]byte)) {
+		var resp pdu
+		if json.Unmarshal(dg.Payload, &resp) != nil {
+			return
+		}
+		cb, ok := c.pending[resp.RequestID]
+		if !ok {
+			return // late response after timeout
+		}
+		delete(c.pending, resp.RequestID)
+		if resp.Error != "" {
+			cb(pdu{}, fmt.Errorf("%s", resp.Error))
+			return
+		}
+		cb(resp, nil)
+	})
+	if err != nil {
+		return err
+	}
+	c.bound = true
+	return nil
+}
+
+func (c *Client) send(to *simnet.Node, port int, req pdu, cb func(pdu, error)) {
+	if err := c.ensureBound(); err != nil {
+		cb(pdu{}, err)
+		return
+	}
+	c.nextID++
+	req.RequestID = c.nextID
+	req.Community = c.Community
+	payload, err := json.Marshal(req)
+	if err != nil {
+		cb(pdu{}, err)
+		return
+	}
+	id := req.RequestID
+	c.pending[id] = cb
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	timer := c.Net.Scheduler().After(timeout, func() {
+		if cb, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			cb(pdu{}, fmt.Errorf("snmp: timeout querying %s:%d", to.Name, port))
+		}
+	})
+	c.Net.SendDatagram(simnet.Datagram{
+		From: c.From, FromPort: c.FromPort,
+		To: to, ToPort: port, Payload: payload,
+	}, func(reason string) {
+		if cb, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			timer.Stop()
+			cb(pdu{}, fmt.Errorf("snmp: %s", reason))
+		}
+	})
+	// Wrap the callback so a successful response cancels the timer.
+	inner := c.pending[id]
+	if inner != nil {
+		c.pending[id] = func(p pdu, err error) {
+			timer.Stop()
+			inner(p, err)
+		}
+	}
+}
+
+// Get fetches the given OIDs.
+func (c *Client) Get(to *simnet.Node, port int, oids []OID, cb func([]Binding, error)) {
+	c.send(to, port, pdu{Type: pduGet, OIDs: oids}, func(resp pdu, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(resp.Bindings, nil)
+	})
+}
+
+// GetNext fetches the lexical successor of oid.
+func (c *Client) GetNext(to *simnet.Node, port int, oid OID, cb func(Binding, error)) {
+	c.send(to, port, pdu{Type: pduGetNext, OIDs: []OID{oid}}, func(resp pdu, err error) {
+		if err != nil {
+			cb(Binding{}, err)
+			return
+		}
+		if len(resp.Bindings) != 1 {
+			cb(Binding{}, fmt.Errorf("snmp: bad GETNEXT response"))
+			return
+		}
+		cb(resp.Bindings[0], nil)
+	})
+}
+
+// Walk traverses the subtree under prefix, delivering all bindings.
+func (c *Client) Walk(to *simnet.Node, port int, prefix OID, cb func([]Binding, error)) {
+	var acc []Binding
+	var stepFn func(from OID)
+	stepFn = func(from OID) {
+		c.GetNext(to, port, from, func(b Binding, err error) {
+			if err != nil {
+				// End of MIB is a clean end of walk.
+				if strings.Contains(err.Error(), "end of MIB") {
+					cb(acc, nil)
+					return
+				}
+				cb(nil, err)
+				return
+			}
+			if !b.OID.HasPrefix(prefix) {
+				cb(acc, nil)
+				return
+			}
+			acc = append(acc, b)
+			stepFn(b.OID)
+		})
+	}
+	stepFn(prefix)
+}

@@ -1,0 +1,214 @@
+package snmp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"jamm/internal/sim"
+	"jamm/internal/simnet"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func setup(t *testing.T) (*sim.Scheduler, *simnet.Network, *simnet.Node, *simnet.Node) {
+	t.Helper()
+	s := sim.NewScheduler(epoch)
+	n := simnet.New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	mon := n.AddHost("monitor", simnet.HostConfig{})
+	rtr := n.AddRouter("rtr1")
+	n.Connect(mon, rtr, simnet.Rate100BT, time.Millisecond)
+	return s, n, mon, rtr
+}
+
+func TestOIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		less bool
+	}{
+		{"1.2.3", "1.2.4", true},
+		{"1.2.4", "1.2.3", false},
+		{"1.2", "1.2.1", true},
+		{"1.2.3", "1.2.3", false},
+		{"1.10", "1.9", false}, // numeric, not lexical
+		{"1.9", "1.10", true},
+	}
+	for _, c := range cases {
+		if got := OID(c.a).Less(OID(c.b)); got != c.less {
+			t.Errorf("%s < %s = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestOIDHasPrefix(t *testing.T) {
+	if !OID("1.2.3.4").HasPrefix("1.2.3") {
+		t.Error("1.2.3.4 should have prefix 1.2.3")
+	}
+	if OID("1.2.34").HasPrefix("1.2.3") {
+		t.Error("1.2.34 must not match prefix 1.2.3")
+	}
+	if !OID("1.2.3").HasPrefix("1.2.3") {
+		t.Error("equal OIDs are prefixes")
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	agent := NewDeviceAgent(rtr, "public")
+	if err := ServeOn(rtr, DefaultPort, agent); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(n, mon, 4001, "public")
+	var got []Binding
+	var gotErr error
+	client.Get(rtr, DefaultPort, []OID{OIDSysName, IfInOctets(1)}, func(b []Binding, err error) {
+		got, gotErr = b, err
+	})
+	s.RunFor(time.Second)
+	if gotErr != nil {
+		t.Fatalf("Get: %v", gotErr)
+	}
+	if len(got) != 2 || got[0].Value.Str != "rtr1" || got[0].Value.Kind != "string" {
+		t.Errorf("bindings = %+v", got)
+	}
+	if got[1].Value.Kind != "counter" {
+		t.Errorf("ifInOctets kind = %q", got[1].Value.Kind)
+	}
+}
+
+func TestBadCommunityRejected(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "secret"))
+	client := NewClient(n, mon, 4001, "wrong")
+	var gotErr error
+	client.Get(rtr, DefaultPort, []OID{OIDSysName}, func(_ []Binding, err error) { gotErr = err })
+	s.RunFor(time.Second)
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "community") {
+		t.Errorf("err = %v, want community rejection", gotErr)
+	}
+}
+
+func TestUnknownOID(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "public"))
+	client := NewClient(n, mon, 4001, "public")
+	var gotErr error
+	client.Get(rtr, DefaultPort, []OID{"9.9.9"}, func(_ []Binding, err error) { gotErr = err })
+	s.RunFor(time.Second)
+	if gotErr == nil {
+		t.Error("unknown OID did not error")
+	}
+}
+
+func TestTimeoutWhenNoAgent(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	client := NewClient(n, mon, 4001, "public")
+	var gotErr error
+	client.Get(rtr, DefaultPort, []OID{OIDSysName}, func(_ []Binding, err error) { gotErr = err })
+	s.RunFor(5 * time.Second)
+	if gotErr == nil {
+		t.Fatal("query to unbound port did not fail")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("%d events still pending after failure handled", got)
+	}
+}
+
+func TestWalkInterfaceTable(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	// Give the router a second link so the table has two interfaces.
+	other := n.AddHost("other", simnet.HostConfig{})
+	n.Connect(rtr, other, simnet.Rate100BT, time.Millisecond)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "public"))
+	client := NewClient(n, mon, 4001, "public")
+	var got []Binding
+	var gotErr error
+	client.Walk(rtr, DefaultPort, OIDIfTable, func(b []Binding, err error) { got, gotErr = b, err })
+	s.RunFor(10 * time.Second)
+	if gotErr != nil {
+		t.Fatalf("Walk: %v", gotErr)
+	}
+	// 7 counters × 2 interfaces.
+	if len(got) != 14 {
+		t.Fatalf("walk returned %d bindings, want 14", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].OID.Less(got[i].OID) {
+			t.Errorf("walk out of order at %d: %s !< %s", i, got[i-1].OID, got[i].OID)
+		}
+	}
+}
+
+func TestCountersReflectLiveTraffic(t *testing.T) {
+	s := sim.NewScheduler(epoch)
+	n := simnet.New(s, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	a := n.AddHost("a", simnet.HostConfig{})
+	b := n.AddHost("b", simnet.HostConfig{})
+	rtr := n.AddRouter("rtr")
+	mon := n.AddHost("mon", simnet.HostConfig{})
+	n.Connect(a, rtr, simnet.RateGigE, time.Millisecond)
+	n.Connect(b, rtr, simnet.RateGigE, time.Millisecond)
+	n.Connect(mon, rtr, simnet.Rate100BT, time.Millisecond)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "public"))
+	client := NewClient(n, mon, 4001, "public")
+
+	read := func() uint64 {
+		var v uint64
+		client.Get(rtr, DefaultPort, []OID{IfInOctets(1)}, func(bind []Binding, err error) {
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			v = bind[0].Value.Counter
+		})
+		s.RunFor(time.Second)
+		return v
+	}
+	before := read()
+	f, _ := n.OpenFlow(a, 7000, b, 14000, simnet.FlowConfig{})
+	f.Send(2e6, nil)
+	s.RunFor(5 * time.Second)
+	after := read()
+	if after < before+2e6-1 {
+		t.Errorf("ifInOctets went %d -> %d, want +2e6", before, after)
+	}
+}
+
+func TestInjectedErrorsVisible(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "public"))
+	rtr.Interfaces()[0].InjectCRCErrors(7)
+	client := NewClient(n, mon, 4001, "public")
+	var got uint64
+	client.Get(rtr, DefaultPort, []OID{IfInErrors(1)}, func(b []Binding, err error) {
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		got = b[0].Value.Counter
+	})
+	s.RunFor(time.Second)
+	if got != 7 {
+		t.Errorf("ifInErrors = %d, want 7", got)
+	}
+}
+
+func TestConcurrentRequestsKeptApart(t *testing.T) {
+	s, n, mon, rtr := setup(t)
+	ServeOn(rtr, DefaultPort, NewDeviceAgent(rtr, "public"))
+	client := NewClient(n, mon, 4001, "public")
+	results := map[string]string{}
+	client.Get(rtr, DefaultPort, []OID{OIDSysName}, func(b []Binding, err error) {
+		if err == nil {
+			results["first"] = b[0].Value.Str
+		}
+	})
+	client.Get(rtr, DefaultPort, []OID{OIDSysName}, func(b []Binding, err error) {
+		if err == nil {
+			results["second"] = b[0].Value.Str
+		}
+	})
+	s.RunFor(time.Second)
+	if results["first"] != "rtr1" || results["second"] != "rtr1" {
+		t.Errorf("results = %+v", results)
+	}
+}

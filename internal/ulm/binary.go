@@ -1,0 +1,208 @@
+package ulm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary encoding of ULM records (paper §3.0: "a binary format option
+// for high throughput event data that can not tolerate the parsing
+// overhead of ASCII formats").
+//
+// Layout, all integers unsigned varints:
+//
+//	magic byte 0xBE
+//	date:   microseconds since the Unix epoch
+//	host, prog, lvl, event: length-prefixed strings (event may be empty)
+//	nfields, then nfields × (key, value) length-prefixed strings
+//
+// The encoding is self-delimiting, so records can be streamed back to
+// back on a connection.
+
+const binaryMagic = 0xBE
+
+// ErrBadMagic reports a binary stream that does not start with the ULM
+// binary record marker.
+var ErrBadMagic = errors.New("ulm: bad binary magic byte")
+
+// AppendBinary appends the binary encoding of r to dst.
+func AppendBinary(dst []byte, r *Record) []byte {
+	dst = append(dst, binaryMagic)
+	dst = binary.AppendUvarint(dst, uint64(r.Date.UnixMicro()))
+	dst = appendString(dst, r.Host)
+	dst = appendString(dst, r.Prog)
+	dst = appendString(dst, r.Lvl)
+	dst = appendString(dst, r.Event)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Fields)))
+	for _, f := range r.Fields {
+		dst = appendString(dst, f.Key)
+		dst = appendString(dst, f.Value)
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r *Record) MarshalBinary() ([]byte, error) {
+	return AppendBinary(nil, r), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It requires the
+// buffer to contain exactly one record.
+func (r *Record) UnmarshalBinary(data []byte) error {
+	rest, err := DecodeBinary(data, r)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("ulm: %d trailing bytes after binary record", len(rest))
+	}
+	return nil
+}
+
+// DecodeBinary decodes one record from the front of data, returning the
+// remaining bytes.
+func DecodeBinary(data []byte, r *Record) ([]byte, error) {
+	if len(data) == 0 || data[0] != binaryMagic {
+		return data, ErrBadMagic
+	}
+	data = data[1:]
+	usec, data, err := readUvarint(data)
+	if err != nil {
+		return data, err
+	}
+	r.Date = time.UnixMicro(int64(usec)).UTC()
+	if r.Host, data, err = readString(data); err != nil {
+		return data, err
+	}
+	if r.Prog, data, err = readString(data); err != nil {
+		return data, err
+	}
+	if r.Lvl, data, err = readString(data); err != nil {
+		return data, err
+	}
+	if r.Event, data, err = readString(data); err != nil {
+		return data, err
+	}
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return data, err
+	}
+	if n > uint64(len(data)) { // each field needs ≥2 bytes; cheap sanity bound
+		return data, fmt.Errorf("ulm: implausible field count %d", n)
+	}
+	r.Fields = make([]Field, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, data, err = readString(data); err != nil {
+			return data, err
+		}
+		if v, data, err = readString(data); err != nil {
+			return data, err
+		}
+		r.Fields = append(r.Fields, Field{k, v})
+	}
+	return data, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, data, errors.New("ulm: truncated varint")
+	}
+	return v, data[n:], nil
+}
+
+func readString(data []byte) (string, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return "", data, err
+	}
+	if n > uint64(len(data)) {
+		return "", data, errors.New("ulm: truncated string")
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+// BinaryWriter streams binary records to an io.Writer.
+type BinaryWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewBinaryWriter returns a BinaryWriter emitting to w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: w}
+}
+
+// Write encodes and writes one record.
+func (bw *BinaryWriter) Write(r *Record) error {
+	bw.buf = AppendBinary(bw.buf[:0], r)
+	_, err := bw.w.Write(bw.buf)
+	return err
+}
+
+// BinaryReader streams binary records from an io.Reader.
+type BinaryReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	end int
+}
+
+// NewBinaryReader returns a BinaryReader consuming from r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+// Read decodes the next record, returning io.EOF at a clean end of
+// stream.
+func (br *BinaryReader) Read(rec *Record) error {
+	for {
+		if br.pos < br.end {
+			rest, err := DecodeBinary(br.buf[br.pos:br.end], rec)
+			if err == nil {
+				br.pos = br.end - len(rest)
+				return nil
+			}
+			// Errors may just mean "need more bytes"; fall through
+			// to refill, but a bad magic byte on a full buffer is fatal.
+			if errors.Is(err, ErrBadMagic) {
+				return err
+			}
+		}
+		if err := br.fill(); err != nil {
+			if err == io.EOF && br.pos < br.end {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+}
+
+func (br *BinaryReader) fill() error {
+	if br.pos > 0 {
+		copy(br.buf[:cap(br.buf)], br.buf[br.pos:br.end])
+		br.end -= br.pos
+		br.pos = 0
+	}
+	if br.end == cap(br.buf) {
+		nb := make([]byte, cap(br.buf)*2)
+		copy(nb, br.buf[:br.end])
+		br.buf = nb
+	}
+	n, err := br.r.Read(br.buf[br.end:cap(br.buf)])
+	br.buf = br.buf[:cap(br.buf)]
+	br.end += n
+	if n > 0 {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,105 @@
+package ulm
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Scanner reads ULM records line by line from an io.Reader, skipping
+// blank lines and '#' comments. It is the parsing half of the NetLogger
+// log-collection tools.
+type Scanner struct {
+	s    *bufio.Scanner
+	rec  Record
+	err  error
+	line int
+}
+
+// NewScanner returns a Scanner reading from r.
+func NewScanner(r io.Reader) *Scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Scanner{s: s}
+}
+
+// Scan advances to the next record, returning false at end of input or
+// on error. Err distinguishes the two.
+func (sc *Scanner) Scan() bool {
+	if sc.err != nil {
+		return false
+	}
+	for sc.s.Scan() {
+		sc.line++
+		line := strings.TrimSpace(sc.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := Parse(line)
+		if err != nil {
+			sc.err = &LineError{Line: sc.line, Err: err}
+			return false
+		}
+		sc.rec = rec
+		return true
+	}
+	sc.err = sc.s.Err()
+	return false
+}
+
+// Record returns the record produced by the last successful Scan.
+func (sc *Scanner) Record() Record { return sc.rec }
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (sc *Scanner) Err() error { return sc.err }
+
+// LineError wraps a parse error with its line number.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string {
+	return "line " + itoa(e.Line) + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *LineError) Unwrap() error { return e.Err }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := NewScanner(r)
+	var recs []Record
+	for sc.Scan() {
+		recs = append(recs, sc.Record())
+	}
+	return recs, sc.Err()
+}
+
+// WriteAll writes records to w in ULM line format.
+func WriteAll(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for i := range recs {
+		if _, err := bw.WriteString(recs[i].String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

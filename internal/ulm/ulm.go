@@ -1,0 +1,392 @@
+// Package ulm implements the Universal Logger Message format used by
+// NetLogger and JAMM for the logging and exchange of monitoring events
+// (Abela & Debeaupuis, IETF draft "Universal Format for Logger Messages").
+//
+// A ULM record is a whitespace-separated list of field=value pairs. The
+// required fields are DATE, HOST, PROG and LVL; they may be followed by
+// any number of user-defined fields. NetLogger adds the NL.EVNT field
+// whose value is a unique identifier for the event being logged:
+//
+//	DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage NL.EVNT=WriteData SEND.SZ=49332
+//
+// The DATE field carries six fractional digits, allowing microsecond
+// precision. Values containing whitespace, quotes or '=' are quoted with
+// double quotes and backslash-escaped.
+//
+// The package also provides a compact binary encoding (for high
+// throughput event data that cannot tolerate ASCII parsing overhead,
+// paper §3.0) and an XML rendering (the ULM-to-XML gateway filter,
+// paper §7.0).
+package ulm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Standard severity levels for the LVL field. The paper's examples use
+// Usage for performance events.
+const (
+	LvlEmergency = "Emergency"
+	LvlAlert     = "Alert"
+	LvlError     = "Error"
+	LvlWarning   = "Warning"
+	LvlAuth      = "Auth"
+	LvlSecurity  = "Security"
+	LvlUsage     = "Usage"
+	LvlSystem    = "System"
+	LvlImportant = "Important"
+	LvlDebug     = "Debug"
+)
+
+// DateLayout is the ULM timestamp layout: seconds since the epoch are
+// rendered as a calendar timestamp with six digits of sub-second
+// precision (microseconds). All timestamps are UTC.
+const DateLayout = "20060102150405.000000"
+
+// Field is a single user-defined key=value pair. Field order is
+// preserved: NetLogger tools rely on stable ordering for readability.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// Record is one parsed ULM event.
+type Record struct {
+	Date   time.Time
+	Host   string
+	Prog   string
+	Lvl    string
+	Event  string  // NL.EVNT; empty for non-NetLogger ULM records
+	Fields []Field // user-defined fields, in original order
+}
+
+// ErrMissingField reports a ULM line lacking one of the required fields.
+var ErrMissingField = errors.New("ulm: missing required field")
+
+// Get returns the value of the named user field and whether it was
+// present. Required fields are addressed by their struct members, but
+// Get also resolves DATE, HOST, PROG, LVL and NL.EVNT for convenience.
+func (r *Record) Get(key string) (string, bool) {
+	switch key {
+	case "DATE":
+		return r.Date.UTC().Format(DateLayout), true
+	case "HOST":
+		return r.Host, true
+	case "PROG":
+		return r.Prog, true
+	case "LVL":
+		return r.Lvl, true
+	case "NL.EVNT":
+		if r.Event == "" {
+			return "", false
+		}
+		return r.Event, true
+	}
+	for _, f := range r.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// Int returns the named user field parsed as an int64.
+func (r *Record) Int(key string) (int64, error) {
+	v, ok := r.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("ulm: field %q not present", key)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+// Float returns the named user field parsed as a float64.
+func (r *Record) Float(key string) (float64, error) {
+	v, ok := r.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("ulm: field %q not present", key)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// Set replaces the value of the named user field, appending the field if
+// it is not yet present.
+func (r *Record) Set(key, value string) {
+	for i := range r.Fields {
+		if r.Fields[i].Key == key {
+			r.Fields[i].Value = value
+			return
+		}
+	}
+	r.Fields = append(r.Fields, Field{key, value})
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() Record {
+	c := *r
+	c.Fields = append([]Field(nil), r.Fields...)
+	return c
+}
+
+// Validate reports whether the record has all required fields and
+// well-formed keys.
+func (r *Record) Validate() error {
+	if r.Date.IsZero() {
+		return fmt.Errorf("%w: DATE", ErrMissingField)
+	}
+	if r.Host == "" {
+		return fmt.Errorf("%w: HOST", ErrMissingField)
+	}
+	if r.Prog == "" {
+		return fmt.Errorf("%w: PROG", ErrMissingField)
+	}
+	if r.Lvl == "" {
+		return fmt.Errorf("%w: LVL", ErrMissingField)
+	}
+	for _, f := range r.Fields {
+		if err := validKey(f.Key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validKey(k string) error {
+	if k == "" {
+		return errors.New("ulm: empty field key")
+	}
+	if strings.ContainsAny(k, " \t\n\r=\"") {
+		return fmt.Errorf("ulm: invalid field key %q", k)
+	}
+	return nil
+}
+
+// String renders the record in ULM line format (without a trailing
+// newline).
+func (r Record) String() string {
+	var b strings.Builder
+	b.Grow(96 + 16*len(r.Fields))
+	b.WriteString("DATE=")
+	b.WriteString(r.Date.UTC().Format(DateLayout))
+	b.WriteString(" HOST=")
+	writeValue(&b, r.Host)
+	b.WriteString(" PROG=")
+	writeValue(&b, r.Prog)
+	b.WriteString(" LVL=")
+	writeValue(&b, r.Lvl)
+	if r.Event != "" {
+		b.WriteString(" NL.EVNT=")
+		writeValue(&b, r.Event)
+	}
+	for _, f := range r.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		writeValue(&b, f.Value)
+	}
+	return b.String()
+}
+
+func needsQuoting(v string) bool {
+	if v == "" {
+		return true
+	}
+	return strings.ContainsAny(v, " \t\n\r\"=")
+}
+
+func writeValue(b *strings.Builder, v string) {
+	if !needsQuoting(v) {
+		b.WriteString(v)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// Parse parses a single ULM line. Unknown ordering of the required
+// fields is accepted; they are conventionally first but the format does
+// not demand it.
+func Parse(line string) (Record, error) {
+	var r Record
+	var sawDate bool
+	rest := strings.TrimSpace(line)
+	if rest == "" {
+		return r, errors.New("ulm: empty line")
+	}
+	for len(rest) > 0 {
+		key, value, remaining, err := parsePair(rest)
+		if err != nil {
+			return r, err
+		}
+		rest = remaining
+		switch key {
+		case "DATE":
+			t, err := ParseDate(value)
+			if err != nil {
+				return r, err
+			}
+			r.Date = t
+			sawDate = true
+		case "HOST":
+			r.Host = value
+		case "PROG":
+			r.Prog = value
+		case "LVL":
+			r.Lvl = value
+		case "NL.EVNT":
+			r.Event = value
+		default:
+			r.Fields = append(r.Fields, Field{key, value})
+		}
+	}
+	if !sawDate {
+		return r, fmt.Errorf("%w: DATE", ErrMissingField)
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// parsePair consumes one key=value token from the front of s.
+func parsePair(s string) (key, value, rest string, err error) {
+	eq := strings.IndexByte(s, '=')
+	if eq <= 0 {
+		return "", "", "", fmt.Errorf("ulm: malformed pair near %q", truncate(s))
+	}
+	key = s[:eq]
+	if err := validKey(key); err != nil {
+		return "", "", "", err
+	}
+	s = s[eq+1:]
+	if len(s) > 0 && s[0] == '"' {
+		var b strings.Builder
+		i := 1
+		for {
+			if i >= len(s) {
+				return "", "", "", fmt.Errorf("ulm: unterminated quote in value of %q", key)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return "", "", "", fmt.Errorf("ulm: dangling escape in value of %q", key)
+				}
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		return key, b.String(), strings.TrimLeft(s[i:], " \t"), nil
+	}
+	end := strings.IndexAny(s, " \t")
+	if end < 0 {
+		return key, s, "", nil
+	}
+	return key, s[:end], strings.TrimLeft(s[end:], " \t"), nil
+}
+
+func truncate(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+// ParseDate parses a ULM DATE value (UTC, microsecond precision).
+func ParseDate(v string) (time.Time, error) {
+	t, err := time.ParseInLocation(DateLayout, v, time.UTC)
+	if err != nil {
+		// Tolerate fewer fractional digits, as some producers emit
+		// millisecond precision.
+		t2, err2 := time.ParseInLocation("20060102150405", strings.SplitN(v, ".", 2)[0], time.UTC)
+		if err2 != nil {
+			return time.Time{}, fmt.Errorf("ulm: bad DATE %q: %v", v, err)
+		}
+		if dot := strings.IndexByte(v, '.'); dot >= 0 {
+			frac := v[dot+1:]
+			if frac == "" || len(frac) > 9 {
+				return time.Time{}, fmt.Errorf("ulm: bad DATE fraction %q", v)
+			}
+			ns, errf := strconv.ParseUint(frac+strings.Repeat("0", 9-len(frac)), 10, 64)
+			if errf != nil {
+				return time.Time{}, fmt.Errorf("ulm: bad DATE fraction %q", v)
+			}
+			t2 = t2.Add(time.Duration(ns))
+		}
+		return t2, nil
+	}
+	return t, nil
+}
+
+// FormatDate renders t as a ULM DATE value.
+func FormatDate(t time.Time) string {
+	return t.UTC().Format(DateLayout)
+}
+
+// SortByDate sorts records by timestamp, stably, so that events from a
+// single producer preserve their emission order when timestamps tie.
+func SortByDate(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].Date.Before(recs[j].Date)
+	})
+}
+
+// Merge merges already-sorted record slices into one sorted slice; this
+// is the core of the NetLogger log-collection tools that combine
+// per-sensor files into a single file for nlv.
+func Merge(sorted ...[]Record) []Record {
+	total := 0
+	for _, s := range sorted {
+		total += len(s)
+	}
+	out := make([]Record, 0, total)
+	idx := make([]int, len(sorted))
+	for len(out) < total {
+		best := -1
+		for i, s := range sorted {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[idx[i]].Date.Before(sorted[best][idx[best]].Date) {
+				best = i
+			}
+		}
+		out = append(out, sorted[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

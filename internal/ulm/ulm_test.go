@@ -1,0 +1,410 @@
+package ulm
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Date:  time.Date(2000, 3, 30, 11, 23, 20, 957943000, time.UTC),
+		Host:  "dpss1.lbl.gov",
+		Prog:  "testProg",
+		Lvl:   LvlUsage,
+		Event: "WriteData",
+		Fields: []Field{
+			{"SEND.SZ", "49332"},
+		},
+	}
+}
+
+func TestStringMatchesPaperExample(t *testing.T) {
+	got := sampleRecord().String()
+	want := "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage NL.EVNT=WriteData SEND.SZ=49332"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	line := "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg LVL=Usage NL.EVNT=WriteData  SEND.SZ=49332"
+	r, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !r.Date.Equal(time.Date(2000, 3, 30, 11, 23, 20, 957943000, time.UTC)) {
+		t.Errorf("Date = %v", r.Date)
+	}
+	if r.Host != "dpss1.lbl.gov" || r.Prog != "testProg" || r.Lvl != "Usage" || r.Event != "WriteData" {
+		t.Errorf("header fields = %+v", r)
+	}
+	if v, err := r.Int("SEND.SZ"); err != nil || v != 49332 {
+		t.Errorf("SEND.SZ = %d, %v", v, err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	r.Fields = append(r.Fields, Field{"MSG", `a "quoted" value with = and spaces`}, Field{"EMPTY", ""})
+	got, err := Parse(r.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", r.String(), err)
+	}
+	if !recordsEqual(r, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", r, got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"empty", ""},
+		{"missing date", "HOST=h PROG=p LVL=Usage"},
+		{"missing host", "DATE=20000330112320.957943 PROG=p LVL=Usage"},
+		{"bad date", "DATE=notadate HOST=h PROG=p LVL=Usage"},
+		{"bare word", "DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage junk"},
+		{"unterminated quote", `DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage X="abc`},
+		{"dangling escape", `DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage X="abc\`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.line); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", tc.name, tc.line)
+		}
+	}
+}
+
+func TestParseMissingFieldErrorKind(t *testing.T) {
+	_, err := Parse("HOST=h PROG=p LVL=Usage")
+	if !errors.Is(err, ErrMissingField) {
+		t.Errorf("err = %v, want ErrMissingField", err)
+	}
+}
+
+func TestParseDateVariants(t *testing.T) {
+	for _, v := range []string{"20000330112320.957943", "20000330112320.9", "20000330112320.957"} {
+		if _, err := ParseDate(v); err != nil {
+			t.Errorf("ParseDate(%q): %v", v, err)
+		}
+	}
+	for _, v := range []string{"", "2000", "20000330112320.", "20000330112320.1234567890"} {
+		if _, err := ParseDate(v); err == nil {
+			t.Errorf("ParseDate(%q) succeeded, want error", v)
+		}
+	}
+}
+
+func TestGetResolvesRequiredFields(t *testing.T) {
+	r := sampleRecord()
+	for key, want := range map[string]string{
+		"DATE":    "20000330112320.957943",
+		"HOST":    "dpss1.lbl.gov",
+		"PROG":    "testProg",
+		"LVL":     "Usage",
+		"NL.EVNT": "WriteData",
+		"SEND.SZ": "49332",
+	} {
+		if got, ok := r.Get(key); !ok || got != want {
+			t.Errorf("Get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	if _, ok := r.Get("NOPE"); ok {
+		t.Error("Get(NOPE) reported present")
+	}
+}
+
+func TestSetUpdatesInPlace(t *testing.T) {
+	r := sampleRecord()
+	r.Set("SEND.SZ", "7")
+	r.Set("NEW", "x")
+	if v, _ := r.Get("SEND.SZ"); v != "7" {
+		t.Errorf("SEND.SZ = %q", v)
+	}
+	if v, _ := r.Get("NEW"); v != "x" {
+		t.Errorf("NEW = %q", v)
+	}
+	if len(r.Fields) != 2 {
+		t.Errorf("len(Fields) = %d, want 2", len(r.Fields))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := sampleRecord()
+	c := r.Clone()
+	c.Set("SEND.SZ", "0")
+	if v, _ := r.Get("SEND.SZ"); v != "49332" {
+		t.Error("Clone shares Fields storage with original")
+	}
+}
+
+func TestFloatAndIntErrors(t *testing.T) {
+	r := sampleRecord()
+	if _, err := r.Int("MISSING"); err == nil {
+		t.Error("Int(MISSING) succeeded")
+	}
+	if _, err := r.Float("MISSING"); err == nil {
+		t.Error("Float(MISSING) succeeded")
+	}
+	r.Set("BAD", "abc")
+	if _, err := r.Int("BAD"); err == nil {
+		t.Error("Int(BAD) succeeded")
+	}
+}
+
+func TestValidateRejectsBadKeys(t *testing.T) {
+	r := sampleRecord()
+	r.Fields = append(r.Fields, Field{"bad key", "v"})
+	if err := r.Validate(); err == nil {
+		t.Error("Validate accepted key with space")
+	}
+}
+
+func TestSortByDateStable(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	recs := []Record{
+		{Date: base.Add(2 * time.Second), Host: "a", Prog: "p", Lvl: "Usage", Event: "e1"},
+		{Date: base, Host: "b", Prog: "p", Lvl: "Usage", Event: "first"},
+		{Date: base, Host: "b", Prog: "p", Lvl: "Usage", Event: "second"},
+		{Date: base.Add(time.Second), Host: "c", Prog: "p", Lvl: "Usage", Event: "mid"},
+	}
+	SortByDate(recs)
+	order := []string{"first", "second", "mid", "e1"}
+	for i, want := range order {
+		if recs[i].Event != want {
+			t.Fatalf("recs[%d].Event = %q, want %q", i, recs[i].Event, want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(host string, offsets ...int) []Record {
+		var out []Record
+		for _, o := range offsets {
+			out = append(out, Record{Date: base.Add(time.Duration(o) * time.Second), Host: host, Prog: "p", Lvl: "Usage"})
+		}
+		return out
+	}
+	merged := Merge(mk("a", 0, 3, 6), mk("b", 1, 2, 7), mk("c", 4, 5))
+	if len(merged) != 8 {
+		t.Fatalf("len(merged) = %d", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Date.Before(merged[i-1].Date) {
+			t.Fatalf("merged out of order at %d", i)
+		}
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Errorf("Merge() = %v", got)
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Errorf("Merge(nil,nil) = %v", got)
+	}
+}
+
+// randomRecord builds a valid record from random (printable-safe) data.
+func randomRecord(rnd *rand.Rand) Record {
+	randStr := func(allowAny bool) string {
+		n := 1 + rnd.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			if allowAny {
+				// Any byte that String() must be able to quote.
+				c := byte(rnd.Intn(94) + 32)
+				b.WriteByte(c)
+			} else {
+				b.WriteByte(byte('a' + rnd.Intn(26)))
+			}
+		}
+		return b.String()
+	}
+	r := Record{
+		Date: time.UnixMicro(rnd.Int63n(4e15)).UTC(),
+		Host: randStr(false),
+		Prog: randStr(false),
+		Lvl:  LvlUsage,
+	}
+	if rnd.Intn(2) == 0 {
+		r.Event = randStr(false)
+	}
+	for i, n := 0, rnd.Intn(6); i < n; i++ {
+		r.Fields = append(r.Fields, Field{"K" + randStr(false), randStr(true)})
+	}
+	return r
+}
+
+func recordsEqual(a, b Record) bool {
+	if !a.Date.Equal(b.Date) || a.Host != b.Host || a.Prog != b.Prog || a.Lvl != b.Lvl || a.Event != b.Event {
+		return false
+	}
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	f := func() bool {
+		r := randomRecord(rnd)
+		got, err := Parse(r.String())
+		return err == nil && recordsEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	f := func() bool {
+		r := randomRecord(rnd)
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Record
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return recordsEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXMLRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	f := func() bool {
+		r := randomRecord(rnd)
+		data, err := ToXML(&r)
+		if err != nil {
+			return false
+		}
+		got, err := FromXML(data)
+		return err == nil && recordsEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	r := sampleRecord()
+	data, _ := r.MarshalBinary()
+	for i := 0; i < len(data); i++ {
+		var got Record
+		if err := got.UnmarshalBinary(data[:i]); err == nil {
+			t.Fatalf("UnmarshalBinary accepted truncation at %d", i)
+		}
+	}
+	var got Record
+	if err := got.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Error("UnmarshalBinary accepted trailing garbage")
+	}
+}
+
+func TestBinaryStream(t *testing.T) {
+	var buf strings.Builder
+	bw := NewBinaryWriter(&buf)
+	want := make([]Record, 50)
+	rnd := rand.New(rand.NewSource(4))
+	for i := range want {
+		want[i] = randomRecord(rnd)
+		if err := bw.Write(&want[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	br := NewBinaryReader(strings.NewReader(buf.String()))
+	for i := range want {
+		var got Record
+		if err := br.Read(&got); err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if !recordsEqual(want[i], got) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	var extra Record
+	if err := br.Read(&extra); err == nil {
+		t.Error("Read past end succeeded")
+	}
+}
+
+func TestScanner(t *testing.T) {
+	input := `# comment line
+DATE=20000330112320.957943 HOST=h1 PROG=p LVL=Usage NL.EVNT=A
+
+DATE=20000330112321.000000 HOST=h2 PROG=p LVL=Usage NL.EVNT=B
+`
+	recs, err := ReadAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Event != "A" || recs[1].Event != "B" {
+		t.Errorf("recs = %+v", recs)
+	}
+}
+
+func TestScannerReportsLineNumber(t *testing.T) {
+	input := "DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage\nnot ulm at all\n"
+	_, err := ReadAll(strings.NewReader(input))
+	var le *LineError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LineError", err)
+	}
+	if le.Line != 2 {
+		t.Errorf("Line = %d, want 2", le.Line)
+	}
+}
+
+func TestWriteAllReadAllRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	want := make([]Record, 20)
+	for i := range want {
+		want[i] = randomRecord(rnd)
+	}
+	var buf strings.Builder
+	if err := WriteAll(&buf, want); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(len(want), len(got)) {
+		t.Fatalf("len mismatch %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !recordsEqual(want[i], got[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestXMLStream(t *testing.T) {
+	var buf strings.Builder
+	recs := []Record{sampleRecord(), sampleRecord()}
+	if err := WriteXMLStream(&buf, recs); err != nil {
+		t.Fatalf("WriteXMLStream: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<ulmStream>") || !strings.Contains(out, `host="dpss1.lbl.gov"`) {
+		t.Errorf("unexpected XML stream:\n%s", out)
+	}
+}

@@ -1,0 +1,285 @@
+// Package webui serves JAMM monitoring data to a browser — the paper's
+// §5.0 applets "that make information produced by JAMM available
+// through a browser by means of tables, charts, and graphs. These are
+// useful in day-to-day system administration, in addition being used
+// to help with performance analysis."
+//
+// The server subscribes to an event gateway, keeps a sliding window of
+// recent events, and renders: the sensor table (the Sensor Data GUI's
+// columns), a recent-event log, nlv charts of any event series, and
+// gateway summaries. Everything is standard library HTML templating
+// plus the nlv renderer in a <pre>.
+package webui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/nlv"
+	"jamm/internal/ulm"
+)
+
+// Manager is the optional per-host control surface shown on the
+// overview page; *manager.Manager satisfies it.
+type Manager interface {
+	Host() string
+	Running() []string
+	Configured() []string
+}
+
+// Server renders one gateway's state. It is safe for concurrent use.
+type Server struct {
+	gw  *gateway.Gateway
+	mgr Manager // may be nil
+
+	mu     sync.Mutex
+	recent []ulm.Record
+	max    int
+
+	sub *gateway.Subscription
+}
+
+// New returns a web UI over gw, retaining up to maxRecent events
+// (default 2000). mgr may be nil for gateway-only deployments.
+func New(gw *gateway.Gateway, mgr Manager, maxRecent int) (*Server, error) {
+	if maxRecent <= 0 {
+		maxRecent = 2000
+	}
+	s := &Server{gw: gw, mgr: mgr, max: maxRecent}
+	sub, err := gw.Subscribe(gateway.Request{}, s.take)
+	if err != nil {
+		return nil, err
+	}
+	s.sub = sub
+	return s, nil
+}
+
+// Close cancels the UI's gateway subscription.
+func (s *Server) Close() {
+	if s.sub != nil {
+		s.sub.Cancel()
+	}
+}
+
+func (s *Server) take(rec ulm.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recent = append(s.recent, rec)
+	if len(s.recent) > s.max {
+		s.recent = append(s.recent[:0], s.recent[len(s.recent)-s.max:]...)
+	}
+}
+
+func (s *Server) snapshot() []ulm.Record {
+	s.mu.Lock()
+	out := make([]ulm.Record, len(s.recent))
+	copy(out, s.recent)
+	s.mu.Unlock()
+	ulm.SortByDate(out)
+	return out
+}
+
+// Handler returns the UI's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/chart", s.handleChart)
+	mux.HandleFunc("/summary", s.handleSummary)
+	return mux
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>JAMM — {{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 0.3em 0.6em; text-align: left; }
+th { background: #eee; }
+pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
+nav a { margin-right: 1em; }
+</style></head><body>
+<nav><a href="/">sensors</a><a href="/events">events</a></nav>
+<h1>{{.Title}}</h1>
+{{.Body}}
+</body></html>`))
+
+func renderPage(w http.ResponseWriter, title string, body template.HTML) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	pageTmpl.Execute(w, struct { //nolint:errcheck
+		Title string
+		Body  template.HTML
+	}{title, body})
+}
+
+var sensorsTmpl = template.Must(template.New("sensors").Parse(`
+{{if .Manager}}<p>host <b>{{.Manager.Host}}</b>: running {{.Manager.Running}} of configured {{.Manager.Configured}}</p>{{end}}
+<table>
+<tr><th>sensor</th><th>type</th><th>host</th><th>frequency</th><th>consumers</th><th>events published</th><th></th></tr>
+{{range .Sensors}}
+<tr><td>{{.Name}}</td><td>{{.Type}}</td><td>{{.Host}}</td><td>{{.Interval}}</td><td>{{.Consumers}}</td><td>{{.Published}}</td>
+<td><a href="/chart?sensor={{.Name}}">chart</a></td></tr>
+{{end}}
+</table>
+<p>gateway: {{.Stats.Published}} published, {{.Stats.Delivered}} delivered, {{.Stats.Suppressed}} suppressed, {{.Stats.Queries}} queries</p>`))
+
+// handleIndex is the Sensor Data GUI: "all sensors stored in a
+// specific LDAP server ... their current status, including such
+// details as frequency, duration, startup time, current number of
+// consumers, and last message."
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var buf strings.Builder
+	data := struct {
+		Manager Manager
+		Sensors []gateway.SensorInfo
+		Stats   gateway.Stats
+	}{s.mgr, s.gw.Sensors(), s.gw.Stats()}
+	if err := sensorsTmpl.Execute(&buf, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	renderPage(w, "sensors", template.HTML(buf.String())) //nolint:gosec // template-generated
+}
+
+var eventsTmpl = template.Must(template.New("events").Parse(`
+<table>
+<tr><th>date</th><th>host</th><th>prog</th><th>lvl</th><th>event</th><th>fields</th></tr>
+{{range .}}
+<tr><td>{{.Date}}</td><td>{{.Host}}</td><td>{{.Prog}}</td><td>{{.Lvl}}</td><td>{{.Event}}</td><td>{{.Fields}}</td></tr>
+{{end}}
+</table>`))
+
+// handleEvents lists the most recent events, newest first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	recs := s.snapshot()
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	type row struct {
+		Date, Host, Prog, Lvl, Event, Fields string
+	}
+	rows := make([]row, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		var fields []string
+		for _, f := range rec.Fields {
+			fields = append(fields, f.Key+"="+f.Value)
+		}
+		rows = append(rows, row{
+			Date:   rec.Date.Format("15:04:05.000"),
+			Host:   rec.Host,
+			Prog:   rec.Prog,
+			Lvl:    rec.Lvl,
+			Event:  rec.Event,
+			Fields: strings.Join(fields, " "),
+		})
+	}
+	var buf strings.Builder
+	if err := eventsTmpl.Execute(&buf, rows); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	renderPage(w, "recent events", template.HTML(buf.String())) //nolint:gosec
+}
+
+// handleChart renders an nlv chart of the retained window. Query
+// parameters: event (repeatable; empty charts every event seen),
+// field (default VAL), sensor (informational).
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
+	recs := s.snapshot()
+	q := r.URL.Query()
+	field := q.Get("field")
+	if field == "" {
+		field = "VAL"
+	}
+	events := q["event"]
+	if len(events) == 0 {
+		seen := map[string]bool{}
+		for _, rec := range recs {
+			if rec.Event != "" && !seen[rec.Event] {
+				seen[rec.Event] = true
+				events = append(events, rec.Event)
+			}
+		}
+		sort.Strings(events)
+		if len(events) > 12 {
+			events = events[:12]
+		}
+	}
+	g := nlv.New(100)
+	for _, ev := range events {
+		if hasNumericField(recs, ev, field) {
+			g.AddLoadline(ev, field, 4)
+		} else {
+			g.AddPoints(ev)
+		}
+	}
+	var chart strings.Builder
+	if err := g.Render(&chart, recs); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body := "<pre>" + template.HTMLEscapeString(chart.String()) + "</pre>"
+	renderPage(w, "chart", template.HTML(body)) //nolint:gosec
+}
+
+func hasNumericField(recs []ulm.Record, event, field string) bool {
+	for _, rec := range recs {
+		if rec.Event != event {
+			continue
+		}
+		if _, err := rec.Float(field); err == nil {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// handleSummary renders one summarized series' windows. Query
+// parameters: sensor, event, field (default VAL).
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pts, err := s.gw.Summary(q.Get("principal"), q.Get("sensor"), q.Get("event"), q.Get("field"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var buf strings.Builder
+	buf.WriteString("<table><tr><th>window</th><th>avg</th><th>min</th><th>max</th><th>samples</th></tr>")
+	for _, p := range pts {
+		fmt.Fprintf(&buf, "<tr><td>%s</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%d</td></tr>",
+			p.Window, p.Avg, p.Min, p.Max, p.Count)
+	}
+	buf.WriteString("</table>")
+	renderPage(w, "summary "+q.Get("sensor")+"/"+q.Get("event"), template.HTML(buf.String())) //nolint:gosec
+}
+
+// Retained reports how many events the UI currently holds (for tests
+// and status displays).
+func (s *Server) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recent)
+}
+
+// compile-time interface check against the real manager type happens in
+// webui_test to avoid an import cycle here.
+var _ = time.Second

@@ -1,0 +1,184 @@
+package webui
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/sensor"
+	"jamm/internal/sim"
+	"jamm/internal/simhost"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+var _ Manager = (*manager.Manager)(nil)
+
+func testServer(t *testing.T) (*gateway.Gateway, *Server, *httptest.Server) {
+	t.Helper()
+	gw := gateway.New("gw", nil)
+	gw.Register("cpu@h1", gateway.Meta{Host: "h1", Type: "cpu", Interval: time.Second})
+	ui, err := New(gw, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ui.Handler())
+	t.Cleanup(func() { srv.Close(); ui.Close() })
+	return gw, ui, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func publish(gw *gateway.Gateway, event string, at time.Duration, val string) {
+	gw.Publish("cpu@h1", ulm.Record{
+		Date: epoch.Add(at), Host: "h1", Prog: "jamm.cpu", Lvl: ulm.LvlUsage, Event: event,
+		Fields: []ulm.Field{{Key: "VAL", Value: val}},
+	})
+}
+
+func TestSensorTablePage(t *testing.T) {
+	gw, _, srv := testServer(t)
+	publish(gw, "VMSTAT_SYS_TIME", 0, "42")
+	code, body := get(t, srv.URL+"/")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"cpu@h1", "h1", "1s", "chart?sensor=cpu%40h1", "1 published"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index page missing %q:\n%s", want, body)
+		}
+	}
+	// Unknown paths 404 rather than rendering the index.
+	if code, _ := get(t, srv.URL+"/nope"); code != 404 {
+		t.Fatalf("unknown path status %d", code)
+	}
+}
+
+func TestEventsPage(t *testing.T) {
+	gw, ui, srv := testServer(t)
+	for i := 0; i < 5; i++ {
+		publish(gw, "VMSTAT_SYS_TIME", time.Duration(i)*time.Second, "42")
+	}
+	if ui.Retained() != 5 {
+		t.Fatalf("retained = %d", ui.Retained())
+	}
+	_, body := get(t, srv.URL+"/events?n=3")
+	if got := strings.Count(body, "VMSTAT_SYS_TIME"); got != 3 {
+		t.Fatalf("events page shows %d rows, want 3", got)
+	}
+	if !strings.Contains(body, "VAL=42") {
+		t.Fatal("fields column missing")
+	}
+}
+
+func TestEventsRingEviction(t *testing.T) {
+	gw, ui, _ := testServer(t)
+	for i := 0; i < 250; i++ {
+		publish(gw, "E", time.Duration(i)*time.Second, "1")
+	}
+	if got := ui.Retained(); got != 100 {
+		t.Fatalf("ring retained %d, want cap 100", got)
+	}
+}
+
+func TestChartPage(t *testing.T) {
+	gw, _, srv := testServer(t)
+	for i := 0; i < 30; i++ {
+		publish(gw, "VMSTAT_SYS_TIME", time.Duration(i)*time.Second, "50")
+		if i%7 == 0 {
+			gw.Publish("cpu@h1", ulm.Record{
+				Date: epoch.Add(time.Duration(i) * time.Second), Host: "h1",
+				Prog: "jamm.tcpd", Lvl: ulm.LvlUsage, Event: "TCPD_RETRANSMITS",
+			})
+		}
+	}
+	_, body := get(t, srv.URL+"/chart?event=VMSTAT_SYS_TIME&event=TCPD_RETRANSMITS")
+	if !strings.Contains(body, "VMSTAT_SYS_TIME") || !strings.Contains(body, "TCPD_RETRANSMITS") {
+		t.Fatalf("chart rows missing:\n%s", body)
+	}
+	if !strings.Contains(body, "<pre>") {
+		t.Fatal("chart not in pre block")
+	}
+	// Auto-selection charts whatever has been seen.
+	_, body = get(t, srv.URL+"/chart")
+	if !strings.Contains(body, "VMSTAT_SYS_TIME") {
+		t.Fatal("auto chart missing series")
+	}
+}
+
+func TestSummaryPage(t *testing.T) {
+	gw, _, srv := testServer(t)
+	gw.EnableSummary("cpu@h1", "VMSTAT_SYS_TIME", "VAL", time.Minute)
+	publish(gw, "VMSTAT_SYS_TIME", 0, "10")
+	publish(gw, "VMSTAT_SYS_TIME", time.Second, "30")
+	_, body := get(t, srv.URL+"/summary?sensor=cpu@h1&event=VMSTAT_SYS_TIME")
+	if !strings.Contains(body, "20.000") {
+		t.Fatalf("summary avg missing:\n%s", body)
+	}
+	code, _ := get(t, srv.URL+"/summary?sensor=ghost&event=E")
+	if code != 404 {
+		t.Fatalf("unknown summary status %d", code)
+	}
+}
+
+// TestAgainstRealManager wires the UI to a live manager-driven gateway,
+// covering the Manager line rendering on the index page.
+func TestAgainstRealManager(t *testing.T) {
+	sched := sim.NewScheduler(epoch)
+	net := simnet.New(sched, rand.New(rand.NewSource(1)), 10*time.Millisecond)
+	node := net.AddHost("h1.lbl.gov", simnet.HostConfig{RecvCapacityBps: 1e9})
+	host := simhost.New(sched, "h1.lbl.gov", node, nil, simhost.Config{})
+	gw := gateway.New("gw", func() time.Time { return sched.WallNow() })
+	mgr, err := manager.New(manager.Options{
+		Host: host, Gateway: gw, GatewayAddr: "gw",
+		Factory: func(spec manager.SensorSpec) (sensor.Sensor, error) {
+			return sensor.NewCPU(host, time.Duration(spec.Interval)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Apply(manager.Config{Sensors: []manager.SensorSpec{
+		{Type: "cpu", Interval: manager.Duration(time.Second)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ui, err := New(gw, mgr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+	sched.RunFor(5 * time.Second)
+
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+	_, body := get(t, srv.URL+"/")
+	for _, want := range []string{"h1.lbl.gov", "cpu@h1.lbl.gov", "[cpu]"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("manager page missing %q:\n%s", want, body)
+		}
+	}
+	if ui.Retained() != 10 {
+		t.Fatalf("retained = %d, want 10", ui.Retained())
+	}
+}

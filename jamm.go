@@ -1,0 +1,251 @@
+// Package jamm is a Go implementation of JAMM — Java Agents for
+// Monitoring and Management — the Grid monitoring sensor management
+// system of Tierney, Crowley, Gunter, Lee and Thompson, "A Monitoring
+// Sensor Management System for Grid Environments" (HPDC 2000,
+// LBNL-46847), together with the NetLogger toolkit it feeds and the
+// simulated Grid substrate its evaluation ran on.
+//
+// The package is a facade re-exporting the stable public API from the
+// internal packages:
+//
+//   - deployment assembly (Grid, Site, HostRig) and the ready-made
+//     Matisse scenario of the paper's §6 evaluation;
+//   - the JAMM plane: sensors, sensor managers with port monitors,
+//     event gateways with filtering and summaries, the LDAP-like
+//     sensor directory, consumers (collector, archiver, process
+//     monitor, overview monitor) and event archives;
+//   - the NetLogger toolkit: ULM event records, the client logging
+//     API, log collection, and the nlv terminal visualizer;
+//   - security: X.509 certificate authority, gridmap, and Akenti-style
+//     use-condition policies behind one authorization interface.
+//
+// A minimal deployment:
+//
+//	g := jamm.NewGrid(jamm.GridOptions{Seed: 1})
+//	site := g.AddSite("gw.lbl.gov")
+//	rig, _ := g.AddHost(site, "h1.lbl.gov", jamm.HostSpec{})
+//	rig.Manager.Apply(jamm.ManagerConfig{Sensors: []jamm.SensorSpec{
+//		{Type: "cpu", Interval: jamm.Interval(time.Second)},
+//	}})
+//	site.Gateway.Subscribe(jamm.Request{Sensor: "cpu"}, func(r jamm.Record) {
+//		fmt.Println(r)
+//	})
+//	g.RunFor(10 * time.Second)
+package jamm
+
+import (
+	"time"
+
+	"jamm/internal/archive"
+	"jamm/internal/auth"
+	"jamm/internal/consumer"
+	"jamm/internal/core"
+	"jamm/internal/directory"
+	"jamm/internal/dpss"
+	"jamm/internal/gateway"
+	"jamm/internal/iperf"
+	"jamm/internal/manager"
+	"jamm/internal/netlog"
+	"jamm/internal/nlv"
+	"jamm/internal/ulm"
+)
+
+// Deployment assembly (internal/core).
+type (
+	// Grid is one assembled JAMM deployment on simulated infrastructure.
+	Grid = core.Grid
+	// GridOptions configures a Grid.
+	GridOptions = core.Options
+	// Site is a gateway domain.
+	Site = core.Site
+	// HostRig bundles one monitored host's substrate and JAMM agents.
+	HostRig = core.HostRig
+	// HostSpec sizes a monitored host.
+	HostSpec = core.HostSpec
+	// MatisseOptions configures the §6 Matisse scenario.
+	MatisseOptions = core.MatisseOptions
+	// MatisseResult is the Matisse scenario outcome.
+	MatisseResult = core.MatisseResult
+)
+
+// NewGrid builds an empty deployment.
+func NewGrid(opts GridOptions) *Grid { return core.New(opts) }
+
+// RunMatisse runs the paper's §6 Matisse evaluation scenario.
+func RunMatisse(opts MatisseOptions) (*MatisseResult, error) { return core.RunMatisse(opts) }
+
+// Link bandwidths for topology construction (bits per second).
+const (
+	RateOC48  = core.RateOC48
+	RateOC12  = core.RateOC12
+	RateGigE  = core.RateGigE
+	Rate100BT = core.Rate100BT
+)
+
+// Directory tree constants.
+const (
+	// DirBase is the root of the JAMM directory information tree.
+	DirBase = core.DirBase
+	// SensorBase is where sensor managers publish sensors.
+	SensorBase = core.SensorBase
+	// ArchiveBase is where archiver agents publish archives.
+	ArchiveBase = core.ArchiveBase
+)
+
+// Events (internal/ulm).
+type (
+	// Record is one ULM event record.
+	Record = ulm.Record
+	// Field is one user-defined ULM field.
+	Field = ulm.Field
+)
+
+// ParseRecord parses one ULM line.
+func ParseRecord(line string) (Record, error) { return ulm.Parse(line) }
+
+// Event gateway (internal/gateway).
+type (
+	// Gateway is an event gateway.
+	Gateway = gateway.Gateway
+	// Request describes a consumer's subscription or query.
+	Request = gateway.Request
+	// Subscription is an open event channel.
+	Subscription = gateway.Subscription
+	// SummaryPoint is one summary window's statistics.
+	SummaryPoint = gateway.SummaryPoint
+	// DeliverMode selects gateway-side filtering.
+	DeliverMode = gateway.DeliverMode
+)
+
+// Delivery modes.
+const (
+	DeliverAll       = gateway.DeliverAll
+	DeliverOnChange  = gateway.DeliverOnChange
+	DeliverThreshold = gateway.DeliverThreshold
+)
+
+// Float64 returns a pointer to v, for threshold requests.
+func Float64(v float64) *float64 { return gateway.Float64(v) }
+
+// Sensor manager (internal/manager).
+type (
+	// ManagerConfig is a sensor manager configuration document.
+	ManagerConfig = manager.Config
+	// SensorSpec configures one sensor instance.
+	SensorSpec = manager.SensorSpec
+	// RunMode is when a sensor runs (always/request/port).
+	RunMode = manager.RunMode
+)
+
+// Run modes.
+const (
+	ModeAlways  = manager.ModeAlways
+	ModeRequest = manager.ModeRequest
+	ModePort    = manager.ModePort
+)
+
+// Interval converts a time.Duration into a config duration.
+func Interval(d time.Duration) manager.Duration { return manager.Duration(d) }
+
+// ParseManagerConfig parses a JSON sensor manager configuration.
+func ParseManagerConfig(data []byte) (ManagerConfig, error) { return manager.ParseConfig(data) }
+
+// Consumers (internal/consumer) and archives (internal/archive).
+type (
+	// Collector merges subscribed event streams into a NetLogger log.
+	Collector = consumer.Collector
+	// Archiver files events into an archive store.
+	Archiver = consumer.Archiver
+	// ProcessMonitor reacts to server process deaths.
+	ProcessMonitor = consumer.ProcessMonitor
+	// Overview combines multi-host state into decisions.
+	Overview = consumer.Overview
+	// Action is one process monitor reaction.
+	Action = consumer.Action
+	// SensorLoc is a sensor discovered in the directory.
+	SensorLoc = consumer.SensorLoc
+	// ArchiveStore is an event archive.
+	ArchiveStore = archive.Store
+	// ArchivePolicy selects what gets archived.
+	ArchivePolicy = archive.Policy
+	// ArchiveQuery selects records from an archive.
+	ArchiveQuery = archive.Query
+)
+
+// NewCollector returns an empty event collector.
+func NewCollector() *Collector { return consumer.NewCollector() }
+
+// NewArchiver returns an archiver over store.
+func NewArchiver(store *ArchiveStore) *Archiver { return consumer.NewArchiver(store) }
+
+// NewArchiveStore returns an event archive with the given policy.
+func NewArchiveStore(policy ArchivePolicy) *ArchiveStore { return archive.NewStore(policy) }
+
+// NewProcessMonitor returns a monitor reacting to deaths of proc.
+func NewProcessMonitor(proc string, actions ...Action) *ProcessMonitor {
+	return consumer.NewProcessMonitor(proc, actions...)
+}
+
+// NewOverview returns an overview monitor with the given rule.
+func NewOverview(rule consumer.Rule) *Overview { return consumer.NewOverview(rule) }
+
+// BothDown builds the §2.2 example rule: alert only when the process is
+// down on every one of the named hosts.
+func BothDown(proc string, hosts ...string) consumer.Rule {
+	return consumer.BothDown(proc, hosts...)
+}
+
+// Discover finds active sensors in the directory. dir is the read side
+// of a sensor directory (a remote directory client or an in-process
+// server adapter); base is typically SensorBase.
+func Discover(dir consumer.Directory, base directory.DN, filter string) ([]SensorLoc, error) {
+	return consumer.Discover(dir, base, filter)
+}
+
+// DN is a directory distinguished name.
+type DN = directory.DN
+
+// NetLogger toolkit (internal/netlog, internal/nlv).
+type (
+	// Logger is a NetLogger client API handle.
+	Logger = netlog.Logger
+	// Graph is an nlv terminal chart.
+	Graph = nlv.Graph
+)
+
+// NewLogger returns a NetLogger handle for prog.
+func NewLogger(prog string, opts ...netlog.Option) *Logger { return netlog.New(prog, opts...) }
+
+// NewGraph returns an nlv chart of the given terminal width.
+func NewGraph(width int) *Graph { return nlv.New(width) }
+
+// Applications (internal/dpss, internal/iperf).
+type (
+	// FrameStat is one Matisse frame's lifecycle.
+	FrameStat = dpss.FrameStat
+	// IperfConfig tunes an iperf run.
+	IperfConfig = iperf.Config
+	// IperfResult is an iperf run outcome.
+	IperfResult = iperf.Result
+)
+
+// Security (internal/auth).
+type (
+	// CA is a JAMM certificate authority.
+	CA = auth.CA
+	// Policy is an Akenti-style use-condition policy engine.
+	Policy = auth.Policy
+	// ClassPolicy is the internal/external tiered policy of §2.2.
+	ClassPolicy = auth.ClassPolicy
+	// Gridmap maps certificate DNs to local users.
+	Gridmap = auth.Gridmap
+)
+
+// NewCA creates a certificate authority named cn.
+func NewCA(cn string) (*CA, error) { return auth.NewCA(cn) }
+
+// NewPolicy returns an empty (deny-all) policy.
+func NewPolicy() *Policy { return auth.NewPolicy() }
+
+// NewGridmap returns an empty gridmap.
+func NewGridmap() *Gridmap { return auth.NewGridmap() }

@@ -1,0 +1,341 @@
+package jamm
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/activation"
+	"jamm/internal/consumer"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/manager"
+	"jamm/internal/simnet"
+	"jamm/internal/ulm"
+)
+
+// TestFacadeQuickstart exercises the public facade exactly as the
+// README shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGrid(GridOptions{Seed: 1})
+	site := g.AddSite("gw.lbl.gov")
+	rig, err := g.AddHost(site, "dpss1.lbl.gov", HostSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rig.Manager.Apply(ManagerConfig{Sensors: []SensorSpec{
+		{Type: "cpu", Interval: Interval(time.Second)},
+		{Type: "memory", Interval: Interval(time.Second)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	_, err = site.Gateway.Subscribe(Request{Sensor: rig.Manager.GatewayKey("cpu")}, func(r Record) {
+		recs = append(recs, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(10 * time.Second)
+	if len(recs) != 20 {
+		t.Fatalf("streamed %d records, want 20", len(recs))
+	}
+	locs, err := Discover(g.Directory("test"), SensorBase, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 2 {
+		t.Fatalf("discovered %d sensors", len(locs))
+	}
+	if locs[0].GwSensor != locs[0].Sensor+"@dpss1.lbl.gov" {
+		t.Fatalf("GwSensor = %q", locs[0].GwSensor)
+	}
+}
+
+// TestFullStackOverTCP runs the complete distributed deployment the
+// cmd/ daemons implement, in-process: a directory server and a gateway
+// server on real sockets, a producer publishing over the wire, a
+// consumer discovering via the directory client and subscribing via
+// the gateway client, and a control plane over the activation protocol.
+func TestFullStackOverTCP(t *testing.T) {
+	// Directory server.
+	dirSrv := directory.NewServer("dir", directory.NewMutableBackend())
+	dirTCP, err := directory.ServeTCP(dirSrv, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dirTCP.Close()
+
+	// Gateway server.
+	gw := gateway.New("gw.site", nil)
+	gwTCP, err := gateway.ServeTCP(gw, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwTCP.Close()
+
+	// Producer half (what jammd does): publish the sensor in the
+	// directory, stream events to the gateway.
+	dirCli := directory.NewClient("manager/h1", dirTCP.Addr())
+	entry := directory.NewEntry("sensor=cpu,host=h1,ou=sensors,o=jamm", map[string]string{
+		"objectclass": "jammSensor", "sensor": "cpu", "gwsensor": "cpu@h1",
+		"host": "h1", "type": "cpu", "gateway": gwTCP.Addr(),
+	})
+	if err := dirCli.Add(entry); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := gateway.NewClient("manager/h1", gwTCP.Addr()).NewPublisher(gateway.FormatULM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Consumer half (what jammctl does): discover, then subscribe.
+	locs, err := consumer.Discover(directory.NewClient("consumer", dirTCP.Addr()), "o=jamm", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 1 || locs[0].Gateway != gwTCP.Addr() || locs[0].GwSensor != "cpu@h1" {
+		t.Fatalf("discovery = %+v", locs)
+	}
+	var mu sync.Mutex
+	var got []ulm.Record
+	stop, err := gateway.NewClient("consumer", locs[0].Gateway).Subscribe(
+		gateway.Request{Sensor: locs[0].GwSensor}, gateway.FormatULM,
+		func(r ulm.Record) { mu.Lock(); got = append(got, r); mu.Unlock() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// Wait for the subscription to register before publishing.
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Consumers("cpu@h1") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for i := 0; i < 5; i++ {
+		rec := ulm.Record{
+			Date: time.Date(2000, 5, 1, 0, 0, i, 0, time.UTC),
+			Host: "h1", Prog: "jamm.cpu", Lvl: ulm.LvlUsage, Event: "VMSTAT_SYS_TIME",
+			Fields: []ulm.Field{{Key: "VAL", Value: "42"}},
+		}
+		if err := pub.Publish("cpu@h1", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("streamed %d of 5 events end to end", len(got))
+	}
+	if got[0].Host != "h1" || got[0].Event != "VMSTAT_SYS_TIME" {
+		t.Fatalf("record mangled in transit: %+v", got[0])
+	}
+}
+
+// TestControlPlaneOverActivation drives a manager remotely through the
+// activation protocol, the way jammctl sensor-start does against jammd.
+func TestControlPlaneOverActivation(t *testing.T) {
+	g := NewGrid(GridOptions{Seed: 2})
+	site := g.AddSite("gw")
+	rig, err := g.AddHost(site, "h1", HostSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.Manager.Apply(ManagerConfig{Sensors: []SensorSpec{
+		{Type: "netstat", Mode: ModeRequest, Interval: Interval(time.Second)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	reg := activation.NewRegistry()
+	reg.Register("manager", func() (activation.Service, error) {
+		return activation.Func(func(method string, args activation.Args) (string, error) {
+			switch method {
+			case "start":
+				return "", rig.Manager.StartSensor(args["name"])
+			case "stop":
+				return "", rig.Manager.StopSensor(args["name"])
+			case "running":
+				return strings.Join(rig.Manager.Running(), " "), nil
+			}
+			return "", nil
+		}), nil
+	}, 0)
+	srv, err := activation.Serve(reg, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := activation.Dial(srv.Addr(), nil)
+	defer cli.Close()
+
+	if _, err := cli.Invoke("manager", "start", activation.Args{"name": "netstat"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli.Invoke("manager", "running", nil)
+	if err != nil || out != "netstat" {
+		t.Fatalf("running = %q, %v", out, err)
+	}
+	if _, err := cli.Invoke("manager", "stop", activation.Args{"name": "netstat"}); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := cli.Invoke("manager", "running", nil); out != "" {
+		t.Fatalf("running after stop = %q", out)
+	}
+}
+
+// TestMatisseFacade runs the evaluation scenario through the facade and
+// writes an nlv chart, end to end.
+func TestMatisseFacade(t *testing.T) {
+	res, err := RunMatisse(MatisseOptions{Servers: 4, Frames: 40, Duration: 30 * time.Second, Seed: 7, Monitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events")
+	}
+	g := NewGraph(100)
+	g.AddLoadline("VMSTAT_SYS_TIME", "VAL", 4)
+	g.AddLifeline("MPLAY_START_READ_FRAME", "MPLAY_END_READ_FRAME")
+	g.AddPoints("TCPD_RETRANSMITS")
+	var buf bytes.Buffer
+	if err := g.Render(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VMSTAT_SYS_TIME", "MPLAY_START_READ_FRAME", "TCPD_RETRANSMITS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing row %q", want)
+		}
+	}
+}
+
+// TestTransferHelper covers the facade's Transfer convenience.
+func TestTransferHelper(t *testing.T) {
+	g := NewGrid(GridOptions{Seed: 3})
+	site := g.AddSite("gw")
+	a, err := g.AddHost(site, "a", HostSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddHost(site, "b", HostSpec{Net: simnet.HostConfig{RecvCapacityBps: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ConnectRigs(a, b, RateGigE, time.Millisecond)
+	done := false
+	if err := g.Transfer(a, b, 1000, 2000, 10e6, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	// Unrouted transfer errors immediately.
+	island, err := g.AddHost(site, "island", HostSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Transfer(a, island, 1, 2, 1e3, nil); err == nil {
+		t.Fatal("unrouted transfer accepted")
+	}
+}
+
+// Ensure the facade's re-exports stay wired to real constructors.
+func TestFacadeConstructors(t *testing.T) {
+	if NewCollector() == nil || NewGridmap() == nil || NewPolicy() == nil {
+		t.Fatal("nil constructor result")
+	}
+	store := NewArchiveStore(ArchivePolicy{})
+	if NewArchiver(store) == nil {
+		t.Fatal("nil archiver")
+	}
+	if NewProcessMonitor("x") == nil || NewOverview(BothDown("p", "h")) == nil {
+		t.Fatal("nil monitor")
+	}
+	ca, err := NewCA("Test CA")
+	if err != nil || ca.Name() != "Test CA" {
+		t.Fatalf("NewCA: %v", err)
+	}
+	rec, err := ParseRecord("DATE=20000330112320.957943 HOST=h PROG=p LVL=Usage NL.EVNT=E")
+	if err != nil || rec.Event != "E" {
+		t.Fatalf("ParseRecord: %v", err)
+	}
+	cfg, err := ParseManagerConfig([]byte(`{"sensors":[{"type":"cpu","interval":"1s"}]}`))
+	if err != nil || len(cfg.Sensors) != 1 {
+		t.Fatalf("ParseManagerConfig: %v", err)
+	}
+	if *Float64(7) != 7 {
+		t.Fatal("Float64")
+	}
+	_ = manager.ModeAlways // keep import shape honest
+}
+
+// TestMultiSiteDirectoryHierarchy models the paper's hierarchical LDAP
+// deployment: "LDAP servers can be hierarchical, with referrals to
+// other LDAP servers which contain the directory service information
+// for each site." A root server delegates each site's subtree; clients
+// pointed at the root chase referrals transparently.
+func TestMultiSiteDirectoryHierarchy(t *testing.T) {
+	// Site servers with their own sensor entries.
+	mkSite := func(site string) (*directory.TCPServer, func()) {
+		srv := directory.NewServer(site, directory.NewMutableBackend())
+		e := directory.NewEntry(directory.DN("sensor=cpu,host=h1."+site+",ou="+site+",o=grid"), map[string]string{
+			"objectclass": "jammSensor", "sensor": "cpu", "host": "h1." + site,
+			"gwsensor": "cpu@h1." + site, "gateway": "gw." + site,
+		})
+		if err := srv.Add("m", e); err != nil {
+			t.Fatal(err)
+		}
+		tcp, err := directory.ServeTCP(srv, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tcp, func() { tcp.Close() }
+	}
+	lbl, closeLBL := mkSite("lbl")
+	defer closeLBL()
+	anl, closeANL := mkSite("anl")
+	defer closeANL()
+
+	// The root server holds no sensor data, only referrals.
+	root := directory.NewServer("root", directory.NewMutableBackend())
+	root.AddReferral("ou=lbl,o=grid", lbl.Addr())
+	root.AddReferral("ou=anl,o=grid", anl.Addr())
+	rootTCP, err := directory.ServeTCP(root, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootTCP.Close()
+
+	// A consumer pointed only at the root reaches each site's sensors.
+	cli := directory.NewClient("consumer", rootTCP.Addr())
+	for _, site := range []string{"lbl", "anl"} {
+		locs, err := consumer.Discover(cli, directory.DN("ou="+site+",o=grid"), "")
+		if err != nil {
+			t.Fatalf("discover %s: %v", site, err)
+		}
+		if len(locs) != 1 || locs[0].Host != "h1."+site {
+			t.Fatalf("site %s discovery = %+v", site, locs)
+		}
+	}
+	// Without referral chasing, the root can only refuse.
+	blind := directory.NewClient("consumer", rootTCP.Addr())
+	blind.FollowReferrals = false
+	if _, err := blind.Search("ou=lbl,o=grid", directory.ScopeSubtree, ""); err == nil {
+		t.Fatal("referral not surfaced when chasing is disabled")
+	}
+}
