@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -766,6 +767,52 @@ func BenchmarkGatewayPublish(b *testing.B) {
 	}
 	rec := ulm.Record{Date: benchEpoch, Host: "h", Prog: "p", Lvl: "Usage", Event: "E",
 		Fields: []ulm.Field{{Key: "VAL", Value: "42"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gw.Publish("cpu@h", rec)
+	}
+}
+
+// BenchmarkGatewayPublishParallel measures the sharded event-bus core
+// under parallel publish: 64 subscriptions spread over 8 sensors, every
+// goroutine publishing to its own rotation of sensors. The per-sensor
+// subscription index means a publish touches only its own sensor's 8
+// subscribers; per-shard locks keep publishers of different sensors off
+// each other's critical sections.
+func BenchmarkGatewayPublishParallel(b *testing.B) {
+	gw := gateway.New("gw", nil)
+	const sensors = 8
+	names := make([]string, sensors)
+	for i := range names {
+		names[i] = fmt.Sprintf("cpu@h%d", i)
+		gw.Register(names[i], gateway.Meta{Host: fmt.Sprintf("h%d", i)})
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := gw.Subscribe(gateway.Request{Sensor: names[i%sensors]}, func(ulm.Record) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rec := ulm.Record{Date: benchEpoch, Host: "h", Prog: "p", Lvl: "Usage", Event: "E",
+		Fields: []ulm.Field{{Key: "VAL", Value: "42"}}}
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1))
+		for pb.Next() {
+			gw.Publish(names[i%sensors], rec)
+			i++
+		}
+	})
+}
+
+// BenchmarkGatewayPublishNoSubscribers is the steady-state floor: a
+// publish with no matching subscribers must be 0 allocs/op.
+func BenchmarkGatewayPublishNoSubscribers(b *testing.B) {
+	gw := gateway.New("gw", nil)
+	gw.Register("cpu@h", gateway.Meta{Host: "h"})
+	rec := ulm.Record{Date: benchEpoch, Host: "h", Prog: "p", Lvl: "Usage", Event: "E"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gw.Publish("cpu@h", rec)

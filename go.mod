@@ -1,0 +1,3 @@
+module jamm
+
+go 1.24

@@ -115,6 +115,26 @@ func NewStore(policy Policy) *Store {
 func (s *Store) Append(rec ulm.Record) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(rec)
+}
+
+// AppendBatch offers a batch of records under one lock acquisition —
+// the bulk-ingest path for batched consumers riding the event bus's
+// async mode. It returns how many records were kept. The sampling
+// policy is applied per record, exactly as repeated Append calls would.
+func (s *Store) AppendBatch(recs []ulm.Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := 0
+	for i := range recs {
+		if s.appendLocked(recs[i]) {
+			kept++
+		}
+	}
+	return kept
+}
+
+func (s *Store) appendLocked(rec ulm.Record) bool {
 	if !s.keep[rec.Lvl] {
 		s.normal++
 		if s.policy.SampleEvery > 1 && (s.normal-1)%s.policy.SampleEvery != 0 {

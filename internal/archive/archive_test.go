@@ -159,3 +159,40 @@ func TestSamplingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// AppendBatch must apply the sampling policy per record, identically to
+// repeated Append calls.
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	mk := func() []ulm.Record {
+		var recs []ulm.Record
+		for i := 0; i < 47; i++ {
+			lvl := ulm.LvlUsage
+			if i%5 == 0 {
+				lvl = ulm.LvlError // abnormal: always kept
+			}
+			recs = append(recs, rec(time.Duration(i)*time.Second, "h1", "E", lvl))
+		}
+		return recs
+	}
+	one := NewStore(Policy{SampleEvery: 4})
+	keptOne := 0
+	for _, r := range mk() {
+		if one.Append(r) {
+			keptOne++
+		}
+	}
+	batched := NewStore(Policy{SampleEvery: 4})
+	keptBatch := batched.AppendBatch(mk())
+	if keptBatch != keptOne {
+		t.Fatalf("AppendBatch kept %d, Append kept %d", keptBatch, keptOne)
+	}
+	if batched.Len() != one.Len() {
+		t.Fatalf("Len: batch %d vs single %d", batched.Len(), one.Len())
+	}
+	a, b := one.Query(Query{}), batched.Query(Query{})
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("record %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

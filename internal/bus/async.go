@@ -1,0 +1,91 @@
+package bus
+
+import "jamm/internal/ulm"
+
+// asyncItem is one queued publish, or a flush barrier token when flush
+// is non-nil.
+type asyncItem struct {
+	topic string
+	rec   ulm.Record
+	flush chan<- struct{}
+}
+
+// StartAsync switches the bus into batched asynchronous mode: Publish
+// enqueues onto a bounded per-shard queue (blocking when full — bounded
+// memory with backpressure, never silent drops) and a worker goroutine
+// per shard drains it through the synchronous delivery path. Per-topic
+// publish order is preserved (a topic always routes to the same shard
+// queue); cross-topic interleaving is not, so deterministic
+// single-goroutine deployments — the virtual-time simulator — must stay
+// in synchronous mode. No-op if async mode is already running.
+func (b *Bus) StartAsync(queueLen int) {
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	b.asyncMu.Lock()
+	defer b.asyncMu.Unlock()
+	if b.queues.Load() != nil {
+		return
+	}
+	qs := make([]chan asyncItem, len(b.shards))
+	for i := range qs {
+		qs[i] = make(chan asyncItem, queueLen)
+	}
+	b.workers.Add(len(qs))
+	for i := range qs {
+		go b.drain(qs[i])
+	}
+	b.queues.Store(&qs)
+}
+
+func (b *Bus) drain(q chan asyncItem) {
+	defer b.workers.Done()
+	for it := range q {
+		if it.flush != nil {
+			it.flush <- struct{}{}
+			continue
+		}
+		b.publish(it.topic, it.rec)
+	}
+}
+
+// Flush is the drain barrier: it blocks until every record enqueued
+// before the call has been delivered. No-op in synchronous mode. Like
+// Publish, Flush must not race StopAsync (it could otherwise send its
+// barrier token on a closed queue).
+func (b *Bus) Flush() {
+	qp := b.queues.Load()
+	if qp == nil {
+		return
+	}
+	qs := *qp
+	done := make(chan struct{}, len(qs))
+	for _, q := range qs {
+		q <- asyncItem{flush: done}
+	}
+	for range qs {
+		<-done
+	}
+}
+
+// StopAsync drains the queues, stops the workers, and returns the bus
+// to synchronous mode. Callers must ensure no Publish races StopAsync
+// (a publish observing async mode could otherwise send on a closed
+// queue); quiesce publishers or Flush first.
+func (b *Bus) StopAsync() {
+	b.asyncMu.Lock()
+	qp := b.queues.Load()
+	if qp == nil {
+		b.asyncMu.Unlock()
+		return
+	}
+	b.queues.Store(nil)
+	b.asyncMu.Unlock()
+	for _, q := range *qp {
+		close(q)
+	}
+	b.workers.Wait()
+}
+
+// Async reports whether the bus is in asynchronous mode.
+func (b *Bus) Async() bool { return b.queues.Load() != nil }

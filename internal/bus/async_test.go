@@ -1,0 +1,103 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"jamm/internal/ulm"
+)
+
+func TestAsyncFlushBarrier(t *testing.T) {
+	b := New(Options{Shards: 4})
+	var n atomic.Int64
+	b.Subscribe("", nil, func(ulm.Record) { n.Add(1) })
+	b.StartAsync(64)
+	if !b.Async() {
+		t.Fatal("Async() = false after StartAsync")
+	}
+	const events = 500
+	for i := 0; i < events; i++ {
+		b.Publish(fmt.Sprintf("s%d", i%7), rec("E"))
+	}
+	b.Flush()
+	if got := n.Load(); got != events {
+		t.Fatalf("after Flush delivered %d, want %d", got, events)
+	}
+	b.StopAsync()
+	if b.Async() {
+		t.Fatal("Async() = true after StopAsync")
+	}
+	// Back to synchronous delivery.
+	b.Publish("s0", rec("E"))
+	if got := n.Load(); got != events+1 {
+		t.Fatalf("sync delivery after StopAsync: %d", got)
+	}
+}
+
+func TestAsyncPreservesPerTopicOrder(t *testing.T) {
+	b := New(Options{Shards: 8})
+	var mu sync.Mutex
+	got := map[string][]int{}
+	b.Subscribe("", func(_ string, r ulm.Record) Decision { return Deliver }, func(r ulm.Record) {
+		var seq int
+		fmt.Sscanf(r.Event, "e%d", &seq) //nolint:errcheck
+		mu.Lock()
+		got[r.Host] = append(got[r.Host], seq)
+		mu.Unlock()
+	})
+	b.StartAsync(128)
+	const perTopic = 200
+	var wg sync.WaitGroup
+	for _, topic := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(topic string) {
+			defer wg.Done()
+			for i := 0; i < perTopic; i++ {
+				r := rec(fmt.Sprintf("e%d", i))
+				r.Host = topic
+				b.Publish(topic, r)
+			}
+		}(topic)
+	}
+	wg.Wait()
+	b.Flush()
+	b.StopAsync()
+	for topic, seqs := range got {
+		if len(seqs) != perTopic {
+			t.Fatalf("topic %s delivered %d, want %d", topic, len(seqs), perTopic)
+		}
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("topic %s out of order at %d: %d", topic, i, s)
+			}
+		}
+	}
+}
+
+func TestAsyncStopDrainsQueue(t *testing.T) {
+	b := New(Options{Shards: 2})
+	var n atomic.Int64
+	b.Subscribe("s", nil, func(ulm.Record) { n.Add(1) })
+	b.StartAsync(1024)
+	const events = 300
+	for i := 0; i < events; i++ {
+		b.Publish("s", rec("E"))
+	}
+	b.StopAsync() // must deliver everything still queued
+	if got := n.Load(); got != events {
+		t.Fatalf("StopAsync drained %d, want %d", got, events)
+	}
+}
+
+func TestAsyncStartStopIdempotent(t *testing.T) {
+	b := New(Options{Shards: 2})
+	b.StopAsync() // no-op before start
+	b.Flush()     // no-op in sync mode
+	b.StartAsync(8)
+	b.StartAsync(8) // no-op while running
+	b.Flush()
+	b.StopAsync()
+	b.StopAsync() // no-op after stop
+}

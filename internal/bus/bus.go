@@ -1,0 +1,367 @@
+// Package bus is the event-distribution core of the JAMM event plane:
+// a sharded publish/subscribe fabric that the event gateway (§2.2-2.3),
+// consumers, and archiver ride on. The paper's gateway exists to absorb
+// consumer fan-out so sensor data is read once per host no matter how
+// many consumers subscribe; this package makes that fan-out the fast
+// path at scale:
+//
+//   - Subscriptions are indexed per topic (sensor name), so a publish
+//     touches only the subscribers of that topic plus the (typically
+//     small) wildcard set — never the full subscription table.
+//   - Topics are hashed onto independent shards, each with its own
+//     lock, so publishes for different sensors proceed in parallel.
+//   - The steady-state delivery path is amortized zero-allocation: the
+//     matched-subscriber scratch buffer is pooled, subscriber lists are
+//     kept in subscription-id order at insert time (no per-publish sort),
+//     and counters are atomics.
+//   - An optional batched asynchronous mode (see async.go) decouples
+//     publishers from delivery behind bounded per-shard queues with a
+//     Flush barrier.
+//
+// Determinism contract: in synchronous mode, matched subscribers are
+// evaluated and delivered in subscription-id order (the merge of the
+// topic list and the wildcard list, both id-sorted). Single-goroutine
+// callers — the virtual-time simulator — therefore observe byte-identical
+// delivery interleaving run over run, which internal/core's determinism
+// test depends on.
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"jamm/internal/ulm"
+)
+
+// Decision is a subscription hook's verdict on one record.
+type Decision int
+
+const (
+	// Deliver passes the record to the subscriber (the zero value, so
+	// hookless subscriptions deliver everything).
+	Deliver Decision = iota
+	// Suppress withholds the record and counts it as suppressed — a
+	// delivery policy (on-change, threshold) filtered it.
+	Suppress
+	// Skip withholds the record without counting it — the record is out
+	// of the subscription's scope (event-type filter), not filtered.
+	Skip
+)
+
+// Hook inspects a record before delivery and decides its fate. Hooks
+// may keep per-subscription state (last value, threshold edge): the bus
+// serializes hook invocations per subscription — under the shard lock
+// for topic subscriptions, under the subscription's own lock for
+// wildcard subscriptions — so that state needs no extra locking.
+type Hook func(topic string, rec ulm.Record) Decision
+
+// Stats counts bus traffic.
+type Stats struct {
+	// Published counts records entering the bus.
+	Published uint64
+	// Delivered counts records fanned out to subscribers.
+	Delivered uint64
+	// Suppressed counts records withheld by subscription hooks.
+	Suppressed uint64
+}
+
+// Options configures a Bus.
+type Options struct {
+	// Shards is the number of topic shards, rounded up to a power of
+	// two; 0 means DefaultShards. More shards mean less lock contention
+	// between publishers of different sensors.
+	Shards int
+}
+
+// DefaultShards is the default topic-shard count.
+const DefaultShards = 32
+
+// shard is one lock domain of the topic index. Padded so the struct is
+// a whole cache line (64 bytes: 8 mutex + 8 map header + 48 pad) and
+// neighboring shards in the array don't false-share under parallel
+// publish.
+type shard struct {
+	mu     sync.Mutex
+	topics map[string][]*Subscription // each list sorted by id
+	_      [48]byte
+}
+
+// Bus is a sharded publish/subscribe core. It is safe for concurrent
+// use.
+type Bus struct {
+	shards []shard
+	mask   uint32
+
+	nextID atomic.Uint64
+
+	// wildcard is a copy-on-write snapshot (sorted by id) of the
+	// subscriptions matching every topic; publishes load it without
+	// locking, wmu serializes writers.
+	wmu      sync.Mutex
+	wildcard atomic.Pointer[[]*Subscription]
+
+	published  atomic.Uint64
+	delivered  atomic.Uint64
+	suppressed atomic.Uint64
+
+	// Async mode state (async.go).
+	asyncMu sync.Mutex
+	queues  atomic.Pointer[[]chan asyncItem]
+	workers sync.WaitGroup
+}
+
+// New returns an empty bus.
+func New(opts Options) *Bus {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	b := &Bus{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range b.shards {
+		b.shards[i].topics = make(map[string][]*Subscription)
+	}
+	return b
+}
+
+// HashTopic is the bus's topic hash (FNV-1a). Exported so layers that
+// co-shard their own per-sensor state can align with the bus.
+func HashTopic(topic string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (b *Bus) shard(topic string) *shard {
+	return &b.shards[HashTopic(topic)&b.mask]
+}
+
+// Shards returns the shard count.
+func (b *Bus) Shards() int { return len(b.shards) }
+
+// ShardOf returns the shard index a topic routes to.
+func (b *Bus) ShardOf(topic string) int { return int(HashTopic(topic) & b.mask) }
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Published:  b.published.Load(),
+		Delivered:  b.delivered.Load(),
+		Suppressed: b.suppressed.Load(),
+	}
+}
+
+// Subscription is one subscriber's registration on the bus.
+type Subscription struct {
+	id    uint64
+	bus   *Bus
+	topic string
+	hook  Hook
+	fn    func(ulm.Record)
+
+	// mu serializes hook invocations for wildcard subscriptions, whose
+	// publishes arrive from every shard concurrently.
+	mu sync.Mutex
+
+	cancelled  atomic.Bool
+	delivered  atomic.Uint64
+	suppressed atomic.Uint64
+}
+
+// ID returns the subscription id; lower ids are delivered first.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Topic returns the subscribed topic ("" = wildcard).
+func (s *Subscription) Topic() string { return s.topic }
+
+// Counts returns how many records were delivered and suppressed.
+func (s *Subscription) Counts() (delivered, suppressed uint64) {
+	return s.delivered.Load(), s.suppressed.Load()
+}
+
+// Subscribe registers a subscriber for one topic ("" subscribes to
+// every topic). hook may be nil (deliver everything); fn receives each
+// delivered record outside all bus locks, so in synchronous mode
+// callbacks may call back into the bus. In async mode a callback must
+// not Publish: the delivering worker enqueueing onto its own full
+// shard queue would deadlock.
+func (b *Bus) Subscribe(topic string, hook Hook, fn func(ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fn: fn}
+	b.insert(s)
+	return s
+}
+
+// Tap registers a silent observer of one topic ("" = every topic): tap
+// runs where a hook would — serialized per subscription, before
+// delivery — but never receives deliveries and never affects counters.
+// The gateway's summary folding is a tap.
+func (b *Bus) Tap(topic string, tap func(topic string, rec ulm.Record)) *Subscription {
+	s := &Subscription{
+		id: b.nextID.Add(1), bus: b, topic: topic,
+		hook: func(t string, rec ulm.Record) Decision {
+			tap(t, rec)
+			return Skip
+		},
+	}
+	b.insert(s)
+	return s
+}
+
+// insert adds s to the topic index. Ids are monotonic, so appending
+// keeps every list sorted by id.
+func (b *Bus) insert(s *Subscription) {
+	if s.topic == "" {
+		b.wmu.Lock()
+		old := b.loadWildcard()
+		next := make([]*Subscription, len(old)+1)
+		copy(next, old)
+		next[len(old)] = s
+		b.wildcard.Store(&next)
+		b.wmu.Unlock()
+		return
+	}
+	sh := b.shard(s.topic)
+	sh.mu.Lock()
+	sh.topics[s.topic] = append(sh.topics[s.topic], s)
+	sh.mu.Unlock()
+}
+
+func (b *Bus) loadWildcard() []*Subscription {
+	if p := b.wildcard.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Cancel removes the subscription and reports whether this call did the
+// removal (false if already cancelled). A record matched concurrently
+// with Cancel may still be delivered once.
+func (s *Subscription) Cancel() bool {
+	if s == nil || !s.cancelled.CompareAndSwap(false, true) {
+		return false
+	}
+	b := s.bus
+	if s.topic == "" {
+		b.wmu.Lock()
+		old := b.loadWildcard()
+		next := make([]*Subscription, 0, len(old))
+		for _, o := range old {
+			if o != s {
+				next = append(next, o)
+			}
+		}
+		b.wildcard.Store(&next)
+		b.wmu.Unlock()
+		return true
+	}
+	sh := b.shard(s.topic)
+	sh.mu.Lock()
+	list := sh.topics[s.topic]
+	for i, o := range list {
+		if o == s {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(sh.topics, s.topic)
+	} else {
+		sh.topics[s.topic] = list
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// matchedPool recycles the scratch buffer that carries matched
+// subscribers from the locked evaluation phase to the unlocked delivery
+// phase, keeping steady-state publish allocation-free at any fan-out.
+var matchedPool = sync.Pool{
+	New: func() any {
+		buf := make([]*Subscription, 0, 64)
+		return &buf
+	},
+}
+
+// Publish feeds one record to every matching subscriber. In synchronous
+// mode (the default) delivery completes before Publish returns, in
+// subscription-id order; in async mode the record is enqueued and
+// Publish returns immediately (see StartAsync).
+func (b *Bus) Publish(topic string, rec ulm.Record) {
+	if qp := b.queues.Load(); qp != nil {
+		(*qp)[HashTopic(topic)&b.mask] <- asyncItem{topic: topic, rec: rec}
+		return
+	}
+	b.publish(topic, rec)
+}
+
+// publish is the synchronous hot path: evaluate hooks under the shard
+// lock (and per-subscription locks for wildcards), deliver outside all
+// locks so callbacks may re-enter the bus.
+func (b *Bus) publish(topic string, rec ulm.Record) {
+	b.published.Add(1)
+	wild := b.loadWildcard()
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	tsubs := sh.topics[topic]
+	if len(tsubs) == 0 && len(wild) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	bufp := matchedPool.Get().(*[]*Subscription)
+	matched := (*bufp)[:0]
+	// Merge the two id-sorted lists so hooks run and deliveries happen
+	// in global subscription-id order — the determinism contract.
+	i, j := 0, 0
+	for i < len(tsubs) || j < len(wild) {
+		var s *Subscription
+		isWild := false
+		if j >= len(wild) || (i < len(tsubs) && tsubs[i].id < wild[j].id) {
+			s = tsubs[i]
+			i++
+		} else {
+			s = wild[j]
+			j++
+			isWild = true
+		}
+		d := Deliver
+		if s.hook != nil {
+			if isWild {
+				s.mu.Lock()
+			}
+			d = s.hook(topic, rec)
+			if isWild {
+				s.mu.Unlock()
+			}
+		}
+		if s.fn == nil {
+			continue // tap: observes, never delivers
+		}
+		switch d {
+		case Deliver:
+			s.delivered.Add(1)
+			b.delivered.Add(1)
+			matched = append(matched, s)
+		case Suppress:
+			s.suppressed.Add(1)
+			b.suppressed.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	for _, s := range matched {
+		s.fn(rec)
+	}
+	for k := range matched {
+		matched[k] = nil
+	}
+	*bufp = matched[:0]
+	matchedPool.Put(bufp)
+}

@@ -1,0 +1,12 @@
+package bus
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestShardIsCacheLineSized(t *testing.T) {
+	if sz := unsafe.Sizeof(shard{}); sz%64 != 0 {
+		t.Fatalf("shard size %d is not a multiple of 64", sz)
+	}
+}

@@ -179,8 +179,10 @@ func (c *Collector) WriteNetLogger(w io.Writer) error {
 type Archiver struct {
 	Store *archive.Store
 
-	mu   sync.Mutex
-	subs []*gateway.Subscription
+	mu        sync.Mutex
+	subs      []*gateway.Subscription
+	batch     []ulm.Record
+	batchSize int
 }
 
 // NewArchiver returns an archiver over the given store.
@@ -188,8 +190,48 @@ func NewArchiver(store *archive.Store) *Archiver {
 	return &Archiver{Store: store}
 }
 
+// SetBatch enables batched ingest: records accumulate in the archiver
+// and reach the store via one AppendBatch per n records, cutting store
+// lock traffic under high event rates. n <= 1 restores per-record
+// ingest. Call Flush (or Close) before reading the store to push out a
+// partial batch.
+func (a *Archiver) SetBatch(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushLocked()
+	a.batchSize = n
+}
+
+// Flush appends any buffered batch to the store.
+func (a *Archiver) Flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushLocked()
+}
+
+// flushLocked drains the buffer; the store's lock is independent of the
+// archiver's, so holding a.mu across AppendBatch cannot deadlock.
+func (a *Archiver) flushLocked() {
+	if len(a.batch) > 0 {
+		a.Store.AppendBatch(a.batch)
+		a.batch = a.batch[:0]
+	}
+}
+
 // Take ingests one record.
-func (a *Archiver) Take(rec ulm.Record) { a.Store.Append(rec) }
+func (a *Archiver) Take(rec ulm.Record) {
+	a.mu.Lock()
+	if a.batchSize > 1 {
+		a.batch = append(a.batch, rec)
+		if len(a.batch) >= a.batchSize {
+			a.flushLocked()
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	a.Store.Append(rec)
+}
 
 // SubscribeAll subscribes the archiver to a gateway.
 func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
@@ -205,7 +247,9 @@ func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 	return nil
 }
 
-// Close cancels the archiver's subscriptions.
+// Close cancels the archiver's subscriptions, then flushes any
+// buffered batch — in that order, so records delivered while Close is
+// cancelling still reach the store.
 func (a *Archiver) Close() {
 	a.mu.Lock()
 	subs := a.subs
@@ -214,6 +258,7 @@ func (a *Archiver) Close() {
 	for _, s := range subs {
 		s.Cancel()
 	}
+	a.Flush()
 }
 
 // PublishEntry writes (or refreshes) the archive's directory entry

@@ -238,3 +238,32 @@ func TestOverviewBothDown(t *testing.T) {
 	}
 	ov.Close()
 }
+
+// Batched ingest buffers records and bulk-appends them; Flush and Close
+// push out partial batches so nothing is lost.
+func TestArchiverBatchedIngest(t *testing.T) {
+	store := archive.NewStore(archive.Policy{})
+	a := NewArchiver(store)
+	a.SetBatch(8)
+	gw := gateway.New("gw", nil)
+	if err := a.SubscribeAll(gw, gateway.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		gw.Publish("cpu@h", ulm.Record{Date: epoch.Add(time.Duration(i) * time.Second),
+			Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E"})
+	}
+	// Two full batches of 8 are in the store; 4 are still buffered.
+	if store.Len() != 16 {
+		t.Fatalf("store holds %d before flush, want 16", store.Len())
+	}
+	a.Flush()
+	if store.Len() != 20 {
+		t.Fatalf("store holds %d after flush, want 20", store.Len())
+	}
+	gw.Publish("cpu@h", ulm.Record{Date: epoch, Host: "h", Prog: "p", Lvl: ulm.LvlUsage, Event: "E"})
+	a.Close() // close flushes the partial batch too
+	if store.Len() != 21 {
+		t.Fatalf("store holds %d after close, want 21", store.Len())
+	}
+}

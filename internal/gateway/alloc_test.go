@@ -1,0 +1,57 @@
+package gateway
+
+import (
+	"testing"
+
+	"jamm/internal/ulm"
+)
+
+// The steady-state publish path must be allocation-free: the matched
+// buffer is pooled, subscriber lists are pre-sorted, and no closures or
+// id slices are built per event. A rare stray allocation can come from
+// a GC clearing the sync.Pool mid-measurement, so the assertions allow
+// a small fractional average rather than exactly zero.
+func assertNoAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm the producer map and buffer pool
+	if avg := testing.AllocsPerRun(1000, f); avg > 0.05 {
+		t.Fatalf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestPublishNoSubscriberZeroAllocs(t *testing.T) {
+	g := New("gw", nil)
+	g.Register("cpu@h", Meta{Host: "h"})
+	r := mkRec("E", 0, 42)
+	assertNoAllocs(t, "no-subscriber publish", func() {
+		g.Publish("cpu@h", r)
+	})
+}
+
+func TestPublishSingleSubscriberZeroAllocs(t *testing.T) {
+	g := New("gw", nil)
+	g.Register("cpu@h", Meta{Host: "h"})
+	var n int
+	if _, err := g.Subscribe(Request{Sensor: "cpu@h"}, func(ulm.Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	r := mkRec("E", 0, 42)
+	assertNoAllocs(t, "single-subscriber publish", func() {
+		g.Publish("cpu@h", r)
+	})
+	if n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestPublishFilteredSubscriberZeroAllocs(t *testing.T) {
+	g := New("gw", nil)
+	g.Register("cpu@h", Meta{Host: "h"})
+	if _, err := g.Subscribe(Request{Sensor: "cpu@h", Mode: DeliverOnChange}, func(ulm.Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	r := mkRec("E", 0, 42)
+	assertNoAllocs(t, "on-change suppressed publish", func() {
+		g.Publish("cpu@h", r) // same value every time: all suppressed
+	})
+}

@@ -9,91 +9,25 @@
 // only summaries — and absorbs consumer fan-out so that event data is
 // read from the monitored host once no matter how many consumers
 // subscribe (§2.3).
+//
+// The distribution hot path rides internal/bus: each sensor is a bus
+// topic, so a publish touches only that sensor's subscribers plus the
+// wildcard set, under a per-shard lock. The gateway layers producers
+// (last-event cache, metadata, consumer counts), delivery policies
+// (filter hooks), summaries (bus taps), and access control on top.
 package gateway
 
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jamm/internal/auth"
+	"jamm/internal/bus"
 	"jamm/internal/ulm"
 )
-
-// DeliverMode selects the gateway-side filtering for a subscription.
-type DeliverMode int
-
-// Delivery modes.
-const (
-	// DeliverAll forwards every event.
-	DeliverAll DeliverMode = iota
-	// DeliverOnChange forwards an event only when the watched field's
-	// value differs from the last forwarded value — "most consumers
-	// only want to be notified when the counter changes, and not every
-	// second".
-	DeliverOnChange
-	// DeliverThreshold forwards an event only on threshold crossings
-	// (Above/Below) or relative changes exceeding DeltaFrac.
-	DeliverThreshold
-)
-
-func (m DeliverMode) String() string {
-	switch m {
-	case DeliverAll:
-		return "all"
-	case DeliverOnChange:
-		return "change"
-	case DeliverThreshold:
-		return "threshold"
-	}
-	return "unknown"
-}
-
-// ParseMode parses a delivery-mode name ("all", "change", "threshold").
-func ParseMode(s string) (DeliverMode, error) {
-	switch s {
-	case "all", "":
-		return DeliverAll, nil
-	case "change":
-		return DeliverOnChange, nil
-	case "threshold":
-		return DeliverThreshold, nil
-	}
-	return 0, fmt.Errorf("gateway: unknown delivery mode %q", s)
-}
-
-// Request describes what a consumer wants from the gateway.
-type Request struct {
-	// Principal is the requesting identity (certificate subject DN);
-	// empty means anonymous.
-	Principal string `json:"principal,omitempty"`
-	// Sensor names one registered sensor, or "" for all sensors.
-	Sensor string `json:"sensor,omitempty"`
-	// Events restricts delivery to the named event types; empty means
-	// all events.
-	Events []string `json:"events,omitempty"`
-	// Mode is the delivery policy.
-	Mode DeliverMode `json:"mode"`
-	// Field is the watched field for change/threshold modes;
-	// default "VAL".
-	Field string `json:"field,omitempty"`
-	// Above delivers when the watched value crosses from ≤ to >.
-	Above *float64 `json:"above,omitempty"`
-	// Below delivers when the watched value crosses from ≥ to <.
-	Below *float64 `json:"below,omitempty"`
-	// DeltaFrac delivers when the value changes by more than this
-	// fraction of the last delivered value (0.2 = 20%).
-	DeltaFrac float64 `json:"delta_frac,omitempty"`
-}
-
-func (r Request) watchedField() string {
-	if r.Field == "" {
-		return "VAL"
-	}
-	return r.Field
-}
 
 // Meta describes a registered sensor, for directory publication and the
 // list operation.
@@ -135,29 +69,15 @@ type producer struct {
 	published uint64
 }
 
-type summaryKey struct{ sensor, event, field string }
+// producerShards is the lock-domain count for per-sensor producer
+// state; like the bus's topic shards, it keeps publishes of different
+// sensors off each other's locks.
+const producerShards = 16
 
-type sample struct {
-	t time.Time
-	v float64
+type producerShard struct {
+	mu        sync.Mutex
+	producers map[string]*producer
 }
-
-type summaryState struct {
-	windows []time.Duration
-	samples []sample
-}
-
-// SummaryPoint is one summary window's statistics.
-type SummaryPoint struct {
-	Window time.Duration `json:"window"`
-	Avg    float64       `json:"avg"`
-	Min    float64       `json:"min"`
-	Max    float64       `json:"max"`
-	Count  int           `json:"count"`
-}
-
-// DefaultSummaryWindows are the paper's 1, 10 and 60 minute averages.
-var DefaultSummaryWindows = []time.Duration{time.Minute, 10 * time.Minute, 60 * time.Minute}
 
 // Gateway is one event gateway instance. It is safe for concurrent use;
 // in simulation deployments all calls arrive from the single scheduler
@@ -165,82 +85,115 @@ var DefaultSummaryWindows = []time.Duration{time.Minute, 10 * time.Minute, 60 * 
 type Gateway struct {
 	name     string
 	resource string
-	authz    auth.Authorizer
 	now      func() time.Time
 
-	mu        sync.Mutex
-	producers map[string]*producer
-	subs      map[int]*Subscription
-	nextSub   int
-	summaries map[summaryKey]*summaryState
-	stats     Stats
+	bus *bus.Bus
+
+	authMu sync.Mutex
+	authz  auth.Authorizer
+
+	pshards [producerShards]producerShard
+
+	sumMu     sync.Mutex
+	summaries map[summaryKey]*summaryEntry
+
+	queries atomic.Uint64
+}
+
+// Config tunes a gateway's event-distribution core.
+type Config struct {
+	// Bus configures the underlying event bus (shard count).
+	Bus bus.Options
 }
 
 // New returns a gateway named name (conventionally the site or gateway
 // host). now supplies summary-window time; nil means the wall clock.
 // Deployments running on virtual time pass the scheduler's clock.
 func New(name string, now func() time.Time) *Gateway {
+	return NewWithConfig(name, now, Config{})
+}
+
+// NewWithConfig returns a gateway with an explicitly configured event
+// bus.
+func NewWithConfig(name string, now func() time.Time, cfg Config) *Gateway {
 	if now == nil {
 		now = time.Now
 	}
-	return &Gateway{
+	g := &Gateway{
 		name:      name,
 		resource:  "gateway/" + name,
 		authz:     auth.AllowAll,
 		now:       now,
-		producers: make(map[string]*producer),
-		subs:      make(map[int]*Subscription),
-		summaries: make(map[summaryKey]*summaryState),
+		bus:       bus.New(cfg.Bus),
+		summaries: make(map[summaryKey]*summaryEntry),
 	}
+	for i := range g.pshards {
+		g.pshards[i].producers = make(map[string]*producer)
+	}
+	return g
 }
 
 // Name returns the gateway name.
 func (g *Gateway) Name() string { return g.name }
 
+// Bus exposes the gateway's event-distribution core, for layers that
+// want raw bus subscriptions (taps, wildcard observers) beside the
+// gateway's filtered ones.
+func (g *Gateway) Bus() *bus.Bus { return g.bus }
+
 // SetAuthorizer installs access control; nil restores allow-all.
 func (g *Gateway) SetAuthorizer(a auth.Authorizer) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.authMu.Lock()
+	defer g.authMu.Unlock()
 	if a == nil {
 		a = auth.AllowAll
 	}
 	g.authz = a
 }
 
+func (g *Gateway) pshard(sensorName string) *producerShard {
+	return &g.pshards[bus.HashTopic(sensorName)%producerShards]
+}
+
 // Register declares a sensor publishing through this gateway. The
 // sensor manager calls it when a sensor starts.
 func (g *Gateway) Register(sensorName string, meta Meta) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if p, ok := g.producers[sensorName]; ok {
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p, ok := ps.producers[sensorName]; ok {
 		p.meta = meta
 		return
 	}
-	g.producers[sensorName] = &producer{meta: meta, last: make(map[string]ulm.Record)}
+	ps.producers[sensorName] = &producer{meta: meta, last: make(map[string]ulm.Record)}
 }
 
 // Unregister removes a sensor. Existing subscriptions remain and simply
 // receive nothing further from it.
 func (g *Gateway) Unregister(sensorName string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.producers, sensorName)
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	delete(ps.producers, sensorName)
 }
 
 // Sensors lists registered sensors, sorted by name.
 func (g *Gateway) Sensors() []SensorInfo {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]SensorInfo, 0, len(g.producers))
-	for name, p := range g.producers {
-		out = append(out, SensorInfo{
-			Name:      name,
-			Host:      p.meta.Host,
-			Type:      p.meta.Type,
-			Interval:  p.meta.Interval,
-			Consumers: p.consumers,
-			Published: p.published,
-		})
+	var out []SensorInfo
+	for i := range g.pshards {
+		ps := &g.pshards[i]
+		ps.mu.Lock()
+		for name, p := range ps.producers {
+			out = append(out, SensorInfo{
+				Name:      name,
+				Host:      p.meta.Host,
+				Type:      p.meta.Type,
+				Interval:  p.meta.Interval,
+				Consumers: p.consumers,
+				Published: p.published,
+			})
+		}
+		ps.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -248,9 +201,10 @@ func (g *Gateway) Sensors() []SensorInfo {
 
 // Consumers returns the number of active subscriptions naming sensor.
 func (g *Gateway) Consumers(sensorName string) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if p, ok := g.producers[sensorName]; ok {
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p, ok := ps.producers[sensorName]; ok {
 		return p.consumers
 	}
 	return 0
@@ -258,64 +212,32 @@ func (g *Gateway) Consumers(sensorName string) int {
 
 // Stats returns a snapshot of the traffic counters.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	bs := g.bus.Stats()
+	return Stats{
+		Published:  bs.Published,
+		Delivered:  bs.Delivered,
+		Suppressed: bs.Suppressed,
+		Queries:    g.queries.Load(),
+	}
 }
 
 // Publish feeds one sensor record through the gateway: it caches it for
-// queries, folds it into summaries, and fans it out to matching
-// subscriptions. Records from unregistered sensors are registered
-// implicitly (application sensors outside JAMM control still feed the
-// system).
+// queries, folds it into summaries (bus taps), and fans it out to
+// matching subscriptions via the bus. Records from unregistered sensors
+// are registered implicitly (application sensors outside JAMM control
+// still feed the system).
 func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
-	g.mu.Lock()
-	p, ok := g.producers[sensorName]
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	p, ok := ps.producers[sensorName]
 	if !ok {
 		p = &producer{last: make(map[string]ulm.Record), meta: Meta{Host: rec.Host}}
-		g.producers[sensorName] = p
+		ps.producers[sensorName] = p
 	}
 	p.published++
-	g.stats.Published++
 	p.last[rec.Event] = rec
-
-	for key, st := range g.summaries {
-		if key.sensor == sensorName && key.event == rec.Event {
-			if v, err := rec.Float(key.field); err == nil {
-				st.add(g.now(), v)
-			}
-		}
-	}
-
-	// Evaluate filters under the lock, deliver outside it: consumer
-	// callbacks may call back into the gateway. Subscriptions are
-	// visited in id order so delivery interleaving is deterministic —
-	// same-seed simulation runs must be byte-identical.
-	ids := make([]int, 0, len(g.subs))
-	for id := range g.subs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var deliver []func()
-	for _, id := range ids {
-		sub := g.subs[id]
-		if !sub.matches(sensorName, rec) {
-			continue
-		}
-		if sub.passes(rec) {
-			g.stats.Delivered++
-			sub.delivered++
-			fn, r := sub.fn, rec
-			deliver = append(deliver, func() { fn(r) })
-		} else {
-			g.stats.Suppressed++
-			sub.suppressed++
-		}
-	}
-	g.mu.Unlock()
-	for _, fn := range deliver {
-		fn()
-	}
+	ps.mu.Unlock()
+	g.bus.Publish(sensorName, rec)
 }
 
 // Subscribe opens a streaming subscription ("the consumer opens an
@@ -328,17 +250,16 @@ func (g *Gateway) Subscribe(req Request, fn func(ulm.Record)) (*Subscription, er
 	if err := g.authorize(req.Principal, req.Sensor, auth.ActionStream); err != nil {
 		return nil, err
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.nextSub++
-	sub := &Subscription{id: g.nextSub, g: g, req: req, fn: fn}
-	g.subs[sub.id] = sub
+	bsub := g.bus.Subscribe(req.Sensor, newFilter(req).hook(), fn)
 	if req.Sensor != "" {
-		if p, ok := g.producers[req.Sensor]; ok {
+		ps := g.pshard(req.Sensor)
+		ps.mu.Lock()
+		if p, ok := ps.producers[req.Sensor]; ok {
 			p.consumers++
 		}
+		ps.mu.Unlock()
 	}
-	return sub, nil
+	return &Subscription{g: g, req: req, sub: bsub}, nil
 }
 
 // Query returns the most recent event of the named type from the named
@@ -348,10 +269,11 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	if err := g.authorize(principal, sensorName, auth.ActionQuery); err != nil {
 		return ulm.Record{}, false, err
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats.Queries++
-	p, ok := g.producers[sensorName]
+	g.queries.Add(1)
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.producers[sensorName]
 	if !ok {
 		return ulm.Record{}, false, fmt.Errorf("gateway: unknown sensor %q", sensorName)
 	}
@@ -359,44 +281,25 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	return rec, ok, nil
 }
 
-// EnableSummary makes the gateway compute windowed statistics for one
-// (sensor, event, field) series. Empty windows means the paper's
-// 1/10/60-minute defaults.
-func (g *Gateway) EnableSummary(sensorName, event, field string, windows ...time.Duration) {
-	if field == "" {
-		field = "VAL"
-	}
-	if len(windows) == 0 {
-		windows = DefaultSummaryWindows
-	}
-	sorted := append([]time.Duration(nil), windows...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.summaries[summaryKey{sensorName, event, field}] = &summaryState{windows: sorted}
-}
+// StartAsync switches the gateway's event plane into batched
+// asynchronous publishing: Publish enqueues onto bounded per-shard
+// queues and returns; worker goroutines deliver. Use Flush as the drain
+// barrier. Deterministic (virtual-time) deployments must stay
+// synchronous.
+func (g *Gateway) StartAsync(queueLen int) { g.bus.StartAsync(queueLen) }
 
-// Summary returns the windowed statistics for a summarized series.
-func (g *Gateway) Summary(principal, sensorName, event, field string) ([]SummaryPoint, error) {
-	if field == "" {
-		field = "VAL"
-	}
-	if err := g.authorize(principal, sensorName, auth.ActionSummary); err != nil {
-		return nil, err
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	st, ok := g.summaries[summaryKey{sensorName, event, field}]
-	if !ok {
-		return nil, fmt.Errorf("gateway: no summary for %s/%s/%s", sensorName, event, field)
-	}
-	return st.points(g.now()), nil
-}
+// Flush blocks until every record published before the call has been
+// delivered. No-op in synchronous mode.
+func (g *Gateway) Flush() { g.bus.Flush() }
+
+// StopAsync drains pending deliveries and returns the gateway to
+// synchronous publishing. Quiesce publishers (or Flush) first.
+func (g *Gateway) StopAsync() { g.bus.StopAsync() }
 
 func (g *Gateway) authorize(principal, sensorName, action string) error {
-	g.mu.Lock()
+	g.authMu.Lock()
 	authz := g.authz
-	g.mu.Unlock()
+	g.authMu.Unlock()
 	resource := g.resource
 	if sensorName != "" {
 		resource += "/" + sensorName
@@ -404,60 +307,11 @@ func (g *Gateway) authorize(principal, sensorName, action string) error {
 	return authz.Authorize(principal, resource, action)
 }
 
-func (st *summaryState) add(now time.Time, v float64) {
-	st.samples = append(st.samples, sample{now, v})
-	maxWin := st.windows[len(st.windows)-1]
-	cutoff := now.Add(-maxWin)
-	trim := 0
-	for trim < len(st.samples) && st.samples[trim].t.Before(cutoff) {
-		trim++
-	}
-	if trim > 0 {
-		st.samples = append(st.samples[:0], st.samples[trim:]...)
-	}
-}
-
-func (st *summaryState) points(now time.Time) []SummaryPoint {
-	out := make([]SummaryPoint, 0, len(st.windows))
-	for _, w := range st.windows {
-		cutoff := now.Add(-w)
-		pt := SummaryPoint{Window: w}
-		for _, s := range st.samples {
-			if s.t.Before(cutoff) {
-				continue
-			}
-			if pt.Count == 0 || s.v < pt.Min {
-				pt.Min = s.v
-			}
-			if pt.Count == 0 || s.v > pt.Max {
-				pt.Max = s.v
-			}
-			pt.Avg += s.v
-			pt.Count++
-		}
-		if pt.Count > 0 {
-			pt.Avg /= float64(pt.Count)
-		}
-		out = append(out, pt)
-	}
-	return out
-}
-
 // Subscription is one consumer's open event channel.
 type Subscription struct {
-	id  int
 	g   *Gateway
 	req Request
-	fn  func(ulm.Record)
-
-	haveLast bool    // an observation exists
-	lastObs  float64 // last observed value (crossing detection)
-	haveSent bool    // a delivery exists
-	lastSent float64 // last delivered value (delta reference)
-	lastRaw  string  // last delivered raw value (on-change)
-
-	delivered  uint64
-	suppressed uint64
+	sub *bus.Subscription
 }
 
 // Request returns the subscription's request.
@@ -465,126 +319,22 @@ func (s *Subscription) Request() Request { return s.req }
 
 // Counts returns how many records were delivered and suppressed.
 func (s *Subscription) Counts() (delivered, suppressed uint64) {
-	s.g.mu.Lock()
-	defer s.g.mu.Unlock()
-	return s.delivered, s.suppressed
+	return s.sub.Counts()
 }
 
 // Cancel closes the subscription.
 func (s *Subscription) Cancel() {
-	s.g.mu.Lock()
-	defer s.g.mu.Unlock()
-	if _, ok := s.g.subs[s.id]; !ok {
+	if !s.sub.Cancel() {
 		return
 	}
-	delete(s.g.subs, s.id)
 	if s.req.Sensor != "" {
-		if p, ok := s.g.producers[s.req.Sensor]; ok && p.consumers > 0 {
+		ps := s.g.pshard(s.req.Sensor)
+		ps.mu.Lock()
+		if p, ok := ps.producers[s.req.Sensor]; ok && p.consumers > 0 {
 			p.consumers--
 		}
+		ps.mu.Unlock()
 	}
-}
-
-// matches reports whether the record is in the subscription's scope
-// (sensor and event filters), before delivery policy.
-func (s *Subscription) matches(sensorName string, rec ulm.Record) bool {
-	if s.req.Sensor != "" && s.req.Sensor != sensorName {
-		return false
-	}
-	if len(s.req.Events) > 0 {
-		ok := false
-		for _, e := range s.req.Events {
-			if e == rec.Event {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// passes applies the delivery policy, updating per-subscription state.
-// Callers hold the gateway lock.
-func (s *Subscription) passes(rec ulm.Record) bool {
-	switch s.req.Mode {
-	case DeliverAll:
-		return true
-	case DeliverOnChange:
-		raw, ok := rec.Get(s.req.watchedField())
-		if !ok {
-			return true // unmeasurable: pass through
-		}
-		if s.haveLast && raw == s.lastRaw {
-			return false
-		}
-		s.haveLast = true
-		s.lastRaw = raw
-		return true
-	case DeliverThreshold:
-		raw, ok := rec.Get(s.req.watchedField())
-		if !ok {
-			return false
-		}
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return false
-		}
-		pass := false
-		if s.haveLast {
-			// Crossing detection compares against the last observation.
-			if s.req.Above != nil && s.lastObs <= *s.req.Above && v > *s.req.Above {
-				pass = true
-			}
-			if s.req.Below != nil && s.lastObs >= *s.req.Below && v < *s.req.Below {
-				pass = true
-			}
-		} else {
-			// First observation: deliver if already past an edge.
-			if s.req.Above != nil && v > *s.req.Above {
-				pass = true
-			}
-			if s.req.Below != nil && v < *s.req.Below {
-				pass = true
-			}
-		}
-		if s.req.DeltaFrac > 0 {
-			// "Load changes by more than 20%": the reference is the
-			// last delivered value, so small drifts accumulate until
-			// they cross the fraction. The first observation is
-			// delivered to establish the baseline.
-			if !s.haveSent {
-				pass = true
-			} else {
-				base := abs(s.lastSent)
-				diff := abs(v - s.lastSent)
-				if base == 0 {
-					if diff != 0 {
-						pass = true
-					}
-				} else if diff/base > s.req.DeltaFrac {
-					pass = true
-				}
-			}
-		}
-		s.haveLast = true
-		s.lastObs = v
-		if pass {
-			s.haveSent = true
-			s.lastSent = v
-		}
-		return pass
-	}
-	return true
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // Float64 returns a pointer to v, for building threshold requests.

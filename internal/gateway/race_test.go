@@ -1,0 +1,94 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// TestConcurrentGatewayUse exercises Publish / Subscribe / Cancel /
+// Stats / Query / Sensors racing on one gateway; run with -race. The
+// daemon deployments (gatewayd, jammd) drive the gateway from one
+// goroutine per connection, so this is the production access pattern.
+func TestConcurrentGatewayUse(t *testing.T) {
+	g := New("gw", nil)
+	const sensors = 8
+	names := make([]string, sensors)
+	for i := range names {
+		names[i] = fmt.Sprintf("cpu@h%d", i)
+		g.Register(names[i], Meta{Host: fmt.Sprintf("h%d", i)})
+	}
+	g.EnableSummary(names[0], "E", "VAL", time.Minute)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Publishers, one per sensor.
+	for i := 0; i < sensors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := mkRec("E", 0, float64(i))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.Publish(names[i], r)
+				}
+			}
+		}(i)
+	}
+
+	// Subscriber churn: scoped, wildcard, and filtered subscriptions.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 150; j++ {
+				req := Request{Sensor: names[(w+j)%sensors]}
+				switch j % 3 {
+				case 1:
+					req = Request{Mode: DeliverOnChange}
+				case 2:
+					req = Request{Sensor: names[j%sensors], Mode: DeliverThreshold, Above: Float64(3)}
+				}
+				sub, err := g.Subscribe(req, func(ulm.Record) {})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sub.Counts()
+				sub.Cancel()
+				sub.Cancel() // idempotent under race
+			}
+		}(w)
+	}
+
+	// Readers: stats, listings, queries, summaries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 500; j++ {
+			g.Stats()
+			g.Sensors()
+			g.Consumers(names[j%sensors])
+			g.Query("", names[j%sensors], "E")             //nolint:errcheck
+			g.Summary("", names[0], "E", "VAL")            //nolint:errcheck
+			g.Query("", "ghost", "E")                      //nolint:errcheck
+			_, _, _ = g.Query("", names[(j+1)%sensors], "") //nolint:errcheck
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := g.Stats()
+	if st.Published == 0 {
+		t.Fatal("no events published during race test")
+	}
+}

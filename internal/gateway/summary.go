@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"jamm/internal/auth"
+	"jamm/internal/ulm"
+)
+
+type summaryKey struct{ sensor, event, field string }
+
+type sample struct {
+	t time.Time
+	v float64
+}
+
+// summaryState is one summarized series' sliding sample window. Its
+// folding runs as a bus tap on the publish path (serialized per
+// subscription by the bus) while Summary reads from consumer
+// goroutines, so it carries its own lock.
+type summaryState struct {
+	mu      sync.Mutex
+	windows []time.Duration
+	samples []sample
+}
+
+type summaryEntry struct {
+	st  *summaryState
+	tap interface{ Cancel() bool }
+}
+
+// SummaryPoint is one summary window's statistics.
+type SummaryPoint struct {
+	Window time.Duration `json:"window"`
+	Avg    float64       `json:"avg"`
+	Min    float64       `json:"min"`
+	Max    float64       `json:"max"`
+	Count  int           `json:"count"`
+}
+
+// DefaultSummaryWindows are the paper's 1, 10 and 60 minute averages.
+var DefaultSummaryWindows = []time.Duration{time.Minute, 10 * time.Minute, 60 * time.Minute}
+
+// EnableSummary makes the gateway compute windowed statistics for one
+// (sensor, event, field) series. Empty windows means the paper's
+// 1/10/60-minute defaults. The summary is a silent bus tap on the
+// sensor's topic: it folds samples on the publish path without touching
+// delivery counters.
+func (g *Gateway) EnableSummary(sensorName, event, field string, windows ...time.Duration) {
+	if field == "" {
+		field = "VAL"
+	}
+	if len(windows) == 0 {
+		windows = DefaultSummaryWindows
+	}
+	sorted := append([]time.Duration(nil), windows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st := &summaryState{windows: sorted}
+	tap := g.bus.Tap(sensorName, func(topic string, rec ulm.Record) {
+		if topic != sensorName || rec.Event != event {
+			return
+		}
+		if v, err := rec.Float(field); err == nil {
+			st.add(g.now(), v)
+		}
+	})
+	key := summaryKey{sensorName, event, field}
+	g.sumMu.Lock()
+	if old, ok := g.summaries[key]; ok {
+		old.tap.Cancel()
+	}
+	g.summaries[key] = &summaryEntry{st: st, tap: tap}
+	g.sumMu.Unlock()
+}
+
+// Summary returns the windowed statistics for a summarized series.
+func (g *Gateway) Summary(principal, sensorName, event, field string) ([]SummaryPoint, error) {
+	if field == "" {
+		field = "VAL"
+	}
+	if err := g.authorize(principal, sensorName, auth.ActionSummary); err != nil {
+		return nil, err
+	}
+	g.sumMu.Lock()
+	e, ok := g.summaries[summaryKey{sensorName, event, field}]
+	g.sumMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gateway: no summary for %s/%s/%s", sensorName, event, field)
+	}
+	return e.st.points(g.now()), nil
+}
+
+func (st *summaryState) add(now time.Time, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.samples = append(st.samples, sample{now, v})
+	maxWin := st.windows[len(st.windows)-1]
+	cutoff := now.Add(-maxWin)
+	trim := 0
+	for trim < len(st.samples) && st.samples[trim].t.Before(cutoff) {
+		trim++
+	}
+	if trim > 0 {
+		st.samples = append(st.samples[:0], st.samples[trim:]...)
+	}
+}
+
+func (st *summaryState) points(now time.Time) []SummaryPoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SummaryPoint, 0, len(st.windows))
+	for _, w := range st.windows {
+		cutoff := now.Add(-w)
+		pt := SummaryPoint{Window: w}
+		for _, s := range st.samples {
+			if s.t.Before(cutoff) {
+				continue
+			}
+			if pt.Count == 0 || s.v < pt.Min {
+				pt.Min = s.v
+			}
+			if pt.Count == 0 || s.v > pt.Max {
+				pt.Max = s.v
+			}
+			pt.Avg += s.v
+			pt.Count++
+		}
+		if pt.Count > 0 {
+			pt.Avg /= float64(pt.Count)
+		}
+		out = append(out, pt)
+	}
+	return out
+}

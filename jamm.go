@@ -38,6 +38,7 @@ import (
 
 	"jamm/internal/archive"
 	"jamm/internal/auth"
+	"jamm/internal/bus"
 	"jamm/internal/consumer"
 	"jamm/internal/core"
 	"jamm/internal/directory"
@@ -107,6 +108,10 @@ func ParseRecord(line string) (Record, error) { return ulm.Parse(line) }
 type (
 	// Gateway is an event gateway.
 	Gateway = gateway.Gateway
+	// GatewayConfig tunes a gateway's event-distribution core.
+	GatewayConfig = gateway.Config
+	// GatewayStats counts gateway traffic.
+	GatewayStats = gateway.Stats
 	// Request describes a consumer's subscription or query.
 	Request = gateway.Request
 	// Subscription is an open event channel.
@@ -116,6 +121,39 @@ type (
 	// DeliverMode selects gateway-side filtering.
 	DeliverMode = gateway.DeliverMode
 )
+
+// Event bus (internal/bus): the sharded publish/subscribe core under
+// every gateway, exposed for deployments that want raw topic
+// subscriptions, silent taps, or batched asynchronous publishing.
+type (
+	// EventBus is a sharded publish/subscribe core.
+	EventBus = bus.Bus
+	// BusOptions configures an EventBus.
+	BusOptions = bus.Options
+	// BusStats counts bus traffic.
+	BusStats = bus.Stats
+	// BusSubscription is one subscriber's registration on a bus.
+	BusSubscription = bus.Subscription
+	// BusHook decides a record's fate before delivery.
+	BusHook = bus.Hook
+	// BusDecision is a hook's verdict (Deliver / Suppress / Skip).
+	BusDecision = bus.Decision
+)
+
+// Bus hook decisions.
+const (
+	BusDeliver  = bus.Deliver
+	BusSuppress = bus.Suppress
+	BusSkip     = bus.Skip
+)
+
+// NewEventBus returns an empty sharded event bus.
+func NewEventBus(opts BusOptions) *EventBus { return bus.New(opts) }
+
+// NewGateway returns a standalone event gateway (daemon deployments;
+// grids create per-site gateways via AddSite). now supplies
+// summary-window time; nil means the wall clock.
+func NewGateway(name string, now func() time.Time) *Gateway { return gateway.New(name, now) }
 
 // Delivery modes.
 const (
