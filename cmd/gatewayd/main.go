@@ -4,8 +4,16 @@
 // a separate host from the grid resources, to ensure that the load from
 // the gateway did not affect what was being monitored" (§2.3).
 //
+// Gateways chain: -peer mirrors every topic of an upstream gateway
+// into this one over a batched bridge, so a site gateway can aggregate
+// many per-host gateways and a wide-area gateway can aggregate many
+// sites. -async decouples the publish path from delivery behind
+// bounded queues; on SIGTERM the daemon stops the listener and drains
+// in-flight events before exiting.
+//
 //	gatewayd -addr 127.0.0.1:9100 -name gw.lbl.gov \
-//	    -summary 'cpu/VMSTAT_SYS_TIME/VAL'
+//	    -summary 'cpu/VMSTAT_SYS_TIME/VAL' \
+//	    -peer 127.0.0.1:9200 -peer 127.0.0.1:9201 -async 1024
 package main
 
 import (
@@ -16,15 +24,20 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"jamm/internal/bridge"
 	"jamm/internal/gateway"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
 	name := flag.String("name", "gw", "gateway name")
-	var summaries multiFlag
+	async := flag.Int("async", 0, "async event-plane queue depth per shard (0 = synchronous publish)")
+	batch := flag.Int("batch", 64, "records per batched wire frame when mirroring peers")
+	var summaries, peers multiFlag
 	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
+	flag.Var(&peers, "peer", "upstream gateway address whose topics are mirrored into this gateway (repeatable)")
 	flag.Parse()
 
 	gw := gateway.New(*name, nil)
@@ -35,16 +48,40 @@ func main() {
 		}
 		gw.EnableSummary(parts[0], parts[1], parts[2])
 	}
+	if *async > 0 {
+		gw.StartAsync(*async)
+	}
 	srv, err := gateway.ServeTCP(gw, *addr, nil)
 	if err != nil {
 		log.Fatalf("gatewayd: %v", err)
 	}
-	fmt.Printf("gatewayd: %s listening on %s\n", *name, srv.Addr())
+	var bridges []*bridge.Bridge
+	for _, peer := range peers {
+		c := gateway.NewClient("gatewayd/"+*name, peer)
+		bridges = append(bridges, bridge.New(c, gw, bridge.Options{
+			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
+		}))
+	}
+	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d)\n", *name, srv.Addr(), len(peers), *async)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Drain, not drop: stop ingest (bridges + listener) first, flush
+	// every in-flight event through delivery while subscriber
+	// connections are still up, let their writers empty, then close.
+	for _, b := range bridges {
+		b.Close()
+	}
+	srv.StopAccepting()
+	gw.Flush()
+	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
+	gw.StopAsync()
+	st := srv.WireStats()
+	if d := st.Drops(); d > 0 {
+		log.Printf("gatewayd: wire drops at shutdown: %d bad records, %d bad lines, %d slow-subscriber drops", st.BadRecords, st.BadLines, st.SubDrops)
+	}
 }
 
 type multiFlag []string

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"jamm/internal/activation"
+	"jamm/internal/bridge"
 	"jamm/internal/core"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
@@ -49,6 +50,9 @@ func main() {
 	ctlAddr := flag.String("control", "127.0.0.1:9201", "control (activation) listen address")
 	dirAddr := flag.String("dir", "", "remote directory server address (optional)")
 	forward := flag.String("forward", "", "upstream gatewayd address to forward all events to (optional)")
+	var peers multiFlag
+	flag.Var(&peers, "peer", "remote gateway address whose topics are mirrored into the embedded gateway (repeatable)")
+	async := flag.Int("async", 0, "async event-plane queue depth per shard for the embedded gateway (0 = synchronous)")
 	demo := flag.Bool("demo-workload", false, "run a synthetic CPU workload and periodic port-21 transfers")
 	httpAddr := flag.String("http", "", "serve the browser UI (tables/charts of §5.0) on this address, e.g. 127.0.0.1:8800")
 	flag.Parse()
@@ -112,7 +116,12 @@ func main() {
 		g.Sched.Every(30*time.Second, rig.Manager.UpdateDirectory)
 	})
 
-	// The embedded gateway serves consumers directly.
+	// The embedded gateway serves consumers directly. -async decouples
+	// its publish path from consumer delivery behind bounded queues;
+	// the shutdown path below drains them before exit.
+	if *async > 0 {
+		site.Gateway.StartAsync(*async)
+	}
 	gwSrv, err := gateway.ServeTCP(site.Gateway, *gwAddr, nil)
 	if err != nil {
 		log.Fatalf("jammd: gateway: %v", err)
@@ -120,9 +129,9 @@ func main() {
 	defer gwSrv.Close()
 
 	// Optional upstream forwarding: the whole local stream re-publishes
-	// to a site gatewayd.
+	// to a site gatewayd in batched wire frames.
 	if *forward != "" {
-		pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewPublisher(gateway.FormatULM)
+		pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewBatchPublisher(gateway.FormatULM, 64, 5*time.Millisecond)
 		if err != nil {
 			log.Fatalf("jammd: forward: %v", err)
 		}
@@ -132,6 +141,16 @@ func main() {
 				pub.Publish(*hostName+"/"+rec.Prog, rec) //nolint:errcheck
 			})
 		})
+	}
+
+	// Optional downstream mirroring: -peer gateways' topics appear in
+	// the embedded gateway (and its consumers) via bus bridges.
+	var mirrors []*bridge.Bridge
+	for _, peer := range peers {
+		c := gateway.NewClient("jammd/"+*hostName, peer)
+		mirrors = append(mirrors, bridge.New(c, site.Gateway, bridge.Options{
+			BatchMax: 64, BatchWait: 2 * time.Millisecond,
+		}))
 	}
 
 	// Control surface: the sensor manager as an activatable service.
@@ -190,5 +209,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Drain, not drop: stop ingest (mirrors, sensors, listener), flush
+	// in-flight events through delivery while subscriber connections
+	// are still up, let their writers empty, then close.
+	for _, m := range mirrors {
+		m.Close()
+	}
 	driver.Call(func() error { rig.Manager.Shutdown(); return nil }) //nolint:errcheck
+	gwSrv.StopAccepting()
+	site.Gateway.Flush()
+	gwSrv.DrainSubscribers(5 * time.Second)
+	gwSrv.Close()
+	site.Gateway.StopAsync()
 }
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,309 @@
+// Package bridge stretches the event bus across processes: a Bridge
+// subscribes to topics on a remote gateway over the wire protocol and
+// republishes every received record into a local publish target, so a
+// consumer's (or downstream gateway's) local bus transparently mirrors
+// remote topics. This is the paper's hierarchy made concrete — sensor
+// managers publish into a per-host gateway, site gateways mirror many
+// hosts, and consumers far away mirror a site — with the wire cost
+// amortized by batched frames and resilience to gateway restarts via
+// reconnect-with-backoff and automatic resubscription.
+package bridge
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+// Target is where mirrored records land. *bus.Bus satisfies it (raw
+// mirror: subscribers on the local bus see remote topics) and so does
+// *gateway.Gateway (full mirror: records also feed the local gateway's
+// last-event cache, summaries, and filters — chained gateways).
+type Target interface {
+	Publish(topic string, rec ulm.Record)
+}
+
+// Options configures a Bridge.
+type Options struct {
+	// Requests selects which remote topics to mirror; empty mirrors
+	// everything (one wildcard subscription).
+	Requests []gateway.Request
+	// Format is the wire payload format (gateway.FormatULM default).
+	Format string
+	// BatchMax asks the remote server for batched event frames of up
+	// to this many records (0 = single-record frames).
+	BatchMax int
+	// BatchWait bounds how long the server holds a partial batch.
+	BatchWait time.Duration
+	// MinBackoff/MaxBackoff bound the reconnect backoff after a lost
+	// or refused connection (defaults 50ms / 5s). Backoff doubles per
+	// consecutive failure and resets on a successful subscribe.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Prefix, when set, is prepended to every mirrored topic — chained
+	// gateways can namespace upstream sites ("lbl/" + "cpu@h1").
+	Prefix string
+	// MaxHops bounds how many bridges a record may cross (default 16).
+	// Each mirror stamps/increments the record's JAMM.HOPS field and a
+	// record at the limit is dropped and counted (Stats.LoopDrops)
+	// instead of republished, so a misconfigured peer cycle (gateway A
+	// mirroring B mirroring A) degrades into a bounded counter rather
+	// than infinite event amplification.
+	MaxHops int
+}
+
+// HopField is the ULM field bridges use to count mirror hops.
+const HopField = "JAMM.HOPS"
+
+// DefaultMaxHops bounds mirror chains when Options.MaxHops is unset.
+const DefaultMaxHops = 16
+
+// Stats counts one bridge's traffic.
+type Stats struct {
+	// Mirrored counts records republished into the local target.
+	Mirrored uint64
+	// Connects counts successful subscribe rounds (1 = the initial
+	// connection; more = reconnects after a server bounce).
+	Connects uint64
+	// RemoteDrops is the cumulative slow-consumer drop count reported
+	// by the remote server for this bridge's subscriptions — loss that
+	// happened upstream, observable here.
+	RemoteDrops uint64
+	// DecodeErrors counts received payloads that failed local decode.
+	DecodeErrors uint64
+	// LoopDrops counts records dropped at the MaxHops limit — nonzero
+	// means a mirror cycle (or an implausibly deep chain) exists.
+	LoopDrops uint64
+	// Connected reports whether the bridge currently holds live
+	// subscriptions.
+	Connected bool
+}
+
+// Bridge mirrors topics from one remote gateway into a local target.
+// Close stops it; a lost connection triggers reconnect with backoff
+// and resubscription of every configured request.
+type Bridge struct {
+	client *gateway.Client
+	target Target
+	opts   Options
+
+	mirrored    atomic.Uint64
+	loopDrops   atomic.Uint64
+	connects    atomic.Uint64
+	remoteDrops atomic.Uint64 // accumulated from finished streams
+	decodeErrs  atomic.Uint64 // accumulated from finished streams
+	connected   atomic.Bool
+
+	mu      sync.Mutex
+	streams []*gateway.Stream // live streams of the current round
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New starts a bridge mirroring the remote gateway behind client into
+// target. It returns immediately; the first connection attempt (and
+// every reconnect) happens on the bridge's own goroutine.
+func New(client *gateway.Client, target Target, opts Options) *Bridge {
+	if len(opts.Requests) == 0 {
+		opts.Requests = []gateway.Request{{}}
+	}
+	if opts.MinBackoff <= 0 {
+		opts.MinBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = DefaultMaxHops
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	b := &Bridge{client: client, target: target, opts: opts, done: make(chan struct{})}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Stats returns a snapshot of the bridge's counters.
+func (b *Bridge) Stats() Stats {
+	st := Stats{
+		Mirrored:     b.mirrored.Load(),
+		LoopDrops:    b.loopDrops.Load(),
+		Connects:     b.connects.Load(),
+		RemoteDrops:  b.remoteDrops.Load(),
+		DecodeErrors: b.decodeErrs.Load(),
+		Connected:    b.connected.Load(),
+	}
+	b.mu.Lock()
+	for _, s := range b.streams {
+		st.RemoteDrops += s.RemoteDrops()
+		st.DecodeErrors += s.DecodeErrors()
+	}
+	b.mu.Unlock()
+	return st
+}
+
+// Connected reports whether the bridge currently holds live
+// subscriptions to the remote gateway.
+func (b *Bridge) Connected() bool { return b.connected.Load() }
+
+// WaitConnected blocks until the bridge is connected or the timeout
+// elapses, reporting which.
+func (b *Bridge) WaitConnected(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b.connected.Load() {
+			return true
+		}
+		select {
+		case <-b.done:
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return b.connected.Load()
+}
+
+// Close stops the bridge and waits for its goroutine to exit.
+func (b *Bridge) Close() {
+	b.closeOnce.Do(func() { close(b.done) })
+	b.wg.Wait()
+}
+
+func (b *Bridge) run() {
+	defer b.wg.Done()
+	backoff := b.opts.MinBackoff
+	for {
+		select {
+		case <-b.done:
+			return
+		default:
+		}
+		streams, fail, err := b.subscribeAll()
+		if err != nil {
+			b.closeStreams(streams)
+			if !b.sleep(backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > b.opts.MaxBackoff {
+				backoff = b.opts.MaxBackoff
+			}
+			continue
+		}
+		backoff = b.opts.MinBackoff
+		b.connects.Add(1)
+		b.setStreams(streams)
+		b.connected.Store(true)
+		// Hold until any stream dies (server bounce) or Close.
+		select {
+		case <-b.done:
+			b.connected.Store(false)
+			b.closeStreams(b.takeStreams())
+			return
+		case <-fail:
+			b.connected.Store(false)
+			b.closeStreams(b.takeStreams())
+		}
+	}
+}
+
+// subscribeAll opens one streaming subscription per configured
+// request. fail fires when any of them terminates.
+func (b *Bridge) subscribeAll() ([]*gateway.Stream, <-chan struct{}, error) {
+	opts := gateway.StreamOptions{Format: b.opts.Format, BatchMax: b.opts.BatchMax, BatchWait: b.opts.BatchWait}
+	fail := make(chan struct{})
+	var failOnce sync.Once
+	streams := make([]*gateway.Stream, 0, len(b.opts.Requests))
+	for _, req := range b.opts.Requests {
+		st, err := b.client.SubscribeStream(req, opts, b.mirror)
+		if err != nil {
+			return streams, nil, err
+		}
+		streams = append(streams, st)
+		go func(st *gateway.Stream) {
+			<-st.Done()
+			failOnce.Do(func() { close(fail) })
+		}(st)
+	}
+	return streams, fail, nil
+}
+
+// mirror republishes one received record into the local target,
+// incrementing its hop count and dropping it at the MaxHops limit.
+func (b *Bridge) mirror(sensor string, rec ulm.Record) {
+	hops := hopCount(rec)
+	if hops >= b.opts.MaxHops {
+		b.loopDrops.Add(1)
+		return
+	}
+	b.target.Publish(b.opts.Prefix+sensor, withHops(rec, hops+1))
+	b.mirrored.Add(1)
+}
+
+func hopCount(rec ulm.Record) int {
+	raw, ok := rec.Get(HopField)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// withHops returns rec with its hop field set to n, leaving the
+// caller's field slice untouched.
+func withHops(rec ulm.Record, n int) ulm.Record {
+	fields := make([]ulm.Field, len(rec.Fields), len(rec.Fields)+1)
+	copy(fields, rec.Fields)
+	for i := range fields {
+		if fields[i].Key == HopField {
+			fields[i].Value = strconv.Itoa(n)
+			rec.Fields = fields
+			return rec
+		}
+	}
+	rec.Fields = append(fields, ulm.Field{Key: HopField, Value: strconv.Itoa(n)})
+	return rec
+}
+
+func (b *Bridge) setStreams(streams []*gateway.Stream) {
+	b.mu.Lock()
+	b.streams = streams
+	b.mu.Unlock()
+}
+
+func (b *Bridge) takeStreams() []*gateway.Stream {
+	b.mu.Lock()
+	streams := b.streams
+	b.streams = nil
+	b.mu.Unlock()
+	return streams
+}
+
+// closeStreams tears down a subscribe round, folding its counters into
+// the bridge's accumulated totals.
+func (b *Bridge) closeStreams(streams []*gateway.Stream) {
+	for _, s := range streams {
+		s.Close()
+		<-s.Done()
+		b.remoteDrops.Add(s.RemoteDrops())
+		b.decodeErrs.Add(s.DecodeErrors())
+	}
+}
+
+// sleep waits d or until Close, reporting whether to continue.
+func (b *Bridge) sleep(d time.Duration) bool {
+	select {
+	case <-b.done:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

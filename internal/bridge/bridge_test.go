@@ -1,0 +1,287 @@
+package bridge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/bus"
+	"jamm/internal/consumer"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+var epoch = time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func mkRec(event string, at time.Duration, val float64) ulm.Record {
+	return ulm.Record{
+		Date: epoch.Add(at), Host: "h1.lbl.gov", Prog: "jamm.cpu", Lvl: ulm.LvlUsage,
+		Event:  event,
+		Fields: []ulm.Field{{Key: "VAL", Value: fmt.Sprintf("%g", val)}},
+	}
+}
+
+func startRemote(t *testing.T) (*gateway.Gateway, *gateway.TCPServer) {
+	t.Helper()
+	g := gateway.New("remote", nil)
+	srv, err := gateway.ServeTCP(g, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return g, srv
+}
+
+func testOptions() Options {
+	return Options{
+		BatchMax: 8, BatchWait: time.Millisecond,
+		MinBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	}
+}
+
+func waitCount(t *testing.T, mu *sync.Mutex, n *int, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		got := *n
+		mu.Unlock()
+		if got >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("timed out: have %d records, want %d", *n, want)
+}
+
+// A bridged local bus transparently mirrors the remote gateway's
+// topics: publish at the remote, observe on a plain local bus
+// subscription, with topics preserved.
+func TestBridgeMirrorsRemoteTopics(t *testing.T) {
+	remote, srv := startRemote(t)
+	local := bus.New(bus.Options{})
+	br := New(gateway.NewClient("mirror", srv.Addr()), local, testOptions())
+	defer br.Close()
+
+	var mu sync.Mutex
+	var n int
+	var topics []string
+	local.SubscribeTopics("", nil, func(topic string, rec ulm.Record) {
+		mu.Lock()
+		n++
+		topics = append(topics, topic)
+		mu.Unlock()
+	})
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 1))
+	remote.Publish("mem@h1", mkRec("E", time.Second, 2))
+	waitCount(t, &mu, &n, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	if topics[0] != "cpu@h1" || topics[1] != "mem@h1" {
+		t.Fatalf("mirrored topics = %v", topics)
+	}
+	if st := br.Stats(); st.Mirrored != 2 || st.Connects != 1 || !st.Connected {
+		t.Fatalf("bridge stats = %+v", st)
+	}
+}
+
+// Bridging into a gateway (not a raw bus) makes mirrored records first
+// class: they land in the last-event cache and are queryable — the
+// chained-gateway topology.
+func TestBridgeIntoGatewayChains(t *testing.T) {
+	remote, srv := startRemote(t)
+	downstream := gateway.New("downstream", nil)
+	br := New(gateway.NewClient("chain", srv.Addr()), downstream, testOptions())
+	defer br.Close()
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 42))
+	deadline := time.Now().Add(5 * time.Second)
+	for downstream.Stats().Published == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	rec, found, err := downstream.Query("", "cpu@h1", "E")
+	if err != nil || !found {
+		t.Fatalf("query at downstream gateway: %v found=%v", err, found)
+	}
+	if v, _ := rec.Float("VAL"); v != 42 {
+		t.Fatalf("mirrored VAL = %v", v)
+	}
+}
+
+// A bounced gateway does not orphan the mirror: the bridge reconnects
+// with backoff, resubscribes, and events published after the restart
+// still arrive.
+func TestBridgeReconnectsAfterServerRestart(t *testing.T) {
+	remote, srv := startRemote(t)
+	addr := srv.Addr()
+	local := bus.New(bus.Options{})
+	var mu sync.Mutex
+	var n int
+	local.Subscribe("", nil, func(ulm.Record) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	br := New(gateway.NewClient("mirror", addr), local, testOptions())
+	defer br.Close()
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 1))
+	waitCount(t, &mu, &n, 1)
+
+	// Bounce the server on the same address (fresh gateway instance —
+	// a restarted process has no memory either).
+	srv.Close()
+	remote2 := gateway.New("remote", nil)
+	var srv2 *gateway.TCPServer
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var err error
+		if srv2, err = gateway.ServeTCP(remote2, addr, nil); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv2 == nil {
+		t.Fatalf("could not rebind %s", addr)
+	}
+	defer srv2.Close()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for br.Stats().Connects < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if br.Stats().Connects < 2 {
+		t.Fatal("bridge never resubscribed after restart")
+	}
+	remote2.Publish("cpu@h1", mkRec("E", time.Second, 2))
+	waitCount(t, &mu, &n, 2)
+}
+
+// Scoped requests mirror only what they name, and Prefix namespaces
+// the mirrored topics.
+func TestBridgeScopedAndPrefixed(t *testing.T) {
+	remote, srv := startRemote(t)
+	local := bus.New(bus.Options{})
+	opts := testOptions()
+	opts.Requests = []gateway.Request{{Sensor: "cpu@h1"}}
+	opts.Prefix = "lbl/"
+	br := New(gateway.NewClient("mirror", srv.Addr()), local, opts)
+	defer br.Close()
+
+	var mu sync.Mutex
+	var n int
+	local.Subscribe("lbl/cpu@h1", nil, func(ulm.Record) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 1))
+	remote.Publish("mem@h1", mkRec("E", 0, 1)) // out of scope
+	waitCount(t, &mu, &n, 1)
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if br.Stats().Mirrored > 1 {
+			t.Fatal("out-of-scope topic mirrored")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The paper's process monitor works unchanged against a bridged bus:
+// a PROC_DIED event on a remote host triggers local actions.
+func TestBridgeProcessMonitorOverBridgedBus(t *testing.T) {
+	remote, srv := startRemote(t)
+	local := bus.New(bus.Options{})
+	br := New(gateway.NewClient("monitor", srv.Addr()), local, testOptions())
+	defer br.Close()
+
+	pm := consumer.NewProcessMonitor("ftpd", consumer.Action{Kind: "page"})
+	pm.SubscribeBus(local, "")
+	defer pm.Close()
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	died := ulm.Record{
+		Date: epoch, Host: "dpss1.lbl.gov", Prog: "procmon", Lvl: ulm.LvlUsage,
+		Event:  "PROC_DIED",
+		Fields: []ulm.Field{{Key: "PROC", Value: "ftpd"}},
+	}
+	remote.Publish("proc@dpss1", died)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pm.Actions()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	acts := pm.Actions()
+	if len(acts) != 1 || acts[0].Kind != "page" || acts[0].Proc != "ftpd" {
+		t.Fatalf("actions over bridged bus = %+v", acts)
+	}
+}
+
+// A mutual peer cycle (A mirrors B, B mirrors A) must not amplify
+// forever: the hop counter bounds the loop and the overflow is counted
+// as LoopDrops.
+func TestBridgeMutualMirrorLoopBounded(t *testing.T) {
+	gwA, srvA := startRemote(t)
+	gwB, srvB := startRemote(t)
+	opts := testOptions()
+	opts.MaxHops = 3
+	brAtoB := New(gateway.NewClient("b-mirrors-a", srvA.Addr()), gwB, opts)
+	defer brAtoB.Close()
+	brBtoA := New(gateway.NewClient("a-mirrors-b", srvB.Addr()), gwA, opts)
+	defer brBtoA.Close()
+	if !brAtoB.WaitConnected(5*time.Second) || !brBtoA.WaitConnected(5*time.Second) {
+		t.Fatal("bridges never connected")
+	}
+	gwA.Publish("cpu@h1", mkRec("E", 0, 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for brAtoB.Stats().LoopDrops+brBtoA.Stats().LoopDrops == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if brAtoB.Stats().LoopDrops+brBtoA.Stats().LoopDrops == 0 {
+		t.Fatal("loop never hit the hop limit")
+	}
+	// The cycle is dead: mirrored counts stop growing.
+	time.Sleep(50 * time.Millisecond)
+	m1 := brAtoB.Stats().Mirrored + brBtoA.Stats().Mirrored
+	time.Sleep(100 * time.Millisecond)
+	m2 := brAtoB.Stats().Mirrored + brBtoA.Stats().Mirrored
+	if m2 != m1 {
+		t.Fatalf("mirror loop still amplifying: %d -> %d", m1, m2)
+	}
+	if m2 > uint64(opts.MaxHops) {
+		t.Fatalf("mirrored %d records for one publish with MaxHops=%d", m2, opts.MaxHops)
+	}
+}
+
+// Close is idempotent and stops the mirror promptly.
+func TestBridgeClose(t *testing.T) {
+	remote, srv := startRemote(t)
+	local := bus.New(bus.Options{})
+	br := New(gateway.NewClient("mirror", srv.Addr()), local, testOptions())
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	br.Close()
+	br.Close()
+	if br.Connected() {
+		t.Fatal("still connected after Close")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 1))
+	time.Sleep(20 * time.Millisecond)
+	if st := br.Stats(); st.Mirrored != 0 {
+		t.Fatalf("mirrored after Close = %d", st.Mirrored)
+	}
+}

@@ -165,6 +165,9 @@ type Subscription struct {
 	topic string
 	hook  Hook
 	fn    func(ulm.Record)
+	// fnT is the topic-aware delivery callback (SubscribeTopics);
+	// exactly one of fn/fnT is set for delivering subscriptions.
+	fnT func(topic string, rec ulm.Record)
 
 	// mu serializes hook invocations for wildcard subscriptions, whose
 	// publishes arrive from every shard concurrently.
@@ -194,6 +197,17 @@ func (s *Subscription) Counts() (delivered, suppressed uint64) {
 // shard queue would deadlock.
 func (b *Bus) Subscribe(topic string, hook Hook, fn func(ulm.Record)) *Subscription {
 	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fn: fn}
+	b.insert(s)
+	return s
+}
+
+// SubscribeTopics is Subscribe with a topic-aware callback: fn receives
+// the topic a record was published under beside the record itself.
+// Transports that mirror a bus elsewhere (the gateway wire protocol,
+// the bus-to-bus bridge) need the topic to republish under the same
+// name; plain consumers should use Subscribe.
+func (b *Bus) SubscribeTopics(topic string, hook Hook, fn func(topic string, rec ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fnT: fn}
 	b.insert(s)
 	return s
 }
@@ -342,7 +356,7 @@ func (b *Bus) publish(topic string, rec ulm.Record) {
 				s.mu.Unlock()
 			}
 		}
-		if s.fn == nil {
+		if s.fn == nil && s.fnT == nil {
 			continue // tap: observes, never delivers
 		}
 		switch d {
@@ -357,7 +371,11 @@ func (b *Bus) publish(topic string, rec ulm.Record) {
 	}
 	sh.mu.Unlock()
 	for _, s := range matched {
-		s.fn(rec)
+		if s.fnT != nil {
+			s.fnT(topic, rec)
+		} else {
+			s.fn(rec)
+		}
 	}
 	for k := range matched {
 		matched[k] = nil

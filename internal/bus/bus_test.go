@@ -33,6 +33,36 @@ func TestTopicRouting(t *testing.T) {
 	}
 }
 
+func TestSubscribeTopicsCarriesTopic(t *testing.T) {
+	b := New(Options{})
+	var got []string
+	b.SubscribeTopics("", nil, func(topic string, r ulm.Record) {
+		got = append(got, topic+":"+r.Event)
+	})
+	var cpuOnly []string
+	sub := b.SubscribeTopics("cpu", nil, func(topic string, r ulm.Record) {
+		cpuOnly = append(cpuOnly, topic)
+	})
+	b.Publish("cpu", rec("A"))
+	b.Publish("mem", rec("B"))
+	if len(got) != 2 || got[0] != "cpu:A" || got[1] != "mem:B" {
+		t.Fatalf("wildcard topic delivery = %v", got)
+	}
+	if len(cpuOnly) != 1 || cpuOnly[0] != "cpu" {
+		t.Fatalf("topic delivery = %v", cpuOnly)
+	}
+	if d, _ := sub.Counts(); d != 1 {
+		t.Fatalf("delivered = %d", d)
+	}
+	if !sub.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	b.Publish("cpu", rec("C"))
+	if len(cpuOnly) != 1 {
+		t.Fatal("delivered after cancel")
+	}
+}
+
 func TestWildcardSeesEveryTopic(t *testing.T) {
 	b := New(Options{})
 	var got []string

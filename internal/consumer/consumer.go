@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"jamm/internal/archive"
+	"jamm/internal/bus"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
 	"jamm/internal/ulm"
@@ -81,7 +82,10 @@ func Discover(dir Directory, base directory.DN, filter string) ([]SensorLoc, err
 }
 
 // Subscriber is the subscription surface of a gateway. *gateway.Gateway
-// satisfies it directly; remote gateways are adapted by RemoteGateway.
+// satisfies it directly; remote gateways are reached either through a
+// wire-client subscription (gateway.Client.Subscribe + AddStop) or by
+// mirroring them into a local bus with internal/bridge and using the
+// consumers' SubscribeBus methods.
 type Subscriber interface {
 	Subscribe(req gateway.Request, fn func(ulm.Record)) (*gateway.Subscription, error)
 }
@@ -127,6 +131,14 @@ func (c *Collector) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// SubscribeBus routes a bus topic ("" = every topic) into the
+// collector — the way to collect from a local bus that mirrors remote
+// gateways through bridges.
+func (c *Collector) SubscribeBus(b *bus.Bus, topic string) {
+	sub := b.Subscribe(topic, nil, c.Take)
+	c.AddStop(func() { sub.Cancel() })
 }
 
 // AddStop registers an extra teardown hook (remote subscription stops).

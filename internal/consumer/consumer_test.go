@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jamm/internal/archive"
+	"jamm/internal/bus"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
 	"jamm/internal/ulm"
@@ -265,5 +266,49 @@ func TestArchiverBatchedIngest(t *testing.T) {
 	a.Close() // close flushes the partial batch too
 	if store.Len() != 21 {
 		t.Fatalf("store holds %d after close, want 21", store.Len())
+	}
+}
+
+// The consumers attach to a raw event bus directly — the surface a
+// bridge-mirrored bus exposes: collector, process monitor, and
+// overview all observe bus topics without a gateway in between.
+func TestConsumersOverRawBus(t *testing.T) {
+	b := bus.New(bus.Options{})
+
+	col := NewCollector()
+	col.SubscribeBus(b, "")
+	defer col.Close()
+
+	pm := NewProcessMonitor("ftpd", Action{Kind: "restart"})
+	pm.SubscribeBus(b, "proc@h1")
+	defer pm.Close()
+
+	ov := NewOverview(BothDown("ftpd", "h1", "h2"))
+	ov.SubscribeBus(b, "proc@h1", "proc@h2")
+	defer ov.Close()
+
+	died := func(host string) ulm.Record {
+		return rec(0, host, "PROC_DIED", ulm.LvlUsage, ulm.Field{Key: "PROC", Value: "ftpd"})
+	}
+	b.Publish("proc@h1", died("h1"))
+	b.Publish("cpu@h1", rec(time.Second, "h1", "CPU_LOAD", ulm.LvlUsage))
+	if got := len(pm.Actions()); got != 1 {
+		t.Fatalf("monitor actions = %d, want 1", got)
+	}
+	if got := len(ov.Alerts()); got != 0 {
+		t.Fatalf("alerts before both down = %d, want 0", got)
+	}
+	b.Publish("proc@h2", died("h2"))
+	if got := len(ov.Alerts()); got != 1 {
+		t.Fatalf("alerts after both down = %d, want 1", got)
+	}
+	if got := col.Len(); got != 3 {
+		t.Fatalf("collector saw %d records, want 3", got)
+	}
+	// Close detaches the bus subscriptions.
+	pm.Close()
+	b.Publish("proc@h1", died("h1"))
+	if got := len(pm.Actions()); got != 1 {
+		t.Fatalf("actions after close = %d, want 1", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"jamm/internal/bus"
 	"jamm/internal/gateway"
 	"jamm/internal/ulm"
 )
@@ -87,6 +88,17 @@ func (p *ProcessMonitor) Subscribe(gw Subscriber) error {
 	p.sub = sub
 	p.mu.Unlock()
 	return nil
+}
+
+// SubscribeBus attaches the monitor to an event bus directly — e.g. a
+// local bus mirroring a remote gateway through a bridge, so the
+// monitor reacts to process deaths on hosts it has no connection to.
+// topic "" watches every topic.
+func (p *ProcessMonitor) SubscribeBus(b *bus.Bus, topic string) {
+	sub := b.Subscribe(topic, nil, p.Take)
+	p.mu.Lock()
+	p.stops = append(p.stops, func() { sub.Cancel() })
+	p.mu.Unlock()
 }
 
 // Close cancels the monitor's subscription.
@@ -201,6 +213,22 @@ func (o *Overview) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 		o.mu.Unlock()
 	}
 	return nil
+}
+
+// SubscribeBus attaches the overview to an event bus directly; with
+// buses bridged from several remote gateways this is the paper's
+// multi-host decision consumer without a direct gateway connection.
+// Topics "" (or none) watch every topic.
+func (o *Overview) SubscribeBus(b *bus.Bus, topics ...string) {
+	if len(topics) == 0 {
+		topics = []string{""}
+	}
+	for _, topic := range topics {
+		sub := b.Subscribe(topic, nil, o.Take)
+		o.mu.Lock()
+		o.stops = append(o.stops, func() { sub.Cancel() })
+		o.mu.Unlock()
+	}
 }
 
 // Close cancels all subscriptions.

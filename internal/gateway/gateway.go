@@ -251,15 +251,68 @@ func (g *Gateway) Subscribe(req Request, fn func(ulm.Record)) (*Subscription, er
 		return nil, err
 	}
 	bsub := g.bus.Subscribe(req.Sensor, newFilter(req).hook(), fn)
-	if req.Sensor != "" {
-		ps := g.pshard(req.Sensor)
-		ps.mu.Lock()
-		if p, ok := ps.producers[req.Sensor]; ok {
-			p.consumers++
-		}
-		ps.mu.Unlock()
-	}
+	g.addConsumer(req.Sensor, 1)
 	return &Subscription{g: g, req: req, sub: bsub}, nil
+}
+
+// TopicRecord is one delivered record together with the sensor (bus
+// topic) it was published under — the unit transports forward.
+type TopicRecord struct {
+	Sensor string
+	Rec    ulm.Record
+}
+
+// SubscribeChan opens a streaming subscription that delivers into a
+// bounded channel instead of a callback, decoupling the gateway's
+// publish path from a slow consumer transport. A record that would
+// block is dropped, counted on the subscription (WireDrops), and
+// reported to onDrop (which may be nil) — never silently lost. depth
+// <= 0 selects a default of 256.
+//
+// The channel is never closed, not even by Cancel (publishes may race
+// the cancellation): do not range over it bare. Receive with a select
+// on the consumer's own shutdown signal, and after Cancel drain
+// non-blocking if late records matter.
+func (g *Gateway) SubscribeChan(req Request, depth int, onDrop func()) (*Subscription, <-chan TopicRecord, error) {
+	if err := g.authorize(req.Principal, req.Sensor, auth.ActionStream); err != nil {
+		return nil, nil, err
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	ch := make(chan TopicRecord, depth)
+	// s is allocated before the bus insert so the delivery closure can
+	// count drops on it even for records racing Subscribe's return.
+	s := &Subscription{g: g, req: req}
+	s.sub = g.bus.SubscribeTopics(req.Sensor, newFilter(req).hook(), func(topic string, rec ulm.Record) {
+		select {
+		case ch <- TopicRecord{Sensor: topic, Rec: rec}:
+		default: // slow consumer: drop rather than stall producers
+			s.wireDrops.Add(1)
+			if onDrop != nil {
+				onDrop()
+			}
+		}
+	})
+	g.addConsumer(req.Sensor, 1)
+	return s, ch, nil
+}
+
+// addConsumer adjusts a sensor's consumer count by delta (no-op for
+// wildcard subscriptions and unknown sensors).
+func (g *Gateway) addConsumer(sensorName string, delta int) {
+	if sensorName == "" {
+		return
+	}
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	if p, ok := ps.producers[sensorName]; ok {
+		p.consumers += delta
+		if p.consumers < 0 {
+			p.consumers = 0
+		}
+	}
+	ps.mu.Unlock()
 }
 
 // Query returns the most recent event of the named type from the named
@@ -312,6 +365,10 @@ type Subscription struct {
 	g   *Gateway
 	req Request
 	sub *bus.Subscription
+
+	// wireDrops counts records the transport layer dropped after the
+	// bus delivered them (slow wire consumer) — see SubscribeChan.
+	wireDrops atomic.Uint64
 }
 
 // Request returns the subscription's request.
@@ -322,19 +379,17 @@ func (s *Subscription) Counts() (delivered, suppressed uint64) {
 	return s.sub.Counts()
 }
 
+// WireDrops returns how many delivered records the transport dropped
+// on a slow consumer connection, alongside Counts: delivered includes
+// these, so delivered - WireDrops records actually left the host.
+func (s *Subscription) WireDrops() uint64 { return s.wireDrops.Load() }
+
 // Cancel closes the subscription.
 func (s *Subscription) Cancel() {
 	if !s.sub.Cancel() {
 		return
 	}
-	if s.req.Sensor != "" {
-		ps := s.g.pshard(s.req.Sensor)
-		ps.mu.Lock()
-		if p, ok := ps.producers[s.req.Sensor]; ok && p.consumers > 0 {
-			p.consumers--
-		}
-		ps.mu.Unlock()
-	}
+	s.g.addConsumer(s.req.Sensor, -1)
 }
 
 // Float64 returns a pointer to v, for building threshold requests.

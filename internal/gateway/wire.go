@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jamm/internal/auth"
@@ -21,6 +23,21 @@ import (
 // requested format — "ulm" (ASCII, default), "xml" (the ULM-to-XML
 // gateway filter of §7.0), or "binary" (base64 of the compact encoding
 // for consumers that cannot afford ASCII parsing, §3.0).
+//
+// Batched frames amortize the per-record JSON and syscall cost on both
+// directions of the event path:
+//
+//   - publish: {"op":"publish","format":f,"recs":[{"sensor":s,"rec":p},...]}
+//     carries many records in one line (the Publisher coalesces up to
+//     N records or T milliseconds per frame);
+//   - subscribe: a request with "batch_max"/"batch_wait_ms" asks the
+//     server to coalesce delivery the same way, and event frames come
+//     back as {"ok":true,"recs":[...]}.
+//
+// Single-record frames ({"rec":...}) remain valid in both directions
+// for wire compatibility. Event frames also piggyback the cumulative
+// slow-consumer drop counter ("drops"), so a mirror downstream can see
+// loss it never received.
 
 // Format names for event payloads.
 const (
@@ -29,21 +46,42 @@ const (
 	FormatBinary = "binary"
 )
 
+// wireEvent is one event inside a batched frame: the sensor (bus
+// topic) it was published under plus the encoded payload.
+type wireEvent struct {
+	Sensor string `json:"sensor,omitempty"`
+	Rec    string `json:"rec"`
+}
+
 type wireRequest struct {
 	Op     string `json:"op"` // subscribe, publish, query, summary, list, ping
 	Format string `json:"format,omitempty"`
 	Event  string `json:"event,omitempty"`
-	Rec    string `json:"rec,omitempty"` // publish: the event payload
+	Rec    string `json:"rec,omitempty"` // publish: a single event payload
+	// Recs is the batched publish frame; each record names its own
+	// sensor (falling back to the request sensor when empty).
+	Recs []wireEvent `json:"recs,omitempty"`
+	// BatchMax asks a subscription for batched event frames of up to
+	// this many records; BatchWaitMS bounds how long a partial batch
+	// may wait before it is flushed.
+	BatchMax    int   `json:"batch_max,omitempty"`
+	BatchWaitMS int64 `json:"batch_wait_ms,omitempty"`
 	Request
 }
 
 type wireResponse struct {
 	OK      bool           `json:"ok"`
 	Error   string         `json:"error,omitempty"`
+	Sensor  string         `json:"sensor,omitempty"`
 	Rec     string         `json:"rec,omitempty"`
+	Recs    []wireEvent    `json:"recs,omitempty"`
 	Found   bool           `json:"found,omitempty"`
 	Summary []SummaryPoint `json:"summary,omitempty"`
 	Sensors []SensorInfo   `json:"sensors,omitempty"`
+	// Drops carries the cumulative wire-drop counter: on event frames
+	// the subscription's slow-consumer drops, on ping responses the
+	// server-wide total (bad records + bad lines + subscription drops).
+	Drops uint64 `json:"drops,omitempty"`
 }
 
 func encodeRecord(format string, rec ulm.Record) (string, error) {
@@ -82,15 +120,74 @@ func decodeRecord(format, payload string) (ulm.Record, error) {
 	return ulm.Record{}, fmt.Errorf("gateway: unknown format %q", format)
 }
 
+// WireStats counts wire-path loss and traffic at one TCP server. Every
+// record the wire path cannot carry is counted somewhere here — there
+// is no silent loss.
+type WireStats struct {
+	// BadRecords counts op=publish records that failed payload decode
+	// and were therefore not published.
+	BadRecords uint64
+	// BadLines counts request lines that failed JSON parsing.
+	BadLines uint64
+	// SubDrops counts records dropped on slow subscriber connections
+	// (the per-subscription counters, summed over all subscriptions
+	// past and present).
+	SubDrops uint64
+}
+
+// Drops returns the total loss counter the server answers pings with.
+func (w WireStats) Drops() uint64 { return w.BadRecords + w.BadLines + w.SubDrops }
+
+// wireSubChanDepth is the per-subscription buffer between the bus and
+// a subscriber connection; a variable so tests can force drops.
+var wireSubChanDepth = 256
+
+// maxBatchRecords caps a batch size in either direction, bounding
+// per-connection frame memory.
+const maxBatchRecords = 4096
+
+// maxBatchBytes bounds a publish batch by encoded payload bytes so a
+// full frame stays far below the server's 4MB line limit even with
+// fat records (XML, base64 binary).
+const maxBatchBytes = 1 << 20
+
+// maxConsecutiveBadLines bounds how much garbage a connection may send
+// before the server gives up on it. Publish streams never read their
+// connection, so the per-line error responses must stay far below the
+// socket buffers; past this many bad lines in a row the peer is not
+// speaking the protocol at all.
+const maxConsecutiveBadLines = 64
+
+// defaultBatchWait bounds how long a partial subscribe batch waits for
+// more records before it is flushed.
+const defaultBatchWait = 2 * time.Millisecond
+
+// maxBatchWait clamps a client-requested batch wait so a drained
+// shutdown never races an arbitrarily long flush timer.
+const maxBatchWait = time.Second
+
 // TCPServer exposes a Gateway over the wire protocol.
 type TCPServer struct {
 	gw *Gateway
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	badRecords atomic.Uint64
+	badLines   atomic.Uint64
+	subDrops   atomic.Uint64
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	subConns map[*subConn]struct{}
+	stopped  bool // listener closed (StopAccepting or Close)
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// subConn is one subscriber connection's drain state: its bounded
+// channel plus the records dequeued into a not-yet-flushed batch.
+type subConn struct {
+	ch      <-chan TopicRecord
+	pending atomic.Int64
 }
 
 // ServeTCP serves gw on addr ("127.0.0.1:0" for ephemeral). A non-nil
@@ -111,7 +208,7 @@ func ServeTCP(gw *Gateway, addr string, tlsCfg *tls.Config) (*TCPServer, error) 
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{gw: gw, ln: ln, conns: make(map[net.Conn]struct{})}
+	t := &TCPServer{gw: gw, ln: ln, conns: make(map[net.Conn]struct{}), subConns: make(map[*subConn]struct{})}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -119,6 +216,15 @@ func ServeTCP(gw *Gateway, addr string, tlsCfg *tls.Config) (*TCPServer, error) 
 
 // Addr returns the listening address.
 func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+// WireStats returns a snapshot of the server's wire-loss counters.
+func (t *TCPServer) WireStats() WireStats {
+	return WireStats{
+		BadRecords: t.badRecords.Load(),
+		BadLines:   t.badLines.Load(),
+		SubDrops:   t.subDrops.Load(),
+	}
+}
 
 func (t *TCPServer) acceptLoop() {
 	defer t.wg.Done()
@@ -162,36 +268,106 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	enc := json.NewEncoder(conn)
+	// First-occurrence logging per connection: one line when a peer
+	// first sends garbage, not one per record.
+	var loggedBadLine, loggedBadRecord bool
+	var badStreak, badTotal int
+	publishStream := false
 	for sc.Scan() {
 		var req wireRequest
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			enc.Encode(wireResponse{Error: "bad request: " + err.Error()}) //nolint:errcheck
-			return
+			// One malformed line must not kill a persistent publisher
+			// stream: count it, keep the connection — every event
+			// already in flight behind it stays alive. Error responses
+			// are suppressed once the connection has proven to be a
+			// fire-and-forget publish stream (the peer never reads) and
+			// after a bounded total, so unread responses can never back
+			// up into the socket buffers and wedge the stream; a peer
+			// that is all garbage is cut off after a bounded streak.
+			t.badLines.Add(1)
+			if !loggedBadLine {
+				loggedBadLine = true
+				log.Printf("gateway: wire: bad request line from %s: %v (counting further ones silently)", conn.RemoteAddr(), err)
+			}
+			badStreak++
+			badTotal++
+			if badStreak >= maxConsecutiveBadLines {
+				log.Printf("gateway: wire: closing %s after %d consecutive bad lines", conn.RemoteAddr(), badStreak)
+				return
+			}
+			if !publishStream && badTotal < maxConsecutiveBadLines {
+				if err := enc.Encode(wireResponse{Error: "bad request: " + err.Error()}); err != nil {
+					return
+				}
+			}
+			continue
 		}
+		badStreak = 0
 		req.Principal = peerPrincipal(conn, req.Principal)
 		if req.Op == "subscribe" {
 			t.serveSubscribe(conn, enc, req)
 			return // the subscription owns the connection
 		}
 		if req.Op == "publish" {
+			publishStream = true
 			// Fire-and-forget: a remote sensor manager streams events
-			// on a persistent connection, one per line, no acks — the
-			// event path must not pay a round trip per record.
-			if rec, err := decodeRecord(req.Format, req.Rec); err == nil {
-				t.gw.Publish(req.Sensor, rec)
-			}
+			// on a persistent connection, no acks — the event path must
+			// not pay a round trip per record. Records that fail decode
+			// are counted and logged, never silently discarded.
+			t.handlePublish(conn, req, &loggedBadRecord)
 			continue
 		}
 		if err := enc.Encode(t.handle(req)); err != nil {
 			return
 		}
 	}
+	// An over-long line (an uncapped or oversized batch frame) kills
+	// the connection and everything buffered behind it; count it, don't
+	// lose it silently. Other scanner errors are ordinary transport
+	// teardown (reset, server shutdown).
+	if err := sc.Err(); err == bufio.ErrTooLong {
+		t.badLines.Add(1)
+		log.Printf("gateway: wire: dropping connection %s: request line exceeds %d bytes (oversized batch?)", conn.RemoteAddr(), 4*1024*1024)
+	}
+}
+
+// handlePublish feeds a publish frame — single-record or batched —
+// into the gateway, counting undecodable records.
+func (t *TCPServer) handlePublish(conn net.Conn, req wireRequest, loggedBadRecord *bool) {
+	noteBad := func(err error) {
+		t.badRecords.Add(1)
+		if !*loggedBadRecord {
+			*loggedBadRecord = true
+			log.Printf("gateway: wire: undecodable %s record from %s: %v (counting further ones silently)", req.Format, conn.RemoteAddr(), err)
+		}
+	}
+	if len(req.Recs) == 0 {
+		rec, err := decodeRecord(req.Format, req.Rec)
+		if err != nil {
+			noteBad(err)
+			return
+		}
+		t.gw.Publish(req.Sensor, rec)
+		return
+	}
+	for _, ev := range req.Recs {
+		rec, err := decodeRecord(req.Format, ev.Rec)
+		if err != nil {
+			noteBad(err)
+			continue
+		}
+		sensor := ev.Sensor
+		if sensor == "" {
+			sensor = req.Sensor
+		}
+		t.gw.Publish(sensor, rec)
+	}
 }
 
 func (t *TCPServer) handle(req wireRequest) wireResponse {
 	switch req.Op {
 	case "ping":
-		return wireResponse{OK: true}
+		return wireResponse{OK: true, Drops: t.WireStats().Drops()}
 	case "query":
 		rec, found, err := t.gw.Query(req.Principal, req.Sensor, req.Event)
 		if err != nil {
@@ -223,20 +399,41 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
 		return
 	}
-	// Records flow through a channel so the gateway's Publish path is
-	// never blocked by a slow consumer connection.
-	ch := make(chan ulm.Record, 256)
-	sub, err := t.gw.Subscribe(req.Request, func(rec ulm.Record) {
-		select {
-		case ch <- rec:
-		default: // slow consumer: drop rather than stall producers
-		}
-	})
+	batchMax := req.BatchMax
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	if batchMax > maxBatchRecords {
+		batchMax = maxBatchRecords
+	}
+	batchWait := time.Duration(req.BatchWaitMS) * time.Millisecond
+	if batchWait <= 0 {
+		batchWait = defaultBatchWait
+	}
+	if batchWait > maxBatchWait {
+		batchWait = maxBatchWait
+	}
+	// Records flow through a bounded channel so the gateway's Publish
+	// path is never blocked by a slow consumer connection; drops are
+	// counted per subscription and server-wide.
+	sub, ch, err := t.gw.SubscribeChan(req.Request, wireSubChanDepth, func() { t.subDrops.Add(1) })
 	if err != nil {
 		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
 		return
 	}
 	defer sub.Cancel()
+	// Register the drain state so DrainSubscribers can tell when every
+	// in-flight record — buffered in the channel or dequeued into a
+	// partial batch — has been written out.
+	ss := &subConn{ch: ch}
+	t.mu.Lock()
+	t.subConns[ss] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.subConns, ss)
+		t.mu.Unlock()
+	}()
 	if err := enc.Encode(wireResponse{OK: true}); err != nil {
 		return
 	}
@@ -246,20 +443,116 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 		io.Copy(io.Discard, conn) //nolint:errcheck
 		close(done)
 	}()
+	emit := func(resp wireResponse) bool {
+		// Piggyback the cumulative slow-consumer drop counter so the
+		// subscriber can observe loss it never received.
+		resp.Drops = sub.WireDrops()
+		return enc.Encode(resp) == nil
+	}
+	var batch []wireEvent
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	defer stopTimer()
+	flush := func() bool {
+		stopTimer()
+		if len(batch) == 0 {
+			return true
+		}
+		ok := emit(wireResponse{OK: true, Recs: batch})
+		batch = nil
+		ss.pending.Store(0)
+		return ok
+	}
 	for {
 		select {
-		case rec := <-ch:
-			payload, err := encodeRecord(req.Format, rec)
+		case it := <-ch:
+			payload, err := encodeRecord(req.Format, it.Rec)
 			if err != nil {
-				return
+				// A record this format cannot carry (e.g. an XML-hostile
+				// byte in a field) is a wire drop like any other: count
+				// it on the subscription and keep the stream alive.
+				sub.wireDrops.Add(1)
+				t.subDrops.Add(1)
+				continue
 			}
-			if err := enc.Encode(wireResponse{OK: true, Rec: payload}); err != nil {
+			if batchMax == 1 {
+				// Single-record frames: the wire-compatible format.
+				if !emit(wireResponse{OK: true, Sensor: it.Sensor, Rec: payload}) {
+					return
+				}
+				continue
+			}
+			batch = append(batch, wireEvent{Sensor: it.Sensor, Rec: payload})
+			ss.pending.Store(int64(len(batch)))
+			if len(batch) >= batchMax {
+				if !flush() {
+					return
+				}
+			} else if timerC == nil {
+				timer = time.NewTimer(batchWait)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			if !flush() {
 				return
 			}
 		case <-done:
 			return
 		}
 	}
+}
+
+// StopAccepting closes the listener so no new connections arrive while
+// existing subscriber connections stay open — the first phase of a
+// drained shutdown: StopAccepting, Flush the gateway, DrainSubscribers,
+// then Close.
+func (t *TCPServer) StopAccepting() {
+	t.mu.Lock()
+	already := t.stopped
+	t.stopped = true
+	t.mu.Unlock()
+	if !already {
+		t.ln.Close()
+	}
+}
+
+// DrainSubscribers waits until every open subscription's in-flight
+// records — buffered in its channel or held in a partial batch — have
+// been written out (plus a short grace for the final frame), or until
+// timeout. It reports whether the drain completed. Call after
+// StopAccepting and Flush.
+func (t *TCPServer) DrainSubscribers(timeout time.Duration) bool {
+	idle := func() bool {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for ss := range t.subConns {
+			if len(ss.ch) > 0 || ss.pending.Load() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if idle() {
+			// A writer may still be encoding the record it just
+			// dequeued; give it a beat and confirm.
+			time.Sleep(2 * defaultBatchWait)
+			if idle() {
+				return true
+			}
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return idle()
 }
 
 // Close stops the listener and closes open connections.
@@ -270,11 +563,16 @@ func (t *TCPServer) Close() error {
 		return nil
 	}
 	t.closed = true
+	already := t.stopped
+	t.stopped = true
 	for c := range t.conns {
 		c.Close()
 	}
 	t.mu.Unlock()
-	err := t.ln.Close()
+	var err error
+	if !already {
+		err = t.ln.Close()
+	}
 	t.wg.Wait()
 	return err
 }
@@ -329,6 +627,17 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Drops pings the server and returns its cumulative wire-drop counter
+// (undecodable publish records + unparseable lines + slow-subscriber
+// drops) — the observability hook for "no silent loss on the wire".
+func (c *Client) Drops() (uint64, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "ping"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Drops, nil
+}
+
 // Query fetches the most recent event of the named type.
 func (c *Client) Query(sensor, event string) (ulm.Record, bool, error) {
 	resp, err := c.roundTrip(wireRequest{Op: "query", Event: event, Request: Request{Sensor: sensor}})
@@ -361,28 +670,57 @@ func (c *Client) List() ([]SensorInfo, error) {
 }
 
 // Publisher streams events to a remote gateway over one persistent
-// connection. It is safe for concurrent use.
+// connection, optionally coalescing records into batched frames. It is
+// safe for concurrent use.
 type Publisher struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	enc    *json.Encoder
 	format string
+
+	// Batch mode (NewBatchPublisher): records accumulate in buf and go
+	// out as one frame per maxRecs records or maxWait of delay.
+	maxRecs  int
+	maxWait  time.Duration
+	buf      []wireEvent
+	bufBytes int
+	timer    *time.Timer
+	err      error
+	closed   bool
 }
 
 // NewPublisher opens an event-publishing connection to the gateway.
-// Events travel in the given payload format (FormatULM by default).
+// Events travel in the given payload format (FormatULM by default),
+// one frame per record.
 func (c *Client) NewPublisher(format string) (*Publisher, error) {
+	return c.NewBatchPublisher(format, 1, 0)
+}
+
+// NewBatchPublisher opens a publishing connection that coalesces up to
+// maxRecs records or maxWait of delay into one batched wire frame,
+// amortizing the per-record JSON and syscall cost. maxRecs <= 1
+// degenerates to single-record frames; maxWait <= 0 means a partial
+// batch waits until the next Publish or Flush. Batches are capped by
+// record count and by encoded bytes so a full frame stays within the
+// server's line-length limit.
+func (c *Client) NewBatchPublisher(format string, maxRecs int, maxWait time.Duration) (*Publisher, error) {
 	if format == "" {
 		format = FormatULM
+	}
+	if maxRecs > maxBatchRecords {
+		maxRecs = maxBatchRecords
 	}
 	conn, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{conn: conn, enc: json.NewEncoder(conn), format: format}, nil
+	return &Publisher{conn: conn, enc: json.NewEncoder(conn), format: format, maxRecs: maxRecs, maxWait: maxWait}, nil
 }
 
-// Publish sends one sensor record; errors indicate a dead connection.
+// Publish sends one sensor record; errors indicate a bad payload or a
+// dead connection. In batch mode the record may be buffered; a write
+// error surfaces on the Publish/Flush/Close that performs the write
+// and sticks to the publisher afterwards.
 func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 	payload, err := encodeRecord(p.format, rec)
 	if err != nil {
@@ -390,26 +728,140 @@ func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+	if p.err != nil {
+		return p.err
+	}
+	if p.closed {
+		return fmt.Errorf("gateway: publisher closed")
+	}
+	if p.maxRecs <= 1 {
+		err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+		if err != nil {
+			p.err = err
+		}
+		return err
+	}
+	p.buf = append(p.buf, wireEvent{Sensor: sensor, Rec: payload})
+	p.bufBytes += len(sensor) + len(payload)
+	if len(p.buf) >= p.maxRecs || p.bufBytes >= maxBatchBytes {
+		return p.flushLocked()
+	}
+	if p.timer == nil && p.maxWait > 0 {
+		p.timer = time.AfterFunc(p.maxWait, func() { p.Flush() }) //nolint:errcheck
+	}
+	return nil
 }
 
-// Close releases the connection.
+// Flush sends any buffered batch immediately.
+func (p *Publisher) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Publisher) flushLocked() error {
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.buf) == 0 {
+		return nil
+	}
+	err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Recs: p.buf})
+	p.buf = nil
+	p.bufBytes = 0
+	if err != nil {
+		p.err = err
+	}
+	return err
+}
+
+// Close flushes any buffered batch and releases the connection.
 func (p *Publisher) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.conn.Close()
+	ferr := p.flushLocked()
+	p.closed = true
+	if err := p.conn.Close(); err != nil {
+		return err
+	}
+	return ferr
 }
 
-// Subscribe opens a streaming subscription in the given payload format;
-// fn runs on a dedicated goroutine per received record. The returned
-// stop function closes the stream.
-func (c *Client) Subscribe(req Request, format string, fn func(ulm.Record)) (stop func(), err error) {
+// StreamOptions tunes a streaming subscription.
+type StreamOptions struct {
+	// Format is the event payload format (FormatULM by default).
+	Format string
+	// BatchMax asks the server to coalesce up to this many records per
+	// frame (0 or 1 = single-record frames).
+	BatchMax int
+	// BatchWait bounds how long the server holds a partial batch.
+	BatchWait time.Duration
+}
+
+// Stream is an open streaming subscription. Records arrive on a
+// dedicated goroutine; Done is closed when the stream ends (server
+// gone, Close called), after which Err reports why.
+type Stream struct {
+	conn net.Conn
+
+	drops      atomic.Uint64 // cumulative remote slow-consumer drops
+	decodeErrs atomic.Uint64 // frames whose payload failed local decode
+
+	done      chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// Done is closed when the stream terminates.
+func (s *Stream) Done() <-chan struct{} { return s.done }
+
+// Err reports why the stream ended (nil before Done is closed, or for
+// a local Close).
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RemoteDrops returns the server's cumulative slow-consumer drop
+// counter for this subscription, as piggybacked on event frames: the
+// records the server delivered but this stream never received.
+func (s *Stream) RemoteDrops() uint64 { return s.drops.Load() }
+
+// DecodeErrors returns how many received payloads failed to decode
+// locally (counted, never silently skipped).
+func (s *Stream) DecodeErrors() uint64 { return s.decodeErrs.Load() }
+
+// Close terminates the stream.
+func (s *Stream) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.conn.Close()
+	})
+}
+
+// SubscribeStream opens a streaming subscription carrying each record
+// together with the sensor (bus topic) it was published under — the
+// form bus-to-bus bridges need to mirror topics. fn runs on the
+// stream's reader goroutine.
+func (c *Client) SubscribeStream(req Request, opts StreamOptions, fn func(sensor string, rec ulm.Record)) (*Stream, error) {
 	conn, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
 	req.Principal = c.Principal
-	wr := wireRequest{Op: "subscribe", Format: format, Request: req}
+	wr := wireRequest{
+		Op: "subscribe", Format: opts.Format,
+		BatchMax: opts.BatchMax, BatchWaitMS: opts.BatchWait.Milliseconds(),
+		Request: req,
+	}
 	if err := json.NewEncoder(conn).Encode(wr); err != nil {
 		conn.Close()
 		return nil, err
@@ -428,23 +880,53 @@ func (c *Client) Subscribe(req Request, format string, fn func(ulm.Record)) (sto
 		return nil, fmt.Errorf("%s", first.Error)
 	}
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
-	go func() {
-		defer conn.Close()
-		for {
-			var resp wireResponse
-			if err := dec.Decode(&resp); err != nil {
+	st := &Stream{conn: conn, done: make(chan struct{})}
+	go st.readLoop(dec, opts.Format, fn)
+	return st, nil
+}
+
+func (s *Stream) readLoop(dec *json.Decoder, format string, fn func(sensor string, rec ulm.Record)) {
+	defer close(s.done)
+	defer s.Close()
+	for {
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			// A read error caused by our own Close is a clean local
+			// shutdown, not a stream failure.
+			if !s.closed.Load() {
+				s.mu.Lock()
+				s.err = err
+				s.mu.Unlock()
+			}
+			return
+		}
+		if resp.Drops > s.drops.Load() {
+			s.drops.Store(resp.Drops)
+		}
+		take := func(sensor, payload string) {
+			rec, err := decodeRecord(format, payload)
+			if err != nil {
+				s.decodeErrs.Add(1)
 				return
 			}
-			if resp.Rec == "" {
-				continue
-			}
-			rec, err := decodeRecord(format, resp.Rec)
-			if err != nil {
-				continue
-			}
-			fn(rec)
+			fn(sensor, rec)
 		}
-	}()
-	var once sync.Once
-	return func() { once.Do(func() { conn.Close() }) }, nil
+		for _, ev := range resp.Recs {
+			take(ev.Sensor, ev.Rec)
+		}
+		if resp.Rec != "" {
+			take(resp.Sensor, resp.Rec)
+		}
+	}
+}
+
+// Subscribe opens a streaming subscription in the given payload format;
+// fn runs on a dedicated goroutine per received record. The returned
+// stop function closes the stream.
+func (c *Client) Subscribe(req Request, format string, fn func(ulm.Record)) (stop func(), err error) {
+	st, err := c.SubscribeStream(req, StreamOptions{Format: format}, func(_ string, rec ulm.Record) { fn(rec) })
+	if err != nil {
+		return nil, err
+	}
+	return st.Close, nil
 }

@@ -1,6 +1,11 @@
 package gateway
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -285,5 +290,407 @@ func TestWireUnknownOp(t *testing.T) {
 	c := NewClient("", srv.Addr())
 	if _, err := c.roundTrip(wireRequest{Op: "frobnicate"}); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+}
+
+// One malformed line on a persistent connection must not kill the
+// connection: the peer gets an error line and subsequent publishes on
+// the same connection still arrive.
+func TestWireMalformedLineKeepsConnection(t *testing.T) {
+	g, srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if _, err := fmt.Fprintf(conn, "this is not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("error response unparseable: %v", err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("expected error response, got %+v", resp)
+	}
+	// The connection survives: a valid publish on the same stream lands.
+	payload, err := encodeRecord(FormatULM, mkRec("E", time.Second, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := json.Marshal(wireRequest{Op: "publish", Rec: payload, Request: Request{Sensor: "cpu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(frame, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Published == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != 1 {
+		t.Fatalf("published after malformed line = %d, want 1", got)
+	}
+	if st := srv.WireStats(); st.BadLines != 1 {
+		t.Fatalf("bad lines = %d, want 1", st.BadLines)
+	}
+}
+
+// Undecodable publish records are counted (and answered on pings), not
+// silently discarded, and later records on the same connection still
+// arrive.
+func TestWireBadRecordCountedNotSilent(t *testing.T) {
+	g, srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bad, err := json.Marshal(wireRequest{Op: "publish", Rec: "not a ulm record", Request: Request{Sensor: "cpu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := encodeRecord(FormatULM, mkRec("E", time.Second, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodFrame, err := json.Marshal(wireRequest{Op: "publish", Rec: good, Request: Request{Sensor: "cpu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range [][]byte{bad, goodFrame} {
+		if _, err := conn.Write(append(frame, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Published == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != 1 {
+		t.Fatalf("published = %d, want 1 (bad record dropped, good one kept)", got)
+	}
+	if st := srv.WireStats(); st.BadRecords != 1 {
+		t.Fatalf("bad records = %d, want 1", st.BadRecords)
+	}
+	drops, err := NewClient("", srv.Addr()).Drops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drops != 1 {
+		t.Fatalf("ping drops = %d, want 1", drops)
+	}
+}
+
+// A batched publisher coalesces records into {"recs": ...} frames and
+// every record still arrives, full batches and timer-flushed partials
+// alike.
+func TestWireBatchPublisher(t *testing.T) {
+	g, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	pub, err := c.NewBatchPublisher(FormatULM, 4, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	const n = 10 // 2 full frames + one timer-flushed partial of 2
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(fmt.Sprintf("s%d", i%2), mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Published < n && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != n {
+		t.Fatalf("published = %d, want %d", got, n)
+	}
+	// Per-record sensors inside the batch frame are honored.
+	rec, found, err := c.Query("s1", "E")
+	if err != nil || !found {
+		t.Fatalf("query after batched publish: %v found=%v", err, found)
+	}
+	if v, _ := rec.Float("VAL"); v != 9 {
+		t.Fatalf("latest VAL on s1 = %v, want 9", v)
+	}
+	if st := srv.WireStats(); st.Drops() != 0 {
+		t.Fatalf("unexpected wire drops: %+v", st)
+	}
+}
+
+// Explicit Flush pushes a partial batch out without waiting for the
+// timer (maxWait 0 = no timer at all).
+func TestWireBatchPublisherFlush(t *testing.T) {
+	g, srv := startServer(t)
+	pub, err := NewClient("", srv.Addr()).NewBatchPublisher(FormatULM, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 3; i++ {
+		if err := pub.Publish("cpu", mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Published < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != 3 {
+		t.Fatalf("published after Flush = %d, want 3", got)
+	}
+}
+
+// Batched subscribe streams round-trip in all three payload formats,
+// with the topic carried per record.
+func TestWireSubscribeBatchedAllFormats(t *testing.T) {
+	for _, format := range []string{FormatULM, FormatXML, FormatBinary} {
+		t.Run(format, func(t *testing.T) {
+			g, srv := startServer(t)
+			c := NewClient("", srv.Addr())
+			var mu sync.Mutex
+			type got struct {
+				sensor string
+				rec    ulm.Record
+			}
+			var recs []got
+			st, err := c.SubscribeStream(Request{}, StreamOptions{Format: format, BatchMax: 8, BatchWait: 2 * time.Millisecond},
+				func(sensor string, rec ulm.Record) {
+					mu.Lock()
+					recs = append(recs, got{sensor, rec})
+					mu.Unlock()
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			const n = 20
+			for i := 0; i < n; i++ {
+				g.Publish("cpu", mkRec("VMSTAT_SYS_TIME", time.Duration(i)*time.Second, float64(i)))
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				done := len(recs) >= n
+				mu.Unlock()
+				if done {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(recs) != n {
+				t.Fatalf("received %d records, want %d", len(recs), n)
+			}
+			for i, g := range recs {
+				if g.sensor != "cpu" {
+					t.Fatalf("record %d sensor = %q, want cpu", i, g.sensor)
+				}
+				if v, _ := g.rec.Float("VAL"); v != float64(i) {
+					t.Fatalf("record %d VAL = %v, want %d (order lost?)", i, v, i)
+				}
+			}
+			if st.DecodeErrors() != 0 {
+				t.Fatalf("decode errors = %d", st.DecodeErrors())
+			}
+		})
+	}
+}
+
+// Slow-consumer drops on a subscription are counted server-side and
+// the cumulative counter reaches the subscriber on event frames.
+func TestWireSlowConsumerDropsCounted(t *testing.T) {
+	old := wireSubChanDepth
+	wireSubChanDepth = 1
+	defer func() { wireSubChanDepth = old }()
+
+	g, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var seen int
+	var blocked bool
+	st, err := c.SubscribeStream(Request{Sensor: "cpu"}, StreamOptions{}, func(_ string, rec ulm.Record) {
+		mu.Lock()
+		seen++
+		first := !blocked
+		blocked = true
+		mu.Unlock()
+		if first {
+			<-release // stall the reader so the wire path backs up
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Consumers("cpu") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A fat payload fills the socket buffers quickly once the reader
+	// stalls; with a channel depth of 1 the overflow must be dropped —
+	// and counted.
+	fat := mkRec("E", 0, 1)
+	fat.Fields = append(fat.Fields, ulm.Field{Key: "PAD", Value: strings.Repeat("x", 64*1024)})
+	for i := 0; i < 600; i++ {
+		fat.Date = benchDate(i)
+		g.Publish("cpu", fat)
+	}
+	if st := srv.WireStats(); st.SubDrops == 0 {
+		t.Fatal("no slow-consumer drops counted despite stalled reader")
+	}
+	close(release)
+	// Once the reader drains, the piggybacked drop counter arrives.
+	deadline = time.Now().Add(5 * time.Second)
+	for st.RemoteDrops() == 0 && time.Now().Before(deadline) {
+		g.Publish("cpu", mkRec("E", time.Hour, 2))
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.RemoteDrops() == 0 {
+		t.Fatal("drop counter never reached the subscriber")
+	}
+}
+
+func benchDate(i int) time.Time { return time.Unix(int64(i), 0).UTC() }
+
+// A peer that sends nothing but garbage is cut off after a bounded
+// streak (its unread error responses must never fill the socket
+// buffers), and every bad line is counted.
+func TestWireGarbageStreakClosesConnection(t *testing.T) {
+	_, srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < maxConsecutiveBadLines; i++ {
+		if _, err := fmt.Fprintf(conn, "garbage %d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server closes after the streak; draining the error responses
+	// must end in EOF rather than hang.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	br := bufio.NewReader(conn)
+	for {
+		if _, err := br.ReadString('\n'); err != nil {
+			break
+		}
+	}
+	if st := srv.WireStats(); st.BadLines != maxConsecutiveBadLines {
+		t.Fatalf("bad lines = %d, want %d", st.BadLines, maxConsecutiveBadLines)
+	}
+}
+
+// A locally closed stream is a clean shutdown: Done closes and Err
+// stays nil.
+func TestWireStreamCloseIsNotAnError(t *testing.T) {
+	_, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	st, err := c.SubscribeStream(Request{Sensor: "cpu"}, StreamOptions{}, func(string, ulm.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	select {
+	case <-st.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never terminated after Close")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("Err after local Close = %v, want nil", err)
+	}
+}
+
+// Drained shutdown: records sitting in a partial batch behind a long
+// flush timer still reach the subscriber before the server closes.
+func TestWireDrainedShutdownFlushesPartialBatches(t *testing.T) {
+	g := New("gw1", nil)
+	srv, err := ServeTCP(g, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient("", srv.Addr())
+	var mu sync.Mutex
+	var seen int
+	st, err := c.SubscribeStream(Request{Sensor: "cpu"}, StreamOptions{BatchMax: 64, BatchWait: 500 * time.Millisecond},
+		func(string, ulm.Record) {
+			mu.Lock()
+			seen++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Consumers("cpu") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		g.Publish("cpu", mkRec("E", time.Duration(i)*time.Second, float64(i)))
+	}
+	// The 3 records sit in the server's partial batch for up to 500ms;
+	// the drain must wait them out rather than report idle.
+	srv.StopAccepting()
+	g.Flush()
+	if !srv.DrainSubscribers(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	srv.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := seen >= 3
+		mu.Unlock()
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("subscriber saw %d of 3 records across drained shutdown", seen)
+}
+
+// An oversized batch is clamped client-side so a full frame can never
+// exceed the server's line limit.
+func TestWireBatchPublisherClampsBatchSize(t *testing.T) {
+	g, srv := startServer(t)
+	pub, err := NewClient("", srv.Addr()).NewBatchPublisher(FormatULM, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if pub.maxRecs != maxBatchRecords {
+		t.Fatalf("maxRecs = %d, want clamped to %d", pub.maxRecs, maxBatchRecords)
+	}
+	for i := 0; i < 3; i++ {
+		if err := pub.Publish("cpu", mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Published < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := g.Stats().Published; got != 3 {
+		t.Fatalf("published = %d, want 3", got)
 	}
 }

@@ -34,10 +34,12 @@
 package jamm
 
 import (
+	"crypto/tls"
 	"time"
 
 	"jamm/internal/archive"
 	"jamm/internal/auth"
+	"jamm/internal/bridge"
 	"jamm/internal/bus"
 	"jamm/internal/consumer"
 	"jamm/internal/core"
@@ -149,6 +151,61 @@ const (
 
 // NewEventBus returns an empty sharded event bus.
 func NewEventBus(opts BusOptions) *EventBus { return bus.New(opts) }
+
+// Remote event plane (internal/gateway wire protocol, internal/bridge):
+// gateways served over TCP, wire clients and publishers, and bus-to-bus
+// bridges that mirror a remote gateway's topics into a local bus.
+type (
+	// GatewayServer exposes a Gateway over the wire protocol.
+	GatewayServer = gateway.TCPServer
+	// GatewayClient talks to one remote gateway server.
+	GatewayClient = gateway.Client
+	// GatewayPublisher streams (optionally batched) events to a remote
+	// gateway over one persistent connection.
+	GatewayPublisher = gateway.Publisher
+	// GatewayStream is an open streaming subscription on a remote
+	// gateway, carrying each record with its topic.
+	GatewayStream = gateway.Stream
+	// StreamOptions tunes a streaming subscription (format, batching).
+	StreamOptions = gateway.StreamOptions
+	// WireStats counts wire-path loss at a gateway server.
+	WireStats = gateway.WireStats
+	// Bridge mirrors a remote gateway's topics into a local bus or
+	// gateway, with batched frames and reconnect-with-backoff.
+	Bridge = bridge.Bridge
+	// BridgeOptions configures a Bridge.
+	BridgeOptions = bridge.Options
+	// BridgeStats counts one bridge's traffic.
+	BridgeStats = bridge.Stats
+	// BridgeTarget is where a bridge republishes mirrored records;
+	// *EventBus and *Gateway both satisfy it.
+	BridgeTarget = bridge.Target
+)
+
+// Wire payload formats.
+const (
+	FormatULM    = gateway.FormatULM
+	FormatXML    = gateway.FormatXML
+	FormatBinary = gateway.FormatBinary
+)
+
+// ServeGateway exposes gw over the wire protocol on addr ("" or
+// "127.0.0.1:0" for ephemeral); a non-nil tlsCfg enables TLS with
+// certificate-derived principals.
+func ServeGateway(gw *Gateway, addr string, tlsCfg *tls.Config) (*GatewayServer, error) {
+	return gateway.ServeTCP(gw, addr, tlsCfg)
+}
+
+// NewGatewayClient returns a wire client for the gateway at addr.
+func NewGatewayClient(principal, addr string) *GatewayClient {
+	return gateway.NewClient(principal, addr)
+}
+
+// NewBridge starts a bridge mirroring the remote gateway behind client
+// into target (a local bus or gateway).
+func NewBridge(client *GatewayClient, target BridgeTarget, opts BridgeOptions) *Bridge {
+	return bridge.New(client, target, opts)
+}
 
 // NewGateway returns a standalone event gateway (daemon deployments;
 // grids create per-site gateways via AddSite). now supplies
