@@ -11,9 +11,19 @@
 // bounded queues; on SIGTERM the daemon stops the listener and drains
 // in-flight events before exiting.
 //
+// Gateways also shard: -ring names every gateway address of a
+// multi-gateway site (including this one), and -dir a sensor directory
+// server. Sensors registered here — explicitly or implicitly by their
+// first published record — are advertised in the directory as owned by
+// this gateway (-advertise is the address written, defaulting to
+// -addr), so routing clients (internal/router, jamm.NewRouter) reach
+// the owning gateway by lookup with ring placement as the fallback.
+// The advertisements are withdrawn on drained shutdown.
+//
 //	gatewayd -addr 127.0.0.1:9100 -name gw.lbl.gov \
 //	    -summary 'cpu/VMSTAT_SYS_TIME/VAL' \
-//	    -peer 127.0.0.1:9200 -peer 127.0.0.1:9201 -async 1024
+//	    -ring 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 \
+//	    -dir 127.0.0.1:9300 -async 1024
 package main
 
 import (
@@ -27,7 +37,10 @@ import (
 	"time"
 
 	"jamm/internal/bridge"
+	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/ring"
+	"jamm/internal/router"
 )
 
 func main() {
@@ -35,9 +48,13 @@ func main() {
 	name := flag.String("name", "gw", "gateway name")
 	async := flag.Int("async", 0, "async event-plane queue depth per shard (0 = synchronous publish)")
 	batch := flag.Int("batch", 64, "records per batched wire frame when mirroring peers")
-	var summaries, peers multiFlag
+	ringFlag := flag.String("ring", "", "comma-separated gateway addresses of this sharded site, including this gateway")
+	advertise := flag.String("advertise", "", "address advertised as this gateway's in directory ownership entries (default -addr)")
+	dirBase := flag.String("dirbase", "ou=sensors,o=jamm", "base DN for sensor ownership entries")
+	var summaries, peers, dirs multiFlag
 	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
 	flag.Var(&peers, "peer", "upstream gateway address whose topics are mirrored into this gateway (repeatable)")
+	flag.Var(&dirs, "dir", "sensor directory server address for ownership advertisement (repeatable for failover)")
 	flag.Parse()
 
 	gw := gateway.New(*name, nil)
@@ -51,10 +68,44 @@ func main() {
 	if *async > 0 {
 		gw.StartAsync(*async)
 	}
+	if *advertise == "" {
+		*advertise = *addr
+	}
+	if strings.HasSuffix(*advertise, ":0") {
+		log.Printf("gatewayd: warning: advertising ephemeral address %s; set -advertise so clients can route here", *advertise)
+	}
+
+	// Sharded site membership: parse the ring for sanity (the routing
+	// itself is client-side; the daemon's job is to be a well-announced
+	// member).
+	var siteRing *ring.Ring
+	if *ringFlag != "" {
+		siteRing = ring.New(strings.Split(*ringFlag, ","), 0)
+		if !siteRing.Contains(*advertise) {
+			log.Printf("gatewayd: warning: advertised address %s is not in -ring %s (clients using ring fallback will not route here)", *advertise, *ringFlag)
+		}
+	}
+
+	// Directory-advertised ownership: every sensor registered at this
+	// gateway (explicitly or implicitly via publish) is advertised as
+	// owned by this gateway's address. Attached before the listener
+	// starts so even the first wire publish's implicit registration is
+	// advertised.
+	var ann *router.Announcer
+	if len(dirs) > 0 {
+		dirClient := directory.NewClient("gatewayd/"+*name, dirs...)
+		ann = router.NewAnnouncer(dirClient, directory.DN(*dirBase), *name, *advertise)
+		ann.Attach(gw)
+		if err := dirClient.Ping(); err != nil {
+			log.Printf("gatewayd: warning: sensor directory unreachable: %v (ownership entries will be retried per registration)", err)
+		}
+	}
+
 	srv, err := gateway.ServeTCP(gw, *addr, nil)
 	if err != nil {
 		log.Fatalf("gatewayd: %v", err)
 	}
+
 	var bridges []*bridge.Bridge
 	for _, peer := range peers {
 		c := gateway.NewClient("gatewayd/"+*name, peer)
@@ -62,7 +113,12 @@ func main() {
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
 		}))
 	}
-	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d)\n", *name, srv.Addr(), len(peers), *async)
+	ringSize := 0
+	if siteRing != nil {
+		ringSize = siteRing.Len()
+	}
+	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d ring=%d dir=%d)\n",
+		*name, srv.Addr(), len(peers), *async, ringSize, len(dirs))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -78,6 +134,12 @@ func main() {
 	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
 	gw.StopAsync()
+	if ann != nil {
+		// Stop routing clients at a dead gateway: drain queued
+		// advertisements, then withdraw everything this gateway owns.
+		ann.Close()
+		ann.WithdrawAll()
+	}
 	st := srv.WireStats()
 	if d := st.Drops(); d > 0 {
 		log.Printf("gatewayd: wire drops at shutdown: %d bad records, %d bad lines, %d slow-subscriber drops", st.BadRecords, st.BadLines, st.SubDrops)

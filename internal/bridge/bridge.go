@@ -91,15 +91,21 @@ type Bridge struct {
 	target Target
 	opts   Options
 
-	mirrored    atomic.Uint64
-	loopDrops   atomic.Uint64
-	connects    atomic.Uint64
-	remoteDrops atomic.Uint64 // accumulated from finished streams
-	decodeErrs  atomic.Uint64 // accumulated from finished streams
-	connected   atomic.Bool
+	mirrored  atomic.Uint64
+	loopDrops atomic.Uint64
+	connects  atomic.Uint64
+	connected atomic.Bool
 
-	mu      sync.Mutex
-	streams []*gateway.Stream // live streams of the current round
+	// mu guards the live-stream set AND the finished-stream counter
+	// totals together: a finished stream's counters are folded into the
+	// totals in the same critical section that removes it from the live
+	// set, so a Stats snapshot (one pass under mu) counts every stream
+	// exactly once — never twice, never transiently zero — and the
+	// cumulative counters stay monotonic.
+	mu          sync.Mutex
+	streams     []*gateway.Stream // live streams of the current round
+	remoteDrops uint64            // accumulated from finished streams
+	decodeErrs  uint64            // accumulated from finished streams
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -128,17 +134,21 @@ func New(client *gateway.Client, target Target, opts Options) *Bridge {
 	return b
 }
 
-// Stats returns a snapshot of the bridge's counters.
+// Stats returns a snapshot of the bridge's counters. RemoteDrops and
+// DecodeErrors are snapshotted atomically under one lock — finished
+// streams' accumulated totals plus the live streams' running counters —
+// so a stream finishing mid-snapshot is counted exactly once and the
+// cumulative counters never dip.
 func (b *Bridge) Stats() Stats {
 	st := Stats{
-		Mirrored:     b.mirrored.Load(),
-		LoopDrops:    b.loopDrops.Load(),
-		Connects:     b.connects.Load(),
-		RemoteDrops:  b.remoteDrops.Load(),
-		DecodeErrors: b.decodeErrs.Load(),
-		Connected:    b.connected.Load(),
+		Mirrored:  b.mirrored.Load(),
+		LoopDrops: b.loopDrops.Load(),
+		Connects:  b.connects.Load(),
+		Connected: b.connected.Load(),
 	}
 	b.mu.Lock()
+	st.RemoteDrops = b.remoteDrops
+	st.DecodeErrors = b.decodeErrs
 	for _, s := range b.streams {
 		st.RemoteDrops += s.RemoteDrops()
 		st.DecodeErrors += s.DecodeErrors()
@@ -203,11 +213,11 @@ func (b *Bridge) run() {
 		select {
 		case <-b.done:
 			b.connected.Store(false)
-			b.closeStreams(b.takeStreams())
+			b.closeStreams(b.currentStreams())
 			return
 		case <-fail:
 			b.connected.Store(false)
-			b.closeStreams(b.takeStreams())
+			b.closeStreams(b.currentStreams())
 		}
 	}
 }
@@ -279,22 +289,33 @@ func (b *Bridge) setStreams(streams []*gateway.Stream) {
 	b.mu.Unlock()
 }
 
-func (b *Bridge) takeStreams() []*gateway.Stream {
+func (b *Bridge) currentStreams() []*gateway.Stream {
 	b.mu.Lock()
-	streams := b.streams
-	b.streams = nil
+	streams := append([]*gateway.Stream(nil), b.streams...)
 	b.mu.Unlock()
 	return streams
 }
 
-// closeStreams tears down a subscribe round, folding its counters into
-// the bridge's accumulated totals.
+// closeStreams tears down a subscribe round. Each stream's final
+// counters are folded into the accumulated totals in the same critical
+// section that drops it from the live set, so a concurrent Stats pass
+// sees the stream on exactly one side of the ledger. Streams that were
+// never published to the live set (a partially failed subscribe round)
+// are accumulated the same way; their removal loop is a no-op.
 func (b *Bridge) closeStreams(streams []*gateway.Stream) {
 	for _, s := range streams {
 		s.Close()
-		<-s.Done()
-		b.remoteDrops.Add(s.RemoteDrops())
-		b.decodeErrs.Add(s.DecodeErrors())
+		<-s.Done() // final counter values are stable past Done
+		b.mu.Lock()
+		b.remoteDrops += s.RemoteDrops()
+		b.decodeErrs += s.DecodeErrors()
+		for i, o := range b.streams {
+			if o == s {
+				b.streams = append(append([]*gateway.Stream(nil), b.streams[:i]...), b.streams[i+1:]...)
+				break
+			}
+		}
+		b.mu.Unlock()
 	}
 }
 

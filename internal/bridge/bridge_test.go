@@ -285,3 +285,113 @@ func TestBridgeClose(t *testing.T) {
 		t.Fatalf("mirrored after Close = %d", st.Mirrored)
 	}
 }
+
+// slowTarget delays every mirrored publish, forcing the remote server's
+// bounded subscription channel to overflow so RemoteDrops goes nonzero.
+type slowTarget struct {
+	bus   *bus.Bus
+	delay time.Duration
+}
+
+func (s *slowTarget) Publish(topic string, rec ulm.Record) {
+	time.Sleep(s.delay)
+	s.bus.Publish(topic, rec)
+}
+
+// TestBridgeStatsMonotonicAcrossStreamTeardown is the regression test
+// for Stats double/under-counting RemoteDrops when a stream finishes
+// mid-snapshot: the finished-stream accumulation used to race the
+// live-stream sum, so a snapshot taken while a round was torn down
+// could miss (or with a different interleaving, double-count) a
+// stream's drops. Cumulative counters must be monotonic under
+// concurrent snapshots while streams die and reconnect.
+func TestBridgeStatsMonotonicAcrossStreamTeardown(t *testing.T) {
+	remote, srv := startRemote(t)
+	addr := srv.Addr()
+	target := &slowTarget{bus: bus.New(bus.Options{}), delay: 50 * time.Microsecond}
+	br := New(gateway.NewClient("mirror", addr), target, testOptions())
+	defer br.Close()
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+
+	// Concurrent snapshotters: cumulative counters must never dip.
+	stop := make(chan struct{})
+	violation := make(chan string, 1)
+	var pollers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			var lastDrops, lastDecode uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(50 * time.Microsecond)
+				st := br.Stats()
+				if st.RemoteDrops < lastDrops || st.DecodeErrors < lastDecode {
+					select {
+					case violation <- fmt.Sprintf("stats dipped: drops %d -> %d, decode %d -> %d",
+						lastDrops, st.RemoteDrops, lastDecode, st.DecodeErrors):
+					default:
+					}
+					return
+				}
+				lastDrops, lastDecode = st.RemoteDrops, st.DecodeErrors
+			}
+		}()
+	}
+
+	gw, server := remote, srv
+	for round := 0; round < 2; round++ {
+		// Overrun the server's bounded subscription channel so this
+		// round's stream accumulates remote drops.
+		// Enough records to fill the subscription channel AND the TCP
+		// socket buffers behind the slow reader.
+		before := br.Stats().RemoteDrops
+		deadline := time.Now().Add(10 * time.Second)
+		for i := 0; br.Stats().RemoteDrops == before && time.Now().Before(deadline); i++ {
+			for j := 0; j < 2000; j++ {
+				gw.Publish("cpu@h1", mkRec("E", time.Duration(i*2000+j), float64(j)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if br.Stats().RemoteDrops == before {
+			t.Fatalf("round %d: no remote drops observed (channel never overflowed?)", round)
+		}
+		// Bounce the server: the stream finishes and its counters are
+		// folded into the accumulated totals while the pollers snapshot.
+		server.Close()
+		gw = gateway.New("remote", nil)
+		server = nil
+		deadline = time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			var err error
+			if server, err = gateway.ServeTCP(gw, addr, nil); err == nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if server == nil {
+			t.Fatalf("could not rebind %s", addr)
+		}
+		deadline = time.Now().Add(5 * time.Second)
+		for br.Stats().Connects < uint64(round+2) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	server.Close()
+	close(stop)
+	pollers.Wait()
+	select {
+	case v := <-violation:
+		t.Fatal(v)
+	default:
+	}
+	if br.Stats().RemoteDrops == 0 {
+		t.Fatal("test never exercised nonzero RemoteDrops")
+	}
+}

@@ -141,6 +141,29 @@ func (c *Collector) SubscribeBus(b *bus.Bus, topic string) {
 	c.AddStop(func() { sub.Cancel() })
 }
 
+// SubscribeSite routes events from a multi-gateway sharded site into
+// the collector: each request naming a sensor subscribes at the
+// gateway that owns it, and wildcard requests fan out over every
+// gateway of the ring and merge. Router is the subscription surface of
+// internal/router (accepted as an interface to keep this package free
+// of the routing dependency).
+func (c *Collector) SubscribeSite(rt Router, reqs ...gateway.Request) error {
+	for _, req := range reqs {
+		stop, err := rt.Subscribe(req, c.Take)
+		if err != nil {
+			return err
+		}
+		c.AddStop(stop)
+	}
+	return nil
+}
+
+// Router is the routed-subscription surface of a sharded site;
+// *router.Router satisfies it.
+type Router interface {
+	Subscribe(req gateway.Request, fn func(ulm.Record)) (stop func(), err error)
+}
+
 // AddStop registers an extra teardown hook (remote subscription stops).
 func (c *Collector) AddStop(stop func()) {
 	c.mu.Lock()

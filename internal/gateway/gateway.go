@@ -19,6 +19,7 @@ package gateway
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,10 +61,29 @@ type Stats struct {
 	Suppressed uint64
 	// Queries counts one-shot query requests served.
 	Queries uint64
+	// ConsumerClamps counts consumer-count decrements that would have
+	// driven a sensor's count negative. Nonzero means subscribe and
+	// cancel bookkeeping diverged somewhere — an accounting bug, not
+	// ordinary churn — so it is counted and logged rather than silently
+	// absorbed.
+	ConsumerClamps uint64
 }
 
+// producer is one sensor's gateway-side state. The entry outlives
+// Unregister while anything still references it: live subscriptions
+// keep their consumer count (so re-registration cannot reset it) and
+// explicitly registered metadata is retained so an implicit
+// re-registration by Publish restores it instead of degrading Type and
+// Interval to guesses.
 type producer struct {
-	meta      Meta
+	meta Meta
+	// explicit marks meta as set by Register; implicit registration
+	// (Publish from an unknown sensor) never overwrites explicit meta.
+	explicit bool
+	// live marks the sensor as currently registered: listed by Sensors
+	// and answerable by Query. Unregister clears it; Register or an
+	// implicit publish sets it.
+	live      bool
 	last      map[string]ulm.Record
 	consumers int
 	published uint64
@@ -97,7 +117,21 @@ type Gateway struct {
 	sumMu     sync.Mutex
 	summaries map[summaryKey]*summaryEntry
 
-	queries atomic.Uint64
+	queries        atomic.Uint64
+	consumerClamps atomic.Uint64
+	clampLogOnce   sync.Once
+
+	// regHooks is a copy-on-write list of registration observers
+	// (OnRegistration); the directory announcer of a sharded site rides
+	// this to advertise sensor→gateway ownership. regSeq orders
+	// registration changes (assigned under the shard lock), and
+	// regDispatch/regSeen deliver them to hooks in that order, dropping
+	// changes overtaken by newer ones for the same sensor.
+	regMu       sync.Mutex
+	regHooks    atomic.Pointer[[]func(sensor string, meta Meta, registered bool)]
+	regSeq      atomic.Uint64
+	regDispatch sync.Mutex
+	regSeen     map[string]uint64
 }
 
 // Config tunes a gateway's event-distribution core.
@@ -156,25 +190,124 @@ func (g *Gateway) pshard(sensorName string) *producerShard {
 }
 
 // Register declares a sensor publishing through this gateway. The
-// sensor manager calls it when a sensor starts.
+// sensor manager calls it when a sensor starts. Registered metadata
+// wins deterministically over the implicit registration Publish
+// performs for unknown sensors: re-registering updates metadata in
+// place, and live subscription counts and publish totals survive an
+// Unregister/Register cycle instead of resetting.
 func (g *Gateway) Register(sensorName string, meta Meta) {
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	if p, ok := ps.producers[sensorName]; ok {
-		p.meta = meta
-		return
+	p := ps.producers[sensorName]
+	if p == nil {
+		p = &producer{last: make(map[string]ulm.Record)}
+		ps.producers[sensorName] = p
 	}
-	ps.producers[sensorName] = &producer{meta: meta, last: make(map[string]ulm.Record)}
+	p.meta = meta
+	p.explicit = true
+	p.live = true
+	seq := g.regSeq.Add(1)
+	ps.mu.Unlock()
+	g.fireRegistration(sensorName, meta, true, seq)
 }
 
-// Unregister removes a sensor. Existing subscriptions remain and simply
-// receive nothing further from it.
+// Unregister removes a sensor from the listing. Existing subscriptions
+// remain (and simply receive nothing further from it) and keep their
+// consumer count, so a later re-registration — explicit or implicit —
+// resumes with accurate counts and, for explicitly registered sensors,
+// the registered metadata.
 func (g *Gateway) Unregister(sensorName string) {
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	delete(ps.producers, sensorName)
+	p := ps.producers[sensorName]
+	wasLive := p != nil && p.live
+	var seq uint64
+	if p != nil {
+		p.live = false
+		// The record cache is dead weight while unregistered (Query
+		// refuses non-live sensors): release it so a retained entry
+		// costs one small struct, not the sensor's whole event history.
+		p.last = make(map[string]ulm.Record)
+		// Drop the entry outright only when nothing references it: no
+		// live subscriptions (their count must survive re-registration)
+		// and no explicit metadata to restore on implicit re-registration.
+		// Explicitly registered sensors therefore retain a meta-sized
+		// entry after Unregister — bounded by the number of distinct
+		// sensor names ever registered, the price of deterministic
+		// re-registration.
+		if p.consumers == 0 && !p.explicit {
+			delete(ps.producers, sensorName)
+		}
+		if wasLive {
+			seq = g.regSeq.Add(1)
+		}
+	}
+	ps.mu.Unlock()
+	if wasLive {
+		g.fireRegistration(sensorName, Meta{}, false, seq)
+	}
+}
+
+// OnRegistration installs fn as a registration observer: it is invoked
+// after every registration state change — explicit Register, implicit
+// registration of an unknown sensor by Publish, and Unregister (with
+// registered=false and a zero Meta). Hooks run outside the gateway's
+// shard locks on the mutating goroutine, serialized by a dispatch lock,
+// and in state order: each change takes a sequence number under the
+// shard lock, and a change that was overtaken by a newer one for the
+// same sensor is dropped rather than delivered late — so observers
+// (the directory announcer) always converge on the sensor's final
+// state instead of a stale inversion. Hooks cannot be removed; install
+// them at assembly time.
+func (g *Gateway) OnRegistration(fn func(sensor string, meta Meta, registered bool)) {
+	if fn == nil {
+		return
+	}
+	g.regMu.Lock()
+	defer g.regMu.Unlock()
+	var old []func(sensor string, meta Meta, registered bool)
+	if p := g.regHooks.Load(); p != nil {
+		old = *p
+	}
+	next := make([]func(sensor string, meta Meta, registered bool), len(old)+1)
+	copy(next, old)
+	next[len(old)] = fn
+	g.regHooks.Store(&next)
+}
+
+// fireRegistration delivers one registration change to the hooks. seq
+// was assigned under the sensor's shard lock, so same-sensor changes
+// carry increasing numbers; delivering under regDispatch and dropping
+// overtaken changes keeps observers in state order even though the
+// mutating goroutines race to get here.
+func (g *Gateway) fireRegistration(sensor string, meta Meta, registered bool, seq uint64) {
+	p := g.regHooks.Load()
+	if p == nil {
+		return
+	}
+	g.regDispatch.Lock()
+	defer g.regDispatch.Unlock()
+	if g.regSeen == nil {
+		g.regSeen = make(map[string]uint64)
+	}
+	if seq < g.regSeen[sensor] {
+		return // a newer change for this sensor already went out
+	}
+	if registered {
+		g.regSeen[sensor] = seq
+	} else {
+		// The sensor's final state went out: drop its watermark so the
+		// map stays bounded by currently registered sensors (ephemeral
+		// sensor names must not accumulate). A change that took its
+		// sequence number before this unregistration and dispatches
+		// after the prune slips through unordered — the same microsecond
+		// window every observer must already tolerate across gateway
+		// restarts, and announcers self-correct on the next change.
+		delete(g.regSeen, sensor)
+	}
+	for _, fn := range *p {
+		fn(sensor, meta, registered)
+	}
 }
 
 // Sensors lists registered sensors, sorted by name.
@@ -184,6 +317,9 @@ func (g *Gateway) Sensors() []SensorInfo {
 		ps := &g.pshards[i]
 		ps.mu.Lock()
 		for name, p := range ps.producers {
+			if !p.live {
+				continue // unregistered; entry retained for counts/meta
+			}
 			out = append(out, SensorInfo{
 				Name:      name,
 				Host:      p.meta.Host,
@@ -200,6 +336,9 @@ func (g *Gateway) Sensors() []SensorInfo {
 }
 
 // Consumers returns the number of active subscriptions naming sensor.
+// The count tracks subscriptions, not producer lifecycle: it is
+// maintained across Unregister/Register cycles and for sensors that
+// have subscribers but have not (yet) registered or published.
 func (g *Gateway) Consumers(sensorName string) int {
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
@@ -214,10 +353,11 @@ func (g *Gateway) Consumers(sensorName string) int {
 func (g *Gateway) Stats() Stats {
 	bs := g.bus.Stats()
 	return Stats{
-		Published:  bs.Published,
-		Delivered:  bs.Delivered,
-		Suppressed: bs.Suppressed,
-		Queries:    g.queries.Load(),
+		Published:      bs.Published,
+		Delivered:      bs.Delivered,
+		Suppressed:     bs.Suppressed,
+		Queries:        g.queries.Load(),
+		ConsumerClamps: g.consumerClamps.Load(),
 	}
 }
 
@@ -229,14 +369,34 @@ func (g *Gateway) Stats() Stats {
 func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
-	p, ok := ps.producers[sensorName]
-	if !ok {
-		p = &producer{last: make(map[string]ulm.Record), meta: Meta{Host: rec.Host}}
+	p := ps.producers[sensorName]
+	if p == nil {
+		p = &producer{last: make(map[string]ulm.Record)}
 		ps.producers[sensorName] = p
+	}
+	revived := !p.live
+	if revived {
+		// Implicit (re-)registration. Explicitly registered metadata
+		// wins deterministically: a sensor that Registered and was
+		// unregistered mid-churn comes back with its Type/Interval
+		// intact, not degraded to a host guess.
+		p.live = true
+		if !p.explicit {
+			p.meta.Host = rec.Host
+		}
 	}
 	p.published++
 	p.last[rec.Event] = rec
+	var meta Meta
+	var seq uint64
+	if revived {
+		meta = p.meta
+		seq = g.regSeq.Add(1)
+	}
 	ps.mu.Unlock()
+	if revived {
+		g.fireRegistration(sensorName, meta, true, seq)
+	}
 	g.bus.Publish(sensorName, rec)
 }
 
@@ -299,20 +459,48 @@ func (g *Gateway) SubscribeChan(req Request, depth int, onDrop func()) (*Subscri
 }
 
 // addConsumer adjusts a sensor's consumer count by delta (no-op for
-// wildcard subscriptions and unknown sensors).
+// wildcard subscriptions). Subscriptions to sensors that have not yet
+// registered or published create a placeholder entry, so the count is
+// already right when the sensor arrives; the placeholder is dropped
+// when the last subscription cancels before any registration. A
+// decrement that would go negative is clamped — but counted
+// (Stats.ConsumerClamps) and logged once, never silently absorbed,
+// because it means subscribe/cancel bookkeeping diverged.
 func (g *Gateway) addConsumer(sensorName string, delta int) {
 	if sensorName == "" {
 		return
 	}
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
-	if p, ok := ps.producers[sensorName]; ok {
-		p.consumers += delta
-		if p.consumers < 0 {
-			p.consumers = 0
+	p := ps.producers[sensorName]
+	if p == nil {
+		if delta <= 0 {
+			ps.mu.Unlock()
+			g.noteConsumerClamp(sensorName)
+			return
 		}
+		p = &producer{last: make(map[string]ulm.Record)}
+		ps.producers[sensorName] = p
+	}
+	p.consumers += delta
+	clamped := p.consumers < 0
+	if clamped {
+		p.consumers = 0
+	}
+	if p.consumers == 0 && !p.live && !p.explicit {
+		delete(ps.producers, sensorName)
 	}
 	ps.mu.Unlock()
+	if clamped {
+		g.noteConsumerClamp(sensorName)
+	}
+}
+
+func (g *Gateway) noteConsumerClamp(sensorName string) {
+	g.consumerClamps.Add(1)
+	g.clampLogOnce.Do(func() {
+		log.Printf("gateway %s: consumer count for %q went negative (cancel without matching subscribe) — clamped to 0; counting further imbalances silently", g.name, sensorName)
+	})
 }
 
 // Query returns the most recent event of the named type from the named
@@ -327,7 +515,7 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	p, ok := ps.producers[sensorName]
-	if !ok {
+	if !ok || !p.live {
 		return ulm.Record{}, false, fmt.Errorf("gateway: unknown sensor %q", sensorName)
 	}
 	rec, ok := p.last[event]

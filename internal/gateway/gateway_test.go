@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -407,5 +408,176 @@ func TestSubscriptionRequestAccessor(t *testing.T) {
 	got := sub.Request()
 	if got.Sensor != "cpu" || got.Mode != DeliverOnChange || got.Field != "F" {
 		t.Fatalf("Request() = %+v", got)
+	}
+}
+
+// TestConsumerCountSurvivesReregistration is the regression test for
+// consumer counts being lost across Unregister/Register: the fresh
+// producer used to start at consumers == 0 while subscriptions were
+// still live, so Consumers() undercounted and the eventual unsubscribe
+// drove the count negative (silently clamped).
+func TestConsumerCountSurvivesReregistration(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1", Type: "cpu"})
+	var s sink
+	sub1, err := g.Subscribe(Request{Sensor: "cpu"}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := g.Subscribe(Request{Sensor: "cpu"}, s.take)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit churn: the count must ride through Unregister/Register.
+	g.Unregister("cpu")
+	if got := g.Consumers("cpu"); got != 2 {
+		t.Fatalf("Consumers after Unregister = %d, want 2 (subscriptions are still live)", got)
+	}
+	g.Register("cpu", Meta{Host: "h1", Type: "cpu"})
+	if got := g.Consumers("cpu"); got != 2 {
+		t.Fatalf("Consumers after re-Register = %d, want 2", got)
+	}
+
+	// Implicit churn: Unregister then a publish-driven re-registration.
+	g.Unregister("cpu")
+	g.Publish("cpu", mkRec("E", 0, 1))
+	if got := g.Consumers("cpu"); got != 2 {
+		t.Fatalf("Consumers after implicit re-registration = %d, want 2", got)
+	}
+
+	// Unsubscribing must land exactly at zero — no negative, no clamp.
+	sub1.Cancel()
+	sub2.Cancel()
+	if got := g.Consumers("cpu"); got != 0 {
+		t.Fatalf("Consumers after cancels = %d, want 0", got)
+	}
+	if st := g.Stats(); st.ConsumerClamps != 0 {
+		t.Fatalf("ConsumerClamps = %d, want 0 (counts balanced)", st.ConsumerClamps)
+	}
+}
+
+// TestConsumerCountBeforeRegistration: a subscription that names a
+// sensor before it registers is counted once the sensor arrives.
+func TestConsumerCountBeforeRegistration(t *testing.T) {
+	g := New("gw1", nil)
+	sub, err := g.Subscribe(Request{Sensor: "cpu"}, func(ulm.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Consumers("cpu"); got != 1 {
+		t.Fatalf("Consumers before registration = %d, want 1", got)
+	}
+	g.Register("cpu", Meta{Host: "h1"})
+	if got := g.Consumers("cpu"); got != 1 {
+		t.Fatalf("Consumers after late registration = %d, want 1", got)
+	}
+	sub.Cancel()
+	if got := g.Consumers("cpu"); got != 0 {
+		t.Fatalf("Consumers = %d, want 0", got)
+	}
+	// A placeholder with no registration is dropped once the last
+	// subscription cancels (no leak of never-registered names).
+	sub2, _ := g.Subscribe(Request{Sensor: "ghost"}, func(ulm.Record) {})
+	sub2.Cancel()
+	if got := g.Consumers("ghost"); got != 0 {
+		t.Fatalf("ghost Consumers = %d", got)
+	}
+}
+
+// TestClampCountedNotSilent: an unbalanced decrement is clamped but
+// surfaces in Stats instead of vanishing.
+func TestClampCountedNotSilent(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu", Meta{Host: "h1"})
+	g.addConsumer("cpu", -1)
+	if st := g.Stats(); st.ConsumerClamps != 1 {
+		t.Fatalf("ConsumerClamps = %d, want 1", st.ConsumerClamps)
+	}
+	if got := g.Consumers("cpu"); got != 0 {
+		t.Fatalf("Consumers = %d, want 0 (clamped)", got)
+	}
+	// Unknown sensor: still counted.
+	g.addConsumer("nosuch", -1)
+	if st := g.Stats(); st.ConsumerClamps != 2 {
+		t.Fatalf("ConsumerClamps = %d, want 2", st.ConsumerClamps)
+	}
+}
+
+// TestRegisterMetaWinsOverImplicit is the regression test for implicit
+// registration leaving Meta.Type/Interval empty forever: a sensor that
+// explicitly Registered keeps its metadata across an Unregister +
+// publish-driven implicit re-registration (mid-churn), instead of
+// coming back as a bare host guess.
+func TestRegisterMetaWinsOverImplicit(t *testing.T) {
+	g := New("gw1", nil)
+	g.Register("cpu@h1", Meta{Host: "h1", Type: "cpu", Interval: time.Second})
+	g.Unregister("cpu@h1")
+	if len(g.Sensors()) != 0 {
+		t.Fatal("unregistered sensor still listed")
+	}
+	// The sensor process keeps publishing through the churn window.
+	g.Publish("cpu@h1", mkRec("E", 0, 1))
+	infos := g.Sensors()
+	if len(infos) != 1 {
+		t.Fatalf("Sensors = %+v, want the implicitly revived sensor", infos)
+	}
+	if infos[0].Type != "cpu" || infos[0].Interval != time.Second || infos[0].Host != "h1" {
+		t.Fatalf("implicit re-registration lost explicit meta: %+v", infos[0])
+	}
+	// Publish totals also survive the churn (listing stats stay
+	// cumulative rather than resetting every cycle).
+	g.Unregister("cpu@h1")
+	g.Publish("cpu@h1", mkRec("E", time.Second, 2))
+	if infos := g.Sensors(); infos[0].Published != 2 {
+		t.Fatalf("Published = %d, want 2 (cumulative across churn)", infos[0].Published)
+	}
+	// A purely implicit producer still records its host.
+	g.Publish("app.mplay", mkRec("E", 0, 1))
+	for _, info := range g.Sensors() {
+		if info.Name == "app.mplay" && info.Host != "h1.lbl.gov" {
+			t.Fatalf("implicit meta host = %q", info.Host)
+		}
+	}
+	// And a late explicit Register upgrades it.
+	g.Register("app.mplay", Meta{Host: "h1.lbl.gov", Type: "app"})
+	for _, info := range g.Sensors() {
+		if info.Name == "app.mplay" && info.Type != "app" {
+			t.Fatalf("late Register did not win: %+v", info)
+		}
+	}
+}
+
+// TestRegistrationHooks: OnRegistration observes explicit registration,
+// implicit registration by Publish, and unregistration.
+func TestRegistrationHooks(t *testing.T) {
+	g := New("gw1", nil)
+	type ev struct {
+		sensor     string
+		typ        string
+		registered bool
+	}
+	var mu sync.Mutex
+	var got []ev
+	g.OnRegistration(func(sensor string, meta Meta, registered bool) {
+		mu.Lock()
+		got = append(got, ev{sensor, meta.Type, registered})
+		mu.Unlock()
+	})
+	g.Register("cpu", Meta{Host: "h1", Type: "cpu"})
+	g.Publish("cpu", mkRec("E", 0, 1)) // already live: no event
+	g.Unregister("cpu")
+	g.Unregister("cpu")                // already gone: no event
+	g.Publish("cpu", mkRec("E", 0, 2)) // implicit revival: meta restored
+	want := []ev{{"cpu", "cpu", true}, {"cpu", "", false}, {"cpu", "cpu", true}}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("hook events = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hook event %d = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }

@@ -68,17 +68,38 @@ func TestConcurrentGatewayUse(t *testing.T) {
 		}(w)
 	}
 
-	// Readers: stats, listings, queries, summaries.
+	// Registration churn racing the publishers: Unregister/Register
+	// cycles on live sensors, the window where consumer counts and
+	// explicitly registered metadata used to be lost.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				name := names[(w*3+j)%sensors]
+				g.Unregister(name)
+				g.Register(name, Meta{Host: fmt.Sprintf("h%d", (w*3+j)%sensors), Type: "cpu", Interval: time.Second})
+			}
+		}(w)
+	}
+
+	// Readers: stats, listings, queries, summaries — racing publishers,
+	// subscriber churn, AND registration churn.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for j := 0; j < 500; j++ {
 			g.Stats()
-			g.Sensors()
+			for _, info := range g.Sensors() {
+				if info.Consumers < 0 || info.Host == "" {
+					t.Errorf("listed sensor with bad state: %+v", info)
+					return
+				}
+			}
 			g.Consumers(names[j%sensors])
-			g.Query("", names[j%sensors], "E")             //nolint:errcheck
-			g.Summary("", names[0], "E", "VAL")            //nolint:errcheck
-			g.Query("", "ghost", "E")                      //nolint:errcheck
+			g.Query("", names[j%sensors], "E")              //nolint:errcheck
+			g.Summary("", names[0], "E", "VAL")             //nolint:errcheck
+			g.Query("", "ghost", "E")                       //nolint:errcheck
 			_, _, _ = g.Query("", names[(j+1)%sensors], "") //nolint:errcheck
 		}
 	}()
@@ -90,5 +111,30 @@ func TestConcurrentGatewayUse(t *testing.T) {
 	st := g.Stats()
 	if st.Published == 0 {
 		t.Fatal("no events published during race test")
+	}
+	// Settle the churn: every sensor registered once more, all
+	// subscriptions cancelled. Bookkeeping must balance exactly.
+	for i, name := range names {
+		g.Register(name, Meta{Host: fmt.Sprintf("h%d", i), Type: "cpu", Interval: time.Second})
+	}
+	for _, name := range names {
+		if c := g.Consumers(name); c != 0 {
+			t.Fatalf("consumer count for %s settled at %d, want 0", name, c)
+		}
+	}
+	if st := g.Stats(); st.ConsumerClamps != 0 {
+		t.Fatalf("ConsumerClamps = %d after balanced churn, want 0", st.ConsumerClamps)
+	}
+	// Explicit metadata must have won over every implicit registration
+	// the publish churn performed (Register mid-churn, concurrently
+	// with publishes, wins deterministically).
+	infos := g.Sensors()
+	if len(infos) != sensors {
+		t.Fatalf("settled listing has %d sensors, want %d", len(infos), sensors)
+	}
+	for _, info := range infos {
+		if info.Type != "cpu" || info.Interval != time.Second {
+			t.Fatalf("sensor %s lost explicit meta under churn: %+v", info.Name, info)
+		}
 	}
 }

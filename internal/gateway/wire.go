@@ -687,6 +687,10 @@ type Publisher struct {
 	timer    *time.Timer
 	err      error
 	closed   bool
+	// dropped counts records lost to a failed write: a flush error
+	// discards the whole buffered batch (records whose Publish already
+	// returned nil), so the loss must be observable, not silent.
+	dropped uint64
 }
 
 // NewPublisher opens an event-publishing connection to the gateway.
@@ -738,6 +742,7 @@ func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 		err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
 		if err != nil {
 			p.err = err
+			p.dropped++
 		}
 		return err
 	}
@@ -771,12 +776,22 @@ func (p *Publisher) flushLocked() error {
 		return nil
 	}
 	err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Recs: p.buf})
-	p.buf = nil
-	p.bufBytes = 0
 	if err != nil {
 		p.err = err
+		p.dropped += uint64(len(p.buf))
 	}
+	p.buf = nil
+	p.bufBytes = 0
 	return err
+}
+
+// Dropped returns how many records this publisher lost to failed
+// writes — buffered batch records whose Publish had already returned
+// nil when the flush later failed, plus failed single-record frames.
+func (p *Publisher) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
 }
 
 // Close flushes any buffered batch and releases the connection.

@@ -1,0 +1,259 @@
+package router
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+)
+
+// Directory is the slice of the sensor directory the sharded-site
+// machinery needs: ownership entries are written by announcers and read
+// by routers. Both manager.ServerDirectory (in-process) and
+// *directory.Client (remote, with failover) satisfy it.
+type Directory interface {
+	Add(e directory.Entry) error
+	Modify(dn directory.DN, attrs map[string][]string) error
+	Delete(dn directory.DN) error
+	Search(base directory.DN, scope directory.Scope, filter string) ([]directory.Entry, error)
+}
+
+// OwnerAttr is the directory attribute carrying the owning gateway's
+// wire address on a sensor-ownership entry. It is the same attribute
+// sensor managers publish ("gateway"), so consumers.Discover and
+// routers read one schema regardless of who advertised the sensor.
+const OwnerAttr = "gateway"
+
+// Announcer advertises sensor → gateway ownership in the sensor
+// directory: one entry per sensor, DN "sensor=<key>,<base>", whose
+// OwnerAttr names the wire address the owning gateway serves on. This
+// is the R-GMA/MDS shape — producers register with a directory, clients
+// route by lookup — applied to the sharded site: a sensor registered at
+// any gateway of the ring becomes discoverable, and a router resolves
+// its owner without knowing where it was placed.
+//
+// Attach wires an announcer to a gateway's registration stream, so
+// explicit Register, implicit registration by Publish (remote sensor
+// managers publish over the wire with no register op), and Unregister
+// all reach the directory. Announce and Withdraw are idempotent
+// upserts/deletes: registration events racing on one sensor converge.
+type Announcer struct {
+	dir  Directory
+	base directory.DN
+	name string // gateway name, advertised as gatewayname
+	addr string // gateway wire address, advertised as OwnerAttr
+
+	mu        sync.Mutex
+	announced map[string]struct{}
+
+	// Attached registration changes are applied asynchronously by one
+	// worker goroutine: the gateway's publish path must never block on
+	// directory network I/O (a directory outage would otherwise wedge
+	// every first-publish for the dial timeout). pending holds the
+	// latest desired state per sensor and queue the application order;
+	// re-registering a queued sensor replaces its pending state instead
+	// of growing the queue, so memory is bounded by distinct sensors
+	// and the directory always converges on the final state.
+	pending map[string]annEvent
+	queue   []string
+	wake    chan struct{}
+	done    chan struct{}
+	started bool
+	wg      sync.WaitGroup
+}
+
+type annEvent struct {
+	meta       gateway.Meta
+	registered bool
+}
+
+// NewAnnouncer returns an announcer advertising ownership by the
+// gateway called name, reachable at addr, under base (typically
+// core.SensorBase, "ou=sensors,o=jamm").
+func NewAnnouncer(dir Directory, base directory.DN, name, addr string) *Announcer {
+	return &Announcer{
+		dir: dir, base: base.Normalize(), name: name, addr: addr,
+		announced: make(map[string]struct{}),
+		pending:   make(map[string]annEvent),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+}
+
+// Attach subscribes the announcer to gw's registration changes. The
+// changes are queued and applied on the announcer's own goroutine;
+// call Close (then WithdrawAll) at shutdown.
+func (a *Announcer) Attach(gw *gateway.Gateway) {
+	a.mu.Lock()
+	if !a.started {
+		a.started = true
+		a.wg.Add(1)
+		go a.run()
+	}
+	a.mu.Unlock()
+	gw.OnRegistration(func(sensor string, meta gateway.Meta, registered bool) {
+		a.enqueue(sensor, annEvent{meta: meta, registered: registered})
+	})
+}
+
+func (a *Announcer) enqueue(sensor string, ev annEvent) {
+	a.mu.Lock()
+	if _, queued := a.pending[sensor]; !queued {
+		a.queue = append(a.queue, sensor)
+	}
+	a.pending[sensor] = ev
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (a *Announcer) run() {
+	defer a.wg.Done()
+	for {
+		a.mu.Lock()
+		var sensor string
+		var ev annEvent
+		have := len(a.queue) > 0
+		if have {
+			sensor = a.queue[0]
+			a.queue = a.queue[1:]
+			ev = a.pending[sensor]
+			delete(a.pending, sensor)
+		}
+		a.mu.Unlock()
+		if have {
+			if ev.registered {
+				a.Announce(sensor, ev.meta) //nolint:errcheck // directory is advisory; routers fall back to ring placement
+			} else {
+				a.Withdraw(sensor) //nolint:errcheck
+			}
+			continue
+		}
+		select {
+		case <-a.wake:
+		case <-a.done:
+			return
+		}
+	}
+}
+
+// Close stops the worker after draining queued changes. Safe to call
+// when Attach was never used.
+func (a *Announcer) Close() {
+	a.mu.Lock()
+	started := a.started
+	a.started = false
+	a.mu.Unlock()
+	if !started {
+		return
+	}
+	// Drain: wait for the queue to empty before signalling done.
+	for {
+		a.mu.Lock()
+		empty := len(a.queue) == 0
+		a.mu.Unlock()
+		if empty {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(a.done)
+	a.wg.Wait()
+}
+
+// SensorDN returns the ownership entry DN for a sensor key under base.
+// Gateway producer keys ("cpu@dpss1.lbl.gov") are DN-safe apart from
+// commas, which are replaced.
+func SensorDN(base directory.DN, sensor string) directory.DN {
+	sensor = strings.ReplaceAll(sensor, ",", "_")
+	dn := directory.DN("sensor=" + sensor)
+	if base != "" {
+		dn += directory.DN("," + string(base))
+	}
+	return dn.Normalize()
+}
+
+// Announce upserts the ownership entry for sensor.
+func (a *Announcer) Announce(sensor string, meta gateway.Meta) error {
+	attrs := map[string]string{
+		"objectclass": "jammSensor",
+		"sensor":      sensor,
+		"gwsensor":    sensor,
+		OwnerAttr:     a.addr,
+		"gatewayname": a.name,
+	}
+	if meta.Host != "" {
+		attrs["host"] = meta.Host
+	}
+	if meta.Type != "" {
+		attrs["type"] = meta.Type
+	}
+	if meta.Interval > 0 {
+		attrs["interval"] = meta.Interval.String()
+	}
+	e := directory.NewEntry(SensorDN(a.base, sensor), attrs)
+	a.mu.Lock()
+	a.announced[sensor] = struct{}{}
+	a.mu.Unlock()
+	if err := a.dir.Add(e); err != nil {
+		// Exists (same sensor re-registered, or a stale entry from a
+		// previous owner): refresh in place.
+		return a.dir.Modify(e.DN, e.Attrs)
+	}
+	return nil
+}
+
+// Withdraw deletes the ownership entry for sensor — but only if this
+// announcer's gateway still appears to own it, so a sensor that moved
+// (the new owner's Announce overwrote the shared DN) does not normally
+// lose its fresh advertisement to the previous owner's late
+// Unregister. The check-then-delete is not atomic (the directory has
+// no conditional delete, like real LDAP), so a sufficiently unlucky
+// cross-gateway interleaving can still delete a fresh entry; routers
+// degrade to ring placement (Query falls back explicitly) until the
+// owner's next registration change re-advertises it.
+func (a *Announcer) Withdraw(sensor string) error {
+	a.mu.Lock()
+	delete(a.announced, sensor)
+	a.mu.Unlock()
+	dn := SensorDN(a.base, sensor)
+	if !a.ownsEntry(dn) {
+		return nil
+	}
+	return a.dir.Delete(dn)
+}
+
+// ownsEntry reports whether the directory entry at dn (if any) still
+// advertises this announcer's gateway. Errors count as owned so a
+// transiently unreachable directory does not suppress a withdrawal.
+func (a *Announcer) ownsEntry(dn directory.DN) bool {
+	entries, err := a.dir.Search(dn, directory.ScopeBase, "")
+	if err != nil || len(entries) != 1 {
+		return true
+	}
+	addr, _ := entries[0].Get(OwnerAttr)
+	return addr == "" || addr == a.addr
+}
+
+// WithdrawAll deletes every entry this announcer has advertised (and
+// still owns) — daemons call it on drained shutdown so the directory
+// does not keep routing clients at a dead gateway.
+func (a *Announcer) WithdrawAll() {
+	a.mu.Lock()
+	sensors := make([]string, 0, len(a.announced))
+	for s := range a.announced {
+		sensors = append(sensors, s)
+	}
+	a.announced = make(map[string]struct{})
+	a.mu.Unlock()
+	for _, s := range sensors {
+		dn := SensorDN(a.base, s)
+		if a.ownsEntry(dn) {
+			a.dir.Delete(dn) //nolint:errcheck
+		}
+	}
+}

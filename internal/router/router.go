@@ -1,0 +1,365 @@
+// Package router is the client side of a multi-gateway sharded site:
+// the paper's one-gateway-per-site event channel (§2.2-2.3) stretched
+// over N gateways with sensors partitioned among them by consistent
+// hashing (internal/ring). A Router's Publish, Query, Summary and
+// Subscribe transparently target the gateway that owns the named
+// sensor, so sensor managers and consumers keep the single-gateway
+// programming model while the site scales horizontally.
+//
+// Ownership is resolved in two steps, the shape R-GMA and the Globus
+// MDS line of work converged on: the sensor directory is consulted
+// first (gateways advertise "sensor → gateway addr" entries via
+// Announcer on Register/Unregister), and ring placement is the
+// fallback for sensors not yet advertised. The directory therefore
+// wins when a sensor lives somewhere ring placement would not predict
+// — a rebalanced or manually pinned sensor — while brand-new sensors
+// route correctly with no directory round trip.
+//
+// Wildcard subscriptions cannot be scoped to one owner; they fan out
+// to every gateway of the ring and merge through bus-to-bus bridges
+// (internal/bridge) into one local bus, with the bridges' reconnect
+// machinery keeping the merged stream alive across gateway bounces.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jamm/internal/bridge"
+	"jamm/internal/bus"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/ring"
+	"jamm/internal/ulm"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Ring is the site's gateway membership (wire addresses). Required.
+	Ring *ring.Ring
+	// Directory, when set, is consulted for directory-advertised
+	// ownership before falling back to ring placement.
+	Directory Directory
+	// Base is the sensor subtree ownership entries live under
+	// (typically "ou=sensors,o=jamm"). Used only with Directory.
+	Base directory.DN
+	// Principal identifies this client to gateways and the directory.
+	Principal string
+	// Format is the wire payload format (gateway.FormatULM default).
+	Format string
+	// BatchMax/BatchWait tune publish and subscribe batching on the
+	// wire (defaults 64 records / 2ms).
+	BatchMax  int
+	BatchWait time.Duration
+	// Timeout bounds dials and request round trips (default 5s).
+	Timeout time.Duration
+}
+
+// Router routes gateway operations across a sharded multi-gateway
+// site. It is safe for concurrent use. Close releases its persistent
+// publisher connections and any wildcard fan-in bridges.
+type Router struct {
+	opts Options
+
+	mu      sync.Mutex
+	clients map[string]*gateway.Client
+	closed  bool
+
+	// pubs maps gateway address → persistent batch publisher. Reads are
+	// lock-free (the publish hot path runs from many sensor-manager
+	// goroutines at once); r.mu serializes only creation and teardown.
+	pubs sync.Map // string -> *gateway.Publisher
+
+	// owners caches resolved sensor → gateway address placements so the
+	// publish hot path pays neither a directory round trip nor a ring
+	// walk per record. Entries are invalidated when the owner's
+	// publisher connection fails.
+	owners sync.Map // string -> string
+
+	publishDrops   atomic.Uint64
+	publishRetries atomic.Uint64
+}
+
+// Stats counts a router's loss and recovery events.
+type Stats struct {
+	// PublishDrops counts records lost on failed publisher connections
+	// — including batch-buffered records whose Publish had already
+	// returned nil when the batch's flush failed. Never silent: a
+	// bounced gateway surfaces here even when the retry path recovers.
+	PublishDrops uint64
+	// PublishRetries counts publishes that failed on the cached owner
+	// and were retried against a freshly resolved one.
+	PublishRetries uint64
+}
+
+// New returns a router over the given site.
+func New(opts Options) (*Router, error) {
+	if opts.Ring == nil || opts.Ring.Len() == 0 {
+		return nil, fmt.Errorf("router: empty gateway ring")
+	}
+	if opts.BatchMax <= 0 {
+		opts.BatchMax = 64
+	}
+	if opts.BatchWait <= 0 {
+		opts.BatchWait = 2 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	return &Router{
+		opts:    opts,
+		clients: make(map[string]*gateway.Client),
+	}, nil
+}
+
+// Ring returns the router's gateway membership.
+func (r *Router) Ring() *ring.Ring { return r.opts.Ring }
+
+// Owner resolves the gateway address owning sensor: the
+// directory-advertised owner when an ownership entry exists, ring
+// placement otherwise.
+func (r *Router) Owner(sensor string) string {
+	if r.opts.Directory != nil {
+		entries, err := r.opts.Directory.Search(SensorDN(r.opts.Base, sensor), directory.ScopeBase, "")
+		if err == nil && len(entries) == 1 {
+			if addr, ok := entries[0].Get(OwnerAttr); ok && addr != "" {
+				return addr
+			}
+		}
+	}
+	return r.opts.Ring.Owner(sensor)
+}
+
+// cachedOwner returns the cached placement for sensor, resolving and
+// caching on miss.
+func (r *Router) cachedOwner(sensor string) string {
+	if v, ok := r.owners.Load(sensor); ok {
+		return v.(string)
+	}
+	addr := r.Owner(sensor)
+	r.owners.Store(sensor, addr)
+	return addr
+}
+
+func (r *Router) client(addr string) *gateway.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clientLocked(addr)
+}
+
+func (r *Router) clientLocked(addr string) *gateway.Client {
+	c, ok := r.clients[addr]
+	if !ok {
+		c = gateway.NewClient(r.opts.Principal, addr)
+		c.Timeout = r.opts.Timeout
+		r.clients[addr] = c
+	}
+	return c
+}
+
+// publisher returns the persistent batch publisher for addr, dialing
+// on first use. The found path is lock-free.
+func (r *Router) publisher(addr string) (*gateway.Publisher, error) {
+	if p, ok := r.pubs.Load(addr); ok {
+		return p.(*gateway.Publisher), nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("router: closed")
+	}
+	if p, ok := r.pubs.Load(addr); ok { // lost the creation race
+		return p.(*gateway.Publisher), nil
+	}
+	p, err := r.clientLocked(addr).NewBatchPublisher(r.opts.Format, r.opts.BatchMax, r.opts.BatchWait)
+	if err != nil {
+		return nil, err
+	}
+	r.pubs.Store(addr, p)
+	return p, nil
+}
+
+func (r *Router) dropPublisher(addr string, p *gateway.Publisher) {
+	if r.pubs.CompareAndDelete(addr, p) {
+		// First goroutine to retire this publisher accounts its losses.
+		p.Close() //nolint:errcheck
+		r.publishDrops.Add(p.Dropped())
+	}
+}
+
+// Stats returns a snapshot of the router's loss/recovery counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		PublishDrops:   r.publishDrops.Load(),
+		PublishRetries: r.publishRetries.Load(),
+	}
+}
+
+// Publish routes one sensor record to the owning gateway over a
+// persistent (batched) publisher connection. A dead connection is
+// retried once against a freshly resolved owner, so a bounced or
+// rebalanced gateway costs one failed frame, not a wedged publisher.
+func (r *Router) Publish(sensor string, rec ulm.Record) error {
+	addr := r.cachedOwner(sensor)
+	if p, err := r.publisher(addr); err == nil {
+		if err = p.Publish(sensor, rec); err == nil {
+			return nil
+		}
+		r.dropPublisher(addr, p)
+	}
+	// The cached placement may be stale (gateway moved or died):
+	// re-resolve and retry once.
+	r.publishRetries.Add(1)
+	r.owners.Delete(sensor)
+	addr = r.cachedOwner(sensor)
+	p, err := r.publisher(addr)
+	if err != nil {
+		return fmt.Errorf("router: publish %s via %s: %w", sensor, addr, err)
+	}
+	if err := p.Publish(sensor, rec); err != nil {
+		r.dropPublisher(addr, p)
+		return fmt.Errorf("router: publish %s via %s: %w", sensor, addr, err)
+	}
+	return nil
+}
+
+// Flush pushes every publisher's buffered batch to its gateway.
+func (r *Router) Flush() error {
+	var firstErr error
+	r.pubs.Range(func(_, v any) bool {
+		if err := v.(*gateway.Publisher).Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Query fetches the most recent event of the named type from the
+// gateway owning sensor. A stale directory advertisement (the sensor
+// moved, or a late withdrawal deleted the fresh entry) degrades to a
+// second attempt at the ring-placed owner rather than a hard miss.
+func (r *Router) Query(sensor, event string) (ulm.Record, bool, error) {
+	addr := r.Owner(sensor)
+	rec, found, err := r.client(addr).Query(sensor, event)
+	if (err != nil || !found) && addr != r.opts.Ring.Owner(sensor) {
+		return r.client(r.opts.Ring.Owner(sensor)).Query(sensor, event)
+	}
+	return rec, found, err
+}
+
+// Summary fetches windowed statistics from the gateway owning sensor.
+func (r *Router) Summary(sensor, event, field string) ([]gateway.SummaryPoint, error) {
+	return r.client(r.Owner(sensor)).Summary(sensor, event, field)
+}
+
+// List merges the sensor listings of every gateway on the ring, sorted
+// by name. Listing errors from individual gateways are returned after
+// the merged listing of the reachable ones (partial sites stay
+// observable during a gateway bounce).
+func (r *Router) List() ([]gateway.SensorInfo, error) {
+	var out []gateway.SensorInfo
+	var firstErr error
+	for _, addr := range r.opts.Ring.Nodes() {
+		infos, err := r.client(addr).List()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: list %s: %w", addr, err)
+			}
+			continue
+		}
+		out = append(out, infos...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, firstErr
+}
+
+// Subscribe opens a streaming subscription routed across the site. A
+// request naming a sensor subscribes at the owning gateway; a wildcard
+// request fans out to every gateway on the ring. Both ride bus-to-bus
+// bridges merging into one local bus, so the subscription survives
+// gateway bounces: the bridge reconnects with backoff and re-issues
+// the request instead of dying silently. The returned stop function
+// tears the subscription down.
+func (r *Router) Subscribe(req gateway.Request, fn func(ulm.Record)) (stop func(), err error) {
+	if fn == nil {
+		return nil, fmt.Errorf("router: nil subscription callback")
+	}
+	if req.Principal == "" {
+		req.Principal = r.opts.Principal
+	}
+	local := bus.New(bus.Options{})
+	sub := local.Subscribe("", nil, fn)
+	var bridges []*bridge.Bridge
+	if req.Sensor != "" {
+		bridges = []*bridge.Bridge{r.bridgeTo(r.Owner(req.Sensor), local, req)}
+	} else {
+		bridges = r.mirror(local, req)
+	}
+	return func() {
+		for _, b := range bridges {
+			b.Close()
+		}
+		sub.Cancel()
+	}, nil
+}
+
+// Mirror mirrors every gateway of the site into target (a local bus or
+// gateway) — the fan-in a site-wide consumer (collector, archiver,
+// overview monitor) attaches to. The caller owns the returned bridges.
+func (r *Router) Mirror(target bridge.Target) []*bridge.Bridge {
+	return r.mirror(target, gateway.Request{Principal: r.opts.Principal})
+}
+
+func (r *Router) mirror(target bridge.Target, req gateway.Request) []*bridge.Bridge {
+	nodes := r.opts.Ring.Nodes()
+	bridges := make([]*bridge.Bridge, 0, len(nodes))
+	for _, addr := range nodes {
+		bridges = append(bridges, r.bridgeTo(addr, target, req))
+	}
+	return bridges
+}
+
+// bridgeTo starts one reconnecting bridge mirroring req from the
+// gateway at addr into target.
+func (r *Router) bridgeTo(addr string, target bridge.Target, req gateway.Request) *bridge.Bridge {
+	c := gateway.NewClient(r.opts.Principal, addr)
+	c.Timeout = r.opts.Timeout
+	return bridge.New(c, target, bridge.Options{
+		Requests:  []gateway.Request{req},
+		Format:    r.opts.Format,
+		BatchMax:  r.opts.BatchMax,
+		BatchWait: r.opts.BatchWait,
+	})
+}
+
+// WaitConnected blocks until every bridge is connected or the timeout
+// elapses, reporting whether all connected. It is a convenience for
+// tests and assembly code that must not publish before the wildcard
+// fan-in is live.
+func WaitConnected(bridges []*bridge.Bridge, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for _, b := range bridges {
+		if !b.WaitConnected(time.Until(deadline)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close flushes and releases the router's persistent connections.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.pubs.Range(func(k, v any) bool {
+		r.pubs.Delete(k)
+		p := v.(*gateway.Publisher)
+		p.Close() //nolint:errcheck
+		r.publishDrops.Add(p.Dropped())
+		return true
+	})
+}

@@ -50,6 +50,8 @@ import (
 	"jamm/internal/manager"
 	"jamm/internal/netlog"
 	"jamm/internal/nlv"
+	"jamm/internal/ring"
+	"jamm/internal/router"
 	"jamm/internal/ulm"
 )
 
@@ -205,6 +207,42 @@ func NewGatewayClient(principal, addr string) *GatewayClient {
 // into target (a local bus or gateway).
 func NewBridge(client *GatewayClient, target BridgeTarget, opts BridgeOptions) *Bridge {
 	return bridge.New(client, target, opts)
+}
+
+// Sharded site (internal/ring, internal/router): a site runs N
+// gateways with sensors partitioned among them by consistent hashing;
+// the directory advertises which gateway owns which sensor, and a
+// Router's Publish/Query/Subscribe transparently target the owner.
+type (
+	// Ring places sensor topics onto the gateways of a sharded site by
+	// consistent hashing with deterministic placement.
+	Ring = ring.Ring
+	// Router routes gateway operations across a sharded site: scoped
+	// operations reach the owning gateway, wildcard subscriptions fan
+	// out to every gateway and merge via bridges.
+	Router = router.Router
+	// RouterOptions configures a Router.
+	RouterOptions = router.Options
+	// Announcer advertises sensor → gateway ownership entries in the
+	// sensor directory on Register/Unregister.
+	Announcer = router.Announcer
+	// SiteDirectory is the directory surface the sharded-site machinery
+	// needs; manager.ServerDirectory and the remote directory client
+	// both satisfy it.
+	SiteDirectory = router.Directory
+)
+
+// NewRing builds a consistent-hash ring over gateway addresses;
+// replicas <= 0 selects the default virtual-node count.
+func NewRing(gateways []string, replicas int) *Ring { return ring.New(gateways, replicas) }
+
+// NewRouter returns a routing client over a sharded site.
+func NewRouter(opts RouterOptions) (*Router, error) { return router.New(opts) }
+
+// NewAnnouncer returns an announcer advertising ownership by the named
+// gateway (reachable at addr) under base; Attach it to a Gateway.
+func NewAnnouncer(dir SiteDirectory, base DN, gatewayName, addr string) *Announcer {
+	return router.NewAnnouncer(dir, base, gatewayName, addr)
 }
 
 // NewGateway returns a standalone event gateway (daemon deployments;

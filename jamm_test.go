@@ -339,3 +339,74 @@ func TestMultiSiteDirectoryHierarchy(t *testing.T) {
 		t.Fatal("referral not surfaced when chasing is disabled")
 	}
 }
+
+// TestShardedSiteFacade assembles a 2-gateway sharded site purely
+// through the facade: gateways served over TCP, ownership advertised
+// in an in-process directory, and a Router publishing and querying by
+// ownership.
+func TestShardedSiteFacade(t *testing.T) {
+	dir := directory.NewServer("dir", directory.NewMutableBackend())
+	sdir := manager.ServerDirectory{Srv: dir, Principal: "site"}
+
+	var addrs []string
+	var gws []*Gateway
+	for i := 0; i < 2; i++ {
+		gw := NewGateway("gw"+string(rune('0'+i)), nil)
+		srv, err := ServeGateway(gw, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ann := NewAnnouncer(sdir, SensorBase, gw.Name(), srv.Addr())
+		ann.Attach(gw)
+		defer ann.Close()
+		addrs = append(addrs, srv.Addr())
+		gws = append(gws, gw)
+	}
+
+	rt, err := NewRouter(RouterOptions{
+		Ring:      NewRing(addrs, 0),
+		Directory: sdir,
+		Base:      SensorBase,
+		Principal: "consumer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	rec := Record{Date: time.Now().UTC(), Host: "h1", Prog: "jamm.cpu", Lvl: ulm.LvlUsage,
+		Event: "E", Fields: []Field{{Key: "VAL", Value: "1"}}}
+	sensors := []string{"cpu@h1", "mem@h1", "cpu@h2", "net@h3"}
+	for _, s := range sensors {
+		if err := rt.Publish(s, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n := gws[0].Stats().Published + gws[1].Stats().Published; n >= uint64(len(sensors)) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, s := range sensors {
+		if _, found, err := rt.Query(s, "E"); err != nil || !found {
+			t.Fatalf("routed query %s: %v found=%v", s, err, found)
+		}
+	}
+	// Ownership entries land under SensorBase (announcers apply them
+	// asynchronously off the publish path).
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if entries, err := sdir.Search(SensorBase, directory.ScopeSubtree, "(objectclass=jammSensor)"); err == nil && len(entries) == len(sensors) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	entries, err := sdir.Search(SensorBase, directory.ScopeSubtree, "(objectclass=jammSensor)")
+	t.Fatalf("ownership entries = %d (%v), want %d", len(entries), err, len(sensors))
+}
