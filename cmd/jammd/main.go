@@ -3,8 +3,10 @@
 // monitored host, pinned to the wall clock and serving real TCP
 // clients. It publishes its sensors to a directory server (dird),
 // serves consumers directly from the embedded gateway, optionally
-// forwards all events to an upstream gatewayd, and exposes start/stop
-// control over the activation (RMI-substitute) protocol.
+// forwards all events upstream — to one gatewayd (-forward) or through
+// a routing client to a sharded multi-gateway site (-ring, each sensor
+// to its owning gateway; batched frames either way) — and exposes
+// start/stop control over the activation (RMI-substitute) protocol.
 //
 //	jammd -host dpss1.lbl.gov -config sensors.json \
 //	      -gateway 127.0.0.1:9200 -control 127.0.0.1:9201 \
@@ -28,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -36,6 +39,8 @@ import (
 	"jamm/internal/core"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/ring"
+	"jamm/internal/router"
 	"jamm/internal/simhost"
 	"jamm/internal/simnet"
 	"jamm/internal/ulm"
@@ -50,6 +55,7 @@ func main() {
 	ctlAddr := flag.String("control", "127.0.0.1:9201", "control (activation) listen address")
 	dirAddr := flag.String("dir", "", "remote directory server address (optional)")
 	forward := flag.String("forward", "", "upstream gatewayd address to forward all events to (optional)")
+	ringFlag := flag.String("ring", "", "comma-separated gateway addresses of a sharded upstream site; forwarding routes each sensor to its owning gateway (supersedes -forward's single address)")
 	var peers multiFlag
 	flag.Var(&peers, "peer", "remote gateway address whose topics are mirrored into the embedded gateway (repeatable)")
 	async := flag.Int("async", 0, "async event-plane queue depth per shard for the embedded gateway (0 = synchronous)")
@@ -129,16 +135,64 @@ func main() {
 	defer gwSrv.Close()
 
 	// Optional upstream forwarding: the whole local stream re-publishes
-	// to a site gatewayd in batched wire frames.
-	if *forward != "" {
-		pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewBatchPublisher(gateway.FormatULM, 64, 5*time.Millisecond)
-		if err != nil {
-			log.Fatalf("jammd: forward: %v", err)
+	// upstream in batched wire frames, riding a batch subscription so a
+	// burst of local events costs one forwarding pass. With -ring the
+	// upstream is a sharded site and each sensor's records route to the
+	// gateway that owns them (directory-advertised ownership when -dir
+	// is set, ring placement otherwise); with -forward alone everything
+	// targets that single gatewayd.
+	if *forward != "" || *ringFlag != "" {
+		var sink func(sensor string, recs []ulm.Record) error
+		if *ringFlag != "" {
+			if *forward != "" {
+				log.Printf("jammd: -ring set; forwarding through the sharded site, not -forward=%s", *forward)
+			}
+			rtOpts := router.Options{
+				Ring:      ring.New(strings.Split(*ringFlag, ","), 0),
+				Principal: "jammd/" + *hostName,
+				BatchMax:  64,
+				BatchWait: 5 * time.Millisecond,
+			}
+			if *dirAddr != "" {
+				rtOpts.Directory = directory.NewClient("jammd/"+*hostName, *dirAddr)
+				rtOpts.Base = core.SensorBase
+			}
+			rt, err := router.New(rtOpts)
+			if err != nil {
+				log.Fatalf("jammd: forward ring: %v", err)
+			}
+			defer rt.Close()
+			sink = rt.PublishBatch
+		} else {
+			pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewBatchPublisher(gateway.FormatULM, 64, 5*time.Millisecond)
+			if err != nil {
+				log.Fatalf("jammd: forward: %v", err)
+			}
+			defer pub.Close()
+			sink = func(sensor string, recs []ulm.Record) error {
+				_, err := pub.PublishBatch(sensor, recs)
+				return err
+			}
 		}
-		defer pub.Close()
+		// The wildcard batch callback runs on whichever goroutine is
+		// delivering (wire connections, bridges, async workers), so the
+		// log-once latch must be atomic.
+		var loggedForwardErr atomic.Bool
 		driver.Do(func() {
-			site.Gateway.Subscribe(gateway.Request{}, func(rec ulm.Record) { //nolint:errcheck
-				pub.Publish(*hostName+"/"+rec.Prog, rec) //nolint:errcheck
+			site.Gateway.SubscribeBatch(gateway.Request{}, func(recs []ulm.Record) { //nolint:errcheck
+				// Forward per run of consecutive same-program records:
+				// the upstream sensor name is host/prog, so a batch of
+				// one sensor's records usually forwards as one batch.
+				start := 0
+				for i := 1; i <= len(recs); i++ {
+					if i < len(recs) && recs[i].Prog == recs[start].Prog {
+						continue
+					}
+					if err := sink(*hostName+"/"+recs[start].Prog, recs[start:i]); err != nil && loggedForwardErr.CompareAndSwap(false, true) {
+						log.Printf("jammd: forward: %v (suppressing further forward errors)", err)
+					}
+					start = i
+				}
 			})
 		})
 	}

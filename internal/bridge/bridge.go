@@ -22,9 +22,13 @@ import (
 // Target is where mirrored records land. *bus.Bus satisfies it (raw
 // mirror: subscribers on the local bus see remote topics) and so does
 // *gateway.Gateway (full mirror: records also feed the local gateway's
-// last-event cache, summaries, and filters — chained gateways).
+// last-event cache, summaries, and filters — chained gateways). The
+// bridge republishes whole wire frames through PublishBatch, so a
+// mirrored batch costs the target one fan-out; recs follows the bus's
+// borrowed-slice contract (not retained past the call).
 type Target interface {
 	Publish(topic string, rec ulm.Record)
+	PublishBatch(topic string, recs []ulm.Record)
 }
 
 // Options configures a Bridge.
@@ -230,7 +234,7 @@ func (b *Bridge) subscribeAll() ([]*gateway.Stream, <-chan struct{}, error) {
 	var failOnce sync.Once
 	streams := make([]*gateway.Stream, 0, len(b.opts.Requests))
 	for _, req := range b.opts.Requests {
-		st, err := b.client.SubscribeStream(req, opts, b.mirror)
+		st, err := b.client.SubscribeBatchStream(req, opts, b.mirror)
 		if err != nil {
 			return streams, nil, err
 		}
@@ -243,16 +247,25 @@ func (b *Bridge) subscribeAll() ([]*gateway.Stream, <-chan struct{}, error) {
 	return streams, fail, nil
 }
 
-// mirror republishes one received record into the local target,
-// incrementing its hop count and dropping it at the MaxHops limit.
-func (b *Bridge) mirror(sensor string, rec ulm.Record) {
-	hops := hopCount(rec)
-	if hops >= b.opts.MaxHops {
-		b.loopDrops.Add(1)
+// mirror republishes one received batch into the local target as a
+// whole — one target fan-out per wire run instead of one per record —
+// incrementing each record's hop count and dropping records at the
+// MaxHops limit (counted, never silent).
+func (b *Bridge) mirror(sensor string, recs []ulm.Record) {
+	out := make([]ulm.Record, 0, len(recs))
+	for i := range recs {
+		hops := hopCount(recs[i])
+		if hops >= b.opts.MaxHops {
+			b.loopDrops.Add(1)
+			continue
+		}
+		out = append(out, withHops(recs[i], hops+1))
+	}
+	if len(out) == 0 {
 		return
 	}
-	b.target.Publish(b.opts.Prefix+sensor, withHops(rec, hops+1))
-	b.mirrored.Add(1)
+	b.target.PublishBatch(b.opts.Prefix+sensor, out)
+	b.mirrored.Add(uint64(len(out)))
 }
 
 func hopCount(rec ulm.Record) int {

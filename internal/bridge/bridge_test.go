@@ -298,6 +298,13 @@ func (s *slowTarget) Publish(topic string, rec ulm.Record) {
 	s.bus.Publish(topic, rec)
 }
 
+func (s *slowTarget) PublishBatch(topic string, recs []ulm.Record) {
+	// Per-record delay: the point is to stall the mirror long enough
+	// that the remote's bounded channel overflows, batched or not.
+	time.Sleep(time.Duration(len(recs)) * s.delay)
+	s.bus.PublishBatch(topic, recs)
+}
+
 // TestBridgeStatsMonotonicAcrossStreamTeardown is the regression test
 // for Stats double/under-counting RemoteDrops when a stream finishes
 // mid-snapshot: the finished-stream accumulation used to race the

@@ -2,22 +2,33 @@ package bus
 
 import "jamm/internal/ulm"
 
-// asyncItem is one queued publish, or a flush barrier token when flush
-// is non-nil.
+// asyncItem is one queued publish — a single record, a batch (recs
+// non-nil, owned by the queue), or a flush barrier token when flush is
+// non-nil.
 type asyncItem struct {
 	topic string
 	rec   ulm.Record
+	recs  []ulm.Record
 	flush chan<- struct{}
 }
 
+// asyncCoalesceMax bounds how many queued records a worker folds into
+// one delivered batch. Large enough to amortize the per-batch lock and
+// merge cost at fan-out, small enough that one topic's storm cannot
+// monopolize a worker for unbounded stretches.
+const asyncCoalesceMax = 256
+
 // StartAsync switches the bus into batched asynchronous mode: Publish
-// enqueues onto a bounded per-shard queue (blocking when full — bounded
-// memory with backpressure, never silent drops) and a worker goroutine
-// per shard drains it through the synchronous delivery path. Per-topic
-// publish order is preserved (a topic always routes to the same shard
-// queue); cross-topic interleaving is not, so deterministic
-// single-goroutine deployments — the virtual-time simulator — must stay
-// in synchronous mode. No-op if async mode is already running.
+// and PublishBatch enqueue onto a bounded per-shard queue (blocking
+// when full — bounded memory with backpressure, never silent drops)
+// and a worker goroutine per shard drains it through the batch
+// delivery path, coalescing queued records of the same topic into one
+// delivered batch (up to asyncCoalesceMax records). Per-topic publish
+// order is preserved (a topic always routes to the same shard queue,
+// and coalescing folds runs in queue order); cross-topic interleaving
+// is not, so deterministic single-goroutine deployments — the
+// virtual-time simulator — must stay in synchronous mode. No-op if
+// async mode is already running.
 func (b *Bus) StartAsync(queueLen int) {
 	if queueLen <= 0 {
 		queueLen = 1024
@@ -38,14 +49,64 @@ func (b *Bus) StartAsync(queueLen int) {
 	b.queues.Store(&qs)
 }
 
+// drain delivers one shard queue. It coalesces consecutive same-topic
+// records into one batch per delivery, stopping a batch at a topic
+// change, a flush token, or asyncCoalesceMax records — so the Flush
+// barrier still means "everything enqueued before the token has been
+// delivered", and per-topic order is untouched.
 func (b *Bus) drain(q chan asyncItem) {
 	defer b.workers.Done()
-	for it := range q {
+	var buf []ulm.Record
+	var pending asyncItem
+	havePending := false
+	for {
+		var it asyncItem
+		if havePending {
+			it, havePending = pending, false
+		} else {
+			var ok bool
+			if it, ok = <-q; !ok {
+				return
+			}
+		}
 		if it.flush != nil {
 			it.flush <- struct{}{}
 			continue
 		}
-		b.publish(it.topic, it.rec)
+		buf = buf[:0]
+		if it.recs != nil {
+			buf = append(buf, it.recs...)
+		} else {
+			buf = append(buf, it.rec)
+		}
+		closed := false
+	coalesce:
+		for len(buf) < asyncCoalesceMax {
+			select {
+			case next, ok := <-q:
+				if !ok {
+					closed = true
+					break coalesce
+				}
+				if next.flush != nil || next.topic != it.topic {
+					// A barrier or another topic: deliver what we have
+					// first, then handle it, preserving queue order.
+					pending, havePending = next, true
+					break coalesce
+				}
+				if next.recs != nil {
+					buf = append(buf, next.recs...)
+				} else {
+					buf = append(buf, next.rec)
+				}
+			default:
+				break coalesce
+			}
+		}
+		b.deliverBatch(it.topic, buf, nil)
+		if closed {
+			return
+		}
 	}
 }
 

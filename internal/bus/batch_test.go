@@ -1,0 +1,401 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+func recN(event string, n int) ulm.Record {
+	r := rec(event)
+	r.Fields = []ulm.Field{{Key: "SEQ", Value: fmt.Sprint(n)}}
+	return r
+}
+
+func batchOf(n int) []ulm.Record {
+	recs := make([]ulm.Record, n)
+	for i := range recs {
+		recs[i] = recN("E", i)
+	}
+	return recs
+}
+
+// PublishBatch must deliver to subscribers in subscription-id order —
+// the same determinism contract as single-record publish — with each
+// subscriber (batch or single-record adapter) seeing its records in
+// record order.
+func TestPublishBatchDeliversInIDOrder(t *testing.T) {
+	b := New(Options{})
+	var order []string
+	note := func(tag string) { order = append(order, tag) }
+	b.Subscribe("cpu", nil, func(r ulm.Record) { note("1single") })
+	b.SubscribeBatch("", nil, func(recs []ulm.Record) { note(fmt.Sprintf("2wildbatch:%d", len(recs))) })
+	b.SubscribeBatchTopics("cpu", nil, func(topic string, recs []ulm.Record) {
+		note(fmt.Sprintf("3batch:%s:%d", topic, len(recs)))
+	})
+	b.Subscribe("", nil, func(r ulm.Record) { note("4wildsingle") })
+	b.PublishBatch("cpu", batchOf(3))
+	want := []string{
+		"1single", "1single", "1single",
+		"2wildbatch:3",
+		"3batch:cpu:3",
+		"4wildsingle", "4wildsingle", "4wildsingle",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// A hooked batch subscription receives exactly the records its hook
+// delivered, in record order, and the delivered/suppressed counters
+// count per record.
+func TestBatchHooksFilterSubBatches(t *testing.T) {
+	b := New(Options{})
+	evenOnly := func(_ string, r ulm.Record) Decision {
+		v, _ := r.Get("SEQ")
+		var n int
+		fmt.Sscan(v, &n) //nolint:errcheck
+		if n%2 == 0 {
+			return Deliver
+		}
+		return Suppress
+	}
+	var got []string
+	sub := b.SubscribeBatch("cpu", evenOnly, func(recs []ulm.Record) {
+		for i := range recs {
+			v, _ := recs[i].Get("SEQ")
+			got = append(got, v)
+		}
+	})
+	// A hookless full-batch subscriber beside it, to cover both the
+	// filtered-scratch and whole-batch delivery shapes in one publish.
+	var full int
+	b.SubscribeBatch("cpu", nil, func(recs []ulm.Record) { full += len(recs) })
+	b.PublishBatch("cpu", batchOf(5))
+	if len(got) != 3 || got[0] != "0" || got[1] != "2" || got[2] != "4" {
+		t.Fatalf("filtered sub-batch = %v", got)
+	}
+	if full != 5 {
+		t.Fatalf("full subscriber got %d records", full)
+	}
+	d, s := sub.Counts()
+	if d != 3 || s != 2 {
+		t.Fatalf("counts = %d/%d, want 3/2", d, s)
+	}
+	if st := b.Stats(); st.Published != 5 || st.Delivered != 8 || st.Suppressed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The batch path and the single-record path must be the same delivery
+// implementation: a stateful filter fed one batch sees exactly the
+// sequence repeated Publish calls would feed it.
+func TestBatchEquivalenceWithSingle(t *testing.T) {
+	run := func(publish func(b *Bus, recs []ulm.Record)) []string {
+		b := New(Options{})
+		last := ""
+		onChange := func(_ string, r ulm.Record) Decision {
+			v, _ := r.Get("SEQ")
+			if v == last {
+				return Suppress
+			}
+			last = v
+			return Deliver
+		}
+		var got []string
+		b.Subscribe("cpu", onChange, func(r ulm.Record) {
+			v, _ := r.Get("SEQ")
+			got = append(got, v)
+		})
+		publish(b, []ulm.Record{recN("E", 1), recN("E", 1), recN("E", 2), recN("E", 2), recN("E", 3)})
+		return got
+	}
+	single := run(func(b *Bus, recs []ulm.Record) {
+		for i := range recs {
+			b.Publish("cpu", recs[i])
+		}
+	})
+	batched := run(func(b *Bus, recs []ulm.Record) { b.PublishBatch("cpu", recs) })
+	if len(single) != len(batched) {
+		t.Fatalf("single=%v batched=%v", single, batched)
+	}
+	for i := range single {
+		if single[i] != batched[i] {
+			t.Fatalf("single=%v batched=%v", single, batched)
+		}
+	}
+}
+
+// TapBatch observes every batch without touching delivery counters.
+func TestTapBatchObservesWithoutCounting(t *testing.T) {
+	b := New(Options{})
+	var tapped, topics int
+	tap := b.TapBatch("cpu", func(topic string, recs []ulm.Record) {
+		tapped += len(recs)
+		if topic == "cpu" {
+			topics++
+		}
+	})
+	var n int
+	b.Subscribe("cpu", nil, func(ulm.Record) { n++ })
+	b.PublishBatch("cpu", batchOf(4))
+	b.Publish("mem", rec("F")) // outside the tap's topic
+	if tapped != 4 || topics != 1 {
+		t.Fatalf("tap saw %d records, %d topical batches", tapped, topics)
+	}
+	if st := b.Stats(); st.Delivered != 4 {
+		t.Fatalf("tap distorted stats: %+v", st)
+	}
+	if !tap.Cancel() {
+		t.Fatal("tap cancel failed")
+	}
+	b.PublishBatch("cpu", batchOf(2))
+	if tapped != 4 {
+		t.Fatal("tap observed after cancel")
+	}
+	if n != 6 {
+		t.Fatalf("subscriber got %d", n)
+	}
+}
+
+// In async mode PublishBatch must not retain the caller's slice: the
+// enqueued copy is what delivers, even if the caller rewrites the
+// slice immediately after publishing.
+func TestAsyncPublishBatchCopiesCallerSlice(t *testing.T) {
+	b := New(Options{Shards: 2})
+	var mu sync.Mutex
+	var got []string
+	b.Subscribe("cpu", nil, func(r ulm.Record) {
+		v, _ := r.Get("SEQ")
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	b.StartAsync(8)
+	defer b.StopAsync()
+	recs := []ulm.Record{recN("E", 1), recN("E", 2)}
+	b.PublishBatch("cpu", recs)
+	recs[0] = recN("E", 99)
+	recs[1] = recN("E", 99)
+	b.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("async delivery saw mutated slice: %v", got)
+	}
+}
+
+// The async workers coalesce queued same-topic records into batches: a
+// backlog that accumulates while a subscriber stalls must drain in far
+// fewer callbacks than records, and the Flush barrier still means
+// everything enqueued before it was delivered.
+func TestAsyncCoalescesBacklogIntoBatches(t *testing.T) {
+	b := New(Options{Shards: 1}) // one queue: the backlog is deterministic
+	var batches, records atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	b.SubscribeBatch("cpu", nil, func(recs []ulm.Record) {
+		batches.Add(1)
+		records.Add(int64(len(recs)))
+		if first {
+			first = false
+			close(entered)
+			<-release // stall the worker so a backlog builds
+		}
+	})
+	b.StartAsync(1024)
+	defer b.StopAsync()
+	b.Publish("cpu", recN("E", 0))
+	<-entered
+	const backlog = 300
+	for i := 1; i <= backlog; i++ {
+		b.Publish("cpu", recN("E", i))
+	}
+	close(release)
+	b.Flush()
+	if got := records.Load(); got != backlog+1 {
+		t.Fatalf("delivered %d records, want %d", got, backlog+1)
+	}
+	// 1 stalled delivery + the backlog in asyncCoalesceMax-sized chunks.
+	wantMax := int64(1 + (backlog+asyncCoalesceMax-1)/asyncCoalesceMax)
+	if got := batches.Load(); got > wantMax {
+		t.Fatalf("backlog drained in %d batches, want <= %d (no coalescing?)", got, wantMax)
+	}
+}
+
+// Per-topic order must hold on the batch path in async mode, with
+// Publish and PublishBatch interleaved by concurrent publishers, and
+// the Flush barrier must cover batch publishes. Run with -race.
+func TestAsyncBatchChurnPreservesPerTopicOrder(t *testing.T) {
+	b := New(Options{Shards: 8})
+	var mu sync.Mutex
+	got := map[string][]int{}
+	b.SubscribeBatchTopics("", nil, func(topic string, recs []ulm.Record) {
+		mu.Lock()
+		for i := range recs {
+			var seq int
+			v, _ := recs[i].Get("SEQ")
+			fmt.Sscan(v, &seq) //nolint:errcheck
+			got[topic] = append(got[topic], seq)
+		}
+		mu.Unlock()
+	})
+	// Churning side subscriptions racing the publishers, batch and
+	// single, so insert/cancel interleaves with batch delivery.
+	stopChurn := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			default:
+				s1 := b.SubscribeBatch("a", nil, func([]ulm.Record) {})
+				s2 := b.Subscribe("b", nil, func(ulm.Record) {})
+				s1.Cancel()
+				s2.Cancel()
+			}
+		}
+	}()
+	b.StartAsync(64)
+	const perTopic = 400
+	var wg sync.WaitGroup
+	for _, topic := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(topic string) {
+			defer wg.Done()
+			i := 0
+			for i < perTopic {
+				if i%3 == 0 && i+4 <= perTopic {
+					batch := make([]ulm.Record, 4)
+					for k := range batch {
+						batch[k] = recN("E", i+k)
+					}
+					b.PublishBatch(topic, batch)
+					i += 4
+				} else {
+					b.Publish(topic, recN("E", i))
+					i++
+				}
+			}
+		}(topic)
+	}
+	wg.Wait()
+	b.Flush()
+	b.StopAsync()
+	close(stopChurn)
+	churn.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, topic := range []string{"a", "b", "c"} {
+		seqs := got[topic]
+		if len(seqs) != perTopic {
+			t.Fatalf("topic %s delivered %d, want %d", topic, len(seqs), perTopic)
+		}
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("topic %s out of order at %d: %d", topic, i, s)
+			}
+		}
+	}
+}
+
+// Synchronous batch churn under race: concurrent PublishBatch across
+// topics with batch/single/hooked subscriber churn and stats readers.
+func TestConcurrentBatchPublish(t *testing.T) {
+	b := New(Options{})
+	const topics = 4
+	var delivered atomic.Int64
+	for i := 0; i < topics; i++ {
+		b.SubscribeBatch(fmt.Sprintf("s%d", i), nil, func(recs []ulm.Record) {
+			delivered.Add(int64(len(recs)))
+		})
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < topics; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			topic := fmt.Sprintf("s%d", i)
+			batch := batchOf(8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.PublishBatch(topic, batch)
+				}
+			}
+		}(i)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 150; j++ {
+				topic := fmt.Sprintf("s%d", j%topics)
+				if j%3 == 0 {
+					topic = ""
+				}
+				last := ""
+				sub := b.SubscribeBatchTopics(topic, func(_ string, r ulm.Record) Decision {
+					if r.Event == last {
+						return Suppress
+					}
+					last = r.Event
+					return Deliver
+				}, func(string, []ulm.Record) {})
+				sub.Counts()
+				sub.Cancel()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			b.Stats()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if delivered.Load() == 0 {
+		t.Fatal("no batches delivered during churn")
+	}
+	if st := b.Stats(); st.Published == 0 || st.Delivered < uint64(delivered.Load()) {
+		t.Fatalf("stats = %+v, delivered sink = %d", st, delivered.Load())
+	}
+}
+
+// The steady-state batch publish path must stay allocation-free at any
+// batch size: scratch is pooled and full-pass subscribers receive the
+// caller's slice.
+func TestPublishBatchZeroAllocs(t *testing.T) {
+	b := New(Options{})
+	var n int
+	b.SubscribeBatch("cpu", nil, func(recs []ulm.Record) { n += len(recs) })
+	b.Subscribe("cpu", nil, func(ulm.Record) { n++ })
+	recs := batchOf(16)
+	f := func() { b.PublishBatch("cpu", recs) }
+	f() // warm the pool
+	if avg := testing.AllocsPerRun(1000, f); avg > 0.05 {
+		t.Fatalf("PublishBatch: %v allocs/op, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

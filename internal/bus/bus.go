@@ -10,20 +10,37 @@
 //     small) wildcard set — never the full subscription table.
 //   - Topics are hashed onto independent shards, each with its own
 //     lock, so publishes for different sensors proceed in parallel.
+//   - Batches are the native delivery unit: PublishBatch fans a whole
+//     []Record out with one shard-lock acquisition, one subscriber
+//     merge, and one callback per subscriber, and Publish is a
+//     batch-of-one over the same path — there is exactly one delivery
+//     implementation. Hooks still run per record, so delivery policies
+//     (on-change, threshold) see every sample.
 //   - The steady-state delivery path is amortized zero-allocation: the
-//     matched-subscriber scratch buffer is pooled, subscriber lists are
-//     kept in subscription-id order at insert time (no per-publish sort),
-//     and counters are atomics.
+//     per-publish scratch (matched subscribers + filtered sub-batches)
+//     is pooled, subscriber lists are kept in subscription-id order at
+//     insert time (no per-publish sort), and counters are atomics.
 //   - An optional batched asynchronous mode (see async.go) decouples
 //     publishers from delivery behind bounded per-shard queues with a
-//     Flush barrier.
+//     Flush barrier; its workers coalesce queued same-topic records
+//     into batches, so a publish storm drains as a few large
+//     deliveries instead of many small ones.
+//
+// Batch ownership contract: record slices are always borrowed, never
+// retained. PublishBatch may hand the caller's slice (or pooled
+// sub-slices of it) directly to subscribers, so the caller must not
+// mutate recs during the call, and a batch callback's slice is valid
+// only until the callback returns — copy it to retain records. The
+// async path copies the batch before enqueueing, so PublishBatch never
+// holds caller memory past the call.
 //
 // Determinism contract: in synchronous mode, matched subscribers are
 // evaluated and delivered in subscription-id order (the merge of the
-// topic list and the wildcard list, both id-sorted). Single-goroutine
-// callers — the virtual-time simulator — therefore observe byte-identical
-// delivery interleaving run over run, which internal/core's determinism
-// test depends on.
+// topic list and the wildcard list, both id-sorted), and a batch is
+// delivered to each subscriber in record order. Single-goroutine
+// callers — the virtual-time simulator — therefore observe
+// byte-identical delivery interleaving run over run, which
+// internal/core's determinism test depends on.
 package bus
 
 import (
@@ -52,7 +69,8 @@ const (
 // may keep per-subscription state (last value, threshold edge): the bus
 // serializes hook invocations per subscription — under the shard lock
 // for topic subscriptions, under the subscription's own lock for
-// wildcard subscriptions — so that state needs no extra locking.
+// wildcard subscriptions — so that state needs no extra locking. On the
+// batch path a hook runs once per record of the batch, in record order.
 type Hook func(topic string, rec ulm.Record) Decision
 
 // Stats counts bus traffic.
@@ -164,10 +182,15 @@ type Subscription struct {
 	bus   *Bus
 	topic string
 	hook  Hook
-	fn    func(ulm.Record)
-	// fnT is the topic-aware delivery callback (SubscribeTopics);
-	// exactly one of fn/fnT is set for delivering subscriptions.
-	fnT func(topic string, rec ulm.Record)
+	// fnB is the delivery callback — every subscription delivers
+	// batches. The single-record Subscribe/SubscribeTopics entry points
+	// wrap their callbacks in a record loop at subscribe time, so the
+	// publish path has exactly one delivery shape. nil = tap (observes
+	// via hook, never delivers).
+	fnB func(topic string, recs []ulm.Record)
+	// silent marks an observer (Tap/TapBatch): it receives records (or
+	// runs its hook) but never touches delivery counters.
+	silent bool
 
 	// mu serializes hook invocations for wildcard subscriptions, whose
 	// publishes arrive from every shard concurrently.
@@ -194,9 +217,16 @@ func (s *Subscription) Counts() (delivered, suppressed uint64) {
 // delivered record outside all bus locks, so in synchronous mode
 // callbacks may call back into the bus. In async mode a callback must
 // not Publish: the delivering worker enqueueing onto its own full
-// shard queue would deadlock.
+// shard queue would deadlock. Subscribe is an adapter over the batch
+// delivery path: fn is invoked once per record of each delivered
+// batch, in record order.
 func (b *Bus) Subscribe(topic string, hook Hook, fn func(ulm.Record)) *Subscription {
-	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fn: fn}
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook,
+		fnB: func(_ string, recs []ulm.Record) {
+			for i := range recs {
+				fn(recs[i])
+			}
+		}}
 	b.insert(s)
 	return s
 }
@@ -205,9 +235,37 @@ func (b *Bus) Subscribe(topic string, hook Hook, fn func(ulm.Record)) *Subscript
 // the topic a record was published under beside the record itself.
 // Transports that mirror a bus elsewhere (the gateway wire protocol,
 // the bus-to-bus bridge) need the topic to republish under the same
-// name; plain consumers should use Subscribe.
+// name; plain consumers should use Subscribe. Like Subscribe, it is an
+// adapter over the batch delivery path.
 func (b *Bus) SubscribeTopics(topic string, hook Hook, fn func(topic string, rec ulm.Record)) *Subscription {
-	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fnT: fn}
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook,
+		fnB: func(t string, recs []ulm.Record) {
+			for i := range recs {
+				fn(t, recs[i])
+			}
+		}}
+	b.insert(s)
+	return s
+}
+
+// SubscribeBatch registers a batch subscriber: fn receives each
+// delivered batch as one slice — one callback, one lock-free handoff
+// per batch regardless of batch size. The slice is only valid for the
+// duration of the call (it may be the publisher's own slice or pooled
+// scratch); copy it to retain records. A hooked subscription receives
+// the sub-batch of records its hook delivered, in record order.
+func (b *Bus) SubscribeBatch(topic string, hook Hook, fn func(recs []ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook,
+		fnB: func(_ string, recs []ulm.Record) { fn(recs) }}
+	b.insert(s)
+	return s
+}
+
+// SubscribeBatchTopics is SubscribeBatch with a topic-aware callback —
+// the form batch transports (wire subscribe streams, bridges) consume.
+// All records of one callback share the topic.
+func (b *Bus) SubscribeBatchTopics(topic string, hook Hook, fn func(topic string, recs []ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, hook: hook, fnB: fn}
 	b.insert(s)
 	return s
 }
@@ -215,15 +273,27 @@ func (b *Bus) SubscribeTopics(topic string, hook Hook, fn func(topic string, rec
 // Tap registers a silent observer of one topic ("" = every topic): tap
 // runs where a hook would — serialized per subscription, before
 // delivery — but never receives deliveries and never affects counters.
-// The gateway's summary folding is a tap.
 func (b *Bus) Tap(topic string, tap func(topic string, rec ulm.Record)) *Subscription {
 	s := &Subscription{
-		id: b.nextID.Add(1), bus: b, topic: topic,
+		id: b.nextID.Add(1), bus: b, topic: topic, silent: true,
 		hook: func(t string, rec ulm.Record) Decision {
 			tap(t, rec)
 			return Skip
 		},
 	}
+	b.insert(s)
+	return s
+}
+
+// TapBatch registers a silent batch observer: tap receives every
+// published batch of the topic ("" = every topic) in one call, outside
+// the bus locks, without affecting delivery counters. The gateway's
+// summary folding rides this — one tap invocation (and one state lock)
+// per batch instead of per record. Unlike Tap, the tap runs where
+// deliveries do (outside the shard lock), so concurrent publishers of
+// one topic may invoke it concurrently; taps carrying state must lock.
+func (b *Bus) TapBatch(topic string, tap func(topic string, recs []ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: topic, silent: true, fnB: tap}
 	b.insert(s)
 	return s
 }
@@ -295,33 +365,96 @@ func (s *Subscription) Cancel() bool {
 	return true
 }
 
-// matchedPool recycles the scratch buffer that carries matched
-// subscribers from the locked evaluation phase to the unlocked delivery
-// phase, keeping steady-state publish allocation-free at any fan-out.
-var matchedPool = sync.Pool{
+// matchEntry carries one matched subscriber from the locked evaluation
+// phase to the unlocked delivery phase, together with which records of
+// the batch it receives: the whole batch (full), or the filtered
+// sub-batch scratch.filtered[off:off+n] its hook delivered.
+type matchEntry struct {
+	sub  *Subscription
+	full bool
+	off  int
+	n    int
+}
+
+// pubScratch is the pooled per-publish scratch that keeps the
+// steady-state delivery path allocation-free at any fan-out and batch
+// size: the matched-subscriber list, the filtered-record arena
+// (sub-batches are ranges into it, so growth never invalidates them),
+// and the one-record array backing single-record publishes.
+type pubScratch struct {
+	one      [1]ulm.Record
+	entries  []matchEntry
+	filtered []ulm.Record
+}
+
+var scratchPool = sync.Pool{
 	New: func() any {
-		buf := make([]*Subscription, 0, 64)
-		return &buf
+		return &pubScratch{entries: make([]matchEntry, 0, 64)}
 	},
+}
+
+// release clears the scratch's subscription pointers and filtered
+// records (so pooled memory cannot keep cancelled subscriptions or a
+// large batch's records alive) and returns it to the pool. one[0] is
+// deliberately not zeroed: it retains at most a single record per
+// pooled scratch and is overwritten by the next single-record publish.
+func (sp *pubScratch) release() {
+	clear(sp.entries)
+	sp.entries = sp.entries[:0]
+	clear(sp.filtered)
+	sp.filtered = sp.filtered[:0]
+	scratchPool.Put(sp)
 }
 
 // Publish feeds one record to every matching subscriber. In synchronous
 // mode (the default) delivery completes before Publish returns, in
 // subscription-id order; in async mode the record is enqueued and
-// Publish returns immediately (see StartAsync).
+// Publish returns immediately (see StartAsync). Publish is a
+// batch-of-one over the batch delivery path.
 func (b *Bus) Publish(topic string, rec ulm.Record) {
 	if qp := b.queues.Load(); qp != nil {
 		(*qp)[HashTopic(topic)&b.mask] <- asyncItem{topic: topic, rec: rec}
 		return
 	}
-	b.publish(topic, rec)
+	// A batch of one through the one delivery implementation; the
+	// record travels by reference so the no-subscriber fast path never
+	// copies it (it is copied into pooled scratch only once a
+	// subscriber exists).
+	b.deliverBatch(topic, nil, &rec)
 }
 
-// publish is the synchronous hot path: evaluate hooks under the shard
-// lock (and per-subscription locks for wildcards), deliver outside all
-// locks so callbacks may re-enter the bus.
-func (b *Bus) publish(topic string, rec ulm.Record) {
-	b.published.Add(1)
+// PublishBatch feeds a batch of records of one topic to every matching
+// subscriber with one lock acquisition, one subscriber merge, and one
+// callback per subscriber. recs is borrowed: the bus may hand it (or
+// pooled sub-slices) directly to subscribers during the call and never
+// retains it afterwards — the async path copies before enqueueing. In
+// synchronous mode subscribers see the batch in subscription-id order,
+// each receiving its delivered records in record order.
+func (b *Bus) PublishBatch(topic string, recs []ulm.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	if qp := b.queues.Load(); qp != nil {
+		cp := make([]ulm.Record, len(recs))
+		copy(cp, recs)
+		(*qp)[HashTopic(topic)&b.mask] <- asyncItem{topic: topic, recs: cp}
+		return
+	}
+	b.deliverBatch(topic, recs, nil)
+}
+
+// deliverBatch is the one delivery implementation: evaluate hooks under
+// the shard lock (and per-subscription locks for wildcards), building
+// each subscriber's sub-batch, then deliver outside all locks so
+// callbacks may re-enter the bus. Exactly one of recs/single is set:
+// a nil recs means a batch of one held in *single, materialized into
+// pooled scratch only once a subscriber exists.
+func (b *Bus) deliverBatch(topic string, recs []ulm.Record, single *ulm.Record) {
+	n := len(recs)
+	if single != nil {
+		n = 1
+	}
+	b.published.Add(uint64(n))
 	wild := b.loadWildcard()
 	sh := b.shard(topic)
 	sh.mu.Lock()
@@ -330,8 +463,13 @@ func (b *Bus) publish(topic string, rec ulm.Record) {
 		sh.mu.Unlock()
 		return
 	}
-	bufp := matchedPool.Get().(*[]*Subscription)
-	matched := (*bufp)[:0]
+	sp := scratchPool.Get().(*pubScratch)
+	if single != nil {
+		sp.one[0] = *single
+		recs = sp.one[:1]
+	}
+	entries := sp.entries[:0]
+	filtered := sp.filtered[:0]
 	// Merge the two id-sorted lists so hooks run and deliveries happen
 	// in global subscription-id order — the determinism contract.
 	i, j := 0, 0
@@ -346,40 +484,74 @@ func (b *Bus) publish(topic string, rec ulm.Record) {
 			j++
 			isWild = true
 		}
-		d := Deliver
-		if s.hook != nil {
-			if isWild {
-				s.mu.Lock()
+		if s.hook == nil {
+			if s.fnB == nil {
+				continue // inert: neither hook nor delivery
 			}
-			d = s.hook(topic, rec)
-			if isWild {
-				s.mu.Unlock()
+			if !s.silent {
+				s.delivered.Add(uint64(len(recs)))
+				b.delivered.Add(uint64(len(recs)))
+			}
+			entries = append(entries, matchEntry{sub: s, full: true})
+			continue
+		}
+		// Hooked subscription: evaluate per record, collecting the
+		// delivered sub-batch (unless it's a hook-only tap).
+		collect := s.fnB != nil
+		off := len(filtered)
+		ndel, nsup := 0, 0
+		if isWild {
+			s.mu.Lock()
+		}
+		for k := range recs {
+			switch s.hook(topic, recs[k]) {
+			case Deliver:
+				ndel++
+				if collect {
+					filtered = append(filtered, recs[k])
+				}
+			case Suppress:
+				nsup++
 			}
 		}
-		if s.fn == nil && s.fnT == nil {
-			continue // tap: observes, never delivers
+		if isWild {
+			s.mu.Unlock()
 		}
-		switch d {
-		case Deliver:
-			s.delivered.Add(1)
-			b.delivered.Add(1)
-			matched = append(matched, s)
-		case Suppress:
-			s.suppressed.Add(1)
-			b.suppressed.Add(1)
+		if !collect {
+			continue // tap: observes via hook, never delivers or counts
+		}
+		if !s.silent {
+			if ndel > 0 {
+				s.delivered.Add(uint64(ndel))
+				b.delivered.Add(uint64(ndel))
+			}
+			if nsup > 0 {
+				s.suppressed.Add(uint64(nsup))
+				b.suppressed.Add(uint64(nsup))
+			}
+		}
+		switch {
+		case ndel == 0:
+			filtered = filtered[:off]
+		case ndel == len(recs):
+			// Every record delivered: hand the original batch, reclaim
+			// the scratch copies.
+			filtered = filtered[:off]
+			entries = append(entries, matchEntry{sub: s, full: true})
+		default:
+			entries = append(entries, matchEntry{sub: s, off: off, n: ndel})
 		}
 	}
+	sp.entries = entries
+	sp.filtered = filtered
 	sh.mu.Unlock()
-	for _, s := range matched {
-		if s.fnT != nil {
-			s.fnT(topic, rec)
+	for k := range entries {
+		e := &entries[k]
+		if e.full {
+			e.sub.fnB(topic, recs)
 		} else {
-			s.fn(rec)
+			e.sub.fnB(topic, filtered[e.off:e.off+e.n])
 		}
 	}
-	for k := range matched {
-		matched[k] = nil
-	}
-	*bufp = matched[:0]
-	matchedPool.Put(bufp)
+	sp.release()
 }

@@ -1,0 +1,90 @@
+package consumer
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/archive"
+	"jamm/internal/bus"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+func mkBatch(n int) []ulm.Record {
+	recs := make([]ulm.Record, n)
+	for i := range recs {
+		recs[i] = rec(time.Duration(i)*time.Second, "h1", "E", ulm.LvlUsage)
+	}
+	return recs
+}
+
+// TakeBatch on an archiver without accumulation feeds the store's
+// AppendBatch directly; with accumulation the batch joins the buffer
+// and flushes at the configured size.
+func TestArchiverTakeBatch(t *testing.T) {
+	direct := NewArchiver(archive.NewStore(archive.Policy{}))
+	direct.TakeBatch(mkBatch(5))
+	if got := direct.Store.Stats().Kept; got != 5 {
+		t.Fatalf("direct ingest kept %d, want 5", got)
+	}
+
+	buffered := NewArchiver(archive.NewStore(archive.Policy{}))
+	buffered.SetBatch(8)
+	buffered.TakeBatch(mkBatch(5))
+	if got := buffered.Store.Stats().Kept; got != 0 {
+		t.Fatalf("buffered ingest reached store early: %d", got)
+	}
+	buffered.TakeBatch(mkBatch(5)) // crosses the batch size: flushes
+	if got := buffered.Store.Stats().Kept; got != 10 {
+		t.Fatalf("after flush kept %d, want 10", got)
+	}
+}
+
+// Collector and Archiver ride batch subscriptions on a raw bus (the
+// bridged-mirror attachment) and on a gateway: one delivered batch,
+// one ingest.
+func TestBatchConsumersOverBusAndGateway(t *testing.T) {
+	b := bus.New(bus.Options{})
+	col := NewCollector()
+	col.SubscribeBus(b, "")
+	arc := NewArchiver(archive.NewStore(archive.Policy{}))
+	arc.SubscribeBus(b, "")
+	b.PublishBatch("cpu@h1", mkBatch(6))
+	if col.Len() != 6 {
+		t.Fatalf("collector got %d, want 6", col.Len())
+	}
+	if got := arc.Store.Stats().Kept; got != 6 {
+		t.Fatalf("archiver kept %d, want 6", got)
+	}
+	arc.Close()
+	col.Close()
+	b.PublishBatch("cpu@h1", mkBatch(2))
+	if col.Len() != 6 || arc.Store.Stats().Kept != 6 {
+		t.Fatal("ingest after Close")
+	}
+
+	// Gateway attachment resolves to the batch subscription surface.
+	gw := gateway.New("gw", nil)
+	col2 := NewCollector()
+	if err := col2.SubscribeAll(gw, gateway.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	arc2 := NewArchiver(archive.NewStore(archive.Policy{}))
+	if err := arc2.SubscribeAll(gw, gateway.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	gw.PublishBatch("cpu@h1", mkBatch(4))
+	if col2.Len() != 4 {
+		t.Fatalf("gateway collector got %d, want 4", col2.Len())
+	}
+	if got := arc2.Store.Stats().Kept; got != 4 {
+		t.Fatalf("gateway archiver kept %d, want 4", got)
+	}
+	// Follow still sees records one at a time, in order.
+	var followed int
+	col2.Follow = func(r ulm.Record) { followed++ }
+	gw.PublishBatch("cpu@h1", mkBatch(3))
+	if followed != 3 {
+		t.Fatalf("follow saw %d", followed)
+	}
+}

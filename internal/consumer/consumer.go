@@ -90,6 +90,24 @@ type Subscriber interface {
 	Subscribe(req gateway.Request, fn func(ulm.Record)) (*gateway.Subscription, error)
 }
 
+// BatchSubscriber is the batch subscription surface of a gateway;
+// *gateway.Gateway satisfies it. Consumers that can ingest whole
+// batches (Collector, Archiver) prefer it when available.
+type BatchSubscriber interface {
+	SubscribeBatch(req gateway.Request, fn func(recs []ulm.Record)) (*gateway.Subscription, error)
+}
+
+// subscribeBatch opens a batch subscription when gw supports it,
+// falling back to per-record delivery otherwise — so consumers work
+// unchanged against minimal Subscriber implementations while riding
+// batch delivery on real gateways.
+func subscribeBatch(gw Subscriber, req gateway.Request, batchFn func([]ulm.Record), fn func(ulm.Record)) (*gateway.Subscription, error) {
+	if bs, ok := gw.(BatchSubscriber); ok {
+		return bs.SubscribeBatch(req, batchFn)
+	}
+	return gw.Subscribe(req, fn)
+}
+
 // Collector gathers events from subscribed sensors in real time and
 // merges them into a single time-ordered log ("data from many sensors
 // ... is then merged into a file for use by programs such as nlv").
@@ -118,11 +136,31 @@ func (c *Collector) Take(rec ulm.Record) {
 	}
 }
 
+// TakeBatch ingests a whole batch under one lock acquisition — the
+// collector's batch-subscription callback. The records are copied in,
+// so the caller's (borrowed) slice is not retained; Follow still
+// receives records one at a time.
+func (c *Collector) TakeBatch(recs []ulm.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.recs = append(c.recs, recs...)
+	follow := c.Follow
+	c.mu.Unlock()
+	if follow != nil {
+		for i := range recs {
+			follow(recs[i])
+		}
+	}
+}
+
 // SubscribeAll opens one subscription per request against a gateway and
-// routes the events into the collector.
+// routes the events into the collector, batch-natively when the
+// gateway supports batch subscriptions.
 func (c *Collector) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 	for _, req := range reqs {
-		sub, err := gw.Subscribe(req, c.Take)
+		sub, err := subscribeBatch(gw, req, c.TakeBatch, c.Take)
 		if err != nil {
 			return err
 		}
@@ -135,9 +173,11 @@ func (c *Collector) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 
 // SubscribeBus routes a bus topic ("" = every topic) into the
 // collector — the way to collect from a local bus that mirrors remote
-// gateways through bridges.
+// gateways through bridges. The subscription is batch-native: a
+// mirrored wire frame lands in the collector with one lock
+// acquisition, not one per record.
 func (c *Collector) SubscribeBus(b *bus.Bus, topic string) {
-	sub := b.Subscribe(topic, nil, c.Take)
+	sub := b.SubscribeBatch(topic, nil, c.TakeBatch)
 	c.AddStop(func() { sub.Cancel() })
 }
 
@@ -216,6 +256,7 @@ type Archiver struct {
 
 	mu        sync.Mutex
 	subs      []*gateway.Subscription
+	stops     []func()
 	batch     []ulm.Record
 	batchSize int
 }
@@ -268,10 +309,35 @@ func (a *Archiver) Take(rec ulm.Record) {
 	a.Store.Append(rec)
 }
 
-// SubscribeAll subscribes the archiver to a gateway.
+// TakeBatch ingests a whole delivered batch: when the archiver is not
+// accumulating (SetBatch <= 1) the batch feeds the store's AppendBatch
+// directly — no intermediate per-record buffering — and in accumulate
+// mode the batch joins the buffer under one lock, flushing at the
+// configured size. This is the native ingest path for archivers riding
+// batch subscriptions.
+func (a *Archiver) TakeBatch(recs []ulm.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.batchSize > 1 {
+		a.batch = append(a.batch, recs...)
+		if len(a.batch) >= a.batchSize {
+			a.flushLocked()
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	a.Store.AppendBatch(recs)
+}
+
+// SubscribeAll subscribes the archiver to a gateway. Delivery is
+// batch-native: each delivered batch reaches the store (or the
+// accumulation buffer) as one AppendBatch, not per-record Appends.
 func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 	for _, req := range reqs {
-		sub, err := gw.Subscribe(req, a.Take)
+		sub, err := subscribeBatch(gw, req, a.TakeBatch, a.Take)
 		if err != nil {
 			return err
 		}
@@ -282,16 +348,30 @@ func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 	return nil
 }
 
+// SubscribeBus routes a bus topic ("" = every topic) into the archiver
+// — the way to archive a local bus mirroring remote gateways through
+// bridges — with batch-native ingest.
+func (a *Archiver) SubscribeBus(b *bus.Bus, topic string) {
+	sub := b.SubscribeBatch(topic, nil, a.TakeBatch)
+	a.mu.Lock()
+	a.stops = append(a.stops, func() { sub.Cancel() })
+	a.mu.Unlock()
+}
+
 // Close cancels the archiver's subscriptions, then flushes any
 // buffered batch — in that order, so records delivered while Close is
 // cancelling still reach the store.
 func (a *Archiver) Close() {
 	a.mu.Lock()
 	subs := a.subs
-	a.subs = nil
+	stops := a.stops
+	a.subs, a.stops = nil, nil
 	a.mu.Unlock()
 	for _, s := range subs {
 		s.Cancel()
+	}
+	for _, stop := range stops {
+		stop()
 	}
 	a.Flush()
 }

@@ -18,8 +18,9 @@ type sample struct {
 }
 
 // summaryState is one summarized series' sliding sample window. Its
-// folding runs as a bus tap on the publish path (serialized per
-// subscription by the bus) while Summary reads from consumer
+// folding runs as a batch bus tap on the publish path — one tap call
+// and one lock acquisition per published batch, possibly from several
+// publishing goroutines at once — while Summary reads from consumer
 // goroutines, so it carries its own lock.
 type summaryState struct {
 	mu      sync.Mutex
@@ -46,9 +47,10 @@ var DefaultSummaryWindows = []time.Duration{time.Minute, 10 * time.Minute, 60 * 
 
 // EnableSummary makes the gateway compute windowed statistics for one
 // (sensor, event, field) series. Empty windows means the paper's
-// 1/10/60-minute defaults. The summary is a silent bus tap on the
-// sensor's topic: it folds samples on the publish path without touching
-// delivery counters.
+// 1/10/60-minute defaults. The summary is a silent batch bus tap on
+// the sensor's topic: it folds each published batch into the window
+// under one state-lock acquisition, on the publish path, without
+// touching delivery counters.
 func (g *Gateway) EnableSummary(sensorName, event, field string, windows ...time.Duration) {
 	if field == "" {
 		field = "VAL"
@@ -59,13 +61,11 @@ func (g *Gateway) EnableSummary(sensorName, event, field string, windows ...time
 	sorted := append([]time.Duration(nil), windows...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	st := &summaryState{windows: sorted}
-	tap := g.bus.Tap(sensorName, func(topic string, rec ulm.Record) {
-		if topic != sensorName || rec.Event != event {
+	tap := g.bus.TapBatch(sensorName, func(topic string, recs []ulm.Record) {
+		if topic != sensorName {
 			return
 		}
-		if v, err := rec.Float(field); err == nil {
-			st.add(g.now(), v)
-		}
+		st.addBatch(g.now(), event, field, recs)
 	})
 	key := summaryKey{sensorName, event, field}
 	g.sumMu.Lock()
@@ -93,10 +93,28 @@ func (g *Gateway) Summary(principal, sensorName, event, field string) ([]Summary
 	return e.st.points(g.now()), nil
 }
 
-func (st *summaryState) add(now time.Time, v float64) {
+// addBatch folds one published batch into the window: scan for
+// matching samples, append them, and trim the window once — one lock
+// acquisition per batch instead of per record.
+func (st *summaryState) addBatch(now time.Time, event, field string, recs []ulm.Record) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.samples = append(st.samples, sample{now, v})
+	folded := false
+	for i := range recs {
+		if recs[i].Event != event {
+			continue
+		}
+		if v, err := recs[i].Float(field); err == nil {
+			st.samples = append(st.samples, sample{now, v})
+			folded = true
+		}
+	}
+	if folded {
+		st.trimLocked(now)
+	}
+}
+
+func (st *summaryState) trimLocked(now time.Time) {
 	maxWin := st.windows[len(st.windows)-1]
 	cutoff := now.Add(-maxWin)
 	trim := 0

@@ -138,8 +138,9 @@ type WireStats struct {
 // Drops returns the total loss counter the server answers pings with.
 func (w WireStats) Drops() uint64 { return w.BadRecords + w.BadLines + w.SubDrops }
 
-// wireSubChanDepth is the per-subscription buffer between the bus and
-// a subscriber connection; a variable so tests can force drops.
+// wireSubChanDepth is the per-subscription buffer (in records) between
+// the bus and a subscriber connection; a variable so tests can force
+// drops.
 var wireSubChanDepth = 256
 
 // maxBatchRecords caps a batch size in either direction, bounding
@@ -183,10 +184,12 @@ type TCPServer struct {
 	wg       sync.WaitGroup
 }
 
-// subConn is one subscriber connection's drain state: its bounded
-// channel plus the records dequeued into a not-yet-flushed batch.
+// subConn is one subscriber connection's drain state: its subscription
+// (whose ChanBacklog counts records buffered behind the batch channel)
+// plus the records dequeued into a not-yet-flushed wire frame.
 type subConn struct {
-	ch      <-chan TopicRecord
+	sub     *Subscription
+	ch      <-chan TopicBatch
 	pending atomic.Int64
 }
 
@@ -332,7 +335,10 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 }
 
 // handlePublish feeds a publish frame — single-record or batched —
-// into the gateway, counting undecodable records.
+// into the gateway, counting undecodable records. A batched frame is
+// ingested as whole per-sensor batches (PublishBatch per run of
+// consecutive same-sensor records), so a coalesced publisher pays one
+// gateway fan-out per run instead of one per record.
 func (t *TCPServer) handlePublish(conn net.Conn, req wireRequest, loggedBadRecord *bool) {
 	noteBad := func(err error) {
 		t.badRecords.Add(1)
@@ -350,6 +356,14 @@ func (t *TCPServer) handlePublish(conn net.Conn, req wireRequest, loggedBadRecor
 		t.gw.Publish(req.Sensor, rec)
 		return
 	}
+	var batch []ulm.Record
+	runSensor := ""
+	flush := func() {
+		if len(batch) > 0 {
+			t.gw.PublishBatch(runSensor, batch)
+			batch = batch[:0]
+		}
+	}
 	for _, ev := range req.Recs {
 		rec, err := decodeRecord(req.Format, ev.Rec)
 		if err != nil {
@@ -360,8 +374,13 @@ func (t *TCPServer) handlePublish(conn net.Conn, req wireRequest, loggedBadRecor
 		if sensor == "" {
 			sensor = req.Sensor
 		}
-		t.gw.Publish(sensor, rec)
+		if sensor != runSensor {
+			flush()
+			runSensor = sensor
+		}
+		batch = append(batch, rec)
 	}
+	flush()
 }
 
 func (t *TCPServer) handle(req wireRequest) wireResponse {
@@ -413,10 +432,11 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 	if batchWait > maxBatchWait {
 		batchWait = maxBatchWait
 	}
-	// Records flow through a bounded channel so the gateway's Publish
+	// Batches flow through a bounded channel so the gateway's publish
 	// path is never blocked by a slow consumer connection; drops are
-	// counted per subscription and server-wide.
-	sub, ch, err := t.gw.SubscribeChan(req.Request, wireSubChanDepth, func() { t.subDrops.Add(1) })
+	// counted per record, per subscription, and server-wide — a shed
+	// batch counts every record it carried.
+	sub, ch, err := t.gw.SubscribeBatchChan(req.Request, wireSubChanDepth, func(n int) { t.subDrops.Add(uint64(n)) })
 	if err != nil {
 		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
 		return
@@ -425,7 +445,7 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 	// Register the drain state so DrainSubscribers can tell when every
 	// in-flight record — buffered in the channel or dequeued into a
 	// partial batch — has been written out.
-	ss := &subConn{ch: ch}
+	ss := &subConn{sub: sub, ch: ch}
 	t.mu.Lock()
 	t.subConns[ss] = struct{}{}
 	t.mu.Unlock()
@@ -471,30 +491,35 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 	}
 	for {
 		select {
-		case it := <-ch:
-			payload, err := encodeRecord(req.Format, it.Rec)
-			if err != nil {
-				// A record this format cannot carry (e.g. an XML-hostile
-				// byte in a field) is a wire drop like any other: count
-				// it on the subscription and keep the stream alive.
-				sub.wireDrops.Add(1)
-				t.subDrops.Add(1)
-				continue
-			}
-			if batchMax == 1 {
-				// Single-record frames: the wire-compatible format.
-				if !emit(wireResponse{OK: true, Sensor: it.Sensor, Rec: payload}) {
-					return
+		case tb := <-ch:
+			for i := range tb.Recs {
+				payload, err := encodeRecord(req.Format, tb.Recs[i])
+				if err != nil {
+					// A record this format cannot carry (e.g. an
+					// XML-hostile byte in a field) is a wire drop like
+					// any other: count it — per record — on the
+					// subscription and keep the stream alive, and the
+					// rest of the batch with it.
+					sub.wireDrops.Add(1)
+					t.subDrops.Add(1)
+					continue
 				}
-				continue
-			}
-			batch = append(batch, wireEvent{Sensor: it.Sensor, Rec: payload})
-			ss.pending.Store(int64(len(batch)))
-			if len(batch) >= batchMax {
-				if !flush() {
-					return
+				if batchMax == 1 {
+					// Single-record frames: the wire-compatible format.
+					if !emit(wireResponse{OK: true, Sensor: tb.Sensor, Rec: payload}) {
+						return
+					}
+					continue
 				}
-			} else if timerC == nil {
+				batch = append(batch, wireEvent{Sensor: tb.Sensor, Rec: payload})
+				ss.pending.Store(int64(len(batch)))
+				if len(batch) >= batchMax {
+					if !flush() {
+						return
+					}
+				}
+			}
+			if len(batch) > 0 && timerC == nil {
 				timer = time.NewTimer(batchWait)
 				timerC = timer.C
 			}
@@ -533,7 +558,7 @@ func (t *TCPServer) DrainSubscribers(timeout time.Duration) bool {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		for ss := range t.subConns {
-			if len(ss.ch) > 0 || ss.pending.Load() > 0 {
+			if ss.sub.ChanBacklog() > 0 || len(ss.ch) > 0 || ss.pending.Load() > 0 {
 				return false
 			}
 		}
@@ -757,6 +782,69 @@ func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 	return nil
 }
 
+// PublishBatch sends a batch of one sensor's records, preserving their
+// order. On a batching publisher the records join the buffered frame
+// (flushed at the record/byte caps as usual); on a single-frame
+// publisher (maxRecs <= 1) each record goes out as its own
+// wire-compatible frame. An unencodable record aborts the call before
+// any of the batch is buffered; a write error surfaces like Publish's.
+//
+// written reports how many of this batch's records were carried by
+// frames whose write succeeded during the call (len(recs) on a nil
+// error, where buffered-not-yet-flushed records count as accepted) —
+// the signal a retrying caller needs to avoid re-sending records that
+// already reached the wire. Records lost with a failed frame are
+// counted in Dropped, never silently.
+func (p *Publisher) PublishBatch(sensor string, recs []ulm.Record) (written int, err error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	payloads := make([]string, len(recs))
+	for i := range recs {
+		payload, err := encodeRecord(p.format, recs[i])
+		if err != nil {
+			return 0, err
+		}
+		payloads[i] = payload
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.closed {
+		return 0, fmt.Errorf("gateway: publisher closed")
+	}
+	if p.maxRecs <= 1 {
+		for _, payload := range payloads {
+			err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+			if err != nil {
+				p.err = err
+				p.dropped++
+				return written, err
+			}
+			written++
+		}
+		return written, nil
+	}
+	for i, payload := range payloads {
+		p.buf = append(p.buf, wireEvent{Sensor: sensor, Rec: payload})
+		p.bufBytes += len(sensor) + len(payload)
+		if len(p.buf) >= p.maxRecs || p.bufBytes >= maxBatchBytes {
+			if err := p.flushLocked(); err != nil {
+				return written, err
+			}
+			// The flushed frame carried this batch's records up to and
+			// including the i-th.
+			written = i + 1
+		}
+	}
+	if len(p.buf) > 0 && p.timer == nil && p.maxWait > 0 {
+		p.timer = time.AfterFunc(p.maxWait, func() { p.Flush() }) //nolint:errcheck
+	}
+	return len(recs), nil
+}
+
 // Flush sends any buffered batch immediately.
 func (p *Publisher) Flush() error {
 	p.mu.Lock()
@@ -865,8 +953,23 @@ func (s *Stream) Close() {
 // SubscribeStream opens a streaming subscription carrying each record
 // together with the sensor (bus topic) it was published under — the
 // form bus-to-bus bridges need to mirror topics. fn runs on the
-// stream's reader goroutine.
+// stream's reader goroutine. It is an adapter over SubscribeBatchStream
+// (one record per callback).
 func (c *Client) SubscribeStream(req Request, opts StreamOptions, fn func(sensor string, rec ulm.Record)) (*Stream, error) {
+	return c.SubscribeBatchStream(req, opts, func(sensor string, recs []ulm.Record) {
+		for i := range recs {
+			fn(sensor, recs[i])
+		}
+	})
+}
+
+// SubscribeBatchStream opens a streaming subscription delivering whole
+// batches: fn receives each run of consecutive same-sensor records of
+// a received wire frame as one slice, on the stream's reader
+// goroutine. The slice is only valid for the duration of the call;
+// copy it to retain records. This is the ingest form batch consumers
+// (bridges republishing into a local bus, batch archivers) ride.
+func (c *Client) SubscribeBatchStream(req Request, opts StreamOptions, fn func(sensor string, recs []ulm.Record)) (*Stream, error) {
 	conn, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -900,9 +1003,10 @@ func (c *Client) SubscribeStream(req Request, opts StreamOptions, fn func(sensor
 	return st, nil
 }
 
-func (s *Stream) readLoop(dec *json.Decoder, format string, fn func(sensor string, rec ulm.Record)) {
+func (s *Stream) readLoop(dec *json.Decoder, format string, fn func(sensor string, recs []ulm.Record)) {
 	defer close(s.done)
 	defer s.Close()
+	var batch []ulm.Record
 	for {
 		var resp wireResponse
 		if err := dec.Decode(&resp); err != nil {
@@ -918,19 +1022,39 @@ func (s *Stream) readLoop(dec *json.Decoder, format string, fn func(sensor strin
 		if resp.Drops > s.drops.Load() {
 			s.drops.Store(resp.Drops)
 		}
-		take := func(sensor, payload string) {
-			rec, err := decodeRecord(format, payload)
-			if err != nil {
-				s.decodeErrs.Add(1)
-				return
+		// Decode the frame into per-sensor batches: consecutive records
+		// of one sensor form one callback. Undecodable payloads are
+		// counted per record; the rest of the frame still delivers.
+		runSensor := ""
+		batch = batch[:0]
+		flush := func() {
+			if len(batch) > 0 {
+				fn(runSensor, batch)
+				batch = batch[:0]
 			}
-			fn(sensor, rec)
 		}
 		for _, ev := range resp.Recs {
-			take(ev.Sensor, ev.Rec)
+			rec, err := decodeRecord(format, ev.Rec)
+			if err != nil {
+				s.decodeErrs.Add(1)
+				continue
+			}
+			if ev.Sensor != runSensor {
+				flush()
+				runSensor = ev.Sensor
+			}
+			batch = append(batch, rec)
 		}
+		flush()
 		if resp.Rec != "" {
-			take(resp.Sensor, resp.Rec)
+			rec, err := decodeRecord(format, resp.Rec)
+			if err != nil {
+				s.decodeErrs.Add(1)
+				continue
+			}
+			runSensor = resp.Sensor
+			batch = append(batch, rec)
+			flush()
 		}
 	}
 }

@@ -226,6 +226,46 @@ func (r *Router) Publish(sensor string, rec ulm.Record) error {
 	return nil
 }
 
+// PublishBatch routes a batch of one sensor's records to the owning
+// gateway over its persistent batched publisher — the bulk form
+// forwarding daemons use, one routing decision and one buffered append
+// per batch. A dead connection is retried once against a freshly
+// resolved owner, like Publish — but only when none of the batch
+// reached the wire, so a failure mid-way through a multi-frame batch
+// never duplicates the frames already written: the un-sent remainder
+// is counted in Stats.PublishDrops instead (observable, never silent).
+func (r *Router) PublishBatch(sensor string, recs []ulm.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	addr := r.cachedOwner(sensor)
+	if p, err := r.publisher(addr); err == nil {
+		written, err := p.PublishBatch(sensor, recs)
+		if err == nil {
+			return nil
+		}
+		r.dropPublisher(addr, p)
+		if written > 0 {
+			return fmt.Errorf("router: publish batch %s via %s: %d/%d records written before failure (remainder counted dropped, not retried): %w",
+				sensor, addr, written, len(recs), err)
+		}
+	}
+	// Nothing reached the wire: the cached placement may be stale
+	// (gateway moved or died) — re-resolve and retry once.
+	r.publishRetries.Add(1)
+	r.owners.Delete(sensor)
+	addr = r.cachedOwner(sensor)
+	p, err := r.publisher(addr)
+	if err != nil {
+		return fmt.Errorf("router: publish batch %s via %s: %w", sensor, addr, err)
+	}
+	if _, err := p.PublishBatch(sensor, recs); err != nil {
+		r.dropPublisher(addr, p)
+		return fmt.Errorf("router: publish batch %s via %s: %w", sensor, addr, err)
+	}
+	return nil
+}
+
 // Flush pushes every publisher's buffered batch to its gateway.
 func (r *Router) Flush() error {
 	var firstErr error

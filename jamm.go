@@ -129,6 +129,12 @@ type (
 // Event bus (internal/bus): the sharded publish/subscribe core under
 // every gateway, exposed for deployments that want raw topic
 // subscriptions, silent taps, or batched asynchronous publishing.
+// Batches are the native delivery unit end to end: Bus.PublishBatch /
+// Gateway.PublishBatch fan a whole []Record out in one pass,
+// SubscribeBatch-style subscriptions receive it as one slice, and
+// Router.PublishBatch, GatewayPublisher.PublishBatch and the bridge
+// carry batches across the wire — single-record Publish/Subscribe are
+// thin adapters over the same path.
 type (
 	// EventBus is a sharded publish/subscribe core.
 	EventBus = bus.Bus
@@ -172,6 +178,12 @@ type (
 	StreamOptions = gateway.StreamOptions
 	// WireStats counts wire-path loss at a gateway server.
 	WireStats = gateway.WireStats
+	// TopicRecord is one delivered record with its sensor (bus topic) —
+	// the unit Gateway.SubscribeChan delivers.
+	TopicRecord = gateway.TopicRecord
+	// TopicBatch is one delivered batch with its sensor — the unit
+	// Gateway.SubscribeBatchChan delivers.
+	TopicBatch = gateway.TopicBatch
 	// Bridge mirrors a remote gateway's topics into a local bus or
 	// gateway, with batched frames and reconnect-with-backoff.
 	Bridge = bridge.Bridge
