@@ -20,10 +20,18 @@
 // the owning gateway by lookup with ring placement as the fallback.
 // The advertisements are withdrawn on drained shutdown.
 //
+// Gateways also remember: -archive names a directory for the
+// persistent history plane. Every published record is filed into a
+// disk-backed segmented archive (internal/histstore) and served back
+// over the wire protocol's history op — so `jammctl history` answers
+// time-range queries across daemon restarts. Retention is whole-
+// segment pruning by -archive-retain-age / -archive-retain-bytes.
+//
 //	gatewayd -addr 127.0.0.1:9100 -name gw.lbl.gov \
 //	    -summary 'cpu/VMSTAT_SYS_TIME/VAL' \
 //	    -ring 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 \
-//	    -dir 127.0.0.1:9300 -async 1024
+//	    -dir 127.0.0.1:9300 -async 1024 \
+//	    -archive /var/lib/jamm/history -archive-retain-bytes 1073741824
 package main
 
 import (
@@ -37,8 +45,10 @@ import (
 	"time"
 
 	"jamm/internal/bridge"
+	"jamm/internal/consumer"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/histstore"
 	"jamm/internal/ring"
 	"jamm/internal/router"
 )
@@ -51,6 +61,11 @@ func main() {
 	ringFlag := flag.String("ring", "", "comma-separated gateway addresses of this sharded site, including this gateway")
 	advertise := flag.String("advertise", "", "address advertised as this gateway's in directory ownership entries (default -addr)")
 	dirBase := flag.String("dirbase", "ou=sensors,o=jamm", "base DN for sensor ownership entries")
+	archiveDir := flag.String("archive", "", "directory for the persistent event archive (enables the wire history op)")
+	archiveSeg := flag.Int64("archive-seg", 0, "archive segment roll threshold in bytes (0 = 4MiB default)")
+	archiveRetainAge := flag.Duration("archive-retain-age", 0, "prune archive segments whose newest record is older than this (0 = keep all)")
+	archiveRetainBytes := flag.Int64("archive-retain-bytes", 0, "prune oldest archive segments while the archive exceeds this many bytes (0 = keep all)")
+	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every appended batch (durability vs. throughput)")
 	var summaries, peers, dirs multiFlag
 	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
 	flag.Var(&peers, "peer", "upstream gateway address whose topics are mirrored into this gateway (repeatable)")
@@ -101,10 +116,38 @@ func main() {
 		}
 	}
 
+	// Persistent history plane: every record published through this
+	// gateway is filed into a disk-backed segmented archive and served
+	// by the wire history op, surviving daemon restarts.
+	var hist *histstore.Store
+	var archiver *consumer.Archiver
+	if *archiveDir != "" {
+		var err error
+		hist, err = histstore.Open(*archiveDir, histstore.Options{
+			MaxSegmentBytes: *archiveSeg,
+			RetainAge:       *archiveRetainAge,
+			RetainBytes:     *archiveRetainBytes,
+			Sync:            *archiveSync,
+		})
+		if err != nil {
+			log.Fatalf("gatewayd: open archive: %v", err)
+		}
+		st := hist.Stats()
+		if st.Records > 0 {
+			log.Printf("gatewayd: archive %s: %d records in %d segments (%d bytes)", *archiveDir, st.Records, st.Segments, st.Bytes)
+		}
+		// Disk-only archiver riding the bus's batch delivery: one frame
+		// and one write syscall per delivered batch, keyed by topic.
+		archiver = consumer.NewArchiver(nil)
+		archiver.SetHistory(hist)
+		archiver.SubscribeBus(gw.Bus(), "")
+	}
+
 	srv, err := gateway.ServeTCP(gw, *addr, nil)
 	if err != nil {
 		log.Fatalf("gatewayd: %v", err)
 	}
+	srv.SetHistory(hist)
 
 	var bridges []*bridge.Bridge
 	for _, peer := range peers {
@@ -117,8 +160,8 @@ func main() {
 	if siteRing != nil {
 		ringSize = siteRing.Len()
 	}
-	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d ring=%d dir=%d)\n",
-		*name, srv.Addr(), len(peers), *async, ringSize, len(dirs))
+	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d ring=%d dir=%d archive=%s)\n",
+		*name, srv.Addr(), len(peers), *async, ringSize, len(dirs), *archiveDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -134,6 +177,17 @@ func main() {
 	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
 	gw.StopAsync()
+	if archiver != nil {
+		// Delivery has drained, so every published record has reached
+		// the archiver; seal the archive so the next run serves it.
+		archiver.Close()
+		if n := archiver.HistErrors(); n > 0 {
+			log.Printf("gatewayd: archive: %d batches failed to persist", n)
+		}
+		if err := hist.Close(); err != nil {
+			log.Printf("gatewayd: archive close: %v", err)
+		}
+	}
 	if ann != nil {
 		// Stop routing clients at a dead gateway: drain queued
 		// advertisements, then withdraw everything this gateway owns.

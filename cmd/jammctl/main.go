@@ -6,9 +6,15 @@
 //	jammctl query -gw 127.0.0.1:9200 -sensor cpu -event VMSTAT_SYS_TIME
 //	jammctl subscribe -gw 127.0.0.1:9200 -sensor cpu -mode change
 //	jammctl summary -gw 127.0.0.1:9200 -sensor cpu -event VMSTAT_SYS_TIME
+//	jammctl history -gw 127.0.0.1:9200 -sensor cpu -from 30m -to now
 //	jammctl sensor-start -control 127.0.0.1:9201 -name netstat
 //	jammctl sensor-stop  -control 127.0.0.1:9201 -name netstat
 //	jammctl status -control 127.0.0.1:9201
+//
+// history queries the gateway's persistent archive (gatewayd -archive)
+// over the wire: -from/-to accept a ULM DATE (20000330112320.957943),
+// an RFC 3339 timestamp, "now", or a duration meaning that long ago
+// ("30m", "24h").
 package main
 
 import (
@@ -28,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|sensor-start|sensor-stop|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|history|sensor-start|sensor-stop|status> [flags]")
 	os.Exit(2)
 }
 
@@ -48,6 +54,8 @@ func main() {
 		cmdSubscribe(args)
 	case "summary":
 		cmdSummary(args)
+	case "history":
+		cmdHistory(args)
 	case "sensor-start", "sensor-stop":
 		cmdControl(strings.TrimPrefix(cmd, "sensor-"), args)
 	case "status":
@@ -160,6 +168,66 @@ func cmdSummary(args []string) {
 	for _, p := range pts {
 		fmt.Printf("%-8s avg=%-10.3f min=%-10.3f max=%-10.3f n=%d\n",
 			p.Window, p.Avg, p.Min, p.Max, p.Count)
+	}
+}
+
+// parseWhen turns a -from/-to value into a timestamp: "" = unbounded,
+// "now" = now, a bare duration = that long ago, else a ULM DATE or
+// RFC 3339 timestamp.
+func parseWhen(s string) (time.Time, error) {
+	switch {
+	case s == "":
+		return time.Time{}, nil
+	case s == "now":
+		return time.Now().UTC(), nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			d = -d
+		}
+		return time.Now().UTC().Add(-d), nil
+	}
+	if t, err := ulm.ParseDate(s); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("bad time %q (want ULM DATE, RFC 3339, a duration like 30m, or now)", s)
+}
+
+func cmdHistory(args []string) {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	gw := fs.String("gw", "127.0.0.1:9200", "gateway address")
+	sensor := fs.String("sensor", "", "sensor name (empty = all sensors)")
+	events := fs.String("events", "", "comma-separated event filter")
+	from := fs.String("from", "", "range start: ULM DATE, RFC 3339, a duration ago (30m), or now")
+	to := fs.String("to", "", "range end (exclusive), same forms; empty = unbounded")
+	batch := fs.Int("batch", 0, "records per response frame (0 = server default)")
+	showSensor := fs.Bool("topics", false, "prefix each record with its sensor topic")
+	fs.Parse(args) //nolint:errcheck
+
+	hr := gateway.HistoryRequest{Sensor: *sensor, BatchMax: *batch}
+	if *events != "" {
+		hr.Events = strings.Split(*events, ",")
+	}
+	var err error
+	if hr.From, err = parseWhen(*from); err != nil {
+		die(err)
+	}
+	if hr.To, err = parseWhen(*to); err != nil {
+		die(err)
+	}
+	recs, err := gateway.NewClient("jammctl", *gw).History(hr)
+	if err != nil {
+		die(err)
+	}
+	for _, tr := range recs {
+		if *showSensor {
+			fmt.Printf("%s\t%s\n", tr.Sensor, tr.Rec)
+		} else {
+			fmt.Println(tr.Rec)
+		}
 	}
 }
 

@@ -12,10 +12,14 @@ type asyncItem struct {
 	flush chan<- struct{}
 }
 
-// asyncCoalesceMax bounds how many queued records a worker folds into
-// one delivered batch. Large enough to amortize the per-batch lock and
-// merge cost at fan-out, small enough that one topic's storm cannot
-// monopolize a worker for unbounded stretches.
+// asyncCoalesceMax is the ceiling on how many queued records a worker
+// folds into one delivered batch. Large enough to amortize the
+// per-batch lock and merge cost at fan-out, small enough that one
+// topic's storm cannot monopolize a worker for unbounded stretches.
+// The actual batch size is adaptive: each delivery is sized to the
+// backlog present when it starts (see drain), so an idle bus delivers
+// single records at minimum latency and a backlogged one approaches
+// the ceiling.
 const asyncCoalesceMax = 256
 
 // StartAsync switches the bus into batched asynchronous mode: Publish
@@ -51,9 +55,18 @@ func (b *Bus) StartAsync(queueLen int) {
 
 // drain delivers one shard queue. It coalesces consecutive same-topic
 // records into one batch per delivery, stopping a batch at a topic
-// change, a flush token, or asyncCoalesceMax records — so the Flush
-// barrier still means "everything enqueued before the token has been
+// change, a flush token, or its adaptive target — so the Flush barrier
+// still means "everything enqueued before the token has been
 // delivered", and per-topic order is untouched.
+//
+// The target is the live backlog observed when the batch starts
+// (clamped to the asyncCoalesceMax ceiling), not the ceiling itself:
+// a lightly loaded queue delivers small batches immediately instead of
+// greedily absorbing records that arrive during its own delivery
+// window, which bounds the first queued record's latency and keeps a
+// continuous publisher from pinning the worker at the cap. Chosen
+// sizes are observable in Stats (AsyncBatches / AsyncBatchRecords /
+// AsyncMaxBatch).
 func (b *Bus) drain(q chan asyncItem) {
 	defer b.workers.Done()
 	var buf []ulm.Record
@@ -79,9 +92,17 @@ func (b *Bus) drain(q chan asyncItem) {
 		} else {
 			buf = append(buf, it.rec)
 		}
+		// Adaptive coalescing: size this delivery to the backlog that
+		// exists now. len(q) counts queued items (a floor on records —
+		// an item may carry a whole batch), so the target tracks the
+		// backlog without scanning it.
+		target := len(buf) + len(q)
+		if target > asyncCoalesceMax {
+			target = asyncCoalesceMax
+		}
 		closed := false
 	coalesce:
-		for len(buf) < asyncCoalesceMax {
+		for len(buf) < target {
 			select {
 			case next, ok := <-q:
 				if !ok {
@@ -103,8 +124,21 @@ func (b *Bus) drain(q chan asyncItem) {
 				break coalesce
 			}
 		}
+		b.noteAsyncBatch(len(buf))
 		b.deliverBatch(it.topic, buf, nil)
 		if closed {
+			return
+		}
+	}
+}
+
+// noteAsyncBatch records one async delivery's chosen batch size.
+func (b *Bus) noteAsyncBatch(n int) {
+	b.asyncBatches.Add(1)
+	b.asyncBatchRecs.Add(uint64(n))
+	for {
+		max := b.asyncMaxBatch.Load()
+		if uint64(n) <= max || b.asyncMaxBatch.CompareAndSwap(max, uint64(n)) {
 			return
 		}
 	}

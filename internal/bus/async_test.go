@@ -91,6 +91,83 @@ func TestAsyncStopDrainsQueue(t *testing.T) {
 	}
 }
 
+// TestAsyncAdaptiveCoalescing pins the adaptive batch sizing: a
+// worker blocked behind a slow delivery returns to find a backlog and
+// delivers it as a few backlog-sized batches (up to the 256 ceiling),
+// and the chosen sizes are visible in Stats.
+func TestAsyncAdaptiveCoalescing(t *testing.T) {
+	b := New(Options{Shards: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var batchSizes []int
+	first := true
+	b.SubscribeBatch("s", nil, func(recs []ulm.Record) {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(recs))
+		mu.Unlock()
+		if first { // only the delivering worker runs this; no race
+			first = false
+			close(started)
+			<-release
+		}
+	})
+	b.StartAsync(1024)
+	b.Publish("s", rec("E"))
+	<-started // the worker is now wedged mid-delivery
+	const backlog = 600
+	for i := 0; i < backlog; i++ {
+		b.Publish("s", rec("E"))
+	}
+	close(release)
+	b.Flush()
+	b.StopAsync()
+
+	st := b.Stats()
+	if st.AsyncBatchRecords != backlog+1 {
+		t.Fatalf("AsyncBatchRecords = %d, want %d", st.AsyncBatchRecords, backlog+1)
+	}
+	if st.AsyncBatches == 0 || st.AsyncBatches != uint64(len(batchSizes)) {
+		t.Fatalf("AsyncBatches = %d, delivered %d batches", st.AsyncBatches, len(batchSizes))
+	}
+	// The backlog must coalesce into large batches bounded by the
+	// ceiling — not dribble out record by record, not exceed the cap.
+	if st.AsyncMaxBatch < 200 {
+		t.Fatalf("AsyncMaxBatch = %d; a %d-record backlog should coalesce near the ceiling", st.AsyncMaxBatch, backlog)
+	}
+	if st.AsyncMaxBatch > asyncCoalesceMax {
+		t.Fatalf("AsyncMaxBatch = %d exceeds the %d ceiling", st.AsyncMaxBatch, asyncCoalesceMax)
+	}
+	if len(batchSizes) > 12 {
+		t.Fatalf("backlog drained in %d deliveries; adaptive sizing should need only a few", len(batchSizes))
+	}
+}
+
+// TestAsyncStatsQuietBus: an idle-ish bus (no backlog) delivers
+// batches of one — the adaptive floor — so latency never waits on a
+// coalescing window.
+func TestAsyncStatsQuietBus(t *testing.T) {
+	b := New(Options{Shards: 1})
+	var n atomic.Int64
+	b.Subscribe("s", nil, func(ulm.Record) { n.Add(1) })
+	b.StartAsync(64)
+	for i := 0; i < 5; i++ {
+		b.Publish("s", rec("E"))
+		b.Flush() // barrier after each: the worker never sees a backlog
+	}
+	b.StopAsync()
+	st := b.Stats()
+	if n.Load() != 5 || st.AsyncBatchRecords != 5 {
+		t.Fatalf("delivered %d records, stats say %d", n.Load(), st.AsyncBatchRecords)
+	}
+	if st.AsyncMaxBatch != 1 {
+		t.Fatalf("AsyncMaxBatch = %d on a quiet bus, want 1", st.AsyncMaxBatch)
+	}
+	if st.AsyncBatches != 5 {
+		t.Fatalf("AsyncBatches = %d, want 5", st.AsyncBatches)
+	}
+}
+
 func TestAsyncStartStopIdempotent(t *testing.T) {
 	b := New(Options{Shards: 2})
 	b.StopAsync() // no-op before start

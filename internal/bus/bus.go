@@ -81,6 +81,17 @@ type Stats struct {
 	Delivered uint64
 	// Suppressed counts records withheld by subscription hooks.
 	Suppressed uint64
+	// AsyncBatches counts deliveries performed by async queue workers;
+	// AsyncBatchRecords is the records they carried, so
+	// AsyncBatchRecords/AsyncBatches is the mean adaptive batch size
+	// and AsyncMaxBatch the largest single delivery. Worker coalescing
+	// is capped at 256 records, but a single oversized PublishBatch
+	// passes through whole (batch integrity is preserved), so
+	// AsyncMaxBatch can exceed the coalescing ceiling when callers
+	// publish larger batches.
+	AsyncBatches      uint64
+	AsyncBatchRecords uint64
+	AsyncMaxBatch     uint64
 }
 
 // Options configures a Bus.
@@ -121,6 +132,12 @@ type Bus struct {
 	published  atomic.Uint64
 	delivered  atomic.Uint64
 	suppressed atomic.Uint64
+
+	// Async delivery sizing (async.go): batches delivered by queue
+	// workers, records they carried, and the largest chosen batch.
+	asyncBatches   atomic.Uint64
+	asyncBatchRecs atomic.Uint64
+	asyncMaxBatch  atomic.Uint64
 
 	// Async mode state (async.go).
 	asyncMu sync.Mutex
@@ -170,9 +187,12 @@ func (b *Bus) ShardOf(topic string) int { return int(HashTopic(topic) & b.mask) 
 // Stats returns a snapshot of the traffic counters.
 func (b *Bus) Stats() Stats {
 	return Stats{
-		Published:  b.published.Load(),
-		Delivered:  b.delivered.Load(),
-		Suppressed: b.suppressed.Load(),
+		Published:         b.published.Load(),
+		Delivered:         b.delivered.Load(),
+		Suppressed:        b.suppressed.Load(),
+		AsyncBatches:      b.asyncBatches.Load(),
+		AsyncBatchRecords: b.asyncBatchRecs.Load(),
+		AsyncMaxBatch:     b.asyncMaxBatch.Load(),
 	}
 }
 

@@ -15,14 +15,17 @@ package consumer
 import (
 	"fmt"
 	"io"
+	"log"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"jamm/internal/archive"
 	"jamm/internal/bus"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/histstore"
 	"jamm/internal/ulm"
 )
 
@@ -118,8 +121,16 @@ type Collector struct {
 	subs  []*gateway.Subscription
 	stops []func()
 	// Follow, if set, additionally receives every record as it
-	// arrives — the hook real-time viewers (nlv follow mode) use.
+	// arrives — the hook real-time viewers (nlv follow mode) use. It
+	// is the per-record adapter: a delivered batch invokes it once per
+	// record, in record order.
 	Follow func(ulm.Record)
+	// FollowBatch, if set, receives each delivered batch as one slice
+	// — the batch-native follow hook, one callback per batch no matter
+	// how many records it carries. The slice is borrowed: valid only
+	// during the call. Follow and FollowBatch are independent; both
+	// run when both are set.
+	FollowBatch func(recs []ulm.Record)
 }
 
 // NewCollector returns an empty collector.
@@ -130,7 +141,12 @@ func (c *Collector) Take(rec ulm.Record) {
 	c.mu.Lock()
 	c.recs = append(c.recs, rec)
 	follow := c.Follow
+	followB := c.FollowBatch
 	c.mu.Unlock()
+	if followB != nil {
+		one := [1]ulm.Record{rec}
+		followB(one[:])
+	}
 	if follow != nil {
 		follow(rec)
 	}
@@ -138,8 +154,8 @@ func (c *Collector) Take(rec ulm.Record) {
 
 // TakeBatch ingests a whole batch under one lock acquisition — the
 // collector's batch-subscription callback. The records are copied in,
-// so the caller's (borrowed) slice is not retained; Follow still
-// receives records one at a time.
+// so the caller's (borrowed) slice is not retained; FollowBatch
+// receives the batch in one call, Follow one record at a time.
 func (c *Collector) TakeBatch(recs []ulm.Record) {
 	if len(recs) == 0 {
 		return
@@ -147,7 +163,11 @@ func (c *Collector) TakeBatch(recs []ulm.Record) {
 	c.mu.Lock()
 	c.recs = append(c.recs, recs...)
 	follow := c.Follow
+	followB := c.FollowBatch
 	c.mu.Unlock()
+	if followB != nil {
+		followB(recs)
+	}
 	if follow != nil {
 		for i := range recs {
 			follow(recs[i])
@@ -250,7 +270,10 @@ func (c *Collector) WriteNetLogger(w io.Writer) error {
 }
 
 // Archiver is the archiver agent: a consumer that files events into an
-// archive store and describes the archive in the directory.
+// archive store and describes the archive in the directory. With a
+// history store attached (SetHistory) every ingested batch is also
+// persisted to disk, so the archive outlives the process; the
+// in-memory Store stays as the hot read cache.
 type Archiver struct {
 	Store *archive.Store
 
@@ -259,11 +282,50 @@ type Archiver struct {
 	stops     []func()
 	batch     []ulm.Record
 	batchSize int
+	hist      *histstore.Store
+
+	histErrs    atomic.Uint64
+	histLogOnce sync.Once
 }
 
-// NewArchiver returns an archiver over the given store.
+// NewArchiver returns an archiver over the given store. store may be
+// nil for a disk-only archiver (SetHistory attaches the persistent
+// store; there is no in-memory cache to read or publish entries from).
 func NewArchiver(store *archive.Store) *Archiver {
 	return &Archiver{Store: store}
+}
+
+// SetHistory attaches a persistent history store: every batch the
+// archiver ingests is appended to it (under the record's bus topic,
+// when the subscription carries one) in addition to the in-memory
+// store. The archiver does not own the history store — the caller
+// opens and closes it. nil detaches.
+func (a *Archiver) SetHistory(h *histstore.Store) {
+	a.mu.Lock()
+	a.hist = h
+	a.mu.Unlock()
+}
+
+// HistErrors counts batches the history store failed to persist
+// (logged once, counted always — never silent).
+func (a *Archiver) HistErrors() uint64 { return a.histErrs.Load() }
+
+// persist appends one ingested batch to the attached history store,
+// if any. The in-memory store keeps serving reads when disk fails;
+// failures are counted.
+func (a *Archiver) persist(topic string, recs []ulm.Record) {
+	a.mu.Lock()
+	h := a.hist
+	a.mu.Unlock()
+	if h == nil || len(recs) == 0 {
+		return
+	}
+	if err := h.AppendBatch(topic, recs); err != nil {
+		a.histErrs.Add(1)
+		a.histLogOnce.Do(func() {
+			log.Printf("consumer: archiver: history append failed: %v (counting further failures silently)", err)
+		})
+	}
 }
 
 // SetBatch enables batched ingest: records accumulate in the archiver
@@ -289,36 +351,37 @@ func (a *Archiver) Flush() {
 // archiver's, so holding a.mu across AppendBatch cannot deadlock.
 func (a *Archiver) flushLocked() {
 	if len(a.batch) > 0 {
-		a.Store.AppendBatch(a.batch)
+		if a.Store != nil {
+			a.Store.AppendBatch(a.batch)
+		}
 		a.batch = a.batch[:0]
 	}
 }
 
-// Take ingests one record.
+// Take ingests one record (with no sensor attribution; prefer the
+// topic-aware paths when the history store must know the topic).
 func (a *Archiver) Take(rec ulm.Record) {
-	a.mu.Lock()
-	if a.batchSize > 1 {
-		a.batch = append(a.batch, rec)
-		if len(a.batch) >= a.batchSize {
-			a.flushLocked()
-		}
-		a.mu.Unlock()
-		return
-	}
-	a.mu.Unlock()
-	a.Store.Append(rec)
+	one := [1]ulm.Record{rec}
+	a.TakeTopicBatch("", one[:])
 }
 
-// TakeBatch ingests a whole delivered batch: when the archiver is not
-// accumulating (SetBatch <= 1) the batch feeds the store's AppendBatch
-// directly — no intermediate per-record buffering — and in accumulate
-// mode the batch joins the buffer under one lock, flushing at the
-// configured size. This is the native ingest path for archivers riding
-// batch subscriptions.
+// TakeBatch ingests a whole delivered batch without sensor
+// attribution; it is TakeTopicBatch under the empty topic.
 func (a *Archiver) TakeBatch(recs []ulm.Record) {
+	a.TakeTopicBatch("", recs)
+}
+
+// TakeTopicBatch ingests a batch delivered under one bus topic — the
+// archiver's native ingest path. The in-memory store sees it as one
+// AppendBatch (or joins the accumulation buffer under one lock when
+// SetBatch is active), and the attached history store persists it as
+// one frame keyed by the topic, so historical queries can scope to a
+// sensor.
+func (a *Archiver) TakeTopicBatch(topic string, recs []ulm.Record) {
 	if len(recs) == 0 {
 		return
 	}
+	a.persist(topic, recs)
 	a.mu.Lock()
 	if a.batchSize > 1 {
 		a.batch = append(a.batch, recs...)
@@ -329,15 +392,23 @@ func (a *Archiver) TakeBatch(recs []ulm.Record) {
 		return
 	}
 	a.mu.Unlock()
-	a.Store.AppendBatch(recs)
+	if a.Store != nil {
+		a.Store.AppendBatch(recs)
+	}
 }
 
 // SubscribeAll subscribes the archiver to a gateway. Delivery is
 // batch-native: each delivered batch reaches the store (or the
 // accumulation buffer) as one AppendBatch, not per-record Appends.
+// Batches from requests naming a sensor are attributed to it in the
+// history store; wildcard requests persist unattributed (prefer
+// SubscribeBus, which keys every batch by its bus topic).
 func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 	for _, req := range reqs {
-		sub, err := subscribeBatch(gw, req, a.TakeBatch, a.Take)
+		topic := req.Sensor
+		sub, err := subscribeBatch(gw, req,
+			func(recs []ulm.Record) { a.TakeTopicBatch(topic, recs) },
+			func(rec ulm.Record) { one := [1]ulm.Record{rec}; a.TakeTopicBatch(topic, one[:]) })
 		if err != nil {
 			return err
 		}
@@ -350,9 +421,10 @@ func (a *Archiver) SubscribeAll(gw Subscriber, reqs ...gateway.Request) error {
 
 // SubscribeBus routes a bus topic ("" = every topic) into the archiver
 // — the way to archive a local bus mirroring remote gateways through
-// bridges — with batch-native ingest.
+// bridges, and the ingest gatewayd's -archive rides — with batch-native
+// ingest, each batch attributed to the topic it was published under.
 func (a *Archiver) SubscribeBus(b *bus.Bus, topic string) {
-	sub := b.SubscribeBatch(topic, nil, a.TakeBatch)
+	sub := b.SubscribeBatchTopics(topic, nil, a.TakeTopicBatch)
 	a.mu.Lock()
 	a.stops = append(a.stops, func() { sub.Cancel() })
 	a.mu.Unlock()
@@ -377,11 +449,16 @@ func (a *Archiver) Close() {
 }
 
 // PublishEntry writes (or refreshes) the archive's directory entry
-// "indicating the contents of the archive".
+// "indicating the contents of the archive". It describes the
+// in-memory store; a disk-only archiver (nil Store) has nothing to
+// describe and gets an error, not a panic.
 func (a *Archiver) PublishEntry(dir interface {
 	Add(directory.Entry) error
 	Modify(directory.DN, map[string][]string) error
 }, dn directory.DN) error {
+	if a.Store == nil {
+		return fmt.Errorf("consumer: archiver has no in-memory store to describe")
+	}
 	st := a.Store.Stats()
 	e := directory.NewEntry(dn, map[string]string{
 		"objectclass": "jammArchive",

@@ -1,0 +1,131 @@
+package consumer
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/archive"
+	"jamm/internal/bus"
+	"jamm/internal/directory"
+	"jamm/internal/histstore"
+	"jamm/internal/ulm"
+)
+
+// An archiver with a history store persists every ingested batch to
+// disk, keyed by bus topic, while the in-memory store keeps serving as
+// the hot cache.
+func TestArchiverPersistsThroughHiststore(t *testing.T) {
+	dir := t.TempDir()
+	hist, err := histstore.Open(dir, histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc := NewArchiver(archive.NewStore(archive.Policy{}))
+	arc.SetHistory(hist)
+
+	b := bus.New(bus.Options{})
+	arc.SubscribeBus(b, "")
+	b.PublishBatch("cpu@h1", mkBatch(6))
+	b.Publish("net@h1", rec(10*time.Second, "h1", "BYTES", ulm.LvlUsage))
+	arc.Close()
+
+	// Hot cache sees everything.
+	if got := arc.Store.Stats().Kept; got != 7 {
+		t.Fatalf("in-memory store kept %d, want 7", got)
+	}
+	// Disk sees everything, attributed to topics.
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := histstore.Open(dir, histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	cpu, err := reopened.Query(histstore.Query{Sensor: "cpu@h1"})
+	if err != nil || len(cpu) != 6 {
+		t.Fatalf("persisted cpu records: %d (err %v), want 6", len(cpu), err)
+	}
+	all, err := reopened.Query(histstore.Query{})
+	if err != nil || len(all) != 7 {
+		t.Fatalf("persisted records: %d (err %v), want 7", len(all), err)
+	}
+	if arc.HistErrors() != 0 {
+		t.Fatalf("HistErrors = %d", arc.HistErrors())
+	}
+}
+
+// A disk-only archiver (nil in-memory store) persists without caching.
+func TestArchiverDiskOnly(t *testing.T) {
+	hist, err := histstore.Open(t.TempDir(), histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hist.Close()
+	arc := NewArchiver(nil)
+	arc.SetHistory(hist)
+	b := bus.New(bus.Options{})
+	arc.SubscribeBus(b, "")
+	b.PublishBatch("cpu@h1", mkBatch(4))
+	arc.Close()
+	got, err := hist.Query(histstore.Query{Sensor: "cpu@h1"})
+	if err != nil || len(got) != 4 {
+		t.Fatalf("disk-only archiver persisted %d (err %v), want 4", len(got), err)
+	}
+	// No in-memory store to describe: an error, not a panic.
+	if err := arc.PublishEntry(nopDir{}, "ou=archives,o=jamm"); err == nil {
+		t.Fatal("PublishEntry on a disk-only archiver succeeded")
+	}
+}
+
+type nopDir struct{}
+
+func (nopDir) Add(directory.Entry) error                      { return nil }
+func (nopDir) Modify(directory.DN, map[string][]string) error { return nil }
+
+// A failing history store is counted, never silent — and never stops
+// the in-memory store from ingesting.
+func TestArchiverHistErrorsCounted(t *testing.T) {
+	hist, err := histstore.Open(t.TempDir(), histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Close() // closed store: every append fails
+	arc := NewArchiver(archive.NewStore(archive.Policy{}))
+	arc.SetHistory(hist)
+	arc.TakeTopicBatch("cpu", mkBatch(3))
+	if arc.HistErrors() != 1 {
+		t.Fatalf("HistErrors = %d, want 1", arc.HistErrors())
+	}
+	if got := arc.Store.Stats().Kept; got != 3 {
+		t.Fatalf("in-memory store kept %d despite disk failure, want 3", got)
+	}
+}
+
+// FollowBatch is the batch-native follow hook: one callback per
+// delivered batch, while Follow stays the per-record adapter.
+func TestCollectorFollowBatch(t *testing.T) {
+	col := NewCollector()
+	var batches, batchRecs, followed int
+	col.FollowBatch = func(recs []ulm.Record) {
+		batches++
+		batchRecs += len(recs)
+	}
+	col.Follow = func(ulm.Record) { followed++ }
+
+	b := bus.New(bus.Options{})
+	col.SubscribeBus(b, "")
+	b.PublishBatch("cpu@h1", mkBatch(8))
+	b.Publish("cpu@h1", rec(time.Minute, "h1", "E", ulm.LvlUsage))
+	col.Close()
+
+	if batches != 2 || batchRecs != 9 {
+		t.Fatalf("FollowBatch saw %d batches / %d records, want 2 / 9", batches, batchRecs)
+	}
+	if followed != 9 {
+		t.Fatalf("Follow saw %d records, want 9", followed)
+	}
+	if col.Len() != 9 {
+		t.Fatalf("collector kept %d records, want 9", col.Len())
+	}
+}

@@ -1,0 +1,243 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jamm/internal/histstore"
+	"jamm/internal/ulm"
+)
+
+// startHistoryServer builds a gateway whose published records are
+// archived into a histstore under dir and served by the wire history
+// op — the in-process shape of `gatewayd -archive`.
+func startHistoryServer(t *testing.T, dir string) (*Gateway, *TCPServer, *histstore.Store) {
+	t.Helper()
+	g := New("gw1", nil)
+	hist, err := histstore.Open(dir, histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Bus().SubscribeBatchTopics("", nil, func(topic string, recs []ulm.Record) {
+		if err := hist.AppendBatch(topic, recs); err != nil {
+			t.Errorf("archive append: %v", err)
+		}
+	})
+	srv, err := ServeTCP(g, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetHistory(hist)
+	t.Cleanup(func() { sub.Cancel(); srv.Close(); hist.Close() })
+	return g, srv, hist
+}
+
+func TestWireHistoryQuery(t *testing.T) {
+	g, srv, _ := startHistoryServer(t, t.TempDir())
+	for i := 0; i < 20; i++ {
+		g.Publish("cpu", mkRec("LOAD", time.Duration(i)*time.Second, float64(i)))
+	}
+	g.Publish("net", mkRec("BYTES", 5*time.Second, 1))
+
+	c := NewClient("", srv.Addr())
+
+	// Whole-archive query, time-sorted.
+	all, err := c.History(HistoryRequest{})
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(all) != 21 {
+		t.Fatalf("History returned %d records, want 21", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Rec.Date.Before(all[i-1].Rec.Date) {
+			t.Fatalf("History result unsorted at %d", i)
+		}
+	}
+
+	// Sensor-scoped query carries the topic.
+	net, err := c.History(HistoryRequest{Sensor: "net"})
+	if err != nil || len(net) != 1 || net[0].Sensor != "net" || net[0].Rec.Event != "BYTES" {
+		t.Fatalf("History net: %+v (err %v)", net, err)
+	}
+
+	// Time-ranged query: [epoch+5s, epoch+8s) over cpu → records 5,6,7.
+	got, err := c.History(HistoryRequest{
+		Sensor: "cpu",
+		From:   epoch.Add(5 * time.Second),
+		To:     epoch.Add(8 * time.Second),
+	})
+	if err != nil {
+		t.Fatalf("ranged History: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ranged History returned %d records, want 3", len(got))
+	}
+	if v, _ := got[0].Rec.Float("VAL"); v != 5 {
+		t.Fatalf("first ranged record VAL = %v, want 5", v)
+	}
+
+	// Event filter rides along.
+	ev, err := c.History(HistoryRequest{Events: []string{"BYTES"}})
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("event-filtered History: %d records (err %v)", len(ev), err)
+	}
+
+	// Small response frames still deliver everything (flow control by
+	// batch_max).
+	var frames, n int
+	total, err := c.HistoryStream(HistoryRequest{Sensor: "cpu", BatchMax: 4},
+		func(sensor string, recs []ulm.Record) error {
+			if len(recs) > 4 {
+				t.Fatalf("frame of %d exceeds batch_max", len(recs))
+			}
+			frames++
+			n += len(recs)
+			return nil
+		})
+	if err != nil || total != 20 || n != 20 {
+		t.Fatalf("HistoryStream: total=%d n=%d err=%v", total, n, err)
+	}
+	if frames < 5 {
+		t.Fatalf("HistoryStream delivered %d frames, want >= 5", frames)
+	}
+}
+
+func TestWireHistoryDisabled(t *testing.T) {
+	_, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+	if _, err := c.History(HistoryRequest{}); err == nil {
+		t.Fatal("history on a gateway without an archive succeeded")
+	}
+}
+
+// TestWireHistorySurvivesRestart is the end-to-end acceptance shape:
+// publish through a served gateway with an archive, tear the whole
+// daemon down, bring up a fresh gateway+server over the same archive
+// directory, and read the pre-restart records back over the wire.
+func TestWireHistorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	g1, srv1, hist1 := startHistoryServer(t, dir)
+	for i := 0; i < 10; i++ {
+		g1.Publish("cpu", mkRec("LOAD", time.Duration(i)*time.Second, float64(i)))
+	}
+	// Drained shutdown: listener, then archive (Close seals segments).
+	srv1.Close()
+	if err := hist1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart the daemon": a brand-new process state over the same dir.
+	g2, srv2, _ := startHistoryServer(t, dir)
+	g2.Publish("cpu", mkRec("LOAD", time.Minute, 99))
+
+	c := NewClient("", srv2.Addr())
+	got, err := c.History(HistoryRequest{Sensor: "cpu"})
+	if err != nil {
+		t.Fatalf("History after restart: %v", err)
+	}
+	if len(got) != 11 {
+		t.Fatalf("History after restart returned %d records, want 11 (10 pre-restart + 1 new)", len(got))
+	}
+	if v, _ := got[0].Rec.Float("VAL"); v != 0 {
+		t.Fatalf("oldest pre-restart record VAL = %v, want 0", v)
+	}
+	if v, _ := got[10].Rec.Float("VAL"); v != 99 {
+		t.Fatalf("newest record VAL = %v, want 99", v)
+	}
+}
+
+// TestWireSubscribeBatchMaxResize covers mid-stream per-batch flow
+// control: an op=batch_max control line resizes the server's
+// coalescing window without resubscribing.
+func TestWireSubscribeBatchMaxResize(t *testing.T) {
+	g, srv := startServer(t)
+	c := NewClient("", srv.Addr())
+
+	var mu sync.Mutex
+	var sizes []int
+	var count atomic.Int64
+	st, err := c.SubscribeBatchStream(Request{Sensor: "cpu"}, StreamOptions{BatchMax: 1},
+		func(_ string, recs []ulm.Record) {
+			mu.Lock()
+			sizes = append(sizes, len(recs))
+			mu.Unlock()
+			count.Add(int64(len(recs)))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	waitFor := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for count.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out at %d/%d records", count.Load(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Phase 1: batch_max=1 → every frame carries one record, even for a
+	// batched publish.
+	g.PublishBatch("cpu", []ulm.Record{
+		mkRec("E", 0, 1), mkRec("E", time.Second, 2), mkRec("E", 2*time.Second, 3),
+	})
+	waitFor(3)
+	mu.Lock()
+	for i, n := range sizes {
+		if n != 1 {
+			t.Fatalf("pre-resize frame %d carried %d records, want 1", i, n)
+		}
+	}
+	phase1 := len(sizes)
+	mu.Unlock()
+
+	// Resize mid-stream, then publish a burst in one batch: it must
+	// arrive coalesced, not as single-record frames.
+	if err := st.SetBatchMax(64); err != nil {
+		t.Fatal(err)
+	}
+	// The control line races the next delivery; give the server a
+	// moment to apply it before publishing the burst.
+	time.Sleep(50 * time.Millisecond)
+	burst := make([]ulm.Record, 32)
+	for i := range burst {
+		burst[i] = mkRec("E", time.Duration(i)*time.Millisecond, float64(i))
+	}
+	g.PublishBatch("cpu", burst)
+	waitFor(35)
+	mu.Lock()
+	post := sizes[phase1:]
+	mu.Unlock()
+	maxSize := 0
+	for _, n := range post {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	if maxSize < 2 {
+		t.Fatalf("after SetBatchMax(64) the burst still arrived as %d single-record frames", len(post))
+	}
+
+	// Shrink back to single-record frames.
+	if err := st.SetBatchMax(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	phase2 := len(sizes)
+	mu.Unlock()
+	g.Publish("cpu", mkRec("E", time.Hour, 7))
+	waitFor(36)
+	mu.Lock()
+	tail := sizes[phase2:]
+	mu.Unlock()
+	if len(tail) != 1 || tail[0] != 1 {
+		t.Fatalf("after shrinking to 1, frames = %v, want [1]", tail)
+	}
+}

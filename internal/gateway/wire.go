@@ -6,14 +6,15 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"jamm/internal/auth"
+	"jamm/internal/histstore"
 	"jamm/internal/ulm"
 )
 
@@ -38,6 +39,16 @@ import (
 // for wire compatibility. Event frames also piggyback the cumulative
 // slow-consumer drop counter ("drops"), so a mirror downstream can see
 // loss it never received.
+//
+// A subscriber may retune its stream mid-flight: a {"op":"batch_max",
+// "batch_max":N} control line on the subscription connection resizes
+// the server's coalescing window per batch — flow control the client
+// adjusts to its own consumption rate without resubscribing.
+//
+// The history op queries the gateway's persistent archive (a histstore
+// attached with SetHistory): {"op":"history","from":d,"to":d,...}
+// streams matching records back as batched event frames, terminated by
+// an {"ok":true,"eof":true,"n":N} frame.
 
 // Format names for event payloads.
 const (
@@ -54,7 +65,7 @@ type wireEvent struct {
 }
 
 type wireRequest struct {
-	Op     string `json:"op"` // subscribe, publish, query, summary, list, ping
+	Op     string `json:"op"` // subscribe, publish, query, summary, list, ping, history, batch_max
 	Format string `json:"format,omitempty"`
 	Event  string `json:"event,omitempty"`
 	Rec    string `json:"rec,omitempty"` // publish: a single event payload
@@ -63,9 +74,15 @@ type wireRequest struct {
 	Recs []wireEvent `json:"recs,omitempty"`
 	// BatchMax asks a subscription for batched event frames of up to
 	// this many records; BatchWaitMS bounds how long a partial batch
-	// may wait before it is flushed.
+	// may wait before it is flushed. On an op=batch_max control line
+	// (sent mid-stream on a subscription connection) BatchMax is the
+	// new coalescing window.
 	BatchMax    int   `json:"batch_max,omitempty"`
 	BatchWaitMS int64 `json:"batch_wait_ms,omitempty"`
+	// From/To bound a history query's record DATE field (ULM DATE
+	// format; empty = unbounded, inclusive from, exclusive to).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
 	Request
 }
 
@@ -82,6 +99,10 @@ type wireResponse struct {
 	// the subscription's slow-consumer drops, on ping responses the
 	// server-wide total (bad records + bad lines + subscription drops).
 	Drops uint64 `json:"drops,omitempty"`
+	// Eof marks the terminal frame of a history response; N is the
+	// record count the stream carried.
+	Eof bool `json:"eof,omitempty"`
+	N   int  `json:"n,omitempty"`
 }
 
 func encodeRecord(format string, rec ulm.Record) (string, error) {
@@ -133,10 +154,15 @@ type WireStats struct {
 	// (the per-subscription counters, summed over all subscriptions
 	// past and present).
 	SubDrops uint64
+	// HistDrops counts archived records a history response could not
+	// carry (payload encode failure in the requested format).
+	HistDrops uint64
 }
 
 // Drops returns the total loss counter the server answers pings with.
-func (w WireStats) Drops() uint64 { return w.BadRecords + w.BadLines + w.SubDrops }
+func (w WireStats) Drops() uint64 {
+	return w.BadRecords + w.BadLines + w.SubDrops + w.HistDrops
+}
 
 // wireSubChanDepth is the per-subscription buffer (in records) between
 // the bus and a subscriber connection; a variable so tests can force
@@ -172,9 +198,14 @@ type TCPServer struct {
 	gw *Gateway
 	ln net.Listener
 
+	// hist is the persistent history plane the op=history verb serves;
+	// nil until SetHistory attaches one.
+	hist atomic.Pointer[histstore.Store]
+
 	badRecords atomic.Uint64
 	badLines   atomic.Uint64
 	subDrops   atomic.Uint64
+	histDrops  atomic.Uint64
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -226,8 +257,17 @@ func (t *TCPServer) WireStats() WireStats {
 		BadRecords: t.badRecords.Load(),
 		BadLines:   t.badLines.Load(),
 		SubDrops:   t.subDrops.Load(),
+		HistDrops:  t.histDrops.Load(),
 	}
 }
+
+// SetHistory attaches a persistent event archive: the wire protocol's
+// history op serves time-range queries from it. nil detaches (history
+// requests are refused).
+func (t *TCPServer) SetHistory(h *histstore.Store) { t.hist.Store(h) }
+
+// History returns the attached persistent archive, or nil.
+func (t *TCPServer) History() *histstore.Store { return t.hist.Load() }
 
 func (t *TCPServer) acceptLoop() {
 	defer t.wg.Done()
@@ -308,8 +348,14 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		badStreak = 0
 		req.Principal = peerPrincipal(conn, req.Principal)
 		if req.Op == "subscribe" {
-			t.serveSubscribe(conn, enc, req)
+			t.serveSubscribe(conn, sc, enc, req)
 			return // the subscription owns the connection
+		}
+		if req.Op == "history" {
+			if !t.serveHistory(enc, req) {
+				return
+			}
+			continue // the connection may issue further requests
 		}
 		if req.Op == "publish" {
 			publishStream = true
@@ -413,18 +459,97 @@ func (t *TCPServer) handle(req wireRequest) wireResponse {
 	return wireResponse{Error: fmt.Sprintf("gateway: unknown op %q", req.Op)}
 }
 
-func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireRequest) {
+// serveHistory streams a time-range archive query back as batched
+// event frames, terminated by an eof frame carrying the record count.
+// Flow control is the frame size (the request's batch_max, clamped)
+// plus TCP backpressure: the replay reads segments only as fast as the
+// client drains frames. It reports whether the connection is still
+// usable for further requests.
+func (t *TCPServer) serveHistory(enc *json.Encoder, req wireRequest) bool {
+	refuse := func(msg string) bool {
+		return enc.Encode(wireResponse{Error: msg}) == nil
+	}
+	hist := t.hist.Load()
+	if hist == nil {
+		return refuse("gateway: history not enabled")
+	}
+	if err := t.gw.authorize(req.Principal, req.Sensor, auth.ActionQuery); err != nil {
+		return refuse(err.Error())
+	}
 	if _, err := encodeRecord(req.Format, ulm.Record{Date: time.Unix(0, 0), Host: "x", Prog: "x", Lvl: "x"}); err != nil {
-		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
-		return
+		return refuse(err.Error())
+	}
+	q := histstore.Query{Sensor: req.Sensor, Events: req.Events}
+	var err error
+	if req.From != "" {
+		if q.From, err = ulm.ParseDate(req.From); err != nil {
+			return refuse("gateway: bad from: " + err.Error())
+		}
+	}
+	if req.To != "" {
+		if q.To, err = ulm.ParseDate(req.To); err != nil {
+			return refuse("gateway: bad to: " + err.Error())
+		}
 	}
 	batchMax := req.BatchMax
 	if batchMax < 1 {
-		batchMax = 1
+		batchMax = 256
 	}
 	if batchMax > maxBatchRecords {
 		batchMax = maxBatchRecords
 	}
+	n := 0
+	frame := make([]wireEvent, 0, batchMax)
+	err = hist.Replay(q, batchMax, func(sensor string, recs []ulm.Record) error {
+		frame = frame[:0]
+		for i := range recs {
+			payload, encErr := encodeRecord(req.Format, recs[i])
+			if encErr != nil {
+				// A record the format cannot carry is counted loss,
+				// never a dead stream.
+				t.histDrops.Add(1)
+				continue
+			}
+			frame = append(frame, wireEvent{Sensor: sensor, Rec: payload})
+		}
+		if len(frame) == 0 {
+			return nil
+		}
+		n += len(frame)
+		return enc.Encode(wireResponse{OK: true, Recs: frame})
+	})
+	if err != nil {
+		// Either the client went away (the connection is dead anyway)
+		// or the archive failed mid-stream: report and let the client
+		// distinguish a terminal error frame from a clean eof.
+		return refuse("gateway: history: " + err.Error())
+	}
+	return enc.Encode(wireResponse{OK: true, Eof: true, N: n}) == nil
+}
+
+// clampBatchMax bounds a client-requested subscribe coalescing window.
+func clampBatchMax(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxBatchRecords {
+		return maxBatchRecords
+	}
+	return n
+}
+
+func (t *TCPServer) serveSubscribe(conn net.Conn, sc *bufio.Scanner, enc *json.Encoder, req wireRequest) {
+	if _, err := encodeRecord(req.Format, ulm.Record{Date: time.Unix(0, 0), Host: "x", Prog: "x", Lvl: "x"}); err != nil {
+		enc.Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
+		return
+	}
+	// batchMax is the coalescing window — per batch, not per
+	// subscription: the client may resize it mid-stream with an
+	// op=batch_max control line, so a consumer that falls behind can
+	// widen its frames (fewer, larger writes) and shrink them back for
+	// low latency, without resubscribing.
+	var batchMax atomic.Int64
+	batchMax.Store(int64(clampBatchMax(req.BatchMax)))
 	batchWait := time.Duration(req.BatchWaitMS) * time.Millisecond
 	if batchWait <= 0 {
 		batchWait = defaultBatchWait
@@ -457,11 +582,24 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 	if err := enc.Encode(wireResponse{OK: true}); err != nil {
 		return
 	}
-	// Unblock the writer loop when the client goes away.
+	// Read the subscriber's side of the connection for control lines
+	// (per-batch flow control) until it goes away, which unblocks the
+	// writer loop. Reading rides the connection's existing scanner so
+	// pipelined bytes already buffered behind the subscribe request
+	// are not lost.
 	done := make(chan struct{})
 	go func() {
-		io.Copy(io.Discard, conn) //nolint:errcheck
-		close(done)
+		defer close(done)
+		for sc.Scan() {
+			var creq wireRequest
+			if err := json.Unmarshal(sc.Bytes(), &creq); err != nil {
+				t.badLines.Add(1)
+				continue // a garbage control line only hurts its sender
+			}
+			if creq.Op == "batch_max" {
+				batchMax.Store(int64(clampBatchMax(creq.BatchMax)))
+			}
+		}
 	}()
 	emit := func(resp wireResponse) bool {
 		// Piggyback the cumulative slow-consumer drop counter so the
@@ -492,6 +630,10 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 	for {
 		select {
 		case tb := <-ch:
+			// The coalescing window is re-read per delivered batch so a
+			// mid-stream op=batch_max resize takes effect on the next
+			// frames, not the next subscription.
+			bm := int(batchMax.Load())
 			for i := range tb.Recs {
 				payload, err := encodeRecord(req.Format, tb.Recs[i])
 				if err != nil {
@@ -504,7 +646,7 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 					t.subDrops.Add(1)
 					continue
 				}
-				if batchMax == 1 {
+				if bm == 1 && len(batch) == 0 {
 					// Single-record frames: the wire-compatible format.
 					if !emit(wireResponse{OK: true, Sensor: tb.Sensor, Rec: payload}) {
 						return
@@ -513,7 +655,7 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, enc *json.Encoder, req wireReq
 				}
 				batch = append(batch, wireEvent{Sensor: tb.Sensor, Rec: payload})
 				ss.pending.Store(int64(len(batch)))
-				if len(batch) >= batchMax {
+				if len(batch) >= bm {
 					if !flush() {
 						return
 					}
@@ -692,6 +834,122 @@ func (c *Client) List() ([]SensorInfo, error) {
 		return nil, err
 	}
 	return resp.Sensors, nil
+}
+
+// HistoryRequest describes a historical query against a gateway's
+// persistent archive.
+type HistoryRequest struct {
+	// Sensor restricts to one sensor topic; "" queries all sensors.
+	Sensor string
+	// Events restricts to the named event types; empty means all.
+	Events []string
+	// From/To bound the record DATE field (inclusive from, exclusive
+	// to; zero = unbounded).
+	From, To time.Time
+	// BatchMax caps records per response frame (0 selects the server
+	// default).
+	BatchMax int
+	// Format is the event payload format (FormatULM by default).
+	Format string
+}
+
+func (hr HistoryRequest) wire(principal string) wireRequest {
+	wr := wireRequest{
+		Op: "history", Format: hr.Format, BatchMax: hr.BatchMax,
+		Request: Request{Principal: principal, Sensor: hr.Sensor, Events: hr.Events},
+	}
+	if !hr.From.IsZero() {
+		wr.From = ulm.FormatDate(hr.From)
+	}
+	if !hr.To.IsZero() {
+		wr.To = ulm.FormatDate(hr.To)
+	}
+	return wr
+}
+
+// HistoryStream runs a historical query, delivering matching records
+// in archive order as per-sensor batches on the calling goroutine —
+// the bounded-memory form for large ranges. The batch slice is only
+// valid during the callback. It returns how many records the server's
+// stream carried. fn returning an error abandons the stream.
+func (c *Client) HistoryStream(hr HistoryRequest, fn func(sensor string, recs []ulm.Record) error) (int, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if c.Timeout > 0 {
+		// The deadline covers the dial and each frame gap, not the
+		// whole stream: it is pushed forward as frames arrive.
+		conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	}
+	if err := json.NewEncoder(conn).Encode(hr.wire(c.Principal)); err != nil {
+		return 0, err
+	}
+	dec := json.NewDecoder(conn)
+	var batch []ulm.Record
+	n := 0
+	for {
+		if c.Timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+		}
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			return n, fmt.Errorf("gateway: history stream: %w", err)
+		}
+		if resp.Error != "" {
+			return n, fmt.Errorf("%s", resp.Error)
+		}
+		if resp.Eof {
+			return resp.N, nil
+		}
+		// Deliver per-sensor runs of the frame, like subscribe streams.
+		runSensor := ""
+		batch = batch[:0]
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			err := fn(runSensor, batch)
+			batch = batch[:0]
+			return err
+		}
+		for _, ev := range resp.Recs {
+			rec, err := decodeRecord(hr.Format, ev.Rec)
+			if err != nil {
+				return n, fmt.Errorf("gateway: history stream: %w", err)
+			}
+			if ev.Sensor != runSensor {
+				if err := flush(); err != nil {
+					return n, err
+				}
+				runSensor = ev.Sensor
+			}
+			batch = append(batch, rec)
+			n++
+		}
+		if err := flush(); err != nil {
+			return n, err
+		}
+	}
+}
+
+// History runs a historical query and returns the matching records,
+// sorted by timestamp (stable). For ranges too large to hold in
+// memory, use HistoryStream.
+func (c *Client) History(hr HistoryRequest) ([]TopicRecord, error) {
+	var out []TopicRecord
+	_, err := c.HistoryStream(hr, func(sensor string, recs []ulm.Record) error {
+		for i := range recs {
+			out = append(out, TopicRecord{Sensor: sensor, Rec: recs[i].Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rec.Date.Before(out[j].Rec.Date) })
+	return out, nil
 }
 
 // Publisher streams events to a remote gateway over one persistent
@@ -948,6 +1206,20 @@ func (s *Stream) Close() {
 		s.closed.Store(true)
 		s.conn.Close()
 	})
+}
+
+// SetBatchMax retunes the server's coalescing window for this stream
+// mid-flight: subsequent frames carry up to n records (n < 1 selects
+// single-record frames). This is the per-batch flow-control knob — a
+// consumer that falls behind widens its frames, one that wants latency
+// shrinks them, without resubscribing.
+func (s *Stream) SetBatchMax(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.NewEncoder(s.conn).Encode(wireRequest{Op: "batch_max", BatchMax: n})
 }
 
 // SubscribeStream opens a streaming subscription carrying each record

@@ -1,0 +1,99 @@
+package histstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// BenchmarkHiststoreAppend measures batch-native ingest: each
+// AppendBatch is one lock acquisition and one write syscall for the
+// whole batch, so throughput should scale with batch size until the
+// disk, not the store, is the bottleneck.
+func BenchmarkHiststoreAppend(b *testing.B) {
+	for _, batch := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{MaxSegmentBytes: 64 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			recs := make([]ulm.Record, batch)
+			for i := range recs {
+				recs[i] = trec(t0, time.Duration(i)*time.Millisecond, "LOAD")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				if err := s.AppendBatch("cpu", recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "recs/s")
+			}
+			st := s.Stats()
+			wantBatches := uint64((b.N + batch - 1) / batch)
+			if st.AppendBatches != wantBatches {
+				b.Fatalf("AppendBatches = %d, want %d (one frame per batch)", st.AppendBatches, wantBatches)
+			}
+		})
+	}
+}
+
+// BenchmarkHistoryQuery measures a time-scoped query against a
+// many-segment archive. The sparse index must keep the query from
+// reading segments outside its range: the benchmark fails if a
+// narrow query opens more than the overlapping segments.
+func BenchmarkHistoryQuery(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{MaxSegmentBytes: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// 200 batches of 32 records, each batch one minute of record time:
+	// dozens of segments spanning ~200 minutes.
+	recs := make([]ulm.Record, 32)
+	for i := 0; i < 200; i++ {
+		for j := range recs {
+			recs[j] = trec(t0, time.Duration(i)*time.Minute+time.Duration(j)*time.Second, "LOAD")
+		}
+		if err := s.AppendBatch("cpu", recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	segments := s.Stats().Segments
+	if segments < 10 {
+		b.Fatalf("setup built only %d segments", segments)
+	}
+	// One narrow window in the middle of the archive.
+	q := Query{Sensor: "cpu", From: t0.Add(100 * time.Minute), To: t0.Add(103 * time.Minute)}
+
+	before := s.Stats().SegmentOpens
+	got, err := s.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(got) != 3*32 {
+		b.Fatalf("narrow query returned %d records, want %d", len(got), 3*32)
+	}
+	opened := int(s.Stats().SegmentOpens - before)
+	if opened == 0 || opened > segments/4 {
+		b.Fatalf("narrow query opened %d of %d segments — index is not pruning", opened, segments)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(opened), "segs-opened")
+	b.ReportMetric(float64(segments), "segs-total")
+}

@@ -1,0 +1,317 @@
+package histstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// On-disk layout. A store directory holds numbered segment files plus
+// one index sidecar per sealed segment:
+//
+//	seg-00000001.log    frames (see below)
+//	seg-00000001.idx    JSON sparse index, written when the segment seals
+//	seg-00000002.log    ← active segment (no .idx until sealed)
+//
+// A segment file starts with an 8-byte magic and then carries frames
+// back to back. One frame is one AppendBatch — a per-sensor run of
+// records — written with a single Write call:
+//
+//	u32  payload length (little endian)
+//	u32  CRC32 (IEEE) of the payload
+//	payload:
+//	    uvarint sensor length, sensor bytes
+//	    uvarint record count
+//	    count × ULM binary records (ulm.AppendBinary)
+//
+// Frames are self-checking, so a reopen after a crash can scan the
+// un-sealed tail segment and truncate at the first torn or corrupt
+// frame: a partially written frame fails its length or CRC check and
+// everything before it is intact by construction (frames are written
+// whole, in order).
+
+const (
+	segMagic  = "JAMMHST1"
+	segSuffix = ".log"
+	idxSuffix = ".idx"
+	frameHdr  = 8 // u32 length + u32 crc
+	// maxFrameBytes bounds a single frame on read: anything larger is
+	// corruption (a torn length word), not a real batch.
+	maxFrameBytes = 64 << 20
+)
+
+// segName renders the file name of segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d%s", seq, segSuffix) }
+
+// segment is one archive segment's in-memory state: the sparse index
+// (time bounds + sensor set) plus file bookkeeping. Sealed segments are
+// immutable on disk; only the store's active segment grows.
+type segment struct {
+	seq   uint64
+	path  string
+	bytes int64 // committed bytes (header + whole frames)
+	recs  int64
+	minT  time.Time
+	maxT  time.Time
+	// sensors is the set of bus topics the segment carries — the index
+	// key that lets a sensor-scoped query skip the whole file.
+	sensors map[string]struct{}
+	sealed  bool
+	// firstAppend is when the segment received its first frame, for
+	// age-based rolling. Zero for segments recovered from disk (their
+	// age is judged by record time bounds instead).
+	firstAppend time.Time
+}
+
+func (sg *segment) noteBatch(sensor string, recs []ulm.Record, frameLen int64) {
+	sg.bytes += frameLen
+	sg.recs += int64(len(recs))
+	sg.sensors[sensor] = struct{}{}
+	for i := range recs {
+		d := recs[i].Date
+		if sg.minT.IsZero() || d.Before(sg.minT) {
+			sg.minT = d
+		}
+		if d.After(sg.maxT) {
+			sg.maxT = d
+		}
+	}
+}
+
+// overlaps reports whether the segment's time bounds intersect the
+// half-open query range [from, to). Zero bounds are unbounded.
+func (sg *segment) overlaps(from, to time.Time) bool {
+	if sg.recs == 0 {
+		return false
+	}
+	if !from.IsZero() && sg.maxT.Before(from) {
+		return false
+	}
+	if !to.IsZero() && !sg.minT.Before(to) {
+		return false
+	}
+	return true
+}
+
+// carries reports whether the segment holds any records of sensor
+// ("" = any sensor).
+func (sg *segment) carries(sensor string) bool {
+	if sensor == "" {
+		return true
+	}
+	_, ok := sg.sensors[sensor]
+	return ok
+}
+
+// sidecar is the persisted form of a sealed segment's sparse index.
+type sidecar struct {
+	Recs    int64    `json:"recs"`
+	MinUS   int64    `json:"min_us"` // min record time, µs since epoch
+	MaxUS   int64    `json:"max_us"`
+	Sensors []string `json:"sensors"`
+}
+
+func (sg *segment) writeSidecar() error {
+	sc := sidecar{Recs: sg.recs, Sensors: make([]string, 0, len(sg.sensors))}
+	if !sg.minT.IsZero() {
+		sc.MinUS = sg.minT.UnixMicro()
+		sc.MaxUS = sg.maxT.UnixMicro()
+	}
+	for s := range sg.sensors {
+		sc.Sensors = append(sc.Sensors, s)
+	}
+	sort.Strings(sc.Sensors)
+	data, err := json.Marshal(sc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(idxPath(sg.path), data, 0o644)
+}
+
+func idxPath(logPath string) string {
+	return strings.TrimSuffix(logPath, segSuffix) + idxSuffix
+}
+
+func loadSidecar(logPath string) (*segment, error) {
+	data, err := os.ReadFile(idxPath(logPath))
+	if err != nil {
+		return nil, err
+	}
+	var sc sidecar
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		return nil, err
+	}
+	sg := &segment{path: logPath, bytes: fi.Size(), recs: sc.Recs, sealed: true,
+		sensors: make(map[string]struct{}, len(sc.Sensors))}
+	if sc.Recs > 0 {
+		sg.minT = time.UnixMicro(sc.MinUS).UTC()
+		sg.maxT = time.UnixMicro(sc.MaxUS).UTC()
+	}
+	for _, s := range sc.Sensors {
+		sg.sensors[s] = struct{}{}
+	}
+	return sg, nil
+}
+
+// appendFrame appends one encoded frame (header + payload) for a
+// per-sensor batch to buf — the single buffer AppendBatch hands to one
+// Write call.
+func appendFrame(buf []byte, sensor string, recs []ulm.Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	buf = binary.AppendUvarint(buf, uint64(len(sensor)))
+	buf = append(buf, sensor...)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for i := range recs {
+		buf = ulm.AppendBinary(buf, &recs[i])
+	}
+	payload := buf[start+frameHdr:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// frameHead decodes a frame payload's sensor and record count,
+// returning the remaining record bytes.
+func frameHead(payload []byte) (sensor string, count uint64, rest []byte, err error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)-sz) {
+		return "", 0, nil, fmt.Errorf("histstore: bad sensor length")
+	}
+	sensor = string(payload[sz : sz+int(n)])
+	payload = payload[sz+int(n):]
+	count, sz = binary.Uvarint(payload)
+	if sz <= 0 {
+		return "", 0, nil, fmt.Errorf("histstore: bad record count")
+	}
+	return sensor, count, payload[sz:], nil
+}
+
+// decodeRecs decodes count ULM binary records from rest, appending to
+// recs (reused across frames).
+func decodeRecs(rest []byte, count uint64, recs []ulm.Record) ([]ulm.Record, error) {
+	var err error
+	for i := uint64(0); i < count; i++ {
+		var rec ulm.Record
+		rest, err = ulm.DecodeBinary(rest, &rec)
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	if len(rest) != 0 {
+		return recs, fmt.Errorf("histstore: %d trailing bytes in frame", len(rest))
+	}
+	return recs, nil
+}
+
+// frameScanner reads frames sequentially from one segment's byte
+// stream, verifying lengths and checksums. It reports the byte offset
+// after the last whole valid frame, so reopen can truncate a torn tail.
+// A non-empty filter skips the record decode of frames for other
+// sensors (the CRC has already vouched for their integrity).
+type frameScanner struct {
+	r      *bufio.Reader
+	valid  int64 // offset after the last good frame
+	buf    []byte
+	recs   []ulm.Record // reused record scratch
+	filter string
+}
+
+// newFrameScanner wraps r, which must be positioned at the segment
+// magic. limit bounds how many bytes may be read (the committed size
+// for the active segment; the file size for sealed ones).
+func newFrameScanner(r io.Reader, limit int64) (*frameScanner, error) {
+	br := bufio.NewReaderSize(io.LimitReader(r, limit), 64*1024)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		return nil, fmt.Errorf("histstore: bad segment magic")
+	}
+	return &frameScanner{r: br, valid: int64(len(segMagic))}, nil
+}
+
+// next returns the next whole frame's sensor and records (skipping
+// frames excluded by the filter). The returned slice is reused by the
+// following next call. It returns io.EOF at a clean end, and errTorn
+// for a torn or corrupt tail (the caller decides whether that is
+// recoverable — it is for the unsealed tail segment, an error for
+// sealed ones).
+func (fs *frameScanner) next() (sensor string, recs []ulm.Record, err error) {
+	for {
+		var hdr [frameHdr]byte
+		if _, err := io.ReadFull(fs.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return "", nil, io.EOF
+			}
+			return "", nil, errTorn // partial header
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxFrameBytes {
+			return "", nil, errTorn // implausible length: torn or garbage
+		}
+		if cap(fs.buf) < int(length) {
+			fs.buf = make([]byte, length)
+		}
+		payload := fs.buf[:length]
+		if _, err := io.ReadFull(fs.r, payload); err != nil {
+			return "", nil, errTorn // partial payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return "", nil, errTorn
+		}
+		sensor, count, rest, err := frameHead(payload)
+		if err != nil {
+			return "", nil, errTorn // CRC passed but payload nonsense: treat as torn
+		}
+		fs.valid += frameHdr + int64(length)
+		if fs.filter != "" && sensor != fs.filter {
+			continue
+		}
+		fs.recs, err = decodeRecs(rest, count, fs.recs[:0])
+		if err != nil {
+			fs.valid -= frameHdr + int64(length)
+			return "", nil, errTorn
+		}
+		return sensor, fs.recs, nil
+	}
+}
+
+// listSegments returns the segment log files under dir, sorted by
+// sequence number, together with the highest sequence seen.
+func listSegments(dir string) (paths []string, maxSeq uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%d", &seq); err != nil {
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	return paths, maxSeq, nil
+}

@@ -1,0 +1,144 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/histstore"
+	"jamm/internal/ulm"
+)
+
+// attachHistory gives every gateway of the site a persistent archive
+// fed from its bus — the per-gateway shape of gatewayd -archive.
+func attachHistory(t *testing.T, site *shardedSite) []*histstore.Store {
+	t.Helper()
+	stores := make([]*histstore.Store, len(site.gws))
+	for i := range site.gws {
+		hist, err := histstore.Open(t.TempDir(), histstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { hist.Close() })
+		site.gws[i].Bus().SubscribeBatchTopics("", nil, func(topic string, recs []ulm.Record) {
+			hist.AppendBatch(topic, recs) //nolint:errcheck
+		})
+		site.srvs[i].SetHistory(hist)
+		stores[i] = hist
+	}
+	return stores
+}
+
+// TestRouterHistory covers routed historical queries: a named sensor's
+// history comes from the gateway owning it, and a wildcard query fans
+// out over the ring and merges by timestamp.
+func TestRouterHistory(t *testing.T) {
+	site := startSite(t, 3)
+	attachHistory(t, site)
+	rt := site.router(t)
+
+	// Publish several sensors through the router so each lands (and is
+	// archived) only at its owning gateway. Interleave timestamps so
+	// the merged wildcard result must actually interleave gateways.
+	sensors := []string{"cpu", "net", "disk", "mem"}
+	for i := 0; i < 20; i++ {
+		sensor := sensors[i%len(sensors)]
+		if err := rt.Publish(sensor, mkRec("S", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatalf("publish %s: %v", sensor, err)
+		}
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The wire publish path is fire-and-forget; wait until every
+	// record has been archived somewhere.
+	waitFor(t, "records archived", func() bool {
+		for _, sensor := range sensors {
+			recs, err := rt.History(gateway.HistoryRequest{Sensor: sensor})
+			if err != nil || len(recs) != 5 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Named-sensor history is answered by the owner (and only carries
+	// that sensor).
+	cpu, err := rt.History(gateway.HistoryRequest{Sensor: "cpu"})
+	if err != nil {
+		t.Fatalf("History cpu: %v", err)
+	}
+	if len(cpu) != 5 {
+		t.Fatalf("History cpu: %d records, want 5", len(cpu))
+	}
+	for _, tr := range cpu {
+		if tr.Sensor != "cpu" {
+			t.Fatalf("History cpu returned sensor %q", tr.Sensor)
+		}
+	}
+	// The archive lives only at the owning gateway: every other
+	// gateway's store must not answer for this sensor.
+	owner := rt.Owner("cpu")
+	for i, srv := range site.srvs {
+		recs, err := gateway.NewClient("t", srv.Addr()).History(gateway.HistoryRequest{Sensor: "cpu"})
+		if err != nil {
+			t.Fatalf("direct history at gw%d: %v", i, err)
+		}
+		if srv.Addr() == owner && len(recs) != 5 {
+			t.Fatalf("owner gw%d archived %d cpu records, want 5", i, len(recs))
+		}
+		if srv.Addr() != owner && len(recs) != 0 {
+			t.Fatalf("non-owner gw%d archived %d cpu records, want 0", i, len(recs))
+		}
+	}
+
+	// Wildcard history fans out to every gateway and merges sorted by
+	// timestamp: the interleaved publish order comes back whole.
+	all, err := rt.History(gateway.HistoryRequest{})
+	if err != nil {
+		t.Fatalf("wildcard History: %v", err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("wildcard History: %d records, want 20", len(all))
+	}
+	for i, tr := range all {
+		if v, _ := tr.Rec.Float("VAL"); int(v) != i {
+			t.Fatalf("merged record %d has VAL %v (merge not time-ordered)", i, v)
+		}
+		if want := sensors[i%len(sensors)]; tr.Sensor != want {
+			t.Fatalf("merged record %d sensor %q, want %q", i, tr.Sensor, want)
+		}
+	}
+
+	// A time range prunes server-side before the merge.
+	ranged, err := rt.History(gateway.HistoryRequest{
+		From: epoch.Add(5 * time.Second), To: epoch.Add(9 * time.Second),
+	})
+	if err != nil || len(ranged) != 4 {
+		t.Fatalf("ranged wildcard History: %d records (err %v), want 4", len(ranged), err)
+	}
+
+	// Partial site: downing the gateway that owns cpu yields exactly
+	// the reachable gateways' records plus an error, never a silent
+	// gap. (Ring placement varies run to run with the ephemeral
+	// addresses, so compute what the surviving gateways hold.)
+	surviving := 0
+	for _, sensor := range sensors {
+		if rt.Owner(sensor) != owner {
+			surviving += 5
+		}
+	}
+	site.srvs[site.gwIndex(t, owner)].Close()
+	partial, err := rt.History(gateway.HistoryRequest{})
+	if err == nil {
+		t.Fatal("wildcard History with a downed gateway reported no error")
+	}
+	if len(partial) != surviving {
+		t.Fatalf("partial wildcard History: %d records, want the surviving gateways' %d", len(partial), surviving)
+	}
+	for _, tr := range partial {
+		if tr.Sensor == "cpu" {
+			t.Fatal("downed owner's records appeared in partial results")
+		}
+	}
+}

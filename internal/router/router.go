@@ -317,6 +317,42 @@ func (r *Router) List() ([]gateway.SensorInfo, error) {
 	return out, firstErr
 }
 
+// History routes a historical query across the site: a request naming
+// a sensor asks only the gateway owning it (directory-advertised owner
+// first, ring placement as fallback — the archive lives where the
+// sensor publishes), while a wildcard request fans out to every
+// gateway of the ring and merges the results by timestamp. Partial
+// sites stay queryable: per-gateway errors on a wildcard query are
+// returned after the merged records of the reachable gateways.
+func (r *Router) History(hr gateway.HistoryRequest) ([]gateway.TopicRecord, error) {
+	if hr.Sensor != "" {
+		addr := r.Owner(hr.Sensor)
+		recs, err := r.client(addr).History(hr)
+		if (err != nil || len(recs) == 0) && addr != r.opts.Ring.Owner(hr.Sensor) {
+			// Stale directory advertisement: degrade to the ring-placed
+			// owner, like Query.
+			return r.client(r.opts.Ring.Owner(hr.Sensor)).History(hr)
+		}
+		return recs, err
+	}
+	var out []gateway.TopicRecord
+	var firstErr error
+	for _, addr := range r.opts.Ring.Nodes() {
+		recs, err := r.client(addr).History(hr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: history %s: %w", addr, err)
+			}
+			continue
+		}
+		out = append(out, recs...)
+	}
+	// Each gateway's slice arrives time-sorted; the merged site-wide
+	// answer must be too.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rec.Date.Before(out[j].Rec.Date) })
+	return out, firstErr
+}
+
 // Subscribe opens a streaming subscription routed across the site. A
 // request naming a sensor subscribes at the owning gateway; a wildcard
 // request fans out to every gateway on the ring. Both ride bus-to-bus

@@ -46,6 +46,7 @@ import (
 	"jamm/internal/directory"
 	"jamm/internal/dpss"
 	"jamm/internal/gateway"
+	"jamm/internal/histstore"
 	"jamm/internal/iperf"
 	"jamm/internal/manager"
 	"jamm/internal/netlog"
@@ -219,6 +220,36 @@ func NewGatewayClient(principal, addr string) *GatewayClient {
 // into target (a local bus or gateway).
 func NewBridge(client *GatewayClient, target BridgeTarget, opts BridgeOptions) *Bridge {
 	return bridge.New(client, target, opts)
+}
+
+// Persistent history plane (internal/histstore): a disk-backed,
+// segmented, append-only event archive with a sparse per-segment index
+// (time bounds + sensor set), crash recovery by torn-tail truncation,
+// whole-segment retention, and batched replay. Attach one to a served
+// gateway (GatewayServer.SetHistory, or gatewayd -archive) and the
+// wire protocol's history op serves time-range queries that survive
+// daemon restarts; Router.History routes them across a sharded site.
+type (
+	// HistoryStore is a disk-backed segmented event archive.
+	HistoryStore = histstore.Store
+	// HistoryOptions tunes segment rolling, retention, and durability.
+	HistoryOptions = histstore.Options
+	// HistoryQuery selects archived records by time range, sensor,
+	// event types, and severity levels.
+	HistoryQuery = histstore.Query
+	// HistoryEntry is one archived record with its sensor topic.
+	HistoryEntry = histstore.Entry
+	// HistoryStats snapshots a history store's contents and counters.
+	HistoryStats = histstore.Stats
+	// HistoryRequest is a historical query against a remote gateway's
+	// archive (GatewayClient.History, Router.History).
+	HistoryRequest = gateway.HistoryRequest
+)
+
+// OpenHistory opens (or creates) a persistent event archive in dir,
+// recovering cleanly from a crashed previous run.
+func OpenHistory(dir string, opts HistoryOptions) (*HistoryStore, error) {
+	return histstore.Open(dir, opts)
 }
 
 // Sharded site (internal/ring, internal/router): a site runs N

@@ -410,3 +410,65 @@ func TestShardedSiteFacade(t *testing.T) {
 	entries, err := sdir.Search(SensorBase, directory.ScopeSubtree, "(objectclass=jammSensor)")
 	t.Fatalf("ownership entries = %d (%v), want %d", len(entries), err, len(sensors))
 }
+
+// TestPersistentHistoryFacade drives the history plane through the
+// facade: archive published events to disk, bounce the "daemon"
+// (server + store), and read pre-restart history over the wire.
+func TestPersistentHistoryFacade(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (*Gateway, *GatewayServer, *HistoryStore, *Archiver) {
+		hist, err := OpenHistory(dir, HistoryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw := NewGateway("gw", nil)
+		arc := NewArchiver(nil) // disk-only archiver, as gatewayd -archive wires it
+		arc.SetHistory(hist)
+		arc.SubscribeBus(gw.Bus(), "")
+		srv, err := ServeGateway(gw, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetHistory(hist)
+		return gw, srv, hist, arc
+	}
+
+	gw, srv, hist, arc := boot()
+	base := time.Date(2000, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		gw.Publish("cpu@h1", Record{Date: base.Add(time.Duration(i) * time.Second),
+			Host: "h1", Prog: "jamm.cpu", Lvl: ulm.LvlUsage, Event: "E"})
+	}
+	// Local query straight on the store.
+	if got, err := hist.Query(HistoryQuery{Sensor: "cpu@h1"}); err != nil || len(got) != 8 {
+		t.Fatalf("local history query: %d (err %v), want 8", len(got), err)
+	}
+	// Bounce.
+	arc.Close()
+	srv.Close()
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, srv2, hist2, arc2 := boot()
+	defer func() { arc2.Close(); srv2.Close(); hist2.Close() }()
+
+	cli := NewGatewayClient("consumer", srv2.Addr())
+	got, err := cli.History(HistoryRequest{Sensor: "cpu@h1", From: base.Add(2 * time.Second)})
+	if err != nil {
+		t.Fatalf("history over wire after restart: %v", err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("history after restart: %d records, want 6 (pre-restart, time-filtered)", len(got))
+	}
+
+	// Historical→live handoff: replay the archive into a fresh bus.
+	b := NewEventBus(BusOptions{})
+	n := 0
+	b.SubscribeBatch("cpu@h1", nil, func(recs []Record) { n += len(recs) })
+	if replayed, err := hist2.ReplayBus(HistoryQuery{}, b, 32); err != nil || replayed != 8 {
+		t.Fatalf("ReplayBus: %d (err %v), want 8", replayed, err)
+	}
+	if n != 8 {
+		t.Fatalf("replayed bus delivery: %d, want 8", n)
+	}
+}
