@@ -868,32 +868,67 @@ func BenchmarkGatewayPublishNoSubscribers(b *testing.B) {
 // Batched frames amortize the per-record JSON/syscall cost; the
 // benchmark compares them with wire-compatible single-record frames.
 
-// chainedGateways wires gwA --TCP--> bridge --> gwB and returns the
-// publish side, the delivered counter, and a teardown.
-func chainedGateways(tb testing.TB, batch int) (*gateway.Gateway, *atomic.Uint64, func()) {
+// chainedGateways wires gwA --TCP--> bridge --> gwB (with hops extra
+// relay gateways spliced in between, each crossing the wire again) and
+// returns the publish side, the delivered counter, and a teardown.
+// proto pins the bridges' wire protocol; the intermediate gateways have
+// no local consumers, so under v2 they sit in pure-relay position and
+// never decode a record body.
+func chainedGateways(tb testing.TB, batch int, proto gateway.Proto, hops int) (*gateway.Gateway, *atomic.Uint64, func()) {
 	tb.Helper()
 	gwA := gateway.New("gwA", nil)
-	srvA, err := gateway.ServeTCP(gwA, "127.0.0.1:0", nil)
+	srv, err := gateway.ServeTCP(gwA, "127.0.0.1:0", nil)
 	if err != nil {
 		tb.Fatal(err)
+	}
+	servers := []*gateway.TCPServer{srv}
+	var bridges []*bridge.Bridge
+	opts := bridge.Options{BatchMax: batch, BatchWait: time.Millisecond}
+	fail := func(args ...any) {
+		for _, b := range bridges {
+			b.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+		tb.Fatal(args...)
+	}
+	for i := 0; i < hops; i++ {
+		mid := gateway.New(fmt.Sprintf("relay%d", i), nil)
+		c := gateway.NewClient("bench", servers[len(servers)-1].Addr())
+		c.Protocol = proto
+		br := bridge.New(c, mid, opts)
+		bridges = append(bridges, br)
+		midSrv, err := gateway.ServeTCP(mid, "127.0.0.1:0", nil)
+		if err != nil {
+			fail(err)
+		}
+		servers = append(servers, midSrv)
 	}
 	gwB := gateway.New("gwB", nil)
 	var delivered atomic.Uint64
 	gwB.Bus().Subscribe("", nil, func(ulm.Record) { delivered.Add(1) })
-	br := bridge.New(gateway.NewClient("bench", srvA.Addr()), gwB, bridge.Options{
-		BatchMax: batch, BatchWait: time.Millisecond,
-	})
-	if !br.WaitConnected(5 * time.Second) {
-		br.Close()
-		srvA.Close()
-		tb.Fatal("bridge never connected")
+	c := gateway.NewClient("bench", servers[len(servers)-1].Addr())
+	c.Protocol = proto
+	bridges = append(bridges, bridge.New(c, gwB, opts))
+	for _, b := range bridges {
+		if !b.WaitConnected(5 * time.Second) {
+			fail("bridge never connected")
+		}
 	}
 	cleanup := func() {
-		st := srvA.WireStats()
-		br.Close()
-		srvA.Close()
-		if d := st.Drops(); d != 0 {
-			tb.Fatalf("wire drops during chained run: %+v", st)
+		var drops uint64
+		for _, s := range servers {
+			drops += s.WireStats().Drops()
+		}
+		for _, b := range bridges {
+			b.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+		if drops != 0 {
+			tb.Fatalf("%d wire drops during chained run", drops)
 		}
 	}
 	return gwA, &delivered, cleanup
@@ -920,30 +955,45 @@ func chainedPublish(gwA *gateway.Gateway, delivered *atomic.Uint64, n int) {
 func BenchmarkBridgeChainedGateways(b *testing.B) {
 	reportOnce("bridge-chained", func() {
 		const n = 20000
-		rate := func(batch int) float64 {
-			gwA, delivered, cleanup := chainedGateways(b, batch)
+		rate := func(batch int, proto gateway.Proto, hops int) float64 {
+			gwA, delivered, cleanup := chainedGateways(b, batch, proto, hops)
 			defer cleanup()
 			start := time.Now()
 			chainedPublish(gwA, delivered, n)
 			return float64(n) / time.Since(start).Seconds()
 		}
-		single := rate(1)
-		batched := rate(64)
+		jsonSingle := rate(1, gateway.ProtoJSON, 0)
+		jsonBatched := rate(64, gateway.ProtoJSON, 0)
+		jsonRelay := rate(64, gateway.ProtoJSON, 2)
+		v2Batched := rate(64, gateway.ProtoV2, 0)
+		v2Relay := rate(64, gateway.ProtoV2, 2)
 		fmt.Println("--- Remote event plane: gwA --wire--> bridge --> gwB, 20k records ---")
-		fmt.Printf("%-22s %12.0f records/s\n", "single-record frames", single)
-		fmt.Printf("%-22s %12.0f records/s (%.1fx)\n", "batched frames (64)", batched, batched/single)
+		fmt.Printf("%-28s %12.0f records/s\n", "json single-record frames", jsonSingle)
+		fmt.Printf("%-28s %12.0f records/s (%.1fx)\n", "json batched frames (64)", jsonBatched, jsonBatched/jsonSingle)
+		fmt.Printf("%-28s %12.0f records/s (%.1fx vs json batched)\n", "v2 binary frames (64)", v2Batched, v2Batched/jsonBatched)
+		fmt.Printf("%-28s %12.0f records/s (each middle re-encodes every record)\n", "json + 2 relay gateways", jsonRelay)
+		fmt.Printf("%-28s %12.0f records/s (%.1fx vs json 3-hop; middles never decode)\n", "v2 + 2 relay gateways", v2Relay, v2Relay/jsonRelay)
 		fmt.Printf("paper: the relay hop dominates end-to-end monitoring cost (cs/0304015);\n")
-		fmt.Printf("batching amortizes the per-record JSON encode + syscall on that hop.\n")
+		fmt.Printf("batching amortizes the per-record syscall, binary framing removes the\n")
+		fmt.Printf("codec, and relay hops forward frame bytes untouched.\n")
 	})
 	for _, cfg := range []struct {
 		name  string
 		batch int
-	}{{"single-frame", 1}, {"batched-64", 64}} {
+		proto gateway.Proto
+		hops  int
+	}{
+		{"json-single-frame", 1, gateway.ProtoJSON, 0},
+		{"json-batched-64", 64, gateway.ProtoJSON, 0},
+		{"v2-batched-64", 64, gateway.ProtoV2, 0},
+		{"v2-relay-3hop", 64, gateway.ProtoV2, 2},
+	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			gwA, delivered, cleanup := chainedGateways(b, cfg.batch)
+			gwA, delivered, cleanup := chainedGateways(b, cfg.batch, cfg.proto, cfg.hops)
 			defer cleanup()
 			b.ResetTimer()
 			chainedPublish(gwA, delivered, b.N)
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
 		})
 	}
 }

@@ -66,11 +66,24 @@ func main() {
 	archiveRetainAge := flag.Duration("archive-retain-age", 0, "prune archive segments whose newest record is older than this (0 = keep all)")
 	archiveRetainBytes := flag.Int64("archive-retain-bytes", 0, "prune oldest archive segments while the archive exceeds this many bytes (0 = keep all)")
 	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every appended batch (durability vs. throughput)")
+	wireProto := flag.String("wire-proto", "auto", "wire protocol policy: auto (negotiate binary v2, serve both), json (pin server and peer bridges to JSON-per-line), v2 (peer bridges refuse to degrade)")
 	var summaries, peers, dirs multiFlag
 	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
 	flag.Var(&peers, "peer", "upstream gateway address whose topics are mirrored into this gateway (repeatable)")
 	flag.Var(&dirs, "dir", "sensor directory server address for ownership advertisement (repeatable for failover)")
 	flag.Parse()
+
+	var clientProto gateway.Proto
+	switch *wireProto {
+	case "auto":
+		clientProto = gateway.ProtoAuto
+	case "json":
+		clientProto = gateway.ProtoJSON
+	case "v2":
+		clientProto = gateway.ProtoV2
+	default:
+		log.Fatalf("gatewayd: bad -wire-proto %q (want auto, json, or v2)", *wireProto)
+	}
 
 	gw := gateway.New(*name, nil)
 	for _, s := range summaries {
@@ -148,10 +161,14 @@ func main() {
 		log.Fatalf("gatewayd: %v", err)
 	}
 	srv.SetHistory(hist)
+	if clientProto == gateway.ProtoJSON {
+		srv.SetMaxVersion(1)
+	}
 
 	var bridges []*bridge.Bridge
 	for _, peer := range peers {
 		c := gateway.NewClient("gatewayd/"+*name, peer)
+		c.Protocol = clientProto
 		bridges = append(bridges, bridge.New(c, gw, bridge.Options{
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
 		}))

@@ -61,10 +61,23 @@ func main() {
 	async := flag.Int("async", 0, "async event-plane queue depth per shard for the embedded gateway (0 = synchronous)")
 	demo := flag.Bool("demo-workload", false, "run a synthetic CPU workload and periodic port-21 transfers")
 	httpAddr := flag.String("http", "", "serve the browser UI (tables/charts of §5.0) on this address, e.g. 127.0.0.1:8800")
+	wireProto := flag.String("wire-proto", "auto", "wire protocol policy: auto (negotiate binary v2), json (pin the embedded gateway and all outbound links to JSON-per-line), v2 (outbound links refuse to degrade)")
 	flag.Parse()
 	if *configSrc == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var clientProto gateway.Proto
+	switch *wireProto {
+	case "auto":
+		clientProto = gateway.ProtoAuto
+	case "json":
+		clientProto = gateway.ProtoJSON
+	case "v2":
+		clientProto = gateway.ProtoV2
+	default:
+		log.Fatalf("jammd: bad -wire-proto %q (want auto, json, or v2)", *wireProto)
 	}
 
 	opts := core.Options{Seed: time.Now().UnixNano(), Epoch: time.Now().UTC()}
@@ -133,6 +146,9 @@ func main() {
 		log.Fatalf("jammd: gateway: %v", err)
 	}
 	defer gwSrv.Close()
+	if clientProto == gateway.ProtoJSON {
+		gwSrv.SetMaxVersion(1)
+	}
 
 	// Optional upstream forwarding: the whole local stream re-publishes
 	// upstream in batched wire frames, riding a batch subscription so a
@@ -152,6 +168,7 @@ func main() {
 				Principal: "jammd/" + *hostName,
 				BatchMax:  64,
 				BatchWait: 5 * time.Millisecond,
+				Protocol:  clientProto,
 			}
 			if *dirAddr != "" {
 				rtOpts.Directory = directory.NewClient("jammd/"+*hostName, *dirAddr)
@@ -164,7 +181,9 @@ func main() {
 			defer rt.Close()
 			sink = rt.PublishBatch
 		} else {
-			pub, err := gateway.NewClient("jammd/"+*hostName, *forward).NewBatchPublisher(gateway.FormatULM, 64, 5*time.Millisecond)
+			fc := gateway.NewClient("jammd/"+*hostName, *forward)
+			fc.Protocol = clientProto
+			pub, err := fc.NewBatchPublisher(gateway.FormatULM, 64, 5*time.Millisecond)
 			if err != nil {
 				log.Fatalf("jammd: forward: %v", err)
 			}
@@ -202,6 +221,7 @@ func main() {
 	var mirrors []*bridge.Bridge
 	for _, peer := range peers {
 		c := gateway.NewClient("jammd/"+*hostName, peer)
+		c.Protocol = clientProto
 		mirrors = append(mirrors, bridge.New(c, site.Gateway, bridge.Options{
 			BatchMax: 64, BatchWait: 2 * time.Millisecond,
 		}))

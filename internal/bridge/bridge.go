@@ -31,6 +31,17 @@ type Target interface {
 	PublishBatch(topic string, recs []ulm.Record)
 }
 
+// FrameTarget is a target that can ingest whole wire-v2 binary frames
+// without the bridge decoding them — *gateway.Gateway satisfies it. A
+// bridge in pure-relay position (no prefix rewrite, pass-through
+// requests, v2 negotiated on the upstream connection) forwards each
+// received frame's bytes into such a target untouched: it reads the
+// frame header for the hop count and bumps it there, but never decodes
+// a record body.
+type FrameTarget interface {
+	PublishFrame(f *gateway.Frame) error
+}
+
 // Options configures a Bridge.
 type Options struct {
 	// Requests selects which remote topics to mirror; empty mirrors
@@ -82,6 +93,10 @@ type Stats struct {
 	// LoopDrops counts records dropped at the MaxHops limit — nonzero
 	// means a mirror cycle (or an implausibly deep chain) exists.
 	LoopDrops uint64
+	// RelayedFrames counts wire frames forwarded on the zero-copy path:
+	// header inspected, hop count bumped, record bodies never decoded.
+	// Records they carried are included in Mirrored.
+	RelayedFrames uint64
 	// Connected reports whether the bridge currently holds live
 	// subscriptions.
 	Connected bool
@@ -94,11 +109,16 @@ type Bridge struct {
 	client *gateway.Client
 	target Target
 	opts   Options
+	// frameTarget is non-nil when target can ingest raw frames and the
+	// bridge is in relay position (no prefix rewrite).
+	frameTarget FrameTarget
 
-	mirrored  atomic.Uint64
-	loopDrops atomic.Uint64
-	connects  atomic.Uint64
-	connected atomic.Bool
+	mirrored      atomic.Uint64
+	loopDrops     atomic.Uint64
+	connects      atomic.Uint64
+	relayedFrames atomic.Uint64
+	relayErrs     atomic.Uint64
+	connected     atomic.Bool
 
 	// mu guards the live-stream set AND the finished-stream counter
 	// totals together: a finished stream's counters are folded into the
@@ -133,6 +153,12 @@ func New(client *gateway.Client, target Target, opts Options) *Bridge {
 		opts.MaxBackoff = 5 * time.Second
 	}
 	b := &Bridge{client: client, target: target, opts: opts, done: make(chan struct{})}
+	// The zero-copy relay position: the target ingests raw frames and no
+	// topic rewrite is configured. Which requests actually relay is
+	// decided per subscription (pass-through filter, v2 negotiated).
+	if ft, ok := target.(FrameTarget); ok && opts.Prefix == "" {
+		b.frameTarget = ft
+	}
 	b.wg.Add(1)
 	go b.run()
 	return b
@@ -145,14 +171,15 @@ func New(client *gateway.Client, target Target, opts Options) *Bridge {
 // cumulative counters never dip.
 func (b *Bridge) Stats() Stats {
 	st := Stats{
-		Mirrored:  b.mirrored.Load(),
-		LoopDrops: b.loopDrops.Load(),
-		Connects:  b.connects.Load(),
-		Connected: b.connected.Load(),
+		Mirrored:      b.mirrored.Load(),
+		LoopDrops:     b.loopDrops.Load(),
+		Connects:      b.connects.Load(),
+		RelayedFrames: b.relayedFrames.Load(),
+		Connected:     b.connected.Load(),
 	}
 	b.mu.Lock()
 	st.RemoteDrops = b.remoteDrops
-	st.DecodeErrors = b.decodeErrs
+	st.DecodeErrors = b.decodeErrs + b.relayErrs.Load()
 	for _, s := range b.streams {
 		st.RemoteDrops += s.RemoteDrops()
 		st.DecodeErrors += s.DecodeErrors()
@@ -234,7 +261,7 @@ func (b *Bridge) subscribeAll() ([]*gateway.Stream, <-chan struct{}, error) {
 	var failOnce sync.Once
 	streams := make([]*gateway.Stream, 0, len(b.opts.Requests))
 	for _, req := range b.opts.Requests {
-		st, err := b.client.SubscribeBatchStream(req, opts, b.mirror)
+		st, err := b.subscribeOne(req, opts)
 		if err != nil {
 			return streams, nil, err
 		}
@@ -245,6 +272,47 @@ func (b *Bridge) subscribeAll() ([]*gateway.Stream, <-chan struct{}, error) {
 		}(st)
 	}
 	return streams, fail, nil
+}
+
+// subscribeOne opens one streaming subscription, preferring the
+// zero-copy frame stream when this bridge and this request are in
+// relay position. A server that cannot speak v2 degrades to the
+// decoded batch stream — per request, so a mixed-version chain relays
+// where it can and mirrors where it must.
+func (b *Bridge) subscribeOne(req gateway.Request, opts gateway.StreamOptions) (*gateway.Stream, error) {
+	if b.frameTarget != nil && gateway.PassThrough(req) && gateway.V2Format(b.opts.Format) {
+		st, err := b.client.SubscribeFrameStream(req, opts, b.relay)
+		if err == nil {
+			return st, nil
+		}
+		if err != gateway.ErrV2Unsupported {
+			return nil, err
+		}
+		// Fall through: upstream only speaks JSON-per-line.
+	}
+	return b.client.SubscribeBatchStream(req, opts, b.mirror)
+}
+
+// relay forwards one received wire frame into the frame target
+// untouched except for the hop count, which lives in the frame header:
+// bump + checksum patch, no record decode. A frame at the MaxHops
+// limit drops whole (all its records share the header's hop ceiling),
+// counted per record like mirror's loop drops.
+func (b *Bridge) relay(f *gateway.Frame) {
+	hops := f.Hops()
+	if hops >= b.opts.MaxHops {
+		b.loopDrops.Add(uint64(f.Count))
+		return
+	}
+	f.SetHops(hops + 1)
+	if err := b.frameTarget.PublishFrame(f); err != nil {
+		// The target needed the records decoded and they were garbage;
+		// counted here AND at the target, silent at neither.
+		b.relayErrs.Add(1)
+		return
+	}
+	b.relayedFrames.Add(1)
+	b.mirrored.Add(uint64(f.Count))
 }
 
 // mirror republishes one received batch into the local target as a

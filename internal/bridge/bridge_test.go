@@ -286,6 +286,136 @@ func TestBridgeClose(t *testing.T) {
 	}
 }
 
+// TestBridgeZeroCopyRelayChain is the wire-v2 tentpole at the bridge
+// layer: a three-gateway chain A → B → C where B is in pure-relay
+// position (no local consumers, no filter, no prefix). Frames must
+// cross B without a single record decode — B's FrameStats shows relays
+// and zero decodes — while C, which has a real subscriber, decodes
+// exactly once. The hop counter still advances per bridge hop, riding
+// the frame header instead of the record bodies.
+func TestBridgeZeroCopyRelayChain(t *testing.T) {
+	gwA, srvA := startRemote(t)
+	gwB, srvB := startRemote(t)
+	gwC := gateway.New("tail", nil)
+
+	brAB := New(gateway.NewClient("b-mirrors-a", srvA.Addr()), gwB, testOptions())
+	defer brAB.Close()
+	brBC := New(gateway.NewClient("c-mirrors-b", srvB.Addr()), gwC, testOptions())
+	defer brBC.Close()
+	if !brAB.WaitConnected(5*time.Second) || !brBC.WaitConnected(5*time.Second) {
+		t.Fatal("bridges never connected")
+	}
+
+	var mu sync.Mutex
+	var n int
+	var hops int
+	if _, err := gwC.SubscribeBatch(gateway.Request{}, func(recs []ulm.Record) {
+		mu.Lock()
+		n += len(recs)
+		for _, r := range recs {
+			if raw, ok := r.Get(HopField); ok {
+				fmt.Sscanf(raw, "%d", &hops)
+			}
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	gwA.PublishBatch("cpu@h1", []ulm.Record{mkRec("E", 0, 1), mkRec("E", time.Second, 2)})
+	waitCount(t, &mu, &n, 2)
+
+	// B moved the records without ever decoding them.
+	fsB := gwB.FrameStats()
+	if fsB.Decodes != 0 {
+		t.Fatalf("relay gateway decoded %d frames, want 0", fsB.Decodes)
+	}
+	if fsB.Relays == 0 || fsB.RelayRecords < 2 {
+		t.Fatalf("relay gateway FrameStats = %+v, want relays covering 2 records", fsB)
+	}
+	if st := brBC.Stats(); st.RelayedFrames == 0 || st.Mirrored < 2 {
+		t.Fatalf("tail bridge stats = %+v, want relayed frames", st)
+	}
+	// C decoded (it has a bus subscriber) — exactly where the chain ends.
+	if fsC := gwC.FrameStats(); fsC.Decodes == 0 {
+		t.Fatalf("tail gateway FrameStats = %+v, want decodes", fsC)
+	}
+	// Two bridge hops folded into the record on final decode.
+	mu.Lock()
+	defer mu.Unlock()
+	if hops != 2 {
+		t.Fatalf("decoded hop count = %d, want 2", hops)
+	}
+	// Relay accounting still reaches gateway stats at every hop.
+	if gwB.Stats().Published < 2 {
+		t.Fatalf("relay gateway Published = %d, want >= 2", gwB.Stats().Published)
+	}
+}
+
+// TestBridgeMixedVersionChain: pinning the middle server to the JSON
+// protocol must not break the chain — the downstream bridge falls back
+// to a decoded batch stream per request and records still arrive, just
+// without the zero-copy property at that hop.
+func TestBridgeMixedVersionChain(t *testing.T) {
+	gwA, srvA := startRemote(t)
+	gwB, srvB := startRemote(t)
+	srvB.SetMaxVersion(1) // middle hop speaks only JSON-per-line
+	gwC := gateway.New("tail", nil)
+
+	brAB := New(gateway.NewClient("b-mirrors-a", srvA.Addr()), gwB, testOptions())
+	defer brAB.Close()
+	brBC := New(gateway.NewClient("c-mirrors-b", srvB.Addr()), gwC, testOptions())
+	defer brBC.Close()
+	if !brAB.WaitConnected(5*time.Second) || !brBC.WaitConnected(5*time.Second) {
+		t.Fatal("bridges never connected")
+	}
+
+	var mu sync.Mutex
+	var n int
+	if _, err := gwC.SubscribeBatch(gateway.Request{}, func(recs []ulm.Record) {
+		mu.Lock()
+		n += len(recs)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	gwA.Publish("cpu@h1", mkRec("E", 0, 7))
+	waitCount(t, &mu, &n, 1)
+
+	// The downstream bridge degraded gracefully: no relayed frames, but
+	// the mirror works.
+	if st := brBC.Stats(); st.RelayedFrames != 0 || st.Mirrored < 1 {
+		t.Fatalf("tail bridge stats = %+v, want decoded fallback", st)
+	}
+}
+
+// TestBridgePrefixDisablesRelay: a prefix rewrite changes every
+// record's topic, so the bridge must never forward raw frames (their
+// sensor is baked into the bytes) — it stays on the decoded path.
+func TestBridgePrefixDisablesRelay(t *testing.T) {
+	remote, srv := startRemote(t)
+	downstream := gateway.New("downstream", nil)
+	opts := testOptions()
+	opts.Prefix = "site/"
+	br := New(gateway.NewClient("mirror", srv.Addr()), downstream, opts)
+	defer br.Close()
+	if !br.WaitConnected(5 * time.Second) {
+		t.Fatal("bridge never connected")
+	}
+	remote.Publish("cpu@h1", mkRec("E", 0, 5))
+	deadline := time.Now().Add(5 * time.Second)
+	for downstream.Stats().Published == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, found, err := downstream.Query("", "site/cpu@h1", "E"); err != nil || !found {
+		t.Fatalf("prefixed query: %v found=%v", err, found)
+	}
+	if st := br.Stats(); st.RelayedFrames != 0 {
+		t.Fatalf("prefixed bridge relayed %d raw frames; prefixes require decode", st.RelayedFrames)
+	}
+}
+
 // slowTarget delays every mirrored publish, forcing the remote server's
 // bounded subscription channel to overflow so RemoteDrops goes nonzero.
 type slowTarget struct {

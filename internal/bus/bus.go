@@ -181,6 +181,22 @@ func (b *Bus) shard(topic string) *shard {
 // Shards returns the shard count.
 func (b *Bus) Shards() int { return len(b.shards) }
 
+// HasConsumers reports whether any subscription, tap, or wildcard
+// observer would see a publish of topic — the predicate the gateway's
+// zero-copy frame relay uses to decide whether a received frame must
+// be decoded into records at all. One atomic load plus, when no
+// wildcard exists, one shard-map lookup.
+func (b *Bus) HasConsumers(topic string) bool {
+	if len(b.loadWildcard()) > 0 {
+		return true
+	}
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	n := len(sh.topics[topic])
+	sh.mu.Unlock()
+	return n > 0
+}
+
 // ShardOf returns the shard index a topic routes to.
 func (b *Bus) ShardOf(topic string) int { return int(HashTopic(topic) & b.mask) }
 

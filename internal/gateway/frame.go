@@ -1,0 +1,291 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"jamm/internal/ulm"
+)
+
+// Wire protocol v2 framing. After a successful version handshake (a
+// JSON {"op":"hello"} line answered with the negotiated version — see
+// wire_v2.go) the connection stops being newline-delimited JSON and
+// carries length-prefixed, CRC-checked binary frames in both
+// directions:
+//
+//	u32  payload length (little endian)
+//	u32  CRC32 (IEEE) of the payload
+//	payload:
+//	    [0]    op — frameOpBatch or frameOpJSON
+//	    [1]    hops — bridge hop count for the whole frame
+//	    [2,3]  reserved (zero)
+//	    op=batch: uvarint sensor length, sensor bytes,
+//	              uvarint record count, count × ULM binary records
+//	    op=json:  one JSON object (wireRequest client→server,
+//	              wireResponse server→client)
+//
+// This is histstore's on-disk frame (u32 len + CRC32 + sensor + ULM
+// binary batch) promoted to the wire, with a 4-byte op/hops prelude so
+// control traffic and relay loop-suppression ride the same framing.
+// Record batches — the publish, subscribe, and history hot paths —
+// travel as op=batch frames; everything else (requests, acks, errors,
+// drop counters, eof markers) is JSON-in-a-frame, so the cold path
+// keeps JSON's debuggability while the hot path never touches it.
+//
+// The hops byte lives in the frame header so a bridge in pure-relay
+// position can enforce MaxHops and forward the frame without decoding
+// a single record body: bump the byte, recompute the CRC (one pass,
+// no allocation), write the bytes. When a frame is finally decoded
+// into records, the header count folds into each record's JAMM.HOPS
+// field, so loop suppression survives mixed binary/JSON chains.
+
+// Frame ops.
+const (
+	frameOpBatch = 1
+	frameOpJSON  = 2
+)
+
+const (
+	// wireFrameHdr is the fixed frame prefix: u32 length + u32 CRC.
+	wireFrameHdr = 8
+	// framePrelude is the payload's fixed head: op, hops, 2 reserved.
+	framePrelude = 4
+	// maxWireFrameBytes bounds a v2 frame payload on read; anything
+	// larger is corruption or abuse, not a real batch (a full 4096
+	//-record batch of fat records stays far below this).
+	maxWireFrameBytes = 8 << 20
+	// maxFrameHops caps the header hop counter (one byte on the wire).
+	maxFrameHops = math.MaxUint8
+)
+
+// errBadFrame marks a frame that failed its CRC or payload parse: the
+// declared length was plausible, so the connection can skip it and
+// stay in sync.
+var errBadFrame = errors.New("gateway: bad wire frame")
+
+// errFrameTooBig marks an implausible frame length — the stream is
+// desynchronized or hostile and cannot be resynchronized.
+var errFrameTooBig = errors.New("gateway: oversized wire frame")
+
+// Frame is one decoded v2 record-batch frame: the header fields plus
+// the raw bytes, kept so relays can forward the frame without touching
+// the record bodies. A Frame handed to a callback is borrowed (its
+// buffer is reused by the reader); Clone before retaining.
+type Frame struct {
+	// Sensor is the bus topic every record of the frame was published
+	// under.
+	Sensor string
+	// Count is the record count declared by the frame header.
+	Count int
+
+	buf    []byte // full frame: 8-byte header + payload
+	recOff int    // offset of the first record byte within buf
+}
+
+// Bytes returns the full wire encoding (header + payload). The slice
+// aliases the frame's buffer — do not modify.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Hops returns the frame's bridge hop count.
+func (f *Frame) Hops() int { return int(f.buf[wireFrameHdr+1]) }
+
+// SetHops patches the frame's hop counter in place and recomputes the
+// payload CRC — the relay mutation: one byte store plus one checksum
+// pass, never a record decode.
+func (f *Frame) SetHops(h int) {
+	if h < 0 {
+		h = 0
+	}
+	if h > maxFrameHops {
+		h = maxFrameHops
+	}
+	f.buf[wireFrameHdr+1] = byte(h)
+	binary.LittleEndian.PutUint32(f.buf[4:], crc32.ChecksumIEEE(f.buf[wireFrameHdr:]))
+}
+
+// Clone returns a copy of the frame backed by its own buffer.
+func (f *Frame) Clone() *Frame {
+	buf := make([]byte, len(f.buf))
+	copy(buf, f.buf)
+	return &Frame{Sensor: f.Sensor, Count: f.Count, buf: buf, recOff: f.recOff}
+}
+
+// Records decodes the frame's record bodies, appending to dst. The
+// frame's header hop count is folded into each record's JAMM.HOPS
+// field (the larger of the two wins), so records leaving the zero-copy
+// plane carry the hops they accumulated while relayed as raw bytes.
+func (f *Frame) Records(dst []ulm.Record) ([]ulm.Record, error) {
+	rest := f.buf[f.recOff:]
+	hops := f.Hops()
+	var err error
+	for i := 0; i < f.Count; i++ {
+		var rec ulm.Record
+		if rest, err = ulm.DecodeBinary(rest, &rec); err != nil {
+			return dst, fmt.Errorf("gateway: frame record %d/%d: %w", i, f.Count, err)
+		}
+		if hops > 0 {
+			foldHops(&rec, hops)
+		}
+		dst = append(dst, rec)
+	}
+	if len(rest) != 0 {
+		return dst, fmt.Errorf("gateway: %d trailing bytes in frame", len(rest))
+	}
+	return dst, nil
+}
+
+// foldHops raises rec's hop field to at least h. Records decoded from
+// a frame own their field slices (fresh from DecodeBinary), so the
+// mutation is safe.
+func foldHops(rec *ulm.Record, h int) {
+	if cur := recHops(*rec); cur < h {
+		rec.Set(hopField, itoaSmall(h))
+	}
+}
+
+// hopField mirrors bridge.HopField without importing the bridge
+// package (which imports gateway).
+const hopField = "JAMM.HOPS"
+
+// recHops reads a record's hop field (0 when absent or malformed).
+func recHops(rec ulm.Record) int {
+	raw, ok := rec.Get(hopField)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] < '0' || raw[i] > '9' {
+			return 0
+		}
+		n = n*10 + int(raw[i]-'0')
+		if n > maxFrameHops {
+			return maxFrameHops
+		}
+	}
+	return n
+}
+
+// itoaSmall renders a small non-negative integer without fmt.
+func itoaSmall(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// batchHops returns the frame hop count for a batch being encoded: the
+// maximum hop field across its records, so a relay checking only the
+// header enforces MaxHops exactly for the deepest record and
+// conservatively for the rest.
+func batchHops(recs []ulm.Record) int {
+	h := 0
+	for i := range recs {
+		if n := recHops(recs[i]); n > h {
+			h = n
+		}
+	}
+	return h
+}
+
+// beginFrame appends the frame header and payload prelude for op/hops,
+// returning dst and the frame's start offset for finishFrame.
+func beginFrame(dst []byte, op byte, hops int) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	if hops < 0 {
+		hops = 0
+	}
+	if hops > maxFrameHops {
+		hops = maxFrameHops
+	}
+	dst = append(dst, op, byte(hops), 0, 0)
+	return dst, start
+}
+
+// finishFrame patches the length and CRC of the frame begun at start.
+func finishFrame(dst []byte, start int) []byte {
+	payload := dst[start+wireFrameHdr:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// appendBatchFrame appends one encoded record-batch frame to dst.
+func appendBatchFrame(dst []byte, hops int, sensor string, recs []ulm.Record) []byte {
+	dst, start := beginFrame(dst, frameOpBatch, hops)
+	dst = binary.AppendUvarint(dst, uint64(len(sensor)))
+	dst = append(dst, sensor...)
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		dst = ulm.AppendBinary(dst, &recs[i])
+	}
+	return finishFrame(dst, start)
+}
+
+// appendRawBatchFrame appends a record-batch frame whose record bodies
+// are already ULM-binary encoded — the splice path history replay uses
+// to serve stored archive frames without decoding them: prepend the
+// v2 prelude and sensor head, copy the stored record bytes, checksum.
+func appendRawBatchFrame(dst []byte, hops int, sensor string, count int, recBytes []byte) []byte {
+	dst, start := beginFrame(dst, frameOpBatch, hops)
+	dst = binary.AppendUvarint(dst, uint64(len(sensor)))
+	dst = append(dst, sensor...)
+	dst = binary.AppendUvarint(dst, uint64(count))
+	dst = append(dst, recBytes...)
+	return finishFrame(dst, start)
+}
+
+// appendJSONFrame appends a JSON control frame carrying data (one
+// marshaled JSON object).
+func appendJSONFrame(dst []byte, data []byte) []byte {
+	dst, start := beginFrame(dst, frameOpJSON, 0)
+	dst = append(dst, data...)
+	return finishFrame(dst, start)
+}
+
+// parseBatchFrame parses a full batch frame (header + payload) whose
+// CRC has already been verified. The returned Frame borrows buf.
+func parseBatchFrame(buf []byte) (Frame, error) {
+	payload := buf[wireFrameHdr+framePrelude:]
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)-sz) {
+		return Frame{}, errBadFrame
+	}
+	sensor := string(payload[sz : sz+int(n)])
+	payload = payload[sz+int(n):]
+	count, sz2 := binary.Uvarint(payload)
+	if sz2 <= 0 || count > uint64(len(payload)-sz2) {
+		// Each record is ≥1 byte (its magic), so a count beyond the
+		// remaining bytes is garbage that happened to checksum — reject
+		// before anyone trusts Count for accounting.
+		return Frame{}, errBadFrame
+	}
+	recOff := len(buf) - len(payload) + sz2
+	return Frame{Sensor: sensor, Count: int(count), buf: buf, recOff: recOff}, nil
+}
+
+// verifyFrame checks a full frame's declared length and CRC.
+func verifyFrame(buf []byte) error {
+	if len(buf) < wireFrameHdr+framePrelude {
+		return errBadFrame
+	}
+	payload := buf[wireFrameHdr:]
+	if binary.LittleEndian.Uint32(buf[:4]) != uint32(len(payload)) {
+		return errBadFrame
+	}
+	if binary.LittleEndian.Uint32(buf[4:8]) != crc32.ChecksumIEEE(payload) {
+		return errBadFrame
+	}
+	return nil
+}

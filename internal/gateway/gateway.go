@@ -87,6 +87,11 @@ type producer struct {
 	last      map[string]ulm.Record
 	consumers int
 	published uint64
+	// lastFrame holds the most recent relayed frame's bytes when the
+	// sensor's records pass through undecoded (wire v2 relay): the
+	// last-event cache is then filled lazily, on the first Query, so
+	// the relay hot path pays a memcpy instead of a record decode.
+	lastFrame []byte
 }
 
 // producerShards is the lock-domain count for per-sensor producer
@@ -132,6 +137,16 @@ type Gateway struct {
 	regSeq      atomic.Uint64
 	regDispatch sync.Mutex
 	regSeen     map[string]uint64
+
+	// hub is the zero-copy frame plane (framehub.go): v2 wire
+	// subscribers without filters ride it, binary frames from upstream
+	// relays enter through PublishFrame.
+	hub             frameHub
+	frameRelays     atomic.Uint64
+	frameRelayRecs  atomic.Uint64
+	frameDecodes    atomic.Uint64
+	frameDecodeErrs atomic.Uint64
+	frameDelivered  atomic.Uint64
 }
 
 // Config tunes a gateway's event-distribution core.
@@ -353,8 +368,10 @@ func (g *Gateway) Consumers(sensorName string) int {
 func (g *Gateway) Stats() Stats {
 	bs := g.bus.Stats()
 	return Stats{
-		Published:      bs.Published,
-		Delivered:      bs.Delivered,
+		// Records relayed as raw frames never touch the bus, but they
+		// entered (and left) this gateway all the same.
+		Published:      bs.Published + g.frameRelayRecs.Load(),
+		Delivered:      bs.Delivered + g.frameDelivered.Load(),
 		Suppressed:     bs.Suppressed,
 		Queries:        g.queries.Load(),
 		ConsumerClamps: g.consumerClamps.Load(),
@@ -387,6 +404,7 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 	}
 	p.published++
 	p.last[rec.Event] = rec
+	p.lastFrame = p.lastFrame[:0] // decoded record is newer than any pending frame
 	var meta Meta
 	var seq uint64
 	if revived {
@@ -396,6 +414,9 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 	ps.mu.Unlock()
 	if revived {
 		g.fireRegistration(sensorName, meta, true, seq)
+	}
+	if len(g.hub.load()) != 0 {
+		g.feedFrameSubs(sensorName, []ulm.Record{rec})
 	}
 	g.bus.Publish(sensorName, rec)
 }
@@ -429,6 +450,7 @@ func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
 	for i := range recs {
 		p.last[recs[i].Event] = recs[i]
 	}
+	p.lastFrame = p.lastFrame[:0] // decoded records are newer than any pending frame
 	var meta Meta
 	var seq uint64
 	if revived {
@@ -439,6 +461,7 @@ func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
 	if revived {
 		g.fireRegistration(sensorName, meta, true, seq)
 	}
+	g.feedFrameSubs(sensorName, recs)
 	g.bus.PublishBatch(sensorName, recs)
 }
 
@@ -720,6 +743,22 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	if !ok || !p.live {
 		return ulm.Record{}, false, fmt.Errorf("gateway: unknown sensor %q", sensorName)
 	}
+	// A relay hop defers the last-event decode to here: fold the pending
+	// raw frame into the cache on the first query that wants it.
+	if len(p.lastFrame) > 0 {
+		if f, err := parseBatchFrame(p.lastFrame); err == nil {
+			if recs, err := f.Records(nil); err == nil {
+				for i := range recs {
+					p.last[recs[i].Event] = recs[i]
+				}
+			} else {
+				g.frameDecodeErrs.Add(1)
+			}
+		} else {
+			g.frameDecodeErrs.Add(1)
+		}
+		p.lastFrame = p.lastFrame[:0]
+	}
 	rec, ok := p.last[event]
 	return rec, ok, nil
 }
@@ -754,11 +793,19 @@ func (g *Gateway) authorize(principal, sensorName, action string) error {
 type Subscription struct {
 	g   *Gateway
 	req Request
+	// sub is the bus-plane subscription; nil for frame-plane
+	// subscriptions (SubscribeFrames), which never touch the bus.
 	sub *bus.Subscription
 
 	// wireDrops counts records the transport layer dropped after the
 	// bus delivered them (slow wire consumer) — see SubscribeChan.
 	wireDrops atomic.Uint64
+
+	// fDelivered counts records offered to a frame-plane subscription
+	// (cooked and raw alike); frameDone makes Cancel idempotent in the
+	// absence of a bus subscription to anchor it.
+	fDelivered atomic.Uint64
+	frameDone  atomic.Bool
 
 	// backlog reports records buffered behind a batch channel
 	// (SubscribeBatchChan) not yet taken by the receiver; nil for
@@ -782,7 +829,11 @@ func (s *Subscription) ChanBacklog() int {
 func (s *Subscription) Request() Request { return s.req }
 
 // Counts returns how many records were delivered and suppressed.
+// Frame-plane subscriptions never suppress (they cannot filter).
 func (s *Subscription) Counts() (delivered, suppressed uint64) {
+	if s.sub == nil {
+		return s.fDelivered.Load(), 0
+	}
 	return s.sub.Counts()
 }
 
@@ -793,7 +844,11 @@ func (s *Subscription) WireDrops() uint64 { return s.wireDrops.Load() }
 
 // Cancel closes the subscription.
 func (s *Subscription) Cancel() {
-	if !s.sub.Cancel() {
+	if s.sub != nil {
+		if !s.sub.Cancel() {
+			return
+		}
+	} else if !s.frameDone.CompareAndSwap(false, true) {
 		return
 	}
 	if s.onCancel != nil {

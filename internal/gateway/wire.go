@@ -65,8 +65,11 @@ type wireEvent struct {
 }
 
 type wireRequest struct {
-	Op     string `json:"op"` // subscribe, publish, query, summary, list, ping, history, batch_max
+	Op     string `json:"op"` // hello, subscribe, publish, query, summary, list, ping, history, batch_max
 	Format string `json:"format,omitempty"`
+	// MaxVersion is the highest wire protocol version the client speaks,
+	// on an op=hello handshake line (see wire_v2.go).
+	MaxVersion int `json:"max_version,omitempty"`
 	Event  string `json:"event,omitempty"`
 	Rec    string `json:"rec,omitempty"` // publish: a single event payload
 	// Recs is the batched publish frame; each record names its own
@@ -103,6 +106,9 @@ type wireResponse struct {
 	// record count the stream carried.
 	Eof bool `json:"eof,omitempty"`
 	N   int  `json:"n,omitempty"`
+	// Version answers an op=hello handshake: the negotiated wire
+	// protocol version the connection speaks from here on.
+	Version int `json:"version,omitempty"`
 }
 
 func encodeRecord(format string, rec ulm.Record) (string, error) {
@@ -157,11 +163,18 @@ type WireStats struct {
 	// HistDrops counts archived records a history response could not
 	// carry (payload encode failure in the requested format).
 	HistDrops uint64
+	// BadFrames counts malformed v2 binary frames (failed CRC, bad
+	// payload parse, undecodable record bodies) — the binary analogue
+	// of BadLines.
+	BadFrames uint64
+	// HandshakeTimeouts counts connections dropped because the peer
+	// connected and then sent nothing within the negotiation window.
+	HandshakeTimeouts uint64
 }
 
 // Drops returns the total loss counter the server answers pings with.
 func (w WireStats) Drops() uint64 {
-	return w.BadRecords + w.BadLines + w.SubDrops + w.HistDrops
+	return w.BadRecords + w.BadLines + w.SubDrops + w.HistDrops + w.BadFrames
 }
 
 // wireSubChanDepth is the per-subscription buffer (in records) between
@@ -202,10 +215,16 @@ type TCPServer struct {
 	// nil until SetHistory attaches one.
 	hist atomic.Pointer[histstore.Store]
 
-	badRecords atomic.Uint64
-	badLines   atomic.Uint64
-	subDrops   atomic.Uint64
-	histDrops  atomic.Uint64
+	// maxVersion caps what the server will negotiate on op=hello;
+	// SetMaxVersion(1) pins the server to JSON-per-line.
+	maxVersion atomic.Int32
+
+	badRecords        atomic.Uint64
+	badLines          atomic.Uint64
+	subDrops          atomic.Uint64
+	histDrops         atomic.Uint64
+	badFrames         atomic.Uint64
+	handshakeTimeouts atomic.Uint64
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -217,10 +236,13 @@ type TCPServer struct {
 
 // subConn is one subscriber connection's drain state: its subscription
 // (whose ChanBacklog counts records buffered behind the batch channel)
-// plus the records dequeued into a not-yet-flushed wire frame.
+// plus the records dequeued into a not-yet-flushed wire frame. chLen
+// reports records sitting in the delivery channel itself, abstracting
+// over the JSON path's TopicBatch channel and the v2 path's frameItem
+// channel.
 type subConn struct {
 	sub     *Subscription
-	ch      <-chan TopicBatch
+	chLen   func() int
 	pending atomic.Int64
 }
 
@@ -243,6 +265,7 @@ func ServeTCP(gw *Gateway, addr string, tlsCfg *tls.Config) (*TCPServer, error) 
 		return nil, err
 	}
 	t := &TCPServer{gw: gw, ln: ln, conns: make(map[net.Conn]struct{}), subConns: make(map[*subConn]struct{})}
+	t.maxVersion.Store(wireVersionMax)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -254,11 +277,27 @@ func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
 // WireStats returns a snapshot of the server's wire-loss counters.
 func (t *TCPServer) WireStats() WireStats {
 	return WireStats{
-		BadRecords: t.badRecords.Load(),
-		BadLines:   t.badLines.Load(),
-		SubDrops:   t.subDrops.Load(),
-		HistDrops:  t.histDrops.Load(),
+		BadRecords:        t.badRecords.Load(),
+		BadLines:          t.badLines.Load(),
+		SubDrops:          t.subDrops.Load(),
+		HistDrops:         t.histDrops.Load(),
+		BadFrames:         t.badFrames.Load(),
+		HandshakeTimeouts: t.handshakeTimeouts.Load(),
 	}
+}
+
+// SetMaxVersion caps the wire protocol version the server negotiates
+// on op=hello handshakes: 1 pins the server to JSON-per-line (hello is
+// still answered, with version 1), wireVersionMax (the default)
+// allows binary v2. Existing connections are unaffected.
+func (t *TCPServer) SetMaxVersion(v int) {
+	if v < 1 {
+		v = 1
+	}
+	if v > wireVersionMax {
+		v = wireVersionMax
+	}
+	t.maxVersion.Store(int32(v))
 }
 
 // SetHistory attaches a persistent event archive: the wire protocol's
@@ -311,12 +350,24 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	enc := json.NewEncoder(conn)
+	// The first read — the version-negotiation window — is bounded: a
+	// peer that connects and sends nothing must not hold this goroutine
+	// forever. Once the peer has said anything (hello or any v1 op) the
+	// connection is idle-tolerant as before.
+	awaitingFirst := true
+	if wireHandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(wireHandshakeTimeout)) //nolint:errcheck
+	}
 	// First-occurrence logging per connection: one line when a peer
 	// first sends garbage, not one per record.
 	var loggedBadLine, loggedBadRecord bool
 	var badStreak, badTotal int
 	publishStream := false
 	for sc.Scan() {
+		if awaitingFirst {
+			awaitingFirst = false
+			conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		}
 		var req wireRequest
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			// One malformed line must not kill a persistent publisher
@@ -347,6 +398,27 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		}
 		badStreak = 0
 		req.Principal = peerPrincipal(conn, req.Principal)
+		if req.Op == "hello" {
+			// Version negotiation: answer with the highest mutually
+			// supported version. Anything ≥ 2 switches the connection to
+			// binary framing; 1 keeps this JSON loop — the zero-handshake
+			// compat behavior, explicitly negotiated.
+			ver := req.MaxVersion
+			if max := int(t.maxVersion.Load()); ver > max {
+				ver = max
+			}
+			if ver < 1 {
+				ver = 1
+			}
+			if err := enc.Encode(wireResponse{OK: true, Version: ver}); err != nil {
+				return
+			}
+			if ver >= 2 {
+				t.serveConnV2(conn)
+				return
+			}
+			continue
+		}
 		if req.Op == "subscribe" {
 			t.serveSubscribe(conn, sc, enc, req)
 			return // the subscription owns the connection
@@ -377,6 +449,11 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	if err := sc.Err(); err == bufio.ErrTooLong {
 		t.badLines.Add(1)
 		log.Printf("gateway: wire: dropping connection %s: request line exceeds %d bytes (oversized batch?)", conn.RemoteAddr(), 4*1024*1024)
+	} else if awaitingFirst {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.handshakeTimeouts.Add(1)
+			log.Printf("gateway: wire: dropping %s: nothing received within the %s negotiation window", conn.RemoteAddr(), wireHandshakeTimeout)
+		}
 	}
 }
 
@@ -570,7 +647,7 @@ func (t *TCPServer) serveSubscribe(conn net.Conn, sc *bufio.Scanner, enc *json.E
 	// Register the drain state so DrainSubscribers can tell when every
 	// in-flight record — buffered in the channel or dequeued into a
 	// partial batch — has been written out.
-	ss := &subConn{sub: sub, ch: ch}
+	ss := &subConn{sub: sub, chLen: func() int { return len(ch) }}
 	t.mu.Lock()
 	t.subConns[ss] = struct{}{}
 	t.mu.Unlock()
@@ -700,7 +777,7 @@ func (t *TCPServer) DrainSubscribers(timeout time.Duration) bool {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		for ss := range t.subConns {
-			if ss.sub.ChanBacklog() > 0 || len(ss.ch) > 0 || ss.pending.Load() > 0 {
+			if ss.sub.ChanBacklog() > 0 || ss.chLen() > 0 || ss.pending.Load() > 0 {
 				return false
 			}
 		}
@@ -750,6 +827,11 @@ type Client struct {
 	Principal string
 	Timeout   time.Duration
 	TLS       *tls.Config
+	// Protocol is the wire protocol policy for the hot-path ops
+	// (publish, subscribe, history): ProtoAuto (default) negotiates
+	// binary v2 and falls back to JSON, ProtoJSON never negotiates,
+	// ProtoV2 refuses to degrade.
+	Protocol Proto
 }
 
 // NewClient returns a client for the gateway at addr.
@@ -873,11 +955,14 @@ func (hr HistoryRequest) wire(principal string) wireRequest {
 // valid during the callback. It returns how many records the server's
 // stream carried. fn returning an error abandons the stream.
 func (c *Client) HistoryStream(hr HistoryRequest, fn func(sensor string, recs []ulm.Record) error) (int, error) {
-	conn, err := c.dial()
+	conn, br, ver, err := c.dialNegotiate(hr.Format)
 	if err != nil {
 		return 0, err
 	}
 	defer conn.Close()
+	if ver >= 2 {
+		return c.historyStreamV2(conn, br, hr, fn)
+	}
 	if c.Timeout > 0 {
 		// The deadline covers the dial and each frame gap, not the
 		// whole stream: it is pushed forward as frames arrive.
@@ -886,7 +971,7 @@ func (c *Client) HistoryStream(hr HistoryRequest, fn func(sensor string, recs []
 	if err := json.NewEncoder(conn).Encode(hr.wire(c.Principal)); err != nil {
 		return 0, err
 	}
-	dec := json.NewDecoder(conn)
+	dec := json.NewDecoder(br)
 	var batch []ulm.Record
 	n := 0
 	for {
@@ -970,6 +1055,17 @@ type Publisher struct {
 	timer    *time.Timer
 	err      error
 	closed   bool
+
+	// Wire v2 state (ver >= 2): records encode straight into binary
+	// frames — wbuf accumulates sealed frames, run* the open per-sensor
+	// run still being appended to, bufRecs the records across both.
+	ver       int
+	wbuf      []byte
+	runSensor string
+	runBuf    []byte
+	runCount  int
+	runHops   int
+	bufRecs   int
 	// dropped counts records lost to a failed write: a flush error
 	// discards the whole buffered batch (records whose Publish already
 	// returned nil), so the loss must be observable, not silent.
@@ -997,11 +1093,11 @@ func (c *Client) NewBatchPublisher(format string, maxRecs int, maxWait time.Dura
 	if maxRecs > maxBatchRecords {
 		maxRecs = maxBatchRecords
 	}
-	conn, err := c.dial()
+	conn, _, ver, err := c.dialNegotiate(format)
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{conn: conn, enc: json.NewEncoder(conn), format: format, maxRecs: maxRecs, maxWait: maxWait}, nil
+	return &Publisher{conn: conn, enc: json.NewEncoder(conn), format: format, maxRecs: maxRecs, maxWait: maxWait, ver: ver}, nil
 }
 
 // Publish sends one sensor record; errors indicate a bad payload or a
@@ -1009,6 +1105,9 @@ func (c *Client) NewBatchPublisher(format string, maxRecs int, maxWait time.Dura
 // error surfaces on the Publish/Flush/Close that performs the write
 // and sticks to the publisher afterwards.
 func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
+	if p.ver >= 2 {
+		return p.publishV2(sensor, &rec)
+	}
 	payload, err := encodeRecord(p.format, rec)
 	if err != nil {
 		return err
@@ -1056,6 +1155,9 @@ func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 func (p *Publisher) PublishBatch(sensor string, recs []ulm.Record) (written int, err error) {
 	if len(recs) == 0 {
 		return 0, nil
+	}
+	if p.ver >= 2 {
+		return p.publishBatchV2(sensor, recs)
 	}
 	payloads := make([]string, len(recs))
 	for i := range recs {
@@ -1111,6 +1213,9 @@ func (p *Publisher) Flush() error {
 }
 
 func (p *Publisher) flushLocked() error {
+	if p.ver >= 2 {
+		return p.flushV2Locked()
+	}
 	if p.timer != nil {
 		p.timer.Stop()
 		p.timer = nil
@@ -1169,6 +1274,11 @@ type StreamOptions struct {
 type Stream struct {
 	conn net.Conn
 
+	// version is the negotiated wire protocol (0/1 = JSON); ctl, when
+	// non-nil, sends a control request in the stream's framing.
+	version int
+	ctl     func(wireRequest) error
+
 	drops      atomic.Uint64 // cumulative remote slow-consumer drops
 	decodeErrs atomic.Uint64 // frames whose payload failed local decode
 
@@ -1219,6 +1329,9 @@ func (s *Stream) SetBatchMax(n int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ctl != nil {
+		return s.ctl(wireRequest{Op: "batch_max", BatchMax: n})
+	}
 	return json.NewEncoder(s.conn).Encode(wireRequest{Op: "batch_max", BatchMax: n})
 }
 
@@ -1242,9 +1355,12 @@ func (c *Client) SubscribeStream(req Request, opts StreamOptions, fn func(sensor
 // copy it to retain records. This is the ingest form batch consumers
 // (bridges republishing into a local bus, batch archivers) ride.
 func (c *Client) SubscribeBatchStream(req Request, opts StreamOptions, fn func(sensor string, recs []ulm.Record)) (*Stream, error) {
-	conn, err := c.dial()
+	conn, br, ver, err := c.dialNegotiate(opts.Format)
 	if err != nil {
 		return nil, err
+	}
+	if ver >= 2 {
+		return c.subscribeBatchStreamV2(conn, br, req, opts, fn)
 	}
 	req.Principal = c.Principal
 	wr := wireRequest{
@@ -1256,7 +1372,7 @@ func (c *Client) SubscribeBatchStream(req Request, opts StreamOptions, fn func(s
 		conn.Close()
 		return nil, err
 	}
-	dec := json.NewDecoder(conn)
+	dec := json.NewDecoder(br)
 	var first wireResponse
 	if c.Timeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck

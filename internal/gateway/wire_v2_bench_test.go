@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// BenchmarkWireCodec isolates the codec cost the v2 tentpole removes:
+// one 64-record batch through the full wire encode+decode round trip,
+// as the JSON protocol carries it (ULM text inside a JSON envelope,
+// per-record) versus a v2 binary frame (one prelude, ULM binary
+// records, one CRC). Transport excluded — this is the CPU the two
+// protocols spend per delivered batch.
+func BenchmarkWireCodec(b *testing.B) {
+	const batch = 64
+	recs := make([]ulm.Record, batch)
+	for i := range recs {
+		recs[i] = mkRec("VMSTAT_SYS_TIME", time.Duration(i)*time.Millisecond, float64(i))
+	}
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp := wireResponse{OK: true, Sensor: "cpu", Recs: make([]wireEvent, 0, batch)}
+			for j := range recs {
+				payload, err := encodeRecord(FormatULM, recs[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Recs = append(resp.Recs, wireEvent{Rec: payload})
+			}
+			line, err := json.Marshal(resp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var got wireResponse
+			if err := json.Unmarshal(line, &got); err != nil {
+				b.Fatal(err)
+			}
+			for j := range got.Recs {
+				if _, err := decodeRecord(FormatULM, got.Recs[j].Rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("v2", func(b *testing.B) {
+		b.ReportAllocs()
+		var frame []byte
+		out := make([]ulm.Record, 0, batch)
+		for i := 0; i < b.N; i++ {
+			frame = appendBatchFrame(frame[:0], 0, "cpu", recs)
+			if err := verifyFrame(frame); err != nil {
+				b.Fatal(err)
+			}
+			f, err := parseBatchFrame(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out, err = f.Records(out[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	// The relay position never decodes at all: CRC check plus hop bump
+	// is the entire per-frame cost a v2 intermediate gateway pays.
+	b.Run("v2-relay", func(b *testing.B) {
+		b.ReportAllocs()
+		frame := appendBatchFrame(nil, 0, "cpu", recs)
+		for i := 0; i < b.N; i++ {
+			if err := verifyFrame(frame); err != nil {
+				b.Fatal(err)
+			}
+			f, err := parseBatchFrame(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.SetHops(f.Hops() + 1)
+			if f.Count != batch {
+				b.Fatal("bad count")
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "records/s")
+	})
+}

@@ -97,3 +97,64 @@ func BenchmarkHistoryQuery(b *testing.B) {
 	b.ReportMetric(float64(opened), "segs-opened")
 	b.ReportMetric(float64(segments), "segs-total")
 }
+
+// BenchmarkHistoryReplayFrames compares a whole-archive replay decoded
+// record-by-record (the cooked path every pre-v2 history response paid)
+// against the raw path serving stored frame bytes without touching the
+// record bodies — replay at disk read speed.
+func BenchmarkHistoryReplayFrames(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{MaxSegmentBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const total = 64_000
+	recs := make([]ulm.Record, 64)
+	for i := 0; i < total/len(recs); i++ {
+		for j := range recs {
+			recs[j] = trec(t0, time.Duration(i*len(recs)+j)*time.Millisecond, "LOAD")
+		}
+		if err := s.AppendBatch("cpu", recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cooked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := s.Replay(Query{Sensor: "cpu"}, 64, func(_ string, rb []ulm.Record) error {
+				n += len(rb)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != total {
+				b.Fatalf("replayed %d records, want %d", n, total)
+			}
+		}
+		b.ReportMetric(float64(b.N*total)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := s.ReplayFrames(Query{Sensor: "cpu"}, 64,
+				func(_ string, count int, _ []byte) error {
+					n += count
+					return nil
+				},
+				func(_ string, rb []ulm.Record) error {
+					n += len(rb)
+					return nil
+				}); err != nil {
+				b.Fatal(err)
+			}
+			if n != total {
+				b.Fatalf("replayed %d records, want %d", n, total)
+			}
+		}
+		b.ReportMetric(float64(b.N*total)/b.Elapsed().Seconds(), "records/s")
+	})
+}

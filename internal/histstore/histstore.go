@@ -142,6 +142,10 @@ type Stats struct {
 	TornBytes int64
 	// PrunedSegments counts whole segments removed by retention.
 	PrunedSegments uint64
+	// RawFrames counts frames ReplayFrames served raw — stored bytes
+	// handed out without decoding a single record body (the disk-speed
+	// history path wire protocol v2 rides).
+	RawFrames uint64
 }
 
 // Store is a disk-backed segmented event archive. It is safe for
@@ -165,6 +169,7 @@ type Store struct {
 	segmentOpens  atomic.Uint64
 	tornBytes     atomic.Int64
 	prunedSegs    atomic.Uint64
+	rawFrames     atomic.Uint64
 }
 
 // Open opens (or creates) the archive in dir, recovering from a
@@ -284,6 +289,7 @@ func (s *Store) Stats() Stats {
 	st.SegmentOpens = s.segmentOpens.Load()
 	st.TornBytes = s.tornBytes.Load()
 	st.PrunedSegments = s.prunedSegs.Load()
+	st.RawFrames = s.rawFrames.Load()
 	return st
 }
 
@@ -526,10 +532,26 @@ func (s *Store) ReplayBus(q Query, b *bus.Bus, batchMax int) (int, error) {
 
 // segSource is a read snapshot of one matching segment: its path plus
 // the committed byte limit (sealed segments are immutable; the active
-// segment is read up to the bytes committed at snapshot time).
+// segment is read up to the bytes committed at snapshot time) and the
+// index's record-time bounds, which ReplayFrames uses to decide
+// whether the segment's frames can replay raw.
 type segSource struct {
-	path  string
-	limit int64
+	path       string
+	limit      int64
+	minT, maxT time.Time
+}
+
+// within reports whether every record in the segment lies inside the
+// half-open [from, to) query range — the condition under which its
+// frames need no per-record date check.
+func (src segSource) within(from, to time.Time) bool {
+	if !from.IsZero() && src.minT.Before(from) {
+		return false
+	}
+	if !to.IsZero() && !src.maxT.Before(to) {
+		return false
+	}
+	return true
 }
 
 // matchingSegments snapshots, under the lock, the segments whose
@@ -541,13 +563,76 @@ func (s *Store) matchingSegments(q Query) []segSource {
 	var out []segSource
 	for _, sg := range s.sealed {
 		if sg.overlaps(q.From, q.To) && sg.carries(q.Sensor) {
-			out = append(out, segSource{path: sg.path, limit: sg.bytes})
+			out = append(out, segSource{path: sg.path, limit: sg.bytes, minT: sg.minT, maxT: sg.maxT})
 		}
 	}
 	if s.active != nil && s.active.overlaps(q.From, q.To) && s.active.carries(q.Sensor) {
-		out = append(out, segSource{path: s.active.path, limit: s.active.bytes})
+		out = append(out, segSource{path: s.active.path, limit: s.active.bytes, minT: s.active.minT, maxT: s.active.maxT})
 	}
 	return out
+}
+
+// ReplayFrames streams matching archive frames, preferring the raw
+// form: when the query needs no per-record filtering of a segment's
+// frames — no event or level filters, and the segment's record-time
+// bounds lie entirely inside [From, To) — each of its frames is handed
+// to raw as (sensor, declared record count, stored ULM-binary record
+// bytes) without decoding a single record body; the sensor filter
+// still applies (frame-granular, via the frame head). Everything else
+// decodes and flows through cooked in per-sensor batches of up to
+// batchMax, exactly like Replay. The raw bytes are borrowed: valid
+// only during the callback. Wire protocol v2 splices raw frames
+// straight back onto the wire — history replay at disk read speed.
+func (s *Store) ReplayFrames(q Query, batchMax int, raw func(sensor string, count int, recBytes []byte) error, cooked func(sensor string, recs []ulm.Record) error) error {
+	if batchMax <= 0 {
+		batchMax = 256
+	}
+	for _, src := range s.matchingSegments(q) {
+		if len(q.Events) == 0 && len(q.Lvls) == 0 && src.within(q.From, q.To) {
+			if err := s.replaySegmentRaw(src, q, raw); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.replaySegment(src, q, batchMax, cooked); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegmentRaw streams one segment's frames to raw undecoded.
+func (s *Store) replaySegmentRaw(src segSource, q Query, raw func(string, int, []byte) error) error {
+	f, err := os.Open(src.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // pruned between snapshot and open
+		}
+		return err
+	}
+	defer f.Close()
+	s.segmentOpens.Add(1)
+	fs, err := newFrameScanner(f, src.limit)
+	if err != nil {
+		return err
+	}
+	fs.filter = q.Sensor
+	for {
+		sensor, count, rest, err := fs.nextRaw()
+		if err == io.EOF {
+			return nil
+		}
+		if err == errTorn {
+			return fmt.Errorf("histstore: corrupt frame in %s", src.path)
+		}
+		if err != nil {
+			return err
+		}
+		s.rawFrames.Add(1)
+		if err := raw(sensor, count, rest); err != nil {
+			return err
+		}
+	}
 }
 
 // replaySegment streams one segment's matching records to fn in

@@ -408,3 +408,110 @@ func TestClosedStoreErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayFramesRawPath: an unfiltered whole-range replay serves
+// stored frames raw — record bodies never decoded — and the raw bytes
+// must decode to exactly what a cooked replay yields. Any filter that
+// needs record bodies (events, levels, a time range cutting through a
+// segment) pushes that segment onto the cooked path.
+func TestReplayFramesRawPath(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	defer s.Close()
+	for i := 0; i < 30; i++ {
+		if err := s.AppendBatch("cpu", []ulm.Record{trec(t0, time.Duration(i)*time.Second, "LOAD")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append("net", trec(t0, 5*time.Second, "BYTES")); err != nil {
+		t.Fatal(err)
+	}
+
+	var rawRecs, cookedRecs []ulm.Record
+	err := s.ReplayFrames(Query{Sensor: "cpu"}, 64,
+		func(sensor string, count int, recBytes []byte) error {
+			if sensor != "cpu" {
+				t.Fatalf("raw frame sensor = %q", sensor)
+			}
+			rest := recBytes
+			for i := 0; i < count; i++ {
+				var rec ulm.Record
+				var err error
+				if rest, err = ulm.DecodeBinary(rest, &rec); err != nil {
+					t.Fatalf("raw frame record %d: %v", i, err)
+				}
+				rawRecs = append(rawRecs, rec)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d trailing bytes after %d raw records", len(rest), count)
+			}
+			return nil
+		},
+		func(sensor string, recs []ulm.Record) error {
+			cookedRecs = append(cookedRecs, recs...)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ReplayFrames: %v", err)
+	}
+	if len(rawRecs)+len(cookedRecs) != 30 {
+		t.Fatalf("replayed %d raw + %d cooked records, want 30 total", len(rawRecs), len(cookedRecs))
+	}
+	if len(rawRecs) == 0 {
+		t.Fatal("unfiltered replay never took the raw path")
+	}
+	if s.Stats().RawFrames == 0 {
+		t.Fatal("Stats().RawFrames = 0 after raw replay")
+	}
+
+	// The raw bytes carry the same records a cooked replay decodes.
+	var viaCooked []ulm.Record
+	if err := s.Replay(Query{Sensor: "cpu"}, 64, func(sensor string, recs []ulm.Record) error {
+		viaCooked = append(viaCooked, recs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]ulm.Record{}, rawRecs...), cookedRecs...)
+	if len(all) != len(viaCooked) {
+		t.Fatalf("raw replay yielded %d records, cooked %d", len(all), len(viaCooked))
+	}
+	for i := range all {
+		if !all[i].Date.Equal(viaCooked[i].Date) || all[i].Event != viaCooked[i].Event {
+			t.Fatalf("record %d differs: raw %v/%s cooked %v/%s", i,
+				all[i].Date, all[i].Event, viaCooked[i].Date, viaCooked[i].Event)
+		}
+	}
+
+	// An event filter forces decode: no new raw frames.
+	before := s.Stats().RawFrames
+	var n int
+	if err := s.ReplayFrames(Query{Events: []string{"BYTES"}}, 64,
+		func(string, int, []byte) error { t.Fatal("filtered replay used the raw path"); return nil },
+		func(sensor string, recs []ulm.Record) error { n += len(recs); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("filtered replay yielded %d records, want 1", n)
+	}
+	if s.Stats().RawFrames != before {
+		t.Fatalf("RawFrames grew on filtered replay (%d -> %d)", before, s.Stats().RawFrames)
+	}
+
+	// A time range slicing through a segment needs per-record bounds
+	// checks: cooked, even with no event filter.
+	var sliced int
+	if err := s.ReplayFrames(Query{Sensor: "cpu", From: t0.Add(5 * time.Second), To: t0.Add(10 * time.Second)}, 64,
+		func(sensor string, count int, recBytes []byte) error {
+			// Raw is only legal when the whole segment sits inside the
+			// range; with one active segment spanning 0..29s it cannot.
+			t.Fatal("mid-segment range used the raw path")
+			return nil
+		},
+		func(sensor string, recs []ulm.Record) error { sliced += len(recs); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sliced != 5 {
+		t.Fatalf("ranged replay yielded %d records, want 5", sliced)
+	}
+}

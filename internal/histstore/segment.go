@@ -244,6 +244,44 @@ func newFrameScanner(r io.Reader, limit int64) (*frameScanner, error) {
 	return &frameScanner{r: br, valid: int64(len(segMagic))}, nil
 }
 
+// readFrame reads and verifies the next whole frame, returning its
+// sensor, declared record count, and raw record bytes — WITHOUT
+// decoding record bodies (the CRC vouches for their integrity; the
+// declared count is sanity-bounded against the byte length). rest is
+// reused by the following call; flen is the frame's on-disk size.
+func (fs *frameScanner) readFrame() (sensor string, count uint64, rest []byte, flen int64, err error) {
+	var hdr [frameHdr]byte
+	if _, rerr := io.ReadFull(fs.r, hdr[:]); rerr != nil {
+		if rerr == io.EOF {
+			return "", 0, nil, 0, io.EOF
+		}
+		return "", 0, nil, 0, errTorn // partial header
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > maxFrameBytes {
+		return "", 0, nil, 0, errTorn // implausible length: torn or garbage
+	}
+	if cap(fs.buf) < int(length) {
+		fs.buf = make([]byte, length)
+	}
+	payload := fs.buf[:length]
+	if _, rerr := io.ReadFull(fs.r, payload); rerr != nil {
+		return "", 0, nil, 0, errTorn // partial payload
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", 0, nil, 0, errTorn
+	}
+	sensor, count, rest, herr := frameHead(payload)
+	// Each binary record occupies at least one byte, so a count past the
+	// byte length is nonsense even before any decode.
+	if herr != nil || count > uint64(len(rest)) {
+		return "", 0, nil, 0, errTorn // CRC passed but payload nonsense: treat as torn
+	}
+	fs.valid += frameHdr + int64(length)
+	return sensor, count, rest, frameHdr + int64(length), nil
+}
+
 // next returns the next whole frame's sensor and records (skipping
 // frames excluded by the filter). The returned slice is reused by the
 // following next call. It returns io.EOF at a clean end, and errTorn
@@ -252,42 +290,36 @@ func newFrameScanner(r io.Reader, limit int64) (*frameScanner, error) {
 // sealed ones).
 func (fs *frameScanner) next() (sensor string, recs []ulm.Record, err error) {
 	for {
-		var hdr [frameHdr]byte
-		if _, err := io.ReadFull(fs.r, hdr[:]); err != nil {
-			if err == io.EOF {
-				return "", nil, io.EOF
-			}
-			return "", nil, errTorn // partial header
-		}
-		length := binary.LittleEndian.Uint32(hdr[:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:])
-		if length == 0 || length > maxFrameBytes {
-			return "", nil, errTorn // implausible length: torn or garbage
-		}
-		if cap(fs.buf) < int(length) {
-			fs.buf = make([]byte, length)
-		}
-		payload := fs.buf[:length]
-		if _, err := io.ReadFull(fs.r, payload); err != nil {
-			return "", nil, errTorn // partial payload
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return "", nil, errTorn
-		}
-		sensor, count, rest, err := frameHead(payload)
+		sensor, count, rest, flen, err := fs.readFrame()
 		if err != nil {
-			return "", nil, errTorn // CRC passed but payload nonsense: treat as torn
+			return "", nil, err
 		}
-		fs.valid += frameHdr + int64(length)
 		if fs.filter != "" && sensor != fs.filter {
 			continue
 		}
 		fs.recs, err = decodeRecs(rest, count, fs.recs[:0])
 		if err != nil {
-			fs.valid -= frameHdr + int64(length)
+			fs.valid -= flen
 			return "", nil, errTorn
 		}
 		return sensor, fs.recs, nil
+	}
+}
+
+// nextRaw returns the next whole frame's sensor, declared record
+// count, and raw ULM-binary record bytes without decoding a single
+// record body — the form wire protocol v2 splices straight into its
+// own frames. The returned bytes are reused by the following call.
+func (fs *frameScanner) nextRaw() (sensor string, count int, raw []byte, err error) {
+	for {
+		sensor, c, rest, _, err := fs.readFrame()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		if fs.filter != "" && sensor != fs.filter {
+			continue
+		}
+		return sensor, int(c), rest, nil
 	}
 }
 

@@ -56,6 +56,10 @@ type Options struct {
 	BatchWait time.Duration
 	// Timeout bounds dials and request round trips (default 5s).
 	Timeout time.Duration
+	// Protocol is the wire protocol policy for the router's gateway
+	// connections (gateway.ProtoAuto default: negotiate binary v2, fall
+	// back to JSON).
+	Protocol gateway.Proto
 }
 
 // Router routes gateway operations across a sharded multi-gateway
@@ -155,6 +159,7 @@ func (r *Router) clientLocked(addr string) *gateway.Client {
 	if !ok {
 		c = gateway.NewClient(r.opts.Principal, addr)
 		c.Timeout = r.opts.Timeout
+		c.Protocol = r.opts.Protocol
 		r.clients[addr] = c
 	}
 	return c
@@ -404,6 +409,7 @@ func (r *Router) mirror(target bridge.Target, req gateway.Request) []*bridge.Bri
 func (r *Router) bridgeTo(addr string, target bridge.Target, req gateway.Request) *bridge.Bridge {
 	c := gateway.NewClient(r.opts.Principal, addr)
 	c.Timeout = r.opts.Timeout
+	c.Protocol = r.opts.Protocol
 	return bridge.New(c, target, bridge.Options{
 		Requests:  []gateway.Request{req},
 		Format:    r.opts.Format,

@@ -204,6 +204,17 @@ const (
 	FormatBinary = gateway.FormatBinary
 )
 
+// Proto selects a client's wire protocol policy (GatewayClient.Protocol).
+type Proto = gateway.Proto
+
+// Wire protocol policies: negotiate the binary v2 framing when the
+// server supports it (the default), pin JSON-per-line, or insist on v2.
+const (
+	ProtoAuto = gateway.ProtoAuto
+	ProtoJSON = gateway.ProtoJSON
+	ProtoV2   = gateway.ProtoV2
+)
+
 // ServeGateway exposes gw over the wire protocol on addr ("" or
 // "127.0.0.1:0" for ephemeral); a non-nil tlsCfg enables TLS with
 // certificate-derived principals.
