@@ -296,8 +296,9 @@ func (b *Bridge) subscribeOne(req gateway.Request, opts gateway.StreamOptions) (
 // relay forwards one received wire frame into the frame target
 // untouched except for the hop count, which lives in the frame header:
 // bump + checksum patch, no record decode. A frame at the MaxHops
-// limit drops whole (all its records share the header's hop ceiling),
-// counted per record like mirror's loop drops.
+// limit drops whole — the header carries the deepest record's count,
+// so the check is exact for that record and conservative for its
+// batchmates — counted per record like mirror's loop drops.
 func (b *Bridge) relay(f *gateway.Frame) {
 	hops := f.Hops()
 	if hops >= b.opts.MaxHops {

@@ -21,7 +21,8 @@ import (
 //	payload:
 //	    [0]    op — frameOpBatch or frameOpJSON
 //	    [1]    hops — bridge hop count for the whole frame
-//	    [2,3]  reserved (zero)
+//	    [2]    base — the hops value at encode time (never rewritten)
+//	    [3]    reserved (zero)
 //	    op=batch: uvarint sensor length, sensor bytes,
 //	              uvarint record count, count × ULM binary records
 //	    op=json:  one JSON object (wireRequest client→server,
@@ -38,9 +39,12 @@ import (
 // The hops byte lives in the frame header so a bridge in pure-relay
 // position can enforce MaxHops and forward the frame without decoding
 // a single record body: bump the byte, recompute the CRC (one pass,
-// no allocation), write the bytes. When a frame is finally decoded
-// into records, the header count folds into each record's JAMM.HOPS
-// field, so loop suppression survives mixed binary/JSON chains.
+// no allocation), write the bytes. The base byte records what the hops
+// byte said at encode time, so when a frame is finally decoded into
+// records, exactly the relay hops accumulated since encode (hops −
+// base) are added to each record's own JAMM.HOPS field — loop
+// suppression survives mixed binary/JSON chains without a shallow
+// record ever inheriting a deeper batchmate's absolute count.
 
 // Frame ops.
 const (
@@ -92,6 +96,11 @@ func (f *Frame) Bytes() []byte { return f.buf }
 // Hops returns the frame's bridge hop count.
 func (f *Frame) Hops() int { return int(f.buf[wireFrameHdr+1]) }
 
+// baseHops returns the frame's hop count as of encode time; relays
+// bump Hops but never this, so Hops−baseHops is the number of relay
+// hops the frame took as raw bytes.
+func (f *Frame) baseHops() int { return int(f.buf[wireFrameHdr+2]) }
+
 // SetHops patches the frame's hop counter in place and recomputes the
 // payload CRC — the relay mutation: one byte store plus one checksum
 // pass, never a record decode.
@@ -114,20 +123,22 @@ func (f *Frame) Clone() *Frame {
 }
 
 // Records decodes the frame's record bodies, appending to dst. The
-// frame's header hop count is folded into each record's JAMM.HOPS
-// field (the larger of the two wins), so records leaving the zero-copy
-// plane carry the hops they accumulated while relayed as raw bytes.
+// relay hops the frame accumulated as raw bytes — header hops minus
+// the encode-time base — are added to each record's own JAMM.HOPS
+// field, so records leaving the zero-copy plane carry exactly their
+// individual count plus the hops they actually took, never a deeper
+// batchmate's total.
 func (f *Frame) Records(dst []ulm.Record) ([]ulm.Record, error) {
 	rest := f.buf[f.recOff:]
-	hops := f.Hops()
+	delta := f.Hops() - f.baseHops()
 	var err error
 	for i := 0; i < f.Count; i++ {
 		var rec ulm.Record
 		if rest, err = ulm.DecodeBinary(rest, &rec); err != nil {
 			return dst, fmt.Errorf("gateway: frame record %d/%d: %w", i, f.Count, err)
 		}
-		if hops > 0 {
-			foldHops(&rec, hops)
+		if delta > 0 {
+			addHops(&rec, delta)
 		}
 		dst = append(dst, rec)
 	}
@@ -137,13 +148,15 @@ func (f *Frame) Records(dst []ulm.Record) ([]ulm.Record, error) {
 	return dst, nil
 }
 
-// foldHops raises rec's hop field to at least h. Records decoded from
-// a frame own their field slices (fresh from DecodeBinary), so the
-// mutation is safe.
-func foldHops(rec *ulm.Record, h int) {
-	if cur := recHops(*rec); cur < h {
-		rec.Set(hopField, itoaSmall(h))
+// addHops adds d relay hops to rec's hop field, saturating at the wire
+// ceiling. Records decoded from a frame own their field slices (fresh
+// from DecodeBinary), so the mutation is safe.
+func addHops(rec *ulm.Record, d int) {
+	n := recHops(*rec) + d
+	if n > maxFrameHops {
+		n = maxFrameHops
 	}
+	rec.Set(hopField, itoaSmall(n))
 }
 
 // hopField mirrors bridge.HopField without importing the bridge
@@ -187,7 +200,9 @@ func itoaSmall(n int) string {
 // batchHops returns the frame hop count for a batch being encoded: the
 // maximum hop field across its records, so a relay checking only the
 // header enforces MaxHops exactly for the deepest record and
-// conservatively for the rest.
+// conservatively for the rest. The same value becomes the frame's base
+// byte, so decode adds only hops accumulated after encode — the
+// header's batch maximum never leaks into shallower records.
 func batchHops(recs []ulm.Record) int {
 	h := 0
 	for i := range recs {
@@ -199,7 +214,10 @@ func batchHops(recs []ulm.Record) int {
 }
 
 // beginFrame appends the frame header and payload prelude for op/hops,
-// returning dst and the frame's start offset for finishFrame.
+// returning dst and the frame's start offset for finishFrame. The hop
+// count is written twice — as the live hops byte relays will bump and
+// as the immutable encode-time base — so a later decode can recover
+// the relay delta.
 func beginFrame(dst []byte, op byte, hops int) ([]byte, int) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
@@ -209,7 +227,7 @@ func beginFrame(dst []byte, op byte, hops int) ([]byte, int) {
 	if hops > maxFrameHops {
 		hops = maxFrameHops
 	}
-	dst = append(dst, op, byte(hops), 0, 0)
+	dst = append(dst, op, byte(hops), byte(hops), 0)
 	return dst, start
 }
 

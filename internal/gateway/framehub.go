@@ -56,10 +56,16 @@ type frameQueue struct {
 }
 
 // pushFrame admits a raw frame (cloning it: the caller's buffer is
-// borrowed), reporting whether the record budget allowed it.
+// borrowed), reporting whether the record budget allowed it. An empty
+// queue admits unconditionally — a relayed frame may legally carry more
+// records than the whole budget (maxBatchRecords vs the wire depth of
+// 256), and a strict budget check would shed every such frame forever
+// instead of applying slow-consumer backpressure. The overshoot is
+// bounded at one item: while it sits queued, recs exceeds the budget
+// and nothing else is admitted.
 func (q *frameQueue) pushFrame(f *Frame) bool {
 	q.mu.Lock()
-	if q.recs+f.Count > q.budget {
+	if q.recs > 0 && q.recs+f.Count > q.budget {
 		q.mu.Unlock()
 		return false
 	}
@@ -70,10 +76,12 @@ func (q *frameQueue) pushFrame(f *Frame) bool {
 	return true
 }
 
-// pushBatch admits a cooked chunk of local records (copying them).
+// pushBatch admits a cooked chunk of local records (copying them),
+// with the same empty-queue overshoot allowance as pushFrame so a
+// budget below the chunk size still makes progress.
 func (q *frameQueue) pushBatch(topic string, part []ulm.Record) bool {
 	q.mu.Lock()
-	if q.recs+len(part) > q.budget {
+	if q.recs > 0 && q.recs+len(part) > q.budget {
 		q.mu.Unlock()
 		return false
 	}
@@ -278,7 +286,10 @@ func (g *Gateway) PublishFrame(f *Frame) error {
 			return err
 		}
 		g.frameDecodes.Add(1)
-		g.PublishBatch(f.Sensor, recs)
+		// Bus-only publish: the hub loop above already delivered the raw
+		// frame to every matching frame subscriber, so the decoded records
+		// must not reach the frame plane a second time.
+		g.publishBatch(f.Sensor, recs, false)
 		g.putFrameScratch(recs)
 		return nil
 	}
@@ -325,6 +336,7 @@ func (g *Gateway) noteRelayed(f *Frame) {
 	}
 	p.published += uint64(f.Count)
 	p.lastFrame = append(p.lastFrame[:0], f.Bytes()...)
+	p.gen++
 	var meta Meta
 	var seq uint64
 	if revived {

@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// TestFrameIngestBusConsumerNoDoubleDelivery: when an ingested frame's
+// sensor has BOTH a frame-plane subscriber and a bus consumer, the
+// frame subscriber must receive the records exactly once (as the raw
+// frame) — the decode branch feeds only the bus, never the frame plane
+// a second time.
+func TestFrameIngestBusConsumerNoDoubleDelivery(t *testing.T) {
+	g := New("gw", nil)
+	var busSeen atomic.Int64
+	bsub, err := g.Subscribe(Request{Sensor: "cpu"}, func(ulm.Record) { busSeen.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsub.Cancel()
+	fsub, ch, err := g.SubscribeFrames(Request{}, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsub.Cancel()
+
+	recs := []ulm.Record{mkRec("A", 0, 1), mkRec("B", time.Second, 2)}
+	buf := appendBatchFrame(nil, 0, "cpu", recs)
+	f, err := parseBatchFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PublishFrame(&f); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case it := <-ch:
+		if it.f == nil || it.f.Count != 2 {
+			t.Fatalf("first frame-plane item = %+v, want the raw 2-record frame", it)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame subscriber received nothing")
+	}
+	// The decoded records must NOT arrive as a second, cooked item.
+	select {
+	case it := <-ch:
+		t.Fatalf("frame subscriber received a duplicate item: %+v", it)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if n := busSeen.Load(); n != 2 {
+		t.Fatalf("bus subscriber saw %d records, want 2", n)
+	}
+	if fs := g.FrameStats(); fs.Decodes != 1 || fs.Relays != 0 {
+		t.Fatalf("FrameStats = %+v, want 1 decode and 0 relays", fs)
+	}
+	if d := g.frameDelivered.Load(); d != 2 {
+		t.Fatalf("frameDelivered = %d, want 2 (each record counted once)", d)
+	}
+}
+
+// TestFrameQueueAdmitsOversizedFrame: a relayed frame carrying more
+// records than the subscriber's whole record budget must still be
+// deliverable when the queue is empty — a one-item overshoot — rather
+// than being shed 100% of the time.
+func TestFrameQueueAdmitsOversizedFrame(t *testing.T) {
+	g := New("gw", nil)
+	sub, ch, err := g.SubscribeFrames(Request{}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	recs := make([]ulm.Record, 32)
+	for i := range recs {
+		recs[i] = mkRec("A", time.Duration(i)*time.Second, float64(i))
+	}
+	buf := appendBatchFrame(nil, 0, "cpu", recs)
+	f, err := parseBatchFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PublishFrame(&f); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-ch:
+		if it.f == nil || it.f.Count != 32 {
+			t.Fatalf("delivered item = %+v, want the 32-record frame", it)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized frame was shed instead of admitted into the empty queue")
+	}
+	if d := sub.WireDrops(); d != 0 {
+		t.Fatalf("WireDrops = %d, want 0", d)
+	}
+}

@@ -92,6 +92,12 @@ type producer struct {
 	// last-event cache is then filled lazily, on the first Query, so
 	// the relay hot path pays a memcpy instead of a record decode.
 	lastFrame []byte
+	// gen counts cache-overwriting updates (publish, relay, unregister).
+	// Query decodes a pending lastFrame outside the shard lock — a frame
+	// can be megabytes — and folds the result in only if gen is
+	// unchanged, so a decode that raced a newer publish never clobbers
+	// fresher records.
+	gen uint64
 }
 
 // producerShards is the lock-domain count for per-sensor producer
@@ -243,6 +249,8 @@ func (g *Gateway) Unregister(sensorName string) {
 		// refuses non-live sensors): release it so a retained entry
 		// costs one small struct, not the sensor's whole event history.
 		p.last = make(map[string]ulm.Record)
+		p.lastFrame = nil
+		p.gen++
 		// Drop the entry outright only when nothing references it: no
 		// live subscriptions (their count must survive re-registration)
 		// and no explicit metadata to restore on implicit re-registration.
@@ -405,6 +413,7 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 	p.published++
 	p.last[rec.Event] = rec
 	p.lastFrame = p.lastFrame[:0] // decoded record is newer than any pending frame
+	p.gen++
 	var meta Meta
 	var seq uint64
 	if revived {
@@ -429,6 +438,15 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 // costs. recs is borrowed — see bus.PublishBatch for the ownership
 // contract. Unknown sensors are registered implicitly, once per batch.
 func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
+	g.publishBatch(sensorName, recs, true)
+}
+
+// publishBatch is PublishBatch with the frame plane optional. The
+// frame-ingest decode path (PublishFrame) has already handed the raw
+// frame bytes to every matching frame subscriber, so it feeds only the
+// bus here — feeding the decoded records to the frame plane too would
+// deliver each record twice to every v2 pass-through subscriber.
+func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames bool) {
 	if len(recs) == 0 {
 		return
 	}
@@ -451,6 +469,7 @@ func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
 		p.last[recs[i].Event] = recs[i]
 	}
 	p.lastFrame = p.lastFrame[:0] // decoded records are newer than any pending frame
+	p.gen++
 	var meta Meta
 	var seq uint64
 	if revived {
@@ -461,7 +480,9 @@ func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
 	if revived {
 		g.fireRegistration(sensorName, meta, true, seq)
 	}
-	g.feedFrameSubs(sensorName, recs)
+	if feedFrames {
+		g.feedFrameSubs(sensorName, recs)
+	}
 	g.bus.PublishBatch(sensorName, recs)
 }
 
@@ -738,28 +759,38 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	g.queries.Add(1)
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
 	p, ok := ps.producers[sensorName]
 	if !ok || !p.live {
+		ps.mu.Unlock()
 		return ulm.Record{}, false, fmt.Errorf("gateway: unknown sensor %q", sensorName)
 	}
-	// A relay hop defers the last-event decode to here: fold the pending
-	// raw frame into the cache on the first query that wants it.
+	// A relay hop defers the last-event decode to the first query that
+	// wants it. The frame can be megabytes, so decode it outside the
+	// shard lock — publishes to every sensor on this shard would
+	// otherwise stall behind it — and fold the result in only if the
+	// cache wasn't overtaken (gen unchanged) while unlocked.
 	if len(p.lastFrame) > 0 {
-		if f, err := parseBatchFrame(p.lastFrame); err == nil {
-			if recs, err := f.Records(nil); err == nil {
-				for i := range recs {
-					p.last[recs[i].Event] = recs[i]
-				}
-			} else {
-				g.frameDecodeErrs.Add(1)
-			}
-		} else {
+		pending := append([]byte(nil), p.lastFrame...)
+		p.lastFrame = p.lastFrame[:0]
+		gen := p.gen
+		ps.mu.Unlock()
+		var recs []ulm.Record
+		f, err := parseBatchFrame(pending)
+		if err == nil {
+			recs, err = f.Records(nil)
+		}
+		if err != nil {
 			g.frameDecodeErrs.Add(1)
 		}
-		p.lastFrame = p.lastFrame[:0]
+		ps.mu.Lock()
+		if p.gen == gen {
+			for i := range recs {
+				p.last[recs[i].Event] = recs[i]
+			}
+		}
 	}
 	rec, ok := p.last[event]
+	ps.mu.Unlock()
 	return rec, ok, nil
 }
 

@@ -277,28 +277,48 @@ func (t *TCPServer) serveSubscribeV2(conn net.Conn, fr *frameReader, req wireReq
 		return
 	}
 	// Read the subscriber's side for control frames (batch_max retune)
-	// until it goes away, which unblocks the writer loop.
+	// until it goes away, which unblocks the writer loop. Bad control
+	// frames are counted and skipped under the same bounded streak as
+	// serveConnV2 — a subscriber streaming garbage loses the connection
+	// (and its subscription resources) instead of holding them forever.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		badStreak := 0
+		noteBad := func() bool {
+			t.badFrames.Add(1)
+			badStreak++
+			if badStreak >= maxConsecutiveBadLines {
+				log.Printf("gateway: wire: closing subscriber %s after %d consecutive bad control frames", conn.RemoteAddr(), badStreak)
+				return false
+			}
+			return true
+		}
 		for {
 			buf, rerr := fr.next()
 			if rerr != nil {
 				if errors.Is(rerr, errBadFrame) {
-					t.badFrames.Add(1)
+					if !noteBad() {
+						return
+					}
 					continue
 				}
 				return
 			}
 			if buf[wireFrameHdr] != frameOpJSON {
-				t.badFrames.Add(1)
+				if !noteBad() {
+					return
+				}
 				continue
 			}
 			var creq wireRequest
 			if json.Unmarshal(buf[wireFrameHdr+framePrelude:], &creq) != nil {
-				t.badFrames.Add(1)
+				if !noteBad() {
+					return
+				}
 				continue
 			}
+			badStreak = 0
 			if creq.Op == "batch_max" {
 				batchMax.Store(int64(clampBatchMax(creq.BatchMax)))
 			}

@@ -472,3 +472,89 @@ func FuzzWireFrame(f *testing.F) {
 		}
 	})
 }
+
+// TestFrameHopDeltaPerRecord: the frame header carries the batch's
+// maximum hop count for relay-side MaxHops checks, but decode must add
+// only the hops accumulated since encode (header minus base) to each
+// record — a hops-0 record batched with a hops-3 one never inherits 3.
+func TestFrameHopDeltaPerRecord(t *testing.T) {
+	shallow := mkRec("A", 0, 1)
+	deep := mkRec("B", time.Second, 2)
+	deep.Set("JAMM.HOPS", "3")
+	recs := []ulm.Record{shallow, deep}
+	buf := appendBatchFrame(nil, batchHops(recs), "cpu", recs)
+	f, err := parseBatchFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hops() != 3 {
+		t.Fatalf("header hops = %d, want batch max 3", f.Hops())
+	}
+
+	// Un-relayed: decode leaves each record's own count untouched.
+	out, err := f.Records(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0, h1 := recHops(out[0]), recHops(out[1]); h0 != 0 || h1 != 3 {
+		t.Fatalf("hops after 0 relays = %d,%d, want 0,3", h0, h1)
+	}
+
+	// Two relay bumps: each record gains exactly the two hops it took.
+	f.SetHops(f.Hops() + 1)
+	f.SetHops(f.Hops() + 1)
+	if err := verifyFrame(f.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = f.Records(nil); err != nil {
+		t.Fatal(err)
+	}
+	if h0, h1 := recHops(out[0]), recHops(out[1]); h0 != 2 || h1 != 5 {
+		t.Fatalf("hops after 2 relays = %d,%d, want 2,5", h0, h1)
+	}
+}
+
+// TestWireV2SubscriberControlGarbageCloses: the control-frame reader of
+// a live subscription applies the same bounded bad-frame streak as the
+// main v2 loop — a subscriber streaming garbage is disconnected instead
+// of holding the connection and subscription resources indefinitely.
+func TestWireV2SubscriberControlGarbageCloses(t *testing.T) {
+	_, srv := startServer(t)
+	conn, br := handshakeV2(t, srv)
+
+	subReq, _ := json.Marshal(wireRequest{Op: "subscribe", Request: Request{Sensor: "cpu"}})
+	if _, err := conn.Write(appendJSONFrame(nil, subReq)); err != nil {
+		t.Fatal(err)
+	}
+	fr := &frameReader{br: br}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	first, err := fr.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack wireResponse
+	if first[wireFrameHdr] != frameOpJSON || json.Unmarshal(first[wireFrameHdr+framePrelude:], &ack) != nil || !ack.OK {
+		t.Fatalf("bad subscribe ack frame")
+	}
+
+	// CRC-valid frames with an unknown op: garbage the control reader
+	// must count, and eventually cut off.
+	junk, start := beginFrame(nil, 9, 0)
+	junk = finishFrame(junk, start)
+	for i := 0; i < maxConsecutiveBadLines; i++ {
+		if _, err := conn.Write(junk); err != nil {
+			break // server may already have hung up mid-streak
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var rerr error
+	for rerr == nil {
+		_, rerr = fr.next()
+	}
+	if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection still open after a full streak of bad control frames")
+	}
+	if bf := srv.WireStats().BadFrames; bf < maxConsecutiveBadLines {
+		t.Fatalf("BadFrames = %d, want >= %d", bf, maxConsecutiveBadLines)
+	}
+}
