@@ -59,6 +59,7 @@ func main() {
 	async := flag.Int("async", 0, "async event-plane queue depth per shard (0 = synchronous publish)")
 	batch := flag.Int("batch", 64, "records per batched wire frame when mirroring peers")
 	ringFlag := flag.String("ring", "", "comma-separated gateway addresses of this sharded site, including this gateway")
+	replicas := flag.Int("replicas", 1, "placement factor k: records ingested here as primary are mirrored to the sensor's next k-1 ring owners, and ownership entries advertise the replica addresses (requires -ring; 1 = no replication)")
 	advertise := flag.String("advertise", "", "address advertised as this gateway's in directory ownership entries (default -addr)")
 	dirBase := flag.String("dirbase", "ou=sensors,o=jamm", "base DN for sensor ownership entries")
 	archiveDir := flag.String("archive", "", "directory for the persistent event archive (enables the wire history op)")
@@ -113,6 +114,22 @@ func main() {
 			log.Printf("gatewayd: warning: advertised address %s is not in -ring %s (clients using ring fallback will not route here)", *advertise, *ringFlag)
 		}
 	}
+	if *replicas > 1 && siteRing == nil {
+		log.Fatalf("gatewayd: -replicas=%d requires -ring (replica targets are ring owners)", *replicas)
+	}
+
+	// k-replica placement: every record ingested here as primary is
+	// forwarded to the sensor's other ring owners, so their gateways
+	// (cache, summaries, archive, subscribers) mirror this one and a
+	// router can fail over to them when this gateway dies.
+	var rep *bridge.Replicator
+	if *replicas > 1 {
+		rep = bridge.NewReplicator(*advertise, siteRing, *replicas, bridge.ReplicatorOptions{
+			Principal: "gatewayd/" + *name,
+			BatchMax:  *batch,
+		})
+		gw.SetForwarder(rep)
+	}
 
 	// Directory-advertised ownership: every sensor registered at this
 	// gateway (explicitly or implicitly via publish) is advertised as
@@ -123,6 +140,11 @@ func main() {
 	if len(dirs) > 0 {
 		dirClient := directory.NewClient("gatewayd/"+*name, dirs...)
 		ann = router.NewAnnouncer(dirClient, directory.DN(*dirBase), *name, *advertise)
+		if *replicas > 1 {
+			// Ownership entries carry the replica ladder alongside the
+			// owner, so routers fail over without rediscovering the ring.
+			ann.SetPlacement(siteRing, *replicas)
+		}
 		ann.Attach(gw)
 		if err := dirClient.Ping(); err != nil {
 			log.Printf("gatewayd: warning: sensor directory unreachable: %v (ownership entries will be retried per registration)", err)
@@ -154,6 +176,10 @@ func main() {
 		archiver = consumer.NewArchiver(nil)
 		archiver.SetHistory(hist)
 		archiver.SubscribeBus(gw.Bus(), "")
+		// Query falls through to the archive for sensors whose live
+		// cache is gone — a freshly rejoined replica answers from disk
+		// while anti-entropy repopulates it.
+		gw.SetHistoryFallback(hist)
 	}
 
 	srv, err := gateway.ServeTCP(gw, *addr, nil)
@@ -173,12 +199,35 @@ func main() {
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
 		}))
 	}
+	// Rejoin anti-entropy: a gateway (re)starting into a replicated
+	// site may have an archive gap covering its downtime — its sensors'
+	// records landed only at the replicas. Reconcile against each other
+	// ring member in the background so the gap closes without blocking
+	// startup or ingest.
+	if hist != nil && rep != nil {
+		go func() {
+			for _, peer := range siteRing.Nodes() {
+				if peer == *advertise {
+					continue
+				}
+				c := gateway.NewClient("gatewayd/"+*name, peer)
+				c.Protocol = clientProto
+				n, err := gateway.ReconcileHistory(hist, c, "")
+				if err != nil {
+					log.Printf("gatewayd: anti-entropy vs %s: %v", peer, err)
+				} else if n > 0 {
+					log.Printf("gatewayd: anti-entropy: backfilled %d records from %s", n, peer)
+				}
+			}
+		}()
+	}
+
 	ringSize := 0
 	if siteRing != nil {
 		ringSize = siteRing.Len()
 	}
-	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d ring=%d dir=%d archive=%s)\n",
-		*name, srv.Addr(), len(peers), *async, ringSize, len(dirs), *archiveDir)
+	fmt.Printf("gatewayd: %s listening on %s (peers=%d async=%d ring=%d replicas=%d dir=%d archive=%s)\n",
+		*name, srv.Addr(), len(peers), *async, ringSize, *replicas, len(dirs), *archiveDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -191,6 +240,14 @@ func main() {
 	}
 	srv.StopAccepting()
 	gw.Flush()
+	if rep != nil {
+		// Flush replica links after local delivery has drained, so the
+		// last primary ingests reach their mirrors too.
+		rep.Close()
+		if st := rep.Stats(); st.Shed > 0 {
+			log.Printf("gatewayd: replication shed %d records (of %d replicated)", st.Shed, st.Replicated)
+		}
+	}
 	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
 	gw.StopAsync()

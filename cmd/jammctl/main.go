@@ -34,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|history|sensor-start|sensor-stop|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|history|site|sensor-start|sensor-stop|status> [flags]")
 	os.Exit(2)
 }
 
@@ -56,6 +56,8 @@ func main() {
 		cmdSummary(args)
 	case "history":
 		cmdHistory(args)
+	case "site":
+		cmdSite(args)
 	case "sensor-start", "sensor-stop":
 		cmdControl(strings.TrimPrefix(cmd, "sensor-"), args)
 	case "status":
@@ -231,6 +233,74 @@ func cmdHistory(args []string) {
 	}
 }
 
+// cmdSite is the replicated-site health view: one row per gateway of
+// the ring — up/down, how many sensors it serves as primary vs. holds
+// as replica mirrors, and what its archive covers. An operator watches
+// a failover (mirrored counts at the survivors) or a rejoin
+// (anti-entropy growing the archive row back) from here.
+func cmdSite(args []string) {
+	fs := flag.NewFlagSet("site", flag.ExitOnError)
+	ringFlag := fs.String("ring", "", "comma-separated gateway addresses of the site")
+	var gws multiFlag
+	fs.Var(&gws, "gw", "gateway address (repeatable; alternative to -ring)")
+	fs.Parse(args) //nolint:errcheck
+	if *ringFlag != "" {
+		gws = append(gws, strings.Split(*ringFlag, ",")...)
+	}
+	if len(gws) == 0 {
+		die(fmt.Errorf("site: no gateways (use -ring or -gw)"))
+	}
+	down := 0
+	for _, addr := range gws {
+		c := gateway.NewClient("jammctl", addr)
+		if err := c.Ping(); err != nil {
+			fmt.Printf("%-22s DOWN  (%v)\n", addr, err)
+			down++
+			continue
+		}
+		infos, err := c.List()
+		if err != nil {
+			die(err)
+		}
+		primary, mirrored := 0, 0
+		for _, s := range infos {
+			if s.Mirrored {
+				mirrored++
+			} else {
+				primary++
+			}
+		}
+		var archive string
+		spans, err := c.Coverage("")
+		switch {
+		case err != nil:
+			archive = "archive=off"
+		case len(spans) == 0:
+			archive = "archive=empty"
+		default:
+			var recs int64
+			for _, sp := range spans {
+				recs += sp.Records
+			}
+			first, last := spans[0].From, spans[0].To
+			for _, sp := range spans[1:] {
+				if sp.From.Before(first) {
+					first = sp.From
+				}
+				if sp.To.After(last) {
+					last = sp.To
+				}
+			}
+			archive = fmt.Sprintf("archive=%d recs %s..%s", recs,
+				first.UTC().Format(time.RFC3339), last.UTC().Format(time.RFC3339))
+		}
+		fmt.Printf("%-22s up    sensors=%d mirrored=%d %s\n", addr, primary, mirrored, archive)
+	}
+	if down > 0 {
+		os.Exit(1)
+	}
+}
+
 func cmdControl(method string, args []string) {
 	fs := flag.NewFlagSet(method, flag.ExitOnError)
 	control := fs.String("control", "127.0.0.1:9201", "jammd control address")
@@ -257,3 +327,8 @@ func cmdStatus(args []string) {
 	}
 	fmt.Print(out)
 }
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

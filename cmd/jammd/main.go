@@ -159,6 +159,7 @@ func main() {
 	// targets that single gatewayd.
 	if *forward != "" || *ringFlag != "" {
 		var sink func(sensor string, recs []ulm.Record) error
+		var frameSink func(f *gateway.Frame) error
 		if *ringFlag != "" {
 			if *forward != "" {
 				log.Printf("jammd: -ring set; forwarding through the sharded site, not -forward=%s", *forward)
@@ -180,6 +181,7 @@ func main() {
 			}
 			defer rt.Close()
 			sink = rt.PublishBatch
+			frameSink = rt.PublishFrame
 		} else {
 			fc := gateway.NewClient("jammd/"+*hostName, *forward)
 			fc.Protocol = clientProto
@@ -192,27 +194,44 @@ func main() {
 				_, err := pub.PublishBatch(sensor, recs)
 				return err
 			}
+			frameSink = func(f *gateway.Frame) error {
+				_, err := pub.PublishFrame(f)
+				return err
+			}
 		}
-		// The wildcard batch callback runs on whichever goroutine is
+		// The forwarding callbacks run on whichever goroutine is
 		// delivering (wire connections, bridges, async workers), so the
 		// log-once latch must be atomic.
 		var loggedForwardErr atomic.Bool
+		logForwardErr := func(err error) {
+			if err != nil && loggedForwardErr.CompareAndSwap(false, true) {
+				log.Printf("jammd: forward: %v (suppressing further forward errors)", err)
+			}
+		}
 		driver.Do(func() {
-			site.Gateway.SubscribeBatch(gateway.Request{}, func(recs []ulm.Record) { //nolint:errcheck
-				// Forward per run of consecutive same-program records:
-				// the upstream sensor name is host/prog, so a batch of
-				// one sensor's records usually forwards as one batch.
-				start := 0
-				for i := 1; i <= len(recs); i++ {
-					if i < len(recs) && recs[i].Prog == recs[start].Prog {
-						continue
+			// Frame-native forwarding: local sensor batches arrive cooked
+			// (onBatch) and are renamed host/prog, the paper's hierarchy
+			// key. Wire v2 frames arrive sealed (onFrame) and forward
+			// verbatim under their original topic — frame-plane arrivals
+			// are already-relayed traffic carrying canonical topics, and
+			// relaying the sealed bytes keeps the upstream hop zero-copy.
+			site.Gateway.SubscribeFramesFunc(gateway.Request{}, 256, nil, //nolint:errcheck
+				func(f *gateway.Frame) {
+					logForwardErr(frameSink(f))
+				},
+				func(sensor string, recs []ulm.Record) {
+					// Forward per run of consecutive same-program records:
+					// the upstream sensor name is host/prog, so a batch of
+					// one sensor's records usually forwards as one batch.
+					start := 0
+					for i := 1; i <= len(recs); i++ {
+						if i < len(recs) && recs[i].Prog == recs[start].Prog {
+							continue
+						}
+						logForwardErr(sink(*hostName+"/"+recs[start].Prog, recs[start:i]))
+						start = i
 					}
-					if err := sink(*hostName+"/"+recs[start].Prog, recs[start:i]); err != nil && loggedForwardErr.CompareAndSwap(false, true) {
-						log.Printf("jammd: forward: %v (suppressing further forward errors)", err)
-					}
-					start = i
-				}
-			})
+				})
 		})
 	}
 

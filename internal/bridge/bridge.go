@@ -62,6 +62,13 @@ type Options struct {
 	// Prefix, when set, is prepended to every mirrored topic — chained
 	// gateways can namespace upstream sites ("lbl/" + "cpu@h1").
 	Prefix string
+	// Rebind, when set, picks the upstream gateway client for each
+	// subscribe round — the subscription side of failover: after the
+	// current upstream dies, the next round can bind to a replica
+	// instead of hammering the dead primary's address forever. A nil
+	// return keeps the current client. Unset pins the bridge to the
+	// client it was built with.
+	Rebind func() *gateway.Client
 	// MaxHops bounds how many bridges a record may cross (default 16).
 	// Each mirror stamps/increments the record's JAMM.HOPS field and a
 	// record at the limit is dropped and counted (Stats.LoopDrops)
@@ -223,6 +230,11 @@ func (b *Bridge) run() {
 		case <-b.done:
 			return
 		default:
+		}
+		if b.opts.Rebind != nil {
+			if c := b.opts.Rebind(); c != nil {
+				b.client = c
+			}
 		}
 		streams, fail, err := b.subscribeAll()
 		if err != nil {

@@ -22,7 +22,7 @@ import (
 //	    [0]    op — frameOpBatch or frameOpJSON
 //	    [1]    hops — bridge hop count for the whole frame
 //	    [2]    base — the hops value at encode time (never rewritten)
-//	    [3]    reserved (zero)
+//	    [3]    flags — bit 0: replica copy (see frameFlagReplica)
 //	    op=batch: uvarint sensor length, sensor bytes,
 //	              uvarint record count, count × ULM binary records
 //	    op=json:  one JSON object (wireRequest client→server,
@@ -50,6 +50,19 @@ import (
 const (
 	frameOpBatch = 1
 	frameOpJSON  = 2
+)
+
+// Frame flag bits (payload byte 3). Pre-replication builds wrote the
+// byte as zero and never read it, so the bit is wire-compatible in
+// both directions.
+const (
+	// frameFlagReplica marks a frame carrying a replicated copy of
+	// records already ingested at the sensor's primary gateway. A
+	// replica-flagged ingest updates producer state and feeds local
+	// consumers but fires no registration hooks (the replica must not
+	// fight the primary's directory advertisement) and is never
+	// re-forwarded to the replica set (no replication loops).
+	frameFlagReplica = 1
 )
 
 const (
@@ -112,6 +125,23 @@ func (f *Frame) SetHops(h int) {
 		h = maxFrameHops
 	}
 	f.buf[wireFrameHdr+1] = byte(h)
+	binary.LittleEndian.PutUint32(f.buf[4:], crc32.ChecksumIEEE(f.buf[wireFrameHdr:]))
+}
+
+// Replica reports whether the frame carries a replicated copy (the
+// replication link set the replica flag bit).
+func (f *Frame) Replica() bool { return f.buf[wireFrameHdr+3]&frameFlagReplica != 0 }
+
+// SetReplica patches the frame's replica flag in place and recomputes
+// the payload CRC — the same one-byte-store-plus-checksum mutation as
+// SetHops, so replication links can mark a relayed frame without
+// decoding it.
+func (f *Frame) SetReplica(on bool) {
+	if on {
+		f.buf[wireFrameHdr+3] |= frameFlagReplica
+	} else {
+		f.buf[wireFrameHdr+3] &^= frameFlagReplica
+	}
 	binary.LittleEndian.PutUint32(f.buf[4:], crc32.ChecksumIEEE(f.buf[wireFrameHdr:]))
 }
 
@@ -262,6 +292,16 @@ func appendRawBatchFrame(dst []byte, hops int, sensor string, count int, recByte
 	dst = binary.AppendUvarint(dst, uint64(count))
 	dst = append(dst, recBytes...)
 	return finishFrame(dst, start)
+}
+
+// markFrameReplica sets the replica flag on the complete frame
+// beginning at start in dst and recomputes its CRC, using the frame's
+// declared length so trailing frames in the same buffer stay intact.
+func markFrameReplica(dst []byte, start int) {
+	plen := int(binary.LittleEndian.Uint32(dst[start:]))
+	dst[start+wireFrameHdr+3] |= frameFlagReplica
+	payload := dst[start+wireFrameHdr : start+wireFrameHdr+plen]
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
 }
 
 // appendJSONFrame appends a JSON control frame carrying data (one

@@ -231,6 +231,41 @@ func (g *Gateway) SubscribeFrames(req Request, depth int, onDrop func(n int)) (*
 	return s, ch, nil
 }
 
+// SubscribeFramesFunc is the callback form of SubscribeFrames for
+// in-process relays outside this package (a forwarding daemon feeding
+// a sharded site): raw relayed frames reach onFrame (borrowed — Clone
+// to retain), cooked batches of locally published records reach
+// onBatch (slice borrowed — copy to retain). Both run on a dedicated
+// goroutine, in delivery order. Cancel the returned subscription to
+// stop it.
+func (g *Gateway) SubscribeFramesFunc(req Request, depth int, onDrop func(n int), onFrame func(f *Frame), onBatch func(sensor string, recs []ulm.Record)) (*Subscription, error) {
+	sub, ch, err := g.SubscribeFrames(req, depth, onDrop)
+	if err != nil {
+		return nil, err
+	}
+	quit := make(chan struct{})
+	prev := sub.onCancel
+	sub.onCancel = func() {
+		prev()
+		close(quit)
+	}
+	go func() {
+		for {
+			select {
+			case it := <-ch:
+				if it.f != nil {
+					onFrame(it.f)
+				} else {
+					onBatch(it.tb.Sensor, it.tb.Recs)
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return sub, nil
+}
+
 // feedFrameSubs hands a cooked local batch to matching frame
 // subscribers. Called by Publish/PublishBatch after bus delivery; a
 // gateway with no frame subscribers pays one atomic load.
@@ -279,6 +314,7 @@ func (g *Gateway) PublishFrame(f *Frame) error {
 			fs.shed(f.Count)
 		}
 	}
+	replica := f.Replica()
 	if g.bus.HasConsumers(f.Sensor) {
 		recs, err := f.Records(g.takeFrameScratch())
 		if err != nil {
@@ -289,13 +325,21 @@ func (g *Gateway) PublishFrame(f *Frame) error {
 		// Bus-only publish: the hub loop above already delivered the raw
 		// frame to every matching frame subscriber, so the decoded records
 		// must not reach the frame plane a second time.
-		g.publishBatch(f.Sensor, recs, false)
+		g.publishBatch(f.Sensor, recs, false, replica)
 		g.putFrameScratch(recs)
-		return nil
+	} else {
+		g.frameRelays.Add(1)
+		g.frameRelayRecs.Add(uint64(f.Count))
+		g.noteRelayed(f, replica)
 	}
-	g.frameRelays.Add(1)
-	g.frameRelayRecs.Add(uint64(f.Count))
-	g.noteRelayed(f)
+	// Replication rides the same hook as cooked ingest, with the raw
+	// frame so a v2 replica link can relay the bytes untouched. Replica
+	// copies are terminal — forwarding them again would loop.
+	if !replica {
+		if fw := g.forwarder(); fw != nil {
+			fw.Forward(f.Sensor, nil, f)
+		}
+	}
 	return nil
 }
 
@@ -317,8 +361,11 @@ func (g *Gateway) putFrameScratch(s []ulm.Record) {
 // the sensor registers implicitly (host parsed from the conventional
 // sensor@host topic form), and the frame's bytes are stashed — a
 // memcpy, never a decode — so the last-event cache can be filled
-// lazily on the first Query instead of eagerly on every frame.
-func (g *Gateway) noteRelayed(f *Frame) {
+// lazily on the first Query instead of eagerly on every frame. A
+// replica-flagged frame updates the same state but fires no
+// registration hooks and marks the entry mirrored, exactly like
+// PublishReplicaBatch.
+func (g *Gateway) noteRelayed(f *Frame, replica bool) {
 	sensorName := f.Sensor
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
@@ -334,17 +381,25 @@ func (g *Gateway) noteRelayed(f *Frame) {
 			p.meta.Host = topicHost(sensorName)
 		}
 	}
+	if replica {
+		if revived {
+			p.mirrored = true
+		}
+	} else {
+		p.mirrored = false
+	}
 	p.published += uint64(f.Count)
 	p.lastFrame = append(p.lastFrame[:0], f.Bytes()...)
 	p.gen++
+	fire := revived && !replica
 	var meta Meta
 	var seq uint64
-	if revived {
+	if fire {
 		meta = p.meta
 		seq = g.regSeq.Add(1)
 	}
 	ps.mu.Unlock()
-	if revived {
+	if fire {
 		g.fireRegistration(sensorName, meta, true, seq)
 	}
 }

@@ -46,6 +46,10 @@ type SensorInfo struct {
 	Interval  time.Duration `json:"interval"`
 	Consumers int           `json:"consumers"`
 	Published uint64        `json:"published"`
+	// Mirrored marks a sensor whose entry exists only because this
+	// gateway ingests replicated copies of it — a replica holding, not
+	// a primary placement.
+	Mirrored bool `json:"mirrored,omitempty"`
 }
 
 // Stats counts gateway traffic; benches read it to show fan-out and
@@ -83,7 +87,12 @@ type producer struct {
 	// live marks the sensor as currently registered: listed by Sensors
 	// and answerable by Query. Unregister clears it; Register or an
 	// implicit publish sets it.
-	live      bool
+	live bool
+	// mirrored marks an entry revived by replica ingest only: the
+	// sensor's primary lives elsewhere and this gateway merely holds a
+	// copy. Any primary (non-replica) ingest or explicit Register
+	// clears it — a failover promotion is exactly such an ingest.
+	mirrored  bool
 	last      map[string]ulm.Record
 	consumers int
 	published uint64
@@ -144,6 +153,18 @@ type Gateway struct {
 	regDispatch sync.Mutex
 	regSeen     map[string]uint64
 
+	// fwd is the replication hook (SetForwarder): every primary
+	// (non-replica) ingest is handed to it after local delivery so a
+	// replication link can push copies to the sensor's replica set.
+	// Replica-flagged ingest never reaches it — no replication loops.
+	fwd atomic.Pointer[Forwarder]
+
+	// histFallback answers Query misses from a persistent archive
+	// (SetHistoryFallback): a freshly promoted replica whose producer
+	// entry died with the process still serves "most recent event"
+	// from its archive tail.
+	histFallback atomic.Pointer[HistoryFallback]
+
 	// hub is the zero-copy frame plane (framehub.go): v2 wire
 	// subscribers without filters ride it, binary frames from upstream
 	// relays enter through PublishFrame.
@@ -191,6 +212,63 @@ func NewWithConfig(name string, now func() time.Time, cfg Config) *Gateway {
 // Name returns the gateway name.
 func (g *Gateway) Name() string { return g.name }
 
+// Forwarder receives every batch ingested at this gateway as a primary
+// (non-replica) copy, after local delivery — the hook a replication
+// link rides to push copies to the sensor's replica set. Exactly one
+// of recs/f is set per call: cooked publishes hand the record slice
+// (borrowed — copy to retain), frame ingest hands the raw frame
+// (borrowed — Clone to retain). Forward runs on the publishing
+// goroutine and must not block.
+type Forwarder interface {
+	Forward(sensor string, recs []ulm.Record, f *Frame)
+}
+
+// SetForwarder installs the replication hook; nil detaches it.
+func (g *Gateway) SetForwarder(fw Forwarder) {
+	if fw == nil {
+		g.fwd.Store(nil)
+		return
+	}
+	g.fwd.Store(&fw)
+}
+
+func (g *Gateway) forwarder() Forwarder {
+	if p := g.fwd.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// HistoryFallback serves the most recent archived event for a sensor —
+// the shape histstore.Store provides — so Query can answer for sensors
+// whose in-memory producer entry died with a restart.
+type HistoryFallback interface {
+	LastEvent(sensor, event string) (ulm.Record, bool, error)
+}
+
+// SetHistoryFallback attaches a persistent archive consulted when a
+// Query misses the in-memory last-event cache; nil detaches it.
+func (g *Gateway) SetHistoryFallback(h HistoryFallback) {
+	if h == nil {
+		g.histFallback.Store(nil)
+		return
+	}
+	g.histFallback.Store(&h)
+}
+
+// lastFromFallback consults the attached archive for a query miss.
+func (g *Gateway) lastFromFallback(sensorName, event string) (ulm.Record, bool) {
+	p := g.histFallback.Load()
+	if p == nil {
+		return ulm.Record{}, false
+	}
+	rec, found, err := (*p).LastEvent(sensorName, event)
+	if err != nil || !found {
+		return ulm.Record{}, false
+	}
+	return rec, true
+}
+
 // Bus exposes the gateway's event-distribution core, for layers that
 // want raw bus subscriptions (taps, wildcard observers) beside the
 // gateway's filtered ones.
@@ -227,6 +305,7 @@ func (g *Gateway) Register(sensorName string, meta Meta) {
 	p.meta = meta
 	p.explicit = true
 	p.live = true
+	p.mirrored = false
 	seq := g.regSeq.Add(1)
 	ps.mu.Unlock()
 	g.fireRegistration(sensorName, meta, true, seq)
@@ -350,6 +429,7 @@ func (g *Gateway) Sensors() []SensorInfo {
 				Interval:  p.meta.Interval,
 				Consumers: p.consumers,
 				Published: p.published,
+				Mirrored:  p.mirrored,
 			})
 		}
 		ps.mu.Unlock()
@@ -410,6 +490,7 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 			p.meta.Host = rec.Host
 		}
 	}
+	p.mirrored = false // a primary ingest: this gateway owns the sensor
 	p.published++
 	p.last[rec.Event] = rec
 	p.lastFrame = p.lastFrame[:0] // decoded record is newer than any pending frame
@@ -428,6 +509,9 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 		g.feedFrameSubs(sensorName, []ulm.Record{rec})
 	}
 	g.bus.Publish(sensorName, rec)
+	if fw := g.forwarder(); fw != nil {
+		fw.Forward(sensorName, []ulm.Record{rec}, nil)
+	}
 }
 
 // PublishBatch feeds a batch of one sensor's records through the
@@ -438,15 +522,32 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 // costs. recs is borrowed — see bus.PublishBatch for the ownership
 // contract. Unknown sensors are registered implicitly, once per batch.
 func (g *Gateway) PublishBatch(sensorName string, recs []ulm.Record) {
-	g.publishBatch(sensorName, recs, true)
+	g.publishBatch(sensorName, recs, true, false)
+	if fw := g.forwarder(); fw != nil && len(recs) > 0 {
+		fw.Forward(sensorName, recs, nil)
+	}
 }
 
-// publishBatch is PublishBatch with the frame plane optional. The
-// frame-ingest decode path (PublishFrame) has already handed the raw
-// frame bytes to every matching frame subscriber, so it feeds only the
-// bus here — feeding the decoded records to the frame plane too would
-// deliver each record twice to every v2 pass-through subscriber.
-func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames bool) {
+// PublishReplicaBatch ingests a batch of replicated copies pushed from
+// the sensor's primary gateway: producer state, the last-event cache,
+// and local consumers (bus, taps, archivers) all see the records —
+// exactly what a promoted replica needs to answer from — but no
+// registration hooks fire (the replica's announcer must not fight the
+// primary's directory entry) and the batch is never re-forwarded to
+// the replica set (no replication loops).
+func (g *Gateway) PublishReplicaBatch(sensorName string, recs []ulm.Record) {
+	g.publishBatch(sensorName, recs, true, true)
+}
+
+// publishBatch is PublishBatch with the frame plane optional and the
+// replica distinction explicit. The frame-ingest decode path
+// (PublishFrame) has already handed the raw frame bytes to every
+// matching frame subscriber, so it feeds only the bus here — feeding
+// the decoded records to the frame plane too would deliver each record
+// twice to every v2 pass-through subscriber. replica ingest (pushed
+// copies from the sensor's primary) suppresses registration hooks and
+// marks the entry mirrored.
+func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames, replica bool) {
 	if len(recs) == 0 {
 		return
 	}
@@ -464,20 +565,28 @@ func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames 
 			p.meta.Host = recs[0].Host
 		}
 	}
+	if replica {
+		if revived {
+			p.mirrored = true
+		}
+	} else {
+		p.mirrored = false
+	}
 	p.published += uint64(len(recs))
 	for i := range recs {
 		p.last[recs[i].Event] = recs[i]
 	}
 	p.lastFrame = p.lastFrame[:0] // decoded records are newer than any pending frame
 	p.gen++
+	fire := revived && !replica
 	var meta Meta
 	var seq uint64
-	if revived {
+	if fire {
 		meta = p.meta
 		seq = g.regSeq.Add(1)
 	}
 	ps.mu.Unlock()
-	if revived {
+	if fire {
 		g.fireRegistration(sensorName, meta, true, seq)
 	}
 	if feedFrames {
@@ -762,6 +871,12 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	p, ok := ps.producers[sensorName]
 	if !ok || !p.live {
 		ps.mu.Unlock()
+		// The producer entry is gone (a restart dropped it, or this
+		// gateway never saw the sensor live) — the attached archive, if
+		// any, may still hold the sensor's tail.
+		if rec, found := g.lastFromFallback(sensorName, event); found {
+			return rec, true, nil
+		}
 		return ulm.Record{}, false, fmt.Errorf("gateway: unknown sensor %q", sensorName)
 	}
 	// A relay hop defers the last-event decode to the first query that
@@ -791,7 +906,66 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	}
 	rec, ok := p.last[event]
 	ps.mu.Unlock()
+	if !ok {
+		if frec, found := g.lastFromFallback(sensorName, event); found {
+			return frec, true, nil
+		}
+	}
 	return rec, ok, nil
+}
+
+// Handoff drains one sensor's gateway-side state for a rebalancing
+// move: it returns the sensor's metadata and last-event cache (one
+// record per event type, the state a Query answers from) and
+// unregisters the sensor locally, so the announcer withdraws this
+// gateway's advertisement while the new owner's implicit registration
+// raises its own. ok is false when the sensor is not live here.
+func (g *Gateway) Handoff(sensorName string) (meta Meta, recs []ulm.Record, ok bool) {
+	ps := g.pshard(sensorName)
+	ps.mu.Lock()
+	p, found := ps.producers[sensorName]
+	if !found || !p.live {
+		ps.mu.Unlock()
+		return Meta{}, nil, false
+	}
+	// Materialize a pending relayed frame first, with the same
+	// decode-outside-the-lock dance as Query (the frame can be large).
+	if len(p.lastFrame) > 0 {
+		pending := append([]byte(nil), p.lastFrame...)
+		p.lastFrame = p.lastFrame[:0]
+		gen := p.gen
+		ps.mu.Unlock()
+		var frecs []ulm.Record
+		f, err := parseBatchFrame(pending)
+		if err == nil {
+			frecs, err = f.Records(nil)
+		}
+		if err != nil {
+			g.frameDecodeErrs.Add(1)
+		}
+		ps.mu.Lock()
+		p, found = ps.producers[sensorName]
+		if !found || !p.live {
+			ps.mu.Unlock()
+			return Meta{}, nil, false
+		}
+		if p.gen == gen {
+			for i := range frecs {
+				p.last[frecs[i].Event] = frecs[i]
+			}
+		}
+	}
+	meta = p.meta
+	recs = make([]ulm.Record, 0, len(p.last))
+	for _, rec := range p.last {
+		recs = append(recs, rec)
+	}
+	ps.mu.Unlock()
+	// Oldest first, so replaying the handoff at the new owner leaves
+	// its last-event cache in the same end state.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Date.Before(recs[j].Date) })
+	g.Unregister(sensorName)
+	return meta, recs, true
 }
 
 // StartAsync switches the gateway's event plane into batched

@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"time"
+
+	"jamm/internal/histstore"
+	"jamm/internal/ulm"
+)
+
+// ReconcileHistory is the anti-entropy pass of the replicated archive:
+// it compares the local store's contents against a peer gateway's
+// archive coverage and backfills whatever the peer holds that the
+// local store does not. A gateway that was down while its sensors kept
+// publishing (the replicas absorbed the traffic) runs this against
+// each replica after rejoining; a replica that was promoted runs it
+// against the recovered primary. The comparison is by record identity
+// — sensor topic plus the record's canonical binary encoding — so
+// overlapping archives converge without double-filing, regardless of
+// segment boundaries. After a backfill the local store is compacted so
+// the out-of-order gap records merge into time-sorted segments.
+//
+// sensor scopes the pass to one topic; "" reconciles everything the
+// peer archives. It returns how many records were backfilled.
+func ReconcileHistory(local *histstore.Store, peer *Client, sensor string) (added int, err error) {
+	spans, err := peer.Coverage(sensor)
+	if err != nil {
+		return 0, err
+	}
+	if len(spans) == 0 {
+		return 0, nil
+	}
+	from, to := spans[0].From, spans[0].To
+	for _, sp := range spans[1:] {
+		if sp.From.Before(from) {
+			from = sp.From
+		}
+		if sp.To.After(to) {
+			to = sp.To
+		}
+	}
+	// Span bounds are inclusive record times; queries take [from, to).
+	to = to.Add(time.Microsecond)
+
+	// Index what the local store already holds over the peer's range.
+	have := make(map[string]struct{})
+	var keyBuf []byte
+	key := func(topic string, rec *ulm.Record) string {
+		keyBuf = append(keyBuf[:0], topic...)
+		keyBuf = append(keyBuf, 0)
+		keyBuf = ulm.AppendBinary(keyBuf, rec)
+		return string(keyBuf)
+	}
+	err = local.Replay(histstore.Query{Sensor: sensor, From: from, To: to}, 0,
+		func(topic string, recs []ulm.Record) error {
+			for i := range recs {
+				have[key(topic, &recs[i])] = struct{}{}
+			}
+			return nil
+		})
+	if err != nil {
+		return 0, err
+	}
+
+	// Stream the peer's archive over the same range, filing only the
+	// records the local store is missing.
+	var missing []ulm.Record
+	_, err = peer.HistoryStream(HistoryRequest{Sensor: sensor, From: from, To: to},
+		func(topic string, recs []ulm.Record) error {
+			missing = missing[:0]
+			for i := range recs {
+				k := key(topic, &recs[i])
+				if _, ok := have[k]; ok {
+					continue
+				}
+				have[k] = struct{}{} // the peer may hold duplicates too
+				missing = append(missing, recs[i])
+			}
+			if len(missing) == 0 {
+				return nil
+			}
+			if aerr := local.AppendBatch(topic, missing); aerr != nil {
+				return aerr
+			}
+			added += len(missing)
+			return nil
+		})
+	if err != nil {
+		return added, err
+	}
+	if added > 0 {
+		if _, cerr := local.Compact(); cerr != nil {
+			return added, cerr
+		}
+	}
+	return added, nil
+}

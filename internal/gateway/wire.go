@@ -86,6 +86,10 @@ type wireRequest struct {
 	// format; empty = unbounded, inclusive from, exclusive to).
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
+	// Replica marks a publish frame as a replicated copy pushed from
+	// the sensor's primary gateway: ingested without firing
+	// registration hooks and never re-forwarded to the replica set.
+	Replica bool `json:"replica,omitempty"`
 	Request
 }
 
@@ -109,6 +113,11 @@ type wireResponse struct {
 	// Version answers an op=hello handshake: the negotiated wire
 	// protocol version the connection speaks from here on.
 	Version int `json:"version,omitempty"`
+	// Meta carries the drained sensor's metadata on a handoff response.
+	Meta *Meta `json:"meta,omitempty"`
+	// Coverage answers an op=coverage request: the gateway archive's
+	// per-segment time spans for the requested sensor.
+	Coverage []histstore.Span `json:"coverage,omitempty"`
 }
 
 func encodeRecord(format string, rec ulm.Record) (string, error) {
@@ -476,14 +485,22 @@ func (t *TCPServer) handlePublish(conn net.Conn, req wireRequest, loggedBadRecor
 			noteBad(err)
 			return
 		}
-		t.gw.Publish(req.Sensor, rec)
+		if req.Replica {
+			t.gw.PublishReplicaBatch(req.Sensor, []ulm.Record{rec})
+		} else {
+			t.gw.Publish(req.Sensor, rec)
+		}
 		return
 	}
 	var batch []ulm.Record
 	runSensor := ""
 	flush := func() {
 		if len(batch) > 0 {
-			t.gw.PublishBatch(runSensor, batch)
+			if req.Replica {
+				t.gw.PublishReplicaBatch(runSensor, batch)
+			} else {
+				t.gw.PublishBatch(runSensor, batch)
+			}
 			batch = batch[:0]
 		}
 	}
@@ -532,6 +549,38 @@ func (t *TCPServer) handle(req wireRequest) wireResponse {
 		return wireResponse{OK: true, Summary: pts}
 	case "list":
 		return wireResponse{OK: true, Sensors: t.gw.Sensors()}
+	case "handoff":
+		// A rebalancing move: drain the sensor's state (metadata +
+		// last-event cache) and unregister it here, so the directory
+		// advertisement moves with the sensor. Control-plane verb,
+		// control-plane authorization.
+		if err := t.gw.authorize(req.Principal, req.Sensor, auth.ActionControl); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		meta, recs, ok := t.gw.Handoff(req.Sensor)
+		if !ok {
+			return wireResponse{OK: true}
+		}
+		resp := wireResponse{OK: true, Found: true, Sensor: req.Sensor, Meta: &meta}
+		for i := range recs {
+			payload, err := encodeRecord(req.Format, recs[i])
+			if err != nil {
+				// The state is already drained; a payload the format
+				// cannot carry must fail loudly, not vanish.
+				return wireResponse{Error: err.Error()}
+			}
+			resp.Recs = append(resp.Recs, wireEvent{Sensor: req.Sensor, Rec: payload})
+		}
+		return resp
+	case "coverage":
+		hist := t.hist.Load()
+		if hist == nil {
+			return wireResponse{Error: "gateway: history not enabled"}
+		}
+		if err := t.gw.authorize(req.Principal, req.Sensor, auth.ActionQuery); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Sensor: req.Sensor, Coverage: hist.Coverage(req.Sensor)}
 	}
 	return wireResponse{Error: fmt.Sprintf("gateway: unknown op %q", req.Op)}
 }
@@ -918,6 +967,42 @@ func (c *Client) List() ([]SensorInfo, error) {
 	return resp.Sensors, nil
 }
 
+// Handoff drains one sensor's state from the gateway for a rebalancing
+// move: the sensor's metadata and last-event cache come back and the
+// remote gateway unregisters it (withdrawing its directory
+// advertisement). found is false when the sensor was not live there.
+func (c *Client) Handoff(sensor string) (meta Meta, recs []ulm.Record, found bool, err error) {
+	resp, err := c.roundTrip(wireRequest{Op: "handoff", Request: Request{Sensor: sensor}})
+	if err != nil {
+		return Meta{}, nil, false, err
+	}
+	if !resp.Found {
+		return Meta{}, nil, false, nil
+	}
+	if resp.Meta != nil {
+		meta = *resp.Meta
+	}
+	for _, ev := range resp.Recs {
+		rec, derr := decodeRecord(FormatULM, ev.Rec)
+		if derr != nil {
+			return meta, recs, true, derr
+		}
+		recs = append(recs, rec)
+	}
+	return meta, recs, true, nil
+}
+
+// Coverage fetches the gateway archive's per-segment time spans for
+// sensor ("" = whole archive) — the comparison unit anti-entropy uses
+// to find and close gaps between a primary's and a replica's history.
+func (c *Client) Coverage(sensor string) ([]histstore.Span, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "coverage", Request: Request{Sensor: sensor}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Coverage, nil
+}
+
 // HistoryRequest describes a historical query against a gateway's
 // persistent archive.
 type HistoryRequest struct {
@@ -1070,6 +1155,11 @@ type Publisher struct {
 	// discards the whole buffered batch (records whose Publish already
 	// returned nil), so the loss must be observable, not silent.
 	dropped uint64
+
+	// replica marks everything this publisher sends as replicated
+	// copies (MarkReplica): JSON publish frames carry "replica":true,
+	// v2 batch frames the replica flag bit.
+	replica bool
 }
 
 // NewPublisher opens an event-publishing connection to the gateway.
@@ -1121,7 +1211,7 @@ func (p *Publisher) Publish(sensor string, rec ulm.Record) error {
 		return fmt.Errorf("gateway: publisher closed")
 	}
 	if p.maxRecs <= 1 {
-		err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+		err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Replica: p.replica, Request: Request{Sensor: sensor}})
 		if err != nil {
 			p.err = err
 			p.dropped++
@@ -1177,7 +1267,7 @@ func (p *Publisher) PublishBatch(sensor string, recs []ulm.Record) (written int,
 	}
 	if p.maxRecs <= 1 {
 		for _, payload := range payloads {
-			err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Request: Request{Sensor: sensor}})
+			err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Rec: payload, Replica: p.replica, Request: Request{Sensor: sensor}})
 			if err != nil {
 				p.err = err
 				p.dropped++
@@ -1226,7 +1316,7 @@ func (p *Publisher) flushLocked() error {
 	if len(p.buf) == 0 {
 		return nil
 	}
-	err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Recs: p.buf})
+	err := p.enc.Encode(wireRequest{Op: "publish", Format: p.format, Recs: p.buf, Replica: p.replica})
 	if err != nil {
 		p.err = err
 		p.dropped += uint64(len(p.buf))

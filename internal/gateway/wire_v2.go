@@ -820,7 +820,11 @@ func (p *Publisher) bufferV2Locked(sensor string, rec *ulm.Record) {
 
 // sealRunLocked turns the open run into a finished frame in wbuf.
 func (p *Publisher) sealRunLocked() {
+	start := len(p.wbuf)
 	p.wbuf = appendRawBatchFrame(p.wbuf, p.runHops, p.runSensor, p.runCount, p.runBuf)
+	if p.replica {
+		markFrameReplica(p.wbuf, start)
+	}
 	p.runBuf = p.runBuf[:0]
 	p.runCount = 0
 	p.runHops = 0
@@ -890,6 +894,62 @@ func (p *Publisher) flushV2Locked() error {
 	p.bufRecs = 0
 	p.bufBytes = 0
 	return err
+}
+
+// MarkReplica switches the publisher into replica mode: every record
+// it sends from now on is flagged as a replicated copy — ingested by
+// the receiving gateway without firing registration hooks and never
+// re-forwarded to its replica set. Replication links (bridge
+// package) call this once, right after dialing.
+func (p *Publisher) MarkReplica() {
+	p.mu.Lock()
+	p.replica = true
+	p.mu.Unlock()
+}
+
+// PublishFrame forwards a pre-encoded record-batch frame. On a v2
+// connection the frame's bytes join the write buffer untouched (the
+// open run is sealed first to preserve order) — the zero-copy relay
+// path a router or replication link rides so a frame sealed once at
+// the edge never pays the codec again; a replica-mode publisher
+// flags the copy in place. On a JSON connection the frame decodes and
+// republishes as an ordinary batch. written counts like
+// PublishBatch's: records carried by successful writes, with buffered
+// records counting as accepted.
+func (p *Publisher) PublishFrame(f *Frame) (written int, err error) {
+	if p.ver < 2 {
+		recs, derr := f.Records(nil)
+		if derr != nil {
+			return 0, derr
+		}
+		return p.PublishBatch(f.Sensor, recs)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.closed {
+		return 0, fmt.Errorf("gateway: publisher closed")
+	}
+	if p.runCount > 0 {
+		p.sealRunLocked()
+	}
+	start := len(p.wbuf)
+	p.wbuf = append(p.wbuf, f.Bytes()...)
+	if p.replica && !f.Replica() {
+		markFrameReplica(p.wbuf, start)
+	}
+	p.bufRecs += f.Count
+	p.bufBytes += len(f.Bytes())
+	if p.bufRecs >= p.maxRecs || p.bufBytes >= maxBatchBytes {
+		if ferr := p.flushV2Locked(); ferr != nil {
+			return 0, ferr
+		}
+		return f.Count, nil
+	}
+	p.armTimerLocked()
+	return f.Count, nil
 }
 
 // Version reports the wire protocol version the publisher negotiated

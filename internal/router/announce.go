@@ -7,6 +7,7 @@ import (
 
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/ring"
 )
 
 // Directory is the slice of the sensor directory the sharded-site
@@ -25,6 +26,12 @@ type Directory interface {
 // sensor managers publish ("gateway"), so consumers.Discover and
 // routers read one schema regardless of who advertised the sensor.
 const OwnerAttr = "gateway"
+
+// ReplicaAttr is the directory attribute listing the replica gateways'
+// wire addresses (multi-valued, preference-ordered) on a
+// sensor-ownership entry. Routers walk OwnerAttr then ReplicaAttr as
+// the failover ladder. Absent under single-owner placement.
+const ReplicaAttr = "gwreplica"
 
 // Announcer advertises sensor → gateway ownership in the sensor
 // directory: one entry per sensor, DN "sensor=<key>,<base>", whose
@@ -47,6 +54,10 @@ type Announcer struct {
 
 	mu        sync.Mutex
 	announced map[string]struct{}
+	// ring/k, when set via SetPlacement, make every announcement carry
+	// the sensor's replica addresses (ReplicaAttr) alongside the owner.
+	ring *ring.Ring
+	k    int
 
 	// Attached registration changes are applied asynchronously by one
 	// worker goroutine: the gateway's publish path must never block on
@@ -177,6 +188,18 @@ func SensorDN(base directory.DN, sensor string) directory.DN {
 	return dn.Normalize()
 }
 
+// SetPlacement tells the announcer the site's ring and placement
+// factor, so every subsequent announcement advertises the sensor's
+// replica addresses (the ring owners beyond this gateway, up to k-1 of
+// them) in ReplicaAttr — the failover ladder routers walk when the
+// advertised owner stops answering. Call again after a membership
+// change; k <= 1 (or a nil ring) advertises no replicas.
+func (a *Announcer) SetPlacement(rg *ring.Ring, k int) {
+	a.mu.Lock()
+	a.ring, a.k = rg, k
+	a.mu.Unlock()
+}
+
 // Announce upserts the ownership entry for sensor.
 func (a *Announcer) Announce(sensor string, meta gateway.Meta) error {
 	attrs := map[string]string{
@@ -197,8 +220,23 @@ func (a *Announcer) Announce(sensor string, meta gateway.Meta) error {
 	}
 	e := directory.NewEntry(SensorDN(a.base, sensor), attrs)
 	a.mu.Lock()
+	rg, k := a.ring, a.k
 	a.announced[sensor] = struct{}{}
 	a.mu.Unlock()
+	if rg != nil && k > 1 {
+		replicas := 0
+		for _, addr := range rg.Owners(sensor, k) {
+			if addr != a.addr {
+				e.Add(ReplicaAttr, addr)
+				replicas++
+			}
+		}
+		if replicas > k-1 {
+			// Not the ring-placed owner (a failover promotion): keep the
+			// ladder at k-1 replicas, preference order.
+			e.Attrs[ReplicaAttr] = e.Attrs[ReplicaAttr][:k-1]
+		}
+	}
 	if err := a.dir.Add(e); err != nil {
 		// Exists (same sensor re-registered, or a stale entry from a
 		// previous owner): refresh in place.

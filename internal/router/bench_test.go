@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"jamm/internal/bridge"
 	"jamm/internal/gateway"
 	"jamm/internal/ring"
 	"jamm/internal/ulm"
@@ -25,6 +26,196 @@ import (
 // aggregate-throughput target of the sharded-site work), while on a
 // single-core container both cases saturate the one CPU and the ratio
 // degenerates to ~1x.
+// benchSite builds an n-gateway site with placement factor k: each
+// gateway carries a Replicator when k > 1. No directory, no archives —
+// these benches isolate the event plane.
+type benchReplicatedSite struct {
+	gws   []*gateway.Gateway
+	srvs  []*gateway.TCPServer
+	addrs []string
+	reps  []*bridge.Replicator
+	rt    *Router
+}
+
+func benchSite(b *testing.B, n, k int) (*benchReplicatedSite, func()) {
+	b.Helper()
+	s := &benchReplicatedSite{}
+	for i := 0; i < n; i++ {
+		gw := gateway.New(fmt.Sprintf("gw%d", i), nil)
+		srv, err := gateway.ServeTCP(gw, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.gws = append(s.gws, gw)
+		s.srvs = append(s.srvs, srv)
+		s.addrs = append(s.addrs, srv.Addr())
+	}
+	rg := ring.New(s.addrs, 64)
+	if k > 1 {
+		for i := range s.gws {
+			// A deep queue so the bench measures replication throughput,
+			// not the shed policy: the default 8192-record budget clips
+			// the burst that accumulates while the lazy link first dials.
+			rep := bridge.NewReplicator(s.addrs[i], rg, k, bridge.ReplicatorOptions{
+				Principal: "bench", BatchMax: 256, QueueRecords: 1 << 20,
+			})
+			s.gws[i].SetForwarder(rep)
+			s.reps = append(s.reps, rep)
+		}
+	}
+	rt, err := New(Options{Ring: rg, ReplicaK: k, Principal: "bench", BatchMax: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.rt = rt
+	cleanup := func() {
+		rt.Close()
+		for _, rep := range s.reps {
+			rep.Close()
+		}
+		for _, srv := range s.srvs {
+			srv.Close()
+		}
+	}
+	return s, cleanup
+}
+
+// BenchmarkReplicatedPublish prices the replication write path: the
+// same routed publish workload over a 3-gateway site at k=1 (each
+// record ingests once) vs k=2 (the primary's Forwarder mirrors every
+// record to its replica over an asynchronous batched link). The
+// measured cost to the publisher should be small — replication rides
+// a bounded queue off the ingest path — while the site pays one extra
+// ingest per record; the bench waits for both, so recs/s reflects
+// fully-replicated throughput. Sheds (replica queue overflow) are
+// reported; under an unsaturated bench they should be zero.
+func BenchmarkReplicatedPublish(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			site, cleanup := benchSite(b, 3, k)
+			defer cleanup()
+			rt := site.rt
+
+			sensors := make([]string, 64)
+			for i := range sensors {
+				sensors[i] = fmt.Sprintf("cpu@h%d.lbl.gov", i)
+			}
+			rec := ulm.Record{
+				Date: time.Unix(957_139_200, 0).UTC(), Host: "h1.lbl.gov",
+				Prog: "jamm.cpu", Lvl: ulm.LvlUsage, Event: "E",
+				Fields: []ulm.Field{{Key: "VAL", Value: "1"}},
+			}
+
+			const workers = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			done := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					for i := w; i < b.N; i += workers {
+						if err := rt.Publish(sensors[i%len(sensors)], rec); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(w)
+			}
+			for w := 0; w < workers; w++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			// Replication-complete: every record ingested at its primary
+			// AND its mirror landed (or was shed, counted) at the replica.
+			want := uint64(b.N) * uint64(k)
+			var shed uint64
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				var total uint64
+				for _, gw := range site.gws {
+					total += gw.Stats().Published
+				}
+				shed = 0
+				for _, rep := range site.reps {
+					shed += rep.Stats().Shed
+				}
+				if total+shed >= want {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("ingested %d of %d record copies (%d shed)", total, want, shed)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "recs/s")
+			b.ReportMetric(float64(shed), "shed")
+		})
+	}
+}
+
+// BenchmarkFailoverLatency measures the reader-visible outage of a
+// primary death under k=2: a sensor is published and mirrored, its
+// primary gateway is killed, and the timer covers the span from the
+// kill until a routed Query answers again (from the replica, having
+// walked the failover ladder past the corpse's refused connection).
+// Each iteration rebuilds the site off-timer.
+func BenchmarkFailoverLatency(b *testing.B) {
+	rec := ulm.Record{
+		Date: time.Unix(957_139_200, 0).UTC(), Host: "h1.lbl.gov",
+		Prog: "jamm.cpu", Lvl: ulm.LvlUsage, Event: "E",
+		Fields: []ulm.Field{{Key: "VAL", Value: "1"}},
+	}
+	const sensor = "cpu@failover.lbl.gov"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		site, cleanup := benchSite(b, 3, 2)
+		owners := site.rt.Ring().Owners(sensor, 2)
+		var pIdx, rIdx int
+		for j, addr := range site.addrs {
+			if addr == owners[0] {
+				pIdx = j
+			}
+			if addr == owners[1] {
+				rIdx = j
+			}
+		}
+		// Seed and wait until the replica mirrors the sensor, so the
+		// timed span measures pure failover, not replication lag.
+		if err := site.rt.Publish(sensor, rec); err != nil {
+			b.Fatal(err)
+		}
+		site.rt.Flush() //nolint:errcheck
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, found, err := site.gws[rIdx].Query("bench", sensor, "E"); err == nil && found {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("replica never mirrored the seed record")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		site.srvs[pIdx].Close()
+		b.StartTimer()
+		for {
+			if _, found, err := site.rt.Query(sensor, "E"); err == nil && found {
+				break
+			}
+		}
+		b.StopTimer()
+		cleanup()
+	}
+}
+
 func BenchmarkShardedSitePublish(b *testing.B) {
 	for _, n := range []int{1, 3} {
 		b.Run(fmt.Sprintf("gateways=%d", n), func(b *testing.B) {

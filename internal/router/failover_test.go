@@ -1,0 +1,420 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jamm/internal/bridge"
+	"jamm/internal/consumer"
+	"jamm/internal/directory"
+	"jamm/internal/gateway"
+	"jamm/internal/histstore"
+	"jamm/internal/ring"
+)
+
+// replicatedSite is a sharded site with k-replica placement: every
+// gateway carries a Replicator mirroring its primary ingest to the
+// sensor's other ring owners, a persistent archive, and an announcer
+// advertising the replica ladder.
+type replicatedSite struct {
+	t     *testing.T
+	k     int
+	gws   []*gateway.Gateway
+	srvs  []*gateway.TCPServer
+	addrs []string
+	anns  []*Announcer
+	reps  []*bridge.Replicator
+	hists []*histstore.Store
+	archs []*consumer.Archiver
+	dir   *directory.Server
+	ring  *ring.Ring
+}
+
+func startReplicatedSite(t *testing.T, n, k int) *replicatedSite {
+	t.Helper()
+	s := &replicatedSite{t: t, k: k, dir: directory.NewServer("dir", directory.NewMutableBackend())}
+	// Two passes: the servers must exist before the ring (and so the
+	// replicators and placement-aware announcers) can be built over
+	// their addresses.
+	for i := 0; i < n; i++ {
+		gw := gateway.New(fmt.Sprintf("gw%d", i), nil)
+		srv, err := gateway.ServeTCP(gw, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.gws = append(s.gws, gw)
+		s.srvs = append(s.srvs, srv)
+		s.addrs = append(s.addrs, srv.Addr())
+	}
+	s.ring = ring.New(s.addrs, 64)
+	for i := 0; i < n; i++ {
+		s.wireNode(i, s.gws[i], s.srvs[i])
+	}
+	t.Cleanup(s.shutdown)
+	return s
+}
+
+// wireNode attaches the replicated-site machinery (archive, announcer
+// with placement, replicator) to one gateway. Called for initial
+// members and again by rejoin for a replacement.
+func (s *replicatedSite) wireNode(i int, gw *gateway.Gateway, srv *gateway.TCPServer) {
+	s.t.Helper()
+	hist, err := histstore.Open(s.t.TempDir(), histstore.Options{})
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	arch := consumer.NewArchiver(nil)
+	arch.SetHistory(hist)
+	arch.SubscribeBus(gw.Bus(), "")
+	srv.SetHistory(hist)
+	gw.SetHistoryFallback(hist)
+
+	ann := NewAnnouncer(serverDir(s.dir, "gw"), sensorBase, gw.Name(), s.addrs[i])
+	ann.SetPlacement(s.ring, s.k)
+	ann.Attach(gw)
+
+	rep := bridge.NewReplicator(s.addrs[i], s.ring, s.k, bridge.ReplicatorOptions{
+		Principal: "gw", BatchWait: time.Millisecond,
+	})
+	gw.SetForwarder(rep)
+
+	if i < len(s.hists) {
+		s.gws[i], s.srvs[i] = gw, srv
+		s.hists[i], s.archs[i], s.anns[i], s.reps[i] = hist, arch, ann, rep
+	} else {
+		s.hists = append(s.hists, hist)
+		s.archs = append(s.archs, arch)
+		s.anns = append(s.anns, ann)
+		s.reps = append(s.reps, rep)
+	}
+}
+
+// kill stops gateway i the unclean way: listener and replica links
+// down, no withdrawal, no drain — the failure the failover path is
+// for. Its archive is closed too (the disk contents stay for rejoin
+// realism; rejoin opens a fresh directory anyway).
+func (s *replicatedSite) kill(i int) {
+	s.srvs[i].Close()
+	s.reps[i].Close()
+	s.anns[i].Close()
+	s.archs[i].Close()
+	s.hists[i].Close() //nolint:errcheck
+}
+
+// rejoin starts a fresh gateway process at member i's address: empty
+// cache, empty archive — the operator restarted the daemon. The
+// caller reconciles and rebalances.
+func (s *replicatedSite) rejoin(i int) {
+	s.t.Helper()
+	gw := gateway.New(fmt.Sprintf("gw%d", i), nil)
+	srv, err := gateway.ServeTCP(gw, s.addrs[i], nil)
+	if err != nil {
+		s.t.Fatalf("rejoin gw%d at %s: %v", i, s.addrs[i], err)
+	}
+	s.wireNode(i, gw, srv)
+}
+
+func (s *replicatedSite) shutdown() {
+	for i := range s.srvs {
+		s.srvs[i].Close()
+		s.reps[i].Close()
+		s.anns[i].Close()
+		s.archs[i].Close()
+		s.hists[i].Close() //nolint:errcheck
+	}
+}
+
+func (s *replicatedSite) router(opts Options) (*Router, error) {
+	opts.Ring = s.ring
+	opts.Directory = serverDir(s.dir, "consumer")
+	opts.Base = sensorBase
+	if opts.Principal == "" {
+		opts.Principal = "consumer"
+	}
+	return New(opts)
+}
+
+func (s *replicatedSite) gwIndex(addr string) int {
+	s.t.Helper()
+	for i, a := range s.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	s.t.Fatalf("address %s not in site", addr)
+	return -1
+}
+
+// TestReplicatedFailoverEndToEnd is the kill/rejoin acceptance test:
+// records published under k=2 placement mirror to the replica (cache
+// and archive), killing the primary loses nothing — queries, new
+// publishes, and history all fail over, the directory advertisement
+// flips — and a rejoined primary gets its sensors handed back by
+// Rebalance with anti-entropy closing its archive gap.
+func TestReplicatedFailoverEndToEnd(t *testing.T) {
+	site := startReplicatedSite(t, 3, 2)
+	rt, err := site.router(Options{ReplicaK: 2, BatchWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	sensor := "cpu@failover.lbl.gov"
+	owners := site.ring.Owners(sensor, 2)
+	if len(owners) != 2 {
+		t.Fatalf("ring owners = %v", owners)
+	}
+	pIdx, rIdx := site.gwIndex(owners[0]), site.gwIndex(owners[1])
+
+	const preKill = 5
+	for i := 0; i < preKill; i++ {
+		if err := rt.Publish(sensor, mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica mirrors the primary: live cache and archive.
+	waitFor(t, "replica mirrored the cache", func() bool {
+		rec, found, err := site.gws[rIdx].Query("", sensor, "E")
+		if err != nil || !found {
+			return false
+		}
+		v, _ := rec.Float("VAL")
+		return v == preKill-1
+	})
+	waitFor(t, "replica archived the mirror", func() bool {
+		return site.hists[rIdx].Stats().Records >= preKill
+	})
+	mirrored := false
+	for _, info := range site.gws[rIdx].Sensors() {
+		if info.Name == sensor {
+			mirrored = info.Mirrored
+		}
+	}
+	if !mirrored {
+		t.Fatal("replica does not mark the sensor mirrored")
+	}
+	// The advertisement carries the failover ladder.
+	waitFor(t, "replica ladder advertised", func() bool {
+		entries, err := serverDir(site.dir, "t").Search(SensorDN(sensorBase, sensor), directory.ScopeBase, "")
+		if err != nil || len(entries) != 1 {
+			return false
+		}
+		reps := entries[0].GetAll(ReplicaAttr)
+		return len(reps) == 1 && reps[0] == site.addrs[rIdx]
+	})
+
+	// Kill the primary. Everything already mirrored must stay served:
+	// zero unaccounted loss.
+	site.kill(pIdx)
+
+	rec, found, err := rt.Query(sensor, "E")
+	if err != nil || !found {
+		t.Fatalf("query after primary death: %v found=%v", err, found)
+	}
+	if v, _ := rec.Float("VAL"); v != preKill-1 {
+		t.Fatalf("failover query VAL = %v, want %d", v, preKill-1)
+	}
+	if rt.Stats().Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+	// The promotion rewrote the advertisement to the replica.
+	waitFor(t, "ownership promoted to replica", func() bool {
+		return rt.Owner(sensor) == site.addrs[rIdx]
+	})
+
+	// New publishes keep flowing — routed to the promoted replica (a
+	// batched publisher to the corpse may eat one frame; the retry
+	// path re-resolves, and the loss is counted, never silent). Each
+	// attempt is a distinct record so the archives stay exact-count
+	// comparable after anti-entropy (which dedupes identical records).
+	val := float64(preKill - 1)
+	waitFor(t, "publish resumed at the replica", func() bool {
+		val++
+		if err := rt.Publish(sensor, mkRec("E", time.Hour+time.Duration(val)*time.Second, val)); err != nil {
+			return false
+		}
+		rt.Flush() //nolint:errcheck
+		rec, found, err := rt.Query(sensor, "E")
+		if err != nil || !found {
+			return false
+		}
+		v, _ := rec.Float("VAL")
+		// Any post-kill value proves the publish path resumed; delivery
+		// may trail the latest attempt by an ingest hop.
+		return v > float64(preKill-1)
+	})
+
+	// History answers from the replica's archive: every pre-kill
+	// record survived the primary.
+	recs, err := rt.History(gateway.HistoryRequest{Sensor: sensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < preKill {
+		t.Fatalf("failover history has %d records, want >= %d", len(recs), preKill)
+	}
+
+	// Rejoin: a fresh process on the old address, empty archive. The
+	// membership did not change, so Rebalance hands the sensor back
+	// from the promoted replica to its ring placement.
+	site.rejoin(pIdx)
+	moved, err := rt.Rebalance(site.ring)
+	if err != nil {
+		t.Fatalf("rebalance: %v (moved %d)", err, moved)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing; expected the promoted sensor to re-home")
+	}
+	waitFor(t, "ownership restored to the rejoined primary", func() bool {
+		return rt.Owner(sensor) == site.addrs[pIdx]
+	})
+	// The handoff seeded the rejoined cache (batched re-publish, then
+	// fire-and-forget ingest: flush and wait).
+	rt.Flush() //nolint:errcheck
+	waitFor(t, "handoff seeding the rejoined cache", func() bool {
+		_, found, err := site.gws[pIdx].Query("", sensor, "E")
+		return err == nil && found
+	})
+
+	// Anti-entropy: the rejoined archive is missing everything from
+	// before the restart except the handoff drain; reconciling against
+	// the replica closes the gap. Repeated until a pass backfills
+	// nothing — convergence — because the replica's own archiver is
+	// still draining asynchronously.
+	peer := gateway.NewClient("gw", site.addrs[rIdx])
+	backfilled := 0
+	waitFor(t, "anti-entropy convergence", func() bool {
+		added, err := gateway.ReconcileHistory(site.hists[pIdx], peer, "")
+		if err != nil {
+			return false
+		}
+		backfilled += added
+		return added == 0 && backfilled > 0
+	})
+	if got := site.hists[pIdx].Stats().Records; got < preKill {
+		t.Fatalf("rejoined archive has %d records, want >= %d pre-kill records", got, preKill)
+	}
+}
+
+// TestReplicatedChurnUnderRace hammers a k=2 site with concurrent
+// publishers while a member bounces. The invariant is
+// delivered-or-counted: every record is acknowledged by Query, failed
+// at the caller, or visible in the router's drop counters — and after
+// the churn the site converges so a fresh record on every sensor is
+// queryable end to end.
+func TestReplicatedChurnUnderRace(t *testing.T) {
+	site := startReplicatedSite(t, 3, 2)
+	rt, err := site.router(Options{ReplicaK: 2, BatchWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	const (
+		writers       = 4
+		perWriter     = 150
+		bounceGateway = 1
+	)
+	var accepted, errored atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sensor := fmt.Sprintf("churn%d@h.lbl.gov", w)
+			for i := 0; i < perWriter; i++ {
+				if err := rt.Publish(sensor, mkRec("E", time.Duration(i)*time.Millisecond, float64(i))); err != nil {
+					errored.Add(1)
+				} else {
+					accepted.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Bounce a member mid-churn: unclean kill, then a fresh process on
+	// the same address.
+	time.Sleep(20 * time.Millisecond)
+	site.kill(bounceGateway)
+	time.Sleep(20 * time.Millisecond)
+	site.rejoin(bounceGateway)
+	wg.Wait()
+	rt.Flush() //nolint:errcheck
+
+	if got := accepted.Load() + errored.Load(); got != writers*perWriter {
+		t.Fatalf("accounting hole: %d accepted + %d errored != %d published",
+			accepted.Load(), errored.Load(), writers*perWriter)
+	}
+	// Loss during the bounce is allowed but never silent: if any
+	// writer saw no error yet a frame died with the gateway, the
+	// router's counters carry it.
+	st := rt.Stats()
+	t.Logf("churn: accepted=%d errored=%d drops=%d retries=%d failovers=%d",
+		accepted.Load(), errored.Load(), st.PublishDrops, st.PublishRetries, st.Failovers)
+
+	// Convergence: after the dust settles every sensor accepts and
+	// serves a fresh record through the router.
+	for w := 0; w < writers; w++ {
+		sensor := fmt.Sprintf("churn%d@h.lbl.gov", w)
+		waitFor(t, "post-churn convergence of "+sensor, func() bool {
+			if err := rt.Publish(sensor, mkRec("E", time.Hour, 777)); err != nil {
+				return false
+			}
+			rt.Flush() //nolint:errcheck
+			rec, found, err := rt.Query(sensor, "E")
+			if err != nil || !found {
+				return false
+			}
+			v, _ := rec.Float("VAL")
+			return v == 777
+		})
+	}
+}
+
+// TestReplicatedHistoryWildcardDedupe: under k=2 a wildcard history
+// query visits primaries and replicas holding the same records; the
+// router must return each archived record once.
+func TestReplicatedHistoryWildcardDedupe(t *testing.T) {
+	site := startReplicatedSite(t, 3, 2)
+	rt, err := site.router(Options{ReplicaK: 2, BatchWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	const n = 6
+	sensor := "cpu@dedupe.lbl.gov"
+	for i := 0; i < n; i++ {
+		if err := rt.Publish(sensor, mkRec("E", time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rIdx := site.gwIndex(site.ring.Owners(sensor, 2)[1])
+	waitFor(t, "replica archived the mirror", func() bool {
+		return site.hists[rIdx].Stats().Records >= n
+	})
+
+	recs, err := rt.History(gateway.HistoryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tr := range recs {
+		if tr.Sensor == sensor {
+			count++
+		}
+	}
+	if count != n {
+		t.Fatalf("wildcard history returned %d copies of %s's records, want %d (dedupe)", count, sensor, n)
+	}
+}

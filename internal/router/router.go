@@ -39,7 +39,15 @@ import (
 // Options configures a Router.
 type Options struct {
 	// Ring is the site's gateway membership (wire addresses). Required.
+	// It is the initial membership; SetRing/Rebalance swap it live.
 	Ring *ring.Ring
+	// ReplicaK is the site's placement factor: each sensor is placed on
+	// its first ReplicaK ring owners (primary + ReplicaK-1 replicas),
+	// and routed operations fail over along that candidate list when
+	// the primary stops answering. 0 or 1 selects single-owner
+	// placement — no replica candidates, the pre-replication behavior
+	// bit for bit.
+	ReplicaK int
 	// Directory, when set, is consulted for directory-advertised
 	// ownership before falling back to ring placement.
 	Directory Directory
@@ -68,6 +76,10 @@ type Options struct {
 type Router struct {
 	opts Options
 
+	// ringp holds the current membership; SetRing swaps it without a
+	// lock on the publish hot path.
+	ringp atomic.Pointer[ring.Ring]
+
 	mu      sync.Mutex
 	clients map[string]*gateway.Client
 	closed  bool
@@ -77,14 +89,16 @@ type Router struct {
 	// goroutines at once); r.mu serializes only creation and teardown.
 	pubs sync.Map // string -> *gateway.Publisher
 
-	// owners caches resolved sensor → gateway address placements so the
-	// publish hot path pays neither a directory round trip nor a ring
-	// walk per record. Entries are invalidated when the owner's
-	// publisher connection fails.
-	owners sync.Map // string -> string
+	// owners caches resolved sensor → placement candidate lists
+	// (primary first) so the publish hot path pays neither a directory
+	// round trip nor a ring walk per record. Entries are invalidated
+	// when every candidate's connection fails, and wholesale on
+	// SetRing.
+	owners sync.Map // string -> []string
 
 	publishDrops   atomic.Uint64
 	publishRetries atomic.Uint64
+	failovers      atomic.Uint64
 }
 
 // Stats counts a router's loss and recovery events.
@@ -94,9 +108,14 @@ type Stats struct {
 	// returned nil when the batch's flush failed. Never silent: a
 	// bounced gateway surfaces here even when the retry path recovers.
 	PublishDrops uint64
-	// PublishRetries counts publishes that failed on the cached owner
-	// and were retried against a freshly resolved one.
+	// PublishRetries counts publishes that failed on every cached
+	// candidate and were retried against freshly resolved placement.
 	PublishRetries uint64
+	// Failovers counts operations answered by a non-primary placement
+	// candidate — a replica absorbing a dead or stale primary's
+	// traffic. Each one also rewrites the directory advertisement to
+	// the answering gateway.
+	Failovers uint64
 }
 
 // New returns a router over the given site.
@@ -113,39 +132,98 @@ func New(opts Options) (*Router, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
 	}
-	return &Router{
+	if opts.ReplicaK < 1 {
+		opts.ReplicaK = 1
+	}
+	r := &Router{
 		opts:    opts,
 		clients: make(map[string]*gateway.Client),
-	}, nil
+	}
+	r.ringp.Store(opts.Ring)
+	return r, nil
 }
 
-// Ring returns the router's gateway membership.
-func (r *Router) Ring() *ring.Ring { return r.opts.Ring }
+// Ring returns the router's current gateway membership.
+func (r *Router) Ring() *ring.Ring { return r.ringp.Load() }
+
+// SetRing swaps the gateway membership — a gateway joined or left —
+// and drops every cached placement, so subsequent operations resolve
+// against the new ring. Publishers to departed gateways die on their
+// next use and are retired (and their losses counted) by the normal
+// drop path. Rebalance wraps this with the state handoff.
+func (r *Router) SetRing(rg *ring.Ring) {
+	if rg == nil || rg.Len() == 0 {
+		return
+	}
+	r.ringp.Store(rg)
+	r.owners.Range(func(k, _ any) bool { r.owners.Delete(k); return true })
+}
 
 // Owner resolves the gateway address owning sensor: the
 // directory-advertised owner when an ownership entry exists, ring
 // placement otherwise.
 func (r *Router) Owner(sensor string) string {
+	if cands := r.Owners(sensor); len(cands) > 0 {
+		return cands[0]
+	}
+	return r.Ring().Owner(sensor)
+}
+
+// Owners resolves sensor's placement candidates in preference order:
+// the directory-advertised owner and replicas first, then ring
+// placement up to the placement factor, deduplicated. The first
+// address is the routing primary; the rest are the failover ladder a
+// routed operation walks when the primary stops answering.
+func (r *Router) Owners(sensor string) []string {
+	out := make([]string, 0, r.opts.ReplicaK+1)
+	seen := make(map[string]struct{}, r.opts.ReplicaK+1)
+	add := func(addr string) {
+		if addr == "" {
+			return
+		}
+		if _, dup := seen[addr]; dup {
+			return
+		}
+		seen[addr] = struct{}{}
+		out = append(out, addr)
+	}
 	if r.opts.Directory != nil {
 		entries, err := r.opts.Directory.Search(SensorDN(r.opts.Base, sensor), directory.ScopeBase, "")
 		if err == nil && len(entries) == 1 {
-			if addr, ok := entries[0].Get(OwnerAttr); ok && addr != "" {
-				return addr
+			if addr, ok := entries[0].Get(OwnerAttr); ok {
+				add(addr)
+			}
+			for _, addr := range entries[0].GetAll(ReplicaAttr) {
+				add(addr)
 			}
 		}
 	}
-	return r.opts.Ring.Owner(sensor)
+	for _, addr := range r.Ring().Owners(sensor, r.opts.ReplicaK) {
+		add(addr)
+	}
+	return out
 }
 
-// cachedOwner returns the cached placement for sensor, resolving and
-// caching on miss.
-func (r *Router) cachedOwner(sensor string) string {
+// cachedOwners returns the cached placement candidates for sensor,
+// resolving and caching on miss.
+func (r *Router) cachedOwners(sensor string) []string {
 	if v, ok := r.owners.Load(sensor); ok {
-		return v.(string)
+		return v.([]string)
 	}
-	addr := r.Owner(sensor)
-	r.owners.Store(sensor, addr)
-	return addr
+	cands := r.Owners(sensor)
+	r.owners.Store(sensor, cands)
+	return cands
+}
+
+// promote records a successful failover: sensor was answered (or its
+// publish accepted) by the non-primary candidate at addr. The
+// placement cache is dropped, and the directory advertisement is
+// rewritten to the answering gateway — the flip that moves the whole
+// site's routing off a dead primary at the cost of one router's
+// discovery, instead of every router rediscovering the failure.
+func (r *Router) promote(sensor, addr string) {
+	r.failovers.Add(1)
+	r.promoteTo(sensor, addr)
 }
 
 func (r *Router) client(addr string) *gateway.Client {
@@ -200,33 +278,20 @@ func (r *Router) Stats() Stats {
 	return Stats{
 		PublishDrops:   r.publishDrops.Load(),
 		PublishRetries: r.publishRetries.Load(),
+		Failovers:      r.failovers.Load(),
 	}
 }
 
 // Publish routes one sensor record to the owning gateway over a
-// persistent (batched) publisher connection. A dead connection is
-// retried once against a freshly resolved owner, so a bounced or
+// persistent (batched) publisher connection, failing over along the
+// sensor's placement candidates (replicas, under ReplicaK > 1) when a
+// connection is dead. After every cached candidate fails, placement is
+// re-resolved and the fresh ladder walked once more, so a bounced or
 // rebalanced gateway costs one failed frame, not a wedged publisher.
 func (r *Router) Publish(sensor string, rec ulm.Record) error {
-	addr := r.cachedOwner(sensor)
-	if p, err := r.publisher(addr); err == nil {
-		if err = p.Publish(sensor, rec); err == nil {
-			return nil
-		}
-		r.dropPublisher(addr, p)
-	}
-	// The cached placement may be stale (gateway moved or died):
-	// re-resolve and retry once.
-	r.publishRetries.Add(1)
-	r.owners.Delete(sensor)
-	addr = r.cachedOwner(sensor)
-	p, err := r.publisher(addr)
-	if err != nil {
-		return fmt.Errorf("router: publish %s via %s: %w", sensor, addr, err)
-	}
-	if err := p.Publish(sensor, rec); err != nil {
-		r.dropPublisher(addr, p)
-		return fmt.Errorf("router: publish %s via %s: %w", sensor, addr, err)
+	one := [1]ulm.Record{rec}
+	if err := r.PublishBatch(sensor, one[:]); err != nil {
+		return fmt.Errorf("router: publish %s: %w", sensor, err)
 	}
 	return nil
 }
@@ -234,8 +299,9 @@ func (r *Router) Publish(sensor string, rec ulm.Record) error {
 // PublishBatch routes a batch of one sensor's records to the owning
 // gateway over its persistent batched publisher — the bulk form
 // forwarding daemons use, one routing decision and one buffered append
-// per batch. A dead connection is retried once against a freshly
-// resolved owner, like Publish — but only when none of the batch
+// per batch. A dead connection fails over to the next placement
+// candidate, and a wholly failed ladder is retried once against
+// freshly resolved placement — but only while none of the batch
 // reached the wire, so a failure mid-way through a multi-frame batch
 // never duplicates the frames already written: the un-sent remainder
 // is counted in Stats.PublishDrops instead (observable, never silent).
@@ -243,32 +309,75 @@ func (r *Router) PublishBatch(sensor string, recs []ulm.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	addr := r.cachedOwner(sensor)
-	if p, err := r.publisher(addr); err == nil {
-		written, err := p.PublishBatch(sensor, recs)
-		if err == nil {
-			return nil
+	send := func(p *gateway.Publisher) (int, error) { return p.PublishBatch(sensor, recs) }
+	err, terminal := r.publishOnce(sensor, r.cachedOwners(sensor), len(recs), send)
+	if err == nil || terminal {
+		return err
+	}
+	// Nothing reached the wire on any cached candidate: the placement
+	// may be stale (gateways moved or died) — re-resolve and walk the
+	// fresh ladder once.
+	r.publishRetries.Add(1)
+	r.owners.Delete(sensor)
+	err, _ = r.publishOnce(sensor, r.cachedOwners(sensor), len(recs), send)
+	if err != nil {
+		return fmt.Errorf("router: publish batch %s: %w", sensor, err)
+	}
+	return nil
+}
+
+// PublishFrame routes one sealed wire-v2 frame to the gateway owning
+// its sensor. Where the owner connection negotiated v2 the frame's
+// bytes splice straight into the publisher's output buffer — sealed
+// once by whoever built it, relayed without a record decode; a v1
+// connection decodes and re-encodes transparently. Failover and the
+// stale-placement retry follow PublishBatch.
+func (r *Router) PublishFrame(f *gateway.Frame) error {
+	send := func(p *gateway.Publisher) (int, error) { return p.PublishFrame(f) }
+	err, terminal := r.publishOnce(f.Sensor, r.cachedOwners(f.Sensor), f.Count, send)
+	if err == nil || terminal {
+		return err
+	}
+	r.publishRetries.Add(1)
+	r.owners.Delete(f.Sensor)
+	err, _ = r.publishOnce(f.Sensor, r.cachedOwners(f.Sensor), f.Count, send)
+	if err != nil {
+		return fmt.Errorf("router: publish frame %s: %w", f.Sensor, err)
+	}
+	return nil
+}
+
+// publishOnce walks the candidate ladder once, sending via send (which
+// reports how many records reached the publisher before an error). It
+// returns terminal=true when retrying elsewhere would duplicate
+// records already written — the caller must not re-send. A success at
+// a non-primary candidate promotes it.
+func (r *Router) publishOnce(sensor string, cands []string, total int, send func(p *gateway.Publisher) (int, error)) (err error, terminal bool) {
+	var lastErr error
+	for i, addr := range cands {
+		p, perr := r.publisher(addr)
+		if perr != nil {
+			lastErr = perr
+			continue
+		}
+		written, serr := send(p)
+		if serr == nil {
+			if i > 0 {
+				r.promote(sensor, addr)
+			}
+			return nil, false
 		}
 		r.dropPublisher(addr, p)
 		if written > 0 {
-			return fmt.Errorf("router: publish batch %s via %s: %d/%d records written before failure (remainder counted dropped, not retried): %w",
-				sensor, addr, written, len(recs), err)
+			return fmt.Errorf("router: publish %s via %s: %d/%d records written before failure (remainder counted dropped, not retried): %w",
+				sensor, addr, written, total, serr), true
 		}
+		lastErr = serr
 	}
-	// Nothing reached the wire: the cached placement may be stale
-	// (gateway moved or died) — re-resolve and retry once.
-	r.publishRetries.Add(1)
-	r.owners.Delete(sensor)
-	addr = r.cachedOwner(sensor)
-	p, err := r.publisher(addr)
-	if err != nil {
-		return fmt.Errorf("router: publish batch %s via %s: %w", sensor, addr, err)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no placement candidates")
 	}
-	if _, err := p.PublishBatch(sensor, recs); err != nil {
-		r.dropPublisher(addr, p)
-		return fmt.Errorf("router: publish batch %s via %s: %w", sensor, addr, err)
-	}
-	return nil
+	return lastErr, false
 }
 
 // Flush pushes every publisher's buffered batch to its gateway.
@@ -284,31 +393,60 @@ func (r *Router) Flush() error {
 }
 
 // Query fetches the most recent event of the named type from the
-// gateway owning sensor. A stale directory advertisement (the sensor
-// moved, or a late withdrawal deleted the fresh entry) degrades to a
-// second attempt at the ring-placed owner rather than a hard miss.
+// gateway owning sensor, walking the placement candidates until one
+// answers: a stale directory advertisement degrades to the ring-placed
+// owner, and under ReplicaK > 1 a dead primary degrades to a replica
+// serving its mirrored cache (or archive tail). An answer from a
+// non-primary candidate promotes it in the directory.
 func (r *Router) Query(sensor, event string) (ulm.Record, bool, error) {
-	addr := r.Owner(sensor)
-	rec, found, err := r.client(addr).Query(sensor, event)
-	if (err != nil || !found) && addr != r.opts.Ring.Owner(sensor) {
-		return r.client(r.opts.Ring.Owner(sensor)).Query(sensor, event)
+	var (
+		rec   ulm.Record
+		found bool
+		err   error
+	)
+	for i, addr := range r.Owners(sensor) {
+		rec, found, err = r.client(addr).Query(sensor, event)
+		if err == nil && found {
+			if i > 0 {
+				r.promote(sensor, addr)
+			}
+			return rec, true, nil
+		}
 	}
 	return rec, found, err
 }
 
-// Summary fetches windowed statistics from the gateway owning sensor.
+// Summary fetches windowed statistics from the gateway owning sensor,
+// failing over along the placement candidates like Query.
 func (r *Router) Summary(sensor, event, field string) ([]gateway.SummaryPoint, error) {
-	return r.client(r.Owner(sensor)).Summary(sensor, event, field)
+	var (
+		pts []gateway.SummaryPoint
+		err error
+	)
+	for i, addr := range r.Owners(sensor) {
+		pts, err = r.client(addr).Summary(sensor, event, field)
+		if err == nil {
+			if i > 0 {
+				r.promote(sensor, addr)
+			}
+			return pts, nil
+		}
+	}
+	return pts, err
 }
 
 // List merges the sensor listings of every gateway on the ring, sorted
 // by name. Listing errors from individual gateways are returned after
 // the merged listing of the reachable ones (partial sites stay
-// observable during a gateway bounce).
+// observable during a gateway bounce). Replica gateways list their
+// mirrored holdings too; the merge keeps one row per sensor,
+// preferring the primary's (non-mirrored) row, so the site-wide
+// listing counts each sensor once whatever the placement factor.
 func (r *Router) List() ([]gateway.SensorInfo, error) {
 	var out []gateway.SensorInfo
+	byName := make(map[string]int)
 	var firstErr error
-	for _, addr := range r.opts.Ring.Nodes() {
+	for _, addr := range r.Ring().Nodes() {
 		infos, err := r.client(addr).List()
 		if err != nil {
 			if firstErr == nil {
@@ -316,7 +454,16 @@ func (r *Router) List() ([]gateway.SensorInfo, error) {
 			}
 			continue
 		}
-		out = append(out, infos...)
+		for _, info := range infos {
+			if j, dup := byName[info.Name]; dup {
+				if out[j].Mirrored && !info.Mirrored {
+					out[j] = info
+				}
+				continue
+			}
+			byName[info.Name] = len(out)
+			out = append(out, info)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, firstErr
@@ -331,20 +478,29 @@ func (r *Router) List() ([]gateway.SensorInfo, error) {
 // returned after the merged records of the reachable gateways.
 func (r *Router) History(hr gateway.HistoryRequest) ([]gateway.TopicRecord, error) {
 	if hr.Sensor != "" {
-		addr := r.Owner(hr.Sensor)
-		recs, err := r.client(addr).History(hr)
-		if (err != nil || len(recs) == 0) && addr != r.opts.Ring.Owner(hr.Sensor) {
-			// Stale directory advertisement: degrade to the ring-placed
-			// owner, like Query.
-			return r.client(r.opts.Ring.Owner(hr.Sensor)).History(hr)
+		var (
+			recs []gateway.TopicRecord
+			err  error
+		)
+		for i, addr := range r.Owners(hr.Sensor) {
+			recs, err = r.client(addr).History(hr)
+			if err == nil && len(recs) > 0 {
+				if i > 0 {
+					r.promote(hr.Sensor, addr)
+				}
+				return recs, nil
+			}
 		}
 		return recs, err
 	}
+	nodes := r.Ring().Nodes()
 	var out []gateway.TopicRecord
 	var firstErr error
-	for _, addr := range r.opts.Ring.Nodes() {
+	errs := 0
+	for _, addr := range nodes {
 		recs, err := r.client(addr).History(hr)
 		if err != nil {
+			errs++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("router: history %s: %w", addr, err)
 			}
@@ -352,10 +508,41 @@ func (r *Router) History(hr gateway.HistoryRequest) ([]gateway.TopicRecord, erro
 		}
 		out = append(out, recs...)
 	}
+	if r.opts.ReplicaK > 1 {
+		// Replicated archives answer the same records from several
+		// gateways: collapse to one copy per record, and treat a dead
+		// gateway as covered (its replicas answered for it) rather than
+		// a partial result — unless nobody answered at all.
+		out = dedupeTopicRecords(out)
+		if errs < len(nodes) {
+			firstErr = nil
+		}
+	}
 	// Each gateway's slice arrives time-sorted; the merged site-wide
 	// answer must be too.
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Rec.Date.Before(out[j].Rec.Date) })
 	return out, firstErr
+}
+
+// dedupeTopicRecords collapses duplicate records — the same sensor's
+// record archived by the primary and by its replicas — to one copy, by
+// record identity (sensor plus canonical binary encoding), preserving
+// first-seen order.
+func dedupeTopicRecords(in []gateway.TopicRecord) []gateway.TopicRecord {
+	seen := make(map[string]struct{}, len(in))
+	out := in[:0]
+	var key []byte
+	for i := range in {
+		key = append(key[:0], in[i].Sensor...)
+		key = append(key, 0)
+		key = ulm.AppendBinary(key, &in[i].Rec)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, in[i])
+	}
+	return out
 }
 
 // Subscribe opens a streaming subscription routed across the site. A
@@ -376,7 +563,11 @@ func (r *Router) Subscribe(req gateway.Request, fn func(ulm.Record)) (stop func(
 	sub := local.Subscribe("", nil, fn)
 	var bridges []*bridge.Bridge
 	if req.Sensor != "" {
-		bridges = []*bridge.Bridge{r.bridgeTo(r.Owner(req.Sensor), local, req)}
+		// A named-sensor subscription re-homes on every reconnect
+		// round: when the owner dies, the bridge's next round binds to
+		// the first placement candidate that answers (a replica
+		// mirroring the sensor) instead of hammering the dead address.
+		bridges = []*bridge.Bridge{r.bridgeWith(r.Owner(req.Sensor), local, req, r.rebindFor(req.Sensor))}
 	} else {
 		bridges = r.mirror(local, req)
 	}
@@ -396,7 +587,7 @@ func (r *Router) Mirror(target bridge.Target) []*bridge.Bridge {
 }
 
 func (r *Router) mirror(target bridge.Target, req gateway.Request) []*bridge.Bridge {
-	nodes := r.opts.Ring.Nodes()
+	nodes := r.Ring().Nodes()
 	bridges := make([]*bridge.Bridge, 0, len(nodes))
 	for _, addr := range nodes {
 		bridges = append(bridges, r.bridgeTo(addr, target, req))
@@ -407,6 +598,10 @@ func (r *Router) mirror(target bridge.Target, req gateway.Request) []*bridge.Bri
 // bridgeTo starts one reconnecting bridge mirroring req from the
 // gateway at addr into target.
 func (r *Router) bridgeTo(addr string, target bridge.Target, req gateway.Request) *bridge.Bridge {
+	return r.bridgeWith(addr, target, req, nil)
+}
+
+func (r *Router) bridgeWith(addr string, target bridge.Target, req gateway.Request, rebind func() *gateway.Client) *bridge.Bridge {
 	c := gateway.NewClient(r.opts.Principal, addr)
 	c.Timeout = r.opts.Timeout
 	c.Protocol = r.opts.Protocol
@@ -415,7 +610,24 @@ func (r *Router) bridgeTo(addr string, target bridge.Target, req gateway.Request
 		Format:    r.opts.Format,
 		BatchMax:  r.opts.BatchMax,
 		BatchWait: r.opts.BatchWait,
+		Rebind:    rebind,
 	})
+}
+
+// rebindFor picks the subscription upstream for sensor at the start of
+// each bridge reconnect round: the first placement candidate answering
+// a ping. Nobody answering keeps the round's previous client (the
+// bridge backs off and asks again).
+func (r *Router) rebindFor(sensor string) func() *gateway.Client {
+	return func() *gateway.Client {
+		for _, addr := range r.Owners(sensor) {
+			c := r.client(addr)
+			if c.Ping() == nil {
+				return c
+			}
+		}
+		return nil
+	}
 }
 
 // WaitConnected blocks until every bridge is connected or the timeout

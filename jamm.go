@@ -263,10 +263,28 @@ func OpenHistory(dir string, opts HistoryOptions) (*HistoryStore, error) {
 	return histstore.Open(dir, opts)
 }
 
+// HistorySpan is one contiguous time range a history store's archive
+// covers (HistoryStore.Coverage, GatewayClient.Coverage) — the unit
+// anti-entropy reconciliation compares between replicas.
+type HistorySpan = histstore.Span
+
+// ReconcileHistory backfills local's archive with records peer holds
+// in ranges local is missing — the anti-entropy pass a rejoining
+// replicated gateway runs against its peers (gatewayd does this
+// automatically when -replicas > 1 and -archive are set).
+func ReconcileHistory(local *HistoryStore, peer *GatewayClient, sensor string) (int, error) {
+	return gateway.ReconcileHistory(local, peer, sensor)
+}
+
 // Sharded site (internal/ring, internal/router): a site runs N
 // gateways with sensors partitioned among them by consistent hashing;
 // the directory advertises which gateway owns which sensor, and a
 // Router's Publish/Query/Subscribe transparently target the owner.
+// With RouterOptions.ReplicaK > 1 (and Replicators attached to the
+// gateways) the site is replicated: records mirror to each sensor's
+// next ring owners, the router fails over to a replica when the owner
+// dies, and Router.Rebalance hands sensors off after membership
+// changes.
 type (
 	// Ring places sensor topics onto the gateways of a sharded site by
 	// consistent hashing with deterministic placement.
@@ -284,7 +302,21 @@ type (
 	// needs; manager.ServerDirectory and the remote directory client
 	// both satisfy it.
 	SiteDirectory = router.Directory
+	// Replicator mirrors a gateway's primary ingest to each sensor's
+	// replica ring owners; attach with Gateway.SetForwarder.
+	Replicator = bridge.Replicator
+	// ReplicatorOptions tunes a Replicator.
+	ReplicatorOptions = bridge.ReplicatorOptions
+	// ReplicatorStats counts a replicator's traffic.
+	ReplicatorStats = bridge.ReplicatorStats
 )
+
+// NewReplicator builds a replicator for the gateway at self (its ring
+// address), mirroring each sensor's ingest to its other ring owners up
+// to placement factor k.
+func NewReplicator(self string, rg *Ring, k int, opts ReplicatorOptions) *Replicator {
+	return bridge.NewReplicator(self, rg, k, opts)
+}
 
 // NewRing builds a consistent-hash ring over gateway addresses;
 // replicas <= 0 selects the default virtual-node count.
