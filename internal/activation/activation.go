@@ -170,7 +170,7 @@ func (r *Registry) Deactivate(name string) error {
 // clock) or a simulation timer.
 func (r *Registry) SweepIdle() int {
 	r.mu.Lock()
-	now := r.now()
+	now := r.now() //jamm:lock-ok clock accessor; injected for tests, never blocks
 	var victims []Service
 	for _, e := range r.entries {
 		if e.active == nil || e.idleTimeout <= 0 {

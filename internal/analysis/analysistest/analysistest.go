@@ -1,0 +1,104 @@
+// Package analysistest runs analyzers over GOPATH-style golden
+// packages under a testdata/src tree and checks their findings against
+// // want expectations, mirroring the golang.org/x/tools analysistest
+// runner so the suites port mechanically if the repo ever vendors the
+// real framework.
+//
+// An expectation is a comment on the flagged line:
+//
+//	s.last = recs // want `borrowed slice "recs" is stored into s.last`
+//
+// Each backtick- or double-quoted token after `want` is a regexp that
+// must match the message of one finding reported on that line; every
+// finding must be claimed by an expectation and every expectation must
+// claim a finding, so both false positives and false negatives fail
+// the test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"jamm/internal/analysis"
+)
+
+var (
+	// wantRe finds the expectation marker. Searching the whole comment
+	// text (not just its start) lets a deliberately-malformed //jamm:
+	// annotation carry its own expectation on the same line.
+	wantRe  = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	tokenRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the package at srcRoot/<path>, runs the analyzers over it,
+// and reports every mismatch between findings and // want expectations
+// on t.
+func Run(t *testing.T, srcRoot, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadTest(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", path, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := tokenRe.FindAllString(m[1], -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, tok := range toks {
+					pat := tok
+					if strings.HasPrefix(tok, "`") {
+						pat = strings.Trim(tok, "`")
+					} else if pat, err = strconv.Unquote(tok); err != nil {
+						t.Fatalf("%s:%d: bad want token %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pat,
+					})
+				}
+			}
+		}
+	}
+
+	diags := analysis.Check([]*analysis.Package{pkg}, analyzers)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestAnnotationHygiene(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+var a = 1 //jamm:lock-ok
+var b = 2 //jamm:frob because reasons
+var c = 3 //jamm:borrow-ok a proper justification
+`)
+	var diags []Diagnostic
+	pass := &Pass{Fset: fset, annotations: parseAnnotations(fset, []*ast.File{f}), diags: &diags}
+	annotationHygiene(pass)
+
+	if len(diags) != 2 {
+		t.Fatalf("got %d hygiene findings, want 2: %v", len(diags), diags)
+	}
+	var sawMissingArg, sawUnknownVerb bool
+	for _, d := range diags {
+		if d.Analyzer != "jammlint" {
+			t.Errorf("hygiene finding attributed to %q, want jammlint", d.Analyzer)
+		}
+		if strings.Contains(d.Message, "needs an argument") {
+			sawMissingArg = true
+		}
+		if strings.Contains(d.Message, `unknown //jamm: annotation verb "frob"`) {
+			sawUnknownVerb = true
+		}
+	}
+	if !sawMissingArg || !sawUnknownVerb {
+		t.Errorf("missing expected hygiene findings (missingArg=%v unknownVerb=%v): %v",
+			sawMissingArg, sawUnknownVerb, diags)
+	}
+}
+
+// A bare annotation (no argument) must NOT suppress: the argument is
+// what makes an exception reviewable.
+func TestEmptyAnnotationDoesNotSuppress(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+var a = 1 //jamm:lock-ok
+`)
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:    LockHold,
+		Fset:        fset,
+		annotations: parseAnnotations(fset, []*ast.File{f}),
+		diags:       &diags,
+	}
+	// Report at the annotated line: suppression must refuse the empty arg.
+	var pos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if vs, ok := n.(*ast.ValueSpec); ok {
+			pos = vs.Pos()
+		}
+		return true
+	})
+	pass.Report(pos, "probe finding")
+	if len(diags) != 1 {
+		t.Fatalf("empty-argument annotation suppressed the finding: %v", diags)
+	}
+}
+
+// A well-formed annotation suppresses only its own analyzer's verb.
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+var a = 1 //jamm:lock-ok justified
+`)
+	anns := parseAnnotations(fset, []*ast.File{f})
+	var pos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if vs, ok := n.(*ast.ValueSpec); ok {
+			pos = vs.Pos()
+		}
+		return true
+	})
+
+	var lockDiags []Diagnostic
+	lockPass := &Pass{Analyzer: LockHold, Fset: fset, annotations: anns, diags: &lockDiags}
+	lockPass.Report(pos, "probe finding")
+	if len(lockDiags) != 0 {
+		t.Errorf("lock-ok did not suppress its own analyzer: %v", lockDiags)
+	}
+
+	var frameDiags []Diagnostic
+	framePass := &Pass{Analyzer: FrameAlias, Fset: fset, annotations: anns, diags: &frameDiags}
+	framePass.Report(pos, "probe finding")
+	if len(frameDiags) != 1 {
+		t.Errorf("lock-ok suppressed a framealias finding: %v", frameDiags)
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcBody pairs one function-shaped node (declaration or literal)
+// with its parameter field list and body, the unit the borrow-style
+// analyzers scan.
+type funcBody struct {
+	name string // "" for literals
+	decl *ast.FuncDecl
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+	doc  string
+}
+
+// forEachFunc visits every function declaration and function literal
+// of the file, outermost first.
+func forEachFunc(f *ast.File, visit func(fn funcBody)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				doc := ""
+				if n.Doc != nil {
+					doc = n.Doc.Text()
+				}
+				visit(funcBody{name: n.Name.Name, decl: n, typ: n.Type, body: n.Body, doc: doc})
+			}
+		case *ast.FuncLit:
+			visit(funcBody{typ: n.Type, body: n.Body})
+		}
+		return true
+	})
+}
+
+// paramObjects returns the types.Object of every named parameter of fn
+// whose type satisfies keep.
+func paramObjects(info *types.Info, fn funcBody, keep func(types.Type) bool) []types.Object {
+	var out []types.Object
+	if fn.typ.Params == nil {
+		return nil
+	}
+	for _, field := range fn.typ.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || obj.Type() == nil {
+				continue
+			}
+			if keep(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// usesObject reports whether storing/sending expr would retain the
+// slice obj: the slice itself, a reslice of it, or the address of an
+// element all alias its backing array; reading one element (s[i]) is a
+// value copy, and a call result does not retain — the codebase's
+// convention is callee-borrows, and append/copy/conversions copy or
+// re-wrap rather than retain. A method value bound to obj (s.Method
+// without calling it) does retain.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e] == obj
+	case *ast.SliceExpr:
+		return usesObject(info, e.X, obj)
+	case *ast.IndexExpr:
+		// s[i] reads an element by value — the index may mention obj,
+		// the indexed slice aliasing only matters if the ELEMENT type
+		// itself aliases, which a value copy does not.
+		return false
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &s[i], &s: the address aliases the backing array.
+			return usesObjectAll(info, e.X, obj)
+		}
+		return usesObject(info, e.X, obj)
+	case *ast.StarExpr:
+		return usesObject(info, e.X, obj)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if usesObject(info, el, obj) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// Neither arguments nor the call result retain: the callee
+		// borrows, and slices have no methods whose value could bind obj.
+		return false
+	case *ast.SelectorExpr:
+		return usesObject(info, e.X, obj)
+	case *ast.BinaryExpr:
+		return usesObject(info, e.X, obj) || usesObject(info, e.Y, obj)
+	}
+	return false
+}
+
+// usesObjectAll reports whether expr references obj anywhere at all,
+// including inside call arguments.
+func usesObjectAll(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNonLocalLHS reports whether an assignment target escapes the
+// current function: a field selector, a map or slice element, a
+// dereference, or a package-level variable.
+func isNonLocalLHS(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if obj := info.Uses[lhs]; obj != nil {
+			if v, ok := obj.(*types.Var); ok {
+				return v.Parent() == v.Pkg().Scope() // package-level var
+			}
+		}
+	}
+	return false
+}
+
+// isEmptyStructChanSend reports whether the send's element type is
+// struct{} — a pure signal token (wake notifications, cap-1 coalescing
+// channels) whose loss discards no data.
+func isEmptyStructChanSend(info *types.Info, send *ast.SendStmt) bool {
+	tv, ok := info.Types[send.Value]
+	if !ok {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// namedOrPtr unwraps a pointer type to its element.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isNamedType reports whether t (or *t) is the named type pkgName.name.
+// Matching is by package NAME, not import path, so analysistest stub
+// packages stand in for the real ones.
+func isNamedType(t types.Type, pkgName, name string) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// calleeName returns the bare name of a call's function or method
+// ("" when the callee is not an identifier or selector).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// selectorString renders a (possibly chained) selector or identifier
+// expression as a dotted path for display and lock identity ("" when
+// the expression is more complex).
+func selectorString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := selectorString(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if base := selectorString(e.X); base != "" {
+			return base + "[...]"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// DropCount enforces the event plane's no-silent-loss contract: in the
+// drop-accounting packages (bus, gateway, bridge, router, histstore),
+// every code path that sheds records must increment a stats counter in
+// the same function, or carry //jamm:sheds-accounted <counter> naming
+// the counter that accounts it elsewhere.
+//
+// Two shedding shapes are recognized:
+//
+//   - The non-blocking send: select { case ch <- v: default: ... }.
+//     Whatever v carried is discarded on the default path. Sends of
+//     struct{} tokens are exempt — losing a wake signal on a cap-1
+//     notify channel loses no data.
+//   - The refused admit: if !q.push(...) { ... } (and the
+//     ok := q.push(...); !ok form) against a bounded queue whose admit
+//     method reports acceptance. The refusal branch discards the
+//     records the queue would not take.
+var DropCount = &Analyzer{
+	Name: "dropcount",
+	Doc:  "report record-shedding paths (non-blocking sends, refused queue admits) that do not increment a drop counter",
+	Run:  runDropCount,
+}
+
+// dropAccountedPackages names the packages under the drop-accounting
+// contract, by package path base. "dropcount" covers the analyzer's
+// own golden-test package.
+var dropAccountedPackages = map[string]bool{
+	"bus": true, "gateway": true, "bridge": true,
+	"router": true, "histstore": true,
+	"dropcount": true,
+}
+
+var (
+	// counterRe matches the field names the codebase uses for shed
+	// accounting (wireDrops, loopDrops, shed, consumerClamps, ...).
+	counterRe = regexp.MustCompile(`(?i)(drop|shed|clamp|lost|discard|suppress|reject|torn)`)
+	// accountFnRe matches functions whose call IS the accounting
+	// (onDrop, shed, noteConsumerClamp, ...).
+	accountFnRe = regexp.MustCompile(`(?i)(drop|shed|clamp|lost|discard)`)
+	// admitRe matches bounded-queue admit methods that report
+	// acceptance; a refused admit is a shed.
+	admitRe = regexp.MustCompile(`(?i)^(try)?(push|enqueue|offer|admit)`)
+)
+
+func runDropCount(pass *Pass) error {
+	base := pass.PkgPath
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !dropAccountedPackages[base] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fn funcBody) {
+			checkFuncDrops(pass, fn)
+		})
+	}
+	return nil
+}
+
+func checkFuncDrops(pass *Pass, fn funcBody) {
+	// Only inspect this function's own statements: nested literals get
+	// their own forEachFunc visit, and an increment inside a nested
+	// literal does not account a drop out here.
+	ownStmts(fn.body, func(stmt ast.Stmt) {
+		switch stmt := stmt.(type) {
+		case *ast.SelectStmt:
+			checkSelectDrop(pass, fn, stmt)
+		case *ast.IfStmt:
+			checkAdmitDrop(pass, fn, stmt)
+		}
+	})
+}
+
+// ownStmts walks every statement of body that belongs to this function
+// (descending into blocks, ifs, loops, selects — but not into nested
+// function literals).
+func ownStmts(body *ast.BlockStmt, visit func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			visit(s)
+		}
+		return true
+	})
+}
+
+// checkSelectDrop flags a select whose default path discards a
+// record-carrying send without accounting.
+func checkSelectDrop(pass *Pass, fn funcBody, sel *ast.SelectStmt) {
+	var defaultClause *ast.CommClause
+	dataSend := false
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			defaultClause = cc
+			continue
+		}
+		if send, ok := cc.Comm.(*ast.SendStmt); ok && !isEmptyStructChanSend(pass.TypesInfo, send) {
+			dataSend = true
+		}
+	}
+	if defaultClause == nil || !dataSend {
+		return
+	}
+	if accountsShed(pass, defaultClause) || accountsShed(pass, fn.body) {
+		return
+	}
+	pass.Report(defaultClause.Pos(),
+		"non-blocking send drops records on the default path without incrementing a drop counter in this function; count the shed or annotate //jamm:sheds-accounted <counter>")
+}
+
+// checkAdmitDrop flags `if !q.push(...) { ... }`-shaped refusal
+// branches that do not account the refused records.
+func checkAdmitDrop(pass *Pass, fn funcBody, ifStmt *ast.IfStmt) {
+	call := negatedAdmitCall(pass, ifStmt)
+	if call == nil {
+		return
+	}
+	if accountsShed(pass, ifStmt.Body) || accountsShed(pass, fn.body) {
+		return
+	}
+	pass.Report(ifStmt.Pos(),
+		"refused %s admit discards its records without incrementing a drop counter in this function; count the shed or annotate //jamm:sheds-accounted <counter>",
+		calleeName(call))
+}
+
+// negatedAdmitCall returns the admit call when ifStmt has the shape
+// `if !q.push(...)` or `if ok := q.push(...); !ok`, nil otherwise.
+func negatedAdmitCall(pass *Pass, ifStmt *ast.IfStmt) *ast.CallExpr {
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.UnaryExpr)
+	if !ok || cond.Op != token.NOT {
+		return nil
+	}
+	switch x := ast.Unparen(cond.X).(type) {
+	case *ast.CallExpr:
+		if isBoolAdmit(pass, x) {
+			return x
+		}
+	case *ast.Ident:
+		// ok := q.push(...); !ok — accept the init-statement form.
+		init, okInit := ifStmt.Init.(*ast.AssignStmt)
+		if !okInit || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			return nil
+		}
+		lhs, okLhs := init.Lhs[0].(*ast.Ident)
+		if !okLhs || lhs.Name != x.Name {
+			return nil
+		}
+		if call, okCall := init.Rhs[0].(*ast.CallExpr); okCall && isBoolAdmit(pass, call) {
+			return call
+		}
+	}
+	return nil
+}
+
+// isBoolAdmit reports whether call is a boolean-returning admit method.
+func isBoolAdmit(pass *Pass, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if name == "" || !admitRe.MatchString(name) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	return ok && tv.Type != nil && tv.Type.String() == "bool"
+}
+
+// accountsShed reports whether node contains a drop-counter update:
+// an increment or += of a counter-named field, an .Add/.Inc/.Store
+// call on one, an atomic.Add* of one, or a call to an accounting
+// function (onDrop, shed, noteConsumerClamp, ...). Nested function
+// literals are searched too: accounting frequently lives in a shed
+// closure defined in the same function.
+func accountsShed(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC && counterRe.MatchString(lastSegment(selectorString(n.X))) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 &&
+				counterRe.MatchString(lastSegment(selectorString(n.Lhs[0]))) {
+				found = true
+			}
+		case *ast.CallExpr:
+			found = isAccountingCall(n)
+		}
+		return !found
+	})
+	return found
+}
+
+func isAccountingCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// onDrop(...), shed(n): a bare accounting function.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			return accountFnRe.MatchString(id.Name)
+		}
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Inc", "Store", "CompareAndSwap":
+		// s.wireDrops.Add(1): counter named in the receiver chain.
+		if counterRe.MatchString(selectorString(sel.X)) {
+			return true
+		}
+		// atomic.AddUint64(&s.drops, 1): counter named in the argument.
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "atomic" && len(call.Args) > 0 {
+			var buf strings.Builder
+			ast.Inspect(call.Args[0], func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					buf.WriteString(id.Name)
+					buf.WriteByte('.')
+				}
+				return true
+			})
+			return counterRe.MatchString(buf.String())
+		}
+		return false
+	default:
+		// b.noteShed(n), fs.shed(n): accounting method or func-valued
+		// field.
+		return accountFnRe.MatchString(sel.Sel.Name)
+	}
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

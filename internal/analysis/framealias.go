@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrameAlias enforces the frame buffer-borrowing contract: a
+// gateway.Frame handed to a function (parameter of type Frame or
+// *Frame) borrows its buffer — the producing reader reuses it — so the
+// frame may not outlive the call without Clone(). Flagged retentions:
+//
+//   - storing the frame (or a composite containing it) into a field,
+//     map/slice element, dereference, or package-level variable,
+//   - sending it on a channel,
+//   - capturing it in a go statement,
+//   - storing the raw f.Bytes() alias (append(dst, f.Bytes()...) and
+//     copy(dst, f.Bytes()) copy the bytes and stay silent).
+//
+// A value rooted in f.Clone() is owned and always safe; other method
+// calls on the frame (SetHops, Records, Count access) neither retain
+// nor launder it. Deliberate exceptions carry //jamm:frame-ok <why>.
+//
+// The Frame type is matched structurally — a type named Frame declared
+// in a package named gateway — so the analysistest stub package
+// exercises the same code path as the real one.
+var FrameAlias = &Analyzer{
+	Name: "framealias",
+	Doc:  "report borrowed gateway.Frame parameters (or their Bytes() alias) retained past the call without Clone()",
+	Run:  runFrameAlias,
+}
+
+func runFrameAlias(pass *Pass) error {
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fn funcBody) {
+			params := paramObjects(pass.TypesInfo, fn, func(t types.Type) bool {
+				return isNamedType(t, "gateway", "Frame")
+			})
+			for _, p := range params {
+				checkFrameParam(pass, fn, p)
+			}
+		})
+	}
+	return nil
+}
+
+func checkFrameParam(pass *Pass, fn funcBody, p types.Object) {
+	ownStmts(fn.body, func(stmt ast.Stmt) {
+		switch stmt := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) != len(stmt.Rhs) {
+				return
+			}
+			for i, lhs := range stmt.Lhs {
+				if !isNonLocalLHS(pass.TypesInfo, lhs) {
+					continue
+				}
+				if frameEscapes(pass.TypesInfo, stmt.Rhs[i], p, false) {
+					pass.Report(stmt.Pos(),
+						"borrowed frame %q is stored into %s without Clone(); its buffer is reused after the call — Clone it or annotate //jamm:frame-ok <why>",
+						p.Name(), selectorString(lhs))
+				}
+			}
+		case *ast.SendStmt:
+			if frameEscapes(pass.TypesInfo, stmt.Value, p, false) {
+				pass.Report(stmt.Pos(),
+					"borrowed frame %q is sent on a channel without Clone(); its buffer is reused after the call — Clone it or annotate //jamm:frame-ok <why>",
+					p.Name())
+			}
+		case *ast.GoStmt:
+			if frameEscapesNode(pass.TypesInfo, stmt.Call, p) {
+				pass.Report(stmt.Pos(),
+					"borrowed frame %q is captured by a goroutine without Clone(); its buffer is reused after the call — Clone it or annotate //jamm:frame-ok <why>",
+					p.Name())
+			}
+		}
+	})
+}
+
+// frameEscapes reports whether expr lets the borrowed frame obj (or
+// its Bytes() buffer alias) escape. insideCopy is true under append/
+// copy arguments, where byte slices are copied rather than retained.
+func frameEscapes(info *types.Info, expr ast.Expr, obj types.Object, insideCopy bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e] == obj
+	case *ast.UnaryExpr:
+		return frameEscapes(info, e.X, obj, insideCopy)
+	case *ast.StarExpr:
+		return frameEscapes(info, e.X, obj, insideCopy)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if frameEscapes(info, el, obj, insideCopy) {
+				return true
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return frameEscapes(info, e.X, obj, insideCopy)
+	case *ast.IndexExpr:
+		return frameEscapes(info, e.X, obj, insideCopy)
+	case *ast.SelectorExpr:
+		// Selecting a scalar field (f.Sensor, f.Count) copies a value
+		// that shares nothing with the buffer; only a selection whose
+		// result is itself a frame or a byte slice can carry the alias.
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if !aliasType(tv.Type) {
+				return false
+			}
+		}
+		return frameEscapes(info, e.X, obj, insideCopy)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok &&
+			usesObjectAll(info, sel.X, obj) {
+			switch sel.Sel.Name {
+			case "Clone":
+				return false // owned copy: safe everywhere
+			case "Bytes":
+				return !insideCopy // raw buffer alias
+			default:
+				return false // SetHops, Records, ...: no retention
+			}
+		}
+		// append/copy copy their element arguments; len/cap/string read
+		// or copy without retaining.
+		name := calleeName(e)
+		copying := insideCopy || name == "append" || name == "copy" ||
+			name == "len" || name == "cap" || name == "string"
+		for _, a := range e.Args {
+			if frameEscapes(info, a, obj, copying) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// aliasType reports whether a selected value's type can carry the
+// frame's buffer alias: the frame itself, a pointer to it, or a byte
+// slice (the buf field / Bytes() result).
+func aliasType(t types.Type) bool {
+	if isNamedType(t, "gateway", "Frame") {
+		return true
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return true
+		}
+	}
+	return false
+}
+
+// frameEscapesNode is frameEscapes over an arbitrary subtree (a go
+// statement's call and closure body): any use of obj that is not a
+// Clone() receiver escapes.
+func frameEscapesNode(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				usesObjectAll(info, sel.X, obj) && sel.Sel.Name == "Clone" {
+				// The receiver of Clone is laundered; arguments still scan.
+				for _, a := range call.Args {
+					if frameEscapesNode(info, a, obj) {
+						found = true
+					}
+				}
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

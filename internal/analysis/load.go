@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, type-checked package — the unit the
+// analyzers consume.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files, as
+// reported by `go list -export`. Paths not in the index are resolved
+// lazily with one more go list call (the analysistest loader reaches
+// stdlib packages the repo itself may not import). Safe for use from a
+// single loader goroutine.
+type exportImporter struct {
+	dir     string            // working directory for lazy go list calls
+	exports map[string]string // import path -> export data file
+	mu      sync.Mutex
+	imp     types.ImporterFrom
+}
+
+func newExportImporter(dir string, exports map[string]string) *exportImporter {
+	ei := &exportImporter{dir: dir, exports: exports}
+	fset := token.NewFileSet()
+	ei.imp = importer.ForCompiler(fset, "gc", ei.lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	ei.mu.Lock()
+	file, ok := ei.exports[path]
+	ei.mu.Unlock()
+	if !ok {
+		listed, err := goList(ei.dir, "-export", "-json=ImportPath,Export", path)
+		if err != nil || len(listed) != 1 || listed[0].Export == "" {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		file = listed[0].Export
+		ei.mu.Lock()
+		ei.exports[path] = file
+		ei.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.imp.ImportFrom(path, ei.dir, 0)
+}
+
+// newInfo returns a types.Info with every map the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseDir parses the named files of one directory with comments.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load lists the pattern's packages (and their full dependency export
+// data) with the go tool, then parses and type-checks every package of
+// the main module from source. Dependencies — stdlib and intra-module
+// alike — are resolved from export data, so each target package
+// type-checks independently.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,Module,DepOnly"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.Standard && !p.DepOnly && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	imp := newExportImporter(dir, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		files, err := parseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", t.ImportPath, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// sourceImporter loads testdata packages from source, falling back to
+// export data for everything else — the loader behind the analysistest
+// runner, whose packages live under testdata/src/<importpath> in the
+// GOPATH-style layout the x/tools analysistest uses.
+type sourceImporter struct {
+	root   string // testdata/src
+	fset   *token.FileSet
+	fall   *exportImporter
+	loaded map[string]*loadedTestPkg
+}
+
+type loadedTestPkg struct {
+	pkg   *Package
+	types *types.Package
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	lp, err := si.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.types, nil
+}
+
+func (si *sourceImporter) load(path string) (*loadedTestPkg, error) {
+	if lp, ok := si.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(si.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		// Not a testdata package: resolve from export data.
+		tp, err := si.fall.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		lp := &loadedTestPkg{types: tp}
+		si.loaded[path] = lp
+		return lp, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files, err := parseFiles(si.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: si}
+	tpkg, err := conf.Check(path, si.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %v", path, err)
+	}
+	lp := &loadedTestPkg{
+		pkg: &Package{
+			PkgPath: path, Dir: dir, Fset: si.fset,
+			Files: files, Types: tpkg, Info: info,
+		},
+		types: tpkg,
+	}
+	si.loaded[path] = lp
+	return lp, nil
+}
+
+// LoadTest loads one package from a testdata/src tree by import path,
+// resolving its testdata-local imports from source and everything else
+// from export data.
+func LoadTest(srcRoot, path string) (*Package, error) {
+	si := &sourceImporter{
+		root:   srcRoot,
+		fset:   token.NewFileSet(),
+		fall:   newExportImporter(srcRoot, make(map[string]string)),
+		loaded: make(map[string]*loadedTestPkg),
+	}
+	lp, err := si.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if lp.pkg == nil {
+		return nil, fmt.Errorf("%s is not a testdata package under %s", path, srcRoot)
+	}
+	return lp.pkg, nil
+}

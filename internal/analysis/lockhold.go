@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold enforces the no-blocking-under-lock contract: while a
+// sync.Mutex or sync.RWMutex acquired in the same function is held, a
+// function must not
+//
+//   - perform net.Conn I/O (Read/Write/ReadFrom/WriteTo) — a stalled
+//     peer would pin the lock and stall every publisher behind it,
+//   - send or receive on a channel outside a select with a default
+//     clause — a full (or empty) channel blocks with the lock held,
+//   - invoke a user callback (a call through a function-typed variable,
+//     field, or parameter) — arbitrary user code under an internal lock
+//     is a reentrancy and latency hazard. The bus's hook evaluation
+//     under the shard lock is the documented, deliberate exception and
+//     is annotated as such.
+//
+// The analysis is a linear source-order approximation: Lock()/Unlock()
+// pairs toggle held state in statement order, defer Unlock holds to
+// function end, and branch-dependent lock state is not modeled — a
+// conditional early unlock silences the remainder of the function
+// (false negatives, never false positives from branching). Exceptions
+// carry //jamm:lock-ok <why>.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "report net.Conn I/O, blocking channel operations, and user-callback invocations while a same-function sync.Mutex/RWMutex is held",
+	Run:  runLockHold,
+}
+
+var connIOMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func runLockHold(pass *Pass) error {
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fn funcBody) {
+			lh := &lockScan{pass: pass}
+			lh.stmts(fn.body.List)
+		})
+	}
+	return nil
+}
+
+// lockScan walks one function's statements in source order, tracking
+// which same-function mutexes are held.
+type lockScan struct {
+	pass *Pass
+	held []string // lock identities (selector paths), innermost last
+}
+
+func (l *lockScan) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		l.stmt(s)
+	}
+}
+
+func (l *lockScan) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if l.lockToggle(s.X, false) {
+			return
+		}
+		l.expr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: no
+		// toggle. Other deferred calls run at return — skip their body.
+		if l.lockToggle(s.Call, true) {
+			return
+		}
+	case *ast.SendStmt:
+		l.flagChanOp(s.Pos(), "send")
+		l.expr(s.Chan)
+		l.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			l.expr(e)
+		}
+		for _, e := range s.Lhs {
+			l.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						l.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			l.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			l.stmt(s.Init)
+		}
+		l.expr(s.Cond)
+		l.stmts(s.Body.List)
+		if s.Else != nil {
+			l.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		l.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			l.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			l.expr(s.Cond)
+		}
+		l.stmts(s.Body.List)
+		if s.Post != nil {
+			l.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		l.expr(s.X)
+		l.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			l.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			l.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			l.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			l.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			l.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil && !hasDefault {
+				// A select without default blocks until a case is ready
+				// — same hazard as a bare channel op.
+				l.flagChanOp(cc.Comm.Pos(), "operation in blocking select")
+			}
+			l.stmts(cc.Body)
+		}
+	case *ast.LabeledStmt:
+		l.stmt(s.Stmt)
+	case *ast.GoStmt:
+		// The spawned body runs elsewhere; the call's arguments are
+		// evaluated here.
+		for _, a := range s.Call.Args {
+			l.expr(a)
+		}
+	case *ast.IncDecStmt:
+		l.expr(s.X)
+	}
+}
+
+// expr scans one expression for flaggable calls and blocking receives.
+// Function literals are skipped: their bodies run when called, and the
+// immediate-call case is rare enough to accept as a false negative.
+func (l *lockScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				l.flagChanOp(n.Pos(), "receive")
+			}
+		case *ast.CallExpr:
+			l.call(n)
+		}
+		return true
+	})
+}
+
+// call flags net.Conn I/O and user-callback invocations under a held
+// lock.
+func (l *lockScan) call(call *ast.CallExpr) {
+	if len(l.held) == 0 {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if connIOMethods[fun.Sel.Name] && l.isNetReceiver(fun.X) {
+			l.report(call.Pos(), "net.Conn %s", fun.Sel.Name)
+			return
+		}
+		// A call through a function-typed field (s.hook(...)) is a user
+		// callback; a method call is not.
+		if sel := l.pass.TypesInfo.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal {
+			l.report(call.Pos(), "callback %s invoked", selectorString(fun))
+		}
+	case *ast.Ident:
+		// A call through a plain function-typed variable or parameter.
+		obj := l.pass.TypesInfo.Uses[fun]
+		if v, ok := obj.(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				l.report(call.Pos(), "callback %s invoked", fun.Name)
+			}
+		}
+	}
+}
+
+func (l *lockScan) isNetReceiver(recv ast.Expr) bool {
+	tv, ok := l.pass.TypesInfo.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := derefType(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "net"
+}
+
+func (l *lockScan) flagChanOp(pos token.Pos, kind string) {
+	if len(l.held) == 0 {
+		return
+	}
+	l.report(pos, "blocking channel %s", kind)
+}
+
+func (l *lockScan) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	l.pass.Report(pos, "%s while %q is locked; move it outside the critical section or annotate //jamm:lock-ok <why>",
+		msg, l.held[len(l.held)-1])
+}
+
+// lockToggle recognizes mu.Lock()/mu.Unlock() calls on sync mutexes
+// and updates held state, reporting whether the expression was one.
+// deferred Unlocks hold to function end, so they do not pop.
+func (l *lockScan) lockToggle(e ast.Expr, deferred bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var acquire bool
+	switch fun.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return false
+	}
+	if !l.isSyncMutex(fun.X) {
+		return false
+	}
+	id := selectorString(fun.X)
+	if acquire {
+		if !deferred {
+			l.held = append(l.held, id)
+		}
+		return true
+	}
+	if deferred {
+		return true // defer mu.Unlock(): held to function end
+	}
+	for i := len(l.held) - 1; i >= 0; i-- {
+		if l.held[i] == id {
+			l.held = append(l.held[:i], l.held[i+1:]...)
+			return true
+		}
+	}
+	// Unlock of a lock not acquired in this scan (locked by a caller,
+	// or along another branch): ignore.
+	return true
+}
+
+func (l *lockScan) isSyncMutex(recv ast.Expr) bool {
+	tv, ok := l.pass.TypesInfo.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := derefType(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"jamm/internal/analysis"
+	"jamm/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its golden package under testdata/src; the
+// runner fails on both unclaimed findings and unmatched expectations,
+// so false positives and false negatives are equally fatal.
+
+func TestDropCount(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "dropcount", analysis.DropCount)
+}
+
+func TestBorrowShare(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "borrowshare", analysis.BorrowShare)
+}
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "lockhold", analysis.LockHold)
+}
+
+func TestFrameAlias(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "framealias", analysis.FrameAlias)
+}

@@ -1,0 +1,58 @@
+// Package framealias is the golden input for the framealias analyzer:
+// a borrowed gateway.Frame must not outlive its producing call without
+// Clone().
+package framealias
+
+import "gateway"
+
+type hub struct {
+	last      *gateway.Frame
+	lastBytes []byte
+	lastBuf   []byte
+	ch        chan *gateway.Frame
+	count     int
+	sensor    string
+}
+
+func (h *hub) keepUncloned(f *gateway.Frame) {
+	h.last = f // want `borrowed frame "f" is stored into h.last without Clone`
+}
+
+func (h *hub) keepCloned(f *gateway.Frame) {
+	h.last = f.Clone()
+}
+
+func (h *hub) keepBytesAlias(f *gateway.Frame) {
+	h.lastBytes = f.Bytes() // want `borrowed frame "f" is stored into h.lastBytes without Clone`
+}
+
+// The framehub lazy-decode idiom: append copies the frame's bytes into
+// an owned buffer, so nothing aliases the borrowed one. No finding.
+func (h *hub) keepBytesCopied(f *gateway.Frame) {
+	h.lastBuf = append(h.lastBuf[:0], f.Bytes()...)
+}
+
+// Scalar field reads are value copies sharing nothing with the buffer.
+func (h *hub) scalarFieldsOK(f *gateway.Frame) {
+	h.count += f.Count
+	h.sensor = f.Sensor
+}
+
+func (h *hub) sendUncloned(f *gateway.Frame) {
+	h.ch <- f // want `borrowed frame "f" is sent on a channel without Clone`
+}
+
+func (h *hub) goCapture(f *gateway.Frame) {
+	go h.consume(f) // want `borrowed frame "f" is captured by a goroutine without Clone`
+}
+
+func (h *hub) goCloned(f *gateway.Frame) {
+	go h.consume(f.Clone())
+}
+
+func (h *hub) consume(f *gateway.Frame) {}
+
+// annotated is the deliberate, justified exception.
+func (h *hub) annotated(f *gateway.Frame) {
+	h.last = f //jamm:frame-ok test fixture inspects the live frame synchronously before returning
+}

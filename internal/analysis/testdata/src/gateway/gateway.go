@@ -1,0 +1,24 @@
+// Package gateway is a minimal stand-in for jamm/internal/gateway: the
+// framealias analyzer matches the Frame type by package name, so this
+// stub exercises the same code path as the real one.
+package gateway
+
+// Frame borrows its buffer from the producing reader.
+type Frame struct {
+	Sensor string
+	Count  int
+	buf    []byte
+}
+
+// Bytes returns the borrowed backing buffer (an alias, not a copy).
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Clone returns an owned deep copy.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.buf = append([]byte(nil), f.buf...)
+	return &c
+}
+
+// SetHops mutates in place; it neither retains nor launders the frame.
+func (f *Frame) SetHops(n int) {}

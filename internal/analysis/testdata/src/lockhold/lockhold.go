@@ -1,0 +1,82 @@
+// Package lockhold is the golden input for the lockhold analyzer: no
+// net.Conn I/O, blocking channel ops, or user callbacks under a
+// same-function mutex.
+package lockhold
+
+import (
+	"net"
+	"sync"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	conn net.Conn
+	hook func(int)
+	ch   chan int
+}
+
+func (s *srv) writeUnderLock(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(b) // want `net.Conn Write while "s.mu" is locked`
+}
+
+func (s *srv) writeOutsideLock(b []byte) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.conn.Write(b)
+}
+
+func (s *srv) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `blocking channel send while "s.mu" is locked`
+	s.mu.Unlock()
+}
+
+// A select with a default clause cannot block: allowed under the lock.
+func (s *srv) nonBlockingSendOK(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *srv) blockingSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want `blocking channel operation in blocking select while "s.mu" is locked`
+	}
+}
+
+func (s *srv) callbackUnderLock(v int) {
+	s.mu.Lock()
+	s.hook(v) // want `callback s.hook invoked while "s.mu" is locked`
+	s.mu.Unlock()
+}
+
+func (s *srv) receiveUnderRLock() {
+	var mu sync.RWMutex
+	mu.RLock()
+	<-s.ch // want `blocking channel receive while "mu" is locked`
+	mu.RUnlock()
+}
+
+// A method call is not a user callback: methods are this package's own
+// code, not an injected hook.
+func (s *srv) methodCallOK(v int) {
+	s.mu.Lock()
+	s.step(v)
+	s.mu.Unlock()
+}
+
+func (s *srv) step(v int) {}
+
+// annotated is the documented deliberate exception.
+func (s *srv) annotated(v int) {
+	s.mu.Lock()
+	s.hook(v) //jamm:lock-ok hook is documented non-blocking and must see locked state
+	s.mu.Unlock()
+}

@@ -466,6 +466,11 @@ func (b *Bus) Publish(topic string, rec ulm.Record) {
 // retains it afterwards — the async path copies before enqueueing. In
 // synchronous mode subscribers see the batch in subscription-id order,
 // each receiving its delivered records in record order.
+//
+// The borrow contract is machine-checked: the borrowshare analyzer
+// (`go run ./cmd/jammlint ./...`) flags any receiver that stores,
+// sends, or goroutine-captures a borrowed slice without copying it
+// first (deliberate exceptions carry //jamm:borrow-ok <why>).
 func (b *Bus) PublishBatch(topic string, recs []ulm.Record) {
 	if len(recs) == 0 {
 		return
@@ -540,7 +545,7 @@ func (b *Bus) deliverBatch(topic string, recs []ulm.Record, single *ulm.Record) 
 			s.mu.Lock()
 		}
 		for k := range recs {
-			switch s.hook(topic, recs[k]) {
+			switch s.hook(topic, recs[k]) { //jamm:lock-ok hook-under-shard-lock is the documented delivery contract (see Subscription docs); hooks must be non-blocking
 			case Deliver:
 				ndel++
 				if collect {

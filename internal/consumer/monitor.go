@@ -183,7 +183,7 @@ func NewOverview(rule Rule) *Overview {
 func (o *Overview) Take(rec ulm.Record) {
 	o.mu.Lock()
 	o.state[rec.Host] = rec
-	fire, msg := o.rule(o.state)
+	fire, msg := o.rule(o.state) //jamm:lock-ok rule needs a consistent view of the state map; rules are pure functions over it
 	var alert *Alert
 	if fire && !o.firing {
 		o.firing = true

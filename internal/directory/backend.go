@@ -75,7 +75,7 @@ func (b *SnapshotBackend) rebuild(fn func(map[DN]Entry) error) error {
 	for k, v := range old {
 		next[k] = v.Clone() // deep copy: the index is rebuilt wholesale
 	}
-	if err := fn(next); err != nil {
+	if err := fn(next); err != nil { //jamm:lock-ok b.mu serializes writers by design; fn mutates the private rebuild copy
 		return err
 	}
 	b.snap.Store(next)

@@ -91,6 +91,11 @@ var errFrameTooBig = errors.New("gateway: oversized wire frame")
 // the raw bytes, kept so relays can forward the frame without touching
 // the record bodies. A Frame handed to a callback is borrowed (its
 // buffer is reused by the reader); Clone before retaining.
+//
+// The borrow contract is machine-checked: the framealias analyzer
+// (`go run ./cmd/jammlint ./...`) flags a Frame parameter — or its
+// Bytes() alias — stored, sent, or goroutine-captured without Clone()
+// (deliberate exceptions carry //jamm:frame-ok <why>).
 type Frame struct {
 	// Sensor is the bus topic every record of the frame was published
 	// under.

@@ -408,7 +408,7 @@ func (g *Gateway) fireRegistration(sensor string, meta Meta, registered bool, se
 		delete(g.regSeen, sensor)
 	}
 	for _, fn := range *p {
-		fn(sensor, meta, registered)
+		fn(sensor, meta, registered) //jamm:lock-ok regDispatch exists to run registration hooks in arrival order; documented on OnRegistration
 	}
 }
 

@@ -69,9 +69,9 @@ type wireRequest struct {
 	Format string `json:"format,omitempty"`
 	// MaxVersion is the highest wire protocol version the client speaks,
 	// on an op=hello handshake line (see wire_v2.go).
-	MaxVersion int `json:"max_version,omitempty"`
-	Event  string `json:"event,omitempty"`
-	Rec    string `json:"rec,omitempty"` // publish: a single event payload
+	MaxVersion int    `json:"max_version,omitempty"`
+	Event      string `json:"event,omitempty"`
+	Rec        string `json:"rec,omitempty"` // publish: a single event payload
 	// Recs is the batched publish frame; each record names its own
 	// sensor (falling back to the request sensor when empty).
 	Recs []wireEvent `json:"recs,omitempty"`
@@ -826,7 +826,7 @@ func (t *TCPServer) DrainSubscribers(timeout time.Duration) bool {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		for ss := range t.subConns {
-			if ss.sub.ChanBacklog() > 0 || ss.chLen() > 0 || ss.pending.Load() > 0 {
+			if ss.sub.ChanBacklog() > 0 || ss.chLen() > 0 || ss.pending.Load() > 0 { //jamm:lock-ok chLen is a len() accessor over the send channel; non-blocking
 				return false
 			}
 		}
@@ -1376,6 +1376,13 @@ type Stream struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 
+	// ctlMu serializes outbound control writes (SetBatchMax) so
+	// concurrent retunes cannot interleave frames. It is never held
+	// across anything but the write itself, and is distinct from mu:
+	// the reader goroutine and Err() must stay responsive while a
+	// control write is in flight to a stalled peer.
+	ctlMu sync.Mutex
+
 	mu  sync.Mutex
 	err error
 }
@@ -1417,10 +1424,16 @@ func (s *Stream) SetBatchMax(n int) error {
 	if n < 1 {
 		n = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// ctl and conn are immutable after the stream is constructed, so
+	// the request mutex (s.mu, which guards err and is taken by the
+	// reader goroutine on every stream end) is not needed here. Holding
+	// it across the network write would let a stalled peer pin the lock
+	// and block Err()/readFrameLoop indefinitely; ctlMu serializes only
+	// concurrent control writes against each other.
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
 	if s.ctl != nil {
-		return s.ctl(wireRequest{Op: "batch_max", BatchMax: n})
+		return s.ctl(wireRequest{Op: "batch_max", BatchMax: n}) //jamm:lock-ok ctlMu exists only to serialize this write; no reader-path lock is held
 	}
 	return json.NewEncoder(s.conn).Encode(wireRequest{Op: "batch_max", BatchMax: n})
 }

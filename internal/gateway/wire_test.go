@@ -694,3 +694,48 @@ func TestWireBatchPublisherClampsBatchSize(t *testing.T) {
 		t.Fatalf("published = %d, want 3", got)
 	}
 }
+
+// stallConn is a net.Conn whose Write blocks until the test releases
+// it — a peer that has stopped draining its receive buffer.
+type stallConn struct {
+	net.Conn
+	release chan struct{}
+}
+
+func (c *stallConn) Write(b []byte) (int, error) {
+	<-c.release
+	return len(b), nil
+}
+
+// TestSetBatchMaxStalledPeerDoesNotBlockErr is the regression test for
+// a lock-hold-across-I/O bug: SetBatchMax used to perform its network
+// write while holding the stream's err mutex, so a stalled peer pinned
+// the lock and Err() (and the reader goroutine's stream-end path) hung
+// behind it. The control write must serialize only against other
+// control writes.
+func TestSetBatchMaxStalledPeerDoesNotBlockErr(t *testing.T) {
+	release := make(chan struct{})
+	s := &Stream{
+		conn: &stallConn{release: release},
+		done: make(chan struct{}),
+	}
+	defer close(release)
+
+	writing := make(chan struct{})
+	go func() {
+		close(writing)
+		s.SetBatchMax(8) //nolint:errcheck
+	}()
+	<-writing
+
+	errDone := make(chan struct{})
+	go func() {
+		_ = s.Err()
+		close(errDone)
+	}()
+	select {
+	case <-errDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Err() blocked behind a stalled SetBatchMax control write")
+	}
+}

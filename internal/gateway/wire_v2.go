@@ -626,7 +626,7 @@ func (c *Client) openSubscribeV2(conn net.Conn, br *bufio.Reader, wr wireRequest
 func (c *Client) subscribeBatchStreamV2(conn net.Conn, br *bufio.Reader, req Request, opts StreamOptions, fn func(sensor string, recs []ulm.Record)) (*Stream, error) {
 	req.Principal = c.Principal
 	wr := wireRequest{
-		Op: "subscribe",
+		Op:       "subscribe",
 		BatchMax: opts.BatchMax, BatchWaitMS: opts.BatchWait.Milliseconds(),
 		Request: req,
 	}
@@ -673,7 +673,7 @@ func (c *Client) SubscribeFrameStream(req Request, opts StreamOptions, fn func(f
 	}
 	req.Principal = c.Principal
 	wr := wireRequest{
-		Op: "subscribe",
+		Op:       "subscribe",
 		BatchMax: opts.BatchMax, BatchWaitMS: opts.BatchWait.Milliseconds(),
 		Request: req,
 	}

@@ -357,7 +357,7 @@ func (s *Store) AppendBatch(sensor string, recs []ulm.Record) error {
 		}
 	}
 	if s.active.firstAppend.IsZero() {
-		s.active.firstAppend = s.now()
+		s.active.firstAppend = s.now() //jamm:lock-ok clock accessor; injected for tests, never blocks
 	}
 	s.active.noteBatch(sensor, recs, frameLen)
 	s.appendBatches.Add(1)

@@ -1,0 +1,69 @@
+package ulm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzULMRecord hammers the binary record codec with the
+// decode→encode→decode identity: any byte string that decodes at all
+// must re-encode to a form that decodes to the identical record. The
+// corpus is seeded with the record shapes the wire path actually
+// carries (NetLogger-style events with session/value fields, bare
+// minimum records, back-to-back streams, truncations).
+func FuzzULMRecord(f *testing.F) {
+	date := time.Date(2000, 6, 14, 10, 30, 0, 123456000, time.UTC)
+	seeds := []Record{
+		{
+			Date: date, Host: "dpss2.lbl.gov", Prog: "netlogger", Lvl: LvlUsage,
+			Event:  "NL.EVNT.SERV_IN",
+			Fields: []Field{{"NL.SEC", "960978600"}, {"SES", "1"}, {"VAL", "42.5"}},
+		},
+		{Date: date.Add(time.Second), Host: "h1", Prog: "p", Lvl: LvlError},
+		{
+			Date: time.UnixMicro(0).UTC(), Host: "", Prog: "", Lvl: "",
+			Fields: []Field{{"K", ""}, {"", "v"}},
+		},
+	}
+	for i := range seeds {
+		f.Add(AppendBinary(nil, &seeds[i]))
+	}
+	stream := AppendBinary(AppendBinary(nil, &seeds[0]), &seeds[1])
+	f.Add(stream)
+	f.Add(stream[:len(stream)/2])
+	f.Add([]byte{})
+	f.Add([]byte{binaryMagic})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			var r1 Record
+			next, err := DecodeBinary(rest, &r1)
+			if err != nil {
+				return // rejection is fine; the invariant is no panic
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("decode consumed no bytes (rest %d -> %d)", len(rest), len(next))
+			}
+			rest = next
+
+			enc := AppendBinary(nil, &r1)
+			var r2 Record
+			tail, err := DecodeBinary(enc, &r2)
+			if err != nil {
+				t.Fatalf("re-encoded record fails decode: %v\nrecord: %+v", err, r1)
+			}
+			if len(tail) != 0 {
+				t.Fatalf("re-encoded record leaves %d trailing bytes", len(tail))
+			}
+			if !r1.Date.Equal(r2.Date) {
+				t.Fatalf("date drifts across re-encode: %v -> %v", r1.Date, r2.Date)
+			}
+			r2.Date = r1.Date
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("record drifts across re-encode:\n  first:  %+v\n  second: %+v", r1, r2)
+			}
+		}
+	})
+}
