@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"jamm/internal/aggregate"
 	"jamm/internal/bridge"
 	"jamm/internal/consumer"
 	"jamm/internal/directory"
@@ -68,9 +69,16 @@ func main() {
 	archiveRetainBytes := flag.Int64("archive-retain-bytes", 0, "prune oldest archive segments while the archive exceeds this many bytes (0 = keep all)")
 	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every appended batch (durability vs. throughput)")
 	wireProto := flag.String("wire-proto", "auto", "wire protocol policy: auto (negotiate binary v2, serve both), json (pin server and peer bridges to JSON-per-line), v2 (peer bridges refuse to degrade)")
-	var summaries, peers, dirs multiFlag
+	snapRefresh := flag.Duration("snapshot-refresh", 0, "read-side snapshot staleness bound: queries/listings/summaries serve from wait-free snapshots at most this stale (0 = snapshots disabled, reads take shard locks)")
+	aggregateOn := flag.Bool("aggregate", false, "stream windowed aggregates (rate, top-k sensors, field quantiles) as synthetic _agg/ topics")
+	aggWindow := flag.Duration("aggregate-window", 10*time.Second, "sliding window the aggregates cover")
+	aggEmit := flag.Duration("aggregate-emit", time.Second, "aggregate republish period")
+	aggField := flag.String("aggregate-field", "VAL", "numeric record field the aggregate quantile sketch folds")
+	aggTopK := flag.Int("aggregate-topk", 10, "sensors carried by the aggregate top-k record")
+	var summaries, peers, aggPeers, dirs multiFlag
 	flag.Var(&summaries, "summary", "summary series as sensor/EVENT/FIELD (repeatable; 1/10/60-minute windows)")
 	flag.Var(&peers, "peer", "upstream gateway address whose topics are mirrored into this gateway (repeatable)")
+	flag.Var(&aggPeers, "peer-agg", "upstream gateway address whose _agg/ aggregate topics (only) are mirrored into this gateway, so local subscribers read site aggregates here (repeatable)")
 	flag.Var(&dirs, "dir", "sensor directory server address for ownership advertisement (repeatable for failover)")
 	flag.Parse()
 
@@ -96,6 +104,15 @@ func main() {
 	}
 	if *async > 0 {
 		gw.StartAsync(*async)
+	}
+	if *snapRefresh > 0 {
+		gw.EnableSnapshots(gateway.SnapshotOptions{MaxStale: *snapRefresh})
+	}
+	var agg *aggregate.Aggregator
+	if *aggregateOn {
+		agg = aggregate.New(gw, aggregate.Options{
+			Window: *aggWindow, Emit: *aggEmit, Field: *aggField, TopK: *aggTopK,
+		})
 	}
 	if *advertise == "" {
 		*advertise = *addr
@@ -199,6 +216,17 @@ func main() {
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
 		}))
 	}
+	// Aggregate-only peers: mirror just the upstream's _agg/ topics
+	// (a few records per emit period) into the local bus, so consumers
+	// subscribed here read the site's aggregate streams without a full
+	// event mirror and without reaching upstream themselves.
+	for _, peer := range aggPeers {
+		c := gateway.NewClient("gatewayd/"+*name, peer)
+		c.Protocol = clientProto
+		bridges = append(bridges, bridge.NewAggregateMirror(c, gw.Bus(), bridge.Options{
+			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
+		}))
+	}
 	// Rejoin anti-entropy: a gateway (re)starting into a replicated
 	// site may have an archive gap covering its downtime — its sensors'
 	// records landed only at the replicas. Reconcile against each other
@@ -251,6 +279,9 @@ func main() {
 	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
 	gw.StopAsync()
+	if agg != nil {
+		agg.Close()
+	}
 	if archiver != nil {
 		// Delivery has drained, so every published record has reached
 		// the archiver; seal the archive so the next run serves it.

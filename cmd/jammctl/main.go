@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"jamm/internal/activation"
+	"jamm/internal/aggregate"
 	"jamm/internal/consumer"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
@@ -34,7 +35,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|history|site|sensor-start|sensor-stop|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|agg|history|site|sensor-start|sensor-stop|status> [flags]")
 	os.Exit(2)
 }
 
@@ -54,6 +55,8 @@ func main() {
 		cmdSubscribe(args)
 	case "summary":
 		cmdSummary(args)
+	case "agg":
+		cmdAgg(args)
 	case "history":
 		cmdHistory(args)
 	case "site":
@@ -154,6 +157,67 @@ func cmdSubscribe(args []string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+}
+
+// cmdAgg opens ONE aggregate subscription per named gateway — the
+// `_agg/` topic-prefix form — and prints the merged site-wide view as
+// per-gateway aggregate records arrive. This replaces subscribing to
+// every raw sensor: the wire carries a few records per gateway per
+// emit period no matter how many sensors the site monitors.
+//
+//	jammctl agg -gw 127.0.0.1:9100,127.0.0.1:9101
+func cmdAgg(args []string) {
+	fs := flag.NewFlagSet("agg", flag.ExitOnError)
+	gws := fs.String("gw", "127.0.0.1:9200", "comma-separated gateway addresses (each gatewayd run with -aggregate, or mirroring a site's _agg/ topics via -peer-agg)")
+	raw := fs.Bool("raw", false, "print the raw _agg/ records instead of the merged site view")
+	fs.Parse(args) //nolint:errcheck
+
+	site := aggregate.NewSite()
+	req := gateway.Request{Sensor: aggregate.TopicPrefix, Prefix: true}
+	var stops []func()
+	for _, addr := range strings.Split(*gws, ",") {
+		stop, err := gateway.NewClient("jammctl", addr).Subscribe(req, "ulm", func(rec ulm.Record) {
+			if *raw {
+				fmt.Println(rec)
+				return
+			}
+			if site.Observe(rec) {
+				printSiteView(site.View())
+			}
+		})
+		if err != nil {
+			die(err)
+		}
+		stops = append(stops, stop)
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+func printSiteView(v aggregate.SiteView) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site gateways=%d", v.Gateways)
+	if v.Count != nil {
+		fmt.Fprintf(&b, " | rate=%.1f/s count=%d sensors=%d window=%s",
+			v.Count.Rate, v.Count.Count, v.Count.Sensors, v.Count.Window)
+	}
+	if v.TopK != nil && len(v.TopK.Top) > 0 {
+		b.WriteString(" | top:")
+		for _, sc := range v.TopK.Top {
+			fmt.Fprintf(&b, " %s:%d", sc.Sensor, sc.Count)
+		}
+	}
+	if v.Quantile != nil && v.Quantile.N > 0 {
+		fmt.Fprintf(&b, " | %s n=%d p50=%.4g p99=%.4g",
+			v.Quantile.Field, v.Quantile.N, v.Quantile.P50, v.Quantile.P99)
+	}
+	fmt.Println(b.String())
 }
 
 func cmdSummary(args []string) {

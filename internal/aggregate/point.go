@@ -1,0 +1,381 @@
+package aggregate
+
+// Consumer-side decoding and site-wide merging of `_agg/` records.
+// Each gateway's aggregator speaks for its own sensors, so a site-wide
+// view is a merge over the latest record per (gateway, kind): counts
+// and rates sum (sensors are partitioned across gateways by placement,
+// so sums do not double-count), top-k lists merge by summing per-sensor
+// counts and re-ranking, and quantile sketches merge bucket-wise.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// SensorCount is one top-k entry: a sensor and its in-window record
+// count.
+type SensorCount struct {
+	Sensor string `json:"sensor"`
+	Count  uint64 `json:"count"`
+}
+
+// CountPoint is one decoded AGG_COUNT record.
+type CountPoint struct {
+	GW      string        `json:"gw"`
+	Date    time.Time     `json:"date"`
+	Window  time.Duration `json:"window"`
+	Count   uint64        `json:"count"`
+	Rate    float64       `json:"rate"`
+	Sensors int           `json:"sensors"`
+}
+
+// TopKPoint is one decoded AGG_TOPK record.
+type TopKPoint struct {
+	GW     string        `json:"gw"`
+	Date   time.Time     `json:"date"`
+	Window time.Duration `json:"window"`
+	K      int           `json:"k"`
+	Top    []SensorCount `json:"top"`
+}
+
+// QuantilePoint is one decoded AGG_QUANT record. Sketch is nil when
+// the record carried none (it always does for this package's emitters).
+type QuantilePoint struct {
+	GW     string        `json:"gw"`
+	Date   time.Time     `json:"date"`
+	Window time.Duration `json:"window"`
+	Field  string        `json:"field"`
+	N      uint64        `json:"n"`
+	P50    float64       `json:"p50"`
+	P99    float64       `json:"p99"`
+	Sketch *Sketch       `json:"-"`
+}
+
+func recBase(rec ulm.Record) (gw string, window time.Duration, err error) {
+	gw, _ = rec.Get("GW")
+	ms, ok := rec.Get("WINDOW_MS")
+	if gw == "" || !ok {
+		return "", 0, fmt.Errorf("aggregate: record missing GW/WINDOW_MS")
+	}
+	msv, err := strconv.ParseInt(ms, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("aggregate: bad WINDOW_MS %q", ms)
+	}
+	return gw, time.Duration(msv) * time.Millisecond, nil
+}
+
+// ParseCount decodes an AGG_COUNT record.
+func ParseCount(rec ulm.Record) (CountPoint, error) {
+	if rec.Event != EventCount {
+		return CountPoint{}, fmt.Errorf("aggregate: not an %s record: %q", EventCount, rec.Event)
+	}
+	gw, window, err := recBase(rec)
+	if err != nil {
+		return CountPoint{}, err
+	}
+	p := CountPoint{GW: gw, Date: rec.Date, Window: window}
+	if v, err := rec.Float("COUNT"); err == nil {
+		p.Count = uint64(v)
+	}
+	if v, err := rec.Float("RATE"); err == nil {
+		p.Rate = v
+	}
+	if v, err := rec.Float("SENSORS"); err == nil {
+		p.Sensors = int(v)
+	}
+	return p, nil
+}
+
+// ParseTopK decodes an AGG_TOPK record.
+func ParseTopK(rec ulm.Record) (TopKPoint, error) {
+	if rec.Event != EventTopK {
+		return TopKPoint{}, fmt.Errorf("aggregate: not an %s record: %q", EventTopK, rec.Event)
+	}
+	gw, window, err := recBase(rec)
+	if err != nil {
+		return TopKPoint{}, err
+	}
+	p := TopKPoint{GW: gw, Date: rec.Date, Window: window}
+	if v, err := rec.Float("K"); err == nil {
+		p.K = int(v)
+	}
+	if top, ok := rec.Get("TOP"); ok {
+		p.Top = decodeTop(top)
+	}
+	return p, nil
+}
+
+// ParseQuantile decodes an AGG_QUANT record.
+func ParseQuantile(rec ulm.Record) (QuantilePoint, error) {
+	if rec.Event != EventQuantile {
+		return QuantilePoint{}, fmt.Errorf("aggregate: not an %s record: %q", EventQuantile, rec.Event)
+	}
+	gw, window, err := recBase(rec)
+	if err != nil {
+		return QuantilePoint{}, err
+	}
+	p := QuantilePoint{GW: gw, Date: rec.Date, Window: window}
+	p.Field, _ = rec.Get("FIELD")
+	if v, err := rec.Float("N"); err == nil {
+		p.N = uint64(v)
+	}
+	if v, err := rec.Float("P50"); err == nil {
+		p.P50 = v
+	}
+	if v, err := rec.Float("P99"); err == nil {
+		p.P99 = v
+	}
+	if enc, ok := rec.Get("SKETCH"); ok {
+		if sk, err := DecodeSketch(enc); err == nil {
+			p.Sketch = sk
+		}
+	}
+	return p, nil
+}
+
+// encodeTop flattens a ranking into the TOP field:
+// "sensor:count|sensor:count|...".
+func encodeTop(top []SensorCount) string {
+	var b strings.Builder
+	for i, sc := range top {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(sc.Sensor)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(sc.Count, 10))
+	}
+	return b.String()
+}
+
+// decodeTop parses a TOP field. The count follows the LAST colon, so
+// sensor names containing colons survive the round trip.
+func decodeTop(in string) []SensorCount {
+	if in == "" {
+		return nil
+	}
+	var out []SensorCount
+	for _, part := range strings.Split(in, "|") {
+		i := strings.LastIndexByte(part, ':')
+		if i < 0 {
+			continue
+		}
+		c, err := strconv.ParseUint(part[i+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, SensorCount{Sensor: part[:i], Count: c})
+	}
+	return out
+}
+
+// SiteView is the merged site-wide aggregate state: one point per
+// kind, nil until at least one gateway reported that kind. GW on a
+// merged point is "site".
+type SiteView struct {
+	Gateways int            `json:"gateways"`
+	Count    *CountPoint    `json:"count,omitempty"`
+	TopK     *TopKPoint     `json:"topk,omitempty"`
+	Quantile *QuantilePoint `json:"quantile,omitempty"`
+}
+
+// Site accumulates the latest aggregate record per (gateway, kind) and
+// merges them into a site-wide view. Gateways that stop reporting are
+// evicted once their last point is staleWindows windows older than the
+// newest point of the same kind, so a dead gateway's final aggregates
+// do not haunt the site view forever. Safe for concurrent use.
+type Site struct {
+	mu     sync.Mutex
+	counts map[string]CountPoint
+	topks  map[string]TopKPoint
+	quants map[string]QuantilePoint
+}
+
+// staleWindows is the eviction horizon for a silent gateway's
+// contribution, in multiples of its window.
+const staleWindows = 3
+
+// NewSite returns an empty site-wide merger.
+func NewSite() *Site {
+	return &Site{
+		counts: make(map[string]CountPoint),
+		topks:  make(map[string]TopKPoint),
+		quants: make(map[string]QuantilePoint),
+	}
+}
+
+// Observe folds one delivered record into the site state, reporting
+// whether it was an aggregate record (others are ignored, so a mixed
+// stream can be fed through unfiltered). Older records never replace
+// newer ones from the same gateway — bridged paths may reorder.
+func (s *Site) Observe(rec ulm.Record) bool {
+	switch rec.Event {
+	case EventCount:
+		p, err := ParseCount(rec)
+		if err != nil {
+			return false
+		}
+		s.mu.Lock()
+		if old, ok := s.counts[p.GW]; !ok || !p.Date.Before(old.Date) {
+			s.counts[p.GW] = p
+		}
+		s.mu.Unlock()
+	case EventTopK:
+		p, err := ParseTopK(rec)
+		if err != nil {
+			return false
+		}
+		s.mu.Lock()
+		if old, ok := s.topks[p.GW]; !ok || !p.Date.Before(old.Date) {
+			s.topks[p.GW] = p
+		}
+		s.mu.Unlock()
+	case EventQuantile:
+		p, err := ParseQuantile(rec)
+		if err != nil {
+			return false
+		}
+		s.mu.Lock()
+		if old, ok := s.quants[p.GW]; !ok || !p.Date.Before(old.Date) {
+			s.quants[p.GW] = p
+		}
+		s.mu.Unlock()
+	default:
+		return false
+	}
+	return true
+}
+
+// View merges the per-gateway state into the site-wide aggregate.
+func (s *Site) View() SiteView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var v SiteView
+	gateways := make(map[string]bool)
+
+	evictStale(s.counts, func(p CountPoint) (time.Time, time.Duration) { return p.Date, p.Window })
+	if len(s.counts) > 0 {
+		merged := CountPoint{GW: "site"}
+		for gw, p := range s.counts {
+			gateways[gw] = true
+			merged.Count += p.Count
+			merged.Rate += p.Rate
+			merged.Sensors += p.Sensors
+			if p.Date.After(merged.Date) {
+				merged.Date = p.Date
+			}
+			if p.Window > merged.Window {
+				merged.Window = p.Window
+			}
+		}
+		v.Count = &merged
+	}
+
+	evictStale(s.topks, func(p TopKPoint) (time.Time, time.Duration) { return p.Date, p.Window })
+	if len(s.topks) > 0 {
+		merged := TopKPoint{GW: "site"}
+		bySensor := make(map[string]uint64)
+		for gw, p := range s.topks {
+			gateways[gw] = true
+			if p.K > merged.K {
+				merged.K = p.K
+			}
+			if p.Date.After(merged.Date) {
+				merged.Date = p.Date
+			}
+			if p.Window > merged.Window {
+				merged.Window = p.Window
+			}
+			for _, sc := range p.Top {
+				bySensor[sc.Sensor] += sc.Count
+			}
+		}
+		merged.Top = topK(bySensor, merged.K)
+		v.TopK = &merged
+	}
+
+	evictStale(s.quants, func(p QuantilePoint) (time.Time, time.Duration) { return p.Date, p.Window })
+	if len(s.quants) > 0 {
+		merged := QuantilePoint{GW: "site"}
+		var sketch *Sketch
+		for gw, p := range s.quants {
+			gateways[gw] = true
+			merged.N += p.N
+			if p.Date.After(merged.Date) {
+				merged.Date = p.Date
+			}
+			if p.Window > merged.Window {
+				merged.Window = p.Window
+			}
+			if merged.Field == "" {
+				merged.Field = p.Field
+			}
+			if p.Sketch != nil {
+				if sketch == nil {
+					sketch = NewSketch(p.Sketch.alpha)
+				}
+				sketch.Merge(p.Sketch) //nolint:errcheck // alphas match per emitter config
+			}
+		}
+		if sketch != nil {
+			merged.Sketch = sketch
+			merged.P50 = sketch.Quantile(0.50)
+			merged.P99 = sketch.Quantile(0.99)
+		} else if len(s.quants) == 1 {
+			// No sketch to re-derive from: a single gateway's point
+			// passes through unchanged.
+			for _, p := range s.quants {
+				merged.P50, merged.P99 = p.P50, p.P99
+			}
+		}
+		v.Quantile = &merged
+	}
+
+	v.Gateways = len(gateways)
+	return v
+}
+
+// evictStale drops per-gateway points staleWindows windows older than
+// the newest point in the map.
+func evictStale[P any](m map[string]P, at func(P) (time.Time, time.Duration)) {
+	var newest time.Time
+	for _, p := range m {
+		if t, _ := at(p); t.After(newest) {
+			newest = t
+		}
+	}
+	for gw, p := range m {
+		t, w := at(p)
+		if w > 0 && t.Add(staleWindows*w).Before(newest) {
+			delete(m, gw)
+		}
+	}
+}
+
+// Keys of the per-gateway maps, sorted — a debugging aid for jammctl.
+func (s *Site) Reporting() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := make(map[string]bool)
+	for gw := range s.counts {
+		set[gw] = true
+	}
+	for gw := range s.topks {
+		set[gw] = true
+	}
+	for gw := range s.quants {
+		set[gw] = true
+	}
+	out := make([]string, 0, len(set))
+	for gw := range set {
+		out = append(out, gw)
+	}
+	sort.Strings(out)
+	return out
+}

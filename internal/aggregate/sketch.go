@@ -1,0 +1,239 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sketch is a mergeable quantile sketch over log-spaced buckets (the
+// DDSketch construction): a value v > 0 lands in bucket
+// ceil(log_gamma(v)), so every bucket spans a fixed relative width and
+// any quantile estimate is within alpha of the true value, relatively.
+// Two sketches with the same alpha merge by bucket-wise count addition
+// — the property that lets per-gateway sketches travel as `_agg/`
+// records and combine site-wide without shipping raw samples.
+//
+// Not safe for concurrent use; the aggregator serializes access.
+type Sketch struct {
+	alpha float64
+	gamma float64
+	lnG   float64
+	pos   map[int]uint64 // bucket index → count, values > 0
+	neg   map[int]uint64 // bucket index of -v → count, values < 0
+	zero  uint64
+	count uint64
+}
+
+// DefaultAlpha is the relative accuracy aggregators use: quantile
+// estimates within 1%.
+const DefaultAlpha = 0.01
+
+// NewSketch returns an empty sketch with relative accuracy alpha
+// (<= 0 selects DefaultAlpha).
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha: alpha,
+		gamma: gamma,
+		lnG:   math.Log(gamma),
+		pos:   make(map[int]uint64),
+		neg:   make(map[int]uint64),
+	}
+}
+
+func (s *Sketch) bucket(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lnG))
+}
+
+// value is the representative of bucket i: the midpoint (in relative
+// terms) of (gamma^(i-1), gamma^i].
+func (s *Sketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add folds one observation in.
+func (s *Sketch) Add(v float64) {
+	switch {
+	case v > 0:
+		s.pos[s.bucket(v)]++
+	case v < 0:
+		s.neg[s.bucket(-v)]++
+	default:
+		s.zero++
+	}
+	s.count++
+}
+
+// Count returns how many observations the sketch holds.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Merge folds o into s. The alphas must match (they do for any pair of
+// sketches this package built with the same options); mismatched
+// sketches are rejected.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o.count == 0 {
+		return nil
+	}
+	if math.Abs(s.alpha-o.alpha) > 1e-12 {
+		return fmt.Errorf("aggregate: sketch alpha mismatch (%g vs %g)", s.alpha, o.alpha)
+	}
+	for i, c := range o.pos {
+		s.pos[i] += c
+	}
+	for i, c := range o.neg {
+		s.neg[i] += c
+	}
+	s.zero += o.zero
+	s.count += o.count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the folded
+// observations, within relative accuracy alpha. An empty sketch
+// reports 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.count-1)) // 0-based rank, floor
+	// Walk ascending: negatives from most to least negative, zero, then
+	// positives from least to greatest.
+	negIdx := sortedKeys(s.neg)
+	for k := len(negIdx) - 1; k >= 0; k-- { // large index = large magnitude = more negative
+		i := negIdx[k]
+		c := s.neg[i]
+		if rank < c {
+			return -s.value(i)
+		}
+		rank -= c
+	}
+	if rank < s.zero {
+		return 0
+	}
+	rank -= s.zero
+	posIdx := sortedKeys(s.pos)
+	for _, i := range posIdx {
+		c := s.pos[i]
+		if rank < c {
+			return s.value(i)
+		}
+		rank -= c
+	}
+	// Unreachable when counts are consistent; fall back to the largest
+	// bucket's representative.
+	if len(posIdx) > 0 {
+		return s.value(posIdx[len(posIdx)-1])
+	}
+	return 0
+}
+
+func sortedKeys(m map[int]uint64) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Encode serializes the sketch into the compact ASCII form `_agg/`
+// records carry: "a=<alpha>;z=<zero>;p=<i>:<n>,...;n=<i>:<n>,..." with
+// buckets in ascending index order (deterministic — equal sketches
+// encode equally).
+func (s *Sketch) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "a=%g;z=%d;p=", s.alpha, s.zero)
+	writeBuckets(&b, s.pos)
+	b.WriteString(";n=")
+	writeBuckets(&b, s.neg)
+	return b.String()
+}
+
+func writeBuckets(b *strings.Builder, m map[int]uint64) {
+	for k, i := range sortedKeys(m) {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d:%d", i, m[i])
+	}
+}
+
+// DecodeSketch parses Encode's output.
+func DecodeSketch(in string) (*Sketch, error) {
+	var alpha float64
+	var zero uint64
+	var pos, neg map[int]uint64
+	for _, part := range strings.Split(in, ";") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("aggregate: bad sketch part %q", part)
+		}
+		var err error
+		switch key {
+		case "a":
+			alpha, err = strconv.ParseFloat(val, 64)
+		case "z":
+			zero, err = strconv.ParseUint(val, 10, 64)
+		case "p":
+			pos, err = parseBuckets(val)
+		case "n":
+			neg, err = parseBuckets(val)
+		default:
+			err = fmt.Errorf("aggregate: unknown sketch key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := NewSketch(alpha)
+	if pos != nil {
+		s.pos = pos
+	}
+	if neg != nil {
+		s.neg = neg
+	}
+	s.zero = zero
+	for _, c := range s.pos {
+		s.count += c
+	}
+	for _, c := range s.neg {
+		s.count += c
+	}
+	s.count += zero
+	return s, nil
+}
+
+func parseBuckets(val string) (map[int]uint64, error) {
+	m := make(map[int]uint64)
+	if val == "" {
+		return m, nil
+	}
+	for _, pair := range strings.Split(val, ",") {
+		is, cs, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("aggregate: bad sketch bucket %q", pair)
+		}
+		i, err := strconv.Atoi(is)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: bad sketch bucket index %q", is)
+		}
+		c, err := strconv.ParseUint(cs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: bad sketch bucket count %q", cs)
+		}
+		m[i] = c
+	}
+	return m, nil
+}

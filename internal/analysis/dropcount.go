@@ -34,7 +34,7 @@ var DropCount = &Analyzer{
 // own golden-test package.
 var dropAccountedPackages = map[string]bool{
 	"bus": true, "gateway": true, "bridge": true,
-	"router": true, "histstore": true,
+	"router": true, "histstore": true, "aggregate": true,
 	"dropcount": true,
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jamm/internal/aggregate"
 	"jamm/internal/gateway"
 	"jamm/internal/ulm"
 )
@@ -76,6 +77,18 @@ type Options struct {
 	// mirroring B mirroring A) degrades into a bounded counter rather
 	// than infinite event amplification.
 	MaxHops int
+}
+
+// NewAggregateMirror starts a bridge mirroring the remote gateway's
+// `_agg/` aggregate topics into target — one prefix subscription per
+// upstream, a few records per emit period. A subscriber-facing replica
+// gateway rides this to re-serve the site's aggregate streams locally,
+// so dashboards subscribe to their nearest gateway instead of each
+// reaching upstream. opts.Requests is overwritten; everything else
+// (backoff, batching, Rebind) applies as usual.
+func NewAggregateMirror(client *gateway.Client, target Target, opts Options) *Bridge {
+	opts.Requests = []gateway.Request{{Sensor: aggregate.TopicPrefix, Prefix: true}}
+	return New(client, target, opts)
 }
 
 // HopField is the ULM field bridges use to count mirror hops.

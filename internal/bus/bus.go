@@ -44,6 +44,7 @@
 package bus
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -184,11 +185,17 @@ func (b *Bus) Shards() int { return len(b.shards) }
 // HasConsumers reports whether any subscription, tap, or wildcard
 // observer would see a publish of topic — the predicate the gateway's
 // zero-copy frame relay uses to decide whether a received frame must
-// be decoded into records at all. One atomic load plus, when no
-// wildcard exists, one shard-map lookup.
+// be decoded into records at all. One atomic load plus a scan of the
+// (typically tiny) wildcard set plus, when that matches nothing, one
+// shard-map lookup. Prefix subscriptions live in the wildcard set but
+// count only for topics under their prefix, so a relay hop carrying an
+// `_agg/`-scoped mirror still forwards ordinary sensor frames
+// undecoded.
 func (b *Bus) HasConsumers(topic string) bool {
-	if len(b.loadWildcard()) > 0 {
-		return true
+	for _, s := range b.loadWildcard() {
+		if !s.prefix || strings.HasPrefix(topic, s.topic) {
+			return true
+		}
 	}
 	sh := b.shard(topic)
 	sh.mu.Lock()
@@ -217,7 +224,12 @@ type Subscription struct {
 	id    uint64
 	bus   *Bus
 	topic string
-	hook  Hook
+	// prefix marks a topic-prefix subscription: topic is a prefix and
+	// the subscription matches every topic under it. Prefix
+	// subscriptions live in the wildcard set (they cannot be indexed
+	// per topic) and are filtered at delivery time.
+	prefix bool
+	hook   Hook
 	// fnB is the delivery callback — every subscription delivers
 	// batches. The single-record Subscribe/SubscribeTopics entry points
 	// wrap their callbacks in a record loop at subscribe time, so the
@@ -306,6 +318,21 @@ func (b *Bus) SubscribeBatchTopics(topic string, hook Hook, fn func(topic string
 	return s
 }
 
+// SubscribeBatchTopicsPrefix is SubscribeBatchTopics scoped to a topic
+// prefix: fn receives every delivered batch of every topic starting
+// with prefix — the one-subscription form consumers of a synthetic
+// topic family (the gateway's `_agg/...` aggregate topics) use instead
+// of naming each member. An empty prefix is a plain wildcard. Prefix
+// subscriptions ride the wildcard set, so they share its delivery
+// order (global subscription-id order) and its cost model: every
+// publish scans them, paying one prefix comparison for topics outside
+// the prefix.
+func (b *Bus) SubscribeBatchTopicsPrefix(prefix string, hook Hook, fn func(topic string, recs []ulm.Record)) *Subscription {
+	s := &Subscription{id: b.nextID.Add(1), bus: b, topic: prefix, prefix: prefix != "", hook: hook, fnB: fn}
+	b.insert(s)
+	return s
+}
+
 // Tap registers a silent observer of one topic ("" = every topic): tap
 // runs where a hook would — serialized per subscription, before
 // delivery — but never receives deliveries and never affects counters.
@@ -337,7 +364,7 @@ func (b *Bus) TapBatch(topic string, tap func(topic string, recs []ulm.Record)) 
 // insert adds s to the topic index. Ids are monotonic, so appending
 // keeps every list sorted by id.
 func (b *Bus) insert(s *Subscription) {
-	if s.topic == "" {
+	if s.topic == "" || s.prefix {
 		b.wmu.Lock()
 		old := b.loadWildcard()
 		next := make([]*Subscription, len(old)+1)
@@ -368,7 +395,7 @@ func (s *Subscription) Cancel() bool {
 		return false
 	}
 	b := s.bus
-	if s.topic == "" {
+	if s.topic == "" || s.prefix {
 		b.wmu.Lock()
 		old := b.loadWildcard()
 		next := make([]*Subscription, 0, len(old))
@@ -524,6 +551,12 @@ func (b *Bus) deliverBatch(topic string, recs []ulm.Record, single *ulm.Record) 
 			s = wild[j]
 			j++
 			isWild = true
+			// A prefix subscription rides the wildcard list but matches
+			// only topics under its prefix; skipping preserves the
+			// id-ordered merge.
+			if s.prefix && !strings.HasPrefix(topic, s.topic) {
+				continue
+			}
 		}
 		if s.hook == nil {
 			if s.fnB == nil {

@@ -57,6 +57,14 @@ type Request struct {
 	Principal string `json:"principal,omitempty"`
 	// Sensor names one registered sensor, or "" for all sensors.
 	Sensor string `json:"sensor,omitempty"`
+	// Prefix makes Sensor a topic prefix instead of an exact name: the
+	// subscription delivers every sensor (bus topic) under it. This is
+	// how one wire subscription covers a synthetic topic family — a
+	// dashboard subscribes to {Sensor: "_agg/", Prefix: true} and
+	// receives every aggregate stream the gateway computes. Prefix
+	// requests ride the record plane (never the zero-copy frame plane)
+	// and do not contribute to per-sensor consumer counts.
+	Prefix bool `json:"prefix,omitempty"`
 	// Events restricts delivery to the named event types; empty means
 	// all events.
 	Events []string `json:"events,omitempty"`

@@ -185,9 +185,11 @@ func (h *frameHub) remove(fs *frameSub) {
 
 // PassThrough reports whether a request can ride the zero-copy frame
 // plane: no per-record filtering of any kind (the same condition under
-// which the bus hook compiles to nil).
+// which the bus hook compiles to nil) and an exact sensor scope —
+// frame subscriptions match topics exactly, so prefix requests ride
+// the record plane.
 func PassThrough(req Request) bool {
-	return req.Mode == DeliverAll && len(req.Events) == 0
+	return req.Mode == DeliverAll && len(req.Events) == 0 && !req.Prefix
 }
 
 // SubscribeFrames opens a frame-plane subscription: delivered items
@@ -391,6 +393,7 @@ func (g *Gateway) noteRelayed(f *Frame, replica bool) {
 	p.published += uint64(f.Count)
 	p.lastFrame = append(p.lastFrame[:0], f.Bytes()...)
 	p.gen++
+	ps.ver.Add(1)
 	fire := revived && !replica
 	var meta Meta
 	var seq uint64

@@ -71,6 +71,20 @@ type Stats struct {
 	// ordinary churn — so it is counted and logged rather than silently
 	// absorbed.
 	ConsumerClamps uint64
+	// SnapshotHits counts read requests (Query/Summary/Sensors) served
+	// entirely from the wait-free snapshot cache; SnapshotMisses counts
+	// reads that fell back to the locked path while snapshots were
+	// enabled (unknown sensor, cold cache, lost refresh race).
+	// SnapshotRefreshes counts snapshot rebuild/revalidate passes — the
+	// amortized cost the hit path never pays.
+	SnapshotHits      uint64
+	SnapshotMisses    uint64
+	SnapshotRefreshes uint64
+	// ReadShardLocks counts producer-shard and summary-table lock
+	// acquisitions taken to serve read requests. With snapshots enabled
+	// and warm it stays flat while SnapshotHits grows — the counter
+	// that proves reads never contend with the publish path.
+	ReadShardLocks uint64
 }
 
 // producer is one sensor's gateway-side state. The entry outlives
@@ -117,6 +131,13 @@ const producerShards = 16
 type producerShard struct {
 	mu        sync.Mutex
 	producers map[string]*producer
+	// ver counts shard mutations (registration changes, publishes,
+	// relays, consumer-count changes). It is bumped while the shard
+	// lock is held and read by the snapshot cache to decide whether a
+	// stale snapshot actually needs rebuilding or just revalidating —
+	// an idle shard's snapshot is refreshed with a pointer swap, not a
+	// copy.
+	ver atomic.Uint64
 }
 
 // Gateway is one event gateway instance. It is safe for concurrent use;
@@ -129,10 +150,26 @@ type Gateway struct {
 
 	bus *bus.Bus
 
-	authMu sync.Mutex
-	authz  auth.Authorizer
+	// authz is swapped atomically so the read path (Query, Summary,
+	// Sensors, Subscribe) resolves access control without a lock — a
+	// global authorizer mutex would serialize every reader of every
+	// shard.
+	authz atomic.Pointer[auth.Authorizer]
 
 	pshards [producerShards]producerShard
+
+	// snaps is the read-side snapshot cache (snapshot.go); nil until
+	// EnableSnapshots. readShardLocks counts producer-shard (and
+	// summary-table) lock acquisitions taken to serve read requests —
+	// the counter that proves the snapshot path never touches them.
+	snaps          atomic.Pointer[snapshotCache]
+	readShardLocks atomic.Uint64
+
+	// aggMover carries the aggregation plane's per-sensor drain/seed
+	// hooks (SetAggregateMover) so a rebalancing Handoff can move a
+	// sensor's in-window aggregate contribution without the gateway
+	// importing the aggregate package.
+	aggMover atomic.Pointer[AggregateMover]
 
 	sumMu     sync.Mutex
 	summaries map[summaryKey]*summaryEntry
@@ -198,11 +235,12 @@ func NewWithConfig(name string, now func() time.Time, cfg Config) *Gateway {
 	g := &Gateway{
 		name:      name,
 		resource:  "gateway/" + name,
-		authz:     auth.AllowAll,
 		now:       now,
 		bus:       bus.New(cfg.Bus),
 		summaries: make(map[summaryKey]*summaryEntry),
 	}
+	allowAll := auth.AllowAll
+	g.authz.Store(&allowAll)
 	for i := range g.pshards {
 		g.pshards[i].producers = make(map[string]*producer)
 	}
@@ -276,12 +314,10 @@ func (g *Gateway) Bus() *bus.Bus { return g.bus }
 
 // SetAuthorizer installs access control; nil restores allow-all.
 func (g *Gateway) SetAuthorizer(a auth.Authorizer) {
-	g.authMu.Lock()
-	defer g.authMu.Unlock()
 	if a == nil {
 		a = auth.AllowAll
 	}
-	g.authz = a
+	g.authz.Store(&a)
 }
 
 func (g *Gateway) pshard(sensorName string) *producerShard {
@@ -307,6 +343,7 @@ func (g *Gateway) Register(sensorName string, meta Meta) {
 	p.live = true
 	p.mirrored = false
 	seq := g.regSeq.Add(1)
+	ps.ver.Add(1)
 	ps.mu.Unlock()
 	g.fireRegistration(sensorName, meta, true, seq)
 }
@@ -343,6 +380,7 @@ func (g *Gateway) Unregister(sensorName string) {
 		if wasLive {
 			seq = g.regSeq.Add(1)
 		}
+		ps.ver.Add(1)
 	}
 	ps.mu.Unlock()
 	if wasLive {
@@ -412,11 +450,35 @@ func (g *Gateway) fireRegistration(sensor string, meta Meta, registered bool, se
 	}
 }
 
-// Sensors lists registered sensors, sorted by name.
+// Sensors lists registered sensors, sorted by name. With snapshots
+// enabled the listing is assembled from the wait-free per-shard
+// snapshots (no producer-shard locks); otherwise each shard is walked
+// under its lock, with the output slice grown outside the locks so
+// the lock-held work is the row copies alone.
 func (g *Gateway) Sensors() []SensorInfo {
+	if sc := g.snaps.Load(); sc != nil {
+		if out, ok := sc.sensors(g); ok {
+			sc.hits.Add(1)
+			return out
+		}
+		sc.misses.Add(1)
+	}
 	var out []SensorInfo
 	for i := range g.pshards {
 		ps := &g.pshards[i]
+		// Reserve capacity outside the lock so append under it never
+		// reallocates in steady state (a producer added between the two
+		// acquisitions costs one rare in-lock growth, nothing more).
+		g.readShardLocks.Add(1)
+		ps.mu.Lock()
+		n := len(ps.producers)
+		ps.mu.Unlock()
+		if cap(out)-len(out) < n {
+			grown := make([]SensorInfo, len(out), len(out)+n+16)
+			copy(grown, out)
+			out = grown
+		}
+		g.readShardLocks.Add(1)
 		ps.mu.Lock()
 		for name, p := range ps.producers {
 			if !p.live {
@@ -455,7 +517,7 @@ func (g *Gateway) Consumers(sensorName string) int {
 // Stats returns a snapshot of the traffic counters.
 func (g *Gateway) Stats() Stats {
 	bs := g.bus.Stats()
-	return Stats{
+	st := Stats{
 		// Records relayed as raw frames never touch the bus, but they
 		// entered (and left) this gateway all the same.
 		Published:      bs.Published + g.frameRelayRecs.Load(),
@@ -463,7 +525,14 @@ func (g *Gateway) Stats() Stats {
 		Suppressed:     bs.Suppressed,
 		Queries:        g.queries.Load(),
 		ConsumerClamps: g.consumerClamps.Load(),
+		ReadShardLocks: g.readShardLocks.Load(),
 	}
+	if sc := g.snaps.Load(); sc != nil {
+		st.SnapshotHits = sc.hits.Load()
+		st.SnapshotMisses = sc.misses.Load()
+		st.SnapshotRefreshes = sc.refreshes.Load()
+	}
+	return st
 }
 
 // Publish feeds one sensor record through the gateway: it caches it for
@@ -495,6 +564,7 @@ func (g *Gateway) Publish(sensorName string, rec ulm.Record) {
 	p.last[rec.Event] = rec
 	p.lastFrame = p.lastFrame[:0] // decoded record is newer than any pending frame
 	p.gen++
+	ps.ver.Add(1)
 	var meta Meta
 	var seq uint64
 	if revived {
@@ -578,6 +648,7 @@ func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames,
 	}
 	p.lastFrame = p.lastFrame[:0] // decoded records are newer than any pending frame
 	p.gen++
+	ps.ver.Add(1)
 	fire := revived && !replica
 	var meta Meta
 	var seq uint64
@@ -595,6 +666,26 @@ func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames,
 	g.bus.PublishBatch(sensorName, recs)
 }
 
+// consumerTopic is the sensor whose consumer count a subscription
+// adjusts. Prefix subscriptions cover a topic family, not one sensor,
+// so they contribute nothing ("" makes addConsumer a no-op) — used
+// symmetrically at subscribe and cancel so the counts stay balanced.
+func consumerTopic(req Request) string {
+	if req.Prefix {
+		return ""
+	}
+	return req.Sensor
+}
+
+// subscribeBatchTopics inserts the request's bus subscription, routing
+// topic-prefix requests through the bus's prefix-aware wildcard list.
+func (g *Gateway) subscribeBatchTopics(req Request, fn func(topic string, recs []ulm.Record)) *bus.Subscription {
+	if req.Prefix {
+		return g.bus.SubscribeBatchTopicsPrefix(req.Sensor, newFilter(req).hook(), fn)
+	}
+	return g.bus.SubscribeBatchTopics(req.Sensor, newFilter(req).hook(), fn)
+}
+
 // Subscribe opens a streaming subscription ("the consumer opens an
 // event channel and the events are returned in a stream"). fn is
 // invoked for every record passing the request's filters.
@@ -605,8 +696,17 @@ func (g *Gateway) Subscribe(req Request, fn func(ulm.Record)) (*Subscription, er
 	if err := g.authorize(req.Principal, req.Sensor, auth.ActionStream); err != nil {
 		return nil, err
 	}
-	bsub := g.bus.Subscribe(req.Sensor, newFilter(req).hook(), fn)
-	g.addConsumer(req.Sensor, 1)
+	var bsub *bus.Subscription
+	if req.Prefix {
+		bsub = g.bus.SubscribeBatchTopicsPrefix(req.Sensor, newFilter(req).hook(), func(_ string, recs []ulm.Record) {
+			for i := range recs {
+				fn(recs[i])
+			}
+		})
+	} else {
+		bsub = g.bus.Subscribe(req.Sensor, newFilter(req).hook(), fn)
+	}
+	g.addConsumer(consumerTopic(req), 1)
 	return &Subscription{g: g, req: req, sub: bsub}, nil
 }
 
@@ -623,8 +723,15 @@ func (g *Gateway) SubscribeBatch(req Request, fn func(recs []ulm.Record)) (*Subs
 	if err := g.authorize(req.Principal, req.Sensor, auth.ActionStream); err != nil {
 		return nil, err
 	}
-	bsub := g.bus.SubscribeBatch(req.Sensor, newFilter(req).hook(), fn)
-	g.addConsumer(req.Sensor, 1)
+	var bsub *bus.Subscription
+	if req.Prefix {
+		bsub = g.bus.SubscribeBatchTopicsPrefix(req.Sensor, newFilter(req).hook(), func(_ string, recs []ulm.Record) {
+			fn(recs)
+		})
+	} else {
+		bsub = g.bus.SubscribeBatch(req.Sensor, newFilter(req).hook(), fn)
+	}
+	g.addConsumer(consumerTopic(req), 1)
 	return &Subscription{g: g, req: req, sub: bsub}, nil
 }
 
@@ -667,7 +774,7 @@ func (g *Gateway) SubscribeChan(req Request, depth int, onDrop func()) (*Subscri
 	// s is allocated before the bus insert so the delivery closure can
 	// count drops on it even for records racing Subscribe's return.
 	s := &Subscription{g: g, req: req}
-	s.sub = g.bus.SubscribeBatchTopics(req.Sensor, newFilter(req).hook(), func(topic string, recs []ulm.Record) {
+	s.sub = g.subscribeBatchTopics(req, func(topic string, recs []ulm.Record) {
 		for i := range recs {
 			select {
 			case ch <- TopicRecord{Sensor: topic, Rec: recs[i]}:
@@ -679,7 +786,7 @@ func (g *Gateway) SubscribeChan(req Request, depth int, onDrop func()) (*Subscri
 			}
 		}
 	})
-	g.addConsumer(req.Sensor, 1)
+	g.addConsumer(consumerTopic(req), 1)
 	return s, ch, nil
 }
 
@@ -797,7 +904,7 @@ func (g *Gateway) SubscribeBatchChan(req Request, depth int, onDrop func(n int))
 			onDrop(n)
 		}
 	}
-	s.sub = g.bus.SubscribeBatchTopics(req.Sensor, newFilter(req).hook(), func(topic string, recs []ulm.Record) {
+	s.sub = g.subscribeBatchTopics(req, func(topic string, recs []ulm.Record) {
 		for off := 0; off < len(recs); off += chunk {
 			end := off + chunk
 			if end > len(recs) {
@@ -809,7 +916,7 @@ func (g *Gateway) SubscribeBatchChan(req Request, depth int, onDrop func(n int))
 		}
 	})
 	go q.forward(ch)
-	g.addConsumer(req.Sensor, 1)
+	g.addConsumer(consumerTopic(req), 1)
 	return s, ch, nil
 }
 
@@ -845,6 +952,7 @@ func (g *Gateway) addConsumer(sensorName string, delta int) {
 	if p.consumers == 0 && !p.live && !p.explicit {
 		delete(ps.producers, sensorName)
 	}
+	ps.ver.Add(1)
 	ps.mu.Unlock()
 	if clamped {
 		g.noteConsumerClamp(sensorName)
@@ -866,7 +974,22 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 		return ulm.Record{}, false, err
 	}
 	g.queries.Add(1)
+	if sc := g.snaps.Load(); sc != nil {
+		if rec, ok, served := sc.query(g, sensorName, event); served {
+			sc.hits.Add(1)
+			if !ok {
+				if frec, found := g.lastFromFallback(sensorName, event); found {
+					return frec, true, nil
+				}
+			}
+			return rec, ok, nil
+		}
+		// Not in the snapshot (unknown here, or registered inside the
+		// staleness window): answer authoritatively from the locked path.
+		sc.misses.Add(1)
+	}
 	ps := g.pshard(sensorName)
+	g.readShardLocks.Add(1)
 	ps.mu.Lock()
 	p, ok := ps.producers[sensorName]
 	if !ok || !p.live {
@@ -897,11 +1020,13 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 		if err != nil {
 			g.frameDecodeErrs.Add(1)
 		}
+		g.readShardLocks.Add(1)
 		ps.mu.Lock()
 		if p.gen == gen {
 			for i := range recs {
 				p.last[recs[i].Event] = recs[i]
 			}
+			ps.ver.Add(1)
 		}
 	}
 	rec, ok := p.last[event]
@@ -914,19 +1039,54 @@ func (g *Gateway) Query(principal, sensorName, event string) (ulm.Record, bool, 
 	return rec, ok, nil
 }
 
+// HandoffState is the gateway-side state a rebalancing move drains
+// from a sensor's old owner and seeds at its new one: registration
+// metadata, the last-event cache (one record per event type, the state
+// a Query answers from), every summarized series' sample window, and
+// the sensor's opaque in-window aggregate contribution (when an
+// aggregation plane registered a mover).
+type HandoffState struct {
+	Meta      Meta
+	Recs      []ulm.Record
+	Summaries []SummarySeries
+	Agg       string
+}
+
+// AggregateMover is the aggregation plane's handoff hook
+// (SetAggregateMover): Drain removes and returns a sensor's in-window
+// aggregate contribution as an opaque string (ok=false when the sensor
+// contributed nothing), Seed merges a drained contribution into the
+// local window.
+type AggregateMover struct {
+	Drain func(sensor string) (state string, ok bool)
+	Seed  func(sensor, state string)
+}
+
+// SetAggregateMover installs the aggregation plane's per-sensor
+// drain/seed hooks, so Handoff moves a sensor's in-window aggregate
+// contribution along with its cache and summaries; nil detaches.
+func (g *Gateway) SetAggregateMover(m *AggregateMover) { g.aggMover.Store(m) }
+
+// SeedAggregate hands a drained aggregate contribution to the local
+// aggregation plane (no-op without a registered mover).
+func (g *Gateway) SeedAggregate(sensor, state string) {
+	if m := g.aggMover.Load(); m != nil && m.Seed != nil && state != "" {
+		m.Seed(sensor, state)
+	}
+}
+
 // Handoff drains one sensor's gateway-side state for a rebalancing
-// move: it returns the sensor's metadata and last-event cache (one
-// record per event type, the state a Query answers from) and
-// unregisters the sensor locally, so the announcer withdraws this
-// gateway's advertisement while the new owner's implicit registration
-// raises its own. ok is false when the sensor is not live here.
-func (g *Gateway) Handoff(sensorName string) (meta Meta, recs []ulm.Record, ok bool) {
+// move and unregisters the sensor locally, so the announcer withdraws
+// this gateway's advertisement while the new owner's implicit
+// registration raises its own. ok is false when the sensor is not live
+// here.
+func (g *Gateway) Handoff(sensorName string) (st HandoffState, ok bool) {
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
 	p, found := ps.producers[sensorName]
 	if !found || !p.live {
 		ps.mu.Unlock()
-		return Meta{}, nil, false
+		return HandoffState{}, false
 	}
 	// Materialize a pending relayed frame first, with the same
 	// decode-outside-the-lock dance as Query (the frame can be large).
@@ -947,25 +1107,32 @@ func (g *Gateway) Handoff(sensorName string) (meta Meta, recs []ulm.Record, ok b
 		p, found = ps.producers[sensorName]
 		if !found || !p.live {
 			ps.mu.Unlock()
-			return Meta{}, nil, false
+			return HandoffState{}, false
 		}
 		if p.gen == gen {
 			for i := range frecs {
 				p.last[frecs[i].Event] = frecs[i]
 			}
+			ps.ver.Add(1)
 		}
 	}
-	meta = p.meta
-	recs = make([]ulm.Record, 0, len(p.last))
+	st.Meta = p.meta
+	st.Recs = make([]ulm.Record, 0, len(p.last))
 	for _, rec := range p.last {
-		recs = append(recs, rec)
+		st.Recs = append(st.Recs, rec)
 	}
 	ps.mu.Unlock()
 	// Oldest first, so replaying the handoff at the new owner leaves
 	// its last-event cache in the same end state.
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Date.Before(recs[j].Date) })
+	sort.Slice(st.Recs, func(i, j int) bool { return st.Recs[i].Date.Before(st.Recs[j].Date) })
+	// The summary windows and aggregate contribution move instead of
+	// being rebuilt from scratch at the new owner.
+	st.Summaries = g.drainSummaries(sensorName)
+	if m := g.aggMover.Load(); m != nil && m.Drain != nil {
+		st.Agg, _ = m.Drain(sensorName)
+	}
 	g.Unregister(sensorName)
-	return meta, recs, true
+	return st, true
 }
 
 // StartAsync switches the gateway's event plane into batched
@@ -984,9 +1151,7 @@ func (g *Gateway) Flush() { g.bus.Flush() }
 func (g *Gateway) StopAsync() { g.bus.StopAsync() }
 
 func (g *Gateway) authorize(principal, sensorName, action string) error {
-	g.authMu.Lock()
-	authz := g.authz
-	g.authMu.Unlock()
+	authz := *g.authz.Load()
 	resource := g.resource
 	if sensorName != "" {
 		resource += "/" + sensorName
@@ -1059,7 +1224,7 @@ func (s *Subscription) Cancel() {
 	if s.onCancel != nil {
 		s.onCancel()
 	}
-	s.g.addConsumer(s.req.Sensor, -1)
+	s.g.addConsumer(consumerTopic(s.req), -1)
 }
 
 // Float64 returns a pointer to v, for building threshold requests.

@@ -77,6 +77,10 @@ func (g *Gateway) EnableSummary(sensorName, event, field string, windows ...time
 }
 
 // Summary returns the windowed statistics for a summarized series.
+// With snapshots enabled (EnableSnapshots) it serves the precomputed
+// points from the summary snapshot — no summary-table lock — at up to
+// the configured staleness; series the snapshot does not hold yet fall
+// back to the locked table.
 func (g *Gateway) Summary(principal, sensorName, event, field string) ([]SummaryPoint, error) {
 	if field == "" {
 		field = "VAL"
@@ -84,8 +88,17 @@ func (g *Gateway) Summary(principal, sensorName, event, field string) ([]Summary
 	if err := g.authorize(principal, sensorName, auth.ActionSummary); err != nil {
 		return nil, err
 	}
+	key := summaryKey{sensorName, event, field}
+	if sc := g.snaps.Load(); sc != nil {
+		if pts, served := sc.summary(g, key); served {
+			sc.hits.Add(1)
+			return pts, nil
+		}
+		sc.misses.Add(1)
+	}
+	g.readShardLocks.Add(1)
 	g.sumMu.Lock()
-	e, ok := g.summaries[summaryKey{sensorName, event, field}]
+	e, ok := g.summaries[key]
 	g.sumMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("gateway: no summary for %s/%s/%s", sensorName, event, field)
@@ -126,14 +139,25 @@ func (st *summaryState) trimLocked(now time.Time) {
 	}
 }
 
+// points computes the window statistics. The state lock covers only a
+// memcpy of the sample window (sized outside it, re-growing on the
+// rare race with a concurrent publish); the windows × samples scan and
+// the result allocation run unlocked, so a publish folding into the
+// same series is never stalled behind a consumer's statistics pass.
 func (st *summaryState) points(now time.Time) []SummaryPoint {
+	windows := st.windows // immutable after construction
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]SummaryPoint, 0, len(st.windows))
-	for _, w := range st.windows {
+	n := len(st.samples)
+	st.mu.Unlock()
+	samples := make([]sample, 0, n+16)
+	st.mu.Lock()
+	samples = append(samples, st.samples...)
+	st.mu.Unlock()
+	out := make([]SummaryPoint, 0, len(windows))
+	for _, w := range windows {
 		cutoff := now.Add(-w)
 		pt := SummaryPoint{Window: w}
-		for _, s := range st.samples {
+		for _, s := range samples {
 			if s.t.Before(cutoff) {
 				continue
 			}
@@ -152,4 +176,104 @@ func (st *summaryState) points(now time.Time) []SummaryPoint {
 		out = append(out, pt)
 	}
 	return out
+}
+
+// SummarySample is one drained sample of a summarized series, in
+// handoff-portable form (UTC microseconds since the epoch — the ULM
+// DATE precision).
+type SummarySample struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// SummarySeries is one summarized series' full window state, the unit
+// a rebalancing handoff moves: re-enabling the summary at the new
+// owner with these windows and seeding these samples reproduces the
+// old owner's Summary answers instead of rebuilding them from scratch
+// over the next window-length of traffic.
+type SummarySeries struct {
+	Event     string          `json:"event"`
+	Field     string          `json:"field"`
+	WindowsMS []int64         `json:"windows_ms"`
+	Samples   []SummarySample `json:"samples,omitempty"`
+}
+
+// drainSummaries removes and returns every summarized series of
+// sensor: the taps are cancelled and the sample windows extracted, so
+// the drained state has exactly one owner from here on.
+func (g *Gateway) drainSummaries(sensor string) []SummarySeries {
+	g.sumMu.Lock()
+	var drained []*summaryEntry
+	var keys []summaryKey
+	for key, e := range g.summaries {
+		if key.sensor != sensor {
+			continue
+		}
+		keys = append(keys, key)
+		drained = append(drained, e)
+		delete(g.summaries, key)
+	}
+	g.sumMu.Unlock()
+	out := make([]SummarySeries, 0, len(drained))
+	for i, e := range drained {
+		e.tap.Cancel()
+		e.st.mu.Lock()
+		samples := append([]sample(nil), e.st.samples...)
+		e.st.mu.Unlock()
+		s := SummarySeries{Event: keys[i].event, Field: keys[i].field}
+		for _, w := range e.st.windows {
+			s.WindowsMS = append(s.WindowsMS, w.Milliseconds())
+		}
+		for _, sm := range samples {
+			s.Samples = append(s.Samples, SummarySample{T: sm.t.UnixMicro(), V: sm.v})
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+// SeedSummaries installs handed-off summary state for sensor: each
+// series is (re-)enabled with its drained windows and its sample
+// window is merged in, so the new owner's Summary answers continue
+// where the old owner's stopped instead of starting empty. Samples
+// older than the largest window are dropped on merge.
+func (g *Gateway) SeedSummaries(sensor string, series []SummarySeries) {
+	now := g.now()
+	for _, s := range series {
+		windows := make([]time.Duration, 0, len(s.WindowsMS))
+		for _, ms := range s.WindowsMS {
+			windows = append(windows, time.Duration(ms)*time.Millisecond)
+		}
+		g.EnableSummary(sensor, s.Event, s.Field, windows...)
+		field := s.Field
+		if field == "" {
+			field = "VAL"
+		}
+		g.sumMu.Lock()
+		e, ok := g.summaries[summaryKey{sensor, s.Event, field}]
+		g.sumMu.Unlock()
+		if !ok {
+			continue
+		}
+		e.st.seedSamples(now, s.Samples)
+	}
+}
+
+// seedSamples merges handed-off samples into the window. The live tap
+// may already have folded newer samples, so the merged window is
+// re-sorted by time and trimmed.
+func (st *summaryState) seedSamples(now time.Time, in []SummarySample) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, s := range in {
+		st.samples = append(st.samples, sample{time.UnixMicro(s.T).UTC(), s.V})
+	}
+	sort.SliceStable(st.samples, func(i, j int) bool { return st.samples[i].t.Before(st.samples[j].t) })
+	st.trimLocked(now)
 }

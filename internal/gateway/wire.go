@@ -90,6 +90,12 @@ type wireRequest struct {
 	// the sensor's primary gateway: ingested without firing
 	// registration hooks and never re-forwarded to the replica set.
 	Replica bool `json:"replica,omitempty"`
+	// Summaries and Agg carry drained summary windows and the opaque
+	// aggregate contribution on an op=seed_state request — the second
+	// half of a rebalancing handoff, seeding the new owner with the
+	// state the old owner drained instead of rebuilding it.
+	Summaries []SummarySeries `json:"summaries,omitempty"`
+	Agg       string          `json:"agg,omitempty"`
 	Request
 }
 
@@ -113,8 +119,13 @@ type wireResponse struct {
 	// Version answers an op=hello handshake: the negotiated wire
 	// protocol version the connection speaks from here on.
 	Version int `json:"version,omitempty"`
-	// Meta carries the drained sensor's metadata on a handoff response.
-	Meta *Meta `json:"meta,omitempty"`
+	// Meta carries the drained sensor's metadata on a handoff response;
+	// Summaries its summary windows and Agg its opaque in-window
+	// aggregate contribution, so the new owner continues the old
+	// owner's answers instead of rebuilding them.
+	Meta      *Meta           `json:"meta,omitempty"`
+	Summaries []SummarySeries `json:"summaries,omitempty"`
+	Agg       string          `json:"agg,omitempty"`
 	// Coverage answers an op=coverage request: the gateway archive's
 	// per-segment time spans for the requested sensor.
 	Coverage []histstore.Span `json:"coverage,omitempty"`
@@ -557,13 +568,14 @@ func (t *TCPServer) handle(req wireRequest) wireResponse {
 		if err := t.gw.authorize(req.Principal, req.Sensor, auth.ActionControl); err != nil {
 			return wireResponse{Error: err.Error()}
 		}
-		meta, recs, ok := t.gw.Handoff(req.Sensor)
+		st, ok := t.gw.Handoff(req.Sensor)
 		if !ok {
 			return wireResponse{OK: true}
 		}
-		resp := wireResponse{OK: true, Found: true, Sensor: req.Sensor, Meta: &meta}
-		for i := range recs {
-			payload, err := encodeRecord(req.Format, recs[i])
+		resp := wireResponse{OK: true, Found: true, Sensor: req.Sensor, Meta: &st.Meta,
+			Summaries: st.Summaries, Agg: st.Agg}
+		for i := range st.Recs {
+			payload, err := encodeRecord(req.Format, st.Recs[i])
 			if err != nil {
 				// The state is already drained; a payload the format
 				// cannot carry must fail loudly, not vanish.
@@ -572,6 +584,17 @@ func (t *TCPServer) handle(req wireRequest) wireResponse {
 			resp.Recs = append(resp.Recs, wireEvent{Sensor: req.Sensor, Rec: payload})
 		}
 		return resp
+	case "seed_state":
+		// The receiving half of a rebalancing move: install the drained
+		// summary windows and aggregate contribution for the sensor this
+		// gateway is about to own. Control-plane verb, control-plane
+		// authorization, like handoff.
+		if err := t.gw.authorize(req.Principal, req.Sensor, auth.ActionControl); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		t.gw.SeedSummaries(req.Sensor, req.Summaries)
+		t.gw.SeedAggregate(req.Sensor, req.Agg)
+		return wireResponse{OK: true}
 	case "coverage":
 		hist := t.hist.Load()
 		if hist == nil {
@@ -968,28 +991,44 @@ func (c *Client) List() ([]SensorInfo, error) {
 }
 
 // Handoff drains one sensor's state from the gateway for a rebalancing
-// move: the sensor's metadata and last-event cache come back and the
-// remote gateway unregisters it (withdrawing its directory
-// advertisement). found is false when the sensor was not live there.
-func (c *Client) Handoff(sensor string) (meta Meta, recs []ulm.Record, found bool, err error) {
+// move: the sensor's metadata, last-event cache, summary windows and
+// aggregate contribution come back and the remote gateway unregisters
+// it (withdrawing its directory advertisement). found is false when
+// the sensor was not live there.
+func (c *Client) Handoff(sensor string) (st HandoffState, found bool, err error) {
 	resp, err := c.roundTrip(wireRequest{Op: "handoff", Request: Request{Sensor: sensor}})
 	if err != nil {
-		return Meta{}, nil, false, err
+		return HandoffState{}, false, err
 	}
 	if !resp.Found {
-		return Meta{}, nil, false, nil
+		return HandoffState{}, false, nil
 	}
 	if resp.Meta != nil {
-		meta = *resp.Meta
+		st.Meta = *resp.Meta
 	}
+	st.Summaries = resp.Summaries
+	st.Agg = resp.Agg
 	for _, ev := range resp.Recs {
 		rec, derr := decodeRecord(FormatULM, ev.Rec)
 		if derr != nil {
-			return meta, recs, true, derr
+			return st, true, derr
 		}
-		recs = append(recs, rec)
+		st.Recs = append(st.Recs, rec)
 	}
-	return meta, recs, true, nil
+	return st, true, nil
+}
+
+// SeedState installs drained summary windows and an aggregate
+// contribution at the gateway — the seeding half of a rebalancing
+// move, sent to the sensor's new owner after Handoff drained its old
+// one.
+func (c *Client) SeedState(sensor string, summaries []SummarySeries, agg string) error {
+	if len(summaries) == 0 && agg == "" {
+		return nil
+	}
+	_, err := c.roundTrip(wireRequest{Op: "seed_state", Summaries: summaries, Agg: agg,
+		Request: Request{Sensor: sensor}})
+	return err
 }
 
 // Coverage fetches the gateway archive's per-segment time spans for

@@ -1,0 +1,48 @@
+package router
+
+import (
+	"fmt"
+
+	"jamm/internal/aggregate"
+	"jamm/internal/bus"
+	"jamm/internal/gateway"
+	"jamm/internal/ulm"
+)
+
+// AggregateSubscribe opens one aggregate subscription per gateway of
+// the ring — {Sensor: aggregate.TopicPrefix, Prefix: true}, riding the
+// same reconnecting bridge fan-in as any site-wide subscription — and
+// merges the per-gateway `_agg/` streams into the site-wide view:
+// counts and rates sum (sensors are partitioned across gateways, so
+// sums never double-count), top-k lists merge by summing per-sensor
+// counts, and quantile sketches combine bucket-wise. fn (which may be
+// nil) receives the updated merged view after every folded aggregate
+// record; the returned Site answers polled View() calls. The wire cost
+// is a few records per gateway per emit period no matter how many
+// sensors or raw records the site carries — the read-side fan-in dual
+// of the write-side sharding.
+func (r *Router) AggregateSubscribe(fn func(aggregate.SiteView)) (site *aggregate.Site, stop func(), err error) {
+	nodes := r.Ring().Nodes()
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("router: aggregate subscribe on empty ring")
+	}
+	site = aggregate.NewSite()
+	local := bus.New(bus.Options{})
+	sub := local.Subscribe("", nil, func(rec ulm.Record) {
+		if site.Observe(rec) && fn != nil {
+			fn(site.View())
+		}
+	})
+	req := gateway.Request{
+		Principal: r.opts.Principal,
+		Sensor:    aggregate.TopicPrefix,
+		Prefix:    true,
+	}
+	bridges := r.mirror(local, req)
+	return site, func() {
+		for _, b := range bridges {
+			b.Close()
+		}
+		sub.Cancel()
+	}, nil
+}

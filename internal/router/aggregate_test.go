@@ -1,0 +1,168 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"jamm/internal/aggregate"
+	"jamm/internal/ring"
+	"jamm/internal/ulm"
+)
+
+// TestAggregateSubscribeSiteWide: one AggregateSubscribe merges the
+// per-gateway `_agg/` streams of the whole site — counts sum across
+// gateways, top-k re-ranks the union, quantile sketches combine.
+func TestAggregateSubscribeSiteWide(t *testing.T) {
+	site := startSite(t, 2)
+	var aggs []*aggregate.Aggregator
+	for _, gw := range site.gws {
+		a := aggregate.New(gw, aggregate.Options{Window: time.Minute, Emit: -1, TopK: 4})
+		t.Cleanup(a.Close)
+		aggs = append(aggs, a)
+	}
+	rt := site.router(t)
+
+	merged, stop, err := rt.AggregateSubscribe(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Sensors partitioned by hand: each gateway ingests its own set.
+	perGW := [][]struct {
+		name string
+		n    int
+	}{
+		{{"cpu0", 25}, {"mem0", 10}},
+		{{"cpu1", 40}, {"mem1", 5}},
+	}
+	for i, sensors := range perGW {
+		for _, s := range sensors {
+			for j := 0; j < s.n; j++ {
+				site.gws[i].Publish(s.name, mkRec("E", time.Duration(j)*time.Millisecond, float64(j)))
+			}
+		}
+	}
+
+	// Bus delivery has no replay: emit on every poll so the mirrors
+	// catch an emission once their bridges finish connecting, and wait
+	// until all three kinds arrived from both gateways.
+	waitFor(t, "site-wide aggregate merge", func() bool {
+		for _, a := range aggs {
+			a.EmitNow()
+		}
+		v := merged.View()
+		return v.Gateways == 2 &&
+			v.Count != nil && v.Count.Count == 80 &&
+			v.TopK != nil && v.Quantile != nil && v.Quantile.N == 80
+	})
+	v := merged.View()
+	if v.Count.Sensors != 4 {
+		t.Fatalf("merged sensors = %d, want 4", v.Count.Sensors)
+	}
+	if len(v.TopK.Top) == 0 ||
+		v.TopK.Top[0] != (aggregate.SensorCount{Sensor: "cpu1", Count: 40}) {
+		t.Fatalf("merged topk = %+v", v.TopK)
+	}
+}
+
+// TestRebalanceMovesSummaryAndAggregateState: a handoff carries the
+// sensor's summary windows and in-window aggregate counts to the new
+// owner, which continues answering instead of rebuilding over the next
+// window-length of traffic.
+func TestRebalanceMovesSummaryAndAggregateState(t *testing.T) {
+	site := startSite(t, 2)
+	var aggs []*aggregate.Aggregator
+	for _, gw := range site.gws {
+		a := aggregate.New(gw, aggregate.Options{Window: time.Minute, Emit: -1})
+		t.Cleanup(a.Close)
+		aggs = append(aggs, a)
+	}
+	rt := site.router(t)
+
+	// Summary windows and aggregate slots run on the gateways' wall
+	// clock, so the records must be dated now-ish (epoch-dated samples
+	// would fall outside every window).
+	start := time.Now()
+	nowRec := func(i int) ulm.Record {
+		rec := mkRec("E", 0, float64(i))
+		rec.Date = start.Add(time.Duration(i) * time.Millisecond)
+		return rec
+	}
+
+	const sensor = "dpss.block.read"
+	if err := rt.Publish(sensor, nowRec(0)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Flush() //nolint:errcheck
+	var oldIdx int
+	waitFor(t, "ownership advertised", func() bool {
+		owner := rt.Owner(sensor)
+		if owner == "" {
+			return false
+		}
+		oldIdx = site.gwIndex(t, owner)
+		return true
+	})
+	site.gws[oldIdx].EnableSummary(sensor, "E", "VAL", time.Minute)
+	for i := 1; i <= 20; i++ {
+		if err := rt.Publish(sensor, nowRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Flush() //nolint:errcheck
+	// >= 20: the first publish may also fold, if its async flush landed
+	// after the summary tap was installed.
+	waitFor(t, "records ingested at the owner", func() bool {
+		pts, err := site.gws[oldIdx].Summary("", sensor, "E", "VAL")
+		return err == nil && len(pts) == 1 && pts[0].Count >= 20
+	})
+
+	// Shrink the membership to just the other gateway: the sensor must
+	// re-home, dragging its summary windows and aggregate counts along.
+	newIdx := 1 - oldIdx
+	moved, err := rt.Rebalance(ring.New([]string{site.addrs[newIdx]}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+
+	// The old owner no longer answers for the sensor at all.
+	if _, err := site.gws[oldIdx].Summary("", sensor, "E", "VAL"); err == nil {
+		t.Fatal("old owner still answers Summary after handoff")
+	}
+
+	// The new owner's summary was seeded with the drained windows — the
+	// full pre-move count, not a cold restart. (The re-published records
+	// are the last-event cache, one per event, so a rebuilt-from-scratch
+	// summary could hold at most 1 sample.)
+	waitFor(t, "summary continued at the new owner", func() bool {
+		pts, err := site.gws[newIdx].Summary("", sensor, "E", "VAL")
+		return err == nil && len(pts) == 1 && pts[0].Count >= 20
+	})
+
+	// The aggregate window moved too: the new owner's next emit carries
+	// the sensor's full in-window volume (the 21 drained publishes, and
+	// possibly one more from the handoff re-ingest of the last-event
+	// cache) — observed through the site-wide subscription.
+	sub, stop2, err := rt.AggregateSubscribe(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	waitFor(t, "aggregate window continued at the new owner", func() bool {
+		aggs[newIdx].EmitNow()
+		v := sub.View()
+		if v.TopK == nil {
+			return false
+		}
+		for _, sc := range v.TopK.Top {
+			if sc.Sensor == sensor && sc.Count >= 21 {
+				return true
+			}
+		}
+		return false
+	})
+}

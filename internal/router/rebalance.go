@@ -51,7 +51,7 @@ func (r *Router) Rebalance(newRing *ring.Ring) (moved int, err error) {
 		if oldOwner == "" || oldOwner == newOwner {
 			continue
 		}
-		_, recs, found, herr := r.client(oldOwner).Handoff(sensor)
+		st, found, herr := r.client(oldOwner).Handoff(sensor)
 		r.owners.Delete(sensor)
 		if herr != nil {
 			// Old owner unreachable — likely the very death that
@@ -61,7 +61,7 @@ func (r *Router) Rebalance(newRing *ring.Ring) (moved int, err error) {
 			moved++
 			continue
 		}
-		if found && len(recs) > 0 {
+		if found && len(st.Recs) > 0 {
 			// Primary ingest at the new owner: registers the sensor
 			// there (firing its announcer) and seeds its last-event
 			// cache with the drained state. Flushed synchronously — a
@@ -69,8 +69,17 @@ func (r *Router) Rebalance(newRing *ring.Ring) (moved int, err error) {
 			// handoff buffered into a dead connection would silently
 			// lose the drained state — with one retry on a fresh
 			// connection.
-			if serr := r.seedOwner(newOwner, sensor, recs); serr != nil && firstErr == nil {
+			if serr := r.seedOwner(newOwner, sensor, st.Recs); serr != nil && firstErr == nil {
 				firstErr = fmt.Errorf("router: rebalance %s to %s: %w", sensor, newOwner, serr)
+			}
+		}
+		if found && (len(st.Summaries) > 0 || st.Agg != "") {
+			// The drained summary windows and aggregate contribution move
+			// with the sensor — the new owner continues the old owner's
+			// Summary and aggregate answers instead of rebuilding them
+			// over the next window-length of traffic.
+			if serr := r.client(newOwner).SeedState(sensor, st.Summaries, st.Agg); serr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("router: rebalance %s to %s: seed state: %w", sensor, newOwner, serr)
 			}
 		}
 		r.promoteTo(sensor, newOwner)

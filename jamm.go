@@ -37,6 +37,7 @@ import (
 	"crypto/tls"
 	"time"
 
+	"jamm/internal/aggregate"
 	"jamm/internal/archive"
 	"jamm/internal/auth"
 	"jamm/internal/bridge"
@@ -125,6 +126,9 @@ type (
 	SummaryPoint = gateway.SummaryPoint
 	// DeliverMode selects gateway-side filtering.
 	DeliverMode = gateway.DeliverMode
+	// SnapshotOptions tunes the gateway's wait-free read snapshots
+	// (Gateway.EnableSnapshots).
+	SnapshotOptions = gateway.SnapshotOptions
 )
 
 // Event bus (internal/bus): the sharded publish/subscribe core under
@@ -335,6 +339,50 @@ func NewAnnouncer(dir SiteDirectory, base DN, gatewayName, addr string) *Announc
 // grids create per-site gateways via AddSite). now supplies
 // summary-window time; nil means the wall clock.
 func NewGateway(name string, now func() time.Time) *Gateway { return gateway.New(name, now) }
+
+// Streaming aggregation plane (internal/aggregate): windowed aggregates
+// computed gateway-side from bus taps and published as synthetic
+// `_agg/...` topics, so one aggregate subscription replaces N raw ones;
+// AggregateSite merges the per-gateway streams into a site-wide view
+// (Router.AggregateSubscribe does this across a sharded site).
+type (
+	// Aggregator computes sliding-window aggregates on one gateway.
+	Aggregator = aggregate.Aggregator
+	// AggregatorOptions configures an Aggregator.
+	AggregatorOptions = aggregate.Options
+	// AggregateSite merges per-gateway `_agg/` streams site-wide.
+	AggregateSite = aggregate.Site
+	// AggregateSiteView is the merged site-wide aggregate state.
+	AggregateSiteView = aggregate.SiteView
+	// AggregateCount is one decoded AGG_COUNT point.
+	AggregateCount = aggregate.CountPoint
+	// AggregateTopK is one decoded AGG_TOPK point.
+	AggregateTopK = aggregate.TopKPoint
+	// AggregateQuantile is one decoded AGG_QUANT point.
+	AggregateQuantile = aggregate.QuantilePoint
+	// QuantileSketch is a mergeable relative-error quantile sketch.
+	QuantileSketch = aggregate.Sketch
+)
+
+// AggregateTopicPrefix namespaces the synthetic aggregate topics; a
+// prefix subscription on it ({Sensor: AggregateTopicPrefix, Prefix:
+// true}) receives every aggregate stream a gateway publishes.
+const AggregateTopicPrefix = aggregate.TopicPrefix
+
+// NewAggregator attaches a streaming aggregator to gw; Close detaches.
+func NewAggregator(gw *Gateway, opts AggregatorOptions) *Aggregator {
+	return aggregate.New(gw, opts)
+}
+
+// NewAggregateSite returns an empty site-wide aggregate merger.
+func NewAggregateSite() *AggregateSite { return aggregate.NewSite() }
+
+// NewAggregateMirror bridges a remote gateway's `_agg/` topics into a
+// local bus or gateway — how replica fan-out gateways re-export a
+// site's aggregate streams to their own subscribers.
+func NewAggregateMirror(client *GatewayClient, target BridgeTarget, opts BridgeOptions) *Bridge {
+	return bridge.NewAggregateMirror(client, target, opts)
+}
 
 // Delivery modes.
 const (
