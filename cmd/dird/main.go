@@ -14,12 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"jamm/internal/directory"
+	"jamm/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 	replicateFrom := flag.String("replicate-from", "", "primary directory address to replicate from (implies read-only)")
 	var referrals multiFlag
 	flag.Var(&referrals, "refer", "subtree referral as baseDN=address (repeatable)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP listen address serving /metrics, /healthz, /readyz, and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	var backend directory.Backend
@@ -64,6 +68,28 @@ func main() {
 		log.Fatalf("dird: %v", err)
 	}
 	fmt.Printf("dird: %s serving %s backend on %s\n", *name, *backendKind, tcp.Addr())
+
+	// Ops endpoint: liveness/readiness and pprof. The readiness check
+	// round-trips a wire ping through the public listener, so /readyz
+	// fails when the directory stops answering real clients.
+	if *opsAddr != "" {
+		health := telemetry.NewHealth()
+		health.AddCheck("wire", func() error {
+			return directory.NewClient(*name+"/ops", tcp.Addr()).Ping()
+		})
+		opsSrv := &http.Server{Handler: telemetry.NewOpsHandler(telemetry.NewRegistry(), health, nil)}
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			log.Fatalf("dird: ops listen: %v", err)
+		}
+		defer opsSrv.Close()
+		fmt.Printf("dird: ops endpoint on http://%s/healthz\n", ln.Addr())
+		go func() {
+			if err := opsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("dird: ops server: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

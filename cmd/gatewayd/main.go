@@ -38,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +54,8 @@ import (
 	"jamm/internal/histstore"
 	"jamm/internal/ring"
 	"jamm/internal/router"
+	"jamm/internal/telemetry"
+	"jamm/internal/ulm"
 )
 
 func main() {
@@ -70,6 +74,10 @@ func main() {
 	archiveSync := flag.Bool("archive-sync", false, "fsync the archive after every appended batch (durability vs. throughput)")
 	wireProto := flag.String("wire-proto", "auto", "wire protocol policy: auto (negotiate binary v2, serve both), json (pin server and peer bridges to JSON-per-line), v2 (peer bridges refuse to degrade)")
 	snapRefresh := flag.Duration("snapshot-refresh", 0, "read-side snapshot staleness bound: queries/listings/summaries serve from wait-free snapshots at most this stale (0 = snapshots disabled, reads take shard locks)")
+	snapBG := flag.Bool("snapshot-bg", false, "refresh snapshots from a background ticker instead of on the read path, so warm reads are a pure atomic load")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP listen address serving /metrics, /healthz, /readyz, /trace, and /debug/pprof (empty = disabled)")
+	traceSample := flag.Int("trace-sample", 1024, "stamp a JAMM.TRACE attribute on one in every N published batches for end-to-end hop tracing (0 = off)")
+	sysEmit := flag.Duration("sys-emit", 0, "republish the metrics registry as _sys/<name>/metrics records every period (0 = off)")
 	aggregateOn := flag.Bool("aggregate", false, "stream windowed aggregates (rate, top-k sensors, field quantiles) as synthetic _agg/ topics")
 	aggWindow := flag.Duration("aggregate-window", 10*time.Second, "sliding window the aggregates cover")
 	aggEmit := flag.Duration("aggregate-emit", time.Second, "aggregate republish period")
@@ -106,8 +114,21 @@ func main() {
 		gw.StartAsync(*async)
 	}
 	if *snapRefresh > 0 {
-		gw.EnableSnapshots(gateway.SnapshotOptions{MaxStale: *snapRefresh})
+		gw.EnableSnapshots(gateway.SnapshotOptions{MaxStale: *snapRefresh, BackgroundRefresh: *snapBG})
 	}
+
+	// Telemetry plane: one registry of every subsystem's counters, a
+	// sampled record tracer, and (when -ops-addr is set) an HTTP
+	// endpoint exposing them. The tracer is attached even without the
+	// endpoint so stage latencies accumulate and relayed JAMM.TRACE
+	// attributes keep their hop counts honest.
+	reg := telemetry.NewRegistry()
+	tlog := telemetry.NewTraceLog(1024)
+	tracer := telemetry.NewTracer(*name, *traceSample, tlog)
+	tracer.RegisterStages(reg, "ingest", "bus", "wire", "relay", "mirror", "forward")
+	gw.SetTracer(tracer)
+	gw.Bus().SetDeliverObserver(func(n int, d time.Duration) { tracer.Observe("bus", d) })
+	reg.Register(gw.MetricsSource())
 	var agg *aggregate.Aggregator
 	if *aggregateOn {
 		agg = aggregate.New(gw, aggregate.Options{
@@ -146,6 +167,8 @@ func main() {
 			BatchMax:  *batch,
 		})
 		gw.SetForwarder(rep)
+		rep.SetTracer(tracer)
+		reg.Register(rep.MetricsSource())
 	}
 
 	// Directory-advertised ownership: every sensor registered at this
@@ -154,8 +177,9 @@ func main() {
 	// starts so even the first wire publish's implicit registration is
 	// advertised.
 	var ann *router.Announcer
+	var dirClient *directory.Client
 	if len(dirs) > 0 {
-		dirClient := directory.NewClient("gatewayd/"+*name, dirs...)
+		dirClient = directory.NewClient("gatewayd/"+*name, dirs...)
 		ann = router.NewAnnouncer(dirClient, directory.DN(*dirBase), *name, *advertise)
 		if *replicas > 1 {
 			// Ownership entries carry the replica ladder alongside the
@@ -197,6 +221,7 @@ func main() {
 		// cache is gone — a freshly rejoined replica answers from disk
 		// while anti-entropy repopulates it.
 		gw.SetHistoryFallback(hist)
+		reg.Register(hist.MetricsSource())
 	}
 
 	srv, err := gateway.ServeTCP(gw, *addr, nil)
@@ -207,14 +232,21 @@ func main() {
 	if clientProto == gateway.ProtoJSON {
 		srv.SetMaxVersion(1)
 	}
+	reg.Register(srv.MetricsSource())
+	if agg != nil {
+		reg.Register(agg.MetricsSource())
+	}
 
 	var bridges []*bridge.Bridge
 	for _, peer := range peers {
 		c := gateway.NewClient("gatewayd/"+*name, peer)
 		c.Protocol = clientProto
-		bridges = append(bridges, bridge.New(c, gw, bridge.Options{
+		b := bridge.New(c, gw, bridge.Options{
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
-		}))
+		})
+		b.SetTracer(tracer)
+		reg.Register(b.MetricsSource(peer))
+		bridges = append(bridges, b)
 	}
 	// Aggregate-only peers: mirror just the upstream's _agg/ topics
 	// (a few records per emit period) into the local bus, so consumers
@@ -223,9 +255,12 @@ func main() {
 	for _, peer := range aggPeers {
 		c := gateway.NewClient("gatewayd/"+*name, peer)
 		c.Protocol = clientProto
-		bridges = append(bridges, bridge.NewAggregateMirror(c, gw.Bus(), bridge.Options{
+		b := bridge.NewAggregateMirror(c, gw.Bus(), bridge.Options{
 			BatchMax: *batch, BatchWait: 2 * time.Millisecond,
-		}))
+		})
+		b.SetTracer(tracer)
+		reg.Register(b.MetricsSource(peer + "#agg"))
+		bridges = append(bridges, b)
 	}
 	// Rejoin anti-entropy: a gateway (re)starting into a replicated
 	// site may have an archive gap covering its downtime — its sensors'
@@ -250,6 +285,50 @@ func main() {
 		}()
 	}
 
+	// Ops endpoint: Prometheus-text metrics, liveness/readiness, the
+	// trace event log, and pprof, on a separate listener so operator
+	// traffic never competes with the wire protocol.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		health := telemetry.NewHealth()
+		if dirClient != nil {
+			dc := dirClient
+			health.AddCheck("directory", func() error { return dc.Ping() })
+		}
+		if len(peers) > 0 {
+			bs := bridges[:len(peers)]
+			health.AddCheck("bridges", func() error {
+				for i, b := range bs {
+					if !b.Connected() {
+						return fmt.Errorf("peer %s disconnected", peers[i])
+					}
+				}
+				return nil
+			})
+		}
+		opsSrv = &http.Server{Addr: *opsAddr, Handler: telemetry.NewOpsHandler(reg, health, tlog)}
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			log.Fatalf("gatewayd: ops listen: %v", err)
+		}
+		fmt.Printf("gatewayd: ops endpoint on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := opsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("gatewayd: ops server: %v", err)
+			}
+		}()
+	}
+
+	// Metrics republisher: the registry folded into _sys/<name>/metrics
+	// records each period, so the monitoring system monitors itself
+	// through its own event plane (subscribe, archive, aggregate).
+	var sysRep *telemetry.Republisher
+	if *sysEmit > 0 {
+		sysRep = telemetry.NewRepublisher(reg, *name, *sysEmit, func(sensor string, recs []ulm.Record) {
+			gw.PublishBatch(sensor, recs)
+		})
+	}
+
 	ringSize := 0
 	if siteRing != nil {
 		ringSize = siteRing.Len()
@@ -263,6 +342,11 @@ func main() {
 	// Drain, not drop: stop ingest (bridges + listener) first, flush
 	// every in-flight event through delivery while subscriber
 	// connections are still up, let their writers empty, then close.
+	if sysRep != nil {
+		// Stop self-monitoring first so no _sys/ records land after the
+		// event plane starts draining.
+		sysRep.Close()
+	}
 	for _, b := range bridges {
 		b.Close()
 	}
@@ -279,6 +363,10 @@ func main() {
 	srv.DrainSubscribers(5 * time.Second)
 	srv.Close()
 	gw.StopAsync()
+	gw.StopSnapshotRefresh()
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
 	if agg != nil {
 		agg.Close()
 	}

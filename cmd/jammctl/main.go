@@ -15,13 +15,23 @@
 // over the wire: -from/-to accept a ULM DATE (20000330112320.957943),
 // an RFC 3339 timestamp, "now", or a duration meaning that long ago
 // ("30m", "24h").
+//
+// trace reconstructs one sampled record's path across the site from the
+// gateways' ops endpoints (gatewayd -ops-addr): every hop that touched
+// the record reports its stage and latency, merged and printed in hop
+// order.
+//
+//	jammctl trace -id 4f2a9c01d3e8b756 -ops 127.0.0.1:9190 -ops 127.0.0.1:9191
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -31,11 +41,12 @@ import (
 	"jamm/internal/consumer"
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|agg|history|site|sensor-start|sensor-stop|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jammctl <lookup|list|query|subscribe|summary|agg|history|site|trace|sensor-start|sensor-stop|status> [flags]")
 	os.Exit(2)
 }
 
@@ -61,6 +72,8 @@ func main() {
 		cmdHistory(args)
 	case "site":
 		cmdSite(args)
+	case "trace":
+		cmdTrace(args)
 	case "sensor-start", "sensor-stop":
 		cmdControl(strings.TrimPrefix(cmd, "sensor-"), args)
 	case "status":
@@ -305,8 +318,9 @@ func cmdHistory(args []string) {
 func cmdSite(args []string) {
 	fs := flag.NewFlagSet("site", flag.ExitOnError)
 	ringFlag := fs.String("ring", "", "comma-separated gateway addresses of the site")
-	var gws multiFlag
+	var gws, opsAddrs multiFlag
 	fs.Var(&gws, "gw", "gateway address (repeatable; alternative to -ring)")
+	fs.Var(&opsAddrs, "ops", "ops endpoint address paired positionally with the gateway list; its /readyz is checked and a not-ready gateway fails the site (repeatable)")
 	fs.Parse(args) //nolint:errcheck
 	if *ringFlag != "" {
 		gws = append(gws, strings.Split(*ringFlag, ",")...)
@@ -314,13 +328,26 @@ func cmdSite(args []string) {
 	if len(gws) == 0 {
 		die(fmt.Errorf("site: no gateways (use -ring or -gw)"))
 	}
+	if len(opsAddrs) > 0 && len(opsAddrs) != len(gws) {
+		die(fmt.Errorf("site: %d -ops addresses for %d gateways (pair them positionally)", len(opsAddrs), len(gws)))
+	}
 	down := 0
-	for _, addr := range gws {
+	for i, addr := range gws {
 		c := gateway.NewClient("jammctl", addr)
 		if err := c.Ping(); err != nil {
 			fmt.Printf("%-22s DOWN  (%v)\n", addr, err)
 			down++
 			continue
+		}
+		// A gateway can answer the wire yet be degraded — directory
+		// unreachable, bridge down. The ops /readyz knows; a not-ready
+		// gateway names its failing checks and fails the site.
+		ready := ""
+		if len(opsAddrs) > 0 {
+			if err := readyz(opsAddrs[i]); err != nil {
+				ready = fmt.Sprintf("  NOT READY: %v", err)
+				down++
+			}
 		}
 		infos, err := c.List()
 		if err != nil {
@@ -358,10 +385,64 @@ func cmdSite(args []string) {
 			archive = fmt.Sprintf("archive=%d recs %s..%s", recs,
 				first.UTC().Format(time.RFC3339), last.UTC().Format(time.RFC3339))
 		}
-		fmt.Printf("%-22s up    sensors=%d mirrored=%d %s\n", addr, primary, mirrored, archive)
+		fmt.Printf("%-22s up    sensors=%d mirrored=%d %s%s\n", addr, primary, mirrored, archive, ready)
 	}
 	if down > 0 {
 		os.Exit(1)
+	}
+}
+
+// readyz round-trips one gateway's ops /readyz. A non-200 answer
+// becomes an error carrying the endpoint's failing-check lines, so the
+// operator sees which check failed, not just that one did.
+func readyz(addr string) error {
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + addr + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		detail := strings.Join(strings.Fields(string(body)), " ")
+		if detail == "" {
+			detail = resp.Status
+		}
+		return fmt.Errorf("%s", detail)
+	}
+	return nil
+}
+
+// cmdTrace reconstructs one sampled record's path across the site: ask
+// every gateway's ops endpoint for its trace events under the id, merge,
+// and print in hop order with per-stage latencies.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "trace id: the 16 hex digits of a record's JAMM.TRACE attribute")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-endpoint fetch timeout")
+	var ops multiFlag
+	fs.Var(&ops, "ops", "gateway ops endpoint address (repeatable; list every gateway the record may have crossed)")
+	fs.Parse(args) //nolint:errcheck
+	tid, err := strconv.ParseUint(*id, 16, 64)
+	if *id == "" || err != nil {
+		die(fmt.Errorf("trace: bad -id %q (want the 16 hex digits before the dash in JAMM.TRACE)", *id))
+	}
+	if len(ops) == 0 {
+		die(fmt.Errorf("trace: no ops endpoints (use -ops, repeatable)"))
+	}
+	evs, errs := telemetry.GatherTrace(ops, tid, *timeout)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "jammctl: trace:", e)
+	}
+	evs = telemetry.MergeTraceEvents(evs)
+	if len(evs) == 0 {
+		fmt.Printf("trace %016x: no events (unsampled id, evicted from the ring, or wrong gateways)\n", tid)
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %-8s %-16s %-24s %-30s %s\n", "HOP", "STAGE", "NODE", "SENSOR", "AT", "LATENCY")
+	for _, e := range evs {
+		fmt.Printf("%-4d %-8s %-16s %-24s %-30s %s\n",
+			e.Hop, e.Stage, e.Node, e.Sensor, e.At.UTC().Format(time.RFC3339Nano), time.Duration(e.LatencyNS))
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +44,7 @@ import (
 	"jamm/internal/router"
 	"jamm/internal/simhost"
 	"jamm/internal/simnet"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 	"jamm/internal/webui"
 )
@@ -62,6 +64,8 @@ func main() {
 	demo := flag.Bool("demo-workload", false, "run a synthetic CPU workload and periodic port-21 transfers")
 	httpAddr := flag.String("http", "", "serve the browser UI (tables/charts of §5.0) on this address, e.g. 127.0.0.1:8800")
 	wireProto := flag.String("wire-proto", "auto", "wire protocol policy: auto (negotiate binary v2), json (pin the embedded gateway and all outbound links to JSON-per-line), v2 (outbound links refuse to degrade)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP listen address serving /metrics, /healthz, /readyz, /trace, and /debug/pprof (empty = disabled)")
+	traceSample := flag.Int("trace-sample", 1024, "stamp a JAMM.TRACE attribute on one in every N published batches for end-to-end hop tracing (0 = off)")
 	flag.Parse()
 	if *configSrc == "" {
 		flag.Usage()
@@ -150,6 +154,18 @@ func main() {
 		gwSrv.SetMaxVersion(1)
 	}
 
+	// Telemetry plane for the embedded gateway: registry + sampled
+	// tracer, exposed on -ops-addr. The gateway source already folds in
+	// the bus families, so nothing else registers them.
+	treg := telemetry.NewRegistry()
+	tlog := telemetry.NewTraceLog(1024)
+	tracer := telemetry.NewTracer(*hostName, *traceSample, tlog)
+	tracer.RegisterStages(treg, "ingest", "bus", "wire", "relay", "mirror", "forward")
+	site.Gateway.SetTracer(tracer)
+	site.Gateway.Bus().SetDeliverObserver(func(n int, d time.Duration) { tracer.Observe("bus", d) })
+	treg.Register(site.Gateway.MetricsSource())
+	treg.Register(gwSrv.MetricsSource())
+
 	// Optional upstream forwarding: the whole local stream re-publishes
 	// upstream in batched wire frames, riding a batch subscription so a
 	// burst of local events costs one forwarding pass. With -ring the
@@ -180,6 +196,8 @@ func main() {
 				log.Fatalf("jammd: forward ring: %v", err)
 			}
 			defer rt.Close()
+			rt.SetTracer(tracer)
+			treg.Register(rt.MetricsSource())
 			sink = rt.PublishBatch
 			frameSink = rt.PublishFrame
 		} else {
@@ -241,9 +259,12 @@ func main() {
 	for _, peer := range peers {
 		c := gateway.NewClient("jammd/"+*hostName, peer)
 		c.Protocol = clientProto
-		mirrors = append(mirrors, bridge.New(c, site.Gateway, bridge.Options{
+		m := bridge.New(c, site.Gateway, bridge.Options{
 			BatchMax: 64, BatchWait: 2 * time.Millisecond,
-		}))
+		})
+		m.SetTracer(tracer)
+		treg.Register(m.MetricsSource(peer))
+		mirrors = append(mirrors, m)
 	}
 
 	// Control surface: the sensor manager as an activatable service.
@@ -292,6 +313,26 @@ func main() {
 			}
 		}()
 		fmt.Printf("jammd: browser UI on http://%s/\n", *httpAddr)
+	}
+
+	if *opsAddr != "" {
+		health := telemetry.NewHealth()
+		if *dirAddr != "" {
+			dc := directory.NewClient("jammd/"+*hostName+"/ops", *dirAddr)
+			health.AddCheck("directory", func() error { return dc.Ping() })
+		}
+		opsSrv := &http.Server{Handler: telemetry.NewOpsHandler(treg, health, tlog)}
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			log.Fatalf("jammd: ops listen: %v", err)
+		}
+		defer opsSrv.Close()
+		fmt.Printf("jammd: ops endpoint on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := opsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("jammd: ops server: %v", err)
+			}
+		}()
 	}
 
 	fmt.Printf("jammd: host %s gateway %s control %s\n", *hostName, gwSrv.Addr(), ctlSrv.Addr())

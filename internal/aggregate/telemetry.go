@@ -1,0 +1,12 @@
+package aggregate
+
+import "jamm/internal/telemetry"
+
+// MetricsSource adapts the aggregator's counters into telemetry metric
+// families.
+func (a *Aggregator) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		e.Counter("jamm_aggregate_folded_total", "Records folded into aggregate windows.", a.Folded())
+		e.Counter("jamm_aggregate_emitted_total", "Aggregate records republished per emit period.", a.Emitted())
+	})
+}

@@ -35,6 +35,7 @@ var DropCount = &Analyzer{
 var dropAccountedPackages = map[string]bool{
 	"bus": true, "gateway": true, "bridge": true,
 	"router": true, "histstore": true, "aggregate": true,
+	"telemetry": true,
 	"dropcount": true,
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"jamm/internal/aggregate"
 	"jamm/internal/gateway"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -140,6 +141,11 @@ type Bridge struct {
 	relayErrs     atomic.Uint64
 	connected     atomic.Bool
 
+	// tracer is the telemetry hook (SetTracer): when set, relays and
+	// mirrors feed the relay-stage latency histogram, and traced
+	// records get their hop bumped alongside JAMM.HOPS.
+	tracer atomic.Pointer[telemetry.Tracer]
+
 	// mu guards the live-stream set AND the finished-stream counter
 	// totals together: a finished stream's counters are folded into the
 	// totals in the same critical section that removes it from the live
@@ -207,6 +213,9 @@ func (b *Bridge) Stats() Stats {
 	b.mu.Unlock()
 	return st
 }
+
+// SetTracer attaches (or, with nil, detaches) the telemetry tracer.
+func (b *Bridge) SetTracer(t *telemetry.Tracer) { b.tracer.Store(t) }
 
 // Connected reports whether the bridge currently holds live
 // subscriptions to the remote gateway.
@@ -331,6 +340,17 @@ func (b *Bridge) relay(f *gateway.Frame) {
 		return
 	}
 	f.SetHops(hops + 1)
+	// Bump any in-frame trace attribute alongside the header hop. The
+	// ordering matters for cost: SetHops already re-checksummed, and
+	// BumpTrace re-checksums only when it actually patched, so the
+	// common untraced frame pays one CRC pass plus a needle scan while
+	// the rare sampled frame pays two.
+	f.BumpTrace()
+	tr := b.tracer.Load()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if err := b.frameTarget.PublishFrame(f); err != nil {
 		// The target needed the records decoded and they were garbage;
 		// counted here AND at the target, silent at neither.
@@ -339,6 +359,13 @@ func (b *Bridge) relay(f *gateway.Frame) {
 	}
 	b.relayedFrames.Add(1)
 	b.mirrored.Add(uint64(f.Count))
+	if tr != nil {
+		d := time.Since(t0)
+		tr.Observe("relay", d)
+		if id, hop, ok := f.Trace(); ok {
+			tr.Event(id, hop, f.Sensor, "relay", d)
+		}
+	}
 }
 
 // mirror republishes one received batch into the local target as a
@@ -358,8 +385,45 @@ func (b *Bridge) mirror(sensor string, recs []ulm.Record) {
 	if len(out) == 0 {
 		return
 	}
+	tr := b.tracer.Load()
+	var tid uint64
+	var thop int
+	traced := false
+	var t0 time.Time
+	if tr != nil {
+		for i := range out {
+			if id, hop, ok := bumpRecTrace(&out[i]); ok && !traced {
+				tid, thop, traced = id, hop, true
+			}
+		}
+		t0 = time.Now()
+	}
 	b.target.PublishBatch(b.opts.Prefix+sensor, out)
 	b.mirrored.Add(uint64(len(out)))
+	if tr != nil {
+		d := time.Since(t0)
+		tr.Observe("relay", d)
+		if traced {
+			tr.Event(tid, thop, sensor, "relay", d)
+		}
+	}
+}
+
+// bumpRecTrace increments a mirrored record's trace-attribute hop in
+// place — the decoded-path analogue of Frame.BumpTrace, bumping
+// exactly where withHops bumped JAMM.HOPS. Safe because withHops
+// already gave the record its own field slice.
+func bumpRecTrace(rec *ulm.Record) (id uint64, hop int, ok bool) {
+	v, present := rec.Get(telemetry.TraceField)
+	if !present {
+		return 0, 0, false
+	}
+	if id, hop, ok = telemetry.ParseTrace(v); !ok {
+		return 0, 0, false
+	}
+	hop++
+	rec.Set(telemetry.TraceField, telemetry.FormatTrace(id, hop))
+	return id, hop, true
 }
 
 func hopCount(rec ulm.Record) int {

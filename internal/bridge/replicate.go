@@ -7,6 +7,7 @@ import (
 
 	"jamm/internal/gateway"
 	"jamm/internal/ring"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -35,6 +36,11 @@ type Replicator struct {
 
 	replicated atomic.Uint64
 	shed       atomic.Uint64
+
+	// tracer is the telemetry hook (SetTracer): replica sends feed the
+	// mirror-stage latency histogram. Replica copies are terminal —
+	// the trace hop is NOT bumped, matching JAMM.HOPS.
+	tracer atomic.Pointer[telemetry.Tracer]
 }
 
 // ReplicatorOptions tunes a Replicator.
@@ -102,6 +108,9 @@ func NewReplicator(self string, rg *ring.Ring, k int, opts ReplicatorOptions) *R
 // ingests replicate to the new owner set. Existing links persist (an
 // address that stays a replica target keeps its queue).
 func (r *Replicator) SetRing(rg *ring.Ring) { r.ring.Store(rg) }
+
+// SetTracer attaches (or, with nil, detaches) the telemetry tracer.
+func (r *Replicator) SetTracer(t *telemetry.Tracer) { r.tracer.Store(t) }
 
 // Stats returns a snapshot of the replicator's counters.
 func (r *Replicator) Stats() ReplicatorStats {
@@ -309,15 +318,31 @@ func (l *replicaLink) run() {
 // send ships one drained batch, reporting whether the publisher is
 // still usable.
 func (l *replicaLink) send(pub *gateway.Publisher, items []repItem) bool {
+	tr := l.r.tracer.Load()
 	for i, it := range items {
 		var (
 			written int
 			err     error
+			t0      time.Time
 		)
+		if tr != nil {
+			t0 = time.Now()
+		}
 		if it.f != nil {
 			written, err = pub.PublishFrame(it.f)
 		} else {
 			written, err = pub.PublishBatch(it.sensor, it.recs)
+		}
+		if tr != nil {
+			d := time.Since(t0)
+			tr.Observe("mirror", d)
+			if it.f != nil {
+				if id, hop, ok := it.f.Trace(); ok {
+					tr.Event(id, hop, it.f.Sensor, "mirror", d)
+				}
+			} else if id, hop, ok := telemetry.RecordTrace(it.recs); ok {
+				tr.Event(id, hop, it.sensor, "mirror", d)
+			}
 		}
 		l.r.replicated.Add(uint64(written))
 		if err != nil {

@@ -1,0 +1,40 @@
+package bridge
+
+import (
+	"fmt"
+
+	"jamm/internal/telemetry"
+)
+
+// MetricsSource adapts one bridge's Stats into telemetry metric
+// families, labeled with the upstream peer so a gateway bridging
+// several peers registers one source per bridge without name
+// collisions.
+func (b *Bridge) MetricsSource(peer string) telemetry.Source {
+	lbl := fmt.Sprintf("{peer=%q}", peer)
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		st := b.Stats()
+		e.Counter("jamm_bridge_mirrored_total"+lbl, "Records republished into the local target.", st.Mirrored)
+		e.Counter("jamm_bridge_connects_total"+lbl, "Successful subscribe rounds (reconnects after the first).", st.Connects)
+		e.Counter("jamm_bridge_remote_drops_total"+lbl, "Slow-consumer drops reported by the remote server.", st.RemoteDrops)
+		e.Counter("jamm_bridge_decode_errors_total"+lbl, "Received payloads that failed local decode.", st.DecodeErrors)
+		e.Counter("jamm_bridge_loop_drops_total"+lbl, "Records dropped at the MaxHops limit.", st.LoopDrops)
+		e.Counter("jamm_bridge_relayed_frames_total"+lbl, "Wire frames forwarded on the zero-copy path.", st.RelayedFrames)
+		up := 0.0
+		if st.Connected {
+			up = 1
+		}
+		e.Gauge("jamm_bridge_connected"+lbl, "1 when the bridge holds live subscriptions.", up)
+	})
+}
+
+// MetricsSource adapts the replicator's Stats into telemetry metric
+// families.
+func (r *Replicator) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		st := r.Stats()
+		e.Counter("jamm_replicator_replicated_total", "Records handed to replica links' publishers.", st.Replicated)
+		e.Counter("jamm_replicator_shed_total", "Records dropped at a link's queue budget or by a failed send.", st.Shed)
+		e.Gauge("jamm_replicator_links", "Replica links open.", float64(st.Links))
+	})
+}

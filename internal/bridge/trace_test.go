@@ -1,0 +1,144 @@
+package bridge
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/gateway"
+	"jamm/internal/telemetry"
+	"jamm/internal/ulm"
+)
+
+// node is one gateway of the traced site: its own tracer, trace log,
+// and ops endpoint, the way gatewayd wires them.
+type traceNode struct {
+	tracer *telemetry.Tracer
+	ops    *httptest.Server
+}
+
+func newTraceNode(t *testing.T, name string, every int) *traceNode {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tlog := telemetry.NewTraceLog(256)
+	tr := telemetry.NewTracer(name, every, tlog)
+	tr.RegisterStages(reg, "ingest", "bus", "wire", "relay", "mirror", "forward")
+	ops := httptest.NewServer(telemetry.NewOpsHandler(reg, telemetry.NewHealth(), tlog))
+	t.Cleanup(ops.Close)
+	return &traceNode{tracer: tr, ops: ops}
+}
+
+func (n *traceNode) addr() string { return strings.TrimPrefix(n.ops.URL, "http://") }
+
+// TestTraceAcrossRelayChain reconstructs one record's path across a
+// 3-gateway relay chain A → B → C from the nodes' ops endpoints — the
+// `jammctl trace` flow. The trace attribute is stamped at A's ingest,
+// patched through B's zero-copy frame relay without a decode, and
+// every hop reports its stage with a latency.
+func TestTraceAcrossRelayChain(t *testing.T) {
+	gwA, srvA := startRemote(t)
+	gwB, srvB := startRemote(t)
+	gwC := gateway.New("tail", nil)
+
+	// every=1: every publish is sampled, so the one batch below traces.
+	nodeA := newTraceNode(t, "gw-a", 1)
+	nodeB := newTraceNode(t, "gw-b", 1)
+	nodeC := newTraceNode(t, "gw-c", 1)
+	gwA.SetTracer(nodeA.tracer) // ingest at A, wire at A's server
+	gwB.SetTracer(nodeB.tracer) // wire at B's server
+
+	brAB := New(gateway.NewClient("b-mirrors-a", srvA.Addr()), gwB, testOptions())
+	defer brAB.Close()
+	brAB.SetTracer(nodeB.tracer) // relay hop into B
+	brBC := New(gateway.NewClient("c-mirrors-b", srvB.Addr()), gwC, testOptions())
+	defer brBC.Close()
+	brBC.SetTracer(nodeC.tracer) // relay hop into C
+	if !brAB.WaitConnected(5*time.Second) || !brBC.WaitConnected(5*time.Second) {
+		t.Fatal("bridges never connected")
+	}
+
+	var mu sync.Mutex
+	var got []ulm.Record
+	if _, err := gwC.SubscribeBatch(gateway.Request{}, func(recs []ulm.Record) {
+		mu.Lock()
+		got = append(got, recs...)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	gwA.PublishBatch("cpu@h1", []ulm.Record{mkRec("E", 0, 1), mkRec("E", time.Second, 2)})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) >= 2
+		mu.Unlock()
+		if done || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The record that reached C carries the trace attribute at hop 2:
+	// stamped hop 0 at A, bumped by each of the two bridge relays.
+	mu.Lock()
+	var traceVal string
+	for _, r := range got {
+		if v, ok := r.Get(telemetry.TraceField); ok {
+			traceVal = v
+		}
+	}
+	mu.Unlock()
+	if traceVal == "" {
+		t.Fatal("no JAMM.TRACE attribute survived the chain")
+	}
+	id, hop, ok := telemetry.ParseTrace(traceVal)
+	if !ok || hop != 2 {
+		t.Fatalf("trace at C = %q, want hop 2", traceVal)
+	}
+
+	// Gather from all three ops endpoints, as jammctl trace does. The
+	// tail relay's event lands just after C's delivery, so poll.
+	addrs := []string{nodeA.addr(), nodeB.addr(), nodeC.addr()}
+	var evs []telemetry.TraceEvent
+	for time.Now().Before(deadline) {
+		var errs []string
+		evs, errs = telemetry.GatherTrace(addrs, id, 2*time.Second)
+		if len(errs) > 0 {
+			t.Fatalf("gather errors: %v", errs)
+		}
+		evs = telemetry.MergeTraceEvents(evs)
+		if len(evs) >= 5 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	want := []struct {
+		node, stage string
+		hop         int
+	}{
+		{"gw-a", "ingest", 0},
+		{"gw-a", "wire", 0},
+		{"gw-b", "relay", 1},
+		{"gw-b", "wire", 1},
+		{"gw-c", "relay", 2},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("merged %d trace events %+v, want %d", len(evs), evs, len(want))
+	}
+	for i, w := range want {
+		e := evs[i]
+		if e.Node != w.node || e.Stage != w.stage || e.Hop != w.hop {
+			t.Errorf("event %d = %s/%s hop %d, want %s/%s hop %d", i, e.Node, e.Stage, e.Hop, w.node, w.stage, w.hop)
+		}
+		if e.LatencyNS < 0 {
+			t.Errorf("event %d latency %d, want >= 0", i, e.LatencyNS)
+		}
+		if e.Sensor != "cpu@h1" {
+			t.Errorf("event %d sensor %q, want cpu@h1", i, e.Sensor)
+		}
+	}
+}

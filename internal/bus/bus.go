@@ -47,6 +47,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jamm/internal/ulm"
 )
@@ -144,6 +145,12 @@ type Bus struct {
 	asyncMu sync.Mutex
 	queues  atomic.Pointer[[]chan asyncItem]
 	workers sync.WaitGroup
+
+	// deliverObs, when set (SetDeliverObserver), is called after every
+	// deliverBatch with the batch size and the time the delivery pass
+	// took — the telemetry plane's bus-stage latency tap. Disabled, the
+	// hot path pays one atomic load.
+	deliverObs atomic.Pointer[func(recs int, d time.Duration)]
 }
 
 // New returns an empty bus.
@@ -217,6 +224,19 @@ func (b *Bus) Stats() Stats {
 		AsyncBatchRecords: b.asyncBatchRecs.Load(),
 		AsyncMaxBatch:     b.asyncMaxBatch.Load(),
 	}
+}
+
+// SetDeliverObserver installs (or, with nil, removes) a callback run
+// after every delivery pass with the batch size and the pass duration —
+// the telemetry plane's bus-stage latency tap. The observer runs on
+// publishing and async-worker goroutines and must be cheap and
+// non-blocking (a histogram observe, not I/O).
+func (b *Bus) SetDeliverObserver(fn func(recs int, d time.Duration)) {
+	if fn == nil {
+		b.deliverObs.Store(nil)
+		return
+	}
+	b.deliverObs.Store(&fn)
 }
 
 // Subscription is one subscriber's registration on the bus.
@@ -523,6 +543,13 @@ func (b *Bus) deliverBatch(topic string, recs []ulm.Record, single *ulm.Record) 
 		n = 1
 	}
 	b.published.Add(uint64(n))
+	if obs := b.deliverObs.Load(); obs != nil {
+		// The defer covers both the no-subscriber early return and the
+		// normal exit; its closure allocation is paid only with an
+		// observer attached.
+		t0 := time.Now()
+		defer func() { (*obs)(n, time.Since(t0)) }()
+	}
 	wild := b.loadWildcard()
 	sh := b.shard(topic)
 	sh.mu.Lock()

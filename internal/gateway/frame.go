@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -131,6 +132,101 @@ func (f *Frame) SetHops(h int) {
 	}
 	f.buf[wireFrameHdr+1] = byte(h)
 	binary.LittleEndian.PutUint32(f.buf[4:], crc32.ChecksumIEEE(f.buf[wireFrameHdr:]))
+}
+
+// traceNeedle is the ULM-binary encoding of a telemetry.TraceField
+// field head: uvarint key length (10), the key bytes, uvarint value
+// length (19 — the attribute value is fixed-width hex, so its encoded
+// length never changes). Searching the frame's record bytes for this
+// needle locates the trace value without decoding any record, the
+// same trick the header hops byte plays for loop suppression. The
+// literals mirror telemetry.TraceField/len(telemetry.FormatTrace(0,0))
+// without importing telemetry here (gateway already imports it
+// elsewhere, but frame.go stays self-describing like hopField does
+// for bridge.HopField).
+const traceNeedle = "\x0aJAMM.TRACE\x13"
+
+var traceNeedleBytes = []byte(traceNeedle)
+
+// traceHex reports whether every byte of s is a lowercase hex digit.
+func traceHex(s []byte) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// findTrace returns the offset of the 19-byte trace value within
+// f.buf, or -1. A needle match is confirmed by shape (16 hex, '-',
+// 2 hex) so the astronomically unlikely false positive — the needle
+// bytes appearing inside some other field's value — is rejected
+// rather than corrupted.
+func (f *Frame) findTrace() int {
+	rest := f.buf[f.recOff:]
+	base := f.recOff
+	for {
+		i := bytes.Index(rest, traceNeedleBytes)
+		if i < 0 {
+			return -1
+		}
+		v := rest[i+len(traceNeedle):]
+		if len(v) >= 19 && v[16] == '-' && traceHex(v[:16]) && traceHex(v[17:19]) {
+			return base + i + len(traceNeedle)
+		}
+		rest = rest[i+1:]
+		base += i + 1
+	}
+}
+
+// Trace returns the trace id and hop carried by the frame's sampled
+// record, if any, without decoding record bodies.
+func (f *Frame) Trace() (id uint64, hop int, ok bool) {
+	off := f.findTrace()
+	if off < 0 {
+		return 0, 0, false
+	}
+	v := f.buf[off : off+19]
+	for _, c := range v[:16] {
+		d := uint64(c - '0')
+		if c >= 'a' {
+			d = uint64(c-'a') + 10
+		}
+		id = id<<4 | d
+	}
+	hop = int(hexNib(v[17]))<<4 | int(hexNib(v[18]))
+	return id, hop, true
+}
+
+func hexNib(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// BumpTrace increments the hop portion of an in-frame trace attribute
+// in place and recomputes the payload CRC — the hops-byte relay trick
+// extended into the record bytes, possible because the attribute value
+// is fixed-width. Frames without a trace attribute (the common case;
+// tracing is sampled) return false without touching the CRC, so
+// untraced relays pay only the needle scan.
+func (f *Frame) BumpTrace() bool {
+	off := f.findTrace()
+	if off < 0 {
+		return false
+	}
+	hop := int(hexNib(f.buf[off+17]))<<4 | int(hexNib(f.buf[off+18]))
+	if hop >= maxFrameHops {
+		return false
+	}
+	hop++
+	const hexDigits = "0123456789abcdef"
+	f.buf[off+17] = hexDigits[hop>>4]
+	f.buf[off+18] = hexDigits[hop&0xf]
+	binary.LittleEndian.PutUint32(f.buf[4:], crc32.ChecksumIEEE(f.buf[wireFrameHdr:]))
+	return true
 }
 
 // Replica reports whether the frame carries a replicated copy (the

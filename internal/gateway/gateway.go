@@ -27,6 +27,7 @@ import (
 
 	"jamm/internal/auth"
 	"jamm/internal/bus"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -196,6 +197,12 @@ type Gateway struct {
 	// Replica-flagged ingest never reaches it — no replication loops.
 	fwd atomic.Pointer[Forwarder]
 
+	// tracer is the telemetry hook (SetTracer): when set, primary
+	// batch ingest feeds the ingest-stage latency histogram, and
+	// sampled batches are stamped with a JAMM.TRACE attribute that
+	// rides the record across hops for end-to-end path reconstruction.
+	tracer atomic.Pointer[telemetry.Tracer]
+
 	// histFallback answers Query misses from a persistent archive
 	// (SetHistoryFallback): a freshly promoted replica whose producer
 	// entry died with the process still serves "most recent event"
@@ -276,6 +283,12 @@ func (g *Gateway) forwarder() Forwarder {
 	}
 	return nil
 }
+
+// SetTracer attaches (or, with nil, detaches) the telemetry tracer.
+// When set, primary ingest and v2 subscriber writes feed per-stage
+// latency histograms, and sampled batches carry a JAMM.TRACE attribute
+// downstream.
+func (g *Gateway) SetTracer(t *telemetry.Tracer) { g.tracer.Store(t) }
 
 // HistoryFallback serves the most recent archived event for a sensor —
 // the shape histstore.Store provides — so Query can answer for sensors
@@ -621,6 +634,31 @@ func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames,
 	if len(recs) == 0 {
 		return
 	}
+	// Telemetry: on sampled batches (one in -trace-sample), stamp the
+	// trace attribute and time the whole primary ingest. Timing rides
+	// the same sampling gate as the stamp — two time.Now calls per
+	// batch would alone bust the <=5% instrumentation budget the bench
+	// smoke enforces, so unsampled batches pay only an atomic load and
+	// an atomic counter bump. The stamp must not mutate the caller's
+	// borrowed slice or its records' field storage, so a sampled batch
+	// pays for a slice copy plus one record clone.
+	tr := g.tracer.Load()
+	if replica {
+		tr = nil
+	}
+	var tStart time.Time
+	var tid uint64
+	traced := false
+	if tr != nil && tr.Sample() {
+		tStart = time.Now()
+		tid = tr.NewID()
+		traced = true
+		recs2 := make([]ulm.Record, len(recs))
+		copy(recs2, recs)
+		recs2[0] = recs2[0].Clone()
+		telemetry.StampTrace(&recs2[0], tid, 0)
+		recs = recs2
+	}
 	ps := g.pshard(sensorName)
 	ps.mu.Lock()
 	p := ps.producers[sensorName]
@@ -664,6 +702,11 @@ func (g *Gateway) publishBatch(sensorName string, recs []ulm.Record, feedFrames,
 		g.feedFrameSubs(sensorName, recs)
 	}
 	g.bus.PublishBatch(sensorName, recs)
+	if traced {
+		d := time.Since(tStart)
+		tr.Observe("ingest", d)
+		tr.Event(tid, 0, sensorName, "ingest", d)
+	}
 }
 
 // consumerTopic is the sensor whose consumer count a subscription

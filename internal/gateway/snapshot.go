@@ -29,6 +29,7 @@ package gateway
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,15 @@ type SnapshotOptions struct {
 	// effective bound is MaxStale plus one refresh duration). <= 0
 	// selects DefaultSnapshotMaxStale.
 	MaxStale time.Duration
+	// BackgroundRefresh moves refreshing off the read path entirely:
+	// one ticker goroutine (period MaxStale/2) re-snapshots every
+	// shard — idle shards revalidate with a pointer swap, no lock, no
+	// copy — so a warm read is a pure atomic load with zero time.Now
+	// calls and zero staleness arithmetic. Reads arriving before the
+	// first pass still refresh-on-demand, so cold behavior is
+	// unchanged. Stop the goroutine with StopSnapshotRefresh at
+	// shutdown.
+	BackgroundRefresh bool
 }
 
 // EnableSnapshots turns on the read-side snapshot cache. Queries,
@@ -61,7 +71,40 @@ func (g *Gateway) EnableSnapshots(opts SnapshotOptions) {
 	if opts.MaxStale <= 0 {
 		opts.MaxStale = DefaultSnapshotMaxStale
 	}
-	g.snaps.Store(&snapshotCache{maxStale: opts.MaxStale})
+	sc := &snapshotCache{maxStale: opts.MaxStale, background: opts.BackgroundRefresh}
+	if opts.BackgroundRefresh {
+		sc.stop = make(chan struct{})
+		go sc.runRefresher(g)
+	}
+	if old := g.snaps.Swap(sc); old != nil {
+		old.stopRefresher()
+	}
+}
+
+// StopSnapshotRefresh stops the background refresher goroutine, if
+// BackgroundRefresh started one. Snapshots remain enabled and serve
+// their last state; reads never refresh warm shards in background
+// mode, so call this only at shutdown.
+func (g *Gateway) StopSnapshotRefresh() {
+	if sc := g.snaps.Load(); sc != nil {
+		sc.stopRefresher()
+	}
+}
+
+// SnapshotRefreshLag reports the age of the background refresher's
+// last completed full pass — the bound on how stale warm reads can be
+// in background mode. Zero when snapshots are off, foreground-mode, or
+// no pass has completed yet.
+func (g *Gateway) SnapshotRefreshLag() time.Duration {
+	sc := g.snaps.Load()
+	if sc == nil {
+		return 0
+	}
+	last := sc.lastRefresh.Load()
+	if last == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, last))
 }
 
 // SnapshotMaxStale reports the configured staleness bound, 0 when
@@ -103,6 +146,16 @@ type summarySnap struct {
 type snapshotCache struct {
 	maxStale time.Duration
 
+	// background marks ticker-driven refresh mode: warm reads return
+	// the shard pointer without a staleness check (no time.Now), the
+	// runRefresher goroutine keeps snapshots inside the bound instead.
+	background bool
+	stop       chan struct{}
+	stopOnce   sync.Once
+	// lastRefresh is the wall-clock nanosecond stamp of the last
+	// completed background pass — the telemetry refresh-lag gauge.
+	lastRefresh atomic.Int64
+
 	shards     [producerShards]atomic.Pointer[shardSnap]
 	refreshing [producerShards]atomic.Bool
 
@@ -113,20 +166,68 @@ type snapshotCache struct {
 	refreshes  atomic.Uint64
 }
 
+// stopRefresher stops the background goroutine, if any; safe to call
+// repeatedly.
+func (sc *snapshotCache) stopRefresher() {
+	if sc.stop != nil {
+		sc.stopOnce.Do(func() { close(sc.stop) })
+	}
+}
+
+// runRefresher is the background mode's ticker loop: twice per
+// staleness bound it re-snapshots every shard and the summary table.
+// Idle shards revalidate with a pointer swap (no lock, no copy), so a
+// quiet gateway's background cost is 16 version-counter loads per
+// tick. The CAS elections keep it from colliding with a cold-read
+// foreground refresh.
+func (sc *snapshotCache) runRefresher(g *Gateway) {
+	interval := sc.maxStale / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.stop:
+			return
+		case <-t.C:
+			now := g.now()
+			for i := range sc.shards {
+				if sc.refreshing[i].CompareAndSwap(false, true) {
+					sc.refreshShard(g, i, now)
+					sc.refreshing[i].Store(false)
+				}
+			}
+			if sc.sumRefresh.CompareAndSwap(false, true) {
+				sc.refreshSummaries(g, now)
+				sc.sumRefresh.Store(false)
+			}
+			sc.lastRefresh.Store(time.Now().UnixNano())
+		}
+	}
+}
+
 // shardFor returns shard i's snapshot, refreshing it first when it is
 // missing or older than the staleness bound and this reader wins the
 // refresh election. Returns nil only when the snapshot is cold and
 // another reader is building it — the caller falls back to the locked
-// path rather than waiting.
+// path rather than waiting. In background mode a warm shard returns
+// immediately — the ticker goroutine owns freshness — so now may be
+// the zero time; it is sampled lazily if a cold refresh turns out to
+// be needed.
 func (sc *snapshotCache) shardFor(g *Gateway, i int, now time.Time) *shardSnap {
 	snap := sc.shards[i].Load()
-	if snap != nil && now.Sub(snap.asOf) <= sc.maxStale {
+	if snap != nil && (sc.background || now.Sub(snap.asOf) <= sc.maxStale) {
 		return snap
 	}
 	if !sc.refreshing[i].CompareAndSwap(false, true) {
 		// A refresh is in flight: serve the previous snapshot (bounded
 		// by MaxStale + that refresh's duration), or report cold.
 		return snap
+	}
+	if now.IsZero() {
+		now = g.now()
 	}
 	snap = sc.refreshShard(g, i, now)
 	sc.refreshing[i].Store(false)
@@ -221,7 +322,10 @@ func (sc *snapshotCache) refreshShard(g *Gateway, i int, now time.Time) *shardSn
 // does not hold) and the caller must use the locked path; ok mirrors
 // the locked path's "known sensor, no such event yet" result.
 func (sc *snapshotCache) query(g *Gateway, sensor, event string) (rec ulm.Record, ok, served bool) {
-	now := g.now()
+	var now time.Time
+	if !sc.background {
+		now = g.now()
+	}
 	snap := sc.shardFor(g, int(bus.HashTopic(sensor)%producerShards), now)
 	if snap == nil {
 		return ulm.Record{}, false, false
@@ -238,7 +342,10 @@ func (sc *snapshotCache) query(g *Gateway, sensor, event string) (rec ulm.Record
 // ok=false when any shard is still cold (first reads racing the first
 // refresh) — the caller walks the locked path once instead.
 func (sc *snapshotCache) sensors(g *Gateway) ([]SensorInfo, bool) {
-	now := g.now()
+	var now time.Time
+	if !sc.background {
+		now = g.now()
+	}
 	var snaps [producerShards]*shardSnap
 	total := 0
 	for i := range snaps {
@@ -264,8 +371,12 @@ func (sc *snapshotCache) sensors(g *Gateway) ([]SensorInfo, bool) {
 // the series is absent from it (enabled inside the staleness window) —
 // the caller answers from the summary table under its lock.
 func (sc *snapshotCache) summary(g *Gateway, key summaryKey) (pts []SummaryPoint, served bool) {
-	now := g.now()
 	snap := sc.sums.Load()
+	if sc.background && snap != nil {
+		pts, ok := snap.points[key]
+		return pts, ok
+	}
+	now := g.now()
 	if snap == nil || now.Sub(snap.asOf) > sc.maxStale {
 		if !sc.sumRefresh.CompareAndSwap(false, true) {
 			if snap == nil {

@@ -1,0 +1,56 @@
+package gateway
+
+import "jamm/internal/telemetry"
+
+// MetricsSource adapts the gateway's Stats, FrameStats, the underlying
+// bus counters, and the snapshot cache into telemetry metric families.
+// Register it once per gateway: reg.Register(gw.MetricsSource()).
+func (g *Gateway) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		st := g.Stats()
+		e.Counter("jamm_gateway_published_total", "Records entering the gateway from sensors (including raw frame relays).", st.Published)
+		e.Counter("jamm_gateway_delivered_total", "Records fanned out to consumers.", st.Delivered)
+		e.Counter("jamm_gateway_suppressed_total", "Records withheld by change/threshold policies.", st.Suppressed)
+		e.Counter("jamm_gateway_queries_total", "One-shot query requests served.", st.Queries)
+		e.Counter("jamm_gateway_consumer_clamps_total", "Consumer-count decrements clamped at zero (accounting bug detector).", st.ConsumerClamps)
+		e.Counter("jamm_gateway_snapshot_hits_total", "Reads served entirely from the wait-free snapshot cache.", st.SnapshotHits)
+		e.Counter("jamm_gateway_snapshot_misses_total", "Reads that fell back to the locked path with snapshots enabled.", st.SnapshotMisses)
+		e.Counter("jamm_gateway_snapshot_refreshes_total", "Snapshot rebuild/revalidate passes.", st.SnapshotRefreshes)
+		e.Counter("jamm_gateway_read_shard_locks_total", "Producer-shard lock acquisitions taken to serve reads.", st.ReadShardLocks)
+
+		fs := g.FrameStats()
+		e.Counter("jamm_gateway_frame_relays_total", "v2 frames relayed without record decode.", fs.Relays)
+		e.Counter("jamm_gateway_frame_relay_records_total", "Records carried by relayed frames.", fs.RelayRecords)
+		e.Counter("jamm_gateway_frame_decodes_total", "v2 frames decoded into records for local consumers.", fs.Decodes)
+		e.Counter("jamm_gateway_frame_decode_errors_total", "v2 frames that failed record decode.", fs.DecodeErrors)
+
+		bs := g.bus.Stats()
+		e.Counter("jamm_bus_published_total", "Records entering the bus.", bs.Published)
+		e.Counter("jamm_bus_delivered_total", "Records fanned out to bus subscribers.", bs.Delivered)
+		e.Counter("jamm_bus_suppressed_total", "Records withheld by subscription hooks.", bs.Suppressed)
+		e.Counter("jamm_bus_async_batches_total", "Deliveries performed by async queue workers.", bs.AsyncBatches)
+		e.Counter("jamm_bus_async_batch_records_total", "Records carried by async worker deliveries.", bs.AsyncBatchRecords)
+		e.Gauge("jamm_bus_async_max_batch", "Largest single async delivery batch.", float64(bs.AsyncMaxBatch))
+
+		e.Gauge("jamm_gateway_snapshot_refresh_lag_seconds", "Age of the background snapshot refresher's last completed pass.", g.SnapshotRefreshLag().Seconds())
+	})
+}
+
+// MetricsSource adapts the wire server's loss counters and connection
+// gauges into telemetry metric families.
+func (t *TCPServer) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		ws := t.WireStats()
+		e.Counter("jamm_wire_bad_records_total", "op=publish records that failed payload decode.", ws.BadRecords)
+		e.Counter("jamm_wire_bad_lines_total", "Request lines that failed JSON parsing.", ws.BadLines)
+		e.Counter("jamm_wire_sub_drops_total", "Records dropped on slow subscriber connections.", ws.SubDrops)
+		e.Counter("jamm_wire_hist_drops_total", "Archived records a history response could not carry.", ws.HistDrops)
+		e.Counter("jamm_wire_bad_frames_total", "Malformed v2 binary frames.", ws.BadFrames)
+		e.Counter("jamm_wire_handshake_timeouts_total", "Connections dropped for sending nothing in the negotiation window.", ws.HandshakeTimeouts)
+		t.mu.Lock()
+		conns, subs := len(t.conns), len(t.subConns)
+		t.mu.Unlock()
+		e.Gauge("jamm_wire_connections", "Open wire connections.", float64(conns))
+		e.Gauge("jamm_wire_subscriber_connections", "Open streaming subscriber connections.", float64(subs))
+	})
+}

@@ -15,6 +15,7 @@ import (
 
 	"jamm/internal/auth"
 	"jamm/internal/histstore"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -352,10 +353,31 @@ func (t *TCPServer) serveSubscribeV2(conn net.Conn, fr *frameReader, req wireReq
 			return true
 		}
 		out = appendBatchFrame(out[:0], batchHops(cur), curSensor, cur)
+		// Telemetry wire stage: the trace attribute (if any) must be
+		// read before cur is reset; the write itself is what the stage
+		// histogram times.
+		tr := t.gw.tracer.Load()
+		var tid uint64
+		var thop int
+		traced := false
+		if tr != nil {
+			tid, thop, traced = telemetry.RecordTrace(cur)
+		}
 		cur = cur[:0]
 		ss.pending.Store(0)
+		var w0 time.Time
+		if tr != nil {
+			w0 = time.Now()
+		}
 		if _, werr := conn.Write(out); werr != nil {
 			return false
+		}
+		if tr != nil {
+			d := time.Since(w0)
+			tr.Observe("wire", d)
+			if traced {
+				tr.Event(tid, thop, curSensor, "wire", d)
+			}
 		}
 		return emitDrops()
 	}
@@ -390,8 +412,20 @@ func (t *TCPServer) serveSubscribeV2(conn net.Conn, fr *frameReader, req wireReq
 					if !flush() {
 						return
 					}
+					tr := t.gw.tracer.Load()
+					var w0 time.Time
+					if tr != nil {
+						w0 = time.Now()
+					}
 					if _, werr := conn.Write(it.f.Bytes()); werr != nil {
 						return
+					}
+					if tr != nil {
+						d := time.Since(w0)
+						tr.Observe("wire", d)
+						if tid, thop, ok := it.f.Trace(); ok {
+							tr.Event(tid, thop, it.f.Sensor, "wire", d)
+						}
 					}
 					if !emitDrops() {
 						return

@@ -1,0 +1,19 @@
+package histstore
+
+import "jamm/internal/telemetry"
+
+// MetricsSource adapts the store's Stats into telemetry metric
+// families.
+func (s *Store) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		st := s.Stats()
+		e.Gauge("jamm_histstore_segments", "Segment files (sealed + active).", float64(st.Segments))
+		e.Gauge("jamm_histstore_records", "Archived records across all segments.", float64(st.Records))
+		e.Gauge("jamm_histstore_bytes", "Total on-disk size.", float64(st.Bytes))
+		e.Counter("jamm_histstore_append_batches_total", "AppendBatch calls (one frame, one write).", st.AppendBatches)
+		e.Counter("jamm_histstore_segment_opens_total", "Segment files opened for reading.", st.SegmentOpens)
+		e.Counter("jamm_histstore_torn_bytes_total", "Bytes truncated from unsealed tails at reopen.", uint64(st.TornBytes))
+		e.Counter("jamm_histstore_pruned_segments_total", "Whole segments removed by retention.", st.PrunedSegments)
+		e.Counter("jamm_histstore_raw_frames_total", "Frames ReplayFrames served raw.", st.RawFrames)
+	})
+}

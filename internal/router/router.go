@@ -33,6 +33,7 @@ import (
 	"jamm/internal/directory"
 	"jamm/internal/gateway"
 	"jamm/internal/ring"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -99,6 +100,12 @@ type Router struct {
 	publishDrops   atomic.Uint64
 	publishRetries atomic.Uint64
 	failovers      atomic.Uint64
+
+	// tracer is the telemetry hook (SetTracer): batch/frame publishes
+	// feed the forward-stage latency histogram. Forwarding does not
+	// bump the trace hop — the receiving gateway's ingest is the next
+	// hop-visible stage.
+	tracer atomic.Pointer[telemetry.Tracer]
 }
 
 // Stats counts a router's loss and recovery events.
@@ -282,6 +289,9 @@ func (r *Router) Stats() Stats {
 	}
 }
 
+// SetTracer attaches (or, with nil, detaches) the telemetry tracer.
+func (r *Router) SetTracer(t *telemetry.Tracer) { r.tracer.Store(t) }
+
 // Publish routes one sensor record to the owning gateway over a
 // persistent (batched) publisher connection, failing over along the
 // sensor's placement candidates (replicas, under ReplicaK > 1) when a
@@ -309,6 +319,16 @@ func (r *Router) PublishBatch(sensor string, recs []ulm.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	if tr := r.tracer.Load(); tr != nil {
+		t0 := time.Now()
+		defer func() {
+			d := time.Since(t0)
+			tr.Observe("forward", d)
+			if id, hop, ok := telemetry.RecordTrace(recs); ok {
+				tr.Event(id, hop, sensor, "forward", d)
+			}
+		}()
+	}
 	send := func(p *gateway.Publisher) (int, error) { return p.PublishBatch(sensor, recs) }
 	err, terminal := r.publishOnce(sensor, r.cachedOwners(sensor), len(recs), send)
 	if err == nil || terminal {
@@ -333,6 +353,16 @@ func (r *Router) PublishBatch(sensor string, recs []ulm.Record) error {
 // connection decodes and re-encodes transparently. Failover and the
 // stale-placement retry follow PublishBatch.
 func (r *Router) PublishFrame(f *gateway.Frame) error {
+	if tr := r.tracer.Load(); tr != nil {
+		t0 := time.Now()
+		defer func() {
+			d := time.Since(t0)
+			tr.Observe("forward", d)
+			if id, hop, ok := f.Trace(); ok {
+				tr.Event(id, hop, f.Sensor, "forward", d)
+			}
+		}()
+	}
 	send := func(p *gateway.Publisher) (int, error) { return p.PublishFrame(f) }
 	err, terminal := r.publishOnce(f.Sensor, r.cachedOwners(f.Sensor), f.Count, send)
 	if err == nil || terminal {

@@ -1,0 +1,14 @@
+package router
+
+import "jamm/internal/telemetry"
+
+// MetricsSource adapts the router's Stats into telemetry metric
+// families.
+func (r *Router) MetricsSource() telemetry.Source {
+	return telemetry.SourceFunc(func(e telemetry.Emit) {
+		st := r.Stats()
+		e.Counter("jamm_router_publish_drops_total", "Records lost on failed publisher connections.", st.PublishDrops)
+		e.Counter("jamm_router_publish_retries_total", "Publishes retried against freshly resolved placement.", st.PublishRetries)
+		e.Counter("jamm_router_failovers_total", "Operations answered by a non-primary placement candidate.", st.Failovers)
+	})
+}

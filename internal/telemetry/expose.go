@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitName separates an optionally-labeled metric name into its
+// family and the label body (without braces): `a{x="1"}` → `a`, `x="1"`.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+		return family, labels
+	}
+	return name, ""
+}
+
+// joinLabels re-braces one or two label bodies.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "" && b == "":
+		return ""
+	case a == "":
+		return "{" + b + "}"
+	case b == "":
+		return "{" + a + "}"
+	default:
+		return "{" + a + "," + b + "}"
+	}
+}
+
+// WritePrometheus writes every gathered sample in the Prometheus text
+// exposition format (version 0.0.4). Samples arrive sorted by name;
+// HELP/TYPE headers are emitted once per family. Histograms expose
+// cumulative `_bucket` lines for each non-empty bucket boundary plus
+// `+Inf`, `_sum`, and `_count`, with the `le` label merged after any
+// labels embedded in the metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range r.gather() {
+		family, labels := splitName(s.name)
+		if family != lastFamily {
+			if s.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", family, s.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, typeName(s.kind))
+			lastFamily = family
+		}
+		switch s.kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", family, joinLabels(labels, ""), s.ival)
+		case KindGauge:
+			fmt.Fprintf(bw, "%s%s %g\n", family, joinLabels(labels, ""), s.fval)
+		case KindHistogram:
+			var cum uint64
+			for _, b := range s.hist.buckets {
+				cum += b.n
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", family, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(b.upper))), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", family, joinLabels(labels, `le="+Inf"`), s.hist.count)
+			fmt.Fprintf(bw, "%s_sum%s %d\n", family, joinLabels(labels, ""), s.hist.sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", family, joinLabels(labels, ""), s.hist.count)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}

@@ -1,0 +1,153 @@
+// Package telemetry is the unified self-monitoring plane: a registry
+// of zero-alloc-on-hot-path counters, gauges and log-linear-bucket
+// histograms, Prometheus-text-format exposition served from an ops
+// HTTP endpoint (ops.go), end-to-end record tracing across gateway
+// hops (trace.go), and optional republication of the registry as
+// `_sys/` records on the local bus (republish.go) — so the site's own
+// health flows through the same event plane as sensor data, the
+// meta-monitoring loop the paper's architecture implies.
+//
+// The package is a pure leaf (stdlib + internal/ulm only): every
+// traffic plane (gateway, bus, bridge, router, histstore, aggregate)
+// may import it, and adapts its existing Stats provider into metric
+// families via the Source interface rather than telemetry reaching
+// into them.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; Inc/Add are one atomic add — no allocation, no lock.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric stored as raw bits in one atomic
+// word. The zero value is ready to use and reads 0.
+type Gauge struct{ b atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.b.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; Set is the cheap path).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.b.Load()
+		if g.b.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.b.Load()) }
+
+// Histogram bucket layout: log-linear, histSub linear sub-buckets per
+// power of two. Values below histSub get identity buckets (exact small
+// counts); above, each octave [2^e, 2^(e+1)) splits into histSub equal
+// ranges, bounding relative bucket error at 1/histSub (~6%) across the
+// full uint64 range. All 976 buckets together cost ~7.8KB per
+// histogram — cheap enough for one per stage — and bucketIndex is
+// branch + bit arithmetic, no search, no float.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // 16 sub-buckets per octave
+	// histBuckets covers every uint64: histSub identity buckets plus
+	// (63 - histSubBits) octaves of histSub buckets plus the top
+	// octave's histSub (indices run to (63-histSubBits)*histSub +
+	// 2*histSub - 1 for v = 2^64-1).
+	histBuckets = (63-histSubBits)*histSub + 2*histSub
+)
+
+// bucketIndex maps a value to its bucket. v < histSub is identity;
+// otherwise the top histSubBits+1 significant bits select the bucket
+// within the value's octave.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits
+	return exp*histSub + int(v>>uint(exp))
+}
+
+// bucketUpper returns bucket i's inclusive upper bound — the `le`
+// boundary exposition prints.
+func bucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	exp := i/histSub - 1
+	m := uint64(i - exp*histSub)
+	return (m+1)<<uint(exp) - 1
+}
+
+// Histogram is a fixed-bucket log-linear histogram of uint64 samples
+// (conventionally nanoseconds; families named by the registry end
+// `_ns` so the unit travels with the name). The zero value is ready to
+// use; Observe is three atomic adds — no allocation, no lock.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps
+// to zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// histBucket is one non-empty bucket of a histogram snapshot.
+type histBucket struct {
+	upper uint64 // inclusive upper bound
+	n     uint64 // samples in this bucket (not cumulative)
+}
+
+// histSnap is a consistent-enough snapshot of a histogram: buckets are
+// read individually (torn reads across buckets are possible under
+// concurrent Observe, exactly like any atomic-counter Stats snapshot)
+// but each value is itself coherent. Only non-empty buckets are kept,
+// so a latency histogram touching a handful of octaves snapshots to a
+// handful of entries, not 976.
+type histSnap struct {
+	count, sum uint64
+	buckets    []histBucket
+}
+
+func (h *Histogram) snapshot() histSnap {
+	s := histSnap{count: h.count.Load(), sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.buckets = append(s.buckets, histBucket{upper: bucketUpper(i), n: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Emit is the sink a Source writes into when the registry gathers.
+// Names may carry Prometheus-style labels inline: `jamm_bridge_relayed_total{peer="b"}`.
+type Emit interface {
+	Counter(name, help string, v uint64)
+	Gauge(name, help string, v float64)
+}
+
+// Source adapts an existing Stats provider into metric samples. Collect
+// is called outside any registry lock, on every gather (scrape or
+// republish tick); implementations should read their atomic counters
+// and emit, nothing slower.
+type Source interface {
+	Collect(e Emit)
+}
+
+// SourceFunc adapts a plain function to the Source interface.
+type SourceFunc func(Emit)
+
+// Collect implements Source.
+func (f SourceFunc) Collect(e Emit) { f(e) }
+
+// instrument is one statically registered metric.
+type instrument struct {
+	name string
+	help string
+	kind Kind
+	ctr  *Counter
+	gau  *Gauge
+	gfn  func() float64
+	hst  *Histogram
+}
+
+// Registry holds the instruments and sources of one process. Hot-path
+// types (Counter, Gauge, Histogram) are registered once at startup and
+// then updated lock-free; Sources are polled at gather time. The
+// registry mutex guards only registration bookkeeping and the
+// slice-clone at the top of gather — Collect callbacks and exposition
+// writes run outside it.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+	insts []instrument
+	srcs  []Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) add(in instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[in.name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric name %q", in.name))
+	}
+	r.names[in.name] = true
+	r.insts = append(r.insts, in)
+}
+
+// NewCounter registers and returns a counter. Panics on a duplicate
+// name — registration is startup wiring, not a runtime path.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(instrument{name: name, help: help, kind: KindCounter, ctr: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(instrument{name: name, help: help, kind: KindGauge, gau: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge computed by fn at gather time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.add(instrument{name: name, help: help, kind: KindGauge, gfn: fn})
+}
+
+// NewHistogram registers and returns a histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.add(instrument{name: name, help: help, kind: KindHistogram, hst: h})
+	return h
+}
+
+// Register adds a Source polled on every gather.
+func (r *Registry) Register(s Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.srcs = append(r.srcs, s)
+}
+
+// sample is one gathered metric value, ready for exposition or
+// republication.
+type sample struct {
+	name string
+	help string
+	kind Kind
+	ival uint64
+	fval float64
+	hist *histSnap
+}
+
+// emitCollector implements Emit by appending samples.
+type emitCollector struct{ out []sample }
+
+func (e *emitCollector) Counter(name, help string, v uint64) {
+	e.out = append(e.out, sample{name: name, help: help, kind: KindCounter, ival: v})
+}
+
+func (e *emitCollector) Gauge(name, help string, v float64) {
+	e.out = append(e.out, sample{name: name, help: help, kind: KindGauge, fval: v})
+}
+
+// gather snapshots every instrument and polls every source, returning
+// samples sorted by name (labels included), so exposition and the
+// golden test are deterministic. Instrument reads, gauge funcs and
+// Source.Collect all run outside the registry lock.
+func (r *Registry) gather() []sample {
+	r.mu.Lock()
+	insts := append([]instrument(nil), r.insts...)
+	srcs := append([]Source(nil), r.srcs...)
+	r.mu.Unlock()
+
+	ec := &emitCollector{out: make([]sample, 0, len(insts)+8*len(srcs))}
+	for _, in := range insts {
+		switch in.kind {
+		case KindCounter:
+			ec.Counter(in.name, in.help, in.ctr.Value())
+		case KindGauge:
+			if in.gfn != nil {
+				ec.Gauge(in.name, in.help, in.gfn())
+			} else {
+				ec.Gauge(in.name, in.help, in.gau.Value())
+			}
+		case KindHistogram:
+			hs := in.hst.snapshot()
+			ec.out = append(ec.out, sample{name: in.name, help: in.help, kind: KindHistogram, hist: &hs})
+		}
+	}
+	for _, s := range srcs {
+		s.Collect(ec)
+	}
+	sort.SliceStable(ec.out, func(i, j int) bool { return ec.out[i].name < ec.out[j].name })
+	return ec.out
+}

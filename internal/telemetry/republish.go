@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// Republisher periodically folds the registry into ULM records on the
+// local bus under `_sys/<node>/metrics`, so the site's own health
+// flows through the same aggregate/bridge/history machinery as sensor
+// data. The sink (typically Gateway.PublishBatch via closure — the
+// telemetry package never imports the bus) is decoupled behind a
+// bounded queue: if the bus stalls, emit ticks shed whole snapshots
+// and count them rather than block the ticker.
+type Republisher struct {
+	reg    *Registry
+	node   string
+	sink   func(sensor string, recs []ulm.Record)
+	queue  chan []ulm.Record
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+
+	// dropped counts emit snapshots shed because the sink queue was
+	// full — the republisher's drop-accounting contract.
+	dropped Counter
+}
+
+// NewRepublisher starts republishing reg every period. The dropped-
+// snapshot counter self-registers as jamm_telemetry_republish_dropped_total.
+func NewRepublisher(reg *Registry, node string, period time.Duration, sink func(sensor string, recs []ulm.Record)) *Republisher {
+	if period <= 0 {
+		period = 10 * time.Second
+	}
+	rp := &Republisher{
+		reg:   reg,
+		node:  node,
+		sink:  sink,
+		queue: make(chan []ulm.Record, 4),
+		stop:  make(chan struct{}),
+	}
+	reg.add(instrument{
+		name: "jamm_telemetry_republish_dropped_total",
+		help: "Registry snapshots shed because the republish sink queue was full.",
+		kind: KindCounter,
+		ctr:  &rp.dropped,
+	})
+	rp.wg.Add(2)
+	go rp.tick(period)
+	go rp.drain()
+	return rp
+}
+
+// Topic returns the bus topic republished records are published under.
+func (rp *Republisher) Topic() string { return "_sys/" + rp.node + "/metrics" }
+
+func (rp *Republisher) tick(period time.Duration) {
+	defer rp.wg.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-rp.stop:
+			return
+		case <-t.C:
+			recs := rp.snapshot()
+			if len(recs) == 0 {
+				continue
+			}
+			select {
+			case rp.queue <- recs:
+			default:
+				rp.dropped.Inc() // sink stalled; shed this snapshot, counted
+			}
+		}
+	}
+}
+
+func (rp *Republisher) drain() {
+	defer rp.wg.Done()
+	for {
+		select {
+		case <-rp.stop:
+			return
+		case recs := <-rp.queue:
+			rp.sink(rp.Topic(), recs)
+		}
+	}
+}
+
+// snapshot renders the registry as ULM records: one record per sample,
+// Event = the base family name, labels lifted into uppercase user
+// fields (Event stays quote-free that way), value in VAL (counters,
+// gauges) or COUNT/SUM (histograms; buckets are not republished —
+// exposition is the full-fidelity path).
+func (rp *Republisher) snapshot() []ulm.Record {
+	now := time.Now().UTC()
+	samples := rp.reg.gather()
+	recs := make([]ulm.Record, 0, len(samples))
+	for _, s := range samples {
+		family, labels := splitName(s.name)
+		rec := ulm.Record{
+			Date:  now,
+			Host:  rp.node,
+			Prog:  "telemetry",
+			Lvl:   "Usage",
+			Event: family,
+		}
+		addLabelFields(&rec, labels)
+		switch s.kind {
+		case KindCounter:
+			rec.Set("VAL", strconv.FormatUint(s.ival, 10))
+		case KindGauge:
+			rec.Set("VAL", strconv.FormatFloat(s.fval, 'g', -1, 64))
+		case KindHistogram:
+			rec.Set("COUNT", strconv.FormatUint(s.hist.count, 10))
+			rec.Set("SUM", strconv.FormatUint(s.hist.sum, 10))
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// addLabelFields parses a label body (`peer="b",stage="wire"`) into
+// uppercase ULM fields.
+func addLabelFields(rec *ulm.Record, labels string) {
+	for labels != "" {
+		var pair string
+		if i := strings.IndexByte(labels, ','); i >= 0 {
+			pair, labels = labels[:i], labels[i+1:]
+		} else {
+			pair, labels = labels, ""
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		rec.Set(strings.ToUpper(strings.TrimSpace(k)), strings.Trim(strings.TrimSpace(v), `"`))
+	}
+}
+
+// Close stops the ticker and drain goroutines and waits for them.
+func (rp *Republisher) Close() {
+	rp.closed.Do(func() { close(rp.stop) })
+	rp.wg.Wait()
+}

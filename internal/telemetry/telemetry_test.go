@@ -1,0 +1,422 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// --- histogram bucket math ---
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {15, 15}, // identity range
+		{16, 16}, {17, 17}, {31, 31}, // first octave, one value per bucket
+		{32, 32}, {33, 32}, {34, 33}, // second octave, two values per bucket
+		{63, 47}, {64, 48},
+		{math.MaxUint64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperBoundaries(t *testing.T) {
+	cases := []struct {
+		i    int
+		want uint64
+	}{
+		{0, 0}, {15, 15}, {16, 16}, {31, 31}, {32, 33}, {33, 35},
+		{histBuckets - 1, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := bucketUpper(c.i); got != c.want {
+			t.Errorf("bucketUpper(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+// TestBucketInvariants checks, across the value range, that every
+// value lands in a bucket whose upper bound covers it and whose
+// predecessor's does not, and that upper bounds are strictly
+// monotonic.
+func TestBucketInvariants(t *testing.T) {
+	probe := []uint64{}
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 33, 100, 1023, 1024, 1025} {
+		probe = append(probe, v)
+	}
+	for shift := 10; shift < 64; shift++ {
+		base := uint64(1) << uint(shift)
+		probe = append(probe, base-1, base, base+1, base+base/2)
+	}
+	probe = append(probe, math.MaxUint64-1, math.MaxUint64)
+	for _, v := range probe {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if up := bucketUpper(i); up < v {
+			t.Errorf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if i > 0 {
+			if up := bucketUpper(i - 1); up >= v {
+				t.Errorf("bucketUpper(%d) = %d >= %d: value should be in earlier bucket", i-1, up, v)
+			}
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not strictly monotonic at %d", i)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{0, 5, 16, 33, 100} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(-1 * time.Second) // clamps to 0
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 154 {
+		t.Fatalf("Sum = %d, want 154", h.Sum())
+	}
+	snap := h.snapshot()
+	if len(snap.buckets) != 5 { // 0 holds two samples now
+		t.Fatalf("snapshot kept %d non-empty buckets, want 5", len(snap.buckets))
+	}
+}
+
+// --- zero-alloc hot paths ---
+
+func TestHotPathAllocs(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.25) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+// --- golden-file exposition ---
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.NewCounter("jamm_test_events_total", "Test events.").Add(42)
+	r.NewGauge("jamm_test_temp", "Test temperature.").Set(1.5)
+	h := r.NewHistogram("jamm_test_lat_ns", "Test latencies.")
+	for _, v := range []uint64{0, 5, 16, 33, 100} {
+		h.Observe(v)
+	}
+	r.Register(SourceFunc(func(e Emit) {
+		e.Counter(`jamm_test_relayed_total{peer="b"}`, "Relayed records.", 7)
+	}))
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "expose.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// --- registry concurrency (meaningful under -race) ---
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jamm_conc_total", "")
+	h := r.NewHistogram("jamm_conc_ns", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(77)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		r.Register(SourceFunc(func(e Emit) {
+			e.Gauge(fmt.Sprintf("jamm_conc_src_%d", i), "", 1)
+		}))
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for (c.Value() == 0 || h.Count() == 0) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 || h.Count() == 0 {
+		t.Fatal("no concurrent updates observed")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("jamm_dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("jamm_dup_total", "")
+}
+
+// --- trace attribute ---
+
+func TestTraceFormatParse(t *testing.T) {
+	for _, c := range []struct {
+		id  uint64
+		hop int
+	}{{0, 0}, {0xdeadbeefcafef00d, 3}, {math.MaxUint64, 255}} {
+		s := FormatTrace(c.id, c.hop)
+		if len(s) != traceValueLen {
+			t.Fatalf("FormatTrace(%x,%d) len = %d", c.id, c.hop, len(s))
+		}
+		id, hop, ok := ParseTrace(s)
+		if !ok || id != c.id || hop != c.hop {
+			t.Fatalf("roundtrip %q → %x,%d,%v", s, id, hop, ok)
+		}
+	}
+	if s := FormatTrace(1, 300); s[17:] != "ff" {
+		t.Errorf("hop should clamp to ff, got %q", s)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 19),
+		"0123456789abcdef+00", "0123456789abcdef-0g"} {
+		if _, _, ok := ParseTrace(bad); ok {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStampRecordTrace(t *testing.T) {
+	recs := []ulm.Record{{Event: "a"}, {Event: "b"}}
+	if _, _, ok := RecordTrace(recs); ok {
+		t.Fatal("unstamped batch reported a trace")
+	}
+	StampTrace(&recs[0], 0xabc, 2)
+	id, hop, ok := RecordTrace(recs)
+	if !ok || id != 0xabc || hop != 2 {
+		t.Fatalf("RecordTrace = %x,%d,%v", id, hop, ok)
+	}
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(TraceEvent{ID: 9, Hop: i})
+	}
+	evs := l.Events(9)
+	if len(evs) != 3 || evs[0].Hop != 2 || evs[2].Hop != 4 {
+		t.Fatalf("ring kept %v", evs)
+	}
+	if got := l.Events(8); len(got) != 0 {
+		t.Fatalf("unknown id returned %v", got)
+	}
+}
+
+func TestMergeTraceEvents(t *testing.T) {
+	base := time.Now()
+	evs := []TraceEvent{
+		{Hop: 1, Stage: "wire", At: base},
+		{Hop: 0, Stage: "wire", At: base},
+		{Hop: 1, Stage: "relay", At: base},
+		{Hop: 0, Stage: "ingest", At: base},
+	}
+	got := MergeTraceEvents(evs)
+	want := []struct {
+		hop   int
+		stage string
+	}{{0, "ingest"}, {0, "wire"}, {1, "relay"}, {1, "wire"}}
+	for i, w := range want {
+		if got[i].Hop != w.hop || got[i].Stage != w.stage {
+			t.Fatalf("merge order[%d] = %d/%s, want %d/%s", i, got[i].Hop, got[i].Stage, w.hop, w.stage)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer("n1", 4, nil)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("every=4 over 40 → %d samples, want 10", hits)
+	}
+	off := NewTracer("n1", 0, nil)
+	if off.Sample() {
+		t.Fatal("every=0 sampled")
+	}
+	if a, b := tr.NewID(), tr.NewID(); a == b {
+		t.Fatal("NewID repeated")
+	}
+}
+
+// --- ops handler ---
+
+func TestOpsHandler(t *testing.T) {
+	reg := goldenRegistry()
+	health := NewHealth()
+	degraded := fmt.Errorf("directory unreachable")
+	health.AddCheck("directory", func() error { return degraded })
+	tlog := NewTraceLog(8)
+	tlog.Add(TraceEvent{ID: 0xabc, Hop: 0, Node: "n1", Stage: "ingest"})
+	srv := httptest.NewServer(NewOpsHandler(reg, health, tlog))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "failing: directory: directory unreachable") {
+		t.Errorf("/readyz = %d %q", code, body)
+	}
+	degraded = nil
+	if code, body := get("/readyz"); code != 200 || body != "ok\n" {
+		t.Errorf("recovered /readyz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "jamm_test_events_total 42") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, _ := get("/trace"); code != 400 {
+		t.Errorf("/trace without id = %d, want 400", code)
+	}
+	if code, body := get("/trace?id=0000000000000abc"); code != 200 || !strings.Contains(body, `"stage":"ingest"`) {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+
+	// GatherTrace against the same endpoint plus one dead address.
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	evs, errs := GatherTrace([]string{addr, "127.0.0.1:1"}, 0xabc, 2*time.Second)
+	if len(evs) != 1 || evs[0].Node != "n1" {
+		t.Errorf("GatherTrace events = %v", evs)
+	}
+	if len(errs) != 1 {
+		t.Errorf("GatherTrace errs = %v", errs)
+	}
+}
+
+// --- republisher ---
+
+func TestRepublisher(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("jamm_rp_total", "").Add(5)
+	reg.Register(SourceFunc(func(e Emit) {
+		e.Counter(`jamm_rp_relayed_total{peer="gw-b"}`, "", 9)
+	}))
+	var mu sync.Mutex
+	var gotTopic string
+	var got []ulm.Record
+	rp := NewRepublisher(reg, "gw-a", 10*time.Millisecond, func(sensor string, recs []ulm.Record) {
+		mu.Lock()
+		if gotTopic == "" {
+			gotTopic, got = sensor, recs
+		}
+		mu.Unlock()
+	})
+	defer rp.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := gotTopic != ""
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotTopic != "_sys/gw-a/metrics" {
+		t.Fatalf("topic = %q", gotTopic)
+	}
+	byEvent := map[string]ulm.Record{}
+	for _, r := range got {
+		byEvent[r.Event] = r
+	}
+	r, ok := byEvent["jamm_rp_total"]
+	if !ok {
+		t.Fatalf("missing jamm_rp_total in %v", got)
+	}
+	if v, _ := r.Get("VAL"); v != "5" {
+		t.Errorf("VAL = %q", v)
+	}
+	lr, ok := byEvent["jamm_rp_relayed_total"]
+	if !ok {
+		t.Fatalf("missing labeled family in %v", got)
+	}
+	if p, _ := lr.Get("PEER"); p != "gw-b" {
+		t.Errorf("PEER = %q", p)
+	}
+	// dropped counter is registered and starts at zero
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "jamm_telemetry_republish_dropped_total 0") {
+		t.Error("dropped counter not exposed")
+	}
+}

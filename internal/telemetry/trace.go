@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jamm/internal/ulm"
+)
+
+// TraceField is the ULM field a sampled record carries across hops.
+// Its value is a fixed-width "<16 hex id>-<2 hex hop>" string
+// (traceValueLen bytes) so relays can bump the hop in-place inside an
+// encoded v2 frame without decoding record bodies, exactly like the
+// JAMM.HOPS byte in the frame header. Hex plus '-' never needs ULM
+// quoting, so the wire length is stable through every re-encode.
+const TraceField = "JAMM.TRACE"
+
+// traceValueLen is len("0123456789abcdef-00").
+const traceValueLen = 19
+
+const hexDigits = "0123456789abcdef"
+
+// FormatTrace renders a trace id + hop as the fixed-width attribute
+// value. Hop is clamped to [0, 255].
+func FormatTrace(id uint64, hop int) string {
+	if hop < 0 {
+		hop = 0
+	}
+	if hop > 0xff {
+		hop = 0xff
+	}
+	var b [traceValueLen]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	b[16] = '-'
+	b[17] = hexDigits[hop>>4]
+	b[18] = hexDigits[hop&0xf]
+	return string(b[:])
+}
+
+// ParseTrace decodes a trace attribute value.
+func ParseTrace(s string) (id uint64, hop int, ok bool) {
+	if len(s) != traceValueLen || s[16] != '-' {
+		return 0, 0, false
+	}
+	for i := 0; i < 16; i++ {
+		d := hexVal(s[i])
+		if d < 0 {
+			return 0, 0, false
+		}
+		id = id<<4 | uint64(d)
+	}
+	hi, lo := hexVal(s[17]), hexVal(s[18])
+	if hi < 0 || lo < 0 {
+		return 0, 0, false
+	}
+	return id, hi<<4 | lo, true
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}
+
+// StampTrace sets the trace attribute on a record.
+func StampTrace(rec *ulm.Record, id uint64, hop int) {
+	rec.Set(TraceField, FormatTrace(id, hop))
+}
+
+// RecordTrace scans a batch for a trace attribute and returns the
+// first one found.
+func RecordTrace(recs []ulm.Record) (id uint64, hop int, ok bool) {
+	for i := range recs {
+		if v, present := recs[i].Get(TraceField); present {
+			if id, hop, ok = ParseTrace(v); ok {
+				return id, hop, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TraceEvent is one stage crossing of a traced record, as retained in
+// a gateway's TraceLog and returned by the ops /trace endpoint.
+type TraceEvent struct {
+	ID        uint64    `json:"id"`
+	Hop       int       `json:"hop"`
+	Node      string    `json:"node"`
+	Stage     string    `json:"stage"`
+	Sensor    string    `json:"sensor"`
+	At        time.Time `json:"at"`
+	LatencyNS int64     `json:"latency_ns"`
+}
+
+// TraceLog is a bounded ring of recent trace events. Sampling keeps
+// the event rate tiny (one in -trace-sample batches), so a small ring
+// under one mutex is plenty; when it wraps, the oldest events fall off.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// NewTraceLog returns a ring holding up to capacity events.
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{buf: make([]TraceEvent, capacity)}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (l *TraceLog) Add(ev TraceEvent) {
+	l.mu.Lock()
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the retained events for one trace id, oldest first.
+func (l *TraceLog) Events(id uint64) []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []TraceEvent
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	start := 0
+	if l.full {
+		start = l.next
+	}
+	for i := 0; i < n; i++ {
+		ev := l.buf[(start+i)%len(l.buf)]
+		if ev.ID == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Tracer samples record batches for end-to-end tracing and records
+// per-stage latencies. Stage histograms are always fed (Observe);
+// TraceEvents are logged only for sampled records (Event). All methods
+// are safe for concurrent use; the hot path when a batch is NOT
+// sampled is one atomic add.
+type Tracer struct {
+	node   string
+	every  uint64
+	n      atomic.Uint64
+	log    *TraceLog
+	stages map[string]*Histogram
+	idctr  atomic.Uint64
+	idbase uint64
+}
+
+// NewTracer returns a tracer for one node. every=N samples one in N
+// batches (1 = all, 0 = none). log may be nil if only stage
+// histograms are wanted.
+func NewTracer(node string, every int, log *TraceLog) *Tracer {
+	if every < 0 {
+		every = 0
+	}
+	return &Tracer{
+		node:   node,
+		every:  uint64(every),
+		log:    log,
+		stages: map[string]*Histogram{},
+		idbase: splitmix64(uint64(time.Now().UnixNano())),
+	}
+}
+
+// Node returns the tracer's node name.
+func (t *Tracer) Node() string { return t.node }
+
+// Sample reports whether the next batch should carry a trace stamp.
+func (t *Tracer) Sample() bool {
+	if t.every == 0 {
+		return false
+	}
+	return t.n.Add(1)%t.every == 0
+}
+
+// NewID returns a fresh, well-mixed trace id.
+func (t *Tracer) NewID() uint64 {
+	return splitmix64(t.idbase + t.idctr.Add(1))
+}
+
+// splitmix64 is the standard 64-bit finalizer — enough mixing that
+// sequential counters become effectively unique random-looking ids.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RegisterStages creates one latency histogram per stage in the
+// registry, named jamm_trace_stage_latency_ns{stage="<s>"}.
+func (t *Tracer) RegisterStages(r *Registry, stages ...string) {
+	for _, s := range stages {
+		t.stages[s] = r.NewHistogram(
+			fmt.Sprintf(`jamm_trace_stage_latency_ns{stage=%q}`, s),
+			"Per-stage record latency in nanoseconds.")
+	}
+}
+
+// Observe feeds a stage's latency histogram. Called for every batch
+// through the stage, sampled or not; unknown stages are dropped.
+func (t *Tracer) Observe(stage string, d time.Duration) {
+	if h := t.stages[stage]; h != nil {
+		h.ObserveDuration(d)
+	}
+}
+
+// Event logs one hop crossing of a sampled record.
+func (t *Tracer) Event(id uint64, hop int, sensor, stage string, d time.Duration) {
+	if t.log == nil {
+		return
+	}
+	t.log.Add(TraceEvent{
+		ID: id, Hop: hop, Node: t.node, Stage: stage, Sensor: sensor,
+		At: time.Now().UTC(), LatencyNS: int64(d),
+	})
+}
+
+// stageRank orders stages within one hop for merged display: a relay
+// lands the record on this hop, then it is ingested, delivered on the
+// bus, mirrored/forwarded, and finally written to subscriber wires.
+var stageRank = map[string]int{
+	"relay":   0,
+	"ingest":  1,
+	"bus":     2,
+	"mirror":  3,
+	"forward": 4,
+	"wire":    5,
+}
+
+// MergeTraceEvents sorts events gathered from several gateways into
+// hop order (then stage order within a hop, then timestamp). Clock
+// skew between nodes cannot reorder hops because hop numbers travel
+// with the record.
+func MergeTraceEvents(evs []TraceEvent) []TraceEvent {
+	out := append([]TraceEvent(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Hop != out[j].Hop {
+			return out[i].Hop < out[j].Hop
+		}
+		ri, rj := stageRank[out[i].Stage], stageRank[out[j].Stage]
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].At.Before(out[j].At)
+	})
+	return out
+}
+
+// GatherTrace queries each ops endpoint's /trace handler for one trace
+// id and returns all events plus a per-address error summary for
+// endpoints that could not be reached.
+func GatherTrace(addrs []string, id uint64, timeout time.Duration) ([]TraceEvent, []string) {
+	client := &http.Client{Timeout: timeout}
+	var evs []TraceEvent
+	var errs []string
+	for _, addr := range addrs {
+		url := fmt.Sprintf("http://%s/trace?id=%016x", addr, id)
+		resp, err := client.Get(url)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Sprintf("%s: status %d", addr, resp.StatusCode))
+			continue
+		}
+		var got []TraceEvent
+		if err := json.Unmarshal(body, &got); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		evs = append(evs, got...)
+	}
+	return evs, errs
+}

@@ -35,6 +35,7 @@ package jamm
 
 import (
 	"crypto/tls"
+	"net/http"
 	"time"
 
 	"jamm/internal/aggregate"
@@ -54,6 +55,7 @@ import (
 	"jamm/internal/nlv"
 	"jamm/internal/ring"
 	"jamm/internal/router"
+	"jamm/internal/telemetry"
 	"jamm/internal/ulm"
 )
 
@@ -495,6 +497,66 @@ type (
 	// IperfResult is an iperf run outcome.
 	IperfResult = iperf.Result
 )
+
+// Telemetry plane (internal/telemetry): a stdlib-only metrics registry
+// (zero-allocation counters, gauges, log-linear histograms), every
+// subsystem's Stats adapted into it via MetricsSource methods, an ops
+// HTTP endpoint (metrics in Prometheus text format, health/readiness,
+// pprof, the trace event log), sampled end-to-end record tracing across
+// gateway hops, and an optional republisher folding the registry back
+// into the event plane as _sys/ records.
+type (
+	// MetricsRegistry is a named registry of counters, gauges,
+	// histograms, and Stats-adapting sources.
+	MetricsRegistry = telemetry.Registry
+	// Counter is a monotonically increasing metric.
+	Counter = telemetry.Counter
+	// Gauge is a set-to-current-value metric.
+	Gauge = telemetry.Gauge
+	// Histogram is a log-linear-bucket latency/size distribution.
+	Histogram = telemetry.Histogram
+	// MetricsSource adapts a subsystem's Stats into metric families on
+	// each scrape.
+	MetricsSource = telemetry.Source
+	// Tracer stamps sampled records with a JAMM.TRACE attribute and
+	// records per-stage hop latencies.
+	Tracer = telemetry.Tracer
+	// TraceLog is the bounded ring of trace events one node retains.
+	TraceLog = telemetry.TraceLog
+	// TraceEvent is one stage of one traced record's path.
+	TraceEvent = telemetry.TraceEvent
+	// Health aggregates named readiness checks for /readyz.
+	Health = telemetry.Health
+	// Republisher periodically folds a registry into _sys/ records.
+	Republisher = telemetry.Republisher
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTracer returns a tracer for the named node, stamping one in every
+// `every` published batches (0 = never) and logging events into tlog.
+func NewTracer(node string, every int, tlog *TraceLog) *Tracer {
+	return telemetry.NewTracer(node, every, tlog)
+}
+
+// NewTraceLog returns a trace event ring retaining up to n events.
+func NewTraceLog(n int) *TraceLog { return telemetry.NewTraceLog(n) }
+
+// NewHealth returns an empty readiness check set.
+func NewHealth() *Health { return telemetry.NewHealth() }
+
+// NewOpsHandler returns the ops HTTP handler: /metrics, /healthz,
+// /readyz, /trace, and /debug/pprof.
+func NewOpsHandler(reg *MetricsRegistry, health *Health, tlog *TraceLog) http.Handler {
+	return telemetry.NewOpsHandler(reg, health, tlog)
+}
+
+// NewMetricsRepublisher folds reg into _sys/<node>/metrics records
+// every period, delivered through sink (typically Gateway.PublishBatch).
+func NewMetricsRepublisher(reg *MetricsRegistry, node string, period time.Duration, sink func(sensor string, recs []Record)) *Republisher {
+	return telemetry.NewRepublisher(reg, node, period, sink)
+}
 
 // Security (internal/auth).
 type (
